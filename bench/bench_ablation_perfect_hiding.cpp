@@ -1,0 +1,89 @@
+// Ablation A7 — perfect arc hiding via oblivious transfer (Section 5.1.1).
+//
+// The paper rejects the OT-based perfectly hiding variant as "extremely
+// prohibitive": Protocol 2 over all n^2 - n pairs plus O(|E| n^2) modular
+// exponentiations. This bench measures both variants on the same worlds so
+// the trade-off is a number, not an adjective.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "influence/link_influence.h"
+#include "mpc/link_influence_protocol.h"
+#include "mpc/perfect_hiding.h"
+
+namespace psi {
+namespace bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void Run() {
+  std::printf(
+      "\nStandard Protocol 4 (E' obfuscation, c = 2) vs the OT variant\n"
+      "(|E|-out-of-(n^2-n) transfers, 512-bit RSA), m = 2 providers:\n\n");
+  std::printf("%4s %6s | %12s %10s | %12s %10s | %8s\n", "n", "|E|",
+              "P4 bytes", "P4 (s)", "OT bytes", "OT (s)", "x cost");
+  for (size_t n : {6u, 8u, 10u, 14u}) {
+    size_t arcs = 2 * n;
+    // Standard Protocol 4.
+    auto world_a = MakeWorld(2, n, arcs, 20, /*seed=*/n);
+    World& wa = *world_a;
+    Protocol4Config p4_cfg;
+    LinkInfluenceProtocol p4(&wa.net, wa.host, wa.providers, p4_cfg);
+    auto t0 = std::chrono::steady_clock::now();
+    auto a = p4.Run(*wa.graph, 20, wa.provider_logs, wa.host_rng.get(),
+                    wa.RngPtrs(), wa.pair_secret.get())
+                 .ValueOrDie();
+    double p4_secs = Seconds(t0);
+    uint64_t p4_bytes = wa.net.Report().num_bytes;
+
+    // OT-based perfect hiding, same world.
+    auto world_b = MakeWorld(2, n, arcs, 20, /*seed=*/n);
+    World& wb = *world_b;
+    PerfectHidingConfig ph_cfg;
+    PerfectHidingLinkInfluenceProtocol ph(&wb.net, wb.host, wb.providers,
+                                          ph_cfg);
+    auto t1 = std::chrono::steady_clock::now();
+    auto b = ph.Run(*wb.graph, 20, wb.provider_logs, wb.host_rng.get(),
+                    wb.RngPtrs(), wb.pair_secret.get())
+                 .ValueOrDie();
+    double ph_secs = Seconds(t1);
+    uint64_t ph_bytes = wb.net.Report().num_bytes;
+
+    // Both must equal the plaintext result on their own worlds.
+    auto plain_a =
+        ComputeLinkInfluence(wa.log, wa.graph->arcs(), n, 4).ValueOrDie();
+    auto plain_b =
+        ComputeLinkInfluence(wb.log, wb.graph->arcs(), n, 4).ValueOrDie();
+    PSI_CHECK(MeanAbsoluteError(a, plain_a).ValueOrDie() < 1e-9);
+    PSI_CHECK(MeanAbsoluteError(b, plain_b).ValueOrDie() < 1e-9);
+
+    std::printf("%4zu %6zu | %12" PRIu64 " %10.4f | %12" PRIu64
+                " %10.3f | %7.0fx\n",
+                n, arcs, p4_bytes, p4_secs, ph_bytes, ph_secs,
+                ph_secs / p4_secs);
+  }
+  std::printf(
+      "\n-> the OT variant's wall time explodes with n (each of the |E|\n"
+      "   transfers performs n^2-n RSA decryptions at the sender), while\n"
+      "   the E' obfuscation stays near-free — exactly the Section 5.1.1\n"
+      "   argument for trading perfect arc privacy for the 1/c posterior.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace psi
+
+int main() {
+  psi::bench::PrintHeader(
+      "Ablation A7 — perfect arc hiding via OT vs E' obfuscation (Sec 5.1.1)");
+  psi::bench::Run();
+  return 0;
+}

@@ -1,0 +1,274 @@
+// Microbenchmarks (google-benchmark) for the substrates: big-integer
+// arithmetic, cryptographic primitives, the secure protocols, and the
+// plaintext influence algorithms. These quantify where the wall-clock time
+// of the table benches goes.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "actionlog/counters.h"
+#include "actionlog/generator.h"
+#include "actionlog/partition.h"
+#include "bigint/modular.h"
+#include "bigint/montgomery.h"
+#include "bigint/primes.h"
+#include "crypto/paillier.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+#include "graph/generators.h"
+#include "influence/influence_max.h"
+#include "influence/link_influence.h"
+#include "influence/user_score.h"
+#include "mpc/link_influence_protocol.h"
+#include "mpc/secure_sum.h"
+
+namespace psi {
+namespace {
+
+// ---------------------------------------------------------------- bigint --
+
+void BM_BigUIntMul(benchmark::State& state) {
+  Rng rng(1);
+  auto bits = static_cast<size_t>(state.range(0));
+  BigUInt a = BigUInt::RandomBits(&rng, bits);
+  BigUInt b = BigUInt::RandomBits(&rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigUIntMul)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_BigUIntDivMod(benchmark::State& state) {
+  Rng rng(2);
+  auto bits = static_cast<size_t>(state.range(0));
+  BigUInt a = BigUInt::RandomBits(&rng, 2 * bits);
+  BigUInt b = BigUInt::RandomBits(&rng, bits);
+  b.SetBit(bits - 1);
+  for (auto _ : state) {
+    BigUInt q, r;
+    BigUInt::DivMod(a, b, &q, &r);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_BigUIntDivMod)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ModPow(benchmark::State& state) {
+  Rng rng(3);
+  auto bits = static_cast<size_t>(state.range(0));
+  BigUInt m = BigUInt::RandomBits(&rng, bits);
+  m.SetBit(bits - 1);
+  m.SetBit(0);
+  BigUInt base = BigUInt::RandomBelow(&rng, m);
+  BigUInt exp = BigUInt::RandomBits(&rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ModPow(base, exp, m));
+  }
+}
+BENCHMARK(BM_ModPow)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_ModPowGenericPath(benchmark::State& state) {
+  // The pre-Montgomery baseline: square-and-multiply with Knuth-division
+  // reductions (forced by using an even modulus of the same size).
+  Rng rng(33);
+  auto bits = static_cast<size_t>(state.range(0));
+  BigUInt m = BigUInt::RandomBits(&rng, bits);
+  m.SetBit(bits - 1);
+  if (m.IsOdd()) m += BigUInt(1);  // Even => generic path.
+  BigUInt base = BigUInt::RandomBelow(&rng, m);
+  BigUInt exp = BigUInt::RandomBits(&rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ModPow(base, exp, m));
+  }
+}
+BENCHMARK(BM_ModPowGenericPath)->Arg(512)->Arg(1024);
+
+void BM_MontgomeryMultiply(benchmark::State& state) {
+  Rng rng(34);
+  auto bits = static_cast<size_t>(state.range(0));
+  BigUInt m = BigUInt::RandomBits(&rng, bits);
+  m.SetBit(bits - 1);
+  m.SetBit(0);
+  auto ctx = MontgomeryContext::Create(m).ValueOrDie();
+  BigUInt a = ctx.ToMontgomery(BigUInt::RandomBelow(&rng, m));
+  BigUInt b = ctx.ToMontgomery(BigUInt::RandomBelow(&rng, m));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Multiply(a, b));
+  }
+}
+BENCHMARK(BM_MontgomeryMultiply)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_MillerRabin(benchmark::State& state) {
+  Rng rng(4);
+  BigUInt p = RandomPrime(&rng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsProbablePrime(p, &rng, 16));
+  }
+}
+BENCHMARK(BM_MillerRabin)->Arg(256)->Arg(512);
+
+// ---------------------------------------------------------------- crypto --
+
+void BM_Sha256(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)));
+  Rng rng(5);
+  rng.FillBytes(data.data(), data.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 16);
+
+void BM_RsaEncrypt(benchmark::State& state) {
+  Rng rng(6);
+  auto kp = RsaGenerateKeyPair(&rng, static_cast<size_t>(state.range(0)))
+                .ValueOrDie();
+  BigUInt m = BigUInt::RandomBelow(&rng, kp.public_key.n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RsaEncrypt(kp.public_key, m).ValueOrDie());
+  }
+}
+BENCHMARK(BM_RsaEncrypt)->Arg(512)->Arg(1024);
+
+void BM_RsaDecrypt(benchmark::State& state) {
+  Rng rng(7);
+  auto kp = RsaGenerateKeyPair(&rng, static_cast<size_t>(state.range(0)))
+                .ValueOrDie();
+  BigUInt m = BigUInt::RandomBelow(&rng, kp.public_key.n);
+  BigUInt c = RsaEncrypt(kp.public_key, m).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RsaDecrypt(kp.private_key, c).ValueOrDie());
+  }
+}
+BENCHMARK(BM_RsaDecrypt)->Arg(512)->Arg(1024);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  Rng rng(8);
+  auto kp = PaillierGenerateKeyPair(&rng, 512).ValueOrDie();
+  BigUInt m(123456789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PaillierEncrypt(kp.public_key, m, &rng).ValueOrDie());
+  }
+}
+BENCHMARK(BM_PaillierEncrypt);
+
+// ------------------------------------------------------------- protocols --
+
+void BM_Protocol2Batch(benchmark::State& state) {
+  const auto counters = static_cast<size_t>(state.range(0));
+  Network net;
+  net.RegisterParty("H");
+  std::vector<PartyId> providers{net.RegisterParty("P1"),
+                                 net.RegisterParty("P2"),
+                                 net.RegisterParty("P3")};
+  Rng r1(1), r2(2), r3(3), secret(4);
+  std::vector<Rng*> rngs{&r1, &r2, &r3};
+  SecureSumConfig cfg;
+  cfg.input_bound_a = BigUInt(1u << 20);
+  cfg.modulus_s = BigUInt::PowerOfTwo(128);
+  std::vector<std::vector<uint64_t>> inputs(3,
+                                            std::vector<uint64_t>(counters, 7));
+  for (auto _ : state) {
+    SecureSumProtocol proto(&net, providers, providers[2], cfg);
+    benchmark::DoNotOptimize(
+        proto.RunProtocol2(inputs, rngs, &secret, "bm.").ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Protocol2Batch)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_Protocol4EndToEnd(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  auto graph = ErdosRenyiArcs(&rng, n, 5 * n).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.3);
+  CascadeParams params;
+  params.num_actions = 50;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  auto logs = ExclusivePartition(&rng, log, 3).ValueOrDie();
+  Network net;
+  PartyId host = net.RegisterParty("H");
+  std::vector<PartyId> providers{net.RegisterParty("P1"),
+                                 net.RegisterParty("P2"),
+                                 net.RegisterParty("P3")};
+  Rng r1(1), r2(2), r3(3), hr(4), secret(5);
+  std::vector<Rng*> rngs{&r1, &r2, &r3};
+  Protocol4Config cfg;
+  for (auto _ : state) {
+    LinkInfluenceProtocol proto(&net, host, providers, cfg);
+    benchmark::DoNotOptimize(
+        proto.Run(graph, 50, logs, &hr, rngs, &secret).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.num_arcs()));
+}
+BENCHMARK(BM_Protocol4EndToEnd)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------- influence --
+
+void BM_ComputeCounters(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(10);
+  auto graph = ErdosRenyiArcs(&rng, n, 8 * n).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.3);
+  CascadeParams params;
+  params.num_actions = 200;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeFollowCounts(log, graph.arcs(), 4));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.num_arcs()));
+}
+BENCHMARK(BM_ComputeCounters)->Arg(200)->Arg(1000);
+
+void BM_UserScores(benchmark::State& state) {
+  Rng rng(11);
+  auto graph = ErdosRenyiArcs(&rng, 150, 900).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.4);
+  CascadeParams params;
+  params.num_actions = static_cast<size_t>(state.range(0));
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  UserScoreOptions opt;
+  opt.tau = 12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeUserInfluenceScores(graph, log, opt).ValueOrDie());
+  }
+}
+BENCHMARK(BM_UserScores)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_CelfSeedSelection(benchmark::State& state) {
+  Rng rng(12);
+  auto graph = BarabasiAlbert(&rng, static_cast<size_t>(state.range(0)), 2)
+                   .ValueOrDie();
+  ArcProbabilities probs(graph.num_arcs(), 0.1);
+  for (auto _ : state) {
+    Rng opt(13);
+    benchmark::DoNotOptimize(
+        CelfInfluenceMaximization(graph, probs, 5, &opt, 50).ValueOrDie());
+  }
+}
+BENCHMARK(BM_CelfSeedSelection)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+void BM_CascadeGeneration(benchmark::State& state) {
+  Rng rng(14);
+  auto graph = ErdosRenyiArcs(&rng, 500, 4000).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.2);
+  CascadeParams params;
+  params.num_actions = 100;
+  for (auto _ : state) {
+    Rng gen(15);
+    benchmark::DoNotOptimize(
+        GenerateCascades(&gen, graph, truth, params).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_CascadeGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace psi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Shared scaffolding for the table/figure benches: builds a synthetic world
+// (graph + cascades + provider partition) and a party roster on a fresh
+// metered network.
+
+#ifndef PSI_BENCH_BENCH_UTIL_H_
+#define PSI_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actionlog/generator.h"
+#include "actionlog/partition.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "net/network.h"
+
+namespace psi {
+namespace bench {
+
+/// \brief A complete synthetic deployment for one bench configuration.
+struct World {
+  std::unique_ptr<SocialGraph> graph;
+  GroundTruthInfluence truth;
+  ActionLog log;
+  std::vector<ActionLog> provider_logs;
+  Network net;
+  PartyId host;
+  std::vector<PartyId> providers;
+  std::vector<std::unique_ptr<Rng>> provider_rngs;
+  std::unique_ptr<Rng> host_rng;
+  std::unique_ptr<Rng> pair_secret;
+  std::unique_ptr<Rng> class_secret;
+
+  std::vector<Rng*> RngPtrs() {
+    std::vector<Rng*> out;
+    for (auto& r : provider_rngs) out.push_back(r.get());
+    return out;
+  }
+};
+
+inline std::unique_ptr<World> MakeWorld(size_t num_providers,
+                                        size_t num_users, size_t num_arcs,
+                                        size_t num_actions,
+                                        uint64_t seed = 42) {
+  auto world = std::make_unique<World>();
+  World& w = *world;
+  Rng rng(seed);
+  w.graph = std::make_unique<SocialGraph>(
+      ErdosRenyiArcs(&rng, num_users, num_arcs).ValueOrDie());
+  w.truth = GroundTruthInfluence::Random(&rng, *w.graph, 0.05, 0.6);
+  CascadeParams params;
+  params.num_actions = num_actions;
+  params.seeds_per_action = 2;
+  w.log = GenerateCascades(&rng, *w.graph, w.truth, params).ValueOrDie();
+  w.provider_logs =
+      ExclusivePartition(&rng, w.log, num_providers).ValueOrDie();
+  w.host = w.net.RegisterParty("H");
+  for (size_t k = 0; k < num_providers; ++k) {
+    w.providers.push_back(w.net.RegisterParty("P" + std::to_string(k + 1)));
+    w.provider_rngs.push_back(std::make_unique<Rng>(seed * 100 + k));
+  }
+  w.host_rng = std::make_unique<Rng>(seed + 1);
+  w.pair_secret = std::make_unique<Rng>(seed + 2);
+  w.class_secret = std::make_unique<Rng>(seed + 3);
+  return world;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace psi
+
+#endif  // PSI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,84 @@
+// User influence scores (Section 6): the alternative to the full influence
+// maximization framework. H obtains every propagation graph PG(alpha)
+// through Protocol 6, the action counts a_i through the Protocol 4
+// machinery, and scores every user by the average size of its tau-influence
+// sphere (Definition 3.3) — then ranks the top influencers.
+
+#include <cstdio>
+
+#include "actionlog/generator.h"
+#include "actionlog/partition.h"
+#include "graph/generators.h"
+#include "influence/user_score.h"
+#include "mpc/secure_user_score.h"
+
+using namespace psi;  // Example code only.
+
+int main() {
+  constexpr size_t kUsers = 60;
+  constexpr size_t kProviders = 3;
+  constexpr size_t kActions = 80;
+
+  Rng rng(99);
+  SocialGraph graph = WattsStrogatz(&rng, kUsers, 3, 0.2).ValueOrDie();
+  auto truth = GroundTruthInfluence::Random(&rng, graph, 0.1, 0.6);
+  CascadeParams cascade;
+  cascade.num_actions = kActions;
+  ActionLog log = GenerateCascades(&rng, graph, truth, cascade).ValueOrDie();
+  std::vector<ActionLog> provider_logs =
+      ExclusivePartition(&rng, log, kProviders).ValueOrDie();
+
+  Network net;
+  PartyId host = net.RegisterParty("H");
+  std::vector<PartyId> providers;
+  std::vector<Rng> rng_store;
+  for (size_t k = 0; k < kProviders; ++k) {
+    providers.push_back(net.RegisterParty("P" + std::to_string(k + 1)));
+    rng_store.emplace_back(200 + k);
+  }
+  std::vector<Rng*> provider_rngs;
+  for (auto& r : rng_store) provider_rngs.push_back(&r);
+  Rng host_rng(5), pair_secret(6);
+
+  SecureScoreConfig config;
+  config.protocol6.rsa_bits = 512;
+  config.protocol6.encryption = Protocol6Config::EncryptionMode::kHybrid;
+  config.score_options.tau = 12;  // Max propagation time for a sphere.
+
+  SecureUserScoreProtocol pipeline(&net, host, providers, config);
+  std::vector<double> scores =
+      pipeline.Run(graph, kActions, provider_logs, &host_rng, provider_rngs,
+                   &pair_secret)
+          .ValueOrDie();
+
+  // Cross-check against the all-data-in-one-place baseline.
+  std::vector<double> plain =
+      ComputeUserInfluenceScores(graph, log, config.score_options)
+          .ValueOrDie();
+  double max_err = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    max_err = std::max(max_err, std::abs(scores[i] - plain[i]));
+  }
+
+  std::printf("tau = %llu influence scores for %zu users (max err vs "
+              "plaintext: %.1e)\n\n",
+              static_cast<unsigned long long>(config.score_options.tau),
+              scores.size(), max_err);
+  std::printf("Top influencers (score = avg sphere size over their "
+              "actions):\n");
+  std::printf("%6s %10s %14s %12s\n", "user", "score", "actions done",
+              "out-degree");
+  for (NodeId u : TopKUsers(scores, 10)) {
+    std::printf("%6u %10.3f %14llu %12zu\n", u, scores[u],
+                static_cast<unsigned long long>(
+                    pipeline.revealed_action_counts()[u]),
+                graph.OutDegree(u));
+  }
+  std::printf(
+      "\nNote: H never saw a raw purchase record — only encrypted Delta\n"
+      "vectors (relayed blindly by P1) and masked counter shares.\n");
+  std::printf("Communication: %llu bytes over %llu rounds.\n",
+              static_cast<unsigned long long>(net.Report().num_bytes),
+              static_cast<unsigned long long>(net.Report().num_rounds));
+  return 0;
+}

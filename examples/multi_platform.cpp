@@ -1,0 +1,100 @@
+// Multi-platform influence learning — the Section 8 "multiple hosts"
+// future-work setting, implemented as an extension.
+//
+// Two social platforms (think: a microblog and a photo network) each know a
+// different slice of the real relationship graph. Three providers hold the
+// purchase logs. One amortized protocol execution leaves *each* platform
+// with the influence strengths of exactly its own links — neither platform
+// learns the other's edge set, and no provider log leaves its owner.
+
+#include <cstdio>
+#include <memory>
+
+#include "actionlog/generator.h"
+#include "actionlog/partition.h"
+#include "graph/generators.h"
+#include "influence/link_influence.h"
+#include "mpc/multi_host.h"
+
+using namespace psi;  // Example code only.
+
+int main() {
+  constexpr size_t kUsers = 50;
+  constexpr size_t kProviders = 3;
+  constexpr size_t kActions = 80;
+
+  // The (unobservable) real relationship graph drives the cascades.
+  Rng rng(314);
+  SocialGraph reality = BarabasiAlbert(&rng, kUsers, 3).ValueOrDie();
+  auto truth = GroundTruthInfluence::Random(&rng, reality, 0.1, 0.6);
+  CascadeParams cascade;
+  cascade.num_actions = kActions;
+  ActionLog log = GenerateCascades(&rng, reality, truth, cascade).ValueOrDie();
+  auto provider_logs = ExclusivePartition(&rng, log, kProviders).ValueOrDie();
+
+  // Each platform observed ~55% of the real arcs (partially overlapping).
+  std::vector<std::unique_ptr<SocialGraph>> platforms;
+  for (int h = 0; h < 2; ++h) {
+    auto g = std::make_unique<SocialGraph>(kUsers);
+    for (const Arc& a : reality.arcs()) {
+      if (rng.Bernoulli(0.55)) PSI_CHECK_OK(g->AddArc(a.from, a.to));
+    }
+    platforms.push_back(std::move(g));
+  }
+  std::printf("Platform A knows %zu arcs, platform B knows %zu arcs "
+              "(of %zu real ones)\n",
+              platforms[0]->num_arcs(), platforms[1]->num_arcs(),
+              reality.num_arcs());
+
+  Network net;
+  std::vector<PartyId> hosts{net.RegisterParty("Platform A"),
+                             net.RegisterParty("Platform B")};
+  std::vector<PartyId> providers;
+  std::vector<Rng> rng_store;
+  for (size_t k = 0; k < kProviders; ++k) {
+    providers.push_back(net.RegisterParty("P" + std::to_string(k + 1)));
+    rng_store.emplace_back(100 + k);
+  }
+  std::vector<Rng*> provider_rngs;
+  for (auto& r : rng_store) provider_rngs.push_back(&r);
+  Rng hostA_rng(1), hostB_rng(2), pair_secret(3);
+  std::vector<Rng*> host_rngs{&hostA_rng, &hostB_rng};
+
+  Protocol4Config config;
+  config.h = 4;
+  MultiHostLinkInfluenceProtocol protocol(&net, hosts, providers, config);
+  std::vector<const SocialGraph*> graph_ptrs{platforms[0].get(),
+                                             platforms[1].get()};
+  auto results = protocol.Run(graph_ptrs, kActions, provider_logs, host_rngs,
+                              provider_rngs, &pair_secret)
+                     .ValueOrDie();
+
+  for (size_t h = 0; h < 2; ++h) {
+    auto plain =
+        ComputeLinkInfluence(log, platforms[h]->arcs(), kUsers, config.h)
+            .ValueOrDie();
+    double mae = MeanAbsoluteError(results[h], plain).ValueOrDie();
+    double strongest = 0;
+    size_t strongest_arc = 0;
+    for (size_t e = 0; e < results[h].p.size(); ++e) {
+      if (results[h].p[e] > strongest) {
+        strongest = results[h].p[e];
+        strongest_arc = e;
+      }
+    }
+    std::printf(
+        "Platform %c: %zu strengths learned (MAE vs plaintext %.1e); "
+        "strongest link %u->%u at %.2f\n",
+        static_cast<char>('A' + h), results[h].p.size(), mae,
+        results[h].pairs[strongest_arc].from,
+        results[h].pairs[strongest_arc].to, strongest);
+  }
+  auto report = net.Report();
+  std::printf(
+      "\nOne amortized execution: %llu rounds, %llu messages, %llu bytes\n"
+      "(the m^2 share exchange was paid once for both platforms).\n",
+      static_cast<unsigned long long>(report.num_rounds),
+      static_cast<unsigned long long>(report.num_messages),
+      static_cast<unsigned long long>(report.num_bytes));
+  return 0;
+}

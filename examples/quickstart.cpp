@@ -1,0 +1,70 @@
+// Quickstart: the smallest complete use of the library.
+//
+// A host H with a private social graph and two service providers with
+// private purchase logs jointly compute the influence strength of every
+// link (Protocol 4), and we verify at the end that the secure result equals
+// what a trusted party with all the data would have computed.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "actionlog/generator.h"
+#include "actionlog/partition.h"
+#include "graph/generators.h"
+#include "influence/link_influence.h"
+#include "mpc/link_influence_protocol.h"
+
+using namespace psi;  // Example code only; library code never does this.
+
+int main() {
+  // --- The world: a social graph at H, activity logs at the providers. ---
+  Rng rng(2014);
+  SocialGraph graph = ErdosRenyiArcs(&rng, /*num_nodes=*/30, /*num_arcs=*/120)
+                          .ValueOrDie();
+  auto truth = GroundTruthInfluence::Random(&rng, graph, 0.1, 0.6);
+  CascadeParams cascade;
+  cascade.num_actions = 50;  // 50 products propagate through the network.
+  ActionLog unified_log =
+      GenerateCascades(&rng, graph, truth, cascade).ValueOrDie();
+  // Exclusive case: every product is sold by exactly one provider.
+  std::vector<ActionLog> provider_logs =
+      ExclusivePartition(&rng, unified_log, /*num_providers=*/2).ValueOrDie();
+
+  // --- The parties. ---
+  Network net;
+  PartyId host = net.RegisterParty("H (social network)");
+  std::vector<PartyId> providers{net.RegisterParty("P1 (book store)"),
+                                 net.RegisterParty("P2 (music store)")};
+  Rng host_rng(1), p1_rng(2), p2_rng(3);
+  Rng pair_secret(4);  // P1/P2 pre-shared key material.
+  std::vector<Rng*> provider_rngs{&p1_rng, &p2_rng};
+
+  // --- Protocol 4: H learns p_ij for every arc of its graph. ---
+  Protocol4Config config;
+  config.h = 4;  // Memory window: follows within 4 time steps count.
+  LinkInfluenceProtocol protocol(&net, host, providers, config);
+  LinkInfluence secure =
+      protocol.Run(graph, cascade.num_actions, provider_logs, &host_rng,
+                   provider_rngs, &pair_secret)
+          .ValueOrDie();
+
+  // --- Verify against the plaintext baseline. ---
+  LinkInfluence plain = ComputeLinkInfluence(unified_log, graph.arcs(),
+                                             graph.num_nodes(), config.h)
+                            .ValueOrDie();
+  double mae = MeanAbsoluteError(secure, plain).ValueOrDie();
+
+  std::printf("Secure link influence computed for %zu arcs.\n",
+              secure.pairs.size());
+  std::printf("First few strengths (arc: secure | plaintext):\n");
+  for (size_t e = 0; e < 8 && e < secure.pairs.size(); ++e) {
+    std::printf("  %2u -> %-2u : %.4f | %.4f\n", secure.pairs[e].from,
+                secure.pairs[e].to, secure.p[e], plain.p[e]);
+  }
+  std::printf("Mean absolute error vs plaintext: %.2e (exact)\n", mae);
+  std::printf("\nCommunication transcript:\n%s", net.Report().ToString().c_str());
+  return 0;
+}

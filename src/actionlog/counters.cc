@@ -1,0 +1,119 @@
+#include "actionlog/counters.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace psi {
+
+std::vector<uint64_t> ComputeActionCounts(const ActionLog& log,
+                                          size_t num_users) {
+  std::vector<uint64_t> a(num_users, 0);
+  for (const auto& r : log.records()) {
+    if (r.user < num_users) ++a[r.user];
+  }
+  return a;
+}
+
+std::vector<uint64_t> ComputeFollowCounts(const ActionLog& log,
+                                          const std::vector<Arc>& pairs,
+                                          uint64_t h) {
+  std::vector<uint64_t> b(pairs.size(), 0);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const auto& i_actions = log.UserIndex(pairs[p].from);
+    const auto& j_actions = log.UserIndex(pairs[p].to);
+    // Iterate over the smaller index for speed; membership test on the other.
+    if (i_actions.size() <= j_actions.size()) {
+      for (const auto& [action, ti] : i_actions) {
+        auto it = j_actions.find(action);
+        if (it != j_actions.end() && it->second > ti &&
+            it->second <= ti + h) {
+          ++b[p];
+        }
+      }
+    } else {
+      for (const auto& [action, tj] : j_actions) {
+        auto it = i_actions.find(action);
+        if (it != i_actions.end() && tj > it->second &&
+            tj <= it->second + h) {
+          ++b[p];
+        }
+      }
+    }
+  }
+  return b;
+}
+
+std::vector<std::vector<uint64_t>> ComputeExactDelayCounts(
+    const ActionLog& log, const std::vector<Arc>& pairs, uint64_t h) {
+  std::vector<std::vector<uint64_t>> c(pairs.size(),
+                                       std::vector<uint64_t>(h, 0));
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const auto& i_actions = log.UserIndex(pairs[p].from);
+    const auto& j_actions = log.UserIndex(pairs[p].to);
+    for (const auto& [action, ti] : i_actions) {
+      auto it = j_actions.find(action);
+      if (it != j_actions.end() && it->second > ti && it->second <= ti + h) {
+        ++c[p][it->second - ti - 1];
+      }
+    }
+  }
+  return c;
+}
+
+TemporalWeights TemporalWeights::Uniform(uint64_t h) {
+  PSI_CHECK(h > 0) << "window width must be positive";
+  TemporalWeights tw;
+  tw.w.assign(h, 1.0);
+  return tw;
+}
+
+TemporalWeights TemporalWeights::LinearDecay(uint64_t h) {
+  PSI_CHECK(h > 0) << "window width must be positive";
+  TemporalWeights tw;
+  tw.w.resize(h);
+  double sum = 0.0;
+  for (uint64_t l = 0; l < h; ++l) {
+    tw.w[l] = static_cast<double>(h - l);
+    sum += tw.w[l];
+  }
+  for (auto& x : tw.w) x *= static_cast<double>(h) / sum;
+  return tw;
+}
+
+TemporalWeights TemporalWeights::ExponentialDecay(uint64_t h, double rate) {
+  PSI_CHECK(h > 0) << "window width must be positive";
+  PSI_CHECK(rate >= 0.0) << "decay rate must be non-negative";
+  TemporalWeights tw;
+  tw.w.resize(h);
+  double sum = 0.0;
+  for (uint64_t l = 0; l < h; ++l) {
+    tw.w[l] = std::exp(-rate * static_cast<double>(l));
+    sum += tw.w[l];
+  }
+  for (auto& x : tw.w) x *= static_cast<double>(h) / sum;
+  return tw;
+}
+
+std::vector<uint64_t> TemporalWeights::Scaled(uint64_t scale) const {
+  std::vector<uint64_t> out(w.size());
+  for (size_t l = 0; l < w.size(); ++l) {
+    out[l] = static_cast<uint64_t>(std::llround(w[l] * static_cast<double>(scale)));
+  }
+  return out;
+}
+
+std::vector<double> ComputeWeightedFollowCounts(
+    const ActionLog& log, const std::vector<Arc>& pairs,
+    const TemporalWeights& weights) {
+  auto c = ComputeExactDelayCounts(log, pairs, weights.h());
+  std::vector<double> out(pairs.size(), 0.0);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    for (uint64_t l = 0; l < weights.h(); ++l) {
+      out[p] += weights.w[l] * static_cast<double>(c[p][l]);
+    }
+  }
+  return out;
+}
+
+}  // namespace psi

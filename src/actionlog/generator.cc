@@ -1,0 +1,82 @@
+#include "actionlog/generator.h"
+
+#include <queue>
+#include <unordered_map>
+
+namespace psi {
+
+GroundTruthInfluence GroundTruthInfluence::Uniform(const SocialGraph& graph,
+                                                   double p) {
+  GroundTruthInfluence t;
+  t.prob.assign(graph.num_arcs(), p);
+  return t;
+}
+
+GroundTruthInfluence GroundTruthInfluence::Random(Rng* rng,
+                                                  const SocialGraph& graph,
+                                                  double lo, double hi) {
+  GroundTruthInfluence t;
+  t.prob.resize(graph.num_arcs());
+  for (auto& p : t.prob) p = rng->UniformReal(lo, hi);
+  return t;
+}
+
+Result<ActionLog> GenerateCascades(Rng* rng, const SocialGraph& graph,
+                                   const GroundTruthInfluence& truth,
+                                   const CascadeParams& params) {
+  if (truth.prob.size() != graph.num_arcs()) {
+    return Status::InvalidArgument(
+        "ground truth size does not match arc count");
+  }
+  if (params.seeds_per_action == 0 || params.max_delay == 0) {
+    return Status::InvalidArgument("seeds and max_delay must be positive");
+  }
+  const size_t n = graph.num_nodes();
+  if (params.seeds_per_action > n) {
+    return Status::InvalidArgument("more seeds than users");
+  }
+
+  // Arc index lookup so cascades can read per-arc probabilities.
+  std::unordered_map<uint64_t, size_t> arc_index;
+  arc_index.reserve(graph.num_arcs());
+  for (size_t k = 0; k < graph.num_arcs(); ++k) {
+    const Arc& a = graph.arcs()[k];
+    arc_index.emplace((static_cast<uint64_t>(a.from) << 32) | a.to, k);
+  }
+
+  ActionLog log;
+  std::vector<uint64_t> adoption_time(n);
+  std::vector<bool> adopted(n);
+  for (ActionId action = 0; action < params.num_actions; ++action) {
+    std::fill(adopted.begin(), adopted.end(), false);
+    // Event queue ordered by adoption time.
+    using Event = std::pair<uint64_t, NodeId>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+    for (size_t s = 0; s < params.seeds_per_action; ++s) {
+      auto seed = static_cast<NodeId>(rng->UniformU64(n));
+      uint64_t t0 = rng->UniformU64(params.start_time_span);
+      events.push({t0, seed});
+    }
+
+    while (!events.empty()) {
+      auto [t, u] = events.top();
+      events.pop();
+      if (adopted[u]) continue;  // First adoption wins.
+      adopted[u] = true;
+      adoption_time[u] = t;
+      log.Add(ActionRecord{u, action, t});
+      for (NodeId v : graph.OutNeighbors(u)) {
+        if (adopted[v]) continue;
+        size_t k = arc_index.at((static_cast<uint64_t>(u) << 32) | v);
+        if (rng->Bernoulli(truth.prob[k])) {
+          uint64_t delay = 1 + rng->UniformU64(params.max_delay);
+          events.push({t + delay, v});
+        }
+      }
+    }
+  }
+  return log;
+}
+
+}  // namespace psi

@@ -1,0 +1,31 @@
+// Text serialization of action logs, so providers can load real activity
+// exports.
+//
+// Format (one record per line, '#' comments allowed):
+//   <user> <action> <time>
+
+#ifndef PSI_ACTIONLOG_IO_H_
+#define PSI_ACTIONLOG_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "actionlog/action_log.h"
+#include "common/status.h"
+
+namespace psi {
+
+/// \brief Writes the log to a stream (one "user action time" line each).
+Status WriteActionLogText(const ActionLog& log, std::ostream* out);
+
+/// \brief Reads a log from a stream (duplicates collapse per the at-most-
+/// once rule).
+Result<ActionLog> ReadActionLogText(std::istream* in);
+
+/// \brief File conveniences.
+Status SaveActionLog(const ActionLog& log, const std::string& path);
+Result<ActionLog> LoadActionLog(const std::string& path);
+
+}  // namespace psi
+
+#endif  // PSI_ACTIONLOG_IO_H_

@@ -1,0 +1,87 @@
+#include "actionlog/partition.h"
+
+#include <algorithm>
+
+namespace psi {
+
+Result<std::vector<ActionLog>> ExclusivePartition(Rng* rng,
+                                                  const ActionLog& log,
+                                                  size_t num_providers) {
+  if (num_providers == 0) {
+    return Status::InvalidArgument("need at least one provider");
+  }
+  ActionId num_actions = log.MaxActionId();
+  std::vector<size_t> owner(num_actions);
+  for (auto& o : owner) o = rng->UniformU64(num_providers);
+
+  std::vector<ActionLog> logs(num_providers);
+  for (const auto& r : log.records()) {
+    logs[owner[r.action]].Add(r);
+  }
+  return logs;
+}
+
+Status ActionClassConfig::Validate(size_t num_providers) const {
+  if (provider_groups.empty()) {
+    return Status::InvalidArgument("no action classes");
+  }
+  for (const auto& group : provider_groups) {
+    if (group.empty()) {
+      return Status::InvalidArgument("empty provider group");
+    }
+    for (size_t p : group) {
+      if (p >= num_providers) {
+        return Status::OutOfRange("provider index out of range");
+      }
+    }
+  }
+  for (uint32_t q : class_of_action) {
+    if (q >= provider_groups.size()) {
+      return Status::OutOfRange("action class out of range");
+    }
+  }
+  return Status::OK();
+}
+
+Result<ActionClassConfig> ActionClassConfig::Random(
+    Rng* rng, size_t num_actions, size_t num_classes, size_t num_providers,
+    size_t min_group, size_t max_group) {
+  if (num_classes == 0 || num_providers == 0) {
+    return Status::InvalidArgument("classes and providers must be positive");
+  }
+  if (min_group == 0 || min_group > max_group || max_group > num_providers) {
+    return Status::InvalidArgument("bad group size bounds");
+  }
+  ActionClassConfig cfg;
+  cfg.class_of_action.resize(num_actions);
+  for (auto& q : cfg.class_of_action) {
+    q = static_cast<uint32_t>(rng->UniformU64(num_classes));
+  }
+  cfg.provider_groups.resize(num_classes);
+  for (auto& group : cfg.provider_groups) {
+    size_t size = min_group + rng->UniformU64(max_group - min_group + 1);
+    std::vector<size_t> all = rng->Permutation(num_providers);
+    group.assign(all.begin(), all.begin() + static_cast<ptrdiff_t>(size));
+    std::sort(group.begin(), group.end());
+  }
+  return cfg;
+}
+
+Result<std::vector<ActionLog>> NonExclusivePartition(
+    Rng* rng, const ActionLog& log, size_t num_providers,
+    const ActionClassConfig& config) {
+  PSI_RETURN_NOT_OK(config.Validate(num_providers));
+  ActionId num_actions = log.MaxActionId();
+  if (config.class_of_action.size() < num_actions) {
+    return Status::InvalidArgument("config does not cover all actions");
+  }
+  std::vector<ActionLog> logs(num_providers);
+  for (const auto& r : log.records()) {
+    const auto& group = config.provider_groups[config.class_of_action[r.action]];
+    size_t provider = group[rng->UniformU64(group.size())];
+    logs[provider].Add(r);
+  }
+  return logs;
+}
+
+}  // namespace psi

@@ -1,0 +1,59 @@
+// Distribution of the unified log across service providers.
+//
+// Exclusive case (Section 5.1): every action is supported by exactly one
+// provider — all of its records land in one log.
+//
+// Non-exclusive case (Section 5.2): actions belong to classes A_q (books,
+// movies, petitions, ...); each class is supported by a provider group P_q,
+// and each record of a class-q action lands at one provider from P_q
+// (the user chose where to buy). The propagation trace of one action can
+// therefore be scattered across providers, which is exactly the situation
+// Protocol 5's preprocessing repairs.
+
+#ifndef PSI_ACTIONLOG_PARTITION_H_
+#define PSI_ACTIONLOG_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace psi {
+
+/// \brief Splits the log by assigning every action to one uniform provider.
+Result<std::vector<ActionLog>> ExclusivePartition(Rng* rng,
+                                                  const ActionLog& log,
+                                                  size_t num_providers);
+
+/// \brief The public class structure of the non-exclusive case. The classes
+/// A_q and groups P_q are known to all players (Section 5.2).
+struct ActionClassConfig {
+  /// class_of_action[a] = q, the class of action a.
+  std::vector<uint32_t> class_of_action;
+  /// provider_groups[q] = sorted provider indices supporting class q.
+  std::vector<std::vector<size_t>> provider_groups;
+
+  size_t num_classes() const { return provider_groups.size(); }
+
+  /// \brief Validates shape: every class non-empty, every action classed.
+  Status Validate(size_t num_providers) const;
+
+  /// \brief Random config: `num_classes` classes, each supported by a
+  /// uniformly chosen group of between min_group and max_group providers.
+  static Result<ActionClassConfig> Random(Rng* rng, size_t num_actions,
+                                          size_t num_classes,
+                                          size_t num_providers,
+                                          size_t min_group, size_t max_group);
+};
+
+/// \brief Splits the log per the class structure: each record of a class-q
+/// action goes to a uniformly random provider in P_q.
+Result<std::vector<ActionLog>> NonExclusivePartition(
+    Rng* rng, const ActionLog& log, size_t num_providers,
+    const ActionClassConfig& config);
+
+}  // namespace psi
+
+#endif  // PSI_ACTIONLOG_PARTITION_H_

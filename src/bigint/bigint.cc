@@ -1,0 +1,99 @@
+#include "bigint/bigint.h"
+
+#include "common/logging.h"
+
+namespace psi {
+
+Result<BigInt> BigInt::FromDecimalString(std::string_view s) {
+  bool neg = false;
+  if (!s.empty() && s[0] == '-') {
+    neg = true;
+    s.remove_prefix(1);
+  }
+  PSI_ASSIGN_OR_RETURN(BigUInt mag, BigUInt::FromDecimalString(s));
+  return BigInt(std::move(mag), neg);
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  if (negative_ == rhs.negative_) {
+    return BigInt(magnitude_ + rhs.magnitude_, negative_);
+  }
+  // Opposite signs: result takes the sign of the larger magnitude.
+  if (magnitude_ >= rhs.magnitude_) {
+    return BigInt(magnitude_ - rhs.magnitude_, negative_);
+  }
+  return BigInt(rhs.magnitude_ - magnitude_, rhs.negative_);
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const { return *this + (-rhs); }
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  return BigInt(magnitude_ * rhs.magnitude_, negative_ != rhs.negative_);
+}
+
+BigInt BigInt::operator/(const BigInt& rhs) const {
+  PSI_CHECK(!rhs.IsZero()) << "BigInt division by zero";
+  return BigInt(magnitude_ / rhs.magnitude_, negative_ != rhs.negative_);
+}
+
+BigInt BigInt::operator%(const BigInt& rhs) const {
+  PSI_CHECK(!rhs.IsZero()) << "BigInt modulo by zero";
+  return BigInt(magnitude_ % rhs.magnitude_, negative_);
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& rhs) const {
+  if (negative_ != rhs.negative_) {
+    return negative_ ? std::strong_ordering::less
+                     : std::strong_ordering::greater;
+  }
+  auto mag = magnitude_ <=> rhs.magnitude_;
+  if (!negative_) return mag;
+  // Both negative: larger magnitude means smaller value.
+  if (mag == std::strong_ordering::less) return std::strong_ordering::greater;
+  if (mag == std::strong_ordering::greater) return std::strong_ordering::less;
+  return std::strong_ordering::equal;
+}
+
+BigUInt BigInt::Mod(const BigUInt& m) const {
+  PSI_CHECK(!m.IsZero()) << "modulus must be positive";
+  BigUInt r = magnitude_ % m;
+  if (negative_ && !r.IsZero()) r = m - r;
+  return r;
+}
+
+Result<int64_t> BigInt::ToInt64() const {
+  PSI_ASSIGN_OR_RETURN(uint64_t mag, magnitude_.ToUint64());
+  if (!negative_) {
+    if (mag > static_cast<uint64_t>(INT64_MAX)) {
+      return Status::OutOfRange("value exceeds int64 range");
+    }
+    return static_cast<int64_t>(mag);
+  }
+  if (mag > static_cast<uint64_t>(INT64_MAX) + 1) {
+    return Status::OutOfRange("value below int64 range");
+  }
+  if (mag == static_cast<uint64_t>(INT64_MAX) + 1) return INT64_MIN;
+  return -static_cast<int64_t>(mag);
+}
+
+std::string BigInt::ToDecimalString() const {
+  std::string s = magnitude_.ToDecimalString();
+  return negative_ ? "-" + s : s;
+}
+
+void WriteBigInt(BinaryWriter* w, const BigInt& v) {
+  w->WriteU8(v.IsNegative() ? 1 : 0);
+  WriteBigUInt(w, v.magnitude());
+}
+
+Status ReadBigInt(BinaryReader* r, BigInt* out) {
+  uint8_t sign;
+  PSI_RETURN_NOT_OK(r->ReadU8(&sign));
+  if (sign > 1) return Status::SerializationError("invalid BigInt sign byte");
+  BigUInt mag;
+  PSI_RETURN_NOT_OK(ReadBigUInt(r, &mag));
+  *out = BigInt(std::move(mag), sign == 1);
+  return Status::OK();
+}
+
+}  // namespace psi

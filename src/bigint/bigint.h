@@ -1,0 +1,91 @@
+// Signed arbitrary-precision integers (sign-and-magnitude over BigUInt).
+//
+// Protocol 2 can leave player P2 with a *negative* integer share
+// (s2 <- s2 - S), so the share arithmetic in the MPC layer is signed.
+
+#ifndef PSI_BIGINT_BIGINT_H_
+#define PSI_BIGINT_BIGINT_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bigint/biguint.h"
+
+namespace psi {
+
+/// \brief Arbitrary-precision signed integer.
+class BigInt {
+ public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Constructs from a native signed value (implicit for literal ergonomics).
+  BigInt(int64_t v)  // NOLINT(runtime/explicit)
+      : negative_(v < 0),
+        magnitude_(v < 0 ? static_cast<uint64_t>(-(v + 1)) + 1
+                         : static_cast<uint64_t>(v)) {}
+
+  /// Constructs from a magnitude and sign. A zero magnitude is non-negative.
+  BigInt(BigUInt magnitude, bool negative)
+      : negative_(negative && !magnitude.IsZero()),
+        magnitude_(std::move(magnitude)) {}
+
+  /// Constructs a non-negative value from a BigUInt.
+  BigInt(BigUInt magnitude)  // NOLINT(runtime/explicit)
+      : magnitude_(std::move(magnitude)) {}
+
+  /// \brief Parses optional leading '-' followed by decimal digits.
+  static Result<BigInt> FromDecimalString(std::string_view s);
+
+  bool IsZero() const { return magnitude_.IsZero(); }
+  bool IsNegative() const { return negative_; }
+  const BigUInt& magnitude() const { return magnitude_; }
+
+  BigInt operator-() const { return BigInt(magnitude_, !negative_); }
+
+  BigInt operator+(const BigInt& rhs) const;
+  BigInt operator-(const BigInt& rhs) const;
+  BigInt operator*(const BigInt& rhs) const;
+
+  /// \brief Truncated division (C++ semantics); aborts on zero divisor.
+  BigInt operator/(const BigInt& rhs) const;
+
+  /// \brief Remainder with the sign of the dividend (C++ semantics).
+  BigInt operator%(const BigInt& rhs) const;
+
+  BigInt& operator+=(const BigInt& rhs) { return *this = *this + rhs; }
+  BigInt& operator-=(const BigInt& rhs) { return *this = *this - rhs; }
+  BigInt& operator*=(const BigInt& rhs) { return *this = *this * rhs; }
+
+  std::strong_ordering operator<=>(const BigInt& rhs) const;
+  bool operator==(const BigInt& rhs) const {
+    return negative_ == rhs.negative_ && magnitude_ == rhs.magnitude_;
+  }
+
+  /// \brief Canonical non-negative residue in [0, m). Aborts if m == 0.
+  BigUInt Mod(const BigUInt& m) const;
+
+  /// \brief Checked narrowing to int64_t.
+  Result<int64_t> ToInt64() const;
+
+  /// \brief Nearest double.
+  double ToDouble() const {
+    return negative_ ? -magnitude_.ToDouble() : magnitude_.ToDouble();
+  }
+
+  std::string ToDecimalString() const;
+
+ private:
+  bool negative_ = false;
+  BigUInt magnitude_;
+};
+
+/// \brief Wire format: 1 sign byte then the magnitude.
+void WriteBigInt(BinaryWriter* w, const BigInt& v);
+Status ReadBigInt(BinaryReader* r, BigInt* out);
+
+}  // namespace psi
+
+#endif  // PSI_BIGINT_BIGINT_H_

@@ -1,0 +1,82 @@
+#include "bigint/modular.h"
+
+#include <utility>
+
+#include "bigint/bigint.h"
+#include "bigint/montgomery.h"
+#include "common/logging.h"
+
+namespace psi {
+
+BigUInt ModAdd(const BigUInt& a, const BigUInt& b, const BigUInt& m) {
+  PSI_DCHECK(a < m && b < m);
+  BigUInt sum = a + b;
+  if (sum >= m) sum -= m;
+  return sum;
+}
+
+BigUInt ModSub(const BigUInt& a, const BigUInt& b, const BigUInt& m) {
+  PSI_DCHECK(a < m && b < m);
+  if (a >= b) return a - b;
+  return m - (b - a);
+}
+
+BigUInt ModMul(const BigUInt& a, const BigUInt& b, const BigUInt& m) {
+  return (a * b) % m;
+}
+
+BigUInt ModPow(const BigUInt& base, const BigUInt& exp, const BigUInt& m) {
+  PSI_CHECK(!m.IsZero()) << "ModPow modulus must be positive";
+  if (m.IsOne()) return BigUInt();
+  // Odd multi-limb moduli (the RSA/Paillier case) route through Montgomery
+  // arithmetic: REDC replaces every Knuth-division reduction. The context
+  // setup costs two divisions, amortized over the exponent bits.
+  if (m.IsOdd() && m.BitLength() >= 128 && exp.BitLength() >= 8) {
+    auto ctx = MontgomeryContext::Create(m);
+    if (ctx.ok()) return ctx->Pow(base, exp);
+  }
+  BigUInt result(1);
+  BigUInt b = base % m;
+  size_t bits = exp.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = ModMul(result, result, m);
+    if (exp.GetBit(i)) result = ModMul(result, b, m);
+  }
+  return result;
+}
+
+BigUInt Gcd(BigUInt a, BigUInt b) {
+  while (!b.IsZero()) {
+    BigUInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigUInt Lcm(const BigUInt& a, const BigUInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigUInt();
+  return (a / Gcd(a, b)) * b;
+}
+
+Result<BigUInt> ModInverse(const BigUInt& a, const BigUInt& m) {
+  if (m < BigUInt(2)) {
+    return Status::InvalidArgument("ModInverse modulus must be >= 2");
+  }
+  // Extended Euclid over signed integers: track r = old_s * a (mod m).
+  BigInt old_r(a % m), r(m);
+  BigInt old_s(1), s(0);
+  while (!r.IsZero()) {
+    BigInt q = old_r / r;
+    BigInt tmp = old_r - q * r;
+    old_r = std::exchange(r, tmp);
+    tmp = old_s - q * s;
+    old_s = std::exchange(s, tmp);
+  }
+  if (!(old_r == BigInt(1))) {
+    return Status::InvalidArgument("ModInverse: arguments are not coprime");
+  }
+  return old_s.Mod(m);
+}
+
+}  // namespace psi

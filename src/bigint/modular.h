@@ -1,0 +1,37 @@
+// Modular arithmetic over BigUInt: the share algebra of Protocols 1-2 and the
+// group operations behind RSA and Paillier.
+
+#ifndef PSI_BIGINT_MODULAR_H_
+#define PSI_BIGINT_MODULAR_H_
+
+#include "bigint/biguint.h"
+#include "common/status.h"
+
+namespace psi {
+
+/// \brief (a + b) mod m. Preconditions: a, b < m.
+BigUInt ModAdd(const BigUInt& a, const BigUInt& b, const BigUInt& m);
+
+/// \brief (a - b) mod m. Preconditions: a, b < m.
+BigUInt ModSub(const BigUInt& a, const BigUInt& b, const BigUInt& m);
+
+/// \brief (a * b) mod m.
+BigUInt ModMul(const BigUInt& a, const BigUInt& b, const BigUInt& m);
+
+/// \brief a^e mod m by left-to-right square-and-multiply. m > 0; 0^0 == 1.
+BigUInt ModPow(const BigUInt& base, const BigUInt& exp, const BigUInt& m);
+
+/// \brief Greatest common divisor (binary-free classic Euclid).
+BigUInt Gcd(BigUInt a, BigUInt b);
+
+/// \brief Least common multiple; 0 if either argument is 0.
+BigUInt Lcm(const BigUInt& a, const BigUInt& b);
+
+/// \brief Multiplicative inverse of a modulo m (extended Euclid).
+///
+/// Returns InvalidArgument if gcd(a, m) != 1 or m < 2.
+Result<BigUInt> ModInverse(const BigUInt& a, const BigUInt& m);
+
+}  // namespace psi
+
+#endif  // PSI_BIGINT_MODULAR_H_

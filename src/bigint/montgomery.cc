@@ -1,0 +1,99 @@
+#include "bigint/montgomery.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace psi {
+
+namespace {
+
+__extension__ typedef unsigned __int128 u128;
+
+// Inverse of an odd 64-bit value modulo 2^64 by Newton-Hensel lifting:
+// each step doubles the number of correct low bits.
+uint64_t InverseMod2e64(uint64_t odd) {
+  uint64_t x = odd;  // Correct to 3 bits (odd*odd == 1 mod 8).
+  for (int i = 0; i < 6; ++i) {
+    x *= 2 - odd * x;
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<MontgomeryContext> MontgomeryContext::Create(const BigUInt& modulus) {
+  if (modulus.IsEven() || modulus < BigUInt(3)) {
+    return Status::InvalidArgument(
+        "Montgomery context requires an odd modulus >= 3");
+  }
+  size_t limbs = modulus.num_limbs();
+  uint64_t n_prime = ~InverseMod2e64(modulus.limb(0)) + 1;  // -n^-1 mod 2^64.
+  BigUInt r = BigUInt::PowerOfTwo(64 * limbs);
+  BigUInt r_mod_n = r % modulus;
+  BigUInt r2_mod_n = BigUInt::PowerOfTwo(128 * limbs) % modulus;
+  return MontgomeryContext(modulus, n_prime, std::move(r_mod_n),
+                           std::move(r2_mod_n), limbs);
+}
+
+BigUInt MontgomeryContext::Reduce(const BigUInt& t) const {
+  // Word-level REDC (Montgomery 1985). Precondition: t < n * R.
+  std::vector<uint64_t> acc(2 * limbs_ + 1, 0);
+  for (size_t i = 0; i < t.num_limbs() && i < acc.size(); ++i) {
+    acc[i] = t.limb(i);
+  }
+  for (size_t i = 0; i < limbs_; ++i) {
+    uint64_t m = acc[i] * n_prime_;  // mod 2^64 by wrapping.
+    uint64_t carry = 0;
+    for (size_t j = 0; j < limbs_; ++j) {
+      u128 cur = static_cast<u128>(acc[i + j]) +
+                 static_cast<u128>(m) * n_.limb(j) + carry;
+      acc[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    size_t idx = i + limbs_;
+    while (carry != 0) {
+      u128 cur = static_cast<u128>(acc[idx]) + carry;
+      acc[idx] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+      ++idx;
+    }
+  }
+  // Result is acc[limbs_ .. 2*limbs_] (the +1 limb catches the final carry).
+  std::vector<uint8_t> bytes((limbs_ + 1) * 8);
+  for (size_t i = 0; i <= limbs_; ++i) {
+    uint64_t limb = acc[limbs_ + i];
+    for (size_t b = 0; b < 8; ++b) {
+      bytes[i * 8 + b] = static_cast<uint8_t>((limb >> (8 * b)) & 0xff);
+    }
+  }
+  BigUInt result = BigUInt::FromLittleEndianBytes(bytes);
+  if (result >= n_) result -= n_;
+  return result;
+}
+
+BigUInt MontgomeryContext::ToMontgomery(const BigUInt& a) const {
+  PSI_DCHECK(a < n_);
+  return Reduce(a * r2_mod_n_);
+}
+
+BigUInt MontgomeryContext::FromMontgomery(const BigUInt& a) const {
+  return Reduce(a);
+}
+
+BigUInt MontgomeryContext::Multiply(const BigUInt& a, const BigUInt& b) const {
+  return Reduce(a * b);
+}
+
+BigUInt MontgomeryContext::Pow(const BigUInt& base, const BigUInt& exp) const {
+  if (n_.IsOne()) return BigUInt();
+  BigUInt b_mont = ToMontgomery(base % n_);
+  BigUInt result = r_mod_n_;  // Montgomery form of 1.
+  for (size_t i = exp.BitLength(); i-- > 0;) {
+    result = Multiply(result, result);
+    if (exp.GetBit(i)) result = Multiply(result, b_mont);
+  }
+  return FromMontgomery(result);
+}
+
+}  // namespace psi

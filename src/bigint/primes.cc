@@ -1,0 +1,73 @@
+#include "bigint/primes.h"
+
+#include <array>
+
+#include "bigint/modular.h"
+#include "common/logging.h"
+
+namespace psi {
+namespace {
+
+constexpr std::array<uint64_t, 25> kSmallPrimes = {
+    2,  3,  5,  7,  11, 13, 17, 19, 23, 29, 31, 37, 41,
+    43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97};
+
+// One Miller-Rabin round for witness a: n - 1 = d * 2^s with d odd.
+bool MillerRabinRound(const BigUInt& n, const BigUInt& n_minus_1,
+                      const BigUInt& d, size_t s, const BigUInt& a) {
+  BigUInt x = ModPow(a, d, n);
+  if (x.IsOne() || x == n_minus_1) return true;
+  for (size_t i = 1; i < s; ++i) {
+    x = ModMul(x, x, n);
+    if (x == n_minus_1) return true;
+    if (x.IsOne()) return false;  // Nontrivial sqrt of 1 => composite.
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigUInt& n, Rng* rng, int rounds) {
+  if (n < BigUInt(2)) return false;
+  for (uint64_t p : kSmallPrimes) {
+    BigUInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).IsZero()) return false;
+  }
+
+  BigUInt n_minus_1 = n - BigUInt(1);
+  BigUInt d = n_minus_1;
+  size_t s = 0;
+  while (d.IsEven()) {
+    d >>= 1;
+    ++s;
+  }
+
+  BigUInt two(2);
+  BigUInt span = n - BigUInt(4);  // Witnesses drawn from [2, n-2].
+  for (int round = 0; round < rounds; ++round) {
+    BigUInt a = two + BigUInt::RandomBelow(rng, span + BigUInt(1));
+    if (!MillerRabinRound(n, n_minus_1, d, s, a)) return false;
+  }
+  return true;
+}
+
+BigUInt RandomPrime(Rng* rng, size_t bits, int mr_rounds) {
+  PSI_CHECK(bits >= 8) << "RandomPrime needs at least 8 bits";
+  for (;;) {
+    BigUInt candidate = BigUInt::RandomBits(rng, bits);
+    candidate.SetBit(bits - 1);  // Exact bit length.
+    candidate.SetBit(bits - 2);  // p*q reaches the full 2*bits length.
+    candidate.SetBit(0);         // Odd.
+    if (IsProbablePrime(candidate, rng, mr_rounds)) return candidate;
+  }
+}
+
+BigUInt NextPrime(BigUInt n, Rng* rng, int mr_rounds) {
+  if (n <= BigUInt(2)) return BigUInt(2);
+  if (n.IsEven()) n += BigUInt(1);
+  while (!IsProbablePrime(n, rng, mr_rounds)) n += BigUInt(2);
+  return n;
+}
+
+}  // namespace psi

@@ -1,0 +1,63 @@
+#include "common/chacha_core.h"
+
+#include <cstddef>
+
+namespace psi {
+namespace internal {
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void QuarterRound(uint32_t* a, uint32_t* b, uint32_t* c, uint32_t* d) {
+  *a += *b;
+  *d = Rotl32(*d ^ *a, 16);
+  *c += *d;
+  *b = Rotl32(*b ^ *c, 12);
+  *a += *b;
+  *d = Rotl32(*d ^ *a, 8);
+  *c += *d;
+  *b = Rotl32(*b ^ *c, 7);
+}
+
+}  // namespace
+
+void ChaCha20Block(const std::array<uint32_t, 8>& key, uint32_t counter,
+                   const std::array<uint32_t, 3>& nonce,
+                   std::array<uint8_t, 64>* out) {
+  // "expand 32-byte k"
+  uint32_t state[16] = {0x61707865u, 0x3320646eu, 0x79622d32u, 0x6b206574u,
+                        key[0],      key[1],      key[2],      key[3],
+                        key[4],      key[5],      key[6],      key[7],
+                        counter,     nonce[0],    nonce[1],    nonce[2]};
+  uint32_t x[16];
+  for (int i = 0; i < 16; ++i) x[i] = state[i];
+
+  for (int round = 0; round < 10; ++round) {
+    // Column rounds.
+    QuarterRound(&x[0], &x[4], &x[8], &x[12]);
+    QuarterRound(&x[1], &x[5], &x[9], &x[13]);
+    QuarterRound(&x[2], &x[6], &x[10], &x[14]);
+    QuarterRound(&x[3], &x[7], &x[11], &x[15]);
+    // Diagonal rounds.
+    QuarterRound(&x[0], &x[5], &x[10], &x[15]);
+    QuarterRound(&x[1], &x[6], &x[11], &x[12]);
+    QuarterRound(&x[2], &x[7], &x[8], &x[13]);
+    QuarterRound(&x[3], &x[4], &x[9], &x[14]);
+  }
+
+  for (int i = 0; i < 16; ++i) {
+    uint32_t word = x[i] + state[i];
+    (*out)[static_cast<size_t>(4 * i) + 0] = static_cast<uint8_t>(word & 0xff);
+    (*out)[static_cast<size_t>(4 * i) + 1] =
+        static_cast<uint8_t>((word >> 8) & 0xff);
+    (*out)[static_cast<size_t>(4 * i) + 2] =
+        static_cast<uint8_t>((word >> 16) & 0xff);
+    (*out)[static_cast<size_t>(4 * i) + 3] =
+        static_cast<uint8_t>((word >> 24) & 0xff);
+  }
+}
+
+}  // namespace internal
+}  // namespace psi

@@ -1,0 +1,26 @@
+// The ChaCha20 block function (RFC 8439), shared by the CSPRNG in
+// common/random.h and the stream cipher in crypto/chacha20.h.
+
+#ifndef PSI_COMMON_CHACHA_CORE_H_
+#define PSI_COMMON_CHACHA_CORE_H_
+
+#include <array>
+#include <cstdint>
+
+namespace psi {
+namespace internal {
+
+/// \brief Computes one 64-byte ChaCha20 keystream block.
+///
+/// \param key 256-bit key as 8 little-endian words.
+/// \param counter 32-bit block counter.
+/// \param nonce 96-bit nonce as 3 little-endian words.
+/// \param out receives the 64-byte keystream block.
+void ChaCha20Block(const std::array<uint32_t, 8>& key, uint32_t counter,
+                   const std::array<uint32_t, 3>& nonce,
+                   std::array<uint8_t, 64>* out);
+
+}  // namespace internal
+}  // namespace psi
+
+#endif  // PSI_COMMON_CHACHA_CORE_H_

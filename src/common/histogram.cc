@@ -1,0 +1,80 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace psi {
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(num_bins)) {
+  PSI_CHECK(hi > lo) << "histogram range must be non-empty";
+  PSI_CHECK(num_bins > 0) << "histogram needs at least one bin";
+  counts_.assign(num_bins, 0);
+}
+
+void Histogram::Add(double sample) {
+  ++total_;
+  sum_ += sample;
+  if (sample < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (sample >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<size_t>((sample - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // Guards the hi_ - epsilon edge.
+  ++counts_[bin];
+}
+
+void Histogram::AddAll(const std::vector<double>& samples) {
+  for (double s : samples) Add(s);
+}
+
+std::pair<double, double> Histogram::bin_edges(size_t i) const {
+  return {lo_ + static_cast<double>(i) * width_,
+          lo_ + static_cast<double>(i + 1) * width_};
+}
+
+std::string Histogram::Render(size_t max_bar_width) const {
+  uint64_t peak = underflow_;
+  peak = std::max(peak, overflow_);
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  if (peak == 0) peak = 1;
+
+  auto bar = [&](uint64_t count) {
+    size_t w = static_cast<size_t>(
+        std::llround(static_cast<double>(count) * static_cast<double>(max_bar_width) /
+                     static_cast<double>(peak)));
+    return std::string(w, '#');
+  };
+
+  std::string out;
+  char line[160];
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof(line), "  (<%8.3f)        %8llu %s\n", lo_,
+                  static_cast<unsigned long long>(underflow_),
+                  bar(underflow_).c_str());
+    out += line;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    auto [a, b] = bin_edges(i);
+    std::snprintf(line, sizeof(line), "  [%8.3f,%8.3f) %8llu %s\n", a, b,
+                  static_cast<unsigned long long>(counts_[i]),
+                  bar(counts_[i]).c_str());
+    out += line;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof(line), "  (>=%7.3f)        %8llu %s\n", hi_,
+                  static_cast<unsigned long long>(overflow_),
+                  bar(overflow_).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace psi

@@ -1,0 +1,56 @@
+// Fixed-bin histogram used by the Figure-1 privacy-gain experiment. Matches
+// the paper's presentation: the bar over [a, b) counts samples in that
+// interval.
+
+#ifndef PSI_COMMON_HISTOGRAM_H_
+#define PSI_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psi {
+
+/// \brief Equal-width histogram over [lo, hi) with two overflow bins.
+class Histogram {
+ public:
+  /// \param lo left edge of the first bin.
+  /// \param hi right edge of the last bin.
+  /// \param num_bins number of equal-width bins (> 0).
+  Histogram(double lo, double hi, size_t num_bins);
+
+  /// \brief Records one sample (out-of-range samples go to overflow bins).
+  void Add(double sample);
+
+  /// \brief Records many samples.
+  void AddAll(const std::vector<double>& samples);
+
+  size_t num_bins() const { return counts_.size(); }
+  uint64_t bin_count(size_t i) const { return counts_[i]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t total() const { return total_; }
+
+  /// \brief [left, right) edges of bin i.
+  std::pair<double, double> bin_edges(size_t i) const;
+
+  /// \brief Mean of all recorded samples (including overflow samples).
+  double mean() const { return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_); }
+
+  /// \brief Multi-line ASCII rendering (one bar per bin), for bench output.
+  std::string Render(size_t max_bar_width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace psi
+
+#endif  // PSI_COMMON_HISTOGRAM_H_

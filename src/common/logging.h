@@ -1,0 +1,83 @@
+// Minimal leveled logging plus CHECK macros for internal invariants.
+// CHECK failures indicate programming errors and abort; recoverable errors go
+// through Status (see common/status.h).
+
+#ifndef PSI_COMMON_LOGGING_H_
+#define PSI_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace psi {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the minimum level emitted to stderr (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& extra);
+
+class CheckMessage {
+ public:
+  CheckMessage(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~CheckMessage() { CheckFailed(expr_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PSI_LOG(level)                                                     \
+  ::psi::internal::LogMessage(::psi::LogLevel::k##level, __FILE__, __LINE__)
+
+#define PSI_CHECK(cond)                                                \
+  if (cond) {                                                          \
+  } else /* NOLINT */                                                  \
+    ::psi::internal::CheckMessage(#cond, __FILE__, __LINE__)
+
+#define PSI_CHECK_OK(expr)                                       \
+  do {                                                           \
+    ::psi::Status _st = (expr);                                  \
+    PSI_CHECK(_st.ok()) << _st.ToString();                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define PSI_DCHECK(cond) PSI_CHECK(true || (cond))
+#else
+#define PSI_DCHECK(cond) PSI_CHECK(cond)
+#endif
+
+}  // namespace psi
+
+#endif  // PSI_COMMON_LOGGING_H_

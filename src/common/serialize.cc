@@ -1,0 +1,89 @@
+#include "common/serialize.h"
+
+namespace psi {
+
+void BinaryWriter::WriteVarU64(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void BinaryWriter::WriteBytes(const std::vector<uint8_t>& bytes) {
+  WriteVarU64(bytes.size());
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteVarU64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+Status BinaryReader::Take(void* out, size_t n) {
+  if (pos_ + n > size_) {
+    return Status::SerializationError("read past end of buffer");
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU8(uint8_t* out) { return Take(out, 1); }
+Status BinaryReader::ReadU16(uint16_t* out) { return Take(out, 2); }
+Status BinaryReader::ReadU32(uint32_t* out) { return Take(out, 4); }
+Status BinaryReader::ReadU64(uint64_t* out) { return Take(out, 8); }
+
+Status BinaryReader::ReadI64(int64_t* out) {
+  uint64_t v;
+  PSI_RETURN_NOT_OK(ReadU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadDouble(double* out) {
+  uint64_t bits;
+  PSI_RETURN_NOT_OK(ReadU64(&bits));
+  std::memcpy(out, &bits, 8);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadVarU64(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    uint8_t b;
+    PSI_RETURN_NOT_OK(ReadU8(&b));
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::SerializationError("varint longer than 10 bytes");
+}
+
+Status BinaryReader::ReadBytes(std::vector<uint8_t>* out) {
+  uint64_t len;
+  PSI_RETURN_NOT_OK(ReadVarU64(&len));
+  if (pos_ + len > size_) {
+    return Status::SerializationError("byte string length exceeds buffer");
+  }
+  out->assign(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadString(std::string* out) {
+  uint64_t len;
+  PSI_RETURN_NOT_OK(ReadVarU64(&len));
+  if (pos_ + len > size_) {
+    return Status::SerializationError("string length exceeds buffer");
+  }
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+}  // namespace psi

@@ -1,0 +1,93 @@
+// Binary serialization used by the simulated multiparty network. Message
+// sizes reported in the Table 1/2 benches are the exact byte counts these
+// writers produce.
+
+#ifndef PSI_COMMON_SERIALIZE_H_
+#define PSI_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace psi {
+
+/// \brief Append-only little-endian binary writer.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteU16(uint16_t v) { WriteLE(&v, 2); }
+  void WriteU32(uint32_t v) { WriteLE(&v, 4); }
+  void WriteU64(uint64_t v) { WriteLE(&v, 8); }
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+
+  /// Writes an IEEE-754 double (8 bytes).
+  void WriteDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    WriteU64(bits);
+  }
+
+  /// Writes a LEB128-style variable-length unsigned integer (1-10 bytes).
+  void WriteVarU64(uint64_t v);
+
+  /// Writes a length-prefixed byte string.
+  void WriteBytes(const std::vector<uint8_t>& bytes);
+
+  /// Writes a length-prefixed UTF-8 string.
+  void WriteString(const std::string& s);
+
+  /// Writes raw bytes without a length prefix.
+  void WriteRaw(const uint8_t* data, size_t len) {
+    buf_.insert(buf_.end(), data, data + len);
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void WriteLE(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);  // Little-endian host assumed (x86/ARM).
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// \brief Bounds-checked reader over a byte buffer.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  BinaryReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU16(uint16_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadI64(int64_t* out);
+  Status ReadDouble(double* out);
+  Status ReadVarU64(uint64_t* out);
+  Status ReadBytes(std::vector<uint8_t>* out);
+  Status ReadString(std::string* out);
+
+  /// \brief Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Take(void* out, size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace psi
+
+#endif  // PSI_COMMON_SERIALIZE_H_

@@ -1,0 +1,66 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace psi {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  p = std::clamp(p, 0.0, 1.0);
+  double idx = p * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  double mx = Mean(xs), my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double ChiSquaredUniform(const std::vector<uint64_t>& observed) {
+  if (observed.empty()) return 0.0;
+  uint64_t total = 0;
+  for (uint64_t o : observed) total += o;
+  if (total == 0) return 0.0;
+  double expected =
+      static_cast<double>(total) / static_cast<double>(observed.size());
+  double chi2 = 0.0;
+  for (uint64_t o : observed) {
+    double d = static_cast<double>(o) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+}  // namespace psi

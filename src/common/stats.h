@@ -1,0 +1,33 @@
+// Small descriptive-statistics helpers shared by tests and benches.
+
+#ifndef PSI_COMMON_STATS_H_
+#define PSI_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace psi {
+
+/// \brief Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// \brief Unbiased sample variance; 0 for fewer than two samples.
+double Variance(const std::vector<double>& xs);
+
+/// \brief Sample standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// \brief p-th percentile (p in [0,1]) by linear interpolation; 0 if empty.
+double Percentile(std::vector<double> xs, double p);
+
+/// \brief Pearson correlation of two equal-length series; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// \brief Chi-squared statistic of observed counts against uniform expected.
+double ChiSquaredUniform(const std::vector<uint64_t>& observed);
+
+}  // namespace psi
+
+#endif  // PSI_COMMON_STATS_H_

@@ -1,0 +1,159 @@
+// Status / Result<T> error-handling primitives, modeled on the idiom used by
+// Apache Arrow and RocksDB: no exceptions cross public API boundaries.
+
+#ifndef PSI_COMMON_STATUS_H_
+#define PSI_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace psi {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kProtocolError = 6,
+  kCryptoError = 7,
+  kSerializationError = 8,
+  kInternal = 9,
+  kUnimplemented = 10,
+};
+
+/// \brief Returns a human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: either OK or an error code plus message.
+///
+/// The OK state stores no message and never allocates, so returning
+/// `Status::OK()` from hot paths is free.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \brief The OK (success) status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
+  }
+  static Status CryptoError(std::string msg) {
+    return Status(StatusCode::kCryptoError, std::move(msg));
+  }
+  static Status SerializationError(std::string msg) {
+    return Status(StatusCode::kSerializationError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// \brief True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Semantics follow arrow::Result: a moved-from Result is in a valid but
+/// unspecified state; `ValueOrDie()` aborts on error (tests only).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit, enables `return status;`).
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Access the contained value. Precondition: ok().
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return std::move(*value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// \brief Move the value out. Precondition: ok().
+  T MoveValue() { return std::move(*value_); }
+
+  /// \brief Returns the value, aborting the process on error. Test use only.
+  const T& ValueOrDie() const;
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnErrorStatus(const Status& status);
+}  // namespace internal
+
+template <typename T>
+const T& Result<T>::ValueOrDie() const {
+  if (!ok()) internal::DieOnErrorStatus(status_);
+  return *value_;
+}
+
+/// Propagates a non-OK Status out of the current function.
+#define PSI_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::psi::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#define PSI_CONCAT_IMPL(a, b) a##b
+#define PSI_CONCAT(a, b) PSI_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define PSI_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto PSI_CONCAT(_psi_result_, __LINE__) = (rexpr);            \
+  if (!PSI_CONCAT(_psi_result_, __LINE__).ok())                 \
+    return PSI_CONCAT(_psi_result_, __LINE__).status();         \
+  lhs = std::move(PSI_CONCAT(_psi_result_, __LINE__)).MoveValue()
+
+}  // namespace psi
+
+#endif  // PSI_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+#include "crypto/chacha20.h"
+
+#include "common/chacha_core.h"
+
+namespace psi {
+
+namespace {
+
+uint32_t LoadLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+ChaCha20Cipher::ChaCha20Cipher(const std::array<uint8_t, kKeySize>& key,
+                               const std::array<uint8_t, kNonceSize>& nonce) {
+  for (size_t i = 0; i < 8; ++i) key_words_[i] = LoadLE32(key.data() + 4 * i);
+  for (size_t i = 0; i < 3; ++i) {
+    nonce_words_[i] = LoadLE32(nonce.data() + 4 * i);
+  }
+}
+
+void ChaCha20Cipher::Process(std::vector<uint8_t>* data) {
+  for (auto& byte : *data) {
+    if (pos_ >= 64) {
+      internal::ChaCha20Block(key_words_, counter_++, nonce_words_, &block_);
+      pos_ = 0;
+    }
+    byte ^= block_[pos_++];
+  }
+}
+
+std::vector<uint8_t> ChaCha20Cipher::Process(const std::vector<uint8_t>& data) {
+  std::vector<uint8_t> out = data;
+  Process(&out);
+  return out;
+}
+
+}  // namespace psi

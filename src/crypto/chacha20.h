@@ -1,0 +1,41 @@
+// ChaCha20 stream cipher (RFC 8439 keystream, no MAC): the symmetric half of
+// the hybrid encryption option for Protocol 6's Delta-vector transfer.
+
+#ifndef PSI_CRYPTO_CHACHA20_H_
+#define PSI_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace psi {
+
+/// \brief Symmetric stream cipher; encryption and decryption are identical.
+class ChaCha20Cipher {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+
+  /// \param key 32-byte key.
+  /// \param nonce 12-byte nonce; must be unique per key.
+  ChaCha20Cipher(const std::array<uint8_t, kKeySize>& key,
+                 const std::array<uint8_t, kNonceSize>& nonce);
+
+  /// \brief XORs the keystream into `data` in place.
+  void Process(std::vector<uint8_t>* data);
+
+  /// \brief Returns data XOR keystream.
+  std::vector<uint8_t> Process(const std::vector<uint8_t>& data);
+
+ private:
+  std::array<uint32_t, 8> key_words_;
+  std::array<uint32_t, 3> nonce_words_;
+  uint32_t counter_ = 1;  // RFC 8439 starts payload keystream at block 1.
+  std::array<uint8_t, 64> block_{};
+  size_t pos_ = 64;
+};
+
+}  // namespace psi
+
+#endif  // PSI_CRYPTO_CHACHA20_H_

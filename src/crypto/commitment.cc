@@ -1,0 +1,24 @@
+#include "crypto/commitment.h"
+
+namespace psi {
+
+std::array<uint8_t, Sha256::kDigestSize> Commit(const CommitmentOpening& open) {
+  Sha256 h;
+  h.Update(open.blinding.data(), open.blinding.size());
+  h.Update(open.value);
+  return h.Finish();
+}
+
+CommitmentOpening MakeOpening(const std::vector<uint8_t>& value, Rng* rng) {
+  CommitmentOpening open;
+  open.value = value;
+  rng->FillBytes(open.blinding.data(), open.blinding.size());
+  return open;
+}
+
+bool VerifyCommitment(const std::array<uint8_t, Sha256::kDigestSize>& commitment,
+                      const CommitmentOpening& open) {
+  return Commit(open) == commitment;
+}
+
+}  // namespace psi

@@ -1,0 +1,34 @@
+// Hash commitments for the commit-then-reveal joint coin flipping that
+// realizes "P1 and P2 jointly generate a random real" in Protocols 3-4.
+
+#ifndef PSI_CRYPTO_COMMITMENT_H_
+#define PSI_CRYPTO_COMMITMENT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "crypto/sha256.h"
+
+namespace psi {
+
+/// \brief An opened commitment: the committed value plus blinding randomness.
+struct CommitmentOpening {
+  std::vector<uint8_t> value;
+  std::array<uint8_t, 32> blinding;
+};
+
+/// \brief C = SHA-256(blinding || value).
+std::array<uint8_t, Sha256::kDigestSize> Commit(const CommitmentOpening& open);
+
+/// \brief Creates an opening with fresh blinding for `value`.
+CommitmentOpening MakeOpening(const std::vector<uint8_t>& value, Rng* rng);
+
+/// \brief Verifies that `commitment` opens to `open`.
+bool VerifyCommitment(const std::array<uint8_t, Sha256::kDigestSize>& commitment,
+                      const CommitmentOpening& open);
+
+}  // namespace psi
+
+#endif  // PSI_CRYPTO_COMMITMENT_H_

@@ -1,0 +1,49 @@
+// 1-out-of-N oblivious transfer (Even-Goldreich-Lempel style, RSA-based),
+// semi-honest model.
+//
+// Section 5.1.1 sketches a perfectly arc-hiding variant of Protocol 4: run
+// the counter stage for all n^2 - n ordered pairs and let H retrieve the
+// masked values for its |E| arcs via |E|-out-of-(n^2 - n) oblivious
+// transfer — secure but "extremely prohibitive" (O(|E| n^2) modular
+// exponentiations). This module provides the OT primitive and
+// mpc/perfect_hiding.h builds that variant so the prohibitive cost can be
+// measured instead of taken on faith (ablation A7).
+//
+// Protocol (per transfer):
+//   S -> R : N random group elements x_0..x_{N-1} in Z_n
+//   R -> S : v = (x_b + k^e) mod n for random k (b = R's choice)
+//   S -> R : for every i, c_i = m_i XOR PRG(SHA-256((v - x_i)^d mod n))
+// R decrypts c_b with k; the other pads require d. S sees only the uniform
+// v. Messages are padded to a common length so |m_i| cannot leak b.
+
+#ifndef PSI_CRYPTO_OBLIVIOUS_TRANSFER_H_
+#define PSI_CRYPTO_OBLIVIOUS_TRANSFER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "crypto/rsa.h"
+#include "net/network.h"
+
+namespace psi {
+
+/// \brief Runs `choices.size()` independent 1-out-of-N transfers of the
+/// same message vector (the "k-out-of-N" shape of Section 5.1.1), over
+/// three metered communication rounds.
+///
+/// \param messages the sender's N byte strings (padded internally).
+/// \param choices the receiver's indices into `messages`.
+/// \param sender_keys an RSA key pair owned by the sender.
+/// \return the chosen messages, in choice order (receiver output).
+Result<std::vector<std::vector<uint8_t>>> RunObliviousTransfers(
+    Network* network, PartyId sender, PartyId receiver,
+    const std::vector<std::vector<uint8_t>>& messages,
+    const std::vector<size_t>& choices, const RsaKeyPair& sender_keys,
+    Rng* sender_rng, Rng* receiver_rng, const std::string& label);
+
+}  // namespace psi
+
+#endif  // PSI_CRYPTO_OBLIVIOUS_TRANSFER_H_

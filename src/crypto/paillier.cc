@@ -1,0 +1,75 @@
+#include "crypto/paillier.h"
+
+#include "bigint/modular.h"
+#include "bigint/primes.h"
+
+namespace psi {
+
+Result<PaillierKeyPair> PaillierGenerateKeyPair(Rng* rng, size_t bits) {
+  if (bits < 128 || bits % 2 != 0) {
+    return Status::InvalidArgument(
+        "Paillier modulus must be an even bit count >= 128");
+  }
+  for (;;) {
+    BigUInt p = RandomPrime(rng, bits / 2);
+    BigUInt q = RandomPrime(rng, bits / 2);
+    if (p == q) continue;
+    BigUInt n = p * q;
+    // With |p| == |q|, gcd(n, phi) == 1 holds automatically for distinct
+    // primes of equal size, but verify anyway.
+    BigUInt p1 = p - BigUInt(1);
+    BigUInt q1 = q - BigUInt(1);
+    if (!Gcd(n, p1 * q1).IsOne()) continue;
+
+    PaillierKeyPair kp;
+    kp.public_key.n = n;
+    kp.public_key.n_squared = n * n;
+    kp.private_key.n = n;
+    kp.private_key.n_squared = kp.public_key.n_squared;
+    kp.private_key.lambda = Lcm(p1, q1);
+    // With g = n + 1: g^lambda = 1 + lambda*n (mod n^2), so
+    // L(g^lambda mod n^2) = lambda mod n and mu = lambda^-1 mod n.
+    PSI_ASSIGN_OR_RETURN(kp.private_key.mu,
+                         ModInverse(kp.private_key.lambda % n, n));
+    return kp;
+  }
+}
+
+Result<BigUInt> PaillierEncrypt(const PaillierPublicKey& key, const BigUInt& m,
+                                Rng* rng) {
+  if (m >= key.n) return Status::InvalidArgument("Paillier plaintext >= n");
+  // g^m mod n^2 with g = n+1 simplifies to 1 + m*n (binomial expansion).
+  BigUInt g_m = (BigUInt(1) + m * key.n) % key.n_squared;
+  BigUInt r;
+  do {
+    r = BigUInt::RandomBelow(rng, key.n);
+  } while (r.IsZero() || !Gcd(r, key.n).IsOne());
+  BigUInt r_n = ModPow(r, key.n, key.n_squared);
+  return ModMul(g_m, r_n, key.n_squared);
+}
+
+Result<BigUInt> PaillierDecrypt(const PaillierPrivateKey& key,
+                                const BigUInt& c) {
+  if (c >= key.n_squared) {
+    return Status::InvalidArgument("Paillier ciphertext >= n^2");
+  }
+  BigUInt u = ModPow(c, key.lambda, key.n_squared);
+  // A well-formed ciphertext satisfies u == 1 (mod n).
+  if ((u % key.n) != BigUInt(1)) {
+    return Status::CryptoError("malformed Paillier ciphertext");
+  }
+  BigUInt l = (u - BigUInt(1)) / key.n;  // L function.
+  return ModMul(l % key.n, key.mu, key.n);
+}
+
+BigUInt PaillierAddCiphertexts(const PaillierPublicKey& key, const BigUInt& c1,
+                               const BigUInt& c2) {
+  return ModMul(c1, c2, key.n_squared);
+}
+
+BigUInt PaillierMultiplyPlain(const PaillierPublicKey& key, const BigUInt& c,
+                              const BigUInt& k) {
+  return ModPow(c, k, key.n_squared);
+}
+
+}  // namespace psi

@@ -1,0 +1,47 @@
+#include "crypto/permutation.h"
+
+#include <algorithm>
+
+namespace psi {
+
+SecretPermutation::SecretPermutation(std::vector<size_t> forward)
+    : forward_(std::move(forward)), inverse_(forward_.size()) {
+  for (size_t i = 0; i < forward_.size(); ++i) inverse_[forward_[i]] = i;
+}
+
+SecretPermutation SecretPermutation::Random(Rng* rng, size_t n) {
+  return SecretPermutation(rng->Permutation(n));
+}
+
+Result<SecretPermutation> SecretPermutation::FromMapping(
+    std::vector<size_t> forward) {
+  std::vector<bool> seen(forward.size(), false);
+  for (size_t v : forward) {
+    if (v >= forward.size() || seen[v]) {
+      return Status::InvalidArgument("mapping is not a permutation");
+    }
+    seen[v] = true;
+  }
+  return SecretPermutation(std::move(forward));
+}
+
+SecretInjection SecretInjection::Random(Rng* rng, size_t n, size_t extra) {
+  std::vector<size_t> codomain = rng->Permutation(n + extra);
+  // The first n slots of a random permutation of the codomain give a uniform
+  // random injection.
+  std::vector<size_t> image(codomain.begin(),
+                            codomain.begin() + static_cast<ptrdiff_t>(n));
+  std::vector<size_t> preimage(n + extra, SIZE_MAX);
+  for (size_t i = 0; i < n; ++i) preimage[image[i]] = i;
+  return SecretInjection(std::move(image), std::move(preimage));
+}
+
+std::vector<size_t> SecretInjection::FakeIds() const {
+  std::vector<size_t> fakes;
+  for (size_t j = 0; j < preimage_.size(); ++j) {
+    if (preimage_[j] == SIZE_MAX) fakes.push_back(j);
+  }
+  return fakes;
+}
+
+}  // namespace psi

@@ -1,0 +1,106 @@
+// Secret permutations and injections.
+//
+// Used in two places:
+//  * Protocol 4's batched Protocol-2 runs: P1 and P2 permute the counter
+//    sequence sent to P3 so any leaked bound cannot be tied to a counter.
+//  * Protocol 5's basic obfuscation: providers jointly relabel user ids
+//    (a permutation pi of {0..n-1}) and action ids before handing logs to
+//    the semi-trusted aggregator.
+
+#ifndef PSI_CRYPTO_PERMUTATION_H_
+#define PSI_CRYPTO_PERMUTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace psi {
+
+/// \brief A permutation of {0, .., n-1} with O(1) apply and invert.
+class SecretPermutation {
+ public:
+  /// \brief Uniformly random permutation (Fisher-Yates under the CSPRNG).
+  static SecretPermutation Random(Rng* rng, size_t n);
+
+  /// \brief Wraps an explicit mapping; returns InvalidArgument if `forward`
+  /// is not a permutation.
+  static Result<SecretPermutation> FromMapping(std::vector<size_t> forward);
+
+  /// \brief pi(i).
+  size_t Apply(size_t i) const {
+    PSI_DCHECK(i < forward_.size());
+    return forward_[i];
+  }
+
+  /// \brief pi^-1(j).
+  size_t Invert(size_t j) const {
+    PSI_DCHECK(j < inverse_.size());
+    return inverse_[j];
+  }
+
+  size_t size() const { return forward_.size(); }
+
+  /// \brief Permutes a vector: out[pi(i)] = in[i].
+  template <typename T>
+  std::vector<T> Scatter(const std::vector<T>& in) const {
+    PSI_CHECK(in.size() == forward_.size());
+    std::vector<T> out(in.size());
+    for (size_t i = 0; i < in.size(); ++i) out[forward_[i]] = in[i];
+    return out;
+  }
+
+  /// \brief Inverse of Scatter: out[i] = in[pi(i)].
+  template <typename T>
+  std::vector<T> Gather(const std::vector<T>& in) const {
+    PSI_CHECK(in.size() == forward_.size());
+    std::vector<T> out(in.size());
+    for (size_t i = 0; i < in.size(); ++i) out[i] = in[forward_[i]];
+    return out;
+  }
+
+ private:
+  explicit SecretPermutation(std::vector<size_t> forward);
+
+  std::vector<size_t> forward_;
+  std::vector<size_t> inverse_;
+};
+
+/// \brief A random injection {0..n-1} -> {0..n+extra-1}, hiding real ids
+/// among `extra` fake ones (Protocol 5's enhanced obfuscation: fake users).
+class SecretInjection {
+ public:
+  static SecretInjection Random(Rng* rng, size_t n, size_t extra);
+
+  size_t Apply(size_t i) const {
+    PSI_DCHECK(i < image_.size());
+    return image_[i];
+  }
+
+  /// \brief Preimage of j, or SIZE_MAX if j is a fake (unmapped) id.
+  size_t InvertOrFake(size_t j) const {
+    PSI_DCHECK(j < preimage_.size());
+    return preimage_[j];
+  }
+
+  bool IsFake(size_t j) const { return InvertOrFake(j) == SIZE_MAX; }
+
+  size_t domain_size() const { return image_.size(); }
+  size_t codomain_size() const { return preimage_.size(); }
+
+  /// \brief All fake (unmapped) codomain ids, ascending.
+  std::vector<size_t> FakeIds() const;
+
+ private:
+  SecretInjection(std::vector<size_t> image, std::vector<size_t> preimage)
+      : image_(std::move(image)), preimage_(std::move(preimage)) {}
+
+  std::vector<size_t> image_;     // domain -> codomain
+  std::vector<size_t> preimage_;  // codomain -> domain or SIZE_MAX
+};
+
+}  // namespace psi
+
+#endif  // PSI_CRYPTO_PERMUTATION_H_

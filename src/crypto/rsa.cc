@@ -1,0 +1,95 @@
+#include "crypto/rsa.h"
+
+#include "bigint/modular.h"
+#include "bigint/primes.h"
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+
+namespace psi {
+
+Result<RsaKeyPair> RsaGenerateKeyPair(Rng* rng, size_t bits) {
+  if (bits < 128 || bits % 2 != 0) {
+    return Status::InvalidArgument(
+        "RSA modulus must be an even bit count >= 128");
+  }
+  BigUInt e(65537);
+  for (;;) {
+    BigUInt p = RandomPrime(rng, bits / 2);
+    BigUInt q = RandomPrime(rng, bits / 2);
+    if (p == q) continue;
+    BigUInt p1 = p - BigUInt(1);
+    BigUInt q1 = q - BigUInt(1);
+    BigUInt phi = p1 * q1;
+    if (!Gcd(e, phi).IsOne()) continue;
+
+    RsaKeyPair kp;
+    kp.public_key.n = p * q;
+    kp.public_key.e = e;
+    PSI_ASSIGN_OR_RETURN(kp.private_key.d, ModInverse(e, phi));
+    kp.private_key.n = kp.public_key.n;
+    kp.private_key.p = p;
+    kp.private_key.q = q;
+    kp.private_key.d_mod_p1 = kp.private_key.d % p1;
+    kp.private_key.d_mod_q1 = kp.private_key.d % q1;
+    PSI_ASSIGN_OR_RETURN(kp.private_key.q_inv_p, ModInverse(q, p));
+    return kp;
+  }
+}
+
+Result<BigUInt> RsaEncrypt(const RsaPublicKey& key, const BigUInt& m) {
+  if (m >= key.n) return Status::InvalidArgument("RSA plaintext >= modulus");
+  return ModPow(m, key.e, key.n);
+}
+
+Result<BigUInt> RsaDecrypt(const RsaPrivateKey& key, const BigUInt& c) {
+  if (c >= key.n) return Status::InvalidArgument("RSA ciphertext >= modulus");
+  // CRT: m_p = c^dP mod p, m_q = c^dQ mod q, recombine via Garner.
+  BigUInt m_p = ModPow(c % key.p, key.d_mod_p1, key.p);
+  BigUInt m_q = ModPow(c % key.q, key.d_mod_q1, key.q);
+  BigUInt h = ModMul(key.q_inv_p, ModSub(m_p, m_q % key.p, key.p), key.p);
+  return m_q + h * key.q;
+}
+
+Result<HybridCiphertext> HybridEncrypt(const RsaPublicKey& key,
+                                       const std::vector<uint8_t>& plaintext,
+                                       Rng* rng) {
+  if (key.n.BitLength() < 300) {
+    return Status::InvalidArgument(
+        "hybrid mode needs a modulus >= 300 bits to encapsulate a 256-bit key");
+  }
+  // KEM: random secret < n; the symmetric key is SHA-256(secret bytes).
+  BigUInt secret = BigUInt::RandomBelow(rng, key.n);
+  PSI_ASSIGN_OR_RETURN(BigUInt encapsulated, RsaEncrypt(key, secret));
+
+  auto kdf = Sha256::Hash(secret.ToLittleEndianBytes());
+  std::array<uint8_t, ChaCha20Cipher::kKeySize> sym_key;
+  std::copy(kdf.begin(), kdf.end(), sym_key.begin());
+
+  HybridCiphertext ct;
+  ct.encapsulated_key = std::move(encapsulated);
+  ct.nonce.resize(ChaCha20Cipher::kNonceSize);
+  rng->FillBytes(ct.nonce.data(), ct.nonce.size());
+  std::array<uint8_t, ChaCha20Cipher::kNonceSize> nonce_arr;
+  std::copy(ct.nonce.begin(), ct.nonce.end(), nonce_arr.begin());
+
+  ChaCha20Cipher cipher(sym_key, nonce_arr);
+  ct.payload = cipher.Process(plaintext);
+  return ct;
+}
+
+Result<std::vector<uint8_t>> HybridDecrypt(const RsaPrivateKey& key,
+                                           const HybridCiphertext& ct) {
+  if (ct.nonce.size() != ChaCha20Cipher::kNonceSize) {
+    return Status::CryptoError("bad hybrid nonce size");
+  }
+  PSI_ASSIGN_OR_RETURN(BigUInt secret, RsaDecrypt(key, ct.encapsulated_key));
+  auto kdf = Sha256::Hash(secret.ToLittleEndianBytes());
+  std::array<uint8_t, ChaCha20Cipher::kKeySize> sym_key;
+  std::copy(kdf.begin(), kdf.end(), sym_key.begin());
+  std::array<uint8_t, ChaCha20Cipher::kNonceSize> nonce_arr;
+  std::copy(ct.nonce.begin(), ct.nonce.end(), nonce_arr.begin());
+  ChaCha20Cipher cipher(sym_key, nonce_arr);
+  return cipher.Process(ct.payload);
+}
+
+}  // namespace psi

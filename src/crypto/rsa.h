@@ -1,0 +1,90 @@
+// Textbook RSA with CRT decryption, plus a hybrid (RSA-KEM + ChaCha20) mode.
+//
+// Protocol 6 has each provider encrypt its Delta_alpha vectors under the
+// host's public key so that the relaying provider P1 learns nothing. The
+// paper's Table 2 accounts one `z`-bit ciphertext per encrypted integer
+// (z = 1024 for RSA); `RsaPublicKey::CiphertextBytes()` reproduces exactly
+// that accounting. Deterministic padding-free RSA is malleable and
+// deterministic -- acceptable here only because every plaintext is already
+// masked/obfuscated upstream; the hybrid mode is the recommended production
+// configuration and is benchmarked as ablation A4.
+
+#ifndef PSI_CRYPTO_RSA_H_
+#define PSI_CRYPTO_RSA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/biguint.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace psi {
+
+/// \brief RSA public key (n, e).
+struct RsaPublicKey {
+  BigUInt n;
+  BigUInt e;
+
+  /// \brief Bits in the modulus (the `z` of Table 2).
+  size_t ModulusBits() const { return n.BitLength(); }
+
+  /// \brief Size of one ciphertext on the wire.
+  size_t CiphertextBytes() const { return (ModulusBits() + 7) / 8; }
+
+  /// \brief Serialized public-key size (the |kappa| of Table 2).
+  size_t SerializedSize() const {
+    return n.SerializedSize() + e.SerializedSize();
+  }
+};
+
+/// \brief RSA private key with CRT acceleration values.
+struct RsaPrivateKey {
+  BigUInt n;
+  BigUInt d;
+  BigUInt p;
+  BigUInt q;
+  BigUInt d_mod_p1;   ///< d mod (p-1)
+  BigUInt d_mod_q1;   ///< d mod (q-1)
+  BigUInt q_inv_p;    ///< q^-1 mod p
+};
+
+/// \brief Key pair container.
+struct RsaKeyPair {
+  RsaPublicKey public_key;
+  RsaPrivateKey private_key;
+};
+
+/// \brief Generates an RSA key pair with a `bits`-bit modulus and e = 65537.
+Result<RsaKeyPair> RsaGenerateKeyPair(Rng* rng, size_t bits);
+
+/// \brief c = m^e mod n. Requires m < n.
+Result<BigUInt> RsaEncrypt(const RsaPublicKey& key, const BigUInt& m);
+
+/// \brief m = c^d mod n via CRT. Requires c < n.
+Result<BigUInt> RsaDecrypt(const RsaPrivateKey& key, const BigUInt& c);
+
+/// \brief Hybrid ciphertext: RSA-encapsulated ChaCha20 key + stream payload.
+struct HybridCiphertext {
+  BigUInt encapsulated_key;      ///< RSA encryption of the session secret.
+  std::vector<uint8_t> nonce;    ///< 12-byte stream nonce.
+  std::vector<uint8_t> payload;  ///< ChaCha20-encrypted body.
+
+  size_t SerializedSize() const {
+    return encapsulated_key.SerializedSize() + nonce.size() + payload.size();
+  }
+};
+
+/// \brief Encrypts an arbitrary byte string: one RSA operation total
+/// (vs one per integer for plain RSA), the Table-2 ablation point.
+Result<HybridCiphertext> HybridEncrypt(const RsaPublicKey& key,
+                                       const std::vector<uint8_t>& plaintext,
+                                       Rng* rng);
+
+/// \brief Inverse of HybridEncrypt.
+Result<std::vector<uint8_t>> HybridDecrypt(const RsaPrivateKey& key,
+                                           const HybridCiphertext& ct);
+
+}  // namespace psi
+
+#endif  // PSI_CRYPTO_RSA_H_

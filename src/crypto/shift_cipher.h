@@ -1,0 +1,52 @@
+// The shift cipher on timestamps used by Protocol 5's enhanced log
+// obfuscation: t -> (t + s) mod frame, with the key s shared by the providers
+// of an action class and hidden from the semi-trusted aggregator.
+
+#ifndef PSI_CRYPTO_SHIFT_CIPHER_H_
+#define PSI_CRYPTO_SHIFT_CIPHER_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace psi {
+
+/// \brief Additive cipher over Z_frame.
+class ShiftCipher {
+ public:
+  /// \param key shift amount in [0, frame).
+  /// \param frame cyclic frame size (the paper's S' = T + h).
+  ShiftCipher(uint64_t key, uint64_t frame) : key_(key % frame), frame_(frame) {
+    PSI_CHECK(frame > 0) << "shift cipher frame must be positive";
+  }
+
+  /// \brief Samples a uniformly random key for the frame.
+  static ShiftCipher Random(Rng* rng, uint64_t frame) {
+    return ShiftCipher(rng->UniformU64(frame), frame);
+  }
+
+  /// \brief e_s(t) = t + s mod frame. Precondition: t < frame.
+  uint64_t Encrypt(uint64_t t) const {
+    PSI_DCHECK(t < frame_);
+    uint64_t shifted = t + key_;
+    return shifted >= frame_ ? shifted - frame_ : shifted;
+  }
+
+  /// \brief Inverse of Encrypt.
+  uint64_t Decrypt(uint64_t c) const {
+    PSI_DCHECK(c < frame_);
+    return c >= key_ ? c - key_ : c + frame_ - key_;
+  }
+
+  uint64_t key() const { return key_; }
+  uint64_t frame() const { return frame_; }
+
+ private:
+  uint64_t key_;
+  uint64_t frame_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_CRYPTO_SHIFT_CIPHER_H_

@@ -1,0 +1,131 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace psi {
+
+Result<SocialGraph> ErdosRenyiArcs(Rng* rng, size_t num_nodes,
+                                   size_t num_arcs) {
+  if (num_nodes < 2) return Status::InvalidArgument("need >= 2 nodes");
+  size_t max_arcs = num_nodes * (num_nodes - 1);
+  if (num_arcs > max_arcs) {
+    return Status::InvalidArgument("more arcs than ordered pairs");
+  }
+  SocialGraph g(num_nodes);
+  while (g.num_arcs() < num_arcs) {
+    auto u = static_cast<NodeId>(rng->UniformU64(num_nodes));
+    auto v = static_cast<NodeId>(rng->UniformU64(num_nodes));
+    if (u == v || g.HasArc(u, v)) continue;
+    PSI_RETURN_NOT_OK(g.AddArc(u, v));
+  }
+  return g;
+}
+
+Result<SocialGraph> ErdosRenyiProb(Rng* rng, size_t num_nodes, double p) {
+  if (num_nodes < 2) return Status::InvalidArgument("need >= 2 nodes");
+  if (p < 0.0 || p > 1.0) return Status::InvalidArgument("p must be in [0,1]");
+  SocialGraph g(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      if (u != v && rng->Bernoulli(p)) {
+        PSI_RETURN_NOT_OK(g.AddArc(u, v));
+      }
+    }
+  }
+  return g;
+}
+
+Result<SocialGraph> BarabasiAlbert(Rng* rng, size_t num_nodes, size_t attach) {
+  if (attach == 0) return Status::InvalidArgument("attach must be positive");
+  if (num_nodes <= attach) {
+    return Status::InvalidArgument("need more nodes than attachment count");
+  }
+  SocialGraph g(num_nodes);
+  // Seed clique over the first attach+1 nodes.
+  for (NodeId u = 0; u <= attach; ++u) {
+    for (NodeId v = 0; v <= attach; ++v) {
+      if (u < v) PSI_RETURN_NOT_OK(g.AddSymmetric(u, v));
+    }
+  }
+  // repeated_nodes holds each node once per incident undirected edge, so
+  // sampling uniformly from it is degree-proportional sampling.
+  std::vector<NodeId> repeated;
+  for (NodeId u = 0; u <= attach; ++u) {
+    for (size_t d = 0; d < attach; ++d) repeated.push_back(u);
+  }
+  for (NodeId u = static_cast<NodeId>(attach + 1); u < num_nodes; ++u) {
+    std::unordered_set<NodeId> targets;
+    while (targets.size() < attach) {
+      NodeId t = repeated[rng->UniformU64(repeated.size())];
+      if (t != u) targets.insert(t);
+    }
+    for (NodeId t : targets) {
+      PSI_RETURN_NOT_OK(g.AddSymmetric(u, t));
+      repeated.push_back(u);
+      repeated.push_back(t);
+    }
+  }
+  return g;
+}
+
+Result<SocialGraph> WattsStrogatz(Rng* rng, size_t num_nodes, size_t k,
+                                  double beta) {
+  if (k == 0 || k >= num_nodes / 2) {
+    return Status::InvalidArgument("k must be in [1, n/2)");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("beta must be in [0,1]");
+  }
+  SocialGraph g(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (size_t j = 1; j <= k; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % num_nodes);
+      if (rng->Bernoulli(beta)) {
+        // Rewire: pick a random non-duplicate target.
+        for (int tries = 0; tries < 64; ++tries) {
+          auto w = static_cast<NodeId>(rng->UniformU64(num_nodes));
+          if (w != u && !g.HasArc(u, w)) {
+            v = w;
+            break;
+          }
+        }
+      }
+      if (v != u && !g.HasArc(u, v)) {
+        PSI_RETURN_NOT_OK(g.AddArc(u, v));
+        if (!g.HasArc(v, u)) PSI_RETURN_NOT_OK(g.AddArc(v, u));
+      }
+    }
+  }
+  return g;
+}
+
+Result<std::vector<Arc>> ObfuscateArcSet(Rng* rng, const SocialGraph& graph,
+                                         double factor) {
+  if (factor <= 1.0) {
+    return Status::InvalidArgument("obfuscation factor must exceed 1");
+  }
+  size_t n = graph.num_nodes();
+  size_t max_arcs = n * (n - 1);
+  auto target =
+      static_cast<size_t>(factor * static_cast<double>(graph.num_arcs()));
+  target = std::min(std::max(target, graph.num_arcs()), max_arcs);
+
+  std::vector<Arc> result = graph.arcs();
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(target);
+  for (const Arc& a : result) {
+    seen.insert((static_cast<uint64_t>(a.from) << 32) | a.to);
+  }
+  while (result.size() < target) {
+    auto u = static_cast<NodeId>(rng->UniformU64(n));
+    auto v = static_cast<NodeId>(rng->UniformU64(n));
+    if (u == v) continue;
+    if (!seen.insert((static_cast<uint64_t>(u) << 32) | v).second) continue;
+    result.push_back(Arc{u, v});
+  }
+  rng->Shuffle(&result);
+  return result;
+}
+
+}  // namespace psi

@@ -1,0 +1,30 @@
+#include "graph/graph.h"
+
+namespace psi {
+
+SocialGraph::SocialGraph(size_t num_nodes) : out_(num_nodes), in_(num_nodes) {}
+
+Status SocialGraph::AddArc(NodeId from, NodeId to) {
+  if (from >= num_nodes() || to >= num_nodes()) {
+    return Status::OutOfRange("AddArc: node id out of range");
+  }
+  if (from == to) return Status::InvalidArgument("AddArc: self-loop");
+  if (!arc_set_.insert(ArcKey(from, to)).second) {
+    return Status::AlreadyExists("AddArc: duplicate arc");
+  }
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  arcs_.push_back(Arc{from, to});
+  return Status::OK();
+}
+
+bool SocialGraph::HasArc(NodeId from, NodeId to) const {
+  return arc_set_.contains(ArcKey(from, to));
+}
+
+Status SocialGraph::AddSymmetric(NodeId u, NodeId v) {
+  PSI_RETURN_NOT_OK(AddArc(u, v));
+  return AddArc(v, u);
+}
+
+}  // namespace psi

@@ -1,0 +1,71 @@
+// The host's social graph G = (V, E): directed, a link (u, v) meaning v
+// follows u, i.e. u can influence v (Section 3).
+
+#ifndef PSI_GRAPH_GRAPH_H_
+#define PSI_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace psi {
+
+/// \brief Dense node identifier in [0, num_nodes).
+using NodeId = uint32_t;
+
+/// \brief A directed arc (source influences target).
+struct Arc {
+  NodeId from;
+  NodeId to;
+
+  bool operator==(const Arc&) const = default;
+  bool operator<(const Arc& o) const {
+    return from != o.from ? from < o.from : to < o.to;
+  }
+};
+
+/// \brief Directed social graph with O(1) arc membership tests.
+class SocialGraph {
+ public:
+  /// Constructs an empty graph on `num_nodes` isolated nodes.
+  explicit SocialGraph(size_t num_nodes);
+
+  size_t num_nodes() const { return out_.size(); }
+  size_t num_arcs() const { return arcs_.size(); }
+
+  /// \brief Adds arc (from, to). Self-loops and duplicates are rejected.
+  Status AddArc(NodeId from, NodeId to);
+
+  /// \brief True iff (from, to) is an arc.
+  bool HasArc(NodeId from, NodeId to) const;
+
+  /// \brief Adds both (u, v) and (v, u) — undirected relations like
+  /// friendship are modeled as two arcs (footnote 4 of the paper).
+  Status AddSymmetric(NodeId u, NodeId v);
+
+  const std::vector<NodeId>& OutNeighbors(NodeId v) const { return out_[v]; }
+  const std::vector<NodeId>& InNeighbors(NodeId v) const { return in_[v]; }
+
+  /// \brief All arcs in insertion order.
+  const std::vector<Arc>& arcs() const { return arcs_; }
+
+  size_t OutDegree(NodeId v) const { return out_[v].size(); }
+  size_t InDegree(NodeId v) const { return in_[v].size(); }
+
+ private:
+  static uint64_t ArcKey(NodeId from, NodeId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::vector<Arc> arcs_;
+  std::unordered_set<uint64_t> arc_set_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_GRAPH_GRAPH_H_

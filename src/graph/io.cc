@@ -1,0 +1,77 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+namespace psi {
+
+Status WriteGraphText(const SocialGraph& graph, std::ostream* out) {
+  *out << "# psi social graph\n";
+  *out << "nodes " << graph.num_nodes() << "\n";
+  for (const Arc& a : graph.arcs()) {
+    *out << "arc " << a.from << " " << a.to << "\n";
+  }
+  if (!out->good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Result<SocialGraph> ReadGraphText(std::istream* in) {
+  std::optional<SocialGraph> graph;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "nodes") {
+      uint64_t n = 0;
+      if (!(fields >> n) || n == 0) {
+        return Status::SerializationError("bad node count at line " +
+                                          std::to_string(line_no));
+      }
+      if (graph.has_value()) {
+        return Status::SerializationError("duplicate nodes directive");
+      }
+      graph.emplace(n);
+    } else if (kind == "arc") {
+      if (!graph.has_value()) {
+        return Status::SerializationError("arc before nodes directive");
+      }
+      uint64_t from = 0, to = 0;
+      if (!(fields >> from >> to)) {
+        return Status::SerializationError("bad arc at line " +
+                                          std::to_string(line_no));
+      }
+      if (from >= graph->num_nodes() || to >= graph->num_nodes()) {
+        return Status::OutOfRange("arc endpoint out of range at line " +
+                                  std::to_string(line_no));
+      }
+      PSI_RETURN_NOT_OK(graph->AddArc(static_cast<NodeId>(from),
+                                      static_cast<NodeId>(to)));
+    } else {
+      return Status::SerializationError("unknown record '" + kind +
+                                        "' at line " + std::to_string(line_no));
+    }
+  }
+  if (!graph.has_value()) {
+    return Status::SerializationError("missing nodes directive");
+  }
+  return *std::move(graph);
+}
+
+Status SaveGraph(const SocialGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  return WriteGraphText(graph, &out);
+}
+
+Result<SocialGraph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  return ReadGraphText(&in);
+}
+
+}  // namespace psi

@@ -1,0 +1,32 @@
+// Text serialization of social graphs, so hosts can load real edge lists.
+//
+// Format (one record per line, '#' comments allowed):
+//   nodes <n>
+//   arc <from> <to>
+// The loader validates ids and rejects duplicates/self-loops via
+// SocialGraph::AddArc.
+
+#ifndef PSI_GRAPH_IO_H_
+#define PSI_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace psi {
+
+/// \brief Writes the graph to a stream.
+Status WriteGraphText(const SocialGraph& graph, std::ostream* out);
+
+/// \brief Reads a graph from a stream.
+Result<SocialGraph> ReadGraphText(std::istream* in);
+
+/// \brief File conveniences.
+Status SaveGraph(const SocialGraph& graph, const std::string& path);
+Result<SocialGraph> LoadGraph(const std::string& path);
+
+}  // namespace psi
+
+#endif  // PSI_GRAPH_IO_H_

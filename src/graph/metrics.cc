@@ -1,0 +1,81 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace psi {
+
+DegreeStats ComputeDegreeStats(const SocialGraph& graph, size_t max_bins) {
+  DegreeStats stats;
+  stats.out_histogram.assign(std::max<size_t>(max_bins, 1), 0);
+  const size_t n = graph.num_nodes();
+  if (n == 0) return stats;
+  size_t total_out = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    size_t out = graph.OutDegree(v);
+    size_t in = graph.InDegree(v);
+    total_out += out;
+    stats.max_out = std::max(stats.max_out, out);
+    stats.max_in = std::max(stats.max_in, in);
+    ++stats.out_histogram[std::min(out, stats.out_histogram.size() - 1)];
+  }
+  stats.mean_out = static_cast<double>(total_out) / static_cast<double>(n);
+  return stats;
+}
+
+double Reciprocity(const SocialGraph& graph) {
+  if (graph.num_arcs() == 0) return 0.0;
+  size_t mutual = 0;
+  for (const Arc& a : graph.arcs()) {
+    if (graph.HasArc(a.to, a.from)) ++mutual;
+  }
+  return static_cast<double>(mutual) / static_cast<double>(graph.num_arcs());
+}
+
+double ClusteringCoefficient(const SocialGraph& graph) {
+  const size_t n = graph.num_nodes();
+  // Undirected projection as sorted neighbor sets.
+  std::vector<std::set<NodeId>> nbrs(n);
+  for (const Arc& a : graph.arcs()) {
+    nbrs[a.from].insert(a.to);
+    nbrs[a.to].insert(a.from);
+  }
+  uint64_t triangles3 = 0;  // Counts each triangle once per corner.
+  uint64_t triples = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    uint64_t d = nbrs[v].size();
+    if (d < 2) continue;
+    triples += d * (d - 1) / 2;
+    for (auto it = nbrs[v].begin(); it != nbrs[v].end(); ++it) {
+      auto jt = it;
+      for (++jt; jt != nbrs[v].end(); ++jt) {
+        if (nbrs[*it].contains(*jt)) ++triangles3;
+      }
+    }
+  }
+  if (triples == 0) return 0.0;
+  return static_cast<double>(triangles3) / static_cast<double>(triples);
+}
+
+size_t ReachableCount(const SocialGraph& graph, NodeId src) {
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::queue<NodeId> frontier;
+  seen[src] = true;
+  frontier.push(src);
+  size_t count = 0;
+  while (!frontier.empty()) {
+    NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId w : graph.OutNeighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++count;
+        frontier.push(w);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace psi

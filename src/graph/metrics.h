@@ -1,0 +1,42 @@
+// Structural graph metrics, used to characterize the synthetic workloads
+// the benches run on (the paper's communication costs depend on |E| and the
+// cascade shapes depend on degree structure).
+
+#ifndef PSI_GRAPH_METRICS_H_
+#define PSI_GRAPH_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace psi {
+
+/// \brief Degree summary of a directed graph.
+struct DegreeStats {
+  double mean_out = 0.0;
+  size_t max_out = 0;
+  size_t max_in = 0;
+  /// histogram[d] = number of nodes with out-degree d (capped at last bin).
+  std::vector<size_t> out_histogram;
+};
+
+/// \brief Computes degree statistics; the histogram covers degrees
+/// 0..max_bins-1 with the final bin absorbing the tail.
+DegreeStats ComputeDegreeStats(const SocialGraph& graph,
+                               size_t max_bins = 64);
+
+/// \brief Fraction of arcs whose reverse arc also exists (reciprocity);
+/// 1.0 for symmetric graphs, 0 for arc-free graphs.
+double Reciprocity(const SocialGraph& graph);
+
+/// \brief Global clustering coefficient of the undirected projection:
+/// 3 * triangles / connected triples. 0 for degenerate graphs.
+double ClusteringCoefficient(const SocialGraph& graph);
+
+/// \brief Number of nodes reachable from `src` ignoring labels (BFS).
+size_t ReachableCount(const SocialGraph& graph, NodeId src);
+
+}  // namespace psi
+
+#endif  // PSI_GRAPH_METRICS_H_

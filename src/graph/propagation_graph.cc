@@ -1,0 +1,47 @@
+#include "graph/propagation_graph.h"
+
+#include <limits>
+#include <queue>
+
+namespace psi {
+
+Status PropagationGraph::AddArc(NodeId from, NodeId to, uint64_t delta_t) {
+  if (from >= num_nodes() || to >= num_nodes()) {
+    return Status::OutOfRange("PropagationGraph::AddArc: node out of range");
+  }
+  if (delta_t == 0) {
+    return Status::InvalidArgument("propagation delay must be positive");
+  }
+  adj_[from].push_back(LabeledArc{to, delta_t});
+  ++num_arcs_;
+  return Status::OK();
+}
+
+std::vector<NodeId> PropagationGraph::BoundedReachable(NodeId src,
+                                                       uint64_t tau) const {
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+  std::vector<uint64_t> dist(num_nodes(), kInf);
+  using Entry = std::pair<uint64_t, NodeId>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  dist[src] = 0;
+  frontier.push({0, src});
+  while (!frontier.empty()) {
+    auto [d, v] = frontier.top();
+    frontier.pop();
+    if (d != dist[v]) continue;  // Stale entry.
+    for (const LabeledArc& arc : adj_[v]) {
+      uint64_t nd = d + arc.delta_t;
+      if (nd <= tau && nd < dist[arc.to]) {
+        dist[arc.to] = nd;
+        frontier.push({nd, arc.to});
+      }
+    }
+  }
+  std::vector<NodeId> reachable;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (v != src && dist[v] <= tau) reachable.push_back(v);
+  }
+  return reachable;
+}
+
+}  // namespace psi

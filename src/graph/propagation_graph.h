@@ -1,0 +1,53 @@
+// The propagation graph PG(alpha) of Definition 3.1: a labeled graph with an
+// arc (v_i, v_j) labeled Delta t = t_j - t_i > 0 whenever (v_i, v_j) in E and
+// both users performed the action. Influence spheres (Definition 3.2) are
+// tau-bounded reachability sets in this graph.
+
+#ifndef PSI_GRAPH_PROPAGATION_GRAPH_H_
+#define PSI_GRAPH_PROPAGATION_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace psi {
+
+/// \brief Weighted arc of a propagation graph.
+struct LabeledArc {
+  NodeId to;
+  uint64_t delta_t;  ///< Propagation delay along the arc (> 0).
+};
+
+/// \brief The propagation graph of one action.
+class PropagationGraph {
+ public:
+  explicit PropagationGraph(size_t num_nodes) : adj_(num_nodes) {}
+
+  size_t num_nodes() const { return adj_.size(); }
+  size_t num_arcs() const { return num_arcs_; }
+
+  /// \brief Adds (from, to) labeled delta_t. delta_t must be positive.
+  Status AddArc(NodeId from, NodeId to, uint64_t delta_t);
+
+  const std::vector<LabeledArc>& OutArcs(NodeId v) const { return adj_[v]; }
+
+  /// \brief Nodes reachable from `src` by a path whose label sum is <= tau
+  /// (Dijkstra over non-negative delays). `src` itself is excluded; see
+  /// DESIGN.md §3 for the Definition 3.2 interpretation note.
+  std::vector<NodeId> BoundedReachable(NodeId src, uint64_t tau) const;
+
+  /// \brief |Inf_tau(src)| — the size of the tau-influence sphere.
+  size_t InfluenceSphereSize(NodeId src, uint64_t tau) const {
+    return BoundedReachable(src, tau).size();
+  }
+
+ private:
+  std::vector<std::vector<LabeledArc>> adj_;
+  size_t num_arcs_ = 0;
+};
+
+}  // namespace psi
+
+#endif  // PSI_GRAPH_PROPAGATION_GRAPH_H_

@@ -1,0 +1,148 @@
+#include "influence/em_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace psi {
+
+namespace {
+
+// Precomputed episode structure: for each arc, the indices of actions where
+// it was tried, and for each activation, its candidate parent arcs.
+struct Episodes {
+  // Per arc: number of trials (u active, v not already active at u's time).
+  std::vector<uint64_t> trials;
+  // Activations with at least one candidate parent: list of (arc indices).
+  std::vector<std::vector<size_t>> activation_parents;
+};
+
+Episodes BuildEpisodes(const SocialGraph& graph, const ActionLog& log,
+                       uint64_t h) {
+  Episodes ep;
+  ep.trials.assign(graph.num_arcs(), 0);
+
+  // Arc index lookup.
+  std::unordered_map<uint64_t, size_t> arc_index;
+  arc_index.reserve(graph.num_arcs());
+  for (size_t k = 0; k < graph.num_arcs(); ++k) {
+    const Arc& a = graph.arcs()[k];
+    arc_index.emplace((static_cast<uint64_t>(a.from) << 32) | a.to, k);
+  }
+
+  ActionId num_actions = log.MaxActionId();
+  for (ActionId action = 0; action < num_actions; ++action) {
+    auto records = log.RecordsOfAction(action);
+    std::unordered_map<NodeId, uint64_t> when;
+    when.reserve(records.size());
+    for (const auto& r : records) when.emplace(r.user, r.time);
+
+    // Trials: u active at t_u, v not active at any t_v <= t_u.
+    for (const auto& r : records) {
+      for (NodeId v : graph.OutNeighbors(r.user)) {
+        auto it = when.find(v);
+        if (it != when.end() && it->second <= r.time) continue;  // Not a trial.
+        size_t k = arc_index.at((static_cast<uint64_t>(r.user) << 32) | v);
+        ++ep.trials[k];
+      }
+    }
+    // Activations: candidate parents of each activated v.
+    for (const auto& r : records) {
+      std::vector<size_t> parents;
+      for (NodeId u : graph.InNeighbors(r.user)) {
+        auto it = when.find(u);
+        if (it == when.end()) continue;
+        uint64_t tu = it->second;
+        if (tu < r.time && r.time <= tu + h) {
+          parents.push_back(
+              arc_index.at((static_cast<uint64_t>(u) << 32) | r.user));
+        }
+      }
+      if (!parents.empty()) {
+        ep.activation_parents.push_back(std::move(parents));
+      }
+    }
+  }
+  return ep;
+}
+
+}  // namespace
+
+Result<EmResult> LearnInfluenceEm(const SocialGraph& graph,
+                                  const ActionLog& log,
+                                  const EmConfig& config) {
+  if (config.h == 0) return Status::InvalidArgument("window h must be > 0");
+  if (config.initial_p <= 0.0 || config.initial_p >= 1.0) {
+    return Status::InvalidArgument("initial_p must be in (0, 1)");
+  }
+  if (config.max_iterations == 0) {
+    return Status::InvalidArgument("need at least one iteration");
+  }
+
+  Episodes ep = BuildEpisodes(graph, log, config.h);
+  std::vector<double> p(graph.num_arcs(), config.initial_p);
+  // Arcs with zero trials carry no evidence: probability pinned to 0.
+  for (size_t k = 0; k < p.size(); ++k) {
+    if (ep.trials[k] == 0) p[k] = 0.0;
+  }
+
+  EmResult result;
+  std::vector<double> successes(graph.num_arcs());
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // E-step: ascribe each activation to its candidate parents.
+    std::fill(successes.begin(), successes.end(), 0.0);
+    for (const auto& parents : ep.activation_parents) {
+      double fail_all = 1.0;
+      for (size_t k : parents) fail_all *= 1.0 - p[k];
+      double activation_prob = 1.0 - fail_all;
+      if (activation_prob <= 0.0) {
+        // All candidate parents currently at 0: split evenly to escape the
+        // degenerate fixpoint.
+        double share = 1.0 / static_cast<double>(parents.size());
+        for (size_t k : parents) successes[k] += share;
+        continue;
+      }
+      for (size_t k : parents) {
+        successes[k] += p[k] / activation_prob;
+      }
+    }
+    // M-step: successes over trials.
+    double delta = 0.0;
+    for (size_t k = 0; k < p.size(); ++k) {
+      if (ep.trials[k] == 0) continue;
+      double updated = successes[k] / static_cast<double>(ep.trials[k]);
+      updated = std::clamp(updated, 0.0, 1.0);
+      delta = std::max(delta, std::abs(updated - p[k]));
+      p[k] = updated;
+    }
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (delta < config.tolerance) break;
+  }
+
+  // Final log-likelihood: activations with parents + failed trials.
+  double ll = 0.0;
+  for (const auto& parents : ep.activation_parents) {
+    double fail_all = 1.0;
+    for (size_t k : parents) fail_all *= 1.0 - p[k];
+    double prob = 1.0 - fail_all;
+    ll += std::log(std::max(prob, 1e-300));
+  }
+  // Failure terms: each trial that did not lead to the success accounted in
+  // activation_parents contributes log(1 - p). Successes per arc at the
+  // fixpoint equal the E-step ascriptions; approximate failures as
+  // trials - ascribed successes.
+  for (size_t k = 0; k < p.size(); ++k) {
+    if (ep.trials[k] == 0 || p[k] >= 1.0) continue;
+    double failures =
+        std::max(0.0, static_cast<double>(ep.trials[k]) - successes[k]);
+    ll += failures * std::log(1.0 - p[k]);
+  }
+  result.log_likelihood = ll;
+
+  result.influence.pairs = graph.arcs();
+  result.influence.p = std::move(p);
+  return result;
+}
+
+}  // namespace psi

@@ -1,0 +1,56 @@
+// Expectation-Maximization learning of IC influence probabilities
+// (Saito, Nakano, Kimura 2008) — the alternative estimator the paper's
+// related-work section discusses and deliberately avoids in the secure
+// setting (it updates every arc on every iteration, so a secure version
+// would multiply the MPC cost by the iteration count; Section 2).
+//
+// Included here as a *plaintext* baseline: the learning-method ablation
+// bench compares Eq. (1), Eq. (2) and EM against the generating ground
+// truth, reproducing the trade-off the paper cites for preferring the
+// frequency estimator of Goyal et al.
+//
+// Model: user v activates on action alpha at time t_v; its potential
+// influencers are the in-neighbors u with 0 < t_v - t_u <= h. The
+// activation likelihood is 1 - prod_u (1 - p_uv); EM ascribes each
+// activation fractionally to its candidate parents (E-step) and re-estimates
+// p_uv as ascribed successes over trials (M-step). A trial of (u, v) is an
+// action u performed while v was not already active; it succeeds if v
+// follows within the window.
+
+#ifndef PSI_INFLUENCE_EM_LEARNER_H_
+#define PSI_INFLUENCE_EM_LEARNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "influence/link_influence.h"
+
+namespace psi {
+
+/// \brief EM configuration.
+struct EmConfig {
+  uint64_t h = 4;             ///< Influence window (same role as Eq. (1)).
+  size_t max_iterations = 50;
+  double tolerance = 1e-6;    ///< Stop when max |p - p_prev| drops below.
+  double initial_p = 0.3;     ///< Uniform initialization.
+};
+
+/// \brief EM output.
+struct EmResult {
+  LinkInfluence influence;    ///< Arc-aligned learned probabilities.
+  size_t iterations = 0;      ///< Iterations actually run.
+  double final_delta = 0.0;   ///< Last max parameter change.
+  double log_likelihood = 0.0;  ///< Final data log-likelihood.
+};
+
+/// \brief Learns p_uv for every arc of `graph` from the unified log.
+Result<EmResult> LearnInfluenceEm(const SocialGraph& graph,
+                                  const ActionLog& log,
+                                  const EmConfig& config);
+
+}  // namespace psi
+
+#endif  // PSI_INFLUENCE_EM_LEARNER_H_

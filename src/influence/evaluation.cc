@@ -1,0 +1,80 @@
+#include "influence/evaluation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace psi {
+
+Result<double> KendallTau(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("KendallTau requires equal lengths");
+  }
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  // O(n^2) tau-a: adequate for the evaluation sizes used here.
+  int64_t concordant = 0, discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double da = a[i] - a[j];
+      double db = b[i] - b[j];
+      double prod = da * db;
+      if (prod > 0) ++concordant;
+      if (prod < 0) ++discordant;
+    }
+  }
+  auto pairs = static_cast<double>(n * (n - 1) / 2);
+  return (static_cast<double>(concordant) - static_cast<double>(discordant)) /
+         pairs;
+}
+
+namespace {
+
+std::vector<size_t> RankedIndices(const std::vector<double>& scores) {
+  std::vector<size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t x, size_t y) {
+    return scores[x] > scores[y];
+  });
+  return idx;
+}
+
+}  // namespace
+
+Result<double> TopKOverlap(const std::vector<double>& reference,
+                           const std::vector<double>& estimate, size_t k) {
+  if (reference.size() != estimate.size()) {
+    return Status::InvalidArgument("TopKOverlap requires equal lengths");
+  }
+  if (k == 0 || k > reference.size()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  auto ref_rank = RankedIndices(reference);
+  auto est_rank = RankedIndices(estimate);
+  std::vector<bool> in_ref(reference.size(), false);
+  for (size_t i = 0; i < k; ++i) in_ref[ref_rank[i]] = true;
+  size_t hits = 0;
+  for (size_t i = 0; i < k; ++i) hits += in_ref[est_rank[i]];
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+Result<double> ReciprocalRankOfBest(const std::vector<double>& reference,
+                                    const std::vector<double>& estimate) {
+  if (reference.size() != estimate.size()) {
+    return Status::InvalidArgument("requires equal lengths");
+  }
+  if (reference.empty()) return Status::InvalidArgument("empty input");
+  size_t best = 0;
+  for (size_t i = 1; i < reference.size(); ++i) {
+    if (reference[i] > reference[best]) best = i;
+  }
+  auto est_rank = RankedIndices(estimate);
+  for (size_t pos = 0; pos < est_rank.size(); ++pos) {
+    if (est_rank[pos] == best) {
+      return 1.0 / static_cast<double>(pos + 1);
+    }
+  }
+  return Status::Internal("best index missing from ranking");
+}
+
+}  // namespace psi

@@ -1,0 +1,201 @@
+#include "influence/influence_max.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace psi {
+
+namespace {
+
+// One IC simulation; returns the number of activated nodes.
+size_t SimulateOnce(const SocialGraph& graph, const ArcProbabilities& probs,
+                    const std::vector<NodeId>& seeds, Rng* rng,
+                    std::vector<uint32_t>* visited_epoch, uint32_t epoch,
+                    const std::vector<size_t>& arc_offset) {
+  std::vector<NodeId> frontier = seeds;
+  size_t activated = 0;
+  for (NodeId s : seeds) {
+    if ((*visited_epoch)[s] != epoch) {
+      (*visited_epoch)[s] = epoch;
+      ++activated;
+    }
+  }
+  while (!frontier.empty()) {
+    NodeId u = frontier.back();
+    frontier.pop_back();
+    const auto& nbrs = graph.OutNeighbors(u);
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      NodeId v = nbrs[j];
+      if ((*visited_epoch)[v] == epoch) continue;
+      if (rng->Bernoulli(probs[arc_offset[u] + j])) {
+        (*visited_epoch)[v] = epoch;
+        ++activated;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return activated;
+}
+
+// Precomputes, for every node, the index into the arc-aligned probability
+// vector of its first out-arc. Requires probs to be ordered by (node, j)
+// like SocialGraph stores arcs... it is not, so build a remapped vector.
+struct FlatProbs {
+  std::vector<size_t> offset;  // node -> first slot
+  std::vector<double> p;       // per (node, out-neighbor j)
+};
+
+Result<FlatProbs> Flatten(const SocialGraph& graph,
+                          const ArcProbabilities& probs) {
+  if (probs.size() != graph.num_arcs()) {
+    return Status::InvalidArgument("probability vector length != arc count");
+  }
+  FlatProbs flat;
+  flat.offset.resize(graph.num_nodes() + 1, 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    flat.offset[u + 1] = flat.offset[u] + graph.OutDegree(u);
+  }
+  flat.p.assign(graph.num_arcs(), 0.0);
+  std::vector<size_t> cursor(graph.num_nodes(), 0);
+  for (size_t k = 0; k < graph.num_arcs(); ++k) {
+    const Arc& a = graph.arcs()[k];
+    flat.p[flat.offset[a.from] + cursor[a.from]] = probs[k];
+    ++cursor[a.from];
+  }
+  return flat;
+}
+
+double EstimateSpreadFlat(const SocialGraph& graph, const FlatProbs& flat,
+                          const std::vector<NodeId>& seeds, Rng* rng,
+                          size_t num_simulations,
+                          std::vector<uint32_t>* visited_epoch,
+                          uint32_t* epoch) {
+  double total = 0.0;
+  for (size_t s = 0; s < num_simulations; ++s) {
+    ++*epoch;
+    total += static_cast<double>(SimulateOnce(
+        graph, flat.p, seeds, rng, visited_epoch, *epoch, flat.offset));
+  }
+  return total / static_cast<double>(num_simulations);
+}
+
+}  // namespace
+
+Result<double> EstimateSpread(const SocialGraph& graph,
+                              const ArcProbabilities& probs,
+                              const std::vector<NodeId>& seeds, Rng* rng,
+                              size_t num_simulations) {
+  if (num_simulations == 0) {
+    return Status::InvalidArgument("need at least one simulation");
+  }
+  for (NodeId s : seeds) {
+    if (s >= graph.num_nodes()) return Status::OutOfRange("bad seed id");
+  }
+  PSI_ASSIGN_OR_RETURN(FlatProbs flat, Flatten(graph, probs));
+  std::vector<uint32_t> visited(graph.num_nodes(), 0);
+  uint32_t epoch = 0;
+  return EstimateSpreadFlat(graph, flat, seeds, rng, num_simulations, &visited,
+                            &epoch);
+}
+
+Result<SeedSelection> GreedyInfluenceMaximization(const SocialGraph& graph,
+                                                  const ArcProbabilities& probs,
+                                                  size_t k, Rng* rng,
+                                                  size_t num_simulations) {
+  if (k == 0 || k > graph.num_nodes()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  PSI_ASSIGN_OR_RETURN(FlatProbs flat, Flatten(graph, probs));
+  std::vector<uint32_t> visited(graph.num_nodes(), 0);
+  uint32_t epoch = 0;
+
+  SeedSelection sel;
+  std::vector<bool> chosen(graph.num_nodes(), false);
+  double current = 0.0;
+  for (size_t round = 0; round < k; ++round) {
+    double best_gain = -1.0;
+    NodeId best = 0;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (chosen[v]) continue;
+      auto candidate = sel.seeds;
+      candidate.push_back(v);
+      double spread = EstimateSpreadFlat(graph, flat, candidate, rng,
+                                         num_simulations, &visited, &epoch);
+      ++sel.spread_evaluations;
+      if (spread - current > best_gain) {
+        best_gain = spread - current;
+        best = v;
+      }
+    }
+    chosen[best] = true;
+    sel.seeds.push_back(best);
+    current += best_gain;
+  }
+  sel.expected_spread = current;
+  return sel;
+}
+
+Result<SeedSelection> CelfInfluenceMaximization(const SocialGraph& graph,
+                                                const ArcProbabilities& probs,
+                                                size_t k, Rng* rng,
+                                                size_t num_simulations) {
+  if (k == 0 || k > graph.num_nodes()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  PSI_ASSIGN_OR_RETURN(FlatProbs flat, Flatten(graph, probs));
+  std::vector<uint32_t> visited(graph.num_nodes(), 0);
+  uint32_t epoch = 0;
+
+  SeedSelection sel;
+  // (gain, node, round-when-evaluated): lazy priority queue.
+  struct Entry {
+    double gain;
+    NodeId node;
+    size_t fresh_at;
+  };
+  auto cmp = [](const Entry& a, const Entry& b) { return a.gain < b.gain; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    double spread = EstimateSpreadFlat(graph, flat, {v}, rng, num_simulations,
+                                       &visited, &epoch);
+    ++sel.spread_evaluations;
+    heap.push(Entry{spread, v, 0});
+  }
+
+  double current = 0.0;
+  while (sel.seeds.size() < k) {
+    Entry top = heap.top();
+    heap.pop();
+    if (top.fresh_at == sel.seeds.size()) {
+      sel.seeds.push_back(top.node);
+      current += top.gain;
+    } else {
+      // Stale: re-evaluate the marginal gain against the current seed set.
+      auto candidate = sel.seeds;
+      candidate.push_back(top.node);
+      double spread = EstimateSpreadFlat(graph, flat, candidate, rng,
+                                         num_simulations, &visited, &epoch);
+      ++sel.spread_evaluations;
+      heap.push(Entry{spread - current, top.node, sel.seeds.size()});
+    }
+  }
+  sel.expected_spread = current;
+  return sel;
+}
+
+SeedSelection DegreeHeuristic(const SocialGraph& graph, size_t k) {
+  std::vector<NodeId> ids(graph.num_nodes());
+  std::iota(ids.begin(), ids.end(), 0u);
+  k = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<ptrdiff_t>(k),
+                    ids.end(), [&](NodeId a, NodeId b) {
+                      return graph.OutDegree(a) > graph.OutDegree(b);
+                    });
+  SeedSelection sel;
+  sel.seeds.assign(ids.begin(), ids.begin() + static_cast<ptrdiff_t>(k));
+  return sel;
+}
+
+}  // namespace psi

@@ -1,0 +1,62 @@
+#include "influence/link_influence.h"
+
+#include <cmath>
+
+namespace psi {
+
+Result<LinkInfluence> ComputeLinkInfluence(const ActionLog& log,
+                                           const std::vector<Arc>& pairs,
+                                           size_t num_users, uint64_t h) {
+  if (h == 0) return Status::InvalidArgument("window h must be positive");
+  auto a = ComputeActionCounts(log, num_users);
+  auto b = ComputeFollowCounts(log, pairs, h);
+  LinkInfluence out;
+  out.pairs = pairs;
+  out.p.resize(pairs.size());
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    NodeId i = pairs[k].from;
+    if (i >= num_users || a[i] == 0) {
+      out.p[k] = 0.0;  // Paper: p_ij := 0 when the denominator is 0.
+    } else {
+      out.p[k] = static_cast<double>(b[k]) / static_cast<double>(a[i]);
+    }
+  }
+  return out;
+}
+
+Result<LinkInfluence> ComputeWeightedLinkInfluence(
+    const ActionLog& log, const std::vector<Arc>& pairs, size_t num_users,
+    const TemporalWeights& weights) {
+  if (weights.h() == 0) {
+    return Status::InvalidArgument("window h must be positive");
+  }
+  auto a = ComputeActionCounts(log, num_users);
+  auto num = ComputeWeightedFollowCounts(log, pairs, weights);
+  LinkInfluence out;
+  out.pairs = pairs;
+  out.p.resize(pairs.size());
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    NodeId i = pairs[k].from;
+    if (i >= num_users || a[i] == 0) {
+      out.p[k] = 0.0;
+    } else {
+      out.p[k] = num[k] / static_cast<double>(a[i]);
+    }
+  }
+  return out;
+}
+
+Result<double> MeanAbsoluteError(const LinkInfluence& a,
+                                 const LinkInfluence& b) {
+  if (a.p.size() != b.p.size()) {
+    return Status::InvalidArgument("influence vectors differ in length");
+  }
+  if (a.p.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t k = 0; k < a.p.size(); ++k) {
+    acc += std::abs(a.p[k] - b.p[k]);
+  }
+  return acc / static_cast<double>(a.p.size());
+}
+
+}  // namespace psi

@@ -1,0 +1,44 @@
+// Plaintext computation of link influence strengths (Section 3.1).
+// This is the ground truth the secure Protocol 4 must reproduce exactly:
+//   Eq. (1): p_ij = b^h_ij / a_i
+//   Eq. (2): p_ij = (sum_l w_l c^l_ij) / a_i
+// with p_ij = 0 whenever a_i = 0.
+
+#ifndef PSI_INFLUENCE_LINK_INFLUENCE_H_
+#define PSI_INFLUENCE_LINK_INFLUENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "actionlog/counters.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace psi {
+
+/// \brief Link strengths aligned with `pairs` (usually graph.arcs()).
+struct LinkInfluence {
+  std::vector<Arc> pairs;
+  std::vector<double> p;
+};
+
+/// \brief Eq. (1): p_ij = b^h_ij / a_i over the unified log.
+Result<LinkInfluence> ComputeLinkInfluence(const ActionLog& log,
+                                           const std::vector<Arc>& pairs,
+                                           size_t num_users, uint64_t h);
+
+/// \brief Eq. (2): temporally weighted variant.
+Result<LinkInfluence> ComputeWeightedLinkInfluence(
+    const ActionLog& log, const std::vector<Arc>& pairs, size_t num_users,
+    const TemporalWeights& weights);
+
+/// \brief Mean absolute error between two influence vectors on the same
+/// pairs (used to compare learned strengths against ground truth and secure
+/// output against plaintext).
+Result<double> MeanAbsoluteError(const LinkInfluence& a,
+                                 const LinkInfluence& b);
+
+}  // namespace psi
+
+#endif  // PSI_INFLUENCE_LINK_INFLUENCE_H_

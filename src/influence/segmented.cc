@@ -1,0 +1,41 @@
+#include "influence/segmented.h"
+
+namespace psi {
+
+ActionLog FilterLogBySegment(const ActionLog& log,
+                             const std::vector<uint32_t>& segment_of_action,
+                             uint32_t segment) {
+  ActionLog out;
+  for (const auto& r : log.records()) {
+    if (r.action < segment_of_action.size() &&
+        segment_of_action[r.action] == segment) {
+      out.Add(r);
+    }
+  }
+  return out;
+}
+
+Result<SegmentedLinkInfluence> ComputeSegmentedLinkInfluence(
+    const ActionLog& log, const std::vector<Arc>& pairs, size_t num_users,
+    uint64_t h, const std::vector<uint32_t>& segment_of_action,
+    uint32_t num_segments) {
+  if (num_segments == 0) {
+    return Status::InvalidArgument("need at least one segment");
+  }
+  for (uint32_t g : segment_of_action) {
+    if (g >= num_segments) {
+      return Status::OutOfRange("segment label out of range");
+    }
+  }
+  SegmentedLinkInfluence out;
+  out.per_segment.reserve(num_segments);
+  for (uint32_t g = 0; g < num_segments; ++g) {
+    ActionLog filtered = FilterLogBySegment(log, segment_of_action, g);
+    PSI_ASSIGN_OR_RETURN(LinkInfluence li,
+                         ComputeLinkInfluence(filtered, pairs, num_users, h));
+    out.per_segment.push_back(std::move(li));
+  }
+  return out;
+}
+
+}  // namespace psi

@@ -1,0 +1,44 @@
+// Extension: segment-conditioned link influence.
+//
+// The paper's future work suggests using attributes "in conjunction with the
+// activity logs, to better estimate the influence strengths" (Section 8).
+// This module conditions the Eq. (1) estimator on a public segmentation of
+// the actions (product categories, topics, campaign types):
+//     p^g_ij = b^h_ij[g] / a_i[g]
+// "u influences v on books but not on movies" — strictly more informative
+// than the pooled estimate for targeting a category-specific campaign.
+// The secure counterpart lives in mpc/segmented_influence.h.
+
+#ifndef PSI_INFLUENCE_SEGMENTED_H_
+#define PSI_INFLUENCE_SEGMENTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "common/status.h"
+#include "influence/link_influence.h"
+
+namespace psi {
+
+/// \brief Per-segment link strengths; per_segment[g] covers segment g.
+struct SegmentedLinkInfluence {
+  std::vector<LinkInfluence> per_segment;
+
+  size_t num_segments() const { return per_segment.size(); }
+};
+
+/// \brief Restricts a log to the actions of one segment.
+ActionLog FilterLogBySegment(const ActionLog& log,
+                             const std::vector<uint32_t>& segment_of_action,
+                             uint32_t segment);
+
+/// \brief Plaintext baseline: Eq. (1) per segment over the unified log.
+Result<SegmentedLinkInfluence> ComputeSegmentedLinkInfluence(
+    const ActionLog& log, const std::vector<Arc>& pairs, size_t num_users,
+    uint64_t h, const std::vector<uint32_t>& segment_of_action,
+    uint32_t num_segments);
+
+}  // namespace psi
+
+#endif  // PSI_INFLUENCE_SEGMENTED_H_

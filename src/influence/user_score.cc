@@ -1,0 +1,99 @@
+#include "influence/user_score.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "actionlog/counters.h"
+
+namespace psi {
+
+Result<PropagationGraph> BuildPropagationGraph(const SocialGraph& graph,
+                                               const ActionLog& log,
+                                               ActionId action) {
+  PropagationGraph pg(graph.num_nodes());
+  auto records = log.RecordsOfAction(action);
+  // Adoption time per performer of this action.
+  std::unordered_map<NodeId, uint64_t> when;
+  when.reserve(records.size());
+  for (const auto& r : records) when.emplace(r.user, r.time);
+  for (const auto& r : records) {
+    for (NodeId v : graph.OutNeighbors(r.user)) {
+      auto it = when.find(v);
+      if (it != when.end() && it->second > r.time) {
+        PSI_RETURN_NOT_OK(pg.AddArc(r.user, v, it->second - r.time));
+      }
+    }
+  }
+  return pg;
+}
+
+Result<std::vector<double>> ComputeUserInfluenceScores(
+    const SocialGraph& graph, const ActionLog& log,
+    const UserScoreOptions& options) {
+  const size_t n = graph.num_nodes();
+  auto a = ComputeActionCounts(log, n);
+  std::vector<double> numer(n, 0.0);
+
+  ActionId num_actions = log.MaxActionId();
+  for (ActionId action = 0; action < num_actions; ++action) {
+    PSI_ASSIGN_OR_RETURN(PropagationGraph pg,
+                         BuildPropagationGraph(graph, log, action));
+    // Only performers of the action can have non-empty spheres.
+    for (const auto& r : log.RecordsOfAction(action)) {
+      size_t sphere = pg.InfluenceSphereSize(r.user, options.tau);
+      if (options.include_self) sphere += 1;
+      numer[r.user] += static_cast<double>(sphere);
+    }
+  }
+
+  std::vector<double> scores(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (a[v] > 0) scores[v] = numer[v] / static_cast<double>(a[v]);
+  }
+  return scores;
+}
+
+Result<std::vector<double>> ScoresFromPropagationGraphs(
+    const std::vector<PropagationGraph>& graphs,
+    const std::vector<std::vector<NodeId>>& performers,
+    const std::vector<uint64_t>& action_counts,
+    const UserScoreOptions& options) {
+  if (graphs.size() != performers.size()) {
+    return Status::InvalidArgument("graphs/performers size mismatch");
+  }
+  const size_t n = action_counts.size();
+  std::vector<double> numer(n, 0.0);
+  for (size_t a = 0; a < graphs.size(); ++a) {
+    if (graphs[a].num_nodes() != n) {
+      return Status::InvalidArgument("propagation graph node count mismatch");
+    }
+    for (NodeId u : performers[a]) {
+      if (u >= n) return Status::OutOfRange("performer id out of range");
+      size_t sphere = graphs[a].InfluenceSphereSize(u, options.tau);
+      if (options.include_self) sphere += 1;
+      numer[u] += static_cast<double>(sphere);
+    }
+  }
+  std::vector<double> scores(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (action_counts[v] > 0) {
+      scores[v] = numer[v] / static_cast<double>(action_counts[v]);
+    }
+  }
+  return scores;
+}
+
+std::vector<NodeId> TopKUsers(const std::vector<double>& scores, size_t k) {
+  std::vector<NodeId> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  k = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<ptrdiff_t>(k),
+                    ids.end(), [&](NodeId x, NodeId y) {
+                      if (scores[x] != scores[y]) return scores[x] > scores[y];
+                      return x < y;
+                    });
+  ids.resize(k);
+  return ids;
+}
+
+}  // namespace psi

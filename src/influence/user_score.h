@@ -1,0 +1,50 @@
+// Plaintext user influence scores (Section 3.2, Definitions 3.1-3.3):
+// the baseline for the secure Protocol 6 pipeline.
+
+#ifndef PSI_INFLUENCE_USER_SCORE_H_
+#define PSI_INFLUENCE_USER_SCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/propagation_graph.h"
+
+namespace psi {
+
+/// \brief Builds PG(alpha) per Definition 3.1: arc (v_i, v_j) labeled
+/// Delta t = t_j - t_i whenever (v_i, v_j) in E, both performed `action`,
+/// and Delta t > 0.
+Result<PropagationGraph> BuildPropagationGraph(const SocialGraph& graph,
+                                               const ActionLog& log,
+                                               ActionId action);
+
+/// \brief Options for the influence-score computation.
+struct UserScoreOptions {
+  uint64_t tau = 16;        ///< Maximum propagation time threshold.
+  bool include_self = false;  ///< Count v_i in its own sphere (see DESIGN.md).
+};
+
+/// \brief score(v_i) = (sum_alpha |Inf_tau(v_i, alpha)|) / a_i per Eq. (3);
+/// 0 when a_i = 0. Returned per user id.
+Result<std::vector<double>> ComputeUserInfluenceScores(
+    const SocialGraph& graph, const ActionLog& log,
+    const UserScoreOptions& options);
+
+/// \brief Same scores computed from pre-built propagation graphs (the form
+/// the host uses after Protocol 6): graphs[a] is PG(a), `action_counts` is
+/// the a_i vector obtained via Protocol 4.
+Result<std::vector<double>> ScoresFromPropagationGraphs(
+    const std::vector<PropagationGraph>& graphs,
+    const std::vector<std::vector<NodeId>>& performers,
+    const std::vector<uint64_t>& action_counts,
+    const UserScoreOptions& options);
+
+/// \brief Indices of the top-k scores, descending (ties by smaller id).
+std::vector<NodeId> TopKUsers(const std::vector<double>& scores, size_t k);
+
+}  // namespace psi
+
+#endif  // PSI_INFLUENCE_USER_SCORE_H_

@@ -1,0 +1,94 @@
+// Protocol 5 (Section 5.2): preprocessing for the non-exclusive case.
+//
+// Providers of one action class A_q obfuscate their class logs and hand them
+// to a semi-trusted aggregator P-hat (another provider or the host), who
+// computes the aggregate counters over the obfuscated identities and returns
+// the nonzero ones to a representative provider. The representative undoes
+// the obfuscation and from then on plays Protocol 4 on behalf of the class.
+//
+// Two obfuscation methods (both from the paper):
+//  * kBasic: secret user permutation + secret action pseudonyms; timestamps
+//    stay in the clear (P-hat may observe activity patterns over time).
+//  * kEnhanced: additionally a shift cipher on timestamps over the cyclic
+//    frame [0, T+h) and fake-user padding that equalizes the per-timestamp
+//    record count, so every shift key is equally plausible to P-hat. We pad
+//    *every* timestamp of the frame (see DESIGN.md §3's interpretation note:
+//    padding only [0, T) would leave the h empty slots detectable).
+//
+// Fake records use fresh single-use action pseudonyms, so they never create
+// follow pairs; every counter touching a fake user id is dropped by the
+// representative, so correctness is unaffected.
+
+#ifndef PSI_MPC_CLASS_AGGREGATION_H_
+#define PSI_MPC_CLASS_AGGREGATION_H_
+
+#include <string>
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "mpc/link_influence_protocol.h"
+#include "net/network.h"
+
+namespace psi {
+
+enum class ObfuscationMethod {
+  kBasic,     ///< Hide identities, keep timestamps.
+  kEnhanced,  ///< Also shift-cipher timestamps + fake-user padding.
+};
+
+/// \brief Protocol 5 parameters (public within the provider group).
+struct Protocol5Config {
+  uint64_t h = 4;          ///< Memory window (defines the cyclic frame T+h).
+  ObfuscationMethod method = ObfuscationMethod::kEnhanced;
+  size_t num_fake_users = 8;  ///< n' fake identities (enhanced mode).
+  uint64_t time_frame_t = 0;  ///< Public T: every real timestamp is < T.
+};
+
+/// \brief Observations available to the aggregator, for privacy tests.
+struct Protocol5Views {
+  /// The obfuscated logs P-hat received, per group member.
+  std::vector<std::vector<ActionRecord>> aggregator_logs;
+};
+
+/// \brief Orchestrates Protocol 5 for one action class.
+class ClassAggregationProtocol {
+ public:
+  /// \param group the providers supporting this class; group[0] is the
+  ///        representative who receives the aggregate counters.
+  /// \param aggregator the semi-trusted P-hat (not in the group).
+  ClassAggregationProtocol(Network* network, std::vector<PartyId> group,
+                           PartyId aggregator, Protocol5Config config);
+
+  /// \brief Runs the protocol.
+  ///
+  /// \param class_logs provider logs already filtered to this class's
+  ///        actions (Protocol 5 step 1 removes them from the main logs).
+  /// \param num_users the public user-id space size n.
+  /// \param group_secret_rng key material shared by the group (derives the
+  ///        secret permutation/injection, action pseudonyms and shift key);
+  ///        hidden from the aggregator, never crosses the network.
+  Result<AggregatedClassCounters> Run(const std::vector<ActionLog>& class_logs,
+                                      size_t num_users, Rng* group_secret_rng,
+                                      const std::string& label_prefix);
+
+  const Protocol5Views& views() const { return views_; }
+
+ private:
+  Network* network_;
+  std::vector<PartyId> group_;
+  PartyId aggregator_;
+  Protocol5Config config_;
+  Protocol5Views views_;
+};
+
+/// \brief Splits a provider log into (class records, remainder) for class
+/// `q` under `config` — Protocol 5 step 1.
+std::pair<ActionLog, ActionLog> SplitOutClass(
+    const ActionLog& log, const std::vector<uint32_t>& class_of_action,
+    uint32_t q);
+
+}  // namespace psi
+
+#endif  // PSI_MPC_CLASS_AGGREGATION_H_

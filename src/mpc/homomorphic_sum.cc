@@ -1,0 +1,129 @@
+#include "mpc/homomorphic_sum.h"
+
+#include "bigint/modular.h"
+#include "common/serialize.h"
+
+namespace psi {
+
+namespace {
+
+std::vector<uint8_t> PackBigUInts(const std::vector<BigUInt>& v) {
+  BinaryWriter w;
+  w.WriteVarU64(v.size());
+  for (const auto& x : v) WriteBigUInt(&w, x);
+  return w.TakeBuffer();
+}
+
+Status UnpackBigUInts(const std::vector<uint8_t>& buf,
+                      std::vector<BigUInt>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  out->resize(count);
+  for (auto& x : *out) PSI_RETURN_NOT_OK(ReadBigUInt(&r, &x));
+  return Status::OK();
+}
+
+}  // namespace
+
+HomomorphicSumProtocol::HomomorphicSumProtocol(Network* network,
+                                               std::vector<PartyId> players,
+                                               size_t paillier_bits)
+    : network_(network),
+      players_(std::move(players)),
+      paillier_bits_(paillier_bits) {}
+
+Result<BatchedModularShares> HomomorphicSumProtocol::Run(
+    const std::vector<std::vector<uint64_t>>& inputs,
+    const std::vector<Rng*>& player_rngs, const std::string& label_prefix) {
+  const size_t m = players_.size();
+  if (m < 2) return Status::InvalidArgument("need at least two players");
+  if (inputs.size() != m || player_rngs.size() != m) {
+    return Status::InvalidArgument("one input vector and rng per player");
+  }
+  const size_t count = inputs[0].size();
+  for (const auto& v : inputs) {
+    if (v.size() != count) {
+      return Status::InvalidArgument("all input vectors must share a length");
+    }
+  }
+
+  // Round 1: P1 generates and publishes the Paillier key.
+  PSI_ASSIGN_OR_RETURN(PaillierKeyPair keys,
+                       PaillierGenerateKeyPair(player_rngs[0], paillier_bits_));
+  modulus_ = keys.public_key.n;
+  network_->BeginRound(label_prefix + "HSum.Step1 (P1 -> P_k: key)");
+  {
+    BinaryWriter w;
+    WriteBigUInt(&w, keys.public_key.n);
+    auto packed = w.TakeBuffer();
+    for (size_t k = 1; k < m; ++k) {
+      PSI_RETURN_NOT_OK(network_->Send(players_[0], players_[k], packed));
+    }
+  }
+  std::vector<PaillierPublicKey> pub(m);
+  for (size_t k = 1; k < m; ++k) {
+    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(players_[k], players_[0]));
+    BinaryReader r(buf);
+    PSI_RETURN_NOT_OK(ReadBigUInt(&r, &pub[k].n));
+    pub[k].n_squared = pub[k].n * pub[k].n;
+  }
+
+  // Round 2: P3..Pm encrypt their counter vectors for P2 to aggregate.
+  network_->BeginRound(label_prefix + "HSum.Step2 (P_k -> P2: E(x_k))");
+  for (size_t k = 2; k < m; ++k) {
+    std::vector<BigUInt> cts(count);
+    for (size_t c = 0; c < count; ++c) {
+      PSI_ASSIGN_OR_RETURN(
+          cts[c],
+          PaillierEncrypt(pub[k], BigUInt(inputs[k][c]), player_rngs[k]));
+    }
+    PSI_RETURN_NOT_OK(
+        network_->Send(players_[k], players_[1], PackBigUInts(cts)));
+  }
+
+  // P2 aggregates homomorphically, folding in its own inputs and the mask.
+  std::vector<BigUInt> rho(count);
+  for (auto& x : rho) x = BigUInt::RandomBelow(player_rngs[1], pub[1].n);
+  std::vector<BigUInt> aggregate(count);
+  for (size_t c = 0; c < count; ++c) {
+    PSI_ASSIGN_OR_RETURN(
+        aggregate[c],
+        PaillierEncrypt(pub[1],
+                        (BigUInt(inputs[1][c]) + rho[c]) % pub[1].n,
+                        player_rngs[1]));
+  }
+  for (size_t k = 2; k < m; ++k) {
+    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(players_[1], players_[k]));
+    std::vector<BigUInt> cts;
+    PSI_RETURN_NOT_OK(UnpackBigUInts(buf, &cts));
+    if (cts.size() != count) {
+      return Status::ProtocolError("ciphertext vector length mismatch");
+    }
+    for (size_t c = 0; c < count; ++c) {
+      aggregate[c] = PaillierAddCiphertexts(pub[1], aggregate[c], cts[c]);
+    }
+  }
+
+  // Round 3: the aggregate travels to P1, who decrypts and adds its input.
+  network_->BeginRound(label_prefix + "HSum.Step3 (P2 -> P1: aggregate)");
+  PSI_RETURN_NOT_OK(
+      network_->Send(players_[1], players_[0], PackBigUInts(aggregate)));
+  PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(players_[0], players_[1]));
+  std::vector<BigUInt> received;
+  PSI_RETURN_NOT_OK(UnpackBigUInts(buf, &received));
+
+  BatchedModularShares out;
+  out.s1.resize(count);
+  out.s2.resize(count);
+  const BigUInt& N = keys.public_key.n;
+  for (size_t c = 0; c < count; ++c) {
+    PSI_ASSIGN_OR_RETURN(BigUInt masked,
+                         PaillierDecrypt(keys.private_key, received[c]));
+    out.s1[c] = ModAdd(masked, BigUInt(inputs[0][c]) % N, N);
+    out.s2[c] = ModSub(BigUInt(), rho[c], N);  // -rho mod N.
+  }
+  return out;
+}
+
+}  // namespace psi

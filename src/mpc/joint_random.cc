@@ -1,0 +1,67 @@
+#include "mpc/joint_random.h"
+
+#include <cmath>
+
+#include "common/serialize.h"
+
+namespace psi {
+
+Result<std::vector<double>> JointUniformBatch(Network* network, PartyId a,
+                                              PartyId b, size_t count,
+                                              Rng* rng_a, Rng* rng_b,
+                                              const std::string& label) {
+  network->BeginRound(label);
+
+  auto draw = [count](Rng* rng) {
+    std::vector<double> v(count);
+    for (auto& x : v) x = rng->UniformRealOpen();
+    return v;
+  };
+  std::vector<double> contrib_a = draw(rng_a);
+  std::vector<double> contrib_b = draw(rng_b);
+
+  auto pack = [](const std::vector<double>& v) {
+    BinaryWriter w;
+    for (double x : v) w.WriteDouble(x);
+    return w.TakeBuffer();
+  };
+  PSI_RETURN_NOT_OK(network->Send(a, b, pack(contrib_a)));
+  PSI_RETURN_NOT_OK(network->Send(b, a, pack(contrib_b)));
+
+  // Both parties now hold both contributions; each computes the same values.
+  // (We deliver both messages to keep mailboxes clean.)
+  PSI_ASSIGN_OR_RETURN(auto at_b, network->Recv(b, a));
+  PSI_ASSIGN_OR_RETURN(auto at_a, network->Recv(a, b));
+  (void)at_b;
+  (void)at_a;
+
+  std::vector<double> joint(count);
+  for (size_t i = 0; i < count; ++i) {
+    double sum = contrib_a[i] + contrib_b[i];
+    joint[i] = sum - std::floor(sum);  // Fractional part: still uniform.
+    if (joint[i] <= 0.0 || joint[i] >= 1.0) joint[i] = 0.5;  // FP edge guard.
+  }
+  return joint;
+}
+
+std::vector<double> ToZDistribution(const std::vector<double>& uniforms) {
+  std::vector<double> out(uniforms.size());
+  for (size_t i = 0; i < uniforms.size(); ++i) {
+    out[i] = 1.0 / (1.0 - uniforms[i]);
+  }
+  return out;
+}
+
+Result<std::vector<double>> ToUniformBelow(const std::vector<double>& uniforms,
+                                           const std::vector<double>& bounds) {
+  if (uniforms.size() != bounds.size()) {
+    return Status::InvalidArgument("uniforms/bounds size mismatch");
+  }
+  std::vector<double> out(uniforms.size());
+  for (size_t i = 0; i < uniforms.size(); ++i) {
+    out[i] = uniforms[i] * bounds[i];
+  }
+  return out;
+}
+
+}  // namespace psi

@@ -1,0 +1,317 @@
+#include "mpc/link_influence_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/serialize.h"
+#include "graph/generators.h"
+#include "mpc/joint_random.h"
+
+namespace psi {
+
+namespace {
+
+uint64_t PairKey(NodeId i, NodeId j) {
+  return (static_cast<uint64_t>(i) << 32) | j;
+}
+
+std::vector<uint8_t> PackArcs(const std::vector<Arc>& arcs) {
+  BinaryWriter w;
+  w.WriteVarU64(arcs.size());
+  for (const Arc& a : arcs) {
+    w.WriteU32(a.from);
+    w.WriteU32(a.to);
+  }
+  return w.TakeBuffer();
+}
+
+Status UnpackArcs(const std::vector<uint8_t>& buf, std::vector<Arc>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  out->resize(count);
+  for (auto& a : *out) {
+    PSI_RETURN_NOT_OK(r.ReadU32(&a.from));
+    PSI_RETURN_NOT_OK(r.ReadU32(&a.to));
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> PackBigUInts(const std::vector<BigUInt>& v) {
+  BinaryWriter w;
+  w.WriteVarU64(v.size());
+  for (const auto& x : v) WriteBigUInt(&w, x);
+  return w.TakeBuffer();
+}
+
+Status UnpackBigUInts(const std::vector<uint8_t>& buf,
+                      std::vector<BigUInt>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  out->resize(count);
+  for (auto& x : *out) PSI_RETURN_NOT_OK(ReadBigUInt(&r, &x));
+  return Status::OK();
+}
+
+std::vector<uint8_t> PackBigInts(const std::vector<BigInt>& v) {
+  BinaryWriter w;
+  w.WriteVarU64(v.size());
+  for (const auto& x : v) WriteBigInt(&w, x);
+  return w.TakeBuffer();
+}
+
+Status UnpackBigInts(const std::vector<uint8_t>& buf, std::vector<BigInt>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  out->resize(count);
+  for (auto& x : *out) PSI_RETURN_NOT_OK(ReadBigInt(&r, &x));
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t AggregatedClassCounters::FollowCount(NodeId i, NodeId j,
+                                              uint64_t h) const {
+  auto it = c_by_delay.find(PairKey(i, j));
+  if (it == c_by_delay.end()) return 0;
+  uint64_t sum = 0;
+  for (uint64_t l = 0; l < h && l < it->second.size(); ++l) {
+    sum += it->second[l];
+  }
+  return sum;
+}
+
+Result<std::vector<uint64_t>> ComputeProviderCounterVector(
+    const ActionLog& log, size_t num_users, const std::vector<Arc>& pairs,
+    const Protocol4Config& config, const AggregatedClassCounters* extra) {
+  std::vector<uint64_t> counters;
+  counters.reserve(num_users + pairs.size());
+
+  // Denominator block: a_i.
+  auto a = ComputeActionCounts(log, num_users);
+  if (extra != nullptr) {
+    if (extra->a.size() != num_users) {
+      return Status::InvalidArgument("extra counters sized for wrong n");
+    }
+    for (size_t i = 0; i < num_users; ++i) a[i] += extra->a[i];
+  }
+  counters.insert(counters.end(), a.begin(), a.end());
+
+  // Numerator block: b^h_ij (Eq. 1) or scaled sum_l W_l c^l_ij (Eq. 2).
+  if (!config.weights.has_value()) {
+    auto b = ComputeFollowCounts(log, pairs, config.h);
+    if (extra != nullptr) {
+      for (size_t p = 0; p < pairs.size(); ++p) {
+        b[p] += extra->FollowCount(pairs[p].from, pairs[p].to, config.h);
+      }
+    }
+    counters.insert(counters.end(), b.begin(), b.end());
+  } else {
+    const auto& weights = *config.weights;
+    if (weights.h() != config.h) {
+      return Status::InvalidArgument("weights length must equal h");
+    }
+    auto scaled = weights.Scaled(config.weight_scale);
+    auto c = ComputeExactDelayCounts(log, pairs, config.h);
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      uint64_t sum = 0;
+      for (uint64_t l = 0; l < config.h; ++l) {
+        sum += scaled[l] * c[p][l];
+      }
+      if (extra != nullptr) {
+        auto it = extra->c_by_delay.find(PairKey(pairs[p].from, pairs[p].to));
+        if (it != extra->c_by_delay.end()) {
+          for (uint64_t l = 0; l < config.h && l < it->second.size(); ++l) {
+            sum += scaled[l] * it->second[l];
+          }
+        }
+      }
+      counters.push_back(sum);
+    }
+  }
+  return counters;
+}
+
+LinkInfluenceProtocol::LinkInfluenceProtocol(Network* network, PartyId host,
+                                             std::vector<PartyId> providers,
+                                             Protocol4Config config)
+    : network_(network),
+      host_(host),
+      providers_(std::move(providers)),
+      config_(std::move(config)) {}
+
+Result<LinkInfluence> LinkInfluenceProtocol::Run(
+    const SocialGraph& host_graph, uint64_t num_actions_public,
+    const std::vector<ActionLog>& provider_logs, Rng* host_rng,
+    const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng,
+    const std::vector<const AggregatedClassCounters*>& extras) {
+  const size_t m = providers_.size();
+  const size_t n = host_graph.num_nodes();
+  if (m < 2) return Status::InvalidArgument("Protocol 4 needs >= 2 providers");
+  if (provider_logs.size() != m || provider_rngs.size() != m) {
+    return Status::InvalidArgument("one log and rng per provider");
+  }
+  if (!extras.empty() && extras.size() != m) {
+    return Status::InvalidArgument("extras must be empty or one per provider");
+  }
+
+  // ---- Steps 1-2: H publishes the obfuscated arc index set Omega_E'. ----
+  PSI_ASSIGN_OR_RETURN(
+      std::vector<Arc> omega,
+      ObfuscateArcSet(host_rng, host_graph, config_.obfuscation_factor));
+  views_.omega = omega;
+  const size_t q = omega.size();
+
+  network_->BeginRound("P4.Step2 (H -> P_k: Omega_E')");
+  auto packed_omega = PackArcs(omega);
+  for (size_t k = 0; k < m; ++k) {
+    PSI_RETURN_NOT_OK(network_->Send(host_, providers_[k], packed_omega));
+  }
+  // Every provider decodes the arc set it received.
+  std::vector<std::vector<Arc>> provider_omega(m);
+  for (size_t k = 0; k < m; ++k) {
+    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(providers_[k], host_));
+    PSI_RETURN_NOT_OK(UnpackArcs(buf, &provider_omega[k]));
+  }
+
+  // ---- Local: provider counter vectors over [a | numerators]. ----
+  std::vector<std::vector<uint64_t>> inputs(m);
+  for (size_t k = 0; k < m; ++k) {
+    PSI_ASSIGN_OR_RETURN(
+        inputs[k],
+        ComputeProviderCounterVector(provider_logs[k], n, provider_omega[k],
+                                     config_,
+                                     extras.empty() ? nullptr : extras[k]));
+  }
+
+  // Counter bound A (public): |A| actions, times the weight scale ceiling
+  // for the Eq. (2) variant.
+  BigUInt bound(num_actions_public);
+  if (config_.weights.has_value()) {
+    bound = bound * BigUInt(config_.weight_scale) * BigUInt(config_.h);
+  }
+  modulus_ = config_.modulus_s.has_value()
+                 ? *config_.modulus_s
+                 : RecommendedModulus(bound, n + q, config_.epsilon_log2);
+
+  // ---- Steps 3-4: batched Protocol 2 over all n + q counters. ----
+  SecureSumConfig sum_config;
+  sum_config.modulus_s = modulus_;
+  sum_config.input_bound_a = bound;
+  sum_config.use_secret_permutation = config_.use_secret_permutation;
+  PartyId third_party = (m > 2) ? providers_[2] : host_;
+  SecureSumProtocol secure_sum(network_, providers_, third_party, sum_config);
+  PSI_ASSIGN_OR_RETURN(
+      BatchedIntegerShares shares,
+      secure_sum.RunProtocol2(inputs, provider_rngs, pair_secret_rng, "P4."));
+  views_.secure_sum = secure_sum.views();
+
+  // ---- Steps 5-6: joint per-user masks M_i ~ Z and r_i ~ U(0, M_i). ----
+  PSI_ASSIGN_OR_RETURN(
+      auto u_m, JointUniformBatch(network_, providers_[0], providers_[1], n,
+                                  provider_rngs[0], provider_rngs[1],
+                                  "P4.Step5 (joint M_i)"));
+  std::vector<double> m_values = ToZDistribution(u_m);
+  PSI_ASSIGN_OR_RETURN(
+      auto u_r, JointUniformBatch(network_, providers_[0], providers_[1], n,
+                                  provider_rngs[0], provider_rngs[1],
+                                  "P4.Step6 (joint r_i)"));
+  PSI_ASSIGN_OR_RETURN(auto r_values, ToUniformBelow(u_r, m_values));
+
+  // Fixed-point masks R_i = floor(r_i * 2^fraction_bits), never zero.
+  std::vector<BigUInt> masks(n);
+  for (size_t i = 0; i < n; ++i) {
+    PSI_ASSIGN_OR_RETURN(
+        masks[i],
+        BigUIntFromDouble(std::ldexp(r_values[i],
+                                     static_cast<int>(config_.fraction_bits))));
+    if (masks[i].IsZero()) masks[i] = BigUInt(1);
+  }
+
+  // The user governing counter c: i for a_i (c < n), arc source for pairs.
+  auto mask_of_counter = [&](size_t c) -> const BigUInt& {
+    return c < n ? masks[c] : masks[omega[c - n].from];
+  };
+
+  // ---- Steps 7-8: masked shares travel to H (one message per party). ----
+  const size_t total = n + q;
+  std::vector<BigUInt> masked1(total);
+  std::vector<BigInt> masked2(total);
+  for (size_t c = 0; c < total; ++c) {
+    masked1[c] = mask_of_counter(c) * shares.s1[c];
+    masked2[c] = BigInt(mask_of_counter(c)) * shares.s2[c];
+  }
+  network_->BeginRound("P4.Steps7-8 (masked shares -> H)");
+  PSI_RETURN_NOT_OK(
+      network_->Send(providers_[0], host_, PackBigUInts(masked1)));
+  PSI_RETURN_NOT_OK(network_->Send(providers_[1], host_, PackBigInts(masked2)));
+
+  // ---- Step 9 (local at H): recombine and divide. ----
+  PSI_ASSIGN_OR_RETURN(auto buf1, network_->Recv(host_, providers_[0]));
+  PSI_ASSIGN_OR_RETURN(auto buf2, network_->Recv(host_, providers_[1]));
+  std::vector<BigUInt> host_m1;
+  std::vector<BigInt> host_m2;
+  PSI_RETURN_NOT_OK(UnpackBigUInts(buf1, &host_m1));
+  PSI_RETURN_NOT_OK(UnpackBigInts(buf2, &host_m2));
+  if (host_m1.size() != total || host_m2.size() != total) {
+    return Status::ProtocolError("masked share vectors have wrong length");
+  }
+
+  // Recombined masked counters: R_i * a_i and R_i * numerator_ij, exact.
+  std::vector<BigUInt> masked_a(n), masked_b(q);
+  for (size_t c = 0; c < total; ++c) {
+    BigInt value = BigInt(host_m1[c]) + host_m2[c];
+    if (value.IsNegative()) {
+      return Status::ProtocolError("negative recombined masked counter");
+    }
+    if (c < n) {
+      masked_a[c] = value.magnitude();
+    } else {
+      masked_b[c - n] = value.magnitude();
+    }
+  }
+  views_.host_masked_a.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    // What H "sees" as a real number: r_i * a_i (descaled fixed point).
+    views_.host_masked_a[i] = std::ldexp(
+        masked_a[i].ToDouble(), -static_cast<int>(config_.fraction_bits));
+  }
+  views_.host_masked_b.resize(q);
+  for (size_t p = 0; p < q; ++p) {
+    views_.host_masked_b[p] = std::ldexp(
+        masked_b[p].ToDouble(), -static_cast<int>(config_.fraction_bits));
+  }
+
+  // H evaluates quotients only for the genuine arcs of E.
+  std::unordered_map<uint64_t, size_t> omega_index;
+  omega_index.reserve(q);
+  for (size_t p = 0; p < q; ++p) {
+    omega_index.emplace(PairKey(omega[p].from, omega[p].to), p);
+  }
+
+  LinkInfluence out;
+  out.pairs = host_graph.arcs();
+  out.p.resize(out.pairs.size());
+  const double descale = config_.weights.has_value()
+                             ? static_cast<double>(config_.weight_scale)
+                             : 1.0;
+  for (size_t e = 0; e < out.pairs.size(); ++e) {
+    const Arc& arc = out.pairs[e];
+    auto it = omega_index.find(PairKey(arc.from, arc.to));
+    if (it == omega_index.end()) {
+      return Status::ProtocolError("arc of E missing from Omega_E'");
+    }
+    const BigUInt& denom = masked_a[arc.from];
+    if (denom.IsZero()) {
+      out.p[e] = 0.0;
+    } else {
+      out.p[e] = DivideToDouble(masked_b[it->second], denom) / descale;
+    }
+  }
+  return out;
+}
+
+}  // namespace psi

@@ -1,0 +1,255 @@
+#include "mpc/multi_host.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/serialize.h"
+#include "graph/generators.h"
+#include "mpc/joint_random.h"
+#include "mpc/secure_sum.h"
+
+namespace psi {
+
+namespace {
+
+uint64_t PairKey(NodeId i, NodeId j) {
+  return (static_cast<uint64_t>(i) << 32) | j;
+}
+
+std::vector<uint8_t> PackArcs(const std::vector<Arc>& arcs) {
+  BinaryWriter w;
+  w.WriteVarU64(arcs.size());
+  for (const Arc& a : arcs) {
+    w.WriteU32(a.from);
+    w.WriteU32(a.to);
+  }
+  return w.TakeBuffer();
+}
+
+Status UnpackArcs(const std::vector<uint8_t>& buf, std::vector<Arc>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  out->resize(count);
+  for (auto& a : *out) {
+    PSI_RETURN_NOT_OK(r.ReadU32(&a.from));
+    PSI_RETURN_NOT_OK(r.ReadU32(&a.to));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+MultiHostLinkInfluenceProtocol::MultiHostLinkInfluenceProtocol(
+    Network* network, std::vector<PartyId> hosts,
+    std::vector<PartyId> providers, Protocol4Config config)
+    : network_(network),
+      hosts_(std::move(hosts)),
+      providers_(std::move(providers)),
+      config_(std::move(config)) {}
+
+Result<std::vector<LinkInfluence>> MultiHostLinkInfluenceProtocol::Run(
+    const std::vector<const SocialGraph*>& host_graphs,
+    uint64_t num_actions_public, const std::vector<ActionLog>& provider_logs,
+    const std::vector<Rng*>& host_rngs, const std::vector<Rng*>& provider_rngs,
+    Rng* pair_secret_rng) {
+  const size_t r = hosts_.size();
+  const size_t m = providers_.size();
+  if (r == 0) return Status::InvalidArgument("need at least one host");
+  if (m < 2) return Status::InvalidArgument("need at least two providers");
+  if (host_graphs.size() != r || host_rngs.size() != r) {
+    return Status::InvalidArgument("one graph and rng per host");
+  }
+  if (provider_logs.size() != m || provider_rngs.size() != m) {
+    return Status::InvalidArgument("one log and rng per provider");
+  }
+  const size_t n = host_graphs[0]->num_nodes();
+  for (const auto* g : host_graphs) {
+    if (g->num_nodes() != n) {
+      return Status::InvalidArgument("hosts must share the user universe");
+    }
+  }
+
+  // ---- Step 1: every host publishes its obfuscated arc set. ----
+  std::vector<std::vector<Arc>> omegas(r);
+  network_->BeginRound("MH.Step1 (H_h -> P_k: Omega_h)");
+  for (size_t h = 0; h < r; ++h) {
+    PSI_ASSIGN_OR_RETURN(omegas[h],
+                         ObfuscateArcSet(host_rngs[h], *host_graphs[h],
+                                         config_.obfuscation_factor));
+    auto packed = PackArcs(omegas[h]);
+    for (size_t k = 0; k < m; ++k) {
+      PSI_RETURN_NOT_OK(network_->Send(hosts_[h], providers_[k], packed));
+    }
+  }
+  omega_sizes_.clear();
+  for (const auto& o : omegas) omega_sizes_.push_back(o.size());
+
+  // Providers receive and concatenate all Omegas.
+  std::vector<Arc> all_pairs;
+  std::vector<size_t> range_start(r + 1, 0);
+  {
+    // Every provider receives identical content; decode from provider 0's
+    // copy and drain the rest.
+    for (size_t h = 0; h < r; ++h) {
+      std::vector<Arc> decoded;
+      for (size_t k = 0; k < m; ++k) {
+        PSI_ASSIGN_OR_RETURN(auto buf,
+                             network_->Recv(providers_[k], hosts_[h]));
+        if (k == 0) PSI_RETURN_NOT_OK(UnpackArcs(buf, &decoded));
+      }
+      range_start[h] = all_pairs.size();
+      all_pairs.insert(all_pairs.end(), decoded.begin(), decoded.end());
+    }
+    range_start[r] = all_pairs.size();
+  }
+  const size_t q_total = all_pairs.size();
+
+  // ---- Step 2: one batched Protocol 2 over [a | b(all Omegas)]. ----
+  std::vector<std::vector<uint64_t>> inputs(m);
+  for (size_t k = 0; k < m; ++k) {
+    PSI_ASSIGN_OR_RETURN(inputs[k],
+                         ComputeProviderCounterVector(
+                             provider_logs[k], n, all_pairs, config_));
+  }
+  BigUInt bound(num_actions_public);
+  if (config_.weights.has_value()) {
+    bound = bound * BigUInt(config_.weight_scale) * BigUInt(config_.h);
+  }
+  BigUInt modulus =
+      config_.modulus_s.has_value()
+          ? *config_.modulus_s
+          : RecommendedModulus(bound, n + q_total, config_.epsilon_log2);
+  SecureSumConfig sum_config;
+  sum_config.modulus_s = modulus;
+  sum_config.input_bound_a = bound;
+  sum_config.use_secret_permutation = config_.use_secret_permutation;
+  PartyId third_party = (m > 2) ? providers_[2] : hosts_[0];
+  SecureSumProtocol secure_sum(network_, providers_, third_party, sum_config);
+  PSI_ASSIGN_OR_RETURN(
+      BatchedIntegerShares shares,
+      secure_sum.RunProtocol2(inputs, provider_rngs, pair_secret_rng, "MH."));
+
+  // ---- Step 3: joint per-user masks, drawn once for all hosts. ----
+  PSI_ASSIGN_OR_RETURN(
+      auto u_m, JointUniformBatch(network_, providers_[0], providers_[1], n,
+                                  provider_rngs[0], provider_rngs[1],
+                                  "MH.Step5 (joint M_i)"));
+  std::vector<double> m_values = ToZDistribution(u_m);
+  PSI_ASSIGN_OR_RETURN(
+      auto u_r, JointUniformBatch(network_, providers_[0], providers_[1], n,
+                                  provider_rngs[0], provider_rngs[1],
+                                  "MH.Step6 (joint r_i)"));
+  PSI_ASSIGN_OR_RETURN(auto r_values, ToUniformBelow(u_r, m_values));
+  std::vector<BigUInt> masks(n);
+  for (size_t i = 0; i < n; ++i) {
+    PSI_ASSIGN_OR_RETURN(
+        masks[i],
+        BigUIntFromDouble(std::ldexp(r_values[i],
+                                     static_cast<int>(config_.fraction_bits))));
+    if (masks[i].IsZero()) masks[i] = BigUInt(1);
+  }
+  auto mask_of_counter = [&](size_t c) -> const BigUInt& {
+    return c < n ? masks[c] : masks[all_pairs[c - n].from];
+  };
+
+  // ---- Step 4: each host receives masked a-shares + its own b-slice. ----
+  network_->BeginRound("MH.Steps7-8 (masked slices -> hosts)");
+  const size_t total = n + q_total;
+  std::vector<BigUInt> masked1(total);
+  std::vector<BigInt> masked2(total);
+  for (size_t c = 0; c < total; ++c) {
+    masked1[c] = mask_of_counter(c) * shares.s1[c];
+    masked2[c] = BigInt(mask_of_counter(c)) * shares.s2[c];
+  }
+  for (size_t h = 0; h < r; ++h) {
+    BinaryWriter w1, w2;
+    w1.WriteVarU64(n);
+    w2.WriteVarU64(n);
+    for (size_t i = 0; i < n; ++i) {
+      WriteBigUInt(&w1, masked1[i]);
+      WriteBigInt(&w2, masked2[i]);
+    }
+    size_t lo = n + range_start[h], hi = n + range_start[h + 1];
+    w1.WriteVarU64(hi - lo);
+    w2.WriteVarU64(hi - lo);
+    for (size_t c = lo; c < hi; ++c) {
+      WriteBigUInt(&w1, masked1[c]);
+      WriteBigInt(&w2, masked2[c]);
+    }
+    PSI_RETURN_NOT_OK(network_->Send(providers_[0], hosts_[h], w1.TakeBuffer()));
+    PSI_RETURN_NOT_OK(network_->Send(providers_[1], hosts_[h], w2.TakeBuffer()));
+  }
+
+  // ---- Step 5 (local at each host): recombine and divide. ----
+  std::vector<LinkInfluence> out(r);
+  for (size_t h = 0; h < r; ++h) {
+    PSI_ASSIGN_OR_RETURN(auto buf1, network_->Recv(hosts_[h], providers_[0]));
+    PSI_ASSIGN_OR_RETURN(auto buf2, network_->Recv(hosts_[h], providers_[1]));
+    BinaryReader r1(buf1), r2(buf2);
+    uint64_t count_a1, count_a2;
+    PSI_RETURN_NOT_OK(r1.ReadVarU64(&count_a1));
+    PSI_RETURN_NOT_OK(r2.ReadVarU64(&count_a2));
+    if (count_a1 != n || count_a2 != n) {
+      return Status::ProtocolError("masked a-vector length mismatch");
+    }
+    std::vector<BigUInt> masked_a(n);
+    for (size_t i = 0; i < n; ++i) {
+      BigUInt v1;
+      BigInt v2;
+      PSI_RETURN_NOT_OK(ReadBigUInt(&r1, &v1));
+      PSI_RETURN_NOT_OK(ReadBigInt(&r2, &v2));
+      BigInt value = BigInt(v1) + v2;
+      if (value.IsNegative()) {
+        return Status::ProtocolError("negative recombined counter");
+      }
+      masked_a[i] = value.magnitude();
+    }
+    uint64_t count_b1, count_b2;
+    PSI_RETURN_NOT_OK(r1.ReadVarU64(&count_b1));
+    PSI_RETURN_NOT_OK(r2.ReadVarU64(&count_b2));
+    size_t q_h = range_start[h + 1] - range_start[h];
+    if (count_b1 != q_h || count_b2 != q_h) {
+      return Status::ProtocolError("masked b-slice length mismatch");
+    }
+    std::vector<BigUInt> masked_b(q_h);
+    for (size_t p = 0; p < q_h; ++p) {
+      BigUInt v1;
+      BigInt v2;
+      PSI_RETURN_NOT_OK(ReadBigUInt(&r1, &v1));
+      PSI_RETURN_NOT_OK(ReadBigInt(&r2, &v2));
+      BigInt value = BigInt(v1) + v2;
+      if (value.IsNegative()) {
+        return Status::ProtocolError("negative recombined counter");
+      }
+      masked_b[p] = value.magnitude();
+    }
+    // Quotients for this host's genuine arcs.
+    std::unordered_map<uint64_t, size_t> omega_index;
+    omega_index.reserve(q_h);
+    for (size_t p = 0; p < q_h; ++p) {
+      const Arc& a = omegas[h][p];
+      omega_index.emplace(PairKey(a.from, a.to), p);
+    }
+    out[h].pairs = host_graphs[h]->arcs();
+    out[h].p.resize(out[h].pairs.size());
+    const double descale = config_.weights.has_value()
+                               ? static_cast<double>(config_.weight_scale)
+                               : 1.0;
+    for (size_t e = 0; e < out[h].pairs.size(); ++e) {
+      const Arc& arc = out[h].pairs[e];
+      auto it = omega_index.find(PairKey(arc.from, arc.to));
+      if (it == omega_index.end()) {
+        return Status::ProtocolError("arc missing from host's Omega");
+      }
+      const BigUInt& denom = masked_a[arc.from];
+      out[h].p[e] =
+          denom.IsZero()
+              ? 0.0
+              : DivideToDouble(masked_b[it->second], denom) / descale;
+    }
+  }
+  return out;
+}
+
+}  // namespace psi

@@ -1,0 +1,66 @@
+// Extension: the multi-host setting from the paper's future work
+// (Section 8): "the graph data is split between several social networking
+// platforms".
+//
+// r hosts H_1..H_r each own a private arc set over a common user universe
+// (users link their accounts across platforms; arc sets may overlap). The m
+// providers hold the action logs as before. Design:
+//   1. every host publishes its own obfuscated arc set Omega_h (one round,
+//      r*m messages);
+//   2. the providers run ONE batched Protocol 2 over the concatenated
+//      counter vector [a | b(Omega_1) | ... | b(Omega_r)], amortizing the
+//      O(m^2) share exchange across all hosts;
+//   3. P1/P2 draw per-user masks once and send each host the masked
+//      a-shares plus only *its own* masked b-slice (2r messages), so a host
+//      learns nothing about the other hosts' arc sets beyond their sizes.
+// Each host then recovers exactly the quotients for its own arcs, as in
+// Protocol 4 step 9.
+
+#ifndef PSI_MPC_MULTI_HOST_H_
+#define PSI_MPC_MULTI_HOST_H_
+
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "influence/link_influence.h"
+#include "mpc/link_influence_protocol.h"
+#include "net/network.h"
+
+namespace psi {
+
+/// \brief Orchestrates the multi-host link-influence computation.
+class MultiHostLinkInfluenceProtocol {
+ public:
+  MultiHostLinkInfluenceProtocol(Network* network, std::vector<PartyId> hosts,
+                                 std::vector<PartyId> providers,
+                                 Protocol4Config config);
+
+  /// \brief Runs the protocol. Supports both the Eq. (1) and (via
+  /// config.weights) the Eq. (2) definitions.
+  ///
+  /// \param host_graphs host h's private graph (all share one user count).
+  /// \return per-host link influence: out[h] covers host_graphs[h]->arcs().
+  Result<std::vector<LinkInfluence>> Run(
+      const std::vector<const SocialGraph*>& host_graphs,
+      uint64_t num_actions_public,
+      const std::vector<ActionLog>& provider_logs,
+      const std::vector<Rng*>& host_rngs,
+      const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng);
+
+  /// \brief Per-host Omega sizes of the last run (what providers observed).
+  const std::vector<size_t>& omega_sizes() const { return omega_sizes_; }
+
+ private:
+  Network* network_;
+  std::vector<PartyId> hosts_;
+  std::vector<PartyId> providers_;
+  Protocol4Config config_;
+  std::vector<size_t> omega_sizes_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_MPC_MULTI_HOST_H_

@@ -1,0 +1,105 @@
+#include "mpc/non_exclusive.h"
+
+#include <algorithm>
+
+namespace psi {
+
+void MergeAggregates(const AggregatedClassCounters& src,
+                     AggregatedClassCounters* dst) {
+  if (dst->a.size() < src.a.size()) dst->a.resize(src.a.size(), 0);
+  for (size_t i = 0; i < src.a.size(); ++i) dst->a[i] += src.a[i];
+  for (const auto& [key, by_delay] : src.c_by_delay) {
+    auto [it, inserted] = dst->c_by_delay.try_emplace(
+        key, std::vector<uint64_t>(by_delay.size(), 0));
+    if (it->second.size() < by_delay.size()) {
+      it->second.resize(by_delay.size(), 0);
+    }
+    for (size_t l = 0; l < by_delay.size(); ++l) {
+      it->second[l] += by_delay[l];
+    }
+  }
+}
+
+NonExclusivePipeline::NonExclusivePipeline(Network* network, PartyId host,
+                                           std::vector<PartyId> providers,
+                                           NonExclusiveConfig config)
+    : network_(network),
+      host_(host),
+      providers_(std::move(providers)),
+      config_(config) {
+  config_.protocol5.h = config_.protocol4.h;  // One window for both stages.
+}
+
+PartyId NonExclusivePipeline::PickAggregator(
+    const std::vector<size_t>& group) const {
+  for (size_t k = 0; k < providers_.size(); ++k) {
+    if (std::find(group.begin(), group.end(), k) == group.end()) {
+      return providers_[k];
+    }
+  }
+  return host_;  // Every provider is in the group: the host assists.
+}
+
+Result<LinkInfluence> NonExclusivePipeline::Run(
+    const SocialGraph& host_graph, uint64_t num_actions_public,
+    const std::vector<ActionLog>& provider_logs,
+    const ActionClassConfig& class_config, Rng* host_rng,
+    const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng,
+    Rng* class_secret_rng) {
+  const size_t m = providers_.size();
+  PSI_RETURN_NOT_OK(class_config.Validate(m));
+  if (provider_logs.size() != m) {
+    return Status::InvalidArgument("one log per provider");
+  }
+  const size_t n = host_graph.num_nodes();
+
+  // Residual logs start as copies; Protocol 5 strips class records from the
+  // members of each class group.
+  std::vector<ActionLog> residual = provider_logs;
+  std::vector<AggregatedClassCounters> extras(m);
+  for (auto& e : extras) e.a.assign(n, 0);
+
+  for (uint32_t q = 0; q < class_config.num_classes(); ++q) {
+    const auto& group = class_config.provider_groups[q];
+    if (group.size() < 2) {
+      // A single-provider class is effectively exclusive: its records can
+      // stay in the residual log untouched.
+      continue;
+    }
+    std::vector<PartyId> group_parties;
+    std::vector<ActionLog> class_logs;
+    for (size_t k : group) {
+      auto [in_class, remainder] =
+          SplitOutClass(residual[k], class_config.class_of_action, q);
+      class_logs.push_back(std::move(in_class));
+      residual[k] = std::move(remainder);
+      group_parties.push_back(providers_[k]);
+    }
+    Protocol5Config p5 = config_.protocol5;
+    if (p5.time_frame_t == 0) {
+      // Public frame: the largest timestamp across all logs + 1 (in a real
+      // deployment T is the agreed campaign horizon).
+      uint64_t t = 0;
+      for (const auto& log : provider_logs) t = std::max(t, log.MaxTime());
+      p5.time_frame_t = t + 1;
+    }
+    ClassAggregationProtocol p5_run(network_, group_parties,
+                                    PickAggregator(group), p5);
+    Rng group_rng = class_secret_rng->Fork("class-" + std::to_string(q));
+    PSI_ASSIGN_OR_RETURN(
+        AggregatedClassCounters counters,
+        p5_run.Run(class_logs, n, &group_rng,
+                   "P5[class " + std::to_string(q) + "]."));
+    // The representative (first group member) absorbs the aggregates.
+    MergeAggregates(counters, &extras[group[0]]);
+  }
+
+  // Protocol 4 over residual logs + aggregates.
+  LinkInfluenceProtocol p4(network_, host_, providers_, config_.protocol4);
+  std::vector<const AggregatedClassCounters*> extra_ptrs(m);
+  for (size_t k = 0; k < m; ++k) extra_ptrs[k] = &extras[k];
+  return p4.Run(host_graph, num_actions_public, residual, host_rng,
+                provider_rngs, pair_secret_rng, extra_ptrs);
+}
+
+}  // namespace psi

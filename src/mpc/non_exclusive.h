@@ -1,0 +1,64 @@
+// The full non-exclusive-case driver (Section 5.2): for every action class
+// A_q, run Protocol 5 so one representative provider ends up with the
+// class's aggregate counters and all group members drop their class records;
+// then run Protocol 4 on the residual logs with the aggregates folded into
+// the representatives' inputs.
+
+#ifndef PSI_MPC_NON_EXCLUSIVE_H_
+#define PSI_MPC_NON_EXCLUSIVE_H_
+
+#include <vector>
+
+#include "actionlog/partition.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "mpc/class_aggregation.h"
+#include "mpc/link_influence_protocol.h"
+
+namespace psi {
+
+/// \brief Combined configuration; protocol5.h is forced to protocol4.h.
+struct NonExclusiveConfig {
+  Protocol4Config protocol4;
+  Protocol5Config protocol5;
+};
+
+/// \brief Orchestrates Protocols 5 (per class) + 4.
+class NonExclusivePipeline {
+ public:
+  NonExclusivePipeline(Network* network, PartyId host,
+                       std::vector<PartyId> providers,
+                       NonExclusiveConfig config);
+
+  /// \brief Runs the pipeline.
+  ///
+  /// \param class_config the public class structure (A_q and P_q).
+  /// \param class_secret_rng shared key material of the provider groups
+  ///        (forked per class); hidden from each class's aggregator.
+  Result<LinkInfluence> Run(const SocialGraph& host_graph,
+                            uint64_t num_actions_public,
+                            const std::vector<ActionLog>& provider_logs,
+                            const ActionClassConfig& class_config,
+                            Rng* host_rng,
+                            const std::vector<Rng*>& provider_rngs,
+                            Rng* pair_secret_rng, Rng* class_secret_rng);
+
+ private:
+  /// \brief An aggregator for class q: a player outside the group
+  /// (preferring another provider, falling back to the host).
+  PartyId PickAggregator(const std::vector<size_t>& group) const;
+
+  Network* network_;
+  PartyId host_;
+  std::vector<PartyId> providers_;
+  NonExclusiveConfig config_;
+};
+
+/// \brief Adds `src` counters into `dst` (a representative may serve several
+/// classes).
+void MergeAggregates(const AggregatedClassCounters& src,
+                     AggregatedClassCounters* dst);
+
+}  // namespace psi
+
+#endif  // PSI_MPC_NON_EXCLUSIVE_H_

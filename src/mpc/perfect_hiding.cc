@@ -1,0 +1,192 @@
+#include "mpc/perfect_hiding.h"
+
+#include <cmath>
+
+#include "common/serialize.h"
+#include "crypto/oblivious_transfer.h"
+#include "mpc/joint_random.h"
+#include "mpc/secure_sum.h"
+
+namespace psi {
+
+size_t AllPairsIndex(NodeId i, NodeId j, size_t n) {
+  PSI_DCHECK(i != j && i < n && j < n);
+  size_t col = (j > i) ? static_cast<size_t>(j) - 1 : static_cast<size_t>(j);
+  return static_cast<size_t>(i) * (n - 1) + col;
+}
+
+std::vector<Arc> AllOrderedPairs(size_t n) {
+  std::vector<Arc> pairs;
+  pairs.reserve(n * (n - 1));
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i != j) pairs.push_back(Arc{i, j});
+    }
+  }
+  return pairs;
+}
+
+PerfectHidingLinkInfluenceProtocol::PerfectHidingLinkInfluenceProtocol(
+    Network* network, PartyId host, std::vector<PartyId> providers,
+    PerfectHidingConfig config)
+    : network_(network),
+      host_(host),
+      providers_(std::move(providers)),
+      config_(config) {}
+
+Result<LinkInfluence> PerfectHidingLinkInfluenceProtocol::Run(
+    const SocialGraph& host_graph, uint64_t num_actions_public,
+    const std::vector<ActionLog>& provider_logs, Rng* host_rng,
+    const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng) {
+  const size_t m = providers_.size();
+  const size_t n = host_graph.num_nodes();
+  if (m < 2) return Status::InvalidArgument("need at least two providers");
+  if (provider_logs.size() != m || provider_rngs.size() != m) {
+    return Status::InvalidArgument("one log and rng per provider");
+  }
+  if (n < 2) return Status::InvalidArgument("need at least two users");
+
+  // No Omega round: the pair list is the public all-pairs enumeration.
+  std::vector<Arc> pairs = AllOrderedPairs(n);
+  const size_t q = pairs.size();
+
+  // ---- Batched Protocol 2 over [a | b(all pairs)]. ----
+  Protocol4Config counter_cfg;
+  counter_cfg.h = config_.h;
+  std::vector<std::vector<uint64_t>> inputs(m);
+  for (size_t k = 0; k < m; ++k) {
+    PSI_ASSIGN_OR_RETURN(inputs[k],
+                         ComputeProviderCounterVector(provider_logs[k], n,
+                                                      pairs, counter_cfg));
+  }
+  BigUInt bound(num_actions_public);
+  SecureSumConfig sum_config;
+  sum_config.input_bound_a = bound;
+  sum_config.modulus_s =
+      RecommendedModulus(bound, n + q, config_.epsilon_log2);
+  sum_config.use_secret_permutation = config_.use_secret_permutation;
+  PartyId third_party = (m > 2) ? providers_[2] : host_;
+  SecureSumProtocol secure_sum(network_, providers_, third_party, sum_config);
+  PSI_ASSIGN_OR_RETURN(
+      BatchedIntegerShares shares,
+      secure_sum.RunProtocol2(inputs, provider_rngs, pair_secret_rng, "PH."));
+
+  // ---- Joint per-user masks. ----
+  PSI_ASSIGN_OR_RETURN(
+      auto u_m, JointUniformBatch(network_, providers_[0], providers_[1], n,
+                                  provider_rngs[0], provider_rngs[1],
+                                  "PH.Step5 (joint M_i)"));
+  std::vector<double> m_values = ToZDistribution(u_m);
+  PSI_ASSIGN_OR_RETURN(
+      auto u_r, JointUniformBatch(network_, providers_[0], providers_[1], n,
+                                  provider_rngs[0], provider_rngs[1],
+                                  "PH.Step6 (joint r_i)"));
+  PSI_ASSIGN_OR_RETURN(auto r_values, ToUniformBelow(u_r, m_values));
+  std::vector<BigUInt> masks(n);
+  for (size_t i = 0; i < n; ++i) {
+    PSI_ASSIGN_OR_RETURN(
+        masks[i],
+        BigUIntFromDouble(std::ldexp(r_values[i],
+                                     static_cast<int>(config_.fraction_bits))));
+    if (masks[i].IsZero()) masks[i] = BigUInt(1);
+  }
+
+  // ---- Denominators travel openly (masked): they are per user, not per
+  //      arc, so they reveal nothing about E. ----
+  network_->BeginRound("PH.Steps7-8a (masked a shares -> H)");
+  {
+    BinaryWriter w1, w2;
+    w1.WriteVarU64(n);
+    w2.WriteVarU64(n);
+    for (size_t i = 0; i < n; ++i) {
+      WriteBigUInt(&w1, masks[i] * shares.s1[i]);
+      WriteBigInt(&w2, BigInt(masks[i]) * shares.s2[i]);
+    }
+    PSI_RETURN_NOT_OK(network_->Send(providers_[0], host_, w1.TakeBuffer()));
+    PSI_RETURN_NOT_OK(network_->Send(providers_[1], host_, w2.TakeBuffer()));
+  }
+  PSI_ASSIGN_OR_RETURN(auto buf1, network_->Recv(host_, providers_[0]));
+  PSI_ASSIGN_OR_RETURN(auto buf2, network_->Recv(host_, providers_[1]));
+  std::vector<BigUInt> masked_a(n);
+  {
+    BinaryReader r1(buf1), r2(buf2);
+    uint64_t c1, c2;
+    PSI_RETURN_NOT_OK(r1.ReadVarU64(&c1));
+    PSI_RETURN_NOT_OK(r2.ReadVarU64(&c2));
+    if (c1 != n || c2 != n) {
+      return Status::ProtocolError("masked a-vector length mismatch");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      BigUInt v1;
+      BigInt v2;
+      PSI_RETURN_NOT_OK(ReadBigUInt(&r1, &v1));
+      PSI_RETURN_NOT_OK(ReadBigInt(&r2, &v2));
+      BigInt value = BigInt(v1) + v2;
+      if (value.IsNegative()) {
+        return Status::ProtocolError("negative recombined counter");
+      }
+      masked_a[i] = value.magnitude();
+    }
+  }
+
+  // ---- Numerators via |E|-out-of-(n^2-n) oblivious transfer. ----
+  // Message vectors: the masked b-share of every ordered pair.
+  auto serialize_biguint = [](const BigUInt& v) {
+    BinaryWriter w;
+    WriteBigUInt(&w, v);
+    return w.TakeBuffer();
+  };
+  auto serialize_bigint = [](const BigInt& v) {
+    BinaryWriter w;
+    WriteBigInt(&w, v);
+    return w.TakeBuffer();
+  };
+  std::vector<std::vector<uint8_t>> p1_messages(q), p2_messages(q);
+  for (size_t p = 0; p < q; ++p) {
+    const BigUInt& mask = masks[pairs[p].from];
+    p1_messages[p] = serialize_biguint(mask * shares.s1[n + p]);
+    p2_messages[p] = serialize_bigint(BigInt(mask) * shares.s2[n + p]);
+  }
+  std::vector<size_t> choices;
+  choices.reserve(host_graph.num_arcs());
+  for (const Arc& a : host_graph.arcs()) {
+    choices.push_back(AllPairsIndex(a.from, a.to, n));
+  }
+
+  PSI_ASSIGN_OR_RETURN(RsaKeyPair p1_keys,
+                       RsaGenerateKeyPair(provider_rngs[0], config_.ot_rsa_bits));
+  PSI_ASSIGN_OR_RETURN(RsaKeyPair p2_keys,
+                       RsaGenerateKeyPair(provider_rngs[1], config_.ot_rsa_bits));
+  PSI_ASSIGN_OR_RETURN(
+      auto from_p1,
+      RunObliviousTransfers(network_, providers_[0], host_, p1_messages,
+                            choices, p1_keys, provider_rngs[0], host_rng,
+                            "PH.P1."));
+  PSI_ASSIGN_OR_RETURN(
+      auto from_p2,
+      RunObliviousTransfers(network_, providers_[1], host_, p2_messages,
+                            choices, p2_keys, provider_rngs[1], host_rng,
+                            "PH.P2."));
+
+  // ---- Recombine and divide, per arc. ----
+  LinkInfluence out;
+  out.pairs = host_graph.arcs();
+  out.p.resize(out.pairs.size());
+  for (size_t e = 0; e < out.pairs.size(); ++e) {
+    BinaryReader r1(from_p1[e]), r2(from_p2[e]);
+    BigUInt v1;
+    BigInt v2;
+    PSI_RETURN_NOT_OK(ReadBigUInt(&r1, &v1));
+    PSI_RETURN_NOT_OK(ReadBigInt(&r2, &v2));
+    BigInt numer = BigInt(v1) + v2;
+    if (numer.IsNegative()) {
+      return Status::ProtocolError("negative recombined numerator");
+    }
+    const BigUInt& denom = masked_a[out.pairs[e].from];
+    out.p[e] =
+        denom.IsZero() ? 0.0 : DivideToDouble(numer.magnitude(), denom);
+  }
+  return out;
+}
+
+}  // namespace psi

@@ -1,0 +1,71 @@
+// The perfectly arc-hiding Protocol 4 variant sketched in Section 5.1.1.
+//
+// Instead of publishing an obfuscated superset E' (which still tells the
+// providers that E ⊆ E'), the providers compute counters for ALL n(n-1)
+// ordered pairs and H retrieves the masked numerators for its |E| arcs via
+// |E|-out-of-(n^2-n) oblivious transfer against P1 and P2 — so the
+// providers learn nothing at all about E, and H learns masked values for
+// exactly its own arcs.
+//
+// The paper calls this "extremely prohibitive" (O(|E| n^2) modular
+// exponentiations plus Protocol 2 over all pairs); ablation A7 measures
+// just how prohibitive, which is the practical argument for the E'
+// obfuscation trade-off.
+
+#ifndef PSI_MPC_PERFECT_HIDING_H_
+#define PSI_MPC_PERFECT_HIDING_H_
+
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "influence/link_influence.h"
+#include "mpc/link_influence_protocol.h"
+#include "net/network.h"
+
+namespace psi {
+
+/// \brief Parameters of the perfect-hiding variant.
+struct PerfectHidingConfig {
+  uint64_t h = 4;
+  uint64_t epsilon_log2 = 40;
+  bool use_secret_permutation = true;
+  size_t fraction_bits = 64;
+  size_t ot_rsa_bits = 512;  ///< Key size for the OT transfers.
+};
+
+/// \brief Protocol 4 with oblivious-transfer retrieval (Section 5.1.1).
+class PerfectHidingLinkInfluenceProtocol {
+ public:
+  PerfectHidingLinkInfluenceProtocol(Network* network, PartyId host,
+                                     std::vector<PartyId> providers,
+                                     PerfectHidingConfig config);
+
+  /// \brief Runs the protocol; H learns p_ij for its arcs, the providers
+  /// learn nothing about E (not even a superset).
+  Result<LinkInfluence> Run(const SocialGraph& host_graph,
+                            uint64_t num_actions_public,
+                            const std::vector<ActionLog>& provider_logs,
+                            Rng* host_rng,
+                            const std::vector<Rng*>& provider_rngs,
+                            Rng* pair_secret_rng);
+
+ private:
+  Network* network_;
+  PartyId host_;
+  std::vector<PartyId> providers_;
+  PerfectHidingConfig config_;
+};
+
+/// \brief Canonical index of the ordered pair (i, j), i != j, in the
+/// all-pairs enumeration over n users (row-major with the diagonal removed).
+size_t AllPairsIndex(NodeId i, NodeId j, size_t n);
+
+/// \brief The full all-pairs list in canonical order.
+std::vector<Arc> AllOrderedPairs(size_t n);
+
+}  // namespace psi
+
+#endif  // PSI_MPC_PERFECT_HIDING_H_

@@ -1,0 +1,250 @@
+#include "mpc/propagation_protocol.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/serialize.h"
+#include "graph/generators.h"
+
+namespace psi {
+
+namespace {
+
+std::vector<uint8_t> PackArcs(const std::vector<Arc>& arcs) {
+  BinaryWriter w;
+  w.WriteVarU64(arcs.size());
+  for (const Arc& a : arcs) {
+    w.WriteU32(a.from);
+    w.WriteU32(a.to);
+  }
+  return w.TakeBuffer();
+}
+
+Status UnpackArcs(const std::vector<uint8_t>& buf, std::vector<Arc>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  out->resize(count);
+  for (auto& a : *out) {
+    PSI_RETURN_NOT_OK(r.ReadU32(&a.from));
+    PSI_RETURN_NOT_OK(r.ReadU32(&a.to));
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> PackPublicKey(const RsaPublicKey& key) {
+  BinaryWriter w;
+  WriteBigUInt(&w, key.n);
+  WriteBigUInt(&w, key.e);
+  return w.TakeBuffer();
+}
+
+Status UnpackPublicKey(const std::vector<uint8_t>& buf, RsaPublicKey* out) {
+  BinaryReader r(buf);
+  PSI_RETURN_NOT_OK(ReadBigUInt(&r, &out->n));
+  PSI_RETURN_NOT_OK(ReadBigUInt(&r, &out->e));
+  return Status::OK();
+}
+
+// Encrypted Delta vector of one action, as serialized on the wire.
+constexpr uint8_t kModePerInteger = 0;
+constexpr uint8_t kModeHybrid = 1;
+
+Status EncryptDeltaVector(const RsaPublicKey& key,
+                          Protocol6Config::EncryptionMode mode,
+                          uint32_t action, const std::vector<uint64_t>& delta,
+                          Rng* rng, BinaryWriter* w) {
+  w->WriteU32(action);
+  if (mode == Protocol6Config::EncryptionMode::kPerInteger) {
+    w->WriteU8(kModePerInteger);
+    w->WriteVarU64(delta.size());
+    for (uint64_t d : delta) {
+      // Randomized encoding: (Delta << 64) | 64 random bits, so equal
+      // plaintexts yield unequal ciphertexts under deterministic RSA.
+      BigUInt m = (BigUInt(d) << 64) + BigUInt(rng->NextU64());
+      PSI_ASSIGN_OR_RETURN(BigUInt c, RsaEncrypt(key, m));
+      WriteBigUInt(w, c);
+    }
+  } else {
+    w->WriteU8(kModeHybrid);
+    BinaryWriter plain;
+    plain.WriteVarU64(delta.size());
+    for (uint64_t d : delta) plain.WriteVarU64(d);
+    PSI_ASSIGN_OR_RETURN(HybridCiphertext ct,
+                         HybridEncrypt(key, plain.buffer(), rng));
+    WriteBigUInt(w, ct.encapsulated_key);
+    w->WriteBytes(ct.nonce);
+    w->WriteBytes(ct.payload);
+  }
+  return Status::OK();
+}
+
+Status DecryptDeltaVector(const RsaPrivateKey& key, BinaryReader* r,
+                          uint32_t* action, std::vector<uint64_t>* delta) {
+  PSI_RETURN_NOT_OK(r->ReadU32(action));
+  uint8_t mode;
+  PSI_RETURN_NOT_OK(r->ReadU8(&mode));
+  if (mode == kModePerInteger) {
+    uint64_t count;
+    PSI_RETURN_NOT_OK(r->ReadVarU64(&count));
+    delta->resize(count);
+    for (auto& d : *delta) {
+      BigUInt c;
+      PSI_RETURN_NOT_OK(ReadBigUInt(r, &c));
+      PSI_ASSIGN_OR_RETURN(BigUInt m, RsaDecrypt(key, c));
+      PSI_ASSIGN_OR_RETURN(d, (m >> 64).ToUint64());
+    }
+  } else if (mode == kModeHybrid) {
+    HybridCiphertext ct;
+    PSI_RETURN_NOT_OK(ReadBigUInt(r, &ct.encapsulated_key));
+    PSI_RETURN_NOT_OK(r->ReadBytes(&ct.nonce));
+    PSI_RETURN_NOT_OK(r->ReadBytes(&ct.payload));
+    PSI_ASSIGN_OR_RETURN(auto plain, HybridDecrypt(key, ct));
+    BinaryReader pr(plain);
+    uint64_t count;
+    PSI_RETURN_NOT_OK(pr.ReadVarU64(&count));
+    delta->resize(count);
+    for (auto& d : *delta) PSI_RETURN_NOT_OK(pr.ReadVarU64(&d));
+  } else {
+    return Status::ProtocolError("unknown encryption mode byte");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+PropagationGraphProtocol::PropagationGraphProtocol(
+    Network* network, PartyId host, std::vector<PartyId> providers,
+    Protocol6Config config)
+    : network_(network),
+      host_(host),
+      providers_(std::move(providers)),
+      config_(config) {}
+
+Result<Protocol6Output> PropagationGraphProtocol::Run(
+    const SocialGraph& host_graph, size_t num_actions,
+    const std::vector<ActionLog>& provider_logs, Rng* host_rng,
+    const std::vector<Rng*>& provider_rngs) {
+  const size_t m = providers_.size();
+  if (m < 2) return Status::InvalidArgument("Protocol 6 needs >= 2 providers");
+  if (provider_logs.size() != m || provider_rngs.size() != m) {
+    return Status::InvalidArgument("one log and rng per provider");
+  }
+
+  // ---- Steps 1-2: H publishes Omega_E'. ----
+  PSI_ASSIGN_OR_RETURN(
+      std::vector<Arc> omega,
+      ObfuscateArcSet(host_rng, host_graph, config_.obfuscation_factor));
+  views_.omega = omega;
+  const size_t q = omega.size();
+
+  network_->BeginRound("P6.Step2 (H -> P_k: Omega_E')");
+  auto packed_omega = PackArcs(omega);
+  for (size_t k = 0; k < m; ++k) {
+    PSI_RETURN_NOT_OK(network_->Send(host_, providers_[k], packed_omega));
+  }
+  std::vector<std::vector<Arc>> provider_omega(m);
+  for (size_t k = 0; k < m; ++k) {
+    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(providers_[k], host_));
+    PSI_RETURN_NOT_OK(UnpackArcs(buf, &provider_omega[k]));
+  }
+
+  // ---- Step 3: H publishes its public key. ----
+  PSI_ASSIGN_OR_RETURN(RsaKeyPair keys,
+                       RsaGenerateKeyPair(host_rng, config_.rsa_bits));
+  network_->BeginRound("P6.Step3 (H -> P_k: public key)");
+  auto packed_key = PackPublicKey(keys.public_key);
+  for (size_t k = 0; k < m; ++k) {
+    PSI_RETURN_NOT_OK(network_->Send(host_, providers_[k], packed_key));
+  }
+  std::vector<RsaPublicKey> provider_keys(m);
+  for (size_t k = 0; k < m; ++k) {
+    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(providers_[k], host_));
+    PSI_RETURN_NOT_OK(UnpackPublicKey(buf, &provider_keys[k]));
+  }
+
+  // ---- Steps 4-9: providers encrypt their Delta vectors, route via P1. ----
+  network_->BeginRound("P6.Steps4-9 (P_k -> P_1: E(Delta))");
+  std::vector<std::vector<uint8_t>> provider_payloads(m);
+  for (size_t k = 0; k < m; ++k) {
+    BinaryWriter w;
+    // Actions controlled by provider k: those appearing in its log
+    // (exclusive case).
+    std::unordered_set<ActionId> owned;
+    for (const auto& rec : provider_logs[k].records()) {
+      owned.insert(rec.action);
+    }
+    std::vector<ActionId> owned_sorted(owned.begin(), owned.end());
+    std::sort(owned_sorted.begin(), owned_sorted.end());
+    w.WriteVarU64(owned_sorted.size());
+    for (ActionId action : owned_sorted) {
+      std::vector<uint64_t> delta(provider_omega[k].size(), 0);
+      for (size_t p = 0; p < provider_omega[k].size(); ++p) {
+        const Arc& arc = provider_omega[k][p];
+        uint64_t ti, tj;
+        if (provider_logs[k].Lookup(arc.from, action, &ti) &&
+            provider_logs[k].Lookup(arc.to, action, &tj) && tj > ti) {
+          delta[p] = tj - ti;
+        }
+      }
+      PSI_RETURN_NOT_OK(EncryptDeltaVector(provider_keys[k],
+                                           config_.encryption, action, delta,
+                                           provider_rngs[k], &w));
+    }
+    provider_payloads[k] = w.TakeBuffer();
+    if (k != 0) {
+      PSI_RETURN_NOT_OK(
+          network_->Send(providers_[k], providers_[0], provider_payloads[k]));
+    }
+  }
+
+  // P1 collects and forwards; it sees only ciphertext bytes.
+  std::vector<uint8_t> aggregate = provider_payloads[0];
+  for (size_t k = 1; k < m; ++k) {
+    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(providers_[0], providers_[k]));
+    views_.p1_relayed_bytes += buf.size();
+    aggregate.insert(aggregate.end(), buf.begin(), buf.end());
+  }
+  network_->BeginRound("P6.Step10 (P_1 -> H: all E(Delta))");
+  PSI_RETURN_NOT_OK(network_->Send(providers_[0], host_, std::move(aggregate)));
+
+  // ---- Steps 11-12: H decrypts and assembles the PG(alpha). ----
+  PSI_ASSIGN_OR_RETURN(auto all, network_->Recv(host_, providers_[0]));
+  BinaryReader reader(all);
+
+  Protocol6Output out;
+  out.graphs.assign(num_actions, PropagationGraph(host_graph.num_nodes()));
+  size_t providers_read = 0;
+  while (providers_read < m) {
+    uint64_t action_count;
+    PSI_RETURN_NOT_OK(reader.ReadVarU64(&action_count));
+    for (uint64_t i = 0; i < action_count; ++i) {
+      uint32_t action;
+      std::vector<uint64_t> delta;
+      PSI_RETURN_NOT_OK(
+          DecryptDeltaVector(keys.private_key, &reader, &action, &delta));
+      ++views_.p1_relayed_ciphertexts;
+      if (action >= num_actions) {
+        return Status::ProtocolError("action id out of declared range");
+      }
+      if (delta.size() != q) {
+        return Status::ProtocolError("Delta vector length mismatch");
+      }
+      for (size_t p = 0; p < q; ++p) {
+        // Only genuine arcs of E become PG arcs; decoys are discarded.
+        if (delta[p] > 0 && host_graph.HasArc(omega[p].from, omega[p].to)) {
+          PSI_RETURN_NOT_OK(
+              out.graphs[action].AddArc(omega[p].from, omega[p].to, delta[p]));
+        }
+      }
+    }
+    ++providers_read;
+  }
+  if (!reader.AtEnd()) {
+    return Status::ProtocolError("trailing bytes in aggregated payload");
+  }
+  return out;
+}
+
+}  // namespace psi

@@ -1,0 +1,48 @@
+#include "mpc/secure_division.h"
+
+#include "common/serialize.h"
+#include "mpc/joint_random.h"
+
+namespace psi {
+
+Result<double> SecureDivisionProtocol::Run(uint64_t a1, uint64_t a2, Rng* rng1,
+                                           Rng* rng2,
+                                           const std::string& label_prefix) {
+  // Steps 1-2: joint M ~ Z, then joint r ~ U(0, M).
+  PSI_ASSIGN_OR_RETURN(
+      auto u_m, JointUniformBatch(network_, p1_, p2_, 1, rng1, rng2,
+                                  label_prefix + "Prot3.Step1 (joint M)"));
+  std::vector<double> m_values = ToZDistribution(u_m);
+  PSI_ASSIGN_OR_RETURN(
+      auto u_r, JointUniformBatch(network_, p1_, p2_, 1, rng1, rng2,
+                                  label_prefix + "Prot3.Step2 (joint r)"));
+  PSI_ASSIGN_OR_RETURN(auto r_values, ToUniformBelow(u_r, m_values));
+  const double r = r_values[0];
+
+  // Steps 3-4: both masked products travel to H in one round.
+  network_->BeginRound(label_prefix + "Prot3.Steps3-4 (masked values to H)");
+  auto pack = [](double v) {
+    BinaryWriter w;
+    w.WriteDouble(v);
+    return w.TakeBuffer();
+  };
+  PSI_RETURN_NOT_OK(network_->Send(p1_, host_, pack(r * static_cast<double>(a1))));
+  PSI_RETURN_NOT_OK(network_->Send(p2_, host_, pack(r * static_cast<double>(a2))));
+
+  // Steps 5-9 (local at H).
+  auto read_double = [](const std::vector<uint8_t>& buf) -> Result<double> {
+    BinaryReader reader(buf);
+    double v;
+    PSI_RETURN_NOT_OK(reader.ReadDouble(&v));
+    return v;
+  };
+  PSI_ASSIGN_OR_RETURN(auto buf1, network_->Recv(host_, p1_));
+  PSI_ASSIGN_OR_RETURN(auto buf2, network_->Recv(host_, p2_));
+  PSI_ASSIGN_OR_RETURN(views_.masked_a1, read_double(buf1));
+  PSI_ASSIGN_OR_RETURN(views_.masked_a2, read_double(buf2));
+
+  if (views_.masked_a2 == 0.0) return 0.0;
+  return views_.masked_a1 / views_.masked_a2;
+}
+
+}  // namespace psi

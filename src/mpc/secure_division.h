@@ -1,0 +1,49 @@
+// Protocol 3 (Section 4.2): secure division of private integers.
+//
+// P1 holds a1, P2 holds a2, both in [0, A]. The host H must learn the real
+// quotient a1/a2 (0 when a2 == 0) and nothing about a1, a2 beyond it. The
+// two parties jointly draw M ~ Z (pdf mu^-2 on [1, inf)) and r ~ U(0, M),
+// then send r*a1 and r*a2; H divides. Theorems 4.2-4.4 characterize the
+// residual leakage (see privacy/posterior.h).
+
+#ifndef PSI_MPC_SECURE_DIVISION_H_
+#define PSI_MPC_SECURE_DIVISION_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "net/network.h"
+
+namespace psi {
+
+/// \brief What the host observed during a Protocol 3 run.
+struct SecureDivisionViews {
+  double masked_a1 = 0.0;  ///< r * a1
+  double masked_a2 = 0.0;  ///< r * a2
+};
+
+/// \brief One secure division between P1, P2 and the host.
+class SecureDivisionProtocol {
+ public:
+  SecureDivisionProtocol(Network* network, PartyId p1, PartyId p2,
+                         PartyId host)
+      : network_(network), p1_(p1), p2_(p2), host_(host) {}
+
+  /// \brief Runs the protocol; returns the quotient as computed by H.
+  Result<double> Run(uint64_t a1, uint64_t a2, Rng* rng1, Rng* rng2,
+                     const std::string& label_prefix);
+
+  const SecureDivisionViews& views() const { return views_; }
+
+ private:
+  Network* network_;
+  PartyId p1_;
+  PartyId p2_;
+  PartyId host_;
+  SecureDivisionViews views_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_MPC_SECURE_DIVISION_H_

@@ -1,0 +1,267 @@
+#include "mpc/secure_sum.h"
+
+#include "bigint/modular.h"
+#include "common/serialize.h"
+#include "crypto/permutation.h"
+
+namespace psi {
+
+namespace {
+
+std::vector<uint8_t> PackShareVector(const std::vector<BigUInt>& shares) {
+  BinaryWriter w;
+  w.WriteVarU64(shares.size());
+  for (const auto& s : shares) WriteBigUInt(&w, s);
+  return w.TakeBuffer();
+}
+
+Status UnpackShareVector(const std::vector<uint8_t>& buf,
+                         std::vector<BigUInt>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  out->resize(count);
+  for (auto& s : *out) PSI_RETURN_NOT_OK(ReadBigUInt(&r, &s));
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
+  return Status::OK();
+}
+
+std::vector<uint8_t> PackBits(const std::vector<bool>& bits) {
+  BinaryWriter w;
+  w.WriteVarU64(bits.size());
+  uint8_t acc = 0;
+  size_t filled = 0;
+  for (bool b : bits) {
+    acc = static_cast<uint8_t>(acc | ((b ? 1 : 0) << filled));
+    if (++filled == 8) {
+      w.WriteU8(acc);
+      acc = 0;
+      filled = 0;
+    }
+  }
+  if (filled != 0) w.WriteU8(acc);
+  return w.TakeBuffer();
+}
+
+Status UnpackBits(const std::vector<uint8_t>& buf, std::vector<bool>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  out->assign(count, false);
+  uint8_t acc = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i % 8 == 0) PSI_RETURN_NOT_OK(r.ReadU8(&acc));
+    (*out)[i] = ((acc >> (i % 8)) & 1) != 0;
+  }
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
+  return Status::OK();
+}
+
+}  // namespace
+
+BigUInt RecommendedModulus(const BigUInt& bound_a, uint64_t num_counters,
+                           uint64_t epsilon_log2) {
+  // S >= A * (1 + 2 * num_counters * 2^epsilon_log2); round up to a power of
+  // two for uniform-sampling efficiency.
+  BigUInt target = bound_a * (BigUInt(1) +
+                              (BigUInt(2) * BigUInt(num_counters)
+                               << static_cast<size_t>(epsilon_log2)));
+  return BigUInt::PowerOfTwo(target.BitLength());
+}
+
+SecureSumProtocol::SecureSumProtocol(Network* network,
+                                     std::vector<PartyId> players,
+                                     PartyId third_party,
+                                     SecureSumConfig config)
+    : network_(network),
+      players_(std::move(players)),
+      third_party_(third_party),
+      config_(std::move(config)) {}
+
+Status SecureSumProtocol::ValidateInputs(
+    const std::vector<std::vector<uint64_t>>& inputs,
+    const std::vector<Rng*>& player_rngs) const {
+  const size_t m = players_.size();
+  if (m < 2) return Status::InvalidArgument("need at least two players");
+  if (inputs.size() != m || player_rngs.size() != m) {
+    return Status::InvalidArgument("one input vector and rng per player");
+  }
+  const size_t count = inputs[0].size();
+  for (const auto& v : inputs) {
+    if (v.size() != count) {
+      return Status::InvalidArgument("all input vectors must share a length");
+    }
+  }
+  // Per-counter sums must stay within [0, A].
+  for (size_t c = 0; c < count; ++c) {
+    BigUInt sum;
+    for (size_t k = 0; k < m; ++k) sum += BigUInt(inputs[k][c]);
+    if (sum > config_.input_bound_a) {
+      return Status::OutOfRange("counter sum exceeds the public bound A");
+    }
+  }
+  if (config_.modulus_s <= config_.input_bound_a * BigUInt(4)) {
+    return Status::InvalidArgument("modulus S must be >> A (at least 4A)");
+  }
+  for (size_t k = 0; k < m; ++k) {
+    if (third_party_ == players_[k] && k < 2) {
+      return Status::InvalidArgument("third party may not be P1 or P2");
+    }
+  }
+  return Status::OK();
+}
+
+Result<BatchedModularShares> SecureSumProtocol::RunProtocol1(
+    const std::vector<std::vector<uint64_t>>& inputs,
+    const std::vector<Rng*>& player_rngs, const std::string& label_prefix) {
+  PSI_RETURN_NOT_OK(ValidateInputs(inputs, player_rngs));
+  const size_t m = players_.size();
+  const size_t count = inputs[0].size();
+  const BigUInt& S = config_.modulus_s;
+
+  // Step 1 (local): player k splits each x_k into m uniform Z_S summands.
+  // outgoing[k][j][c] = the share of counter c that player k gives player j.
+  std::vector<std::vector<std::vector<BigUInt>>> outgoing(
+      m, std::vector<std::vector<BigUInt>>(m, std::vector<BigUInt>(count)));
+  for (size_t k = 0; k < m; ++k) {
+    for (size_t c = 0; c < count; ++c) {
+      BigUInt acc;
+      for (size_t j = 1; j < m; ++j) {
+        BigUInt share = BigUInt::RandomBelow(player_rngs[k], S);
+        acc = ModAdd(acc, share, S);
+        outgoing[k][j][c] = std::move(share);
+      }
+      // First share absorbs the difference so the m shares sum to x_k mod S.
+      outgoing[k][0][c] = ModSub(BigUInt(inputs[k][c]) % S, acc, S);
+    }
+  }
+
+  // Step 2 (one round): every player sends every other player its share.
+  network_->BeginRound(label_prefix + "Prot1.Step2 (pairwise shares)");
+  for (size_t k = 0; k < m; ++k) {
+    for (size_t j = 0; j < m; ++j) {
+      if (j == k) continue;
+      PSI_RETURN_NOT_OK(network_->Send(players_[k], players_[j],
+                                       PackShareVector(outgoing[k][j])));
+    }
+  }
+
+  // Step 3 (local): player j sums what it kept and what it received.
+  std::vector<std::vector<BigUInt>> sums(m,
+                                         std::vector<BigUInt>(count));
+  for (size_t j = 0; j < m; ++j) {
+    sums[j] = outgoing[j][j];
+    for (size_t k = 0; k < m; ++k) {
+      if (k == j) continue;
+      PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(players_[j], players_[k]));
+      std::vector<BigUInt> received;
+      PSI_RETURN_NOT_OK(UnpackShareVector(buf, &received));
+      if (received.size() != count) {
+        return Status::ProtocolError("share vector length mismatch");
+      }
+      for (size_t c = 0; c < count; ++c) {
+        sums[j][c] = ModAdd(sums[j][c], received[c], S);
+      }
+    }
+  }
+  views_.player_share_vectors = sums;
+
+  // Steps 4-5 (one round): players P3..Pm fold their sums into P2's.
+  network_->BeginRound(label_prefix + "Prot1.Step4 (fold into P2)");
+  for (size_t j = 2; j < m; ++j) {
+    PSI_RETURN_NOT_OK(
+        network_->Send(players_[j], players_[1], PackShareVector(sums[j])));
+  }
+  for (size_t j = 2; j < m; ++j) {
+    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(players_[1], players_[j]));
+    std::vector<BigUInt> received;
+    PSI_RETURN_NOT_OK(UnpackShareVector(buf, &received));
+    for (size_t c = 0; c < count; ++c) {
+      sums[1][c] = ModAdd(sums[1][c], received[c], S);
+    }
+  }
+
+  BatchedModularShares out;
+  out.s1 = std::move(sums[0]);
+  out.s2 = std::move(sums[1]);
+  return out;
+}
+
+Result<BatchedIntegerShares> SecureSumProtocol::RunProtocol2(
+    const std::vector<std::vector<uint64_t>>& inputs,
+    const std::vector<Rng*>& player_rngs, Rng* pair_secret_rng,
+    const std::string& label_prefix) {
+  PSI_ASSIGN_OR_RETURN(BatchedModularShares mod_shares,
+                       RunProtocol1(inputs, player_rngs, label_prefix));
+  const size_t count = mod_shares.s1.size();
+  const BigUInt& S = config_.modulus_s;
+  const BigUInt r_bound = S - config_.input_bound_a;  // r in [0, S-A-1].
+
+  // Step 2 (local at P2): one masking value per counter.
+  std::vector<BigUInt> masks(count);
+  for (auto& r : masks) r = BigUInt::RandomBelow(player_rngs[1], r_bound);
+
+  // Batched refinement (Section 5.1): P1 and P2 permute the counter order
+  // seen by the third party using their pre-shared pairwise secret.
+  SecretPermutation perm =
+      config_.use_secret_permutation
+          ? SecretPermutation::Random(pair_secret_rng, count)
+          : SecretPermutation::FromMapping([count] {
+              std::vector<size_t> id(count);
+              for (size_t i = 0; i < count; ++i) id[i] = i;
+              return id;
+            }()).ValueOrDie();
+
+  std::vector<BigUInt> sent_s1(count), sent_masked_s2(count);
+  for (size_t c = 0; c < count; ++c) {
+    sent_s1[perm.Apply(c)] = mod_shares.s1[c];
+    sent_masked_s2[perm.Apply(c)] = mod_shares.s2[c] + masks[c];
+  }
+
+  // Steps 3-4 (one round): both vectors travel to the third party.
+  network_->BeginRound(label_prefix + "Prot2.Steps3-4 (to third party)");
+  PSI_RETURN_NOT_OK(
+      network_->Send(players_[0], third_party_, PackShareVector(sent_s1)));
+  PSI_RETURN_NOT_OK(network_->Send(players_[1], third_party_,
+                                   PackShareVector(sent_masked_s2)));
+
+  // Step 5 (local at the third party): y = s1 + s2 + r, compare with S.
+  PSI_ASSIGN_OR_RETURN(auto buf1, network_->Recv(third_party_, players_[0]));
+  PSI_ASSIGN_OR_RETURN(auto buf2, network_->Recv(third_party_, players_[1]));
+  std::vector<BigUInt> tp_s1, tp_masked;
+  PSI_RETURN_NOT_OK(UnpackShareVector(buf1, &tp_s1));
+  PSI_RETURN_NOT_OK(UnpackShareVector(buf2, &tp_masked));
+  if (tp_s1.size() != count || tp_masked.size() != count) {
+    return Status::ProtocolError("third party received mismatched batches");
+  }
+  views_.third_party_s1 = tp_s1;
+  views_.third_party_masked_s2 = tp_masked;
+  std::vector<bool> bits(count);
+  for (size_t c = 0; c < count; ++c) {
+    bits[c] = (tp_s1[c] + tp_masked[c]) >= S;
+  }
+  views_.comparison_bits = bits;
+
+  // Step 6 (one round): the answers return to P2 (one bit per counter).
+  network_->BeginRound(label_prefix + "Prot2.Step6 (comparison bits)");
+  PSI_RETURN_NOT_OK(network_->Send(third_party_, players_[1], PackBits(bits)));
+  PSI_ASSIGN_OR_RETURN(auto bits_buf, network_->Recv(players_[1], third_party_));
+  std::vector<bool> received_bits;
+  PSI_RETURN_NOT_OK(UnpackBits(bits_buf, &received_bits));
+
+  // Steps 7-8 (local at P2): undo the permutation, apply the correction.
+  BatchedIntegerShares out;
+  out.s1 = std::move(mod_shares.s1);
+  out.s2.resize(count);
+  views_.p2_correction.assign(count, false);
+  for (size_t c = 0; c < count; ++c) {
+    bool correct = received_bits[perm.Apply(c)];
+    views_.p2_correction[c] = correct;
+    BigInt s2(mod_shares.s2[c]);
+    if (correct) s2 -= BigInt(S);
+    out.s2[c] = std::move(s2);
+  }
+  return out;
+}
+
+}  // namespace psi

@@ -1,0 +1,165 @@
+#include "mpc/secure_user_score.h"
+
+#include <cmath>
+
+#include "actionlog/counters.h"
+#include "common/serialize.h"
+#include "mpc/joint_random.h"
+
+namespace psi {
+
+namespace {
+
+std::vector<uint8_t> PackBigInts(const std::vector<BigInt>& v) {
+  BinaryWriter w;
+  w.WriteVarU64(v.size());
+  for (const auto& x : v) WriteBigInt(&w, x);
+  return w.TakeBuffer();
+}
+
+Status UnpackBigInts(const std::vector<uint8_t>& buf, std::vector<BigInt>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  out->resize(count);
+  for (auto& x : *out) PSI_RETURN_NOT_OK(ReadBigInt(&r, &x));
+  return Status::OK();
+}
+
+}  // namespace
+
+SecureUserScoreProtocol::SecureUserScoreProtocol(
+    Network* network, PartyId host, std::vector<PartyId> providers,
+    SecureScoreConfig config)
+    : network_(network),
+      host_(host),
+      providers_(std::move(providers)),
+      config_(std::move(config)) {}
+
+Result<std::vector<double>> SecureUserScoreProtocol::Run(
+    const SocialGraph& host_graph, size_t num_actions,
+    const std::vector<ActionLog>& provider_logs, Rng* host_rng,
+    const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng) {
+  const size_t m = providers_.size();
+  const size_t n = host_graph.num_nodes();
+  if (m < 2) return Status::InvalidArgument("pipeline needs >= 2 providers");
+  if (config_.score_options.include_self) {
+    return Status::Unimplemented(
+        "include_self scoring needs performer sets, which Protocol 6 "
+        "deliberately withholds from H; use the plaintext baseline");
+  }
+
+  // ---- Phase 1: Protocol 6 gives H every PG(alpha). ----
+  PropagationGraphProtocol p6(network_, host_, providers_, config_.protocol6);
+  PSI_ASSIGN_OR_RETURN(Protocol6Output pgs,
+                       p6.Run(host_graph, num_actions, provider_logs, host_rng,
+                              provider_rngs));
+  p6_views_ = p6.views();
+
+  // ---- Phase 2: secure a_i shares (batched Protocol 2 over n counters). --
+  std::vector<std::vector<uint64_t>> inputs(m);
+  for (size_t k = 0; k < m; ++k) {
+    inputs[k] = ComputeActionCounts(provider_logs[k], n);
+  }
+  SecureSumConfig sum_config;
+  sum_config.input_bound_a = BigUInt(num_actions);
+  sum_config.modulus_s = RecommendedModulus(sum_config.input_bound_a, n,
+                                            config_.epsilon_log2);
+  PartyId third_party = (m > 2) ? providers_[2] : host_;
+  SecureSumProtocol secure_sum(network_, providers_, third_party, sum_config);
+  PSI_ASSIGN_OR_RETURN(
+      BatchedIntegerShares shares,
+      secure_sum.RunProtocol2(inputs, provider_rngs, pair_secret_rng, "P6S."));
+
+  // ---- Phase 3: masked reveal of a_i (division by the constant 1). ----
+  PSI_ASSIGN_OR_RETURN(
+      auto u_m, JointUniformBatch(network_, providers_[0], providers_[1], n,
+                                  provider_rngs[0], provider_rngs[1],
+                                  "P6S.Step5 (joint M_i)"));
+  std::vector<double> m_values = ToZDistribution(u_m);
+  PSI_ASSIGN_OR_RETURN(
+      auto u_r, JointUniformBatch(network_, providers_[0], providers_[1], n,
+                                  provider_rngs[0], provider_rngs[1],
+                                  "P6S.Step6 (joint r_i)"));
+  PSI_ASSIGN_OR_RETURN(auto r_values, ToUniformBelow(u_r, m_values));
+
+  std::vector<BigUInt> masks(n);
+  for (size_t i = 0; i < n; ++i) {
+    PSI_ASSIGN_OR_RETURN(masks[i],
+                         BigUIntFromDouble(std::ldexp(r_values[i], 64)));
+    if (masks[i].IsZero()) masks[i] = BigUInt(1);
+  }
+
+  // P1 sends R_i * s1(a_i) and R_i * 1; P2 sends R_i * s2(a_i) (its share of
+  // the public constant is 0, which it need not transmit).
+  std::vector<BigUInt> masked1(n), masked_unit(n);
+  std::vector<BigInt> masked2(n);
+  for (size_t i = 0; i < n; ++i) {
+    masked1[i] = masks[i] * shares.s1[i];
+    masked_unit[i] = masks[i];
+    masked2[i] = BigInt(masks[i]) * shares.s2[i];
+  }
+  network_->BeginRound("P6S.Steps7-8 (masked a_i shares -> H)");
+  {
+    BinaryWriter w;
+    w.WriteVarU64(n);
+    for (size_t i = 0; i < n; ++i) {
+      WriteBigUInt(&w, masked1[i]);
+      WriteBigUInt(&w, masked_unit[i]);
+    }
+    PSI_RETURN_NOT_OK(network_->Send(providers_[0], host_, w.TakeBuffer()));
+  }
+  PSI_RETURN_NOT_OK(network_->Send(providers_[1], host_, PackBigInts(masked2)));
+
+  // Host reconstructs a_i = (R*a_i) / (R*1) exactly.
+  PSI_ASSIGN_OR_RETURN(auto buf1, network_->Recv(host_, providers_[0]));
+  PSI_ASSIGN_OR_RETURN(auto buf2, network_->Recv(host_, providers_[1]));
+  std::vector<BigUInt> host_m1(n), host_unit(n);
+  {
+    BinaryReader r(buf1);
+    uint64_t count;
+    PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+    if (count != n) return Status::ProtocolError("masked vector length");
+    for (size_t i = 0; i < n; ++i) {
+      PSI_RETURN_NOT_OK(ReadBigUInt(&r, &host_m1[i]));
+      PSI_RETURN_NOT_OK(ReadBigUInt(&r, &host_unit[i]));
+    }
+  }
+  std::vector<BigInt> host_m2;
+  PSI_RETURN_NOT_OK(UnpackBigInts(buf2, &host_m2));
+  if (host_m2.size() != n) {
+    return Status::ProtocolError("masked vector length");
+  }
+
+  revealed_a_.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    BigInt numer = BigInt(host_m1[i]) + host_m2[i];
+    if (numer.IsNegative() || host_unit[i].IsZero()) {
+      return Status::ProtocolError("invalid masked a_i recombination");
+    }
+    // Exact: numer == R_i * a_i and host_unit == R_i.
+    PSI_ASSIGN_OR_RETURN(revealed_a_[i],
+                         (numer.magnitude() / host_unit[i]).ToUint64());
+  }
+
+  // ---- Phase 4 (local at H): Eq. (3) from the PGs and the a_i. ----
+  std::vector<double> numer(n, 0.0);
+  for (const auto& pg : pgs.graphs) {
+    for (NodeId v = 0; v < n; ++v) {
+      // Only performers can own a non-empty sphere; a non-performer has no
+      // outgoing PG arcs, so its sphere is empty and can be skipped.
+      if (pg.OutArcs(v).empty()) continue;
+      numer[v] += static_cast<double>(
+          pg.InfluenceSphereSize(v, config_.score_options.tau));
+    }
+  }
+  std::vector<double> scores(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (revealed_a_[v] > 0) {
+      scores[v] = numer[v] / static_cast<double>(revealed_a_[v]);
+    }
+  }
+  return scores;
+}
+
+}  // namespace psi

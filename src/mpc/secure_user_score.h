@@ -1,0 +1,70 @@
+// Section 6 pipeline: secure computation of the user influence scores.
+//
+// Protocol 6 gives H every propagation graph PG(alpha), from which H derives
+// the numerator of Eq. (3) on its own. For the denominators a_i the paper
+// notes "that computation is already covered by Protocol 4": the providers
+// run batched Protocol 2 over the a_i counters and then the masked-share
+// division step with the public constant 1 as denominator, so H obtains
+// a_i = (r_i * a_i) / (r_i * 1) exactly.
+//
+// Note the scores themselves imply the a_i values (H knows the numerator and
+// the quotient), so this reveal is exactly the information the output
+// already contains — no excess leakage relative to the functionality.
+
+#ifndef PSI_MPC_SECURE_USER_SCORE_H_
+#define PSI_MPC_SECURE_USER_SCORE_H_
+
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "influence/user_score.h"
+#include "mpc/propagation_protocol.h"
+#include "mpc/secure_sum.h"
+#include "net/network.h"
+
+namespace psi {
+
+/// \brief Parameters of the secure user-score pipeline.
+struct SecureScoreConfig {
+  Protocol6Config protocol6;
+  uint64_t epsilon_log2 = 40;  ///< Theorem 4.1 budget for the a_i shares.
+  UserScoreOptions score_options;
+};
+
+/// \brief Orchestrates Protocol 6 + the a_i reveal + local scoring at H.
+class SecureUserScoreProtocol {
+ public:
+  SecureUserScoreProtocol(Network* network, PartyId host,
+                          std::vector<PartyId> providers,
+                          SecureScoreConfig config);
+
+  /// \brief Returns score(v_i) for every user, as computed by the host.
+  Result<std::vector<double>> Run(const SocialGraph& host_graph,
+                                  size_t num_actions,
+                                  const std::vector<ActionLog>& provider_logs,
+                                  Rng* host_rng,
+                                  const std::vector<Rng*>& provider_rngs,
+                                  Rng* pair_secret_rng);
+
+  /// \brief The a_i values H reconstructed during the last run.
+  const std::vector<uint64_t>& revealed_action_counts() const {
+    return revealed_a_;
+  }
+
+  const Protocol6Views& protocol6_views() const { return p6_views_; }
+
+ private:
+  Network* network_;
+  PartyId host_;
+  std::vector<PartyId> providers_;
+  SecureScoreConfig config_;
+  std::vector<uint64_t> revealed_a_;
+  Protocol6Views p6_views_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_MPC_SECURE_USER_SCORE_H_

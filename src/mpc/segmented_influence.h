@@ -1,0 +1,57 @@
+// Extension: secure segment-conditioned link influence.
+//
+// Same structure as Protocol 4, with the counter batch widened to one block
+// per segment: [a[0] | .. | a[G-1] | b[0](Omega) | .. | b[G-1](Omega)].
+// All G*(n + q) counters share ONE batched Protocol 2 execution, so the
+// round count stays at Protocol 4's eight.
+//
+// Masking note: the division masks are drawn per (user, segment), not per
+// user. A single per-user mask would let H compute the exact ratios
+// a_i[g1]/a_i[g2] (relative category activity of each user), which the
+// pooled output does not imply; per-(user, segment) masks keep the leakage
+// to exactly the per-segment quotients.
+
+#ifndef PSI_MPC_SEGMENTED_INFLUENCE_H_
+#define PSI_MPC_SEGMENTED_INFLUENCE_H_
+
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "influence/segmented.h"
+#include "mpc/link_influence_protocol.h"
+#include "net/network.h"
+
+namespace psi {
+
+/// \brief Orchestrates the segmented Protocol 4 variant.
+class SegmentedInfluenceProtocol {
+ public:
+  SegmentedInfluenceProtocol(Network* network, PartyId host,
+                             std::vector<PartyId> providers,
+                             Protocol4Config config);
+
+  /// \brief Runs the protocol.
+  ///
+  /// \param segment_of_action public segment label per action id.
+  /// \param num_segments G.
+  /// \return per-segment strengths for every arc of E, at the host.
+  Result<SegmentedLinkInfluence> Run(
+      const SocialGraph& host_graph, uint64_t num_actions_public,
+      const std::vector<ActionLog>& provider_logs,
+      const std::vector<uint32_t>& segment_of_action, uint32_t num_segments,
+      Rng* host_rng, const std::vector<Rng*>& provider_rngs,
+      Rng* pair_secret_rng);
+
+ private:
+  Network* network_;
+  PartyId host_;
+  std::vector<PartyId> providers_;
+  Protocol4Config config_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_MPC_SEGMENTED_INFLUENCE_H_

@@ -1,0 +1,47 @@
+// Share representations produced by Protocols 1 and 2.
+
+#ifndef PSI_MPC_SHARES_H_
+#define PSI_MPC_SHARES_H_
+
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "bigint/biguint.h"
+
+namespace psi {
+
+/// \brief Modular additive shares: s1 + s2 == x (mod S). Held by P1 and P2
+/// respectively (Protocol 1 output).
+struct ModularShares {
+  BigUInt s1;
+  BigUInt s2;
+};
+
+/// \brief Integer additive shares: s1 + s2 == x exactly over the integers.
+/// s2 may be negative after Protocol 2's correction step (s2 <- s2 - S).
+struct IntegerShares {
+  BigUInt s1;
+  BigInt s2;
+
+  /// \brief Reconstructs x (tests and the host-side recombination only).
+  BigInt Reconstruct() const { return BigInt(s1) + s2; }
+};
+
+/// \brief Batched shares for a vector of counters, index-aligned.
+struct BatchedModularShares {
+  std::vector<BigUInt> s1;
+  std::vector<BigUInt> s2;
+};
+
+/// \brief Batched integer shares (the state after batched Protocol 2).
+struct BatchedIntegerShares {
+  std::vector<BigUInt> s1;
+  std::vector<BigInt> s2;
+
+  size_t size() const { return s1.size(); }
+  IntegerShares At(size_t i) const { return IntegerShares{s1[i], s2[i]}; }
+};
+
+}  // namespace psi
+
+#endif  // PSI_MPC_SHARES_H_

@@ -1,0 +1,103 @@
+#include "net/cost_model.h"
+
+#include <cstdio>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace psi {
+
+std::string CostSummary::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-40s %14s %18s\n", "communication round",
+                "num messages", "bits per message");
+  out += line;
+  for (const auto& r : rows) {
+    std::snprintf(line, sizeof(line), "%-40s %14llu %18llu\n", r.step.c_str(),
+                  static_cast<unsigned long long>(r.num_messages),
+                  static_cast<unsigned long long>(r.bits_per_message));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "NR=%llu  NM=%llu  MS=%llu bits (%.2f MiB)\n",
+                static_cast<unsigned long long>(nr),
+                static_cast<unsigned long long>(nm),
+                static_cast<unsigned long long>(ms_bits),
+                static_cast<double>(ms_bits) / 8.0 / 1024.0 / 1024.0);
+  out += line;
+  return out;
+}
+
+namespace {
+
+CostSummary Summarize(std::vector<CostRow> rows) {
+  CostSummary s;
+  s.rows = std::move(rows);
+  s.nr = s.rows.size();
+  for (const auto& r : s.rows) {
+    s.nm += r.num_messages;
+    s.ms_bits += r.TotalBits();
+  }
+  return s;
+}
+
+}  // namespace
+
+CostSummary Protocol4Costs(const Protocol4CostParams& p) {
+  PSI_CHECK(p.m >= 2) << "Protocol 4 requires at least two providers";
+  const uint64_t nq = p.n + p.q;
+  std::vector<CostRow> rows = {
+      // H distributes the obfuscated arc index set Omega_E'.
+      {"Step 2 (H -> P_k: Omega_E')", p.m, 2 * p.q * p.index_bits},
+      // Batched Protocol 1, step 2: every player sends a share vector to
+      // every other player.
+      {"Steps 3-4; Prot.1, Step 2", p.m * (p.m - 1), nq * p.log_s},
+      // Batched Protocol 1, step 4: P_3..P_m forward their sums to P_2.
+      {"Steps 3-4; Prot.1, Step 4", p.m - 2, nq * p.log_s},
+      // Batched Protocol 2, steps 3-4: P_1 and P_2 send to the third party.
+      {"Steps 3-4; Prot.2, Steps 3-4", 2, nq * p.log_s},
+      // Batched Protocol 2, step 6: one comparison bit per counter.
+      {"Steps 3-4; Prot.2, Step 6", 1, nq},
+      // Joint generation of M_i (one real per user, both directions).
+      {"Step 5 (joint M_i)", 2, p.n * p.f},
+      // Joint generation of r_i.
+      {"Step 6 (joint r_i)", 2, p.n * p.f},
+      // P_1 and P_2 send all masked shares to H.
+      {"Steps 7-8 (masked shares -> H)", 2, nq * p.f},
+  };
+  return Summarize(std::move(rows));
+}
+
+CostSummary Protocol6Costs(const Protocol6CostParams& p) {
+  PSI_CHECK(p.actions_per_provider.size() == p.m)
+      << "need one action count per provider";
+  const uint64_t total_actions =
+      std::accumulate(p.actions_per_provider.begin(),
+                      p.actions_per_provider.end(), uint64_t{0});
+
+  std::vector<CostRow> rows;
+  rows.push_back({"Step 2 (H -> P_k: Omega_E')", p.m, 2 * p.q * p.index_bits});
+  rows.push_back({"Step 3 (H -> P_k: public key)", p.m, p.kappa});
+  // Round 3: P_2..P_m each send their encrypted Delta vectors to P_1. The
+  // k-th message carries A_k actions, each a vector of q encrypted integers.
+  // Messages differ in size, so the table reports the average; NM and total
+  // bits are exact.
+  uint64_t relay_actions = total_actions - p.actions_per_provider[0];
+  uint64_t relay_bits = p.q * p.z * relay_actions;
+  uint64_t relay_msgs = p.m - 1;
+  rows.push_back({"Steps 4-9 (P_k -> P_1: E(Delta))", relay_msgs,
+                  relay_msgs == 0 ? 0 : relay_bits / relay_msgs});
+  CostSummary s = Summarize(std::move(rows));
+  // Patch exact bits for the unequal-size round.
+  s.ms_bits += relay_bits - (relay_msgs == 0 ? 0 : relay_bits / relay_msgs) * relay_msgs;
+  // Round 4: P_1 forwards everything (its own + relayed) to H.
+  s.rows.push_back({"Step 10 (P_1 -> H: all E(Delta))", 1,
+                    p.q * p.z * total_actions});
+  s.nr += 1;
+  s.nm += 1;
+  s.ms_bits += p.q * p.z * total_actions;
+  return s;
+}
+
+}  // namespace psi

@@ -1,0 +1,64 @@
+// Analytic communication-cost model of Section 7.1: the closed-form per-round
+// message counts and sizes of Table 1 (Protocol 4) and Table 2 (Protocol 6).
+// The Table benches print these next to the byte counts measured by the
+// Network simulator.
+
+#ifndef PSI_NET_COST_MODEL_H_
+#define PSI_NET_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psi {
+
+/// \brief One analytic row: a communication round of a protocol.
+struct CostRow {
+  std::string step;       ///< Protocol step, as labeled in the paper's table.
+  uint64_t num_messages;  ///< Messages sent in this round.
+  uint64_t bits_per_message;  ///< Size of each message in bits.
+
+  uint64_t TotalBits() const { return num_messages * bits_per_message; }
+};
+
+/// \brief Analytic totals (NR / NM / MS of Section 7.1).
+struct CostSummary {
+  std::vector<CostRow> rows;
+  uint64_t nr = 0;  ///< Number of communication rounds.
+  uint64_t nm = 0;  ///< Total number of messages.
+  uint64_t ms_bits = 0;  ///< Total size of all messages in bits.
+
+  std::string ToString() const;
+};
+
+/// \brief Parameters of the Protocol 4 cost model (Table 1).
+struct Protocol4CostParams {
+  uint64_t m;          ///< Number of service providers.
+  uint64_t n;          ///< Number of users.
+  uint64_t q;          ///< |E'| = c * |E| obfuscated arcs.
+  uint64_t log_s;      ///< Bits of the share modulus S.
+  uint64_t f = 64;     ///< Bits per transmitted real number.
+  uint64_t index_bits = 32;  ///< Bits per node index in Omega_E'.
+};
+
+/// \brief Table 1: the eight communication rounds of Protocol 4.
+/// NR = 8, NM = m^2 + m + 7, MS = O(m^2 (n+q) log S).
+CostSummary Protocol4Costs(const Protocol4CostParams& p);
+
+/// \brief Parameters of the Protocol 6 cost model (Table 2).
+struct Protocol6CostParams {
+  uint64_t m;      ///< Number of service providers.
+  uint64_t q;      ///< |E'|.
+  uint64_t z;      ///< Ciphertext size in bits (1024 for RSA).
+  uint64_t kappa;  ///< Public key size in bits.
+  std::vector<uint64_t> actions_per_provider;  ///< A_k, k = 1..m.
+  uint64_t index_bits = 32;
+};
+
+/// \brief Table 2: the four communication rounds of Protocol 6.
+/// NR = 4, NM = 3m, MS <= 2 q z A bits (dominant terms).
+CostSummary Protocol6Costs(const Protocol6CostParams& p);
+
+}  // namespace psi
+
+#endif  // PSI_NET_COST_MODEL_H_

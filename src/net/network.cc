@@ -1,0 +1,103 @@
+#include "net/network.h"
+
+#include <cstdio>
+
+namespace psi {
+
+std::string TrafficReport::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-44s %12s %14s\n", "communication round",
+                "messages", "bytes");
+  out += line;
+  for (const auto& r : rounds) {
+    std::snprintf(line, sizeof(line), "%-44s %12llu %14llu\n", r.label.c_str(),
+                  static_cast<unsigned long long>(r.num_messages),
+                  static_cast<unsigned long long>(r.num_bytes));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-44s %12llu %14llu  (NR=%llu)\n",
+                "TOTAL", static_cast<unsigned long long>(num_messages),
+                static_cast<unsigned long long>(num_bytes),
+                static_cast<unsigned long long>(num_rounds));
+  out += line;
+  return out;
+}
+
+PartyId Network::RegisterParty(std::string name) {
+  names_.push_back(std::move(name));
+  bytes_sent_by_.push_back(0);
+  return static_cast<PartyId>(names_.size() - 1);
+}
+
+void Network::BeginRound(std::string label) {
+  rounds_.push_back(RoundStats{std::move(label), 0, 0});
+}
+
+Status Network::Send(PartyId from, PartyId to, std::vector<uint8_t> payload) {
+  if (!ValidParty(from) || !ValidParty(to)) {
+    return Status::InvalidArgument("Send: unknown party id");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("Send: a party cannot message itself");
+  }
+  if (rounds_.empty()) {
+    return Status::FailedPrecondition("Send before any BeginRound");
+  }
+  rounds_.back().num_messages += 1;
+  rounds_.back().num_bytes += payload.size();
+  bytes_sent_by_[from] += payload.size();
+  mailboxes_[{from, to}].push_back(std::move(payload));
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> Network::Recv(PartyId to, PartyId from) {
+  if (!ValidParty(from) || !ValidParty(to)) {
+    return Status::InvalidArgument("Recv: unknown party id");
+  }
+  auto it = mailboxes_.find({from, to});
+  if (it == mailboxes_.end() || it->second.empty()) {
+    return Status::FailedPrecondition(
+        "Recv: no pending message from " + names_[from] + " to " + names_[to]);
+  }
+  std::vector<uint8_t> payload = std::move(it->second.front());
+  it->second.pop_front();
+  return payload;
+}
+
+bool Network::HasPending(PartyId to, PartyId from) const {
+  auto it = mailboxes_.find({from, to});
+  return it != mailboxes_.end() && !it->second.empty();
+}
+
+size_t Network::PendingCount() const {
+  size_t count = 0;
+  for (const auto& [key, box] : mailboxes_) count += box.size();
+  return count;
+}
+
+TrafficReport Network::Report() const {
+  TrafficReport report;
+  report.rounds = rounds_;
+  report.num_rounds = rounds_.size();
+  for (const auto& r : rounds_) {
+    report.num_messages += r.num_messages;
+    report.num_bytes += r.num_bytes;
+  }
+  return report;
+}
+
+uint64_t Network::BytesSentBy(PartyId id) const {
+  return ValidParty(id) ? bytes_sent_by_[id] : 0;
+}
+
+Status Network::ResetMetering() {
+  if (PendingCount() != 0) {
+    return Status::FailedPrecondition("ResetMetering with undelivered messages");
+  }
+  rounds_.clear();
+  for (auto& b : bytes_sent_by_) b = 0;
+  return Status::OK();
+}
+
+}  // namespace psi

@@ -1,0 +1,98 @@
+// In-process simulation of the multiparty setting.
+//
+// The paper's parties (the host H and the service providers P_1..P_m) are
+// separate organizations; here they are objects exchanging byte buffers
+// through this Network. The simulator enforces mailbox discipline (a party
+// can only read messages addressed to it) and meters every transfer, which
+// is what reproduces the paper's communication-cost evaluation:
+//   NR = communication rounds, NM = total messages, MS = total bytes.
+
+#ifndef PSI_NET_NETWORK_H_
+#define PSI_NET_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace psi {
+
+/// \brief Dense party identifier assigned by Network::RegisterParty.
+using PartyId = uint32_t;
+
+/// \brief Traffic recorded for one communication round.
+struct RoundStats {
+  std::string label;       ///< e.g. "P4.step2: H sends Omega_E'".
+  uint64_t num_messages = 0;
+  uint64_t num_bytes = 0;
+};
+
+/// \brief Aggregate traffic report (the NR/NM/MS of Section 7.1).
+struct TrafficReport {
+  uint64_t num_rounds = 0;
+  uint64_t num_messages = 0;
+  uint64_t num_bytes = 0;
+  std::vector<RoundStats> rounds;
+
+  /// \brief Multi-line rendering shaped like the paper's Tables 1-2.
+  std::string ToString() const;
+};
+
+/// \brief Simulated message-passing network with exact byte metering.
+class Network {
+ public:
+  Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// \brief Adds a party; returns its id. Names are for reports only.
+  PartyId RegisterParty(std::string name);
+
+  size_t num_parties() const { return names_.size(); }
+  const std::string& party_name(PartyId id) const { return names_[id]; }
+
+  /// \brief Opens a new communication round. All sends until the next
+  /// BeginRound are accounted to this round. Rounds model the paper's
+  /// definition: a stage where players send messages and the protocol
+  /// proceeds only once all are delivered.
+  void BeginRound(std::string label);
+
+  /// \brief Sends `payload` from `from` to `to` (metered).
+  Status Send(PartyId from, PartyId to, std::vector<uint8_t> payload);
+
+  /// \brief Receives the oldest pending message sent by `from` to `to`.
+  /// Returns FailedPrecondition if none is pending.
+  Result<std::vector<uint8_t>> Recv(PartyId to, PartyId from);
+
+  /// \brief True if a message from `from` to `to` is pending.
+  bool HasPending(PartyId to, PartyId from) const;
+
+  /// \brief Total number of undelivered messages (0 after a clean protocol).
+  size_t PendingCount() const;
+
+  /// \brief Traffic so far.
+  TrafficReport Report() const;
+
+  /// \brief Bytes sent by one party across all rounds.
+  uint64_t BytesSentBy(PartyId id) const;
+
+  /// \brief Resets all metering (mailboxes must be empty).
+  Status ResetMetering();
+
+ private:
+  bool ValidParty(PartyId id) const { return id < names_.size(); }
+
+  std::vector<std::string> names_;
+  // (from, to) -> FIFO of payloads.
+  std::map<std::pair<PartyId, PartyId>, std::deque<std::vector<uint8_t>>>
+      mailboxes_;
+  std::vector<RoundStats> rounds_;
+  std::vector<uint64_t> bytes_sent_by_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_NET_NETWORK_H_

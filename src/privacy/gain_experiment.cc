@@ -1,0 +1,58 @@
+#include "privacy/gain_experiment.h"
+
+#include <cmath>
+
+namespace psi {
+
+Result<GainExperimentResult> RunGainExperiment(const std::vector<double>& prior,
+                                               const GainExperimentConfig& config,
+                                               Rng* rng) {
+  PSI_ASSIGN_OR_RETURN(PosteriorAnalyzer analyzer,
+                       PosteriorAnalyzer::Create(prior));
+  const size_t a = analyzer.bound_a();
+  const double prior_mean = analyzer.PriorMean();
+
+  GainExperimentResult result{
+      {},
+      0.0,
+      0.0,
+      Histogram(config.histogram_lo, config.histogram_hi,
+                config.histogram_bins)};
+  result.gains.reserve(a * config.trials_per_x);
+
+  size_t positives = 0;
+  for (size_t x = 1; x <= a; ++x) {
+    const double xf = static_cast<double>(x);
+    const double e_pre = std::abs(xf - prior_mean);
+    for (size_t trial = 0; trial < config.trials_per_x; ++trial) {
+      double m = rng->SampleZ();
+      double r = rng->UniformReal() * m;
+      double y = r * xf;
+      if (y <= 0.0) {
+        // r can round to 0; the observer then knows only x's sign class,
+        // which the posterior machinery models as "no update".
+        result.gains.push_back(0.0);
+        result.histogram.Add(0.0);
+        continue;
+      }
+      PSI_ASSIGN_OR_RETURN(auto post, analyzer.Posterior(y));
+      double e_pos = std::abs(xf - PosteriorAnalyzer::DistributionMean(post));
+      double gain = e_pre - e_pos;
+      if (gain > 0.0) ++positives;
+      result.gains.push_back(gain);
+      result.histogram.Add(gain);
+    }
+  }
+
+  double total = 0.0;
+  for (double g : result.gains) total += g;
+  result.average_gain =
+      result.gains.empty() ? 0.0 : total / static_cast<double>(result.gains.size());
+  result.positive_fraction =
+      result.gains.empty()
+          ? 0.0
+          : static_cast<double>(positives) / static_cast<double>(result.gains.size());
+  return result;
+}
+
+}  // namespace psi

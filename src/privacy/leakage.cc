@@ -1,0 +1,57 @@
+#include "privacy/leakage.h"
+
+namespace psi {
+
+Result<LeakageProbabilities> ComputeLeakageProbabilities(uint64_t x,
+                                                         const BigUInt& bound_a,
+                                                         const BigUInt& s) {
+  if (BigUInt(x) > bound_a) {
+    return Status::InvalidArgument("x exceeds the bound A");
+  }
+  if (s <= bound_a * BigUInt(2)) {
+    return Status::InvalidArgument("S must exceed 2A");
+  }
+  const double a = bound_a.ToDouble();
+  const double s_real = s.ToDouble();
+  LeakageProbabilities p;
+  p.p2_lower = static_cast<double>(x) / s_real;
+  p.p2_upper = (a - static_cast<double>(x)) / s_real;
+  p.p2_nothing = 1.0 - p.p2_lower - p.p2_upper;
+  p.p3_lower_max = a / (s_real - a);
+  p.p3_upper_max = a / (s_real - a);
+  return p;
+}
+
+LeakKind ClassifyP2Observation(const BigUInt& s2_before_correction,
+                               bool corrected, const BigUInt& bound_a) {
+  if (!corrected) {
+    // s1 + s2 < S held, so x = s1 + s2 >= s2: a lower bound, nontrivial
+    // when s2 > 0.
+    return s2_before_correction.IsZero() ? LeakKind::kNothing
+                                         : LeakKind::kLowerBound;
+  }
+  // s1 + s2 >= S held, which requires both shares > x, so x <= s2 - 1:
+  // nontrivial only when s2 <= A.
+  return (s2_before_correction <= bound_a) ? LeakKind::kUpperBound
+                                           : LeakKind::kNothing;
+}
+
+LeakKind ClassifyP3Observation(const BigUInt& z, const BigUInt& bound_a,
+                               const BigUInt& s) {
+  // z = x + r with r in [0, S-A-1]; bounds from Theorem 4.1's proof:
+  // x >= z - (S - A - 1) is nontrivial iff z > S - A - 1, and x <= z is
+  // nontrivial iff z < A.
+  if (z < bound_a) return LeakKind::kUpperBound;
+  if (z + bound_a + BigUInt(1) > s) return LeakKind::kLowerBound;
+  return LeakKind::kNothing;
+}
+
+BigUInt RequiredModulusForBudget(const BigUInt& bound_a, uint64_t num_counters,
+                                 uint64_t epsilon_log2) {
+  BigUInt target =
+      bound_a * (BigUInt(1) + (BigUInt(2) * BigUInt(num_counters)
+                               << static_cast<size_t>(epsilon_log2)));
+  return BigUInt::PowerOfTwo(target.BitLength());
+}
+
+}  // namespace psi

@@ -1,0 +1,64 @@
+// Theorem 4.1: what Protocol 2 can leak, to whom, and how often.
+//
+// P2 may learn a lower bound on the sum x (probability x/S), an upper bound
+// (probability (A-x)/S), or nothing ((S-A)/S). P3 may learn a bound with
+// probability at most A/(S-A) per side. Everyone else learns nothing. The
+// classifiers below reproduce the proof's case analysis so property tests
+// can compare empirical frequencies against the bounds, and
+// `RequiredModulusForBudget` inverts the bound into the S >= A(1 + 2K/eps)
+// sizing rule of Section 5.1.1.
+
+#ifndef PSI_PRIVACY_LEAKAGE_H_
+#define PSI_PRIVACY_LEAKAGE_H_
+
+#include <cstdint>
+
+#include "bigint/bigint.h"
+#include "bigint/biguint.h"
+#include "common/status.h"
+
+namespace psi {
+
+/// \brief What an observer inferred about the private sum x.
+enum class LeakKind {
+  kNothing,
+  kLowerBound,  ///< The observer can rule out small values of x.
+  kUpperBound,  ///< The observer can rule out large values of x.
+};
+
+/// \brief Theorem 4.1 closed-form probabilities for one protocol run.
+struct LeakageProbabilities {
+  double p2_lower;  ///< x / S
+  double p2_upper;  ///< (A - x) / S
+  double p2_nothing;
+  double p3_lower_max;  ///< <= A / (S - A)
+  double p3_upper_max;  ///< <= A / (S - A)
+};
+
+/// \brief Evaluates the Theorem 4.1 probabilities.
+Result<LeakageProbabilities> ComputeLeakageProbabilities(uint64_t x,
+                                                         const BigUInt& bound_a,
+                                                         const BigUInt& s);
+
+/// \brief Classifies what P2 learned from one run: P2 holds s2 (pre-
+/// correction, in [0, S)) and the correction bit.
+///
+/// From the proof: without correction P2 infers x >= s2 (nontrivial when
+/// 0 < s2); with correction it infers x <= s2 - 1 (nontrivial when s2 <= A).
+LeakKind ClassifyP2Observation(const BigUInt& s2_before_correction,
+                               bool corrected, const BigUInt& bound_a);
+
+/// \brief Classifies what P3 learned from z = x + r (recovered from y):
+/// upper bound when z < A, lower bound when z > S - A - 1.
+LeakKind ClassifyP3Observation(const BigUInt& z, const BigUInt& bound_a,
+                               const BigUInt& s);
+
+/// \brief Smallest power-of-two S such that the probability that P2 or P3
+/// learns any bound across `num_counters` parallel runs is at most
+/// 2^-epsilon_log2 (the Section 5.1.1 rule S >= A(1 + 2K/eps)).
+BigUInt RequiredModulusForBudget(const BigUInt& bound_a, uint64_t num_counters,
+                                 uint64_t epsilon_log2);
+
+}  // namespace psi
+
+#endif  // PSI_PRIVACY_LEAKAGE_H_

@@ -1,0 +1,161 @@
+#include "privacy/posterior.h"
+
+#include <cmath>
+
+namespace psi {
+
+Result<PosteriorAnalyzer> PosteriorAnalyzer::Create(std::vector<double> prior) {
+  if (prior.size() < 2) {
+    return Status::InvalidArgument("prior needs support {0..A} with A >= 1");
+  }
+  // Trim to the largest x with positive mass (the paper's WLOG f_X(A) > 0).
+  size_t a = prior.size() - 1;
+  while (a > 0 && prior[a] <= 0.0) --a;
+  if (a == 0) {
+    return Status::InvalidArgument("prior has no mass on positive values");
+  }
+  prior.resize(a + 1);
+  double total = 0.0;
+  for (double p : prior) {
+    if (p < 0.0) return Status::InvalidArgument("negative prior mass");
+    total += p;
+  }
+  if (total <= 0.0) return Status::InvalidArgument("prior sums to zero");
+  for (double& p : prior) p /= total;
+  return PosteriorAnalyzer(std::move(prior));
+}
+
+PosteriorAnalyzer::PosteriorAnalyzer(std::vector<double> prior)
+    : prior_(std::move(prior)) {
+  const size_t a = prior_.size() - 1;
+  tail_.assign(a + 1, 0.0);
+  psi_.assign(a + 1, 0.0);
+  psi_prefix_.assign(a + 1, 0.0);
+  // T(j) = sum_{t=j..A} f(t)/t, computed back-to-front.
+  double acc = 0.0;
+  for (size_t j = a; j >= 1; --j) {
+    acc += prior_[j] / static_cast<double>(j);
+    tail_[j] = acc;
+  }
+  for (size_t j = 1; j <= a; ++j) {
+    psi_[j] = tail_[j] > 0.0 ? 1.0 / tail_[j] : 0.0;
+    psi_prefix_[j] = psi_prefix_[j - 1] + psi_[j];
+  }
+}
+
+double PosteriorAnalyzer::PriorMean() const { return DistributionMean(prior_); }
+
+double PosteriorAnalyzer::DistributionMean(const std::vector<double>& dist) {
+  double mean = 0.0;
+  for (size_t x = 0; x < dist.size(); ++x) {
+    mean += static_cast<double>(x) * dist[x];
+  }
+  return mean;
+}
+
+Result<std::vector<double>> PosteriorAnalyzer::Posterior(double y) const {
+  if (!(y > 0.0)) return Status::InvalidArgument("Posterior requires y > 0");
+  const size_t a = bound_a();
+  const double a_real = static_cast<double>(a);
+  std::vector<double> post(a + 1, 0.0);  // post[0] stays 0: y > 0 => x > 0.
+
+  if (y > a_real) {
+    // Theorem 4.4, Eq. (10): independent of the exact y.
+    for (size_t x = 1; x <= a; ++x) {
+      post[x] = prior_[x] * Psi(x) / (static_cast<double>(x) * a_real);
+    }
+  } else {
+    const double floor_y = std::floor(y);
+    const double ceil_y = std::ceil(y);
+    // The x > y branch shares one mu-integral value J.
+    double j_above = 0.0;
+    {
+      auto ceil_idx = static_cast<size_t>(ceil_y);
+      double first_term = 0.0;
+      if (floor_y < y && ceil_idx >= 1 && ceil_idx <= a) {
+        first_term = psi_[ceil_idx] * (1.0 - floor_y / y);
+      }
+      double second_term =
+          Psi(static_cast<size_t>(std::min(floor_y, a_real))) / y;
+      j_above = first_term + second_term;
+    }
+    for (size_t x = 1; x <= a; ++x) {
+      double xf = static_cast<double>(x);
+      if (xf <= y) {
+        post[x] = prior_[x] * Psi(x) / (xf * y);  // Eq. (9), first case.
+      } else {
+        post[x] = prior_[x] / xf * j_above;       // Eq. (9), second case.
+      }
+    }
+  }
+
+  double total = 0.0;
+  for (double p : post) total += p;
+  if (total <= 0.0) {
+    return Status::Internal("posterior vanished; prior/y inconsistent");
+  }
+  for (double& p : post) p /= total;
+  return post;
+}
+
+Result<std::vector<double>> PosteriorAnalyzer::PosteriorNumerical(
+    double y, size_t grid_points) const {
+  if (!(y > 0.0)) return Status::InvalidArgument("requires y > 0");
+  if (grid_points < 16) return Status::InvalidArgument("grid too coarse");
+  const size_t a = bound_a();
+  const double a_real = static_cast<double>(a);
+  // Substitute v = 1/mu: integral_{lo}^{inf} mu^-2 g(mu) dmu =
+  // integral_0^{1/lo} g(1/v) dv. Phi's y > A truncation scales by y/A and
+  // shrinks the domain to v <= A/y.
+  const double scale = (y > a_real) ? y / a_real : 1.0;
+
+  auto alpha_inv = [&](double v) -> double {
+    // 1 / alpha(y, mu) with mu = 1/v; alpha = T(max(1, ceil(y*v))).
+    double yv = y * v;
+    auto j = static_cast<size_t>(std::ceil(yv));
+    if (j < 1) j = 1;
+    if (j > a) return 0.0;
+    return psi_[j];
+  };
+
+  std::vector<double> post(a + 1, 0.0);
+  for (size_t x = 1; x <= a; ++x) {
+    if (prior_[x] <= 0.0) continue;
+    double xf = static_cast<double>(x);
+    // Domain: mu >= max(1, y/x) and (if y > A) mu >= y/A.
+    double lo_mu = std::max(1.0, y / xf);
+    if (y > a_real) lo_mu = std::max(lo_mu, y / a_real);
+    double hi_v = 1.0 / lo_mu;
+    // Midpoint rule over v in (0, hi_v].
+    double sum = 0.0;
+    double dv = hi_v / static_cast<double>(grid_points);
+    for (size_t g = 0; g < grid_points; ++g) {
+      double v = (static_cast<double>(g) + 0.5) * dv;
+      sum += alpha_inv(v);
+    }
+    post[x] = prior_[x] / xf * scale * sum * dv;
+  }
+  double total = 0.0;
+  for (double p : post) total += p;
+  if (total <= 0.0) return Status::Internal("numerical posterior vanished");
+  for (double& p : post) p /= total;
+  return post;
+}
+
+std::vector<double> UniformPrior(size_t bound_a) {
+  return std::vector<double>(bound_a + 1, 1.0 / static_cast<double>(bound_a + 1));
+}
+
+std::vector<double> UnimodalPrior(size_t bound_a) {
+  std::vector<double> prior(bound_a + 1);
+  double half = static_cast<double>(bound_a) / 2.0;
+  double denom = (1.0 + half) * (1.0 + half);
+  for (size_t i = 0; i <= bound_a; ++i) {
+    double fi = static_cast<double>(i);
+    prior[i] = (fi <= half ? fi + 1.0 : static_cast<double>(bound_a) + 1.0 - fi) /
+               denom;
+  }
+  return prior;
+}
+
+}  // namespace psi

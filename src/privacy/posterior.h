@@ -1,0 +1,72 @@
+// Theorems 4.2-4.4: the a-posteriori belief f_X(x | Y = y) an observer can
+// form about a private integer x in {0..A} after seeing y = r*x, where
+// M ~ Z (pdf mu^-2 on [1, inf)) and r ~ U(0, M).
+//
+// Closed form (Theorem 4.4). With T(j) = sum_{t=j..A} f_X(t)/t,
+// psi(j) = 1/T(j) and Psi(x) = sum_{j=1..x} psi(j), the unnormalized
+// posterior of x >= 1 given y > 0 is
+//   y <= A, x <= y :  f_X(x) * Psi(x) / (x*y)
+//   y <= A, x >  y :  f_X(x)/x * [ psi(ceil(y))*(1 - floor(y)/y)
+//                                  + Psi(floor(y))/y ]
+//   y >  A         :  f_X(x) * Psi(x) / (x*A)
+// and f(0 | y>0) = 0 (a positive y rules out x = 0). Note the y > A case is
+// independent of y, exactly as the paper remarks. The paper's ratio form is
+// not self-normalizing, so Posterior() normalizes over {0..A}; a numerical
+// integration of Eq. (7) cross-checks the closed form in the tests.
+
+#ifndef PSI_PRIVACY_POSTERIOR_H_
+#define PSI_PRIVACY_POSTERIOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace psi {
+
+/// \brief Posterior-belief calculator for one prior distribution on {0..A}.
+class PosteriorAnalyzer {
+ public:
+  /// \brief Builds the analyzer. `prior[x]` is f_X(x); it is normalized
+  /// internally. The effective A is the largest x with prior[x] > 0
+  /// (the paper's WLOG).
+  static Result<PosteriorAnalyzer> Create(std::vector<double> prior);
+
+  /// \brief f_X(. | Y = y), normalized. Requires y > 0.
+  Result<std::vector<double>> Posterior(double y) const;
+
+  /// \brief Eq. (7) by direct numerical integration over mu (substituted to
+  /// v = 1/mu), normalized. Cross-validates the closed form.
+  Result<std::vector<double>> PosteriorNumerical(double y,
+                                                 size_t grid_points) const;
+
+  /// \brief Mean of the prior (the observer's best guess with no y).
+  double PriorMean() const;
+
+  /// \brief Mean of an arbitrary distribution on {0..A}.
+  static double DistributionMean(const std::vector<double>& dist);
+
+  const std::vector<double>& prior() const { return prior_; }
+  size_t bound_a() const { return prior_.size() - 1; }
+
+ private:
+  explicit PosteriorAnalyzer(std::vector<double> prior);
+
+  double Psi(size_t x) const { return psi_prefix_[x]; }  // Psi(0) == 0.
+
+  std::vector<double> prior_;       // f_X on {0..A}, trimmed + normalized.
+  std::vector<double> tail_;        // tail_[j] = T(j), j in [1, A].
+  std::vector<double> psi_;         // psi_[j] = 1/T(j), j in [1, A].
+  std::vector<double> psi_prefix_;  // Psi(x) = sum_{j<=x} psi(j).
+};
+
+/// \brief Uniform prior on {0..A}.
+std::vector<double> UniformPrior(size_t bound_a);
+
+/// \brief The paper's unimodal prior peaking at A/2:
+/// f(i) = (i+1)/(1+A/2)^2 for i <= A/2, (A+1-i)/(1+A/2)^2 otherwise.
+std::vector<double> UnimodalPrior(size_t bound_a);
+
+}  // namespace psi
+
+#endif  // PSI_PRIVACY_POSTERIOR_H_

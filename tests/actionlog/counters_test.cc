@@ -1,0 +1,148 @@
+#include "actionlog/counters.h"
+
+#include <gtest/gtest.h>
+
+#include "actionlog/generator.h"
+#include "graph/generators.h"
+
+namespace psi {
+namespace {
+
+// Hand-checkable fixture:
+//   user 0: action 0 at t=0, action 1 at t=10
+//   user 1: action 0 at t=2, action 1 at t=11
+//   user 2: action 0 at t=5
+ActionLog SmallLog() {
+  ActionLog log;
+  log.Add({0, 0, 0});
+  log.Add({0, 1, 10});
+  log.Add({1, 0, 2});
+  log.Add({1, 1, 11});
+  log.Add({2, 0, 5});
+  return log;
+}
+
+TEST(CountersTest, ActionCounts) {
+  auto a = ComputeActionCounts(SmallLog(), 4);
+  EXPECT_EQ(a, (std::vector<uint64_t>{2, 2, 1, 0}));
+}
+
+TEST(CountersTest, ActionCountsIgnoreOutOfRangeUsers) {
+  ActionLog log;
+  log.Add({10, 0, 1});
+  auto a = ComputeActionCounts(log, 3);
+  EXPECT_EQ(a, (std::vector<uint64_t>{0, 0, 0}));
+}
+
+TEST(CountersTest, FollowCountsWindowSemantics) {
+  auto log = SmallLog();
+  std::vector<Arc> pairs{{0, 1}, {1, 0}, {0, 2}, {2, 1}, {1, 2}};
+  // h = 2: user1 followed user0 on action 0 (t=0 -> 2, diff 2 <= 2) and
+  // action 1 (10 -> 11, diff 1). user2 followed user0? 0 -> 5: diff 5 > 2.
+  // user2 followed... user1 on action0: 2 -> 5 diff 3 > 2.
+  auto b2 = ComputeFollowCounts(log, pairs, 2);
+  EXPECT_EQ(b2, (std::vector<uint64_t>{2, 0, 0, 0, 0}));
+  // h = 5: (0,2) diff 5 now counts; (1,2) diff 3 counts.
+  auto b5 = ComputeFollowCounts(log, pairs, 5);
+  EXPECT_EQ(b5, (std::vector<uint64_t>{2, 0, 1, 0, 1}));
+}
+
+TEST(CountersTest, FollowIsStrictlyAfter) {
+  // Simultaneous adoption is not influence (Delta t > 0 per Def. 3.1).
+  ActionLog log;
+  log.Add({0, 0, 5});
+  log.Add({1, 0, 5});
+  auto b = ComputeFollowCounts(log, {{0, 1}}, 10);
+  EXPECT_EQ(b[0], 0u);
+}
+
+TEST(CountersTest, ExactDelayCountsDecomposeFollowCounts) {
+  // Property: b^h = sum_l c^l for every pair and window.
+  Rng rng(42);
+  auto graph = ErdosRenyiArcs(&rng, 30, 150).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.4);
+  CascadeParams params;
+  params.num_actions = 50;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  for (uint64_t h : {1u, 3u, 6u}) {
+    auto b = ComputeFollowCounts(log, graph.arcs(), h);
+    auto c = ComputeExactDelayCounts(log, graph.arcs(), h);
+    for (size_t p = 0; p < graph.arcs().size(); ++p) {
+      uint64_t sum = 0;
+      for (uint64_t l = 0; l < h; ++l) sum += c[p][l];
+      ASSERT_EQ(sum, b[p]) << "pair " << p << " h " << h;
+    }
+  }
+}
+
+TEST(CountersTest, FollowCountsMonotoneInWindow) {
+  Rng rng(43);
+  auto graph = ErdosRenyiArcs(&rng, 25, 100).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.5);
+  CascadeParams params;
+  params.num_actions = 40;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  auto b1 = ComputeFollowCounts(log, graph.arcs(), 1);
+  auto b4 = ComputeFollowCounts(log, graph.arcs(), 4);
+  auto b9 = ComputeFollowCounts(log, graph.arcs(), 9);
+  for (size_t p = 0; p < graph.arcs().size(); ++p) {
+    EXPECT_LE(b1[p], b4[p]);
+    EXPECT_LE(b4[p], b9[p]);
+  }
+}
+
+TEST(CountersTest, TemporalWeightsSumToH) {
+  for (uint64_t h : {1u, 4u, 10u}) {
+    for (auto tw : {TemporalWeights::Uniform(h), TemporalWeights::LinearDecay(h),
+                    TemporalWeights::ExponentialDecay(h, 0.7)}) {
+      double sum = 0.0;
+      for (double w : tw.w) {
+        EXPECT_GT(w, 0.0);  // Paper constraint: 0 < w_l.
+        sum += w;
+      }
+      EXPECT_NEAR(sum, static_cast<double>(h), 1e-9);
+    }
+  }
+}
+
+TEST(CountersTest, DecayWeightsAreDecreasing) {
+  auto lin = TemporalWeights::LinearDecay(5);
+  auto exp = TemporalWeights::ExponentialDecay(5, 1.0);
+  for (size_t l = 1; l < 5; ++l) {
+    EXPECT_GT(lin.w[l - 1], lin.w[l]);
+    EXPECT_GT(exp.w[l - 1], exp.w[l]);
+  }
+}
+
+TEST(CountersTest, UniformWeightsReduceEq2ToEq1) {
+  Rng rng(44);
+  auto graph = ErdosRenyiArcs(&rng, 20, 80).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.5);
+  CascadeParams params;
+  params.num_actions = 30;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  uint64_t h = 4;
+  auto b = ComputeFollowCounts(log, graph.arcs(), h);
+  auto weighted = ComputeWeightedFollowCounts(log, graph.arcs(),
+                                              TemporalWeights::Uniform(h));
+  for (size_t p = 0; p < b.size(); ++p) {
+    EXPECT_DOUBLE_EQ(weighted[p], static_cast<double>(b[p]));
+  }
+}
+
+TEST(CountersTest, ScaledWeightsRounding) {
+  auto tw = TemporalWeights::LinearDecay(3);
+  auto scaled = tw.Scaled(1000);
+  ASSERT_EQ(scaled.size(), 3u);
+  for (size_t l = 0; l < 3; ++l) {
+    EXPECT_NEAR(static_cast<double>(scaled[l]), tw.w[l] * 1000.0, 0.51);
+  }
+}
+
+TEST(CountersTest, EmptyPairListIsFine) {
+  auto b = ComputeFollowCounts(SmallLog(), {}, 4);
+  EXPECT_TRUE(b.empty());
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,142 @@
+#include "actionlog/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "actionlog/counters.h"
+#include "common/stats.h"
+#include "graph/generators.h"
+#include "influence/link_influence.h"
+
+namespace psi {
+namespace {
+
+TEST(GeneratorTest, GroundTruthShapes) {
+  Rng rng(1);
+  auto graph = ErdosRenyiArcs(&rng, 20, 60).ValueOrDie();
+  auto uni = GroundTruthInfluence::Uniform(graph, 0.3);
+  EXPECT_EQ(uni.prob.size(), 60u);
+  for (double p : uni.prob) EXPECT_DOUBLE_EQ(p, 0.3);
+  auto rnd = GroundTruthInfluence::Random(&rng, graph, 0.2, 0.8);
+  for (double p : rnd.prob) {
+    EXPECT_GE(p, 0.2);
+    EXPECT_LT(p, 0.8);
+  }
+}
+
+TEST(GeneratorTest, CascadeRespectsLogInvariants) {
+  Rng rng(2);
+  auto graph = ErdosRenyiArcs(&rng, 40, 200).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.4);
+  CascadeParams params;
+  params.num_actions = 60;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  EXPECT_FALSE(log.empty());
+  EXPECT_LE(log.MaxActionId(), 60u);
+  EXPECT_LE(log.MaxUserId(), 40u);
+  // At-most-once invariant is inherent to ActionLog; verify densely.
+  std::set<std::pair<NodeId, ActionId>> seen;
+  for (const auto& r : log.records()) {
+    EXPECT_TRUE(seen.insert({r.user, r.action}).second);
+  }
+}
+
+TEST(GeneratorTest, AdoptionOnlyTravelsAlongArcs) {
+  // On a graph with no arcs only seeds can adopt.
+  Rng rng(3);
+  SocialGraph graph(30);
+  GroundTruthInfluence truth;  // No arcs -> empty prob vector.
+  CascadeParams params;
+  params.num_actions = 20;
+  params.seeds_per_action = 2;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  // Each action has at most seeds_per_action distinct adopters.
+  for (ActionId a = 0; a < 20; ++a) {
+    EXPECT_LE(log.RecordsOfAction(a).size(), 2u);
+  }
+}
+
+TEST(GeneratorTest, ZeroProbabilityMeansNoPropagation) {
+  Rng rng(4);
+  auto graph = ErdosRenyiArcs(&rng, 30, 200).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.0);
+  CascadeParams params;
+  params.num_actions = 25;
+  params.seeds_per_action = 1;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  for (ActionId a = 0; a < 25; ++a) {
+    EXPECT_LE(log.RecordsOfAction(a).size(), 1u);
+  }
+}
+
+TEST(GeneratorTest, HighProbabilitySpreadsWidely) {
+  Rng rng(5);
+  auto graph = BarabasiAlbert(&rng, 60, 3).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.95);
+  CascadeParams params;
+  params.num_actions = 10;
+  params.seeds_per_action = 1;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  double avg = static_cast<double>(log.size()) / 10.0;
+  EXPECT_GT(avg, 30.0);  // Near-full cascades on a connected BA graph.
+}
+
+TEST(GeneratorTest, DelaysRespectMaxDelay) {
+  Rng rng(6);
+  auto graph = ErdosRenyiArcs(&rng, 20, 100).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.8);
+  CascadeParams params;
+  params.num_actions = 15;
+  params.max_delay = 3;
+  params.start_time_span = 1;  // All seeds at t = 0.
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  // b with window >= max_delay captures every follow along an arc; a larger
+  // window adds nothing beyond multi-hop coincidences, so c^l for l > 3 can
+  // only come from non-adjacent pairs. Check arc-level delays directly:
+  auto c = ComputeExactDelayCounts(log, graph.arcs(), 10);
+  (void)c;  // Delays along arcs can exceed max_delay only via reconvergence;
+  // the strong invariant is on direct parent-child events, which the log
+  // does not distinguish. Instead check all adoption times are sane:
+  uint64_t max_time = log.MaxTime();
+  EXPECT_LT(max_time, 3u * 20u + 1u);  // <= diameter * max_delay + start.
+}
+
+TEST(GeneratorTest, LearnedInfluenceCorrelatesWithGroundTruth) {
+  // The end-to-end sanity check of the whole influence-learning premise:
+  // Eq. (1) estimates over generated cascades must correlate positively
+  // with the generating probabilities.
+  Rng rng(7);
+  auto graph = ErdosRenyiArcs(&rng, 50, 250).ValueOrDie();
+  auto truth = GroundTruthInfluence::Random(&rng, graph, 0.05, 0.9);
+  CascadeParams params;
+  params.num_actions = 400;
+  params.seeds_per_action = 3;
+  params.max_delay = 3;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  auto learned =
+      ComputeLinkInfluence(log, graph.arcs(), graph.num_nodes(), 3)
+          .ValueOrDie();
+  double corr = PearsonCorrelation(truth.prob, learned.p);
+  EXPECT_GT(corr, 0.4) << "learned influence should track ground truth";
+}
+
+TEST(GeneratorTest, Validation) {
+  Rng rng(8);
+  auto graph = ErdosRenyiArcs(&rng, 10, 20).ValueOrDie();
+  GroundTruthInfluence bad;  // Wrong size.
+  bad.prob.assign(3, 0.5);
+  CascadeParams params;
+  EXPECT_FALSE(GenerateCascades(&rng, graph, bad, params).ok());
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.5);
+  params.seeds_per_action = 0;
+  EXPECT_FALSE(GenerateCascades(&rng, graph, truth, params).ok());
+  params.seeds_per_action = 11;
+  EXPECT_FALSE(GenerateCascades(&rng, graph, truth, params).ok());
+  params.seeds_per_action = 2;
+  params.max_delay = 0;
+  EXPECT_FALSE(GenerateCascades(&rng, graph, truth, params).ok());
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,150 @@
+#include "actionlog/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "actionlog/generator.h"
+#include "graph/generators.h"
+
+namespace psi {
+namespace {
+
+ActionLog MakeLog(Rng* rng, size_t num_actions = 50) {
+  auto graph = ErdosRenyiArcs(rng, 30, 150).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.4);
+  CascadeParams params;
+  params.num_actions = num_actions;
+  return GenerateCascades(rng, graph, truth, params).ValueOrDie();
+}
+
+TEST(PartitionTest, ExclusiveUnionEqualsOriginal) {
+  Rng rng(1);
+  auto log = MakeLog(&rng);
+  auto logs = ExclusivePartition(&rng, log, 4).ValueOrDie();
+  ASSERT_EQ(logs.size(), 4u);
+  ActionLog merged;
+  size_t total = 0;
+  for (const auto& l : logs) {
+    merged.Merge(l);
+    total += l.size();
+  }
+  EXPECT_EQ(total, log.size());  // Disjoint.
+  EXPECT_EQ(merged.size(), log.size());
+  for (const auto& r : log.records()) {
+    uint64_t t;
+    ASSERT_TRUE(merged.Lookup(r.user, r.action, &t));
+    EXPECT_EQ(t, r.time);
+  }
+}
+
+TEST(PartitionTest, ExclusiveKeepsActionsWhole) {
+  Rng rng(2);
+  auto log = MakeLog(&rng);
+  auto logs = ExclusivePartition(&rng, log, 5).ValueOrDie();
+  // Each action's records must all live at exactly one provider.
+  for (ActionId a = 0; a < log.MaxActionId(); ++a) {
+    int providers_with_action = 0;
+    for (const auto& l : logs) {
+      if (!l.RecordsOfAction(a).empty()) ++providers_with_action;
+    }
+    EXPECT_LE(providers_with_action, 1) << "action " << a;
+  }
+}
+
+TEST(PartitionTest, ExclusiveValidation) {
+  Rng rng(3);
+  auto log = MakeLog(&rng);
+  EXPECT_FALSE(ExclusivePartition(&rng, log, 0).ok());
+}
+
+TEST(PartitionTest, ClassConfigRandomIsValid) {
+  Rng rng(4);
+  auto cfg = ActionClassConfig::Random(&rng, 100, 6, 5, 2, 4).ValueOrDie();
+  EXPECT_TRUE(cfg.Validate(5).ok());
+  EXPECT_EQ(cfg.num_classes(), 6u);
+  EXPECT_EQ(cfg.class_of_action.size(), 100u);
+  for (const auto& group : cfg.provider_groups) {
+    EXPECT_GE(group.size(), 2u);
+    EXPECT_LE(group.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(group.begin(), group.end()));
+  }
+}
+
+TEST(PartitionTest, ClassConfigValidationCatchesBadShapes) {
+  ActionClassConfig cfg;
+  EXPECT_FALSE(cfg.Validate(3).ok());  // No classes.
+  cfg.provider_groups = {{0, 1}, {}};
+  EXPECT_FALSE(cfg.Validate(3).ok());  // Empty group.
+  cfg.provider_groups = {{0, 5}};
+  EXPECT_FALSE(cfg.Validate(3).ok());  // Provider out of range.
+  cfg.provider_groups = {{0, 1}};
+  cfg.class_of_action = {0, 1};
+  EXPECT_FALSE(cfg.Validate(3).ok());  // Class index out of range.
+  cfg.class_of_action = {0, 0};
+  EXPECT_TRUE(cfg.Validate(3).ok());
+  EXPECT_FALSE(ActionClassConfig::Random(nullptr, 10, 0, 3, 1, 2).ok());
+}
+
+TEST(PartitionTest, NonExclusiveUnionEqualsOriginal) {
+  Rng rng(5);
+  auto log = MakeLog(&rng);
+  auto cfg = ActionClassConfig::Random(&rng, log.MaxActionId(), 4, 5, 2, 5)
+                 .ValueOrDie();
+  auto logs = NonExclusivePartition(&rng, log, 5, cfg).ValueOrDie();
+  ActionLog merged;
+  size_t total = 0;
+  for (const auto& l : logs) {
+    merged.Merge(l);
+    total += l.size();
+  }
+  EXPECT_EQ(total, log.size());
+  EXPECT_EQ(merged.size(), log.size());
+}
+
+TEST(PartitionTest, NonExclusiveRespectsProviderGroups) {
+  Rng rng(6);
+  auto log = MakeLog(&rng);
+  auto cfg = ActionClassConfig::Random(&rng, log.MaxActionId(), 3, 6, 2, 3)
+                 .ValueOrDie();
+  auto logs = NonExclusivePartition(&rng, log, 6, cfg).ValueOrDie();
+  for (size_t k = 0; k < 6; ++k) {
+    for (const auto& r : logs[k].records()) {
+      const auto& group = cfg.provider_groups[cfg.class_of_action[r.action]];
+      EXPECT_TRUE(std::find(group.begin(), group.end(), k) != group.end())
+          << "provider " << k << " holds action outside its classes";
+    }
+  }
+}
+
+TEST(PartitionTest, NonExclusiveSplitsPropagationTraces) {
+  // The motivating scenario: with multi-provider groups, some action's
+  // trace should end up scattered over >= 2 providers.
+  Rng rng(7);
+  auto log = MakeLog(&rng, 30);
+  auto cfg = ActionClassConfig::Random(&rng, log.MaxActionId(), 2, 4, 3, 4)
+                 .ValueOrDie();
+  auto logs = NonExclusivePartition(&rng, log, 4, cfg).ValueOrDie();
+  bool some_action_split = false;
+  for (ActionId a = 0; a < log.MaxActionId(); ++a) {
+    int holders = 0;
+    for (const auto& l : logs) {
+      if (!l.RecordsOfAction(a).empty()) ++holders;
+    }
+    if (holders >= 2) some_action_split = true;
+  }
+  EXPECT_TRUE(some_action_split);
+}
+
+TEST(PartitionTest, NonExclusiveValidation) {
+  Rng rng(8);
+  auto log = MakeLog(&rng);
+  ActionClassConfig cfg;  // Invalid.
+  EXPECT_FALSE(NonExclusivePartition(&rng, log, 3, cfg).ok());
+  auto good = ActionClassConfig::Random(&rng, 10, 2, 3, 1, 2).ValueOrDie();
+  // Config covers only 10 actions but the log has more.
+  if (log.MaxActionId() > 10) {
+    EXPECT_FALSE(NonExclusivePartition(&rng, log, 3, good).ok());
+  }
+}
+
+}  // namespace
+}  // namespace psi

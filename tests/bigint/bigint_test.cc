@@ -1,0 +1,136 @@
+#include "bigint/bigint.h"
+
+#include <gtest/gtest.h>
+
+namespace psi {
+namespace {
+
+TEST(BigIntTest, ConstructionFromNative) {
+  EXPECT_TRUE(BigInt(0).IsZero());
+  EXPECT_FALSE(BigInt(0).IsNegative());
+  EXPECT_FALSE(BigInt(5).IsNegative());
+  EXPECT_TRUE(BigInt(-5).IsNegative());
+  EXPECT_EQ(BigInt(INT64_MIN).ToInt64().ValueOrDie(), INT64_MIN);
+  EXPECT_EQ(BigInt(INT64_MAX).ToInt64().ValueOrDie(), INT64_MAX);
+}
+
+TEST(BigIntTest, NegativeZeroNormalizes) {
+  BigInt z(BigUInt(0), /*negative=*/true);
+  EXPECT_FALSE(z.IsNegative());
+  EXPECT_EQ(z, BigInt(0));
+  EXPECT_EQ(-BigInt(0), BigInt(0));
+}
+
+TEST(BigIntTest, AdditionSignCombinations) {
+  EXPECT_EQ(BigInt(3) + BigInt(4), BigInt(7));
+  EXPECT_EQ(BigInt(-3) + BigInt(-4), BigInt(-7));
+  EXPECT_EQ(BigInt(10) + BigInt(-4), BigInt(6));
+  EXPECT_EQ(BigInt(4) + BigInt(-10), BigInt(-6));
+  EXPECT_EQ(BigInt(-4) + BigInt(4), BigInt(0));
+}
+
+TEST(BigIntTest, SubtractionSignCombinations) {
+  EXPECT_EQ(BigInt(3) - BigInt(10), BigInt(-7));
+  EXPECT_EQ(BigInt(-3) - BigInt(-10), BigInt(7));
+  EXPECT_EQ(BigInt(-3) - BigInt(10), BigInt(-13));
+  EXPECT_EQ(BigInt(3) - BigInt(-10), BigInt(13));
+}
+
+TEST(BigIntTest, MultiplicationSigns) {
+  EXPECT_EQ(BigInt(3) * BigInt(-4), BigInt(-12));
+  EXPECT_EQ(BigInt(-3) * BigInt(-4), BigInt(12));
+  EXPECT_EQ(BigInt(-3) * BigInt(0), BigInt(0));
+}
+
+TEST(BigIntTest, TruncatedDivisionMatchesCpp) {
+  // C++ semantics: -17 / 5 == -3, -17 % 5 == -2.
+  EXPECT_EQ(BigInt(-17) / BigInt(5), BigInt(-3));
+  EXPECT_EQ(BigInt(-17) % BigInt(5), BigInt(-2));
+  EXPECT_EQ(BigInt(17) / BigInt(-5), BigInt(-3));
+  EXPECT_EQ(BigInt(17) % BigInt(-5), BigInt(2));
+  EXPECT_EQ(BigInt(-17) / BigInt(-5), BigInt(3));
+}
+
+TEST(BigIntTest, DivisionIdentityRandomized) {
+  Rng rng(31337);
+  for (int i = 0; i < 500; ++i) {
+    BigInt a(BigUInt::RandomBits(&rng, 150), rng.Bernoulli(0.5));
+    BigInt b(BigUInt::RandomBits(&rng, 100), rng.Bernoulli(0.5));
+    if (b.IsZero()) b = BigInt(1);
+    ASSERT_EQ((a / b) * b + (a % b), a);
+  }
+}
+
+TEST(BigIntTest, Ordering) {
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(-3), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(2));
+  EXPECT_LT(BigInt(-100), BigInt(100));
+  EXPECT_GT(BigInt(-3), BigInt(-5));
+}
+
+TEST(BigIntTest, ModProducesCanonicalResidue) {
+  BigUInt m(7);
+  EXPECT_EQ(BigInt(10).Mod(m), BigUInt(3));
+  EXPECT_EQ(BigInt(-10).Mod(m), BigUInt(4));
+  EXPECT_EQ(BigInt(-7).Mod(m), BigUInt(0));
+  EXPECT_EQ(BigInt(0).Mod(m), BigUInt(0));
+}
+
+TEST(BigIntTest, ModMatchesReconstruction) {
+  // The share-correction invariant: (s2 - S) mod S == s2 mod S.
+  BigUInt s = BigUInt::PowerOfTwo(80);
+  BigInt s2(BigUInt(12345));
+  BigInt corrected = s2 - BigInt(s);
+  EXPECT_TRUE(corrected.IsNegative());
+  EXPECT_EQ(corrected.Mod(s), BigUInt(12345));
+}
+
+TEST(BigIntTest, DecimalStrings) {
+  EXPECT_EQ(BigInt(-123).ToDecimalString(), "-123");
+  EXPECT_EQ(BigInt(0).ToDecimalString(), "0");
+  auto parsed = BigInt::FromDecimalString("-98765432109876543210").ValueOrDie();
+  EXPECT_EQ(parsed.ToDecimalString(), "-98765432109876543210");
+  EXPECT_FALSE(BigInt::FromDecimalString("--3").ok());
+  EXPECT_FALSE(BigInt::FromDecimalString("-").ok());
+}
+
+TEST(BigIntTest, ToInt64Bounds) {
+  EXPECT_FALSE(BigInt(BigUInt::PowerOfTwo(63)).ToInt64().ok());
+  EXPECT_EQ(BigInt(BigUInt::PowerOfTwo(63), true).ToInt64().ValueOrDie(),
+            INT64_MIN);
+  EXPECT_FALSE(
+      (BigInt(BigUInt::PowerOfTwo(63), true) - BigInt(1)).ToInt64().ok());
+}
+
+TEST(BigIntTest, ToDoubleSigned) {
+  EXPECT_DOUBLE_EQ(BigInt(-12345).ToDouble(), -12345.0);
+  EXPECT_DOUBLE_EQ(BigInt(12345).ToDouble(), 12345.0);
+}
+
+TEST(BigIntTest, SerializationRoundTrip) {
+  Rng rng(31339);
+  BinaryWriter w;
+  std::vector<BigInt> values;
+  for (int i = 0; i < 50; ++i) {
+    values.emplace_back(BigUInt::RandomBits(&rng, rng.UniformU64(200)),
+                        rng.Bernoulli(0.5));
+    WriteBigInt(&w, values.back());
+  }
+  BinaryReader r(w.buffer());
+  for (const auto& expected : values) {
+    BigInt v;
+    ASSERT_TRUE(ReadBigInt(&r, &v).ok());
+    EXPECT_EQ(v, expected);
+  }
+}
+
+TEST(BigIntTest, SerializationRejectsBadSignByte) {
+  std::vector<uint8_t> bad{7, 0};
+  BinaryReader r(bad);
+  BigInt v;
+  EXPECT_EQ(ReadBigInt(&r, &v).code(), StatusCode::kSerializationError);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,91 @@
+#include "bigint/primes.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/modular.h"
+
+namespace psi {
+namespace {
+
+TEST(PrimesTest, SmallPrimesClassifiedCorrectly) {
+  Rng rng(1);
+  const uint64_t primes[] = {2, 3, 5, 7, 11, 13, 97, 101, 997, 7919};
+  const uint64_t composites[] = {0, 1, 4, 6, 9, 15, 91, 561, 1001, 7917};
+  for (uint64_t p : primes) EXPECT_TRUE(IsProbablePrime(BigUInt(p), &rng));
+  for (uint64_t c : composites) {
+    EXPECT_FALSE(IsProbablePrime(BigUInt(c), &rng)) << c;
+  }
+}
+
+TEST(PrimesTest, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+  Rng rng(2);
+  for (uint64_t c : {561ull, 1105ull, 1729ull, 2465ull, 2821ull, 6601ull,
+                     8911ull, 41041ull, 825265ull}) {
+    EXPECT_FALSE(IsProbablePrime(BigUInt(c), &rng)) << c;
+  }
+}
+
+TEST(PrimesTest, KnownLargePrimes) {
+  Rng rng(3);
+  // 2^127 - 1 (Mersenne) and 2^255 - 19 (Curve25519 field prime).
+  auto m127 = BigUInt::PowerOfTwo(127) - BigUInt(1);
+  auto ed = BigUInt::PowerOfTwo(255) - BigUInt(19);
+  EXPECT_TRUE(IsProbablePrime(m127, &rng));
+  EXPECT_TRUE(IsProbablePrime(ed, &rng));
+  EXPECT_FALSE(IsProbablePrime(m127 * BigUInt(3), &rng));
+}
+
+TEST(PrimesTest, KnownLargeComposite) {
+  Rng rng(4);
+  // 2^128 + 1 is composite (= 59649589127497217 * 5704689200685129054721).
+  EXPECT_FALSE(IsProbablePrime(BigUInt::PowerOfTwo(128) + BigUInt(1), &rng));
+}
+
+TEST(PrimesTest, RandomPrimeHasExactBitLengthAndIsOdd) {
+  Rng rng(5);
+  for (size_t bits : {64u, 128u, 256u}) {
+    BigUInt p = RandomPrime(&rng, bits);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(p.IsOdd());
+    EXPECT_TRUE(IsProbablePrime(p, &rng));
+    // Second-highest bit set (RSA sizing invariant).
+    EXPECT_TRUE(p.GetBit(bits - 2));
+  }
+}
+
+TEST(PrimesTest, ProductOfSizedPrimesHasFullLength) {
+  Rng rng(6);
+  BigUInt p = RandomPrime(&rng, 128);
+  BigUInt q = RandomPrime(&rng, 128);
+  EXPECT_EQ((p * q).BitLength(), 256u);
+}
+
+TEST(PrimesTest, NextPrimeBehaviour) {
+  Rng rng(7);
+  EXPECT_EQ(NextPrime(BigUInt(0), &rng), BigUInt(2));
+  EXPECT_EQ(NextPrime(BigUInt(2), &rng), BigUInt(2));
+  EXPECT_EQ(NextPrime(BigUInt(8), &rng), BigUInt(11));
+  EXPECT_EQ(NextPrime(BigUInt(14), &rng), BigUInt(17));
+  EXPECT_EQ(NextPrime(BigUInt(7919), &rng), BigUInt(7919));
+  EXPECT_EQ(NextPrime(BigUInt(7920), &rng), BigUInt(7927));
+}
+
+TEST(PrimesTest, GeneratedPrimesAreDistinct) {
+  Rng rng(8);
+  BigUInt a = RandomPrime(&rng, 96);
+  BigUInt b = RandomPrime(&rng, 96);
+  EXPECT_NE(a, b);  // Collision probability is negligible.
+}
+
+TEST(PrimesTest, FermatHoldsForGeneratedPrime) {
+  Rng rng(9);
+  BigUInt p = RandomPrime(&rng, 160);
+  for (int i = 0; i < 10; ++i) {
+    BigUInt a = BigUInt::RandomBelow(&rng, p - BigUInt(2)) + BigUInt(2);
+    EXPECT_TRUE(ModPow(a, p - BigUInt(1), p).IsOne());
+  }
+}
+
+}  // namespace
+}  // namespace psi

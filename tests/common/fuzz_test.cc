@@ -1,0 +1,119 @@
+// Failure injection: deserializers must reject arbitrary adversarial bytes
+// with a clean Status — never crash, hang, or over-allocate. (In the
+// deployment model every message crosses an organizational boundary.)
+
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.h"
+#include "bigint/biguint.h"
+#include "common/random.h"
+#include "common/serialize.h"
+
+namespace psi {
+namespace {
+
+TEST(FuzzTest, BinaryReaderSurvivesRandomBytes) {
+  Rng rng(0xf022);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> junk(rng.UniformU64(64));
+    rng.FillBytes(junk.data(), junk.size());
+    BinaryReader r(junk);
+    // Drain with a random sequence of reads; every call must return
+    // cleanly (ok or SerializationError).
+    for (int op = 0; op < 8 && !r.AtEnd(); ++op) {
+      switch (rng.UniformU64(6)) {
+        case 0: {
+          uint8_t v;
+          (void)r.ReadU8(&v);
+          break;
+        }
+        case 1: {
+          uint64_t v;
+          (void)r.ReadU64(&v);
+          break;
+        }
+        case 2: {
+          uint64_t v;
+          (void)r.ReadVarU64(&v);
+          break;
+        }
+        case 3: {
+          double v;
+          (void)r.ReadDouble(&v);
+          break;
+        }
+        case 4: {
+          std::string s;
+          (void)r.ReadString(&s);
+          break;
+        }
+        default: {
+          std::vector<uint8_t> b;
+          (void)r.ReadBytes(&b);
+          break;
+        }
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, BigUIntReaderSurvivesRandomBytes) {
+  Rng rng(0xabcd);
+  size_t ok_count = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> junk(rng.UniformU64(48));
+    rng.FillBytes(junk.data(), junk.size());
+    BinaryReader r(junk);
+    BigUInt v;
+    if (ReadBigUInt(&r, &v).ok()) ++ok_count;
+  }
+  // Some random buffers decode (fine); none may crash.
+  SUCCEED() << ok_count << " buffers happened to parse";
+}
+
+TEST(FuzzTest, BigUIntReaderRejectsHugeLimbClaims) {
+  // A length prefix claiming 2^40 limbs must be rejected before allocation.
+  BinaryWriter w;
+  w.WriteVarU64(1ull << 40);
+  BinaryReader r(w.buffer());
+  BigUInt v;
+  EXPECT_EQ(ReadBigUInt(&r, &v).code(), StatusCode::kSerializationError);
+}
+
+TEST(FuzzTest, BigIntReaderSurvivesRandomBytes) {
+  Rng rng(0x7777);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> junk(rng.UniformU64(48));
+    rng.FillBytes(junk.data(), junk.size());
+    BinaryReader r(junk);
+    BigInt v;
+    (void)ReadBigInt(&r, &v);
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, TruncationOfValidPayloadsDetected) {
+  // Serialize a valid BigUInt, then truncate at every prefix length: every
+  // truncation must fail cleanly (or, for the empty value, stay valid).
+  Rng rng(0x9e37);
+  BigUInt original = BigUInt::RandomBits(&rng, 300);
+  BinaryWriter w;
+  WriteBigUInt(&w, original);
+  const auto& full = w.buffer();
+  for (size_t len = 0; len < full.size(); ++len) {
+    std::vector<uint8_t> prefix(full.begin(),
+                                full.begin() + static_cast<ptrdiff_t>(len));
+    BinaryReader r(prefix);
+    BigUInt v;
+    Status s = ReadBigUInt(&r, &v);
+    if (s.ok()) {
+      // A prefix can only parse to a *different* (shorter) value if the
+      // length byte itself was cut; it must never reproduce the original.
+      EXPECT_NE(v, original) << "truncated parse equals original at " << len;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,69 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace psi {
+namespace {
+
+TEST(HistogramTest, BinsSamplesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);   // bin 0
+  h.Add(9.99);  // bin 9
+  h.Add(5.0);   // bin 5
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, OverflowAndUnderflow) {
+  Histogram h(-1.0, 1.0, 4);
+  h.Add(-2.0);
+  h.Add(1.0);  // Right edge is exclusive -> overflow.
+  h.Add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, MeanIncludesAllSamples) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.0);
+  h.Add(10.0);  // Overflow still counts toward the mean.
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(-3.0, 3.0, 6);
+  auto [lo, hi] = h.bin_edges(0);
+  EXPECT_DOUBLE_EQ(lo, -3.0);
+  EXPECT_DOUBLE_EQ(hi, -2.0);
+  auto [lo5, hi5] = h.bin_edges(5);
+  EXPECT_DOUBLE_EQ(lo5, 2.0);
+  EXPECT_DOUBLE_EQ(hi5, 3.0);
+}
+
+TEST(HistogramTest, AddAllMatchesIndividualAdds) {
+  Histogram a(0.0, 1.0, 4), b(0.0, 1.0, 4);
+  std::vector<double> samples{0.1, 0.3, 0.3, 0.9, 0.5};
+  for (double s : samples) a.Add(s);
+  b.AddAll(samples);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(a.bin_count(i), b.bin_count(i));
+}
+
+TEST(HistogramTest, RenderContainsCountsAndBars) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 10; ++i) h.Add(0.5);
+  h.Add(1.5);
+  std::string render = h.Render(20);
+  EXPECT_NE(render.find("10"), std::string::npos);
+  EXPECT_NE(render.find("####"), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyRenderDoesNotCrash) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_FALSE(h.Render().empty());
+}
+
+}  // namespace
+}  // namespace psi

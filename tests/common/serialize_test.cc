@@ -1,0 +1,143 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace psi {
+namespace {
+
+TEST(SerializeTest, FixedWidthRoundTrip) {
+  BinaryWriter w;
+  w.WriteU8(0xab);
+  w.WriteU16(0xbeef);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefull);
+  w.WriteI64(-42);
+  w.WriteDouble(3.14159);
+
+  BinaryReader r(w.buffer());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU16(&u16).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0xbeef);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, VarintRoundTripBoundaryValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             std::numeric_limits<uint64_t>::max()};
+  BinaryWriter w;
+  for (uint64_t v : values) w.WriteVarU64(v);
+  BinaryReader r(w.buffer());
+  for (uint64_t expected : values) {
+    uint64_t v;
+    ASSERT_TRUE(r.ReadVarU64(&v).ok());
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, VarintSizes) {
+  auto size_of = [](uint64_t v) {
+    BinaryWriter w;
+    w.WriteVarU64(v);
+    return w.size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(std::numeric_limits<uint64_t>::max()), 10u);
+}
+
+TEST(SerializeTest, StringAndBytesRoundTrip) {
+  BinaryWriter w;
+  w.WriteString("hello \xf0\x9f\x8c\x8d");
+  w.WriteBytes({0, 255, 1, 254});
+  w.WriteString("");
+
+  BinaryReader r(w.buffer());
+  std::string s1, s3;
+  std::vector<uint8_t> b;
+  ASSERT_TRUE(r.ReadString(&s1).ok());
+  ASSERT_TRUE(r.ReadBytes(&b).ok());
+  ASSERT_TRUE(r.ReadString(&s3).ok());
+  EXPECT_EQ(s1, "hello \xf0\x9f\x8c\x8d");
+  EXPECT_EQ(b, (std::vector<uint8_t>{0, 255, 1, 254}));
+  EXPECT_TRUE(s3.empty());
+}
+
+TEST(SerializeTest, ReadPastEndFails) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  BinaryReader r(w.buffer());
+  uint64_t v;
+  EXPECT_EQ(r.ReadU64(&v).code(), StatusCode::kSerializationError);
+}
+
+TEST(SerializeTest, TruncatedStringFails) {
+  BinaryWriter w;
+  w.WriteVarU64(100);  // Claims 100 bytes follow; none do.
+  BinaryReader r(w.buffer());
+  std::string s;
+  EXPECT_EQ(r.ReadString(&s).code(), StatusCode::kSerializationError);
+}
+
+TEST(SerializeTest, MalformedVarintFails) {
+  std::vector<uint8_t> bad(11, 0x80);  // Never terminates within 10 bytes.
+  BinaryReader r(bad);
+  uint64_t v;
+  EXPECT_EQ(r.ReadVarU64(&v).code(), StatusCode::kSerializationError);
+}
+
+TEST(SerializeTest, RemainingTracksPosition) {
+  BinaryWriter w;
+  w.WriteU64(1);
+  w.WriteU64(2);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 16u);
+  uint64_t v;
+  ASSERT_TRUE(r.ReadU64(&v).ok());
+  EXPECT_EQ(r.remaining(), 8u);
+}
+
+TEST(SerializeTest, NegativeAndSpecialDoubles) {
+  BinaryWriter w;
+  w.WriteDouble(-0.0);
+  w.WriteDouble(std::numeric_limits<double>::infinity());
+  w.WriteDouble(1e-300);
+  BinaryReader r(w.buffer());
+  double a, b, c;
+  ASSERT_TRUE(r.ReadDouble(&a).ok());
+  ASSERT_TRUE(r.ReadDouble(&b).ok());
+  ASSERT_TRUE(r.ReadDouble(&c).ok());
+  EXPECT_EQ(a, 0.0);
+  EXPECT_TRUE(std::signbit(a));
+  EXPECT_TRUE(std::isinf(b));
+  EXPECT_DOUBLE_EQ(c, 1e-300);
+}
+
+}  // namespace
+}  // namespace psi

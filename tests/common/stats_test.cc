@@ -1,0 +1,68 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace psi {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, VarianceIsUnbiasedSample) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({7.0}), 0.0);
+  // Sample variance of {1,2,3} is 1 (dividing by n-1 = 2).
+  EXPECT_DOUBLE_EQ(Variance({1.0, 2.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 2.0, 3.0}), 1.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(StatsTest, PercentileClampsP) {
+  std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 2.0), 2.0);
+}
+
+TEST(StatsTest, PearsonCorrelationPerfectAndInverse) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> up{2.0, 4.0, 6.0, 8.0};
+  std::vector<double> down{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(xs, down), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonDegenerateCases) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);      // Too short.
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0, 2.0}, {3.0}), 0.0);  // Mismatch.
+  // Constant series has zero variance.
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0, 1.0}, {2.0, 3.0}), 0.0);
+}
+
+TEST(StatsTest, ChiSquaredUniformZeroForExactUniform) {
+  EXPECT_DOUBLE_EQ(ChiSquaredUniform({10, 10, 10, 10}), 0.0);
+}
+
+TEST(StatsTest, ChiSquaredUniformGrowsWithSkew) {
+  double mild = ChiSquaredUniform({12, 8, 10, 10});
+  double heavy = ChiSquaredUniform({40, 0, 0, 0});
+  EXPECT_GT(heavy, mild);
+  EXPECT_GT(mild, 0.0);
+}
+
+TEST(StatsTest, ChiSquaredEmptyAndZeroTotals) {
+  EXPECT_DOUBLE_EQ(ChiSquaredUniform({}), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredUniform({0, 0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,107 @@
+#include "crypto/chacha20.h"
+
+#include <gtest/gtest.h>
+
+#include "common/chacha_core.h"
+#include "common/random.h"
+
+namespace psi {
+namespace {
+
+std::array<uint8_t, 32> TestKey() {
+  std::array<uint8_t, 32> key;
+  for (size_t i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(i);
+  return key;
+}
+
+// RFC 8439 section 2.3.2 block-function test vector.
+TEST(ChaCha20Test, Rfc8439BlockFunctionVector) {
+  std::array<uint32_t, 8> key;
+  for (int i = 0; i < 8; ++i) {
+    key[static_cast<size_t>(i)] =
+        static_cast<uint32_t>(0x03020100u + 0x04040404u * static_cast<uint32_t>(i));
+  }
+  std::array<uint32_t, 3> nonce = {0x09000000u, 0x4a000000u, 0x00000000u};
+  std::array<uint8_t, 64> block;
+  internal::ChaCha20Block(key, 1, nonce, &block);
+  // First 16 keystream bytes from the RFC.
+  const uint8_t expected[16] = {0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15,
+                                0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20, 0x71, 0xc4};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(block[static_cast<size_t>(i)], expected[i]) << i;
+  }
+}
+
+// RFC 8439 section 2.4.2 full encryption test vector.
+TEST(ChaCha20Test, Rfc8439EncryptionVector) {
+  std::array<uint8_t, 32> key;
+  for (size_t i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(i);
+  std::array<uint8_t, 12> nonce = {0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<uint8_t> data(plaintext.begin(), plaintext.end());
+  ChaCha20Cipher cipher(key, nonce);
+  auto ct = cipher.Process(data);
+  const uint8_t expected_head[16] = {0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68,
+                                     0xf9, 0x80, 0x41, 0xba, 0x07, 0x28,
+                                     0xdd, 0x0d, 0x69, 0x81};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(ct[static_cast<size_t>(i)], expected_head[i]) << i;
+  }
+  EXPECT_EQ(ct.back(), 0x4d);  // Last ciphertext byte per the RFC vector.
+}
+
+TEST(ChaCha20Test, EncryptDecryptRoundTrip) {
+  std::array<uint8_t, 12> nonce{};
+  std::vector<uint8_t> msg(12345);
+  Rng rng(1);
+  rng.FillBytes(msg.data(), msg.size());
+  ChaCha20Cipher enc(TestKey(), nonce);
+  ChaCha20Cipher dec(TestKey(), nonce);
+  EXPECT_EQ(dec.Process(enc.Process(msg)), msg);
+}
+
+TEST(ChaCha20Test, DifferentNoncesProduceDifferentStreams) {
+  std::array<uint8_t, 12> n1{}, n2{};
+  n2[0] = 1;
+  std::vector<uint8_t> zeros(64, 0);
+  ChaCha20Cipher c1(TestKey(), n1), c2(TestKey(), n2);
+  EXPECT_NE(c1.Process(zeros), c2.Process(zeros));
+}
+
+TEST(ChaCha20Test, DifferentKeysProduceDifferentStreams) {
+  std::array<uint8_t, 12> nonce{};
+  auto k2 = TestKey();
+  k2[31] ^= 0x80;
+  std::vector<uint8_t> zeros(64, 0);
+  ChaCha20Cipher c1(TestKey(), nonce), c2(k2, nonce);
+  EXPECT_NE(c1.Process(zeros), c2.Process(zeros));
+}
+
+TEST(ChaCha20Test, InPlaceMatchesCopying) {
+  std::array<uint8_t, 12> nonce{};
+  std::vector<uint8_t> msg(777, 0x5c);
+  ChaCha20Cipher a(TestKey(), nonce), b(TestKey(), nonce);
+  auto copied = a.Process(msg);
+  b.Process(&msg);
+  EXPECT_EQ(msg, copied);
+}
+
+TEST(ChaCha20Test, StreamContinuityAcrossCalls) {
+  // Processing 100 bytes then 100 bytes must equal processing 200 at once.
+  std::array<uint8_t, 12> nonce{};
+  std::vector<uint8_t> msg(200, 0xa5);
+  ChaCha20Cipher whole(TestKey(), nonce);
+  auto expected = whole.Process(msg);
+  ChaCha20Cipher split(TestKey(), nonce);
+  std::vector<uint8_t> first(msg.begin(), msg.begin() + 100);
+  std::vector<uint8_t> second(msg.begin() + 100, msg.end());
+  auto out1 = split.Process(first);
+  auto out2 = split.Process(second);
+  out1.insert(out1.end(), out2.begin(), out2.end());
+  EXPECT_EQ(out1, expected);
+}
+
+}  // namespace
+}  // namespace psi

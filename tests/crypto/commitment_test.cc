@@ -1,0 +1,56 @@
+#include "crypto/commitment.h"
+
+#include <gtest/gtest.h>
+
+namespace psi {
+namespace {
+
+TEST(CommitmentTest, VerifiesHonestOpening) {
+  Rng rng(1);
+  auto open = MakeOpening({1, 2, 3, 4}, &rng);
+  auto com = Commit(open);
+  EXPECT_TRUE(VerifyCommitment(com, open));
+}
+
+TEST(CommitmentTest, RejectsTamperedValue) {
+  Rng rng(2);
+  auto open = MakeOpening({1, 2, 3, 4}, &rng);
+  auto com = Commit(open);
+  open.value[2] ^= 1;
+  EXPECT_FALSE(VerifyCommitment(com, open));
+}
+
+TEST(CommitmentTest, RejectsTamperedBlinding) {
+  Rng rng(3);
+  auto open = MakeOpening({9, 9}, &rng);
+  auto com = Commit(open);
+  open.blinding[0] ^= 1;
+  EXPECT_FALSE(VerifyCommitment(com, open));
+}
+
+TEST(CommitmentTest, HidingSameValueDifferentBlinding) {
+  Rng rng(4);
+  auto o1 = MakeOpening({5, 5, 5}, &rng);
+  auto o2 = MakeOpening({5, 5, 5}, &rng);
+  EXPECT_NE(Commit(o1), Commit(o2));
+}
+
+TEST(CommitmentTest, EmptyValueCommits) {
+  Rng rng(5);
+  auto open = MakeOpening({}, &rng);
+  EXPECT_TRUE(VerifyCommitment(Commit(open), open));
+}
+
+TEST(CommitmentTest, BlindingBoundaryNotConfusable) {
+  // Commit(b || v) with shifted boundary must differ: (b, v=03) vs (b', v').
+  Rng rng(6);
+  auto o1 = MakeOpening({3}, &rng);
+  auto o2 = o1;
+  // Move the value's first byte into the blinding tail.
+  o2.blinding[31] = o1.value[0];
+  o2.value = {};
+  EXPECT_NE(Commit(o1), Commit(o2));
+}
+
+}  // namespace
+}  // namespace psi

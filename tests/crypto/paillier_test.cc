@@ -1,0 +1,119 @@
+#include "crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/modular.h"
+
+namespace psi {
+namespace {
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    static Rng rng(202);
+    static auto kp = PaillierGenerateKeyPair(&rng, 512).ValueOrDie();
+    key_pair_ = &kp;
+    rng_ = &rng;
+  }
+  static PaillierKeyPair* key_pair_;
+  static Rng* rng_;
+};
+
+PaillierKeyPair* PaillierTest::key_pair_ = nullptr;
+Rng* PaillierTest::rng_ = nullptr;
+
+TEST_F(PaillierTest, KeyShapes) {
+  EXPECT_EQ(key_pair_->public_key.n_squared,
+            key_pair_->public_key.n * key_pair_->public_key.n);
+  EXPECT_EQ(key_pair_->public_key.n.BitLength(), 512u);
+}
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  for (int i = 0; i < 25; ++i) {
+    BigUInt m = BigUInt::RandomBelow(rng_, key_pair_->public_key.n);
+    BigUInt c = PaillierEncrypt(key_pair_->public_key, m, rng_).ValueOrDie();
+    EXPECT_EQ(PaillierDecrypt(key_pair_->private_key, c).ValueOrDie(), m);
+  }
+}
+
+TEST_F(PaillierTest, EdgePlaintexts) {
+  for (uint64_t m : {0ull, 1ull}) {
+    BigUInt c =
+        PaillierEncrypt(key_pair_->public_key, BigUInt(m), rng_).ValueOrDie();
+    EXPECT_EQ(PaillierDecrypt(key_pair_->private_key, c).ValueOrDie(),
+              BigUInt(m));
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomized) {
+  BigUInt m(42);
+  BigUInt c1 = PaillierEncrypt(key_pair_->public_key, m, rng_).ValueOrDie();
+  BigUInt c2 = PaillierEncrypt(key_pair_->public_key, m, rng_).ValueOrDie();
+  EXPECT_NE(c1, c2);
+}
+
+TEST_F(PaillierTest, AdditiveHomomorphism) {
+  const auto& pub = key_pair_->public_key;
+  for (int i = 0; i < 10; ++i) {
+    uint64_t a = rng_->UniformU64(1u << 30);
+    uint64_t b = rng_->UniformU64(1u << 30);
+    BigUInt ca = PaillierEncrypt(pub, BigUInt(a), rng_).ValueOrDie();
+    BigUInt cb = PaillierEncrypt(pub, BigUInt(b), rng_).ValueOrDie();
+    BigUInt sum = PaillierAddCiphertexts(pub, ca, cb);
+    EXPECT_EQ(PaillierDecrypt(key_pair_->private_key, sum).ValueOrDie(),
+              BigUInt(a + b));
+  }
+}
+
+TEST_F(PaillierTest, HomomorphismWrapsModN) {
+  const auto& pub = key_pair_->public_key;
+  BigUInt near_n = pub.n - BigUInt(1);
+  BigUInt ca = PaillierEncrypt(pub, near_n, rng_).ValueOrDie();
+  BigUInt cb = PaillierEncrypt(pub, BigUInt(2), rng_).ValueOrDie();
+  BigUInt sum = PaillierAddCiphertexts(pub, ca, cb);
+  // (n - 1) + 2 == 1 (mod n)
+  EXPECT_EQ(PaillierDecrypt(key_pair_->private_key, sum).ValueOrDie(),
+            BigUInt(1));
+}
+
+TEST_F(PaillierTest, ScalarMultiplication) {
+  const auto& pub = key_pair_->public_key;
+  BigUInt c = PaillierEncrypt(pub, BigUInt(1111), rng_).ValueOrDie();
+  BigUInt c9 = PaillierMultiplyPlain(pub, c, BigUInt(9));
+  EXPECT_EQ(PaillierDecrypt(key_pair_->private_key, c9).ValueOrDie(),
+            BigUInt(9999));
+}
+
+TEST_F(PaillierTest, ManyTermAggregation) {
+  // The homomorphic-sum extension protocol folds many ciphertexts together.
+  const auto& pub = key_pair_->public_key;
+  uint64_t expected = 0;
+  BigUInt acc = PaillierEncrypt(pub, BigUInt(0), rng_).ValueOrDie();
+  for (int i = 1; i <= 20; ++i) {
+    expected += static_cast<uint64_t>(i) * 13;
+    BigUInt c = PaillierEncrypt(pub, BigUInt(static_cast<uint64_t>(i) * 13),
+                                rng_)
+                    .ValueOrDie();
+    acc = PaillierAddCiphertexts(pub, acc, c);
+  }
+  EXPECT_EQ(PaillierDecrypt(key_pair_->private_key, acc).ValueOrDie(),
+            BigUInt(expected));
+}
+
+TEST_F(PaillierTest, RejectsOversizedOperands) {
+  EXPECT_FALSE(
+      PaillierEncrypt(key_pair_->public_key, key_pair_->public_key.n, rng_)
+          .ok());
+  EXPECT_FALSE(
+      PaillierDecrypt(key_pair_->private_key, key_pair_->public_key.n_squared)
+          .ok());
+}
+
+TEST_F(PaillierTest, GenerateRejectsBadSizes) {
+  Rng rng(7);
+  EXPECT_FALSE(PaillierGenerateKeyPair(&rng, 100).ok());
+  EXPECT_FALSE(PaillierGenerateKeyPair(&rng, 513).ok());
+}
+
+}  // namespace
+}  // namespace psi

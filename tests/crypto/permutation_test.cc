@@ -1,0 +1,104 @@
+#include "crypto/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace psi {
+namespace {
+
+TEST(SecretPermutationTest, ApplyInvertRoundTrip) {
+  Rng rng(1);
+  auto perm = SecretPermutation::Random(&rng, 500);
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(perm.Invert(perm.Apply(i)), i);
+    EXPECT_EQ(perm.Apply(perm.Invert(i)), i);
+  }
+}
+
+TEST(SecretPermutationTest, IsBijection) {
+  Rng rng(2);
+  auto perm = SecretPermutation::Random(&rng, 100);
+  std::set<size_t> images;
+  for (size_t i = 0; i < 100; ++i) images.insert(perm.Apply(i));
+  EXPECT_EQ(images.size(), 100u);
+}
+
+TEST(SecretPermutationTest, FromMappingValidation) {
+  EXPECT_TRUE(SecretPermutation::FromMapping({2, 0, 1}).ok());
+  EXPECT_FALSE(SecretPermutation::FromMapping({0, 0, 1}).ok());  // Duplicate.
+  EXPECT_FALSE(SecretPermutation::FromMapping({0, 3, 1}).ok());  // Range.
+  EXPECT_TRUE(SecretPermutation::FromMapping({}).ok());          // Empty ok.
+}
+
+TEST(SecretPermutationTest, ScatterGatherInverse) {
+  Rng rng(3);
+  auto perm = SecretPermutation::Random(&rng, 50);
+  std::vector<int> data(50);
+  for (int i = 0; i < 50; ++i) data[static_cast<size_t>(i)] = i * 7;
+  auto scattered = perm.Scatter(data);
+  EXPECT_EQ(perm.Gather(scattered), data);
+  // Scatter places element i at position pi(i).
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(scattered[perm.Apply(i)], data[i]);
+  }
+}
+
+TEST(SecretPermutationTest, RandomPermutationsDiffer) {
+  Rng rng(4);
+  auto a = SecretPermutation::Random(&rng, 64);
+  auto b = SecretPermutation::Random(&rng, 64);
+  size_t same = 0;
+  for (size_t i = 0; i < 64; ++i) same += a.Apply(i) == b.Apply(i);
+  EXPECT_LT(same, 10u);
+}
+
+TEST(SecretInjectionTest, RoundTripAndFakes) {
+  Rng rng(5);
+  auto inj = SecretInjection::Random(&rng, 40, 15);
+  EXPECT_EQ(inj.domain_size(), 40u);
+  EXPECT_EQ(inj.codomain_size(), 55u);
+  std::set<size_t> images;
+  for (size_t i = 0; i < 40; ++i) {
+    size_t img = inj.Apply(i);
+    ASSERT_LT(img, 55u);
+    EXPECT_FALSE(inj.IsFake(img));
+    EXPECT_EQ(inj.InvertOrFake(img), i);
+    images.insert(img);
+  }
+  EXPECT_EQ(images.size(), 40u);  // Injective.
+  auto fakes = inj.FakeIds();
+  EXPECT_EQ(fakes.size(), 15u);
+  for (size_t f : fakes) {
+    EXPECT_TRUE(inj.IsFake(f));
+    EXPECT_FALSE(images.contains(f));
+  }
+}
+
+TEST(SecretInjectionTest, ZeroFakesIsPermutation) {
+  Rng rng(6);
+  auto inj = SecretInjection::Random(&rng, 30, 0);
+  EXPECT_TRUE(inj.FakeIds().empty());
+  std::set<size_t> images;
+  for (size_t i = 0; i < 30; ++i) images.insert(inj.Apply(i));
+  EXPECT_EQ(images.size(), 30u);
+}
+
+TEST(SecretInjectionTest, FakeIdsScatterUniformly) {
+  // Fakes must not cluster at the top of the id space, or the aggregator
+  // could identify them by value.
+  Rng rng(7);
+  size_t low_half = 0;
+  const size_t trials = 200;
+  for (size_t t = 0; t < trials; ++t) {
+    auto inj = SecretInjection::Random(&rng, 10, 10);
+    for (size_t f : inj.FakeIds()) low_half += f < 10;
+  }
+  // Expected: half the fakes land in the low half of the codomain.
+  double frac = static_cast<double>(low_half) / (trials * 10);
+  EXPECT_NEAR(frac, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,79 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace psi {
+namespace {
+
+// NIST FIPS 180-4 test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string(1000000, 'a'))),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// Padding boundaries: lengths 55, 56, 63, 64, 65 hit distinct padding paths.
+TEST(Sha256Test, PaddingBoundaryLengthsAreConsistentWithIncremental) {
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    auto oneshot = Sha256::Hash(msg);
+    Sha256 inc;
+    for (char c : msg) inc.Update(reinterpret_cast<const uint8_t*>(&c), 1);
+    EXPECT_EQ(oneshot, inc.Finish()) << "length " << len;
+  }
+}
+
+TEST(Sha256Test, IncrementalChunkingInvariance) {
+  std::string msg;
+  for (int i = 0; i < 1000; ++i) msg += static_cast<char>('a' + i % 26);
+  auto oneshot = Sha256::Hash(msg);
+  for (size_t chunk : {1u, 3u, 17u, 64u, 100u, 999u}) {
+    Sha256 h;
+    for (size_t pos = 0; pos < msg.size(); pos += chunk) {
+      h.Update(msg.substr(pos, chunk));
+    }
+    EXPECT_EQ(h.Finish(), oneshot) << "chunk " << chunk;
+  }
+}
+
+TEST(Sha256Test, AvalancheOnSingleBitFlip) {
+  std::vector<uint8_t> a(64, 0);
+  std::vector<uint8_t> b = a;
+  b[20] ^= 1;
+  auto da = Sha256::Hash(a);
+  auto db = Sha256::Hash(b);
+  int differing_bits = 0;
+  for (size_t i = 0; i < da.size(); ++i) {
+    differing_bits += __builtin_popcount(da[i] ^ db[i]);
+  }
+  // Expect ~128 of 256 bits to flip; a broken implementation shows far less.
+  EXPECT_GT(differing_bits, 80);
+  EXPECT_LT(differing_bits, 176);
+}
+
+TEST(Sha256Test, DigestToHexFormat) {
+  auto d = Sha256::Hash(std::string("abc"));
+  std::string hex = DigestToHex(d);
+  EXPECT_EQ(hex.size(), 64u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+}  // namespace
+}  // namespace psi

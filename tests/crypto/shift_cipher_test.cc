@@ -1,0 +1,65 @@
+#include "crypto/shift_cipher.h"
+
+#include <gtest/gtest.h>
+
+namespace psi {
+namespace {
+
+TEST(ShiftCipherTest, EncryptDecryptRoundTrip) {
+  ShiftCipher c(37, 100);
+  for (uint64_t t = 0; t < 100; ++t) {
+    EXPECT_EQ(c.Decrypt(c.Encrypt(t)), t);
+    EXPECT_LT(c.Encrypt(t), 100u);
+  }
+}
+
+TEST(ShiftCipherTest, ZeroKeyIsIdentity) {
+  ShiftCipher c(0, 50);
+  for (uint64_t t = 0; t < 50; ++t) EXPECT_EQ(c.Encrypt(t), t);
+}
+
+TEST(ShiftCipherTest, KeyReducedModuloFrame) {
+  ShiftCipher c(105, 100);
+  EXPECT_EQ(c.key(), 5u);
+  EXPECT_EQ(c.Encrypt(0), 5u);
+}
+
+TEST(ShiftCipherTest, WrapAround) {
+  ShiftCipher c(10, 12);
+  EXPECT_EQ(c.Encrypt(5), 3u);   // 15 mod 12
+  EXPECT_EQ(c.Decrypt(3), 5u);
+  EXPECT_EQ(c.Encrypt(11), 9u);  // 21 mod 12
+}
+
+TEST(ShiftCipherTest, PreservesCyclicDifferences) {
+  // The property Protocol 5 relies on: e(t') - e(t) mod frame == t' - t.
+  ShiftCipher c(73, 200);
+  for (uint64_t t = 0; t < 200; t += 7) {
+    for (uint64_t d = 1; d <= 10; ++d) {
+      uint64_t t2 = (t + d) % 200;
+      uint64_t diff = (c.Encrypt(t2) + 200 - c.Encrypt(t)) % 200;
+      EXPECT_EQ(diff, d);
+    }
+  }
+}
+
+TEST(ShiftCipherTest, RandomKeyInRange) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    auto c = ShiftCipher::Random(&rng, 123);
+    EXPECT_LT(c.key(), 123u);
+    EXPECT_EQ(c.frame(), 123u);
+  }
+}
+
+TEST(ShiftCipherTest, RandomKeysCoverFrame) {
+  Rng rng(9);
+  std::vector<bool> seen(20, false);
+  for (int i = 0; i < 1000; ++i) {
+    seen[ShiftCipher::Random(&rng, 20).key()] = true;
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+}  // namespace
+}  // namespace psi

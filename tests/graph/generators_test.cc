@@ -1,0 +1,142 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace psi {
+namespace {
+
+TEST(GeneratorsTest, ErdosRenyiArcsExactCount) {
+  Rng rng(1);
+  auto g = ErdosRenyiArcs(&rng, 50, 200).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 50u);
+  EXPECT_EQ(g.num_arcs(), 200u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiArcsValidation) {
+  Rng rng(2);
+  EXPECT_FALSE(ErdosRenyiArcs(&rng, 1, 0).ok());
+  EXPECT_FALSE(ErdosRenyiArcs(&rng, 3, 7).ok());  // > n(n-1) = 6.
+  EXPECT_TRUE(ErdosRenyiArcs(&rng, 3, 6).ok());   // Complete digraph.
+}
+
+TEST(GeneratorsTest, ErdosRenyiProbDensityTracksP) {
+  Rng rng(3);
+  auto g = ErdosRenyiProb(&rng, 100, 0.1).ValueOrDie();
+  double density = static_cast<double>(g.num_arcs()) / (100.0 * 99.0);
+  EXPECT_NEAR(density, 0.1, 0.02);
+  EXPECT_FALSE(ErdosRenyiProb(&rng, 10, 1.5).ok());
+}
+
+TEST(GeneratorsTest, ErdosRenyiProbExtremes) {
+  Rng rng(4);
+  EXPECT_EQ(ErdosRenyiProb(&rng, 20, 0.0).ValueOrDie().num_arcs(), 0u);
+  EXPECT_EQ(ErdosRenyiProb(&rng, 20, 1.0).ValueOrDie().num_arcs(),
+            20u * 19u);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertShape) {
+  Rng rng(5);
+  auto g = BarabasiAlbert(&rng, 200, 3).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 200u);
+  // Every non-seed node attaches to exactly 3 targets, both directions.
+  // Seed clique: 4*3 = 12 arcs; growth: 196 * 3 * 2 = 1176.
+  EXPECT_EQ(g.num_arcs(), 12u + 196u * 6u);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertIsHeavyTailed) {
+  Rng rng(6);
+  auto g = BarabasiAlbert(&rng, 500, 2).ValueOrDie();
+  size_t max_deg = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_deg = std::max(max_deg, g.OutDegree(v));
+  }
+  // Preferential attachment produces hubs far above the mean degree (~4).
+  EXPECT_GT(max_deg, 20u);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertValidation) {
+  Rng rng(7);
+  EXPECT_FALSE(BarabasiAlbert(&rng, 5, 0).ok());
+  EXPECT_FALSE(BarabasiAlbert(&rng, 3, 3).ok());
+}
+
+TEST(GeneratorsTest, WattsStrogatzRingWithoutRewiring) {
+  Rng rng(8);
+  auto g = WattsStrogatz(&rng, 20, 2, 0.0).ValueOrDie();
+  // Pure ring: each node connects to 2 clockwise neighbors, symmetric.
+  EXPECT_EQ(g.num_arcs(), 20u * 2u * 2u);
+  EXPECT_TRUE(g.HasArc(0, 1));
+  EXPECT_TRUE(g.HasArc(1, 0));
+  EXPECT_TRUE(g.HasArc(0, 2));
+  EXPECT_FALSE(g.HasArc(0, 3));
+}
+
+TEST(GeneratorsTest, WattsStrogatzRewiringChangesTopology) {
+  Rng rng(9);
+  auto g = WattsStrogatz(&rng, 100, 3, 0.5).ValueOrDie();
+  // With beta = 0.5 some ring arcs must have been rewired away.
+  size_t ring_arcs = 0;
+  for (NodeId u = 0; u < 100; ++u) {
+    for (size_t j = 1; j <= 3; ++j) {
+      if (g.HasArc(u, static_cast<NodeId>((u + j) % 100))) ++ring_arcs;
+    }
+  }
+  EXPECT_LT(ring_arcs, 300u);
+  EXPECT_GT(ring_arcs, 100u);
+  EXPECT_FALSE(WattsStrogatz(&rng, 10, 5, 0.1).ok());  // k >= n/2.
+}
+
+TEST(GeneratorsTest, ObfuscateArcSetIsSupersetWithFactor) {
+  Rng rng(10);
+  auto g = ErdosRenyiArcs(&rng, 40, 100).ValueOrDie();
+  auto omega = ObfuscateArcSet(&rng, g, 2.5).ValueOrDie();
+  EXPECT_EQ(omega.size(), 250u);
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (const Arc& a : omega) {
+    EXPECT_NE(a.from, a.to);  // No self-loops among decoys.
+    EXPECT_TRUE(pairs.insert({a.from, a.to}).second) << "duplicate pair";
+  }
+  for (const Arc& a : g.arcs()) {
+    EXPECT_TRUE(pairs.contains({a.from, a.to})) << "missing true arc";
+  }
+}
+
+TEST(GeneratorsTest, ObfuscateArcSetShufflesPositions) {
+  // True arcs must not occupy the leading positions, or Omega would reveal E.
+  Rng rng(11);
+  auto g = ErdosRenyiArcs(&rng, 40, 100).ValueOrDie();
+  auto omega = ObfuscateArcSet(&rng, g, 2.0).ValueOrDie();
+  size_t true_in_first_half = 0;
+  for (size_t i = 0; i < omega.size() / 2; ++i) {
+    if (g.HasArc(omega[i].from, omega[i].to)) ++true_in_first_half;
+  }
+  // Expected 50 of 100 true arcs in the first half; reject extreme skew.
+  EXPECT_GT(true_in_first_half, 25u);
+  EXPECT_LT(true_in_first_half, 75u);
+}
+
+TEST(GeneratorsTest, ObfuscateArcSetCapsAtCompleteDigraph) {
+  Rng rng(12);
+  SocialGraph g(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) {
+        ASSERT_TRUE(g.AddArc(u, v).ok());
+      }
+    }
+  }
+  auto omega = ObfuscateArcSet(&rng, g, 3.0).ValueOrDie();
+  EXPECT_EQ(omega.size(), 12u);  // n(n-1) is the ceiling.
+}
+
+TEST(GeneratorsTest, ObfuscateRejectsFactorBelowOne) {
+  Rng rng(13);
+  auto g = ErdosRenyiArcs(&rng, 10, 20).ValueOrDie();
+  EXPECT_FALSE(ObfuscateArcSet(&rng, g, 1.0).ok());
+  EXPECT_FALSE(ObfuscateArcSet(&rng, g, 0.5).ok());
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,79 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace psi {
+namespace {
+
+TEST(SocialGraphTest, EmptyGraph) {
+  SocialGraph g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_FALSE(g.HasArc(0, 1));
+  EXPECT_TRUE(g.OutNeighbors(0).empty());
+}
+
+TEST(SocialGraphTest, AddArcUpdatesAdjacency) {
+  SocialGraph g(4);
+  ASSERT_TRUE(g.AddArc(0, 1).ok());
+  ASSERT_TRUE(g.AddArc(0, 2).ok());
+  ASSERT_TRUE(g.AddArc(3, 0).ok());
+  EXPECT_EQ(g.num_arcs(), 3u);
+  EXPECT_TRUE(g.HasArc(0, 1));
+  EXPECT_FALSE(g.HasArc(1, 0));  // Directed.
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+  EXPECT_EQ(g.InNeighbors(0), std::vector<NodeId>{3});
+}
+
+TEST(SocialGraphTest, RejectsSelfLoopsDuplicatesAndOutOfRange) {
+  SocialGraph g(3);
+  EXPECT_EQ(g.AddArc(1, 1).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(g.AddArc(0, 1).ok());
+  EXPECT_EQ(g.AddArc(0, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddArc(0, 3).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.AddArc(7, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.num_arcs(), 1u);
+}
+
+TEST(SocialGraphTest, AddSymmetricCreatesBothArcs) {
+  SocialGraph g(3);
+  ASSERT_TRUE(g.AddSymmetric(0, 2).ok());
+  EXPECT_TRUE(g.HasArc(0, 2));
+  EXPECT_TRUE(g.HasArc(2, 0));
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(SocialGraphTest, ArcsPreserveInsertionOrder) {
+  SocialGraph g(4);
+  ASSERT_TRUE(g.AddArc(2, 3).ok());
+  ASSERT_TRUE(g.AddArc(0, 1).ok());
+  ASSERT_EQ(g.arcs().size(), 2u);
+  EXPECT_EQ(g.arcs()[0], (Arc{2, 3}));
+  EXPECT_EQ(g.arcs()[1], (Arc{0, 1}));
+}
+
+TEST(SocialGraphTest, ArcOrderingOperator) {
+  EXPECT_LT((Arc{0, 5}), (Arc{1, 0}));
+  EXPECT_LT((Arc{1, 2}), (Arc{1, 3}));
+  EXPECT_FALSE((Arc{1, 3}) < (Arc{1, 3}));
+}
+
+TEST(SocialGraphTest, LargeGraphMembershipIsConsistent) {
+  SocialGraph g(1000);
+  Rng rng(12);
+  std::vector<Arc> added;
+  for (int i = 0; i < 5000; ++i) {
+    auto u = static_cast<NodeId>(rng.UniformU64(1000));
+    auto v = static_cast<NodeId>(rng.UniformU64(1000));
+    if (u == v) continue;
+    if (g.AddArc(u, v).ok()) added.push_back(Arc{u, v});
+  }
+  EXPECT_EQ(g.num_arcs(), added.size());
+  for (const Arc& a : added) EXPECT_TRUE(g.HasArc(a.from, a.to));
+}
+
+}  // namespace
+}  // namespace psi

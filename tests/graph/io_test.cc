@@ -1,0 +1,83 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+
+namespace psi {
+namespace {
+
+TEST(GraphIoTest, RoundTripThroughStream) {
+  Rng rng(1);
+  auto graph = ErdosRenyiArcs(&rng, 40, 200).ValueOrDie();
+  std::stringstream ss;
+  ASSERT_TRUE(WriteGraphText(graph, &ss).ok());
+  auto loaded = ReadGraphText(&ss).ValueOrDie();
+  EXPECT_EQ(loaded.num_nodes(), graph.num_nodes());
+  EXPECT_EQ(loaded.num_arcs(), graph.num_arcs());
+  for (const Arc& a : graph.arcs()) {
+    EXPECT_TRUE(loaded.HasArc(a.from, a.to));
+  }
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrip) {
+  SocialGraph g(5);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteGraphText(g, &ss).ok());
+  auto loaded = ReadGraphText(&ss).ValueOrDie();
+  EXPECT_EQ(loaded.num_nodes(), 5u);
+  EXPECT_EQ(loaded.num_arcs(), 0u);
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss("# header\n\nnodes 3\n# mid comment\narc 0 1\n");
+  auto loaded = ReadGraphText(&ss).ValueOrDie();
+  EXPECT_EQ(loaded.num_nodes(), 3u);
+  EXPECT_TRUE(loaded.HasArc(0, 1));
+}
+
+TEST(GraphIoTest, RejectsMalformedInput) {
+  {
+    std::stringstream ss("arc 0 1\n");  // Arc before nodes.
+    EXPECT_FALSE(ReadGraphText(&ss).ok());
+  }
+  {
+    std::stringstream ss("nodes 0\n");  // Zero nodes.
+    EXPECT_FALSE(ReadGraphText(&ss).ok());
+  }
+  {
+    std::stringstream ss("nodes 3\nnodes 3\n");  // Duplicate directive.
+    EXPECT_FALSE(ReadGraphText(&ss).ok());
+  }
+  {
+    std::stringstream ss("nodes 3\narc 0 7\n");  // Out of range.
+    EXPECT_FALSE(ReadGraphText(&ss).ok());
+  }
+  {
+    std::stringstream ss("nodes 3\nedge 0 1\n");  // Unknown record.
+    EXPECT_FALSE(ReadGraphText(&ss).ok());
+  }
+  {
+    std::stringstream ss("nodes 3\narc 0\n");  // Truncated arc.
+    EXPECT_FALSE(ReadGraphText(&ss).ok());
+  }
+  {
+    std::stringstream ss("");  // Missing nodes.
+    EXPECT_FALSE(ReadGraphText(&ss).ok());
+  }
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Rng rng(2);
+  auto graph = ErdosRenyiArcs(&rng, 20, 80).ValueOrDie();
+  std::string path = ::testing::TempDir() + "/psi_graph_io_test.txt";
+  ASSERT_TRUE(SaveGraph(graph, path).ok());
+  auto loaded = LoadGraph(path).ValueOrDie();
+  EXPECT_EQ(loaded.num_arcs(), graph.num_arcs());
+  EXPECT_FALSE(LoadGraph("/nonexistent/nowhere.txt").ok());
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,95 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace psi {
+namespace {
+
+SocialGraph Triangle() {
+  SocialGraph g(3);
+  PSI_CHECK_OK(g.AddSymmetric(0, 1));
+  PSI_CHECK_OK(g.AddSymmetric(1, 2));
+  PSI_CHECK_OK(g.AddSymmetric(0, 2));
+  return g;
+}
+
+TEST(MetricsTest, DegreeStatsHandComputed) {
+  SocialGraph g(4);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  PSI_CHECK_OK(g.AddArc(0, 2));
+  PSI_CHECK_OK(g.AddArc(0, 3));
+  PSI_CHECK_OK(g.AddArc(1, 0));
+  auto stats = ComputeDegreeStats(g);
+  EXPECT_DOUBLE_EQ(stats.mean_out, 1.0);
+  EXPECT_EQ(stats.max_out, 3u);
+  EXPECT_EQ(stats.max_in, 1u);
+  EXPECT_EQ(stats.out_histogram[0], 2u);  // Nodes 2 and 3.
+  EXPECT_EQ(stats.out_histogram[1], 1u);
+  EXPECT_EQ(stats.out_histogram[3], 1u);
+}
+
+TEST(MetricsTest, DegreeHistogramTailBin) {
+  SocialGraph g(5);
+  for (NodeId v = 1; v < 5; ++v) PSI_CHECK_OK(g.AddArc(0, v));
+  auto stats = ComputeDegreeStats(g, /*max_bins=*/3);
+  EXPECT_EQ(stats.out_histogram.size(), 3u);
+  EXPECT_EQ(stats.out_histogram[2], 1u);  // Degree 4 absorbed by last bin.
+}
+
+TEST(MetricsTest, ReciprocityExtremes) {
+  EXPECT_DOUBLE_EQ(Reciprocity(Triangle()), 1.0);
+  SocialGraph oneway(3);
+  PSI_CHECK_OK(oneway.AddArc(0, 1));
+  PSI_CHECK_OK(oneway.AddArc(1, 2));
+  EXPECT_DOUBLE_EQ(Reciprocity(oneway), 0.0);
+  SocialGraph empty(3);
+  EXPECT_DOUBLE_EQ(Reciprocity(empty), 0.0);
+}
+
+TEST(MetricsTest, ClusteringOfTriangleIsOne) {
+  EXPECT_DOUBLE_EQ(ClusteringCoefficient(Triangle()), 1.0);
+}
+
+TEST(MetricsTest, ClusteringOfStarIsZero) {
+  SocialGraph g(5);
+  for (NodeId v = 1; v < 5; ++v) PSI_CHECK_OK(g.AddArc(0, v));
+  EXPECT_DOUBLE_EQ(ClusteringCoefficient(g), 0.0);
+}
+
+TEST(MetricsTest, WattsStrogatzRingHasHighClustering) {
+  Rng rng(1);
+  auto ring = WattsStrogatz(&rng, 100, 3, 0.0).ValueOrDie();
+  auto rewired = WattsStrogatz(&rng, 100, 3, 0.9).ValueOrDie();
+  EXPECT_GT(ClusteringCoefficient(ring), 0.5);
+  EXPECT_GT(ClusteringCoefficient(ring), ClusteringCoefficient(rewired));
+}
+
+TEST(MetricsTest, ReachableCountChainAndIsland) {
+  SocialGraph g(5);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  PSI_CHECK_OK(g.AddArc(1, 2));
+  // Node 3, 4 isolated.
+  EXPECT_EQ(ReachableCount(g, 0), 2u);
+  EXPECT_EQ(ReachableCount(g, 2), 0u);
+  EXPECT_EQ(ReachableCount(g, 3), 0u);
+}
+
+TEST(MetricsTest, ReachableHandlesCycles) {
+  SocialGraph g(3);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  PSI_CHECK_OK(g.AddArc(1, 2));
+  PSI_CHECK_OK(g.AddArc(2, 0));
+  EXPECT_EQ(ReachableCount(g, 0), 2u);
+}
+
+TEST(MetricsTest, EmptyGraph) {
+  SocialGraph g(0);
+  auto stats = ComputeDegreeStats(g);
+  EXPECT_DOUBLE_EQ(stats.mean_out, 0.0);
+  EXPECT_DOUBLE_EQ(ClusteringCoefficient(g), 0.0);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,94 @@
+#include "graph/propagation_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace psi {
+namespace {
+
+TEST(PropagationGraphTest, AddArcValidation) {
+  PropagationGraph pg(3);
+  EXPECT_TRUE(pg.AddArc(0, 1, 5).ok());
+  EXPECT_EQ(pg.AddArc(0, 1, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(pg.AddArc(0, 3, 1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(pg.num_arcs(), 1u);
+}
+
+TEST(PropagationGraphTest, BoundedReachableChain) {
+  // 0 -(2)-> 1 -(3)-> 2 -(4)-> 3
+  PropagationGraph pg(4);
+  ASSERT_TRUE(pg.AddArc(0, 1, 2).ok());
+  ASSERT_TRUE(pg.AddArc(1, 2, 3).ok());
+  ASSERT_TRUE(pg.AddArc(2, 3, 4).ok());
+  EXPECT_EQ(pg.InfluenceSphereSize(0, 1), 0u);
+  EXPECT_EQ(pg.InfluenceSphereSize(0, 2), 1u);
+  EXPECT_EQ(pg.InfluenceSphereSize(0, 5), 2u);
+  EXPECT_EQ(pg.InfluenceSphereSize(0, 9), 3u);
+  EXPECT_EQ(pg.InfluenceSphereSize(1, 7), 2u);
+}
+
+TEST(PropagationGraphTest, SourceExcludedFromSphere) {
+  PropagationGraph pg(2);
+  ASSERT_TRUE(pg.AddArc(0, 1, 1).ok());
+  auto reach = pg.BoundedReachable(0, 10);
+  EXPECT_EQ(reach, std::vector<NodeId>{1});
+  EXPECT_TRUE(std::find(reach.begin(), reach.end(), 0u) == reach.end());
+}
+
+TEST(PropagationGraphTest, ShortestPathUsedNotFirstPath) {
+  // Two routes 0->2: direct cost 10, via 1 cost 2+2=4.
+  PropagationGraph pg(3);
+  ASSERT_TRUE(pg.AddArc(0, 2, 10).ok());
+  ASSERT_TRUE(pg.AddArc(0, 1, 2).ok());
+  ASSERT_TRUE(pg.AddArc(1, 2, 2).ok());
+  EXPECT_EQ(pg.InfluenceSphereSize(0, 4), 2u);  // Both 1 and 2 within 4.
+  EXPECT_EQ(pg.InfluenceSphereSize(0, 3), 1u);  // Only 1.
+}
+
+TEST(PropagationGraphTest, CyclesDoNotLoopForever) {
+  PropagationGraph pg(3);
+  ASSERT_TRUE(pg.AddArc(0, 1, 1).ok());
+  ASSERT_TRUE(pg.AddArc(1, 2, 1).ok());
+  ASSERT_TRUE(pg.AddArc(2, 0, 1).ok());
+  EXPECT_EQ(pg.InfluenceSphereSize(0, 100), 2u);
+}
+
+TEST(PropagationGraphTest, ParallelArcsPickCheapest) {
+  PropagationGraph pg(2);
+  ASSERT_TRUE(pg.AddArc(0, 1, 9).ok());
+  ASSERT_TRUE(pg.AddArc(0, 1, 2).ok());  // Multi-arcs allowed in PG.
+  EXPECT_EQ(pg.InfluenceSphereSize(0, 2), 1u);
+}
+
+TEST(PropagationGraphTest, DisconnectedNodesUnreachable) {
+  PropagationGraph pg(5);
+  ASSERT_TRUE(pg.AddArc(0, 1, 1).ok());
+  EXPECT_EQ(pg.InfluenceSphereSize(0, 1000), 1u);
+  EXPECT_EQ(pg.InfluenceSphereSize(3, 1000), 0u);
+}
+
+TEST(PropagationGraphTest, TauZeroReachesNothing) {
+  PropagationGraph pg(2);
+  ASSERT_TRUE(pg.AddArc(0, 1, 1).ok());
+  EXPECT_EQ(pg.InfluenceSphereSize(0, 0), 0u);
+}
+
+TEST(PropagationGraphTest, LargeRandomGraphTerminates) {
+  PropagationGraph pg(500);
+  Rng rng(99);
+  for (int i = 0; i < 3000; ++i) {
+    auto u = static_cast<NodeId>(rng.UniformU64(500));
+    auto v = static_cast<NodeId>(rng.UniformU64(500));
+    if (u != v) {
+      ASSERT_TRUE(pg.AddArc(u, v, 1 + rng.UniformU64(10)).ok());
+    }
+  }
+  size_t reach = pg.InfluenceSphereSize(0, 50);
+  EXPECT_LE(reach, 499u);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,162 @@
+#include "influence/em_learner.h"
+
+#include <gtest/gtest.h>
+
+#include "actionlog/generator.h"
+#include "common/stats.h"
+#include "graph/generators.h"
+
+namespace psi {
+namespace {
+
+TEST(EmLearnerTest, SingleArcDeterministicFollow) {
+  // v follows u on every action u performs: p should converge to ~1.
+  SocialGraph g(2);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  ActionLog log;
+  for (ActionId a = 0; a < 10; ++a) {
+    log.Add({0, a, a * 10});
+    log.Add({1, a, a * 10 + 1});
+  }
+  EmConfig cfg;
+  auto res = LearnInfluenceEm(g, log, cfg).ValueOrDie();
+  EXPECT_NEAR(res.influence.p[0], 1.0, 1e-6);
+}
+
+TEST(EmLearnerTest, SingleArcNeverFollows) {
+  SocialGraph g(2);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  ActionLog log;
+  for (ActionId a = 0; a < 10; ++a) log.Add({0, a, a * 10});
+  EmConfig cfg;
+  auto res = LearnInfluenceEm(g, log, cfg).ValueOrDie();
+  EXPECT_NEAR(res.influence.p[0], 0.0, 1e-9);
+}
+
+TEST(EmLearnerTest, HalfFollowRateMatchesFrequency) {
+  // With a single possible parent, EM reduces to the frequency estimate.
+  SocialGraph g(2);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  ActionLog log;
+  for (ActionId a = 0; a < 20; ++a) {
+    log.Add({0, a, a * 10});
+    if (a % 2 == 0) log.Add({1, a, a * 10 + 2});
+  }
+  EmConfig cfg;
+  auto res = LearnInfluenceEm(g, log, cfg).ValueOrDie();
+  EXPECT_NEAR(res.influence.p[0], 0.5, 1e-6);
+}
+
+TEST(EmLearnerTest, CreditSplitBetweenCompetingParents) {
+  // Both u1 and u2 always precede v; each alone would look deterministic,
+  // EM must split the credit instead of assigning 1.0 to both.
+  SocialGraph g(3);
+  PSI_CHECK_OK(g.AddArc(0, 2));
+  PSI_CHECK_OK(g.AddArc(1, 2));
+  ActionLog log;
+  for (ActionId a = 0; a < 30; ++a) {
+    log.Add({0, a, a * 10});
+    log.Add({1, a, a * 10 + 1});
+    log.Add({2, a, a * 10 + 2});
+  }
+  EmConfig cfg;
+  auto res = LearnInfluenceEm(g, log, cfg).ValueOrDie();
+  double p0 = res.influence.p[0], p1 = res.influence.p[1];
+  // Likelihood only constrains 1 - (1-p0)(1-p1) = 1 given the data; the
+  // symmetric initialization keeps the solution symmetric and below 1.
+  EXPECT_NEAR(p0, p1, 1e-6);
+  EXPECT_GT(p0, 0.3);
+  EXPECT_LE(p0, 1.0);
+}
+
+TEST(EmLearnerTest, WindowExcludesSlowFollows) {
+  SocialGraph g(2);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  ActionLog log;
+  log.Add({0, 0, 0});
+  log.Add({1, 0, 100});  // Way beyond any reasonable window.
+  EmConfig cfg;
+  cfg.h = 4;
+  auto res = LearnInfluenceEm(g, log, cfg).ValueOrDie();
+  EXPECT_NEAR(res.influence.p[0], 0.0, 1e-9);
+}
+
+TEST(EmLearnerTest, ConvergesAndReportsIterations) {
+  Rng rng(1);
+  auto g = ErdosRenyiArcs(&rng, 30, 150).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(g, 0.4);
+  CascadeParams params;
+  params.num_actions = 60;
+  auto log = GenerateCascades(&rng, g, truth, params).ValueOrDie();
+  EmConfig cfg;
+  cfg.max_iterations = 100;
+  cfg.tolerance = 1e-8;
+  auto res = LearnInfluenceEm(g, log, cfg).ValueOrDie();
+  EXPECT_GT(res.iterations, 1u);
+  EXPECT_LE(res.iterations, 100u);
+  if (res.iterations < 100) {
+    EXPECT_LT(res.final_delta, 1e-8);
+  }
+  for (double p : res.influence.p) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(EmLearnerTest, TracksGroundTruthAtLeastAsWellAsEq1) {
+  // The paper cites EM as the (heavier) state of the art; on clean IC data
+  // it should correlate with the ground truth at least comparably to the
+  // Eq. (1) frequency estimator.
+  Rng rng(2);
+  auto g = ErdosRenyiArcs(&rng, 40, 200).ValueOrDie();
+  auto truth = GroundTruthInfluence::Random(&rng, g, 0.05, 0.9);
+  CascadeParams params;
+  params.num_actions = 400;
+  params.max_delay = 3;
+  auto log = GenerateCascades(&rng, g, truth, params).ValueOrDie();
+  EmConfig cfg;
+  cfg.h = 3;
+  auto em = LearnInfluenceEm(g, log, cfg).ValueOrDie();
+  auto eq1 =
+      ComputeLinkInfluence(log, g.arcs(), g.num_nodes(), 3).ValueOrDie();
+  double em_corr = PearsonCorrelation(truth.prob, em.influence.p);
+  double eq1_corr = PearsonCorrelation(truth.prob, eq1.p);
+  EXPECT_GT(em_corr, 0.4);
+  EXPECT_GT(em_corr, eq1_corr - 0.1);
+}
+
+TEST(EmLearnerTest, LikelihoodNonDecreasingAcrossIterations) {
+  Rng rng(3);
+  auto g = ErdosRenyiArcs(&rng, 25, 120).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(g, 0.5);
+  CascadeParams params;
+  params.num_actions = 40;
+  auto log = GenerateCascades(&rng, g, truth, params).ValueOrDie();
+  double prev = -1e300;
+  for (size_t iters : {1u, 3u, 10u, 40u}) {
+    EmConfig cfg;
+    cfg.max_iterations = iters;
+    cfg.tolerance = 0.0;
+    auto res = LearnInfluenceEm(g, log, cfg).ValueOrDie();
+    EXPECT_GE(res.log_likelihood, prev - 1e-6) << "iters " << iters;
+    prev = res.log_likelihood;
+  }
+}
+
+TEST(EmLearnerTest, Validation) {
+  SocialGraph g(2);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  ActionLog log;
+  EmConfig cfg;
+  cfg.h = 0;
+  EXPECT_FALSE(LearnInfluenceEm(g, log, cfg).ok());
+  cfg.h = 4;
+  cfg.initial_p = 1.0;
+  EXPECT_FALSE(LearnInfluenceEm(g, log, cfg).ok());
+  cfg.initial_p = 0.5;
+  cfg.max_iterations = 0;
+  EXPECT_FALSE(LearnInfluenceEm(g, log, cfg).ok());
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,73 @@
+#include "influence/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace psi {
+namespace {
+
+TEST(EvaluationTest, KendallTauPerfectAgreementAndReversal) {
+  std::vector<double> up{1, 2, 3, 4, 5};
+  std::vector<double> down{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(KendallTau(up, up).ValueOrDie(), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau(up, down).ValueOrDie(), -1.0);
+}
+
+TEST(EvaluationTest, KendallTauHandComputed) {
+  // a = (1,2,3), b = (1,3,2): pairs (1,2)C,(1,3)C,(2,3)D -> (2-1)/3.
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{1, 3, 2};
+  EXPECT_NEAR(KendallTau(a, b).ValueOrDie(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluationTest, KendallTauTiesDontCount) {
+  std::vector<double> a{1, 1, 2};
+  std::vector<double> b{1, 2, 3};
+  // Pair (0,1) tied in a: neither concordant nor discordant.
+  EXPECT_NEAR(KendallTau(a, b).ValueOrDie(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluationTest, KendallTauNearZeroForIndependentRandom) {
+  Rng rng(1);
+  std::vector<double> a(300), b(300);
+  for (auto& x : a) x = rng.UniformReal();
+  for (auto& x : b) x = rng.UniformReal();
+  EXPECT_LT(std::abs(KendallTau(a, b).ValueOrDie()), 0.1);
+}
+
+TEST(EvaluationTest, KendallTauValidation) {
+  EXPECT_FALSE(KendallTau({1.0}, {1.0, 2.0}).ok());
+  EXPECT_DOUBLE_EQ(KendallTau({1.0}, {2.0}).ValueOrDie(), 0.0);
+}
+
+TEST(EvaluationTest, TopKOverlapBasics) {
+  std::vector<double> ref{9, 8, 7, 1, 0};
+  std::vector<double> same_top{5, 4, 3, 0.2, 0.1};
+  std::vector<double> inverted{0, 1, 7, 8, 9};
+  EXPECT_DOUBLE_EQ(TopKOverlap(ref, same_top, 3).ValueOrDie(), 1.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap(ref, inverted, 2).ValueOrDie(), 0.0);
+  // Overlap of {0,1,2} with {2,3,4} is 1/3.
+  EXPECT_NEAR(TopKOverlap(ref, inverted, 3).ValueOrDie(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluationTest, TopKOverlapValidation) {
+  std::vector<double> v{1, 2, 3};
+  EXPECT_FALSE(TopKOverlap(v, {1.0, 2.0}, 1).ok());
+  EXPECT_FALSE(TopKOverlap(v, v, 0).ok());
+  EXPECT_FALSE(TopKOverlap(v, v, 4).ok());
+}
+
+TEST(EvaluationTest, ReciprocalRankOfBest) {
+  std::vector<double> ref{1, 9, 2};  // Best item: index 1.
+  EXPECT_DOUBLE_EQ(
+      ReciprocalRankOfBest(ref, {0.1, 0.9, 0.2}).ValueOrDie(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ReciprocalRankOfBest(ref, {0.9, 0.5, 0.1}).ValueOrDie(), 0.5);
+  EXPECT_DOUBLE_EQ(
+      ReciprocalRankOfBest(ref, {0.9, 0.1, 0.5}).ValueOrDie(), 1.0 / 3.0);
+  EXPECT_FALSE(ReciprocalRankOfBest({}, {}).ok());
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,140 @@
+#include "influence/influence_max.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+
+namespace psi {
+namespace {
+
+// Star graph: node 0 points at everyone with probability 1.
+SocialGraph Star(size_t n) {
+  SocialGraph g(n);
+  for (NodeId v = 1; v < n; ++v) PSI_CHECK_OK(g.AddArc(0, v));
+  return g;
+}
+
+TEST(InfluenceMaxTest, SpreadOfDeterministicStar) {
+  auto g = Star(10);
+  ArcProbabilities probs(g.num_arcs(), 1.0);
+  Rng rng(1);
+  double spread = EstimateSpread(g, probs, {0}, &rng, 50).ValueOrDie();
+  EXPECT_DOUBLE_EQ(spread, 10.0);  // Seed + all 9 leaves, every run.
+  double leaf = EstimateSpread(g, probs, {3}, &rng, 50).ValueOrDie();
+  EXPECT_DOUBLE_EQ(leaf, 1.0);  // Leaves influence nobody.
+}
+
+TEST(InfluenceMaxTest, SpreadZeroProbabilities) {
+  auto g = Star(8);
+  ArcProbabilities probs(g.num_arcs(), 0.0);
+  Rng rng(2);
+  double spread = EstimateSpread(g, probs, {0, 3}, &rng, 40).ValueOrDie();
+  EXPECT_DOUBLE_EQ(spread, 2.0);  // Seeds only.
+}
+
+TEST(InfluenceMaxTest, SpreadMatchesBernoulliExpectation) {
+  // Single arc with p = 0.3: expected spread of {0} is 1.3.
+  SocialGraph g(2);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  ArcProbabilities probs{0.3};
+  Rng rng(3);
+  double spread = EstimateSpread(g, probs, {0}, &rng, 20000).ValueOrDie();
+  EXPECT_NEAR(spread, 1.3, 0.02);
+}
+
+TEST(InfluenceMaxTest, SpreadValidation) {
+  auto g = Star(5);
+  ArcProbabilities probs(g.num_arcs(), 0.5);
+  Rng rng(4);
+  EXPECT_FALSE(EstimateSpread(g, probs, {0}, &rng, 0).ok());
+  EXPECT_FALSE(EstimateSpread(g, probs, {99}, &rng, 10).ok());
+  ArcProbabilities wrong(g.num_arcs() + 1, 0.5);
+  EXPECT_FALSE(EstimateSpread(g, wrong, {0}, &rng, 10).ok());
+}
+
+TEST(InfluenceMaxTest, GreedyPicksTheHubFirst) {
+  auto g = Star(12);
+  ArcProbabilities probs(g.num_arcs(), 0.9);
+  Rng rng(5);
+  auto sel = GreedyInfluenceMaximization(g, probs, 1, &rng, 100).ValueOrDie();
+  ASSERT_EQ(sel.seeds.size(), 1u);
+  EXPECT_EQ(sel.seeds[0], 0u);
+  EXPECT_GT(sel.expected_spread, 8.0);
+}
+
+TEST(InfluenceMaxTest, GreedyOnTwoStars) {
+  // Two disjoint stars: greedy with k = 2 must take both hubs.
+  SocialGraph g(20);
+  for (NodeId v = 1; v < 10; ++v) PSI_CHECK_OK(g.AddArc(0, v));
+  for (NodeId v = 11; v < 20; ++v) PSI_CHECK_OK(g.AddArc(10, v));
+  ArcProbabilities probs(g.num_arcs(), 1.0);
+  Rng rng(6);
+  auto sel = GreedyInfluenceMaximization(g, probs, 2, &rng, 30).ValueOrDie();
+  std::vector<NodeId> sorted = sel.seeds;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<NodeId>{0, 10}));
+  EXPECT_DOUBLE_EQ(sel.expected_spread, 20.0);
+}
+
+TEST(InfluenceMaxTest, CelfMatchesGreedySelection) {
+  Rng rng(7);
+  auto g = BarabasiAlbert(&rng, 60, 2).ValueOrDie();
+  ArcProbabilities probs(g.num_arcs());
+  for (auto& p : probs) p = rng.UniformReal(0.05, 0.3);
+  Rng rng_g(100), rng_c(100);
+  auto greedy =
+      GreedyInfluenceMaximization(g, probs, 3, &rng_g, 200).ValueOrDie();
+  auto celf = CelfInfluenceMaximization(g, probs, 3, &rng_c, 200).ValueOrDie();
+  // Monte Carlo noise can flip near-ties, so compare achieved spreads.
+  Rng eval(55);
+  double gs = EstimateSpread(g, probs, greedy.seeds, &eval, 2000).ValueOrDie();
+  double cs = EstimateSpread(g, probs, celf.seeds, &eval, 2000).ValueOrDie();
+  EXPECT_NEAR(gs, cs, std::max(1.0, 0.1 * gs));
+}
+
+TEST(InfluenceMaxTest, CelfUsesFewerEvaluations) {
+  Rng rng(8);
+  auto g = BarabasiAlbert(&rng, 80, 2).ValueOrDie();
+  ArcProbabilities probs(g.num_arcs(), 0.1);
+  Rng rng_g(9), rng_c(9);
+  auto greedy =
+      GreedyInfluenceMaximization(g, probs, 4, &rng_g, 50).ValueOrDie();
+  auto celf = CelfInfluenceMaximization(g, probs, 4, &rng_c, 50).ValueOrDie();
+  EXPECT_LT(celf.spread_evaluations, greedy.spread_evaluations);
+}
+
+TEST(InfluenceMaxTest, GreedyBeatsOrMatchesDegreeHeuristic) {
+  Rng rng(10);
+  auto g = WattsStrogatz(&rng, 70, 3, 0.2).ValueOrDie();
+  ArcProbabilities probs(g.num_arcs());
+  for (auto& p : probs) p = rng.UniformReal(0.02, 0.4);
+  Rng rng_g(11);
+  auto greedy =
+      GreedyInfluenceMaximization(g, probs, 3, &rng_g, 150).ValueOrDie();
+  auto degree = DegreeHeuristic(g, 3);
+  Rng eval(12);
+  double gs = EstimateSpread(g, probs, greedy.seeds, &eval, 3000).ValueOrDie();
+  double ds = EstimateSpread(g, probs, degree.seeds, &eval, 3000).ValueOrDie();
+  EXPECT_GE(gs, ds - 0.6);  // Greedy never loses except by MC noise.
+}
+
+TEST(InfluenceMaxTest, DegreeHeuristicOrdering) {
+  auto g = Star(6);
+  auto sel = DegreeHeuristic(g, 2);
+  ASSERT_EQ(sel.seeds.size(), 2u);
+  EXPECT_EQ(sel.seeds[0], 0u);  // The hub has out-degree 5.
+}
+
+TEST(InfluenceMaxTest, SelectionValidation) {
+  auto g = Star(5);
+  ArcProbabilities probs(g.num_arcs(), 0.5);
+  Rng rng(13);
+  EXPECT_FALSE(GreedyInfluenceMaximization(g, probs, 0, &rng, 10).ok());
+  EXPECT_FALSE(GreedyInfluenceMaximization(g, probs, 6, &rng, 10).ok());
+  EXPECT_FALSE(CelfInfluenceMaximization(g, probs, 0, &rng, 10).ok());
+}
+
+}  // namespace
+}  // namespace psi

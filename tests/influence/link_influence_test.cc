@@ -1,0 +1,110 @@
+#include "influence/link_influence.h"
+
+#include <gtest/gtest.h>
+
+#include "actionlog/generator.h"
+#include "graph/generators.h"
+
+namespace psi {
+namespace {
+
+// user 0 acts 4 times; user 1 follows on 2 of them within h=2.
+ActionLog TwoUserLog() {
+  ActionLog log;
+  log.Add({0, 0, 0});
+  log.Add({0, 1, 10});
+  log.Add({0, 2, 20});
+  log.Add({0, 3, 30});
+  log.Add({1, 0, 1});   // diff 1.
+  log.Add({1, 1, 12});  // diff 2.
+  log.Add({1, 2, 25});  // diff 5: outside h=2.
+  return log;
+}
+
+TEST(LinkInfluenceTest, Eq1HandComputedValue) {
+  auto li = ComputeLinkInfluence(TwoUserLog(), {{0, 1}}, 2, 2).ValueOrDie();
+  EXPECT_DOUBLE_EQ(li.p[0], 2.0 / 4.0);
+}
+
+TEST(LinkInfluenceTest, ZeroDenominatorYieldsZero) {
+  // User 2 never acts: p_{2,j} = 0 by the paper's convention.
+  auto li = ComputeLinkInfluence(TwoUserLog(), {{2, 0}}, 3, 2).ValueOrDie();
+  EXPECT_DOUBLE_EQ(li.p[0], 0.0);
+}
+
+TEST(LinkInfluenceTest, ProbabilitiesAreInUnitInterval) {
+  Rng rng(1);
+  auto graph = ErdosRenyiArcs(&rng, 40, 200).ValueOrDie();
+  auto truth = GroundTruthInfluence::Random(&rng, graph, 0.1, 0.9);
+  CascadeParams params;
+  params.num_actions = 100;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  auto li = ComputeLinkInfluence(log, graph.arcs(), 40, 4).ValueOrDie();
+  for (double p : li.p) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LinkInfluenceTest, WindowMonotonicity) {
+  Rng rng(2);
+  auto graph = ErdosRenyiArcs(&rng, 30, 150).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.5);
+  CascadeParams params;
+  params.num_actions = 60;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  auto li2 = ComputeLinkInfluence(log, graph.arcs(), 30, 2).ValueOrDie();
+  auto li8 = ComputeLinkInfluence(log, graph.arcs(), 30, 8).ValueOrDie();
+  for (size_t k = 0; k < li2.p.size(); ++k) {
+    EXPECT_LE(li2.p[k], li8.p[k]);
+  }
+}
+
+TEST(LinkInfluenceTest, WeightedWithUniformWeightsEqualsEq1) {
+  Rng rng(3);
+  auto graph = ErdosRenyiArcs(&rng, 25, 120).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.5);
+  CascadeParams params;
+  params.num_actions = 50;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  auto eq1 = ComputeLinkInfluence(log, graph.arcs(), 25, 4).ValueOrDie();
+  auto eq2 = ComputeWeightedLinkInfluence(log, graph.arcs(), 25,
+                                          TemporalWeights::Uniform(4))
+                 .ValueOrDie();
+  for (size_t k = 0; k < eq1.p.size(); ++k) {
+    EXPECT_DOUBLE_EQ(eq1.p[k], eq2.p[k]);
+  }
+}
+
+TEST(LinkInfluenceTest, DecayWeightsEmphasizeFastFollows) {
+  // Fast follower (diff 1) vs slow follower (diff 4), equal counts: under
+  // decay the fast link must score strictly higher.
+  ActionLog log;
+  log.Add({0, 0, 0});
+  log.Add({1, 0, 1});  // Fast.
+  log.Add({2, 0, 4});  // Slow.
+  auto li = ComputeWeightedLinkInfluence(log, {{0, 1}, {0, 2}}, 3,
+                                         TemporalWeights::LinearDecay(4))
+                .ValueOrDie();
+  EXPECT_GT(li.p[0], li.p[1]);
+  EXPECT_GT(li.p[1], 0.0);
+}
+
+TEST(LinkInfluenceTest, RejectsZeroWindow) {
+  EXPECT_FALSE(ComputeLinkInfluence(TwoUserLog(), {{0, 1}}, 2, 0).ok());
+}
+
+TEST(LinkInfluenceTest, MeanAbsoluteError) {
+  LinkInfluence a, b;
+  a.p = {0.0, 0.5, 1.0};
+  b.p = {0.1, 0.5, 0.7};
+  EXPECT_NEAR(MeanAbsoluteError(a, b).ValueOrDie(), (0.1 + 0.0 + 0.3) / 3.0,
+              1e-12);
+  b.p = {0.1};
+  EXPECT_FALSE(MeanAbsoluteError(a, b).ok());
+  LinkInfluence e1, e2;
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(e1, e2).ValueOrDie(), 0.0);
+}
+
+}  // namespace
+}  // namespace psi

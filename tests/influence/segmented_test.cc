@@ -1,0 +1,89 @@
+#include "influence/segmented.h"
+
+#include <gtest/gtest.h>
+
+#include "actionlog/generator.h"
+#include "graph/generators.h"
+
+namespace psi {
+namespace {
+
+TEST(SegmentedTest, FilterKeepsOnlySegmentActions) {
+  ActionLog log;
+  log.Add({0, 0, 1});
+  log.Add({1, 1, 2});
+  log.Add({2, 2, 3});
+  std::vector<uint32_t> seg{0, 1, 0};
+  auto s0 = FilterLogBySegment(log, seg, 0);
+  EXPECT_EQ(s0.size(), 2u);
+  auto s1 = FilterLogBySegment(log, seg, 1);
+  EXPECT_EQ(s1.size(), 1u);
+  uint64_t t;
+  EXPECT_TRUE(s1.Lookup(1, 1, &t));
+  // Actions beyond the labeling vector are dropped.
+  log.Add({3, 9, 4});
+  EXPECT_EQ(FilterLogBySegment(log, seg, 0).size(), 2u);
+}
+
+TEST(SegmentedTest, SegmentsPartitionTheEvidence) {
+  // Hand-built: u influences v only on segment-0 actions.
+  SocialGraph g(2);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  ActionLog log;
+  log.Add({0, 0, 0});   // seg 0: followed.
+  log.Add({1, 0, 1});
+  log.Add({0, 1, 10});  // seg 1: not followed.
+  log.Add({0, 2, 20});  // seg 0: followed.
+  log.Add({1, 2, 22});
+  log.Add({0, 3, 30});  // seg 1: not followed.
+  std::vector<uint32_t> seg{0, 1, 0, 1};
+  auto result =
+      ComputeSegmentedLinkInfluence(log, g.arcs(), 2, 4, seg, 2).ValueOrDie();
+  ASSERT_EQ(result.num_segments(), 2u);
+  EXPECT_DOUBLE_EQ(result.per_segment[0].p[0], 1.0);  // 2/2 in segment 0.
+  EXPECT_DOUBLE_EQ(result.per_segment[1].p[0], 0.0);  // 0/2 in segment 1.
+  // The pooled estimate blurs the distinction: 2/4.
+  auto pooled = ComputeLinkInfluence(log, g.arcs(), 2, 4).ValueOrDie();
+  EXPECT_DOUBLE_EQ(pooled.p[0], 0.5);
+}
+
+TEST(SegmentedTest, SingleSegmentEqualsPooled) {
+  Rng rng(1);
+  auto g = ErdosRenyiArcs(&rng, 25, 100).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(g, 0.4);
+  CascadeParams params;
+  params.num_actions = 40;
+  auto log = GenerateCascades(&rng, g, truth, params).ValueOrDie();
+  std::vector<uint32_t> seg(40, 0);
+  auto segmented =
+      ComputeSegmentedLinkInfluence(log, g.arcs(), 25, 4, seg, 1).ValueOrDie();
+  auto pooled = ComputeLinkInfluence(log, g.arcs(), 25, 4).ValueOrDie();
+  for (size_t e = 0; e < pooled.p.size(); ++e) {
+    EXPECT_DOUBLE_EQ(segmented.per_segment[0].p[e], pooled.p[e]);
+  }
+}
+
+TEST(SegmentedTest, EmptySegmentYieldsZeros) {
+  Rng rng(2);
+  auto g = ErdosRenyiArcs(&rng, 10, 40).ValueOrDie();
+  ActionLog log;
+  log.Add({0, 0, 1});
+  std::vector<uint32_t> seg{0};
+  auto result =
+      ComputeSegmentedLinkInfluence(log, g.arcs(), 10, 4, seg, 3).ValueOrDie();
+  for (double p : result.per_segment[2].p) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(SegmentedTest, Validation) {
+  SocialGraph g(2);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  ActionLog log;
+  EXPECT_FALSE(
+      ComputeSegmentedLinkInfluence(log, g.arcs(), 2, 4, {}, 0).ok());
+  std::vector<uint32_t> bad{5};
+  EXPECT_FALSE(
+      ComputeSegmentedLinkInfluence(log, g.arcs(), 2, 4, bad, 2).ok());
+}
+
+}  // namespace
+}  // namespace psi

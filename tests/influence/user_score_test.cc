@@ -1,0 +1,157 @@
+#include "influence/user_score.h"
+
+#include <gtest/gtest.h>
+
+#include "actionlog/counters.h"
+#include "actionlog/generator.h"
+#include "graph/generators.h"
+
+namespace psi {
+namespace {
+
+// Path graph 0 -> 1 -> 2 -> 3 with one action propagating along it.
+struct ChainFixture {
+  ChainFixture() : graph(4) {
+    PSI_CHECK_OK(graph.AddArc(0, 1));
+    PSI_CHECK_OK(graph.AddArc(1, 2));
+    PSI_CHECK_OK(graph.AddArc(2, 3));
+    log.Add({0, 0, 0});
+    log.Add({1, 0, 2});
+    log.Add({2, 0, 5});
+    log.Add({3, 0, 9});
+  }
+  SocialGraph graph;
+  ActionLog log;
+};
+
+TEST(UserScoreTest, PropagationGraphFollowsDefinition31) {
+  ChainFixture f;
+  auto pg = BuildPropagationGraph(f.graph, f.log, 0).ValueOrDie();
+  EXPECT_EQ(pg.num_arcs(), 3u);
+  ASSERT_EQ(pg.OutArcs(0).size(), 1u);
+  EXPECT_EQ(pg.OutArcs(0)[0].to, 1u);
+  EXPECT_EQ(pg.OutArcs(0)[0].delta_t, 2u);
+  EXPECT_EQ(pg.OutArcs(1)[0].delta_t, 3u);
+  EXPECT_EQ(pg.OutArcs(2)[0].delta_t, 4u);
+}
+
+TEST(UserScoreTest, PropagationGraphRequiresSocialArc) {
+  // Users 0 and 2 both act but have no arc: no PG arc between them.
+  SocialGraph g(3);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  ActionLog log;
+  log.Add({0, 0, 0});
+  log.Add({2, 0, 1});
+  auto pg = BuildPropagationGraph(g, log, 0).ValueOrDie();
+  EXPECT_EQ(pg.num_arcs(), 0u);
+}
+
+TEST(UserScoreTest, PropagationGraphIgnoresNonPositiveDeltas) {
+  SocialGraph g(2);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  PSI_CHECK_OK(g.AddArc(1, 0));
+  ActionLog log;
+  log.Add({0, 0, 5});
+  log.Add({1, 0, 5});  // Simultaneous: no influence either way.
+  auto pg = BuildPropagationGraph(g, log, 0).ValueOrDie();
+  EXPECT_EQ(pg.num_arcs(), 0u);
+}
+
+TEST(UserScoreTest, ChainScoresHandComputed) {
+  ChainFixture f;
+  UserScoreOptions opt;
+  opt.tau = 100;  // Everything within reach.
+  auto scores = ComputeUserInfluenceScores(f.graph, f.log, opt).ValueOrDie();
+  // Each user performed exactly 1 action; spheres: 0 -> {1,2,3}, 1 -> {2,3},
+  // 2 -> {3}, 3 -> {}.
+  EXPECT_DOUBLE_EQ(scores[0], 3.0);
+  EXPECT_DOUBLE_EQ(scores[1], 2.0);
+  EXPECT_DOUBLE_EQ(scores[2], 1.0);
+  EXPECT_DOUBLE_EQ(scores[3], 0.0);
+}
+
+TEST(UserScoreTest, TauLimitsSphere) {
+  ChainFixture f;
+  UserScoreOptions opt;
+  opt.tau = 5;  // 0 reaches 1 (2) and 2 (5) but not 3 (9).
+  auto scores = ComputeUserInfluenceScores(f.graph, f.log, opt).ValueOrDie();
+  EXPECT_DOUBLE_EQ(scores[0], 2.0);
+  opt.tau = 1;
+  scores = ComputeUserInfluenceScores(f.graph, f.log, opt).ValueOrDie();
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+}
+
+TEST(UserScoreTest, IncludeSelfAddsOnePerAction) {
+  ChainFixture f;
+  UserScoreOptions opt;
+  opt.tau = 100;
+  opt.include_self = true;
+  auto scores = ComputeUserInfluenceScores(f.graph, f.log, opt).ValueOrDie();
+  EXPECT_DOUBLE_EQ(scores[0], 4.0);
+  EXPECT_DOUBLE_EQ(scores[3], 1.0);
+}
+
+TEST(UserScoreTest, ScoreAveragesOverActions) {
+  // User 0 acts twice; influences only on the first action.
+  SocialGraph g(2);
+  PSI_CHECK_OK(g.AddArc(0, 1));
+  ActionLog log;
+  log.Add({0, 0, 0});
+  log.Add({1, 0, 1});
+  log.Add({0, 1, 10});  // Nobody follows.
+  UserScoreOptions opt;
+  opt.tau = 10;
+  auto scores = ComputeUserInfluenceScores(g, log, opt).ValueOrDie();
+  EXPECT_DOUBLE_EQ(scores[0], 0.5);  // (1 + 0) / 2.
+}
+
+TEST(UserScoreTest, NonActorScoresZero) {
+  ChainFixture f;
+  SocialGraph g5(5);  // Node 4 exists but never acts.
+  PSI_CHECK_OK(g5.AddArc(0, 1));
+  UserScoreOptions opt;
+  auto scores = ComputeUserInfluenceScores(g5, f.log, opt).ValueOrDie();
+  EXPECT_DOUBLE_EQ(scores[4], 0.0);
+}
+
+TEST(UserScoreTest, ScoresFromPropagationGraphsMatchesDirect) {
+  Rng rng(5);
+  auto graph = ErdosRenyiArcs(&rng, 35, 180).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.4);
+  CascadeParams params;
+  params.num_actions = 40;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  UserScoreOptions opt;
+  opt.tau = 12;
+  auto direct = ComputeUserInfluenceScores(graph, log, opt).ValueOrDie();
+
+  std::vector<PropagationGraph> graphs;
+  std::vector<std::vector<NodeId>> performers;
+  for (ActionId a = 0; a < 40; ++a) {
+    graphs.push_back(BuildPropagationGraph(graph, log, a).ValueOrDie());
+    std::vector<NodeId> who;
+    for (const auto& r : log.RecordsOfAction(a)) who.push_back(r.user);
+    performers.push_back(who);
+  }
+  auto counts = ComputeActionCounts(log, graph.num_nodes());
+  auto indirect =
+      ScoresFromPropagationGraphs(graphs, performers, counts, opt).ValueOrDie();
+  ASSERT_EQ(direct.size(), indirect.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], indirect[i], 1e-12);
+  }
+}
+
+TEST(UserScoreTest, TopKOrderingAndTies) {
+  std::vector<double> scores{0.5, 3.0, 3.0, 1.0, 0.0};
+  auto top = TopKUsers(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // Tie broken by smaller id.
+  EXPECT_EQ(top[1], 2u);
+  EXPECT_EQ(top[2], 3u);
+  EXPECT_EQ(TopKUsers(scores, 99).size(), 5u);
+  EXPECT_TRUE(TopKUsers({}, 3).empty());
+}
+
+}  // namespace
+}  // namespace psi

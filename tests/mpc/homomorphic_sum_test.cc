@@ -1,0 +1,96 @@
+#include "mpc/homomorphic_sum.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bigint/modular.h"
+
+namespace psi {
+namespace {
+
+struct HomFixture {
+  explicit HomFixture(size_t m) {
+    for (size_t k = 0; k < m; ++k) {
+      players.push_back(net.RegisterParty("P" + std::to_string(k + 1)));
+      rngs.push_back(std::make_unique<Rng>(2000 + k));
+    }
+  }
+  std::vector<Rng*> RngPtrs() {
+    std::vector<Rng*> out;
+    for (auto& r : rngs) out.push_back(r.get());
+    return out;
+  }
+  Network net;
+  std::vector<PartyId> players;
+  std::vector<std::unique_ptr<Rng>> rngs;
+};
+
+TEST(HomomorphicSumTest, SharesReconstructModN) {
+  for (size_t m : {2u, 3u, 5u}) {
+    HomFixture f(m);
+    HomomorphicSumProtocol proto(&f.net, f.players, 512);
+    std::vector<std::vector<uint64_t>> inputs(m,
+                                              std::vector<uint64_t>(10));
+    std::vector<uint64_t> expected(10, 0);
+    Rng in(3);
+    for (size_t c = 0; c < 10; ++c) {
+      for (size_t k = 0; k < m; ++k) {
+        inputs[k][c] = in.UniformU64(100000);
+        expected[c] += inputs[k][c];
+      }
+    }
+    auto shares = proto.Run(inputs, f.RngPtrs(), "h.").ValueOrDie();
+    const BigUInt& n = proto.modulus();
+    for (size_t c = 0; c < 10; ++c) {
+      EXPECT_EQ(ModAdd(shares.s1[c], shares.s2[c], n), BigUInt(expected[c]))
+          << "m=" << m << " c=" << c;
+    }
+    EXPECT_EQ(f.net.PendingCount(), 0u);
+  }
+}
+
+TEST(HomomorphicSumTest, FewerMessagesThanBenaloh) {
+  // The extension's selling point: 2m - 2 messages vs m(m-1) + (m-2).
+  const size_t m = 6;
+  HomFixture f(m);
+  HomomorphicSumProtocol proto(&f.net, f.players, 512);
+  std::vector<std::vector<uint64_t>> inputs(m, std::vector<uint64_t>{1});
+  ASSERT_TRUE(proto.Run(inputs, f.RngPtrs(), "h.").ok());
+  auto report = f.net.Report();
+  EXPECT_EQ(report.num_messages, 2 * m - 2);
+  EXPECT_EQ(report.num_rounds, 3u);
+  EXPECT_LT(report.num_messages, m * (m - 1) + (m - 2));
+}
+
+TEST(HomomorphicSumTest, ZeroInputs) {
+  HomFixture f(3);
+  HomomorphicSumProtocol proto(&f.net, f.players, 512);
+  std::vector<std::vector<uint64_t>> inputs(3, std::vector<uint64_t>{0, 0});
+  auto shares = proto.Run(inputs, f.RngPtrs(), "h.").ValueOrDie();
+  const BigUInt& n = proto.modulus();
+  EXPECT_TRUE(ModAdd(shares.s1[0], shares.s2[0], n).IsZero());
+}
+
+TEST(HomomorphicSumTest, MaskMakesP1ShareNonTrivial) {
+  // s1 must not equal the plain sum (P2's mask hides it).
+  HomFixture f(2);
+  HomomorphicSumProtocol proto(&f.net, f.players, 512);
+  std::vector<std::vector<uint64_t>> inputs{{5}, {7}};
+  auto shares = proto.Run(inputs, f.RngPtrs(), "h.").ValueOrDie();
+  // With overwhelming probability the random mask is not 0 or tiny.
+  EXPECT_NE(shares.s1[0], BigUInt(12));
+  EXPECT_GT(shares.s1[0].BitLength(), 64u);
+}
+
+TEST(HomomorphicSumTest, InputValidation) {
+  HomFixture f(3);
+  HomomorphicSumProtocol proto(&f.net, f.players, 512);
+  std::vector<std::vector<uint64_t>> ragged{{1}, {2, 3}, {4}};
+  EXPECT_FALSE(proto.Run(ragged, f.RngPtrs(), "h.").ok());
+  std::vector<std::vector<uint64_t>> wrong_count{{1}, {2}};
+  EXPECT_FALSE(proto.Run(wrong_count, f.RngPtrs(), "h.").ok());
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,95 @@
+#include "mpc/joint_random.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace psi {
+namespace {
+
+class JointRandomTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    p1_ = net_.RegisterParty("P1");
+    p2_ = net_.RegisterParty("P2");
+  }
+  Network net_;
+  PartyId p1_, p2_;
+};
+
+TEST_F(JointRandomTest, ProducesRequestedCountInUnitInterval) {
+  Rng r1(1), r2(2);
+  auto joint =
+      JointUniformBatch(&net_, p1_, p2_, 100, &r1, &r2, "test").ValueOrDie();
+  EXPECT_EQ(joint.size(), 100u);
+  for (double u : joint) {
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST_F(JointRandomTest, MetersExactlyTwoMessagesOneRound) {
+  Rng r1(1), r2(2);
+  ASSERT_TRUE(JointUniformBatch(&net_, p1_, p2_, 64, &r1, &r2, "x").ok());
+  auto report = net_.Report();
+  EXPECT_EQ(report.num_rounds, 1u);
+  EXPECT_EQ(report.num_messages, 2u);
+  // 64 doubles each direction = 2 * 512 bytes.
+  EXPECT_EQ(report.num_bytes, 2u * 64u * 8u);
+  EXPECT_EQ(net_.PendingCount(), 0u);
+}
+
+TEST_F(JointRandomTest, OutputIsUniformEvenIfOnePartyIsBiased) {
+  // Party B "cheats" by always contributing ~0 (semi-honest parties do not,
+  // but the sum construction tolerates any fixed marginal): the joint output
+  // must still look uniform because A's contribution is uniform.
+  class ZeroRng : public Rng {
+   public:
+    ZeroRng() : Rng(0) {}
+  };
+  Rng honest(3);
+  Rng biased(4);  // Used but contributions folded mod 1 with honest ones.
+  std::vector<double> all;
+  for (int i = 0; i < 50; ++i) {
+    auto joint = JointUniformBatch(&net_, p1_, p2_, 20, &honest, &biased,
+                                   "u")
+                     .ValueOrDie();
+    all.insert(all.end(), joint.begin(), joint.end());
+  }
+  EXPECT_NEAR(Mean(all), 0.5, 0.03);
+  EXPECT_NEAR(Variance(all), 1.0 / 12.0, 0.01);
+}
+
+TEST_F(JointRandomTest, ZDistributionTransform) {
+  std::vector<double> uniforms{0.0, 0.5, 0.9, 0.99};
+  auto z = ToZDistribution(uniforms);
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+  EXPECT_DOUBLE_EQ(z[1], 2.0);
+  EXPECT_NEAR(z[2], 10.0, 1e-9);
+  EXPECT_NEAR(z[3], 100.0, 1e-9);
+}
+
+TEST_F(JointRandomTest, ZDistributionEmpiricalCdf) {
+  Rng r1(5), r2(6);
+  auto joint =
+      JointUniformBatch(&net_, p1_, p2_, 20000, &r1, &r2, "z").ValueOrDie();
+  auto z = ToZDistribution(joint);
+  size_t le2 = 0;
+  for (double m : z) {
+    EXPECT_GE(m, 1.0);
+    le2 += m <= 2.0;
+  }
+  EXPECT_NEAR(static_cast<double>(le2) / 20000.0, 0.5, 0.02);
+}
+
+TEST_F(JointRandomTest, UniformBelowScalesByBounds) {
+  std::vector<double> uniforms{0.5, 0.25};
+  std::vector<double> bounds{10.0, 4.0};
+  auto r = ToUniformBelow(uniforms, bounds).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_FALSE(ToUniformBelow({0.5}, {1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,181 @@
+#include "mpc/non_exclusive.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "actionlog/counters.h"
+#include "actionlog/generator.h"
+#include "graph/generators.h"
+#include "influence/link_influence.h"
+
+namespace psi {
+namespace {
+
+struct PipelineFixture {
+  PipelineFixture(size_t num_providers, size_t num_classes, uint64_t seed = 41)
+      : rng(seed) {
+    graph = std::make_unique<SocialGraph>(
+        ErdosRenyiArcs(&rng, 30, 150).ValueOrDie());
+    auto truth = GroundTruthInfluence::Random(&rng, *graph, 0.1, 0.7);
+    CascadeParams params;
+    params.num_actions = 50;
+    log = GenerateCascades(&rng, *graph, truth, params).ValueOrDie();
+    class_config = ActionClassConfig::Random(&rng, 50, num_classes,
+                                             num_providers, 2,
+                                             num_providers)
+                       .ValueOrDie();
+    provider_logs =
+        NonExclusivePartition(&rng, log, num_providers, class_config)
+            .ValueOrDie();
+
+    host = net.RegisterParty("H");
+    for (size_t k = 0; k < num_providers; ++k) {
+      providers.push_back(net.RegisterParty("P" + std::to_string(k + 1)));
+      rngs.push_back(std::make_unique<Rng>(seed * 10 + k));
+    }
+    host_rng = std::make_unique<Rng>(seed + 1);
+    pair_secret = std::make_unique<Rng>(seed + 2);
+    class_secret = std::make_unique<Rng>(seed + 3);
+  }
+
+  std::vector<Rng*> RngPtrs() {
+    std::vector<Rng*> out;
+    for (auto& r : rngs) out.push_back(r.get());
+    return out;
+  }
+
+  Rng rng;
+  std::unique_ptr<SocialGraph> graph;
+  ActionLog log;
+  ActionClassConfig class_config;
+  std::vector<ActionLog> provider_logs;
+  Network net;
+  PartyId host;
+  std::vector<PartyId> providers;
+  std::vector<std::unique_ptr<Rng>> rngs;
+  std::unique_ptr<Rng> host_rng, pair_secret, class_secret;
+};
+
+TEST(NonExclusiveTest, PipelineMatchesPlaintextOnUnifiedLog) {
+  PipelineFixture f(4, 5);
+  NonExclusiveConfig cfg;
+  cfg.protocol4.h = 4;
+  NonExclusivePipeline pipe(&f.net, f.host, f.providers, cfg);
+  auto secure = pipe.Run(*f.graph, 50, f.provider_logs, f.class_config,
+                         f.host_rng.get(), f.RngPtrs(), f.pair_secret.get(),
+                         f.class_secret.get())
+                    .ValueOrDie();
+  auto plain =
+      ComputeLinkInfluence(f.log, f.graph->arcs(), 30, 4).ValueOrDie();
+  for (size_t e = 0; e < plain.p.size(); ++e) {
+    EXPECT_NEAR(secure.p[e], plain.p[e], 1e-9) << "arc " << e;
+  }
+  EXPECT_EQ(f.net.PendingCount(), 0u);
+}
+
+TEST(NonExclusiveTest, NaiveLocalEstimatesUnderestimateInfluence) {
+  // The paper's motivation: without conjoining, cross-provider follows are
+  // invisible. The naive union of per-provider estimates must miss
+  // episodes the pipeline finds.
+  PipelineFixture f(4, 3);
+  // Naive: each provider computes b over its own log only; sum the b's.
+  std::vector<Arc> arcs = f.graph->arcs();
+  uint64_t naive_total = 0;
+  for (const auto& l : f.provider_logs) {
+    for (uint64_t b : ComputeFollowCounts(l, arcs, 4)) naive_total += b;
+  }
+  uint64_t unified_total = 0;
+  for (uint64_t b : ComputeFollowCounts(f.log, arcs, 4)) unified_total += b;
+  EXPECT_LT(naive_total, unified_total)
+      << "expected cross-provider follow episodes to be lost locally";
+}
+
+TEST(NonExclusiveTest, WeightedVariantThroughPipeline) {
+  PipelineFixture f(3, 3);
+  NonExclusiveConfig cfg;
+  cfg.protocol4.h = 4;
+  cfg.protocol4.weights = TemporalWeights::ExponentialDecay(4, 0.5);
+  NonExclusivePipeline pipe(&f.net, f.host, f.providers, cfg);
+  auto secure = pipe.Run(*f.graph, 50, f.provider_logs, f.class_config,
+                         f.host_rng.get(), f.RngPtrs(), f.pair_secret.get(),
+                         f.class_secret.get())
+                    .ValueOrDie();
+  auto plain = ComputeWeightedLinkInfluence(f.log, f.graph->arcs(), 30,
+                                            *cfg.protocol4.weights)
+                   .ValueOrDie();
+  for (size_t e = 0; e < plain.p.size(); ++e) {
+    EXPECT_NEAR(secure.p[e], plain.p[e], 1e-3) << "arc " << e;
+  }
+}
+
+TEST(NonExclusiveTest, SingleProviderClassesSkipProtocol5) {
+  PipelineFixture f(3, 2);
+  // Force single-provider groups: effectively the exclusive case.
+  for (auto& group : f.class_config.provider_groups) group.resize(1);
+  auto logs = NonExclusivePartition(&f.rng, f.log, 3, f.class_config)
+                  .ValueOrDie();
+  NonExclusiveConfig cfg;
+  NonExclusivePipeline pipe(&f.net, f.host, f.providers, cfg);
+  auto secure = pipe.Run(*f.graph, 50, logs, f.class_config,
+                         f.host_rng.get(), f.RngPtrs(), f.pair_secret.get(),
+                         f.class_secret.get())
+                    .ValueOrDie();
+  auto plain =
+      ComputeLinkInfluence(f.log, f.graph->arcs(), 30, cfg.protocol4.h)
+          .ValueOrDie();
+  for (size_t e = 0; e < plain.p.size(); ++e) {
+    EXPECT_NEAR(secure.p[e], plain.p[e], 1e-9);
+  }
+  // No Protocol 5 rounds: exactly the 8 rounds of Protocol 4.
+  EXPECT_EQ(f.net.Report().num_rounds, 8u);
+}
+
+TEST(NonExclusiveTest, MergeAggregatesAddsCounters) {
+  AggregatedClassCounters a, b;
+  a.a = {1, 2, 0};
+  b.a = {0, 3, 5};
+  a.c_by_delay[42] = {1, 0};
+  b.c_by_delay[42] = {2, 2};
+  b.c_by_delay[7] = {9, 9};
+  MergeAggregates(b, &a);
+  EXPECT_EQ(a.a, (std::vector<uint64_t>{1, 5, 5}));
+  EXPECT_EQ(a.c_by_delay[42], (std::vector<uint64_t>{3, 2}));
+  EXPECT_EQ(a.c_by_delay[7], (std::vector<uint64_t>{9, 9}));
+}
+
+TEST(NonExclusiveTest, BasicObfuscationPipelineAlsoExact) {
+  PipelineFixture f(3, 4);
+  NonExclusiveConfig cfg;
+  cfg.protocol5.method = ObfuscationMethod::kBasic;
+  NonExclusivePipeline pipe(&f.net, f.host, f.providers, cfg);
+  auto secure = pipe.Run(*f.graph, 50, f.provider_logs, f.class_config,
+                         f.host_rng.get(), f.RngPtrs(), f.pair_secret.get(),
+                         f.class_secret.get())
+                    .ValueOrDie();
+  auto plain =
+      ComputeLinkInfluence(f.log, f.graph->arcs(), 30, cfg.protocol4.h)
+          .ValueOrDie();
+  for (size_t e = 0; e < plain.p.size(); ++e) {
+    EXPECT_NEAR(secure.p[e], plain.p[e], 1e-9);
+  }
+}
+
+TEST(NonExclusiveTest, Validation) {
+  PipelineFixture f(3, 2);
+  NonExclusiveConfig cfg;
+  NonExclusivePipeline pipe(&f.net, f.host, f.providers, cfg);
+  std::vector<ActionLog> wrong{f.provider_logs[0]};
+  EXPECT_FALSE(pipe.Run(*f.graph, 50, wrong, f.class_config,
+                        f.host_rng.get(), f.RngPtrs(), f.pair_secret.get(),
+                        f.class_secret.get())
+                   .ok());
+  ActionClassConfig bad;
+  EXPECT_FALSE(pipe.Run(*f.graph, 50, f.provider_logs, bad, f.host_rng.get(),
+                        f.RngPtrs(), f.pair_secret.get(),
+                        f.class_secret.get())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,178 @@
+#include "mpc/propagation_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "actionlog/generator.h"
+#include "actionlog/partition.h"
+#include "graph/generators.h"
+#include "influence/user_score.h"
+
+namespace psi {
+namespace {
+
+struct P6Fixture {
+  P6Fixture(size_t num_providers, uint64_t seed = 13) : rng(seed) {
+    graph = std::make_unique<SocialGraph>(
+        ErdosRenyiArcs(&rng, 30, 140).ValueOrDie());
+    auto truth = GroundTruthInfluence::Uniform(*graph, 0.5);
+    CascadeParams params;
+    params.num_actions = 25;
+    log = GenerateCascades(&rng, *graph, truth, params).ValueOrDie();
+    provider_logs = ExclusivePartition(&rng, log, num_providers).ValueOrDie();
+
+    host = net.RegisterParty("H");
+    for (size_t k = 0; k < num_providers; ++k) {
+      providers.push_back(net.RegisterParty("P" + std::to_string(k + 1)));
+      rngs.push_back(std::make_unique<Rng>(seed * 10 + k));
+    }
+    host_rng = std::make_unique<Rng>(seed + 100);
+  }
+
+  std::vector<Rng*> RngPtrs() {
+    std::vector<Rng*> out;
+    for (auto& r : rngs) out.push_back(r.get());
+    return out;
+  }
+
+  Rng rng;
+  std::unique_ptr<SocialGraph> graph;
+  ActionLog log;
+  std::vector<ActionLog> provider_logs;
+  Network net;
+  PartyId host;
+  std::vector<PartyId> providers;
+  std::vector<std::unique_ptr<Rng>> rngs;
+  std::unique_ptr<Rng> host_rng;
+};
+
+Protocol6Config SmallRsaConfig(
+    Protocol6Config::EncryptionMode mode =
+        Protocol6Config::EncryptionMode::kHybrid) {
+  Protocol6Config cfg;
+  cfg.rsa_bits = 512;
+  cfg.encryption = mode;
+  return cfg;
+}
+
+void ExpectGraphsMatchPlaintext(const Protocol6Output& out,
+                                const SocialGraph& graph,
+                                const ActionLog& log, size_t num_actions) {
+  ASSERT_EQ(out.graphs.size(), num_actions);
+  for (ActionId a = 0; a < num_actions; ++a) {
+    auto expected = BuildPropagationGraph(graph, log, a).ValueOrDie();
+    ASSERT_EQ(out.graphs[a].num_arcs(), expected.num_arcs()) << "action " << a;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      auto got = out.graphs[a].OutArcs(v);
+      auto want = expected.OutArcs(v);
+      auto key = [](const LabeledArc& x) {
+        return (static_cast<uint64_t>(x.to) << 32) | x.delta_t;
+      };
+      std::vector<uint64_t> gk, wk;
+      for (const auto& x : got) gk.push_back(key(x));
+      for (const auto& x : want) wk.push_back(key(x));
+      std::sort(gk.begin(), gk.end());
+      std::sort(wk.begin(), wk.end());
+      ASSERT_EQ(gk, wk) << "action " << a << " node " << v;
+    }
+  }
+}
+
+TEST(Protocol6Test, HybridModeReconstructsAllPropagationGraphs) {
+  P6Fixture f(3);
+  PropagationGraphProtocol proto(&f.net, f.host, f.providers,
+                                 SmallRsaConfig());
+  auto out = proto.Run(*f.graph, 25, f.provider_logs, f.host_rng.get(),
+                       f.RngPtrs())
+                 .ValueOrDie();
+  ExpectGraphsMatchPlaintext(out, *f.graph, f.log, 25);
+}
+
+TEST(Protocol6Test, PerIntegerModeReconstructsAllPropagationGraphs) {
+  P6Fixture f(2);
+  // Keep the size modest: per-integer RSA decrypts q * A ciphertexts.
+  Protocol6Config cfg =
+      SmallRsaConfig(Protocol6Config::EncryptionMode::kPerInteger);
+  cfg.obfuscation_factor = 1.5;
+  PropagationGraphProtocol proto(&f.net, f.host, f.providers, cfg);
+  auto out = proto.Run(*f.graph, 25, f.provider_logs, f.host_rng.get(),
+                       f.RngPtrs())
+                 .ValueOrDie();
+  ExpectGraphsMatchPlaintext(out, *f.graph, f.log, 25);
+}
+
+TEST(Protocol6Test, CommunicationMatchesTable2Totals) {
+  for (size_t m : {2u, 3u, 4u}) {
+    P6Fixture f(m, 17 + m);
+    PropagationGraphProtocol proto(&f.net, f.host, f.providers,
+                                   SmallRsaConfig());
+    ASSERT_TRUE(proto.Run(*f.graph, 25, f.provider_logs, f.host_rng.get(),
+                          f.RngPtrs())
+                    .ok());
+    auto report = f.net.Report();
+    EXPECT_EQ(report.num_rounds, 4u) << "m=" << m;
+    EXPECT_EQ(report.num_messages, 3 * m) << "m=" << m;
+    EXPECT_EQ(f.net.PendingCount(), 0u);
+  }
+}
+
+TEST(Protocol6Test, DecoyArcsNeverEnterPropagationGraphs) {
+  P6Fixture f(2);
+  Protocol6Config cfg = SmallRsaConfig();
+  cfg.obfuscation_factor = 4.0;  // Lots of decoys.
+  PropagationGraphProtocol proto(&f.net, f.host, f.providers, cfg);
+  auto out = proto.Run(*f.graph, 25, f.provider_logs, f.host_rng.get(),
+                       f.RngPtrs())
+                 .ValueOrDie();
+  for (const auto& pg : out.graphs) {
+    for (NodeId v = 0; v < f.graph->num_nodes(); ++v) {
+      for (const auto& arc : pg.OutArcs(v)) {
+        EXPECT_TRUE(f.graph->HasArc(v, arc.to))
+            << "PG contains non-social arc " << v << "->" << arc.to;
+      }
+    }
+  }
+}
+
+TEST(Protocol6Test, ActionsNobodyPerformedYieldEmptyGraphs) {
+  P6Fixture f(2);
+  PropagationGraphProtocol proto(&f.net, f.host, f.providers,
+                                 SmallRsaConfig());
+  // Declare more actions than the log contains.
+  auto out = proto.Run(*f.graph, 40, f.provider_logs, f.host_rng.get(),
+                       f.RngPtrs())
+                 .ValueOrDie();
+  ASSERT_EQ(out.graphs.size(), 40u);
+  for (ActionId a = f.log.MaxActionId(); a < 40; ++a) {
+    EXPECT_EQ(out.graphs[a].num_arcs(), 0u);
+  }
+}
+
+TEST(Protocol6Test, RelayedBytesAreCiphertextOnly) {
+  P6Fixture f(3);
+  PropagationGraphProtocol proto(&f.net, f.host, f.providers,
+                                 SmallRsaConfig());
+  ASSERT_TRUE(proto.Run(*f.graph, 25, f.provider_logs, f.host_rng.get(),
+                        f.RngPtrs())
+                  .ok());
+  // P1 relayed the payloads of providers 2..m.
+  EXPECT_GT(proto.views().p1_relayed_bytes, 0u);
+}
+
+TEST(Protocol6Test, Validation) {
+  P6Fixture f(2);
+  PropagationGraphProtocol one(&f.net, f.host, {f.providers[0]},
+                               SmallRsaConfig());
+  EXPECT_FALSE(one.Run(*f.graph, 25, {f.provider_logs[0]}, f.host_rng.get(),
+                       {f.rngs[0].get()})
+                   .ok());
+  PropagationGraphProtocol proto(&f.net, f.host, f.providers,
+                                 SmallRsaConfig());
+  EXPECT_FALSE(proto.Run(*f.graph, 25, {f.provider_logs[0]},
+                         f.host_rng.get(), f.RngPtrs())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,116 @@
+#include "net/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace psi {
+namespace {
+
+Protocol4CostParams P4Params(uint64_t m, uint64_t n, uint64_t q,
+                             uint64_t log_s) {
+  Protocol4CostParams p;
+  p.m = m;
+  p.n = n;
+  p.q = q;
+  p.log_s = log_s;
+  return p;
+}
+
+TEST(CostModelTest, Protocol4TotalsMatchPaperFormulas) {
+  // Section 7.1.1: NR = 8, NM = m^2 + m + 7.
+  for (uint64_t m : {2u, 3u, 5u, 10u, 20u}) {
+    auto s = Protocol4Costs(P4Params(m, 1000, 5000, 128));
+    EXPECT_EQ(s.nr, 8u) << "m=" << m;
+    EXPECT_EQ(s.nm, m * m + m + 7) << "m=" << m;
+  }
+}
+
+TEST(CostModelTest, Protocol4DominantTermScalesAsM2NQLogS) {
+  // MS = O(m^2 (n+q) log S): doubling log S roughly doubles the share rounds.
+  auto base = Protocol4Costs(P4Params(5, 1000, 5000, 64));
+  auto big = Protocol4Costs(P4Params(5, 1000, 5000, 128));
+  // The real-valued and index rounds do not scale with log S, so the ratio
+  // sits slightly below 2.
+  double ratio = static_cast<double>(big.ms_bits) /
+                 static_cast<double>(base.ms_bits);
+  EXPECT_GT(ratio, 1.7);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(CostModelTest, Protocol4RowStructure) {
+  auto s = Protocol4Costs(P4Params(4, 100, 300, 64));
+  ASSERT_EQ(s.rows.size(), 8u);
+  // Row 2 is the m(m-1) pairwise share exchange of (n+q) log S bits.
+  EXPECT_EQ(s.rows[1].num_messages, 12u);
+  EXPECT_EQ(s.rows[1].bits_per_message, (100 + 300) * 64u);
+  // Row 5 is the one comparison-bit message: (n+q) bits.
+  EXPECT_EQ(s.rows[4].num_messages, 1u);
+  EXPECT_EQ(s.rows[4].bits_per_message, 400u);
+  // Rows 6-7 carry n reals in each direction.
+  EXPECT_EQ(s.rows[5].num_messages, 2u);
+  EXPECT_EQ(s.rows[5].bits_per_message, 100u * 64u);
+}
+
+TEST(CostModelTest, Protocol4TwoProvidersHasEmptyFoldRound) {
+  auto s = Protocol4Costs(P4Params(2, 10, 20, 64));
+  EXPECT_EQ(s.rows[2].num_messages, 0u);  // m - 2 == 0.
+  EXPECT_EQ(s.nm, 2u * 2u + 2u + 7u);
+}
+
+TEST(CostModelTest, Protocol6TotalsMatchPaperFormulas) {
+  // Section 7.1.2: NR = 4, NM = 3m, MS <= 2qzA.
+  for (uint64_t m : {2u, 4u, 8u}) {
+    Protocol6CostParams p;
+    p.m = m;
+    p.q = 1000;
+    p.z = 1024;
+    p.kappa = 2048;
+    p.actions_per_provider.assign(m, 50);
+    auto s = Protocol6Costs(p);
+    EXPECT_EQ(s.nr, 4u) << "m=" << m;
+    EXPECT_EQ(s.nm, 3 * m) << "m=" << m;
+    uint64_t total_actions = 50 * m;
+    EXPECT_LE(s.ms_bits, 2 * p.q * p.z * total_actions + p.m * p.kappa +
+                             p.m * 2 * p.q * p.index_bits);
+  }
+}
+
+TEST(CostModelTest, Protocol6DominatedByCiphertextRounds) {
+  Protocol6CostParams p;
+  p.m = 3;
+  p.q = 2000;
+  p.z = 1024;
+  p.kappa = 2048;
+  p.actions_per_provider = {100, 100, 100};
+  auto s = Protocol6Costs(p);
+  // Last round: q * z * A bits = 2000 * 1024 * 300.
+  EXPECT_EQ(s.rows.back().bits_per_message, 2000ull * 1024 * 300);
+  // The two ciphertext rounds are ~ 2qzA of the total.
+  uint64_t cipher_bits = 2000ull * 1024 * (200 + 300);
+  EXPECT_GT(static_cast<double>(cipher_bits) / static_cast<double>(s.ms_bits),
+            0.99);
+}
+
+TEST(CostModelTest, Protocol6UnequalProvidersExactTotal) {
+  Protocol6CostParams p;
+  p.m = 3;
+  p.q = 10;
+  p.z = 100;
+  p.kappa = 200;
+  p.actions_per_provider = {7, 3, 5};
+  auto s = Protocol6Costs(p);
+  uint64_t expected = 3 * (2 * 10 * p.index_bits)  // Omega round
+                      + 3 * 200                    // key round
+                      + 10 * 100 * (3 + 5)         // relay round (P2, P3)
+                      + 10 * 100 * 15;             // forward round (all)
+  EXPECT_EQ(s.ms_bits, expected);
+}
+
+TEST(CostModelTest, SummaryRendering) {
+  auto s = Protocol4Costs(P4Params(3, 10, 20, 64));
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("NR=8"), std::string::npos);
+  EXPECT_NE(text.find("Prot.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psi

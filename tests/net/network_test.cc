@@ -1,0 +1,123 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace psi {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = net_.RegisterParty("A");
+    b_ = net_.RegisterParty("B");
+    c_ = net_.RegisterParty("C");
+  }
+  Network net_;
+  PartyId a_, b_, c_;
+};
+
+TEST_F(NetworkTest, RegisterAssignsSequentialIds) {
+  EXPECT_EQ(a_, 0u);
+  EXPECT_EQ(b_, 1u);
+  EXPECT_EQ(c_, 2u);
+  EXPECT_EQ(net_.num_parties(), 3u);
+  EXPECT_EQ(net_.party_name(1), "B");
+}
+
+TEST_F(NetworkTest, SendRecvDeliversPayload) {
+  net_.BeginRound("r1");
+  ASSERT_TRUE(net_.Send(a_, b_, {1, 2, 3}).ok());
+  auto msg = net_.Recv(b_, a_).ValueOrDie();
+  EXPECT_EQ(msg, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST_F(NetworkTest, FifoOrderPerChannel) {
+  net_.BeginRound("r1");
+  ASSERT_TRUE(net_.Send(a_, b_, {1}).ok());
+  ASSERT_TRUE(net_.Send(a_, b_, {2}).ok());
+  EXPECT_EQ(net_.Recv(b_, a_).ValueOrDie()[0], 1);
+  EXPECT_EQ(net_.Recv(b_, a_).ValueOrDie()[0], 2);
+}
+
+TEST_F(NetworkTest, ChannelsAreDirectional) {
+  net_.BeginRound("r1");
+  ASSERT_TRUE(net_.Send(a_, b_, {9}).ok());
+  EXPECT_FALSE(net_.Recv(a_, b_).ok());   // Wrong direction.
+  EXPECT_FALSE(net_.Recv(b_, c_).ok());   // Wrong sender.
+  EXPECT_TRUE(net_.Recv(b_, a_).ok());
+}
+
+TEST_F(NetworkTest, RecvOnEmptyChannelFails) {
+  EXPECT_EQ(net_.Recv(b_, a_).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(NetworkTest, SendValidations) {
+  net_.BeginRound("r1");
+  EXPECT_EQ(net_.Send(a_, a_, {}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(net_.Send(a_, 99, {}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(net_.Send(99, a_, {}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(NetworkTest, SendBeforeRoundFails) {
+  EXPECT_EQ(net_.Send(a_, b_, {1}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(NetworkTest, MeteringCountsMessagesAndBytes) {
+  net_.BeginRound("round one");
+  ASSERT_TRUE(net_.Send(a_, b_, std::vector<uint8_t>(10)).ok());
+  ASSERT_TRUE(net_.Send(b_, c_, std::vector<uint8_t>(20)).ok());
+  net_.BeginRound("round two");
+  ASSERT_TRUE(net_.Send(c_, a_, std::vector<uint8_t>(5)).ok());
+
+  auto report = net_.Report();
+  EXPECT_EQ(report.num_rounds, 2u);
+  EXPECT_EQ(report.num_messages, 3u);
+  EXPECT_EQ(report.num_bytes, 35u);
+  ASSERT_EQ(report.rounds.size(), 2u);
+  EXPECT_EQ(report.rounds[0].label, "round one");
+  EXPECT_EQ(report.rounds[0].num_messages, 2u);
+  EXPECT_EQ(report.rounds[0].num_bytes, 30u);
+  EXPECT_EQ(report.rounds[1].num_messages, 1u);
+}
+
+TEST_F(NetworkTest, PerPartyByteAccounting) {
+  net_.BeginRound("r");
+  ASSERT_TRUE(net_.Send(a_, b_, std::vector<uint8_t>(7)).ok());
+  ASSERT_TRUE(net_.Send(a_, c_, std::vector<uint8_t>(3)).ok());
+  EXPECT_EQ(net_.BytesSentBy(a_), 10u);
+  EXPECT_EQ(net_.BytesSentBy(b_), 0u);
+}
+
+TEST_F(NetworkTest, PendingCountAndHasPending) {
+  net_.BeginRound("r");
+  EXPECT_EQ(net_.PendingCount(), 0u);
+  ASSERT_TRUE(net_.Send(a_, b_, {1}).ok());
+  EXPECT_TRUE(net_.HasPending(b_, a_));
+  EXPECT_FALSE(net_.HasPending(a_, b_));
+  EXPECT_EQ(net_.PendingCount(), 1u);
+  ASSERT_TRUE(net_.Recv(b_, a_).ok());
+  EXPECT_EQ(net_.PendingCount(), 0u);
+}
+
+TEST_F(NetworkTest, ResetMeteringRequiresEmptyMailboxes) {
+  net_.BeginRound("r");
+  ASSERT_TRUE(net_.Send(a_, b_, {1}).ok());
+  EXPECT_EQ(net_.ResetMetering().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(net_.Recv(b_, a_).ok());
+  ASSERT_TRUE(net_.ResetMetering().ok());
+  EXPECT_EQ(net_.Report().num_rounds, 0u);
+  EXPECT_EQ(net_.BytesSentBy(a_), 0u);
+}
+
+TEST_F(NetworkTest, ReportRenderingContainsTotals) {
+  net_.BeginRound("alpha");
+  ASSERT_TRUE(net_.Send(a_, b_, std::vector<uint8_t>(100)).ok());
+  std::string s = net_.Report().ToString();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("TOTAL"), std::string::npos);
+  EXPECT_NE(s.find("100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psi

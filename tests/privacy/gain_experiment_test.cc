@@ -1,0 +1,97 @@
+#include "privacy/gain_experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace psi {
+namespace {
+
+TEST(GainExperimentTest, ProducesExpectedSampleCount) {
+  Rng rng(1);
+  GainExperimentConfig cfg;
+  cfg.trials_per_x = 100;
+  auto res = RunGainExperiment(UniformPrior(10), cfg, &rng).ValueOrDie();
+  EXPECT_EQ(res.gains.size(), 1000u);  // A * trials = 10 * 100.
+  EXPECT_EQ(res.histogram.total(), 1000u);
+}
+
+TEST(GainExperimentTest, PaperQualitativeFindingsHold) {
+  // Figure 1's claims: average gain positive but small; positive trials
+  // outnumber negative ones without overwhelming bias.
+  Rng rng(2);
+  GainExperimentConfig cfg;
+  cfg.trials_per_x = 1000;  // The paper's setting (10,000 gains total).
+  for (auto prior : {UniformPrior(10), UnimodalPrior(10)}) {
+    auto res = RunGainExperiment(prior, cfg, &rng).ValueOrDie();
+    EXPECT_GT(res.average_gain, 0.0);
+    EXPECT_LT(res.average_gain, 1.2)
+        << "gain should be small relative to the prior error scale (~2.7)";
+    EXPECT_GT(res.positive_fraction, 0.5);
+    EXPECT_LT(res.positive_fraction, 0.9);
+  }
+}
+
+TEST(GainExperimentTest, GainsAreBoundedByPriorError) {
+  // |x - prior_mean| <= 5 for A = 10, so no gain can exceed 5 and no loss
+  // can exceed the posterior's worst error (10).
+  Rng rng(3);
+  GainExperimentConfig cfg;
+  cfg.trials_per_x = 200;
+  auto res = RunGainExperiment(UniformPrior(10), cfg, &rng).ValueOrDie();
+  for (double g : res.gains) {
+    EXPECT_LE(g, 5.0 + 1e-9);
+    EXPECT_GE(g, -10.0);
+  }
+}
+
+TEST(GainExperimentTest, DeterministicUnderFixedSeed) {
+  GainExperimentConfig cfg;
+  cfg.trials_per_x = 50;
+  Rng r1(7), r2(7);
+  auto a = RunGainExperiment(UnimodalPrior(10), cfg, &r1).ValueOrDie();
+  auto b = RunGainExperiment(UnimodalPrior(10), cfg, &r2).ValueOrDie();
+  EXPECT_EQ(a.gains, b.gains);
+  EXPECT_DOUBLE_EQ(a.average_gain, b.average_gain);
+}
+
+TEST(GainExperimentTest, HistogramCoversGains) {
+  Rng rng(8);
+  GainExperimentConfig cfg;
+  cfg.trials_per_x = 300;
+  auto res = RunGainExperiment(UniformPrior(10), cfg, &rng).ValueOrDie();
+  // The central bins (around zero) must hold substantial mass.
+  uint64_t central = 0;
+  for (size_t b = 0; b < res.histogram.num_bins(); ++b) {
+    auto [lo, hi] = res.histogram.bin_edges(b);
+    if (lo >= -0.75 && hi <= 0.75) central += res.histogram.bin_count(b);
+  }
+  EXPECT_GT(static_cast<double>(central) /
+                static_cast<double>(res.histogram.total()),
+            0.25);
+}
+
+TEST(GainExperimentTest, DegenerateKnownXPriorGivesZeroGain) {
+  // If the prior already pins x exactly (all mass at one point) the
+  // posterior cannot improve: gains must all be ~0 for that x.
+  std::vector<double> prior(11, 0.0);
+  prior[7] = 1.0;
+  Rng rng(9);
+  GainExperimentConfig cfg;
+  cfg.trials_per_x = 50;
+  auto res = RunGainExperiment(prior, cfg, &rng).ValueOrDie();
+  // bound_a trims to 7; 7 * 50 trials, every x has prior mass only at 7 —
+  // posterior mean is always 7, so gains equal E_pre - |x - 7| ... for the
+  // experiment's x = 7 row, E_pre = 0 and E_pos = 0.
+  for (size_t i = 6 * 50; i < 7 * 50; ++i) {  // x = 7 row.
+    EXPECT_NEAR(res.gains[i], 0.0, 1e-9);
+  }
+}
+
+TEST(GainExperimentTest, RejectsDegeneratePrior) {
+  Rng rng(10);
+  GainExperimentConfig cfg;
+  EXPECT_FALSE(RunGainExperiment({}, cfg, &rng).ok());
+  EXPECT_FALSE(RunGainExperiment({1.0}, cfg, &rng).ok());
+}
+
+}  // namespace
+}  // namespace psi

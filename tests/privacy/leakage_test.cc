@@ -1,0 +1,90 @@
+#include "privacy/leakage.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace psi {
+namespace {
+
+TEST(LeakageTest, ClosedFormProbabilities) {
+  auto p = ComputeLeakageProbabilities(5, BigUInt(10), BigUInt(256))
+               .ValueOrDie();
+  EXPECT_NEAR(p.p2_lower, 5.0 / 256.0, 1e-12);
+  EXPECT_NEAR(p.p2_upper, 5.0 / 256.0, 1e-12);
+  EXPECT_NEAR(p.p2_nothing, 1.0 - 10.0 / 256.0, 1e-12);
+  EXPECT_NEAR(p.p3_lower_max, 10.0 / 246.0, 1e-12);
+}
+
+TEST(LeakageTest, ExtremeXValues) {
+  auto at_zero =
+      ComputeLeakageProbabilities(0, BigUInt(10), BigUInt(256)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(at_zero.p2_lower, 0.0);  // No nontrivial lower bound on 0.
+  auto at_bound =
+      ComputeLeakageProbabilities(10, BigUInt(10), BigUInt(256)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(at_bound.p2_upper, 0.0);  // No nontrivial upper bound on A.
+}
+
+TEST(LeakageTest, ProbabilitiesVanishForHugeS) {
+  auto p = ComputeLeakageProbabilities(500, BigUInt(1000),
+                                       BigUInt::PowerOfTwo(128))
+               .ValueOrDie();
+  EXPECT_LT(p.p2_lower, 1e-30);
+  EXPECT_LT(p.p3_lower_max, 1e-30);
+  EXPECT_GE(p.p2_nothing, 1.0 - 1e-29);
+}
+
+TEST(LeakageTest, Validation) {
+  EXPECT_FALSE(ComputeLeakageProbabilities(11, BigUInt(10), BigUInt(256)).ok());
+  EXPECT_FALSE(ComputeLeakageProbabilities(5, BigUInt(10), BigUInt(20)).ok());
+}
+
+TEST(LeakageTest, ClassifyP2Cases) {
+  BigUInt a(10);
+  // No correction: lower bound unless s2 == 0.
+  EXPECT_EQ(ClassifyP2Observation(BigUInt(0), false, a), LeakKind::kNothing);
+  EXPECT_EQ(ClassifyP2Observation(BigUInt(3), false, a),
+            LeakKind::kLowerBound);
+  EXPECT_EQ(ClassifyP2Observation(BigUInt(100), false, a),
+            LeakKind::kLowerBound);
+  // Correction: upper bound only when s2 <= A.
+  EXPECT_EQ(ClassifyP2Observation(BigUInt(7), true, a), LeakKind::kUpperBound);
+  EXPECT_EQ(ClassifyP2Observation(BigUInt(10), true, a),
+            LeakKind::kUpperBound);
+  EXPECT_EQ(ClassifyP2Observation(BigUInt(11), true, a), LeakKind::kNothing);
+}
+
+TEST(LeakageTest, ClassifyP3Cases) {
+  BigUInt a(10);
+  BigUInt s(256);
+  EXPECT_EQ(ClassifyP3Observation(BigUInt(9), a, s), LeakKind::kUpperBound);
+  EXPECT_EQ(ClassifyP3Observation(BigUInt(10), a, s), LeakKind::kNothing);
+  EXPECT_EQ(ClassifyP3Observation(BigUInt(245), a, s), LeakKind::kNothing);
+  EXPECT_EQ(ClassifyP3Observation(BigUInt(246), a, s), LeakKind::kLowerBound);
+  EXPECT_EQ(ClassifyP3Observation(BigUInt(255), a, s), LeakKind::kLowerBound);
+}
+
+TEST(LeakageTest, RequiredModulusInvertsTheBound) {
+  BigUInt a(1000);
+  const uint64_t counters = 4096;
+  const uint64_t eps_log2 = 30;
+  BigUInt s = RequiredModulusForBudget(a, counters, eps_log2);
+  // Per-run leak probability is ~ 2A/S; over `counters` runs the union
+  // bound must stay below 2^-eps.
+  double per_run = 2.0 * a.ToDouble() / s.ToDouble();
+  double total = per_run * static_cast<double>(counters);
+  EXPECT_LT(total, std::ldexp(1.0, -static_cast<int>(eps_log2)) * 1.01);
+}
+
+TEST(LeakageTest, RequiredModulusMonotonicInInputs) {
+  BigUInt a(100);
+  EXPECT_GE(RequiredModulusForBudget(a, 1000, 40),
+            RequiredModulusForBudget(a, 10, 40));
+  EXPECT_GE(RequiredModulusForBudget(a, 10, 60),
+            RequiredModulusForBudget(a, 10, 40));
+  EXPECT_GE(RequiredModulusForBudget(BigUInt(10000), 10, 40),
+            RequiredModulusForBudget(a, 10, 40));
+}
+
+}  // namespace
+}  // namespace psi

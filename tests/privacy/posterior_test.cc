@@ -1,0 +1,199 @@
+#include "privacy/posterior.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace psi {
+namespace {
+
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+TEST(PosteriorTest, PriorsAreNormalizedDistributions) {
+  for (auto prior : {UniformPrior(10), UnimodalPrior(10)}) {
+    double sum = 0.0;
+    for (double p : prior) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_EQ(prior.size(), 11u);
+  }
+}
+
+TEST(PosteriorTest, UnimodalPriorMatchesPaperFormula) {
+  // A = 10: f(i) = (i+1)/36 for i <= 5, (11-i)/36 for i > 5.
+  auto prior = UnimodalPrior(10);
+  EXPECT_NEAR(prior[0], 1.0 / 36.0, 1e-12);
+  EXPECT_NEAR(prior[5], 6.0 / 36.0, 1e-12);
+  EXPECT_NEAR(prior[6], 5.0 / 36.0, 1e-12);
+  EXPECT_NEAR(prior[10], 1.0 / 36.0, 1e-12);
+}
+
+TEST(PosteriorTest, PriorMean) {
+  auto an = PosteriorAnalyzer::Create(UniformPrior(10)).ValueOrDie();
+  EXPECT_NEAR(an.PriorMean(), 5.0, 1e-12);
+  auto an2 = PosteriorAnalyzer::Create(UnimodalPrior(10)).ValueOrDie();
+  EXPECT_NEAR(an2.PriorMean(), 5.0, 1e-12);  // Symmetric around 5.
+}
+
+TEST(PosteriorTest, PosteriorIsNormalizedAndExcludesZero) {
+  auto an = PosteriorAnalyzer::Create(UniformPrior(10)).ValueOrDie();
+  for (double y : {0.1, 0.5, 1.0, 3.7, 9.99, 10.0, 42.0}) {
+    auto post = an.Posterior(y).ValueOrDie();
+    EXPECT_DOUBLE_EQ(post[0], 0.0) << "y > 0 rules out x = 0";
+    double sum = 0.0;
+    for (double p : post) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "y = " << y;
+  }
+}
+
+TEST(PosteriorTest, ClosedFormMatchesNumericalIntegration) {
+  // The strongest check of Theorem 4.4: two independent derivations agree.
+  for (auto prior : {UniformPrior(10), UnimodalPrior(10)}) {
+    auto an = PosteriorAnalyzer::Create(prior).ValueOrDie();
+    for (double y : {0.3, 0.9, 1.0, 1.7, 4.2, 7.5, 9.9, 10.5, 25.0, 300.0}) {
+      auto cf = an.Posterior(y).ValueOrDie();
+      auto num = an.PosteriorNumerical(y, 20000).ValueOrDie();
+      EXPECT_LT(MaxAbsDiff(cf, num), 2e-3) << "y = " << y;
+    }
+  }
+}
+
+TEST(PosteriorTest, LargeYPosteriorIndependentOfY) {
+  // Paper remark after Theorem 4.4: any y > A induces the same posterior.
+  auto an = PosteriorAnalyzer::Create(UnimodalPrior(10)).ValueOrDie();
+  auto p1 = an.Posterior(10.001).ValueOrDie();
+  auto p2 = an.Posterior(1e6).ValueOrDie();
+  EXPECT_LT(MaxAbsDiff(p1, p2), 1e-12);
+}
+
+TEST(PosteriorTest, SmallYFavorsSmallX) {
+  // y = r*x with r usually around 1: a small y is evidence for small x.
+  auto an = PosteriorAnalyzer::Create(UniformPrior(10)).ValueOrDie();
+  auto post = an.Posterior(0.5).ValueOrDie();
+  EXPECT_GT(post[1], post[10]);
+}
+
+TEST(PosteriorTest, LargeYExcludesNothing) {
+  // Theorem 4.3: every x with prior mass stays possible.
+  auto an = PosteriorAnalyzer::Create(UniformPrior(10)).ValueOrDie();
+  for (double y : {0.2, 5.0, 50.0}) {
+    auto post = an.Posterior(y).ValueOrDie();
+    for (size_t x = 1; x <= 10; ++x) {
+      EXPECT_GT(post[x], 0.0) << "x = " << x << " y = " << y;
+    }
+  }
+}
+
+TEST(PosteriorTest, ZeroPriorMassStaysZero) {
+  // Theorem 4.3's second clause: impossible values stay impossible.
+  std::vector<double> prior{0.0, 0.5, 0.0, 0.5};
+  auto an = PosteriorAnalyzer::Create(prior).ValueOrDie();
+  auto post = an.Posterior(1.3).ValueOrDie();
+  EXPECT_DOUBLE_EQ(post[2], 0.0);
+  EXPECT_GT(post[1], 0.0);
+  EXPECT_GT(post[3], 0.0);
+}
+
+TEST(PosteriorTest, TrimsTrailingZeroMass) {
+  std::vector<double> prior{0.2, 0.8, 0.0, 0.0};
+  auto an = PosteriorAnalyzer::Create(prior).ValueOrDie();
+  EXPECT_EQ(an.bound_a(), 1u);
+}
+
+TEST(PosteriorTest, CreateValidation) {
+  EXPECT_FALSE(PosteriorAnalyzer::Create({}).ok());
+  EXPECT_FALSE(PosteriorAnalyzer::Create({1.0}).ok());
+  EXPECT_FALSE(PosteriorAnalyzer::Create({1.0, 0.0}).ok());  // Mass only at 0.
+  EXPECT_FALSE(PosteriorAnalyzer::Create({0.5, -0.5, 1.0}).ok());
+  EXPECT_TRUE(PosteriorAnalyzer::Create({0.0, 2.0}).ok());  // Normalizes.
+}
+
+TEST(PosteriorTest, PosteriorValidation) {
+  auto an = PosteriorAnalyzer::Create(UniformPrior(5)).ValueOrDie();
+  EXPECT_FALSE(an.Posterior(0.0).ok());
+  EXPECT_FALSE(an.Posterior(-1.0).ok());
+  EXPECT_FALSE(an.PosteriorNumerical(1.0, 4).ok());  // Grid too coarse.
+}
+
+// The paper's Theorem 4.4 posterior deliberately weights the mask scale mu
+// by its (support-truncated) prior rather than its Bayes posterior given y,
+// so it is an approximation of the exact conditional f(x | Y = y). Two
+// checks: (a) the *exact* Bayes posterior — derivable in closed form as
+// f(x|y) ~ f(x)/x * min(1, x/y)^2 for the mu^-2 prior — calibrates against
+// simulation of the generative process; (b) the paper's posterior agrees
+// with the exact one in direction (same ordering of beliefs), which is what
+// the Figure-1 gain experiment relies on.
+TEST(PosteriorTest, ExactBayesPosteriorCalibratesAgainstSimulation) {
+  const size_t a = 6;
+  const double y_lo = 2.0, y_hi = 2.2;
+  auto exact_posterior = [&](double y) {
+    std::vector<double> post(a + 1, 0.0);
+    double total = 0.0;
+    for (size_t x = 1; x <= a; ++x) {
+      double xf = static_cast<double>(x);
+      double scale = std::min(1.0, xf / y);
+      post[x] = (1.0 / xf) * scale * scale;  // Uniform prior cancels.
+      total += post[x];
+    }
+    for (auto& p : post) p /= total;
+    return post;
+  };
+  Rng rng(404);
+  std::vector<double> x_counts(a + 1, 0.0);
+  std::vector<double> avg_exact(a + 1, 0.0);
+  size_t hits = 0;
+  for (int trial = 0; trial < 400000 && hits < 5000; ++trial) {
+    auto x = static_cast<size_t>(rng.UniformU64(a + 1));
+    if (x == 0) continue;
+    double m = rng.SampleZ();
+    double r = rng.UniformReal() * m;
+    double y = r * static_cast<double>(x);
+    if (y < y_lo || y > y_hi) continue;  // Condition on a narrow y-window.
+    ++hits;
+    x_counts[x] += 1.0;
+    auto post = exact_posterior(y);
+    for (size_t i = 0; i <= a; ++i) avg_exact[i] += post[i];
+  }
+  ASSERT_GT(hits, 500u);
+  for (size_t i = 1; i <= a; ++i) {
+    x_counts[i] /= static_cast<double>(hits);
+    avg_exact[i] /= static_cast<double>(hits);
+    EXPECT_NEAR(x_counts[i], avg_exact[i], 0.05) << "x = " << i;
+  }
+}
+
+TEST(PosteriorTest, PaperPosteriorOrdersBeliefsLikeExactBayes) {
+  auto an = PosteriorAnalyzer::Create(UniformPrior(10)).ValueOrDie();
+  for (double y : {0.7, 2.5, 6.0}) {
+    auto paper = an.Posterior(y).ValueOrDie();
+    std::vector<double> exact(11, 0.0);
+    double total = 0.0;
+    for (size_t x = 1; x <= 10; ++x) {
+      double xf = static_cast<double>(x);
+      double s = std::min(1.0, xf / y);
+      exact[x] = (1.0 / xf) * s * s;
+      total += exact[x];
+    }
+    for (auto& p : exact) p /= total;
+    // Strongly positively related across the support (the approximation can
+    // shift the argmax by one near ties, but the belief shapes agree).
+    std::vector<double> ps(paper.begin() + 1, paper.end());
+    std::vector<double> es(exact.begin() + 1, exact.end());
+    EXPECT_GT(PearsonCorrelation(ps, es), 0.8) << "y = " << y;
+  }
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,251 @@
+// psi_cli — command-line driver for the library.
+//
+// Subcommands:
+//   generate --out-dir D [--users N] [--arcs M] [--actions A]
+//            [--providers P] [--seed S]
+//       Generates a synthetic world: graph.txt (the host's input) and
+//       provider_<k>.log (each provider's private input), plus the unified
+//       log unified.log for reference.
+//
+//   learn    --dir D [--window H] [--providers P] [--seed S]
+//       Loads graph.txt + provider logs and runs the full secure Protocol 4,
+//       writing influence.txt ("from to p" per arc) and printing the
+//       communication report. Also verifies against the plaintext baseline
+//       computed from unified.log when present.
+//
+//   scores   --dir D [--tau T] [--providers P] [--seed S]
+//       Runs the secure user-score pipeline (Protocol 6 + a_i reveal) and
+//       prints the top influencers.
+//
+// Exit status is nonzero on any error; diagnostics go to stderr.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "actionlog/generator.h"
+#include "actionlog/io.h"
+#include "actionlog/partition.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "influence/link_influence.h"
+#include "influence/user_score.h"
+#include "mpc/link_influence_protocol.h"
+#include "mpc/secure_user_score.h"
+
+namespace psi {
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::stoull(it->second);
+  }
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+};
+
+Result<Flags> ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("expected --flag, got: " + arg);
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("missing value for " + arg);
+    }
+    flags.values[arg.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Status RunGenerate(const Flags& flags) {
+  std::string dir = flags.GetString("out-dir", "");
+  if (dir.empty()) return Status::InvalidArgument("--out-dir is required");
+  uint64_t users = flags.GetInt("users", 100);
+  uint64_t arcs = flags.GetInt("arcs", 500);
+  uint64_t actions = flags.GetInt("actions", 200);
+  uint64_t providers = flags.GetInt("providers", 3);
+  uint64_t seed = flags.GetInt("seed", 42);
+
+  Rng rng(seed);
+  PSI_ASSIGN_OR_RETURN(SocialGraph graph,
+                       ErdosRenyiArcs(&rng, users, arcs));
+  auto truth = GroundTruthInfluence::Random(&rng, graph, 0.05, 0.6);
+  CascadeParams params;
+  params.num_actions = actions;
+  PSI_ASSIGN_OR_RETURN(ActionLog log,
+                       GenerateCascades(&rng, graph, truth, params));
+  PSI_ASSIGN_OR_RETURN(auto provider_logs,
+                       ExclusivePartition(&rng, log, providers));
+
+  PSI_RETURN_NOT_OK(SaveGraph(graph, dir + "/graph.txt"));
+  PSI_RETURN_NOT_OK(SaveActionLog(log, dir + "/unified.log"));
+  for (size_t k = 0; k < provider_logs.size(); ++k) {
+    PSI_RETURN_NOT_OK(SaveActionLog(
+        provider_logs[k], dir + "/provider_" + std::to_string(k) + ".log"));
+  }
+  std::printf("wrote %s/graph.txt (%zu users, %zu arcs), unified.log (%zu "
+              "records) and %llu provider logs\n",
+              dir.c_str(), graph.num_nodes(), graph.num_arcs(), log.size(),
+              static_cast<unsigned long long>(providers));
+  return Status::OK();
+}
+
+struct LoadedWorld {
+  SocialGraph graph{1};
+  std::vector<ActionLog> provider_logs;
+};
+
+Result<LoadedWorld> LoadWorld(const std::string& dir, uint64_t providers) {
+  LoadedWorld w;
+  PSI_ASSIGN_OR_RETURN(w.graph, LoadGraph(dir + "/graph.txt"));
+  for (uint64_t k = 0; k < providers; ++k) {
+    PSI_ASSIGN_OR_RETURN(
+        ActionLog log,
+        LoadActionLog(dir + "/provider_" + std::to_string(k) + ".log"));
+    w.provider_logs.push_back(std::move(log));
+  }
+  return w;
+}
+
+uint64_t CountActions(const std::vector<ActionLog>& logs) {
+  ActionId max_action = 0;
+  for (const auto& log : logs) {
+    max_action = std::max(max_action, log.MaxActionId());
+  }
+  return max_action;
+}
+
+Status RunLearn(const Flags& flags) {
+  std::string dir = flags.GetString("dir", "");
+  if (dir.empty()) return Status::InvalidArgument("--dir is required");
+  uint64_t window = flags.GetInt("window", 4);
+  uint64_t providers = flags.GetInt("providers", 3);
+  uint64_t seed = flags.GetInt("seed", 1);
+
+  PSI_ASSIGN_OR_RETURN(LoadedWorld w, LoadWorld(dir, providers));
+  uint64_t actions = CountActions(w.provider_logs);
+
+  Network net;
+  PartyId host = net.RegisterParty("H");
+  std::vector<PartyId> provider_ids;
+  std::vector<std::unique_ptr<Rng>> rng_store;
+  std::vector<Rng*> provider_rngs;
+  for (uint64_t k = 0; k < providers; ++k) {
+    provider_ids.push_back(net.RegisterParty("P" + std::to_string(k + 1)));
+    rng_store.push_back(std::make_unique<Rng>(seed * 100 + k));
+    provider_rngs.push_back(rng_store.back().get());
+  }
+  Rng host_rng(seed), pair_secret(seed + 1);
+
+  Protocol4Config config;
+  config.h = window;
+  LinkInfluenceProtocol protocol(&net, host, provider_ids, config);
+  PSI_ASSIGN_OR_RETURN(LinkInfluence result,
+                       protocol.Run(w.graph, actions, w.provider_logs,
+                                    &host_rng, provider_rngs, &pair_secret));
+
+  std::ofstream out(dir + "/influence.txt");
+  if (!out) return Status::NotFound("cannot write influence.txt");
+  out << "# from to p\n";
+  for (size_t e = 0; e < result.pairs.size(); ++e) {
+    out << result.pairs[e].from << " " << result.pairs[e].to << " "
+        << result.p[e] << "\n";
+  }
+  std::printf("learned %zu link strengths -> %s/influence.txt\n",
+              result.p.size(), dir.c_str());
+  std::printf("%s", net.Report().ToString().c_str());
+
+  // Optional verification against the unified log.
+  std::ifstream probe(dir + "/unified.log");
+  if (probe) {
+    PSI_ASSIGN_OR_RETURN(ActionLog unified,
+                         LoadActionLog(dir + "/unified.log"));
+    PSI_ASSIGN_OR_RETURN(LinkInfluence plain,
+                         ComputeLinkInfluence(unified, w.graph.arcs(),
+                                              w.graph.num_nodes(), window));
+    PSI_ASSIGN_OR_RETURN(double mae, MeanAbsoluteError(result, plain));
+    std::printf("verification vs unified.log: MAE %.2e\n", mae);
+  }
+  return Status::OK();
+}
+
+Status RunScores(const Flags& flags) {
+  std::string dir = flags.GetString("dir", "");
+  if (dir.empty()) return Status::InvalidArgument("--dir is required");
+  uint64_t tau = flags.GetInt("tau", 12);
+  uint64_t providers = flags.GetInt("providers", 3);
+  uint64_t seed = flags.GetInt("seed", 1);
+
+  PSI_ASSIGN_OR_RETURN(LoadedWorld w, LoadWorld(dir, providers));
+  uint64_t actions = CountActions(w.provider_logs);
+
+  Network net;
+  PartyId host = net.RegisterParty("H");
+  std::vector<PartyId> provider_ids;
+  std::vector<std::unique_ptr<Rng>> rng_store;
+  std::vector<Rng*> provider_rngs;
+  for (uint64_t k = 0; k < providers; ++k) {
+    provider_ids.push_back(net.RegisterParty("P" + std::to_string(k + 1)));
+    rng_store.push_back(std::make_unique<Rng>(seed * 100 + k));
+    provider_rngs.push_back(rng_store.back().get());
+  }
+  Rng host_rng(seed), pair_secret(seed + 1);
+
+  SecureScoreConfig config;
+  config.protocol6.rsa_bits = 512;
+  config.protocol6.encryption = Protocol6Config::EncryptionMode::kHybrid;
+  config.score_options.tau = tau;
+  SecureUserScoreProtocol pipeline(&net, host, provider_ids, config);
+  PSI_ASSIGN_OR_RETURN(auto scores,
+                       pipeline.Run(w.graph, actions, w.provider_logs,
+                                    &host_rng, provider_rngs, &pair_secret));
+
+  std::printf("top influencers (tau = %llu):\n",
+              static_cast<unsigned long long>(tau));
+  std::printf("%8s %12s %10s\n", "user", "score", "actions");
+  for (NodeId u : TopKUsers(scores, 15)) {
+    std::printf("%8u %12.3f %10llu\n", u, scores[u],
+                static_cast<unsigned long long>(
+                    pipeline.revealed_action_counts()[u]));
+  }
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: psi_cli <generate|learn|scores> [--flag value ...]\n"
+                 "see the header comment of tools/psi_cli.cc\n");
+    return 2;
+  }
+  std::string command = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (!flags.ok()) return Fail(flags.status());
+  Status status = Status::InvalidArgument("unknown command: " + command);
+  if (command == "generate") status = RunGenerate(*flags);
+  if (command == "learn") status = RunLearn(*flags);
+  if (command == "scores") status = RunScores(*flags);
+  return status.ok() ? 0 : Fail(status);
+}
+
+}  // namespace
+}  // namespace psi
+
+int main(int argc, char** argv) { return psi::Main(argc, argv); }
