@@ -51,7 +51,7 @@ RunResult RunOnce(size_t m, size_t n, size_t arcs, size_t actions,
   params.n = n;
   params.q = r.q;
   params.log_s = r.modulus_bits;
-  r.analytic = Protocol4Costs(params);
+  r.analytic = Protocol4Costs(params).ValueOrDie();
   return r;
 }
 
@@ -76,6 +76,10 @@ void PrintComparison(const RunResult& r, size_t m, size_t n) {
               " model(m^2+m+7)=%zu | plaintext max err=%.1e\n",
               r.measured.num_rounds, r.measured.num_messages, m * m + m + 7,
               r.max_error);
+  std::printf("MS payload=%" PRIu64 " wire=%" PRIu64
+              " bytes | model enveloped=%" PRIu64 " bytes (+29/msg framing)\n",
+              r.measured.num_payload_bytes, r.measured.num_bytes,
+              EnvelopedBits(r.analytic) / 8);
 }
 
 void Run() {

@@ -52,7 +52,7 @@ RunResult RunOnce(size_t m, size_t actions, size_t rsa_bits,
     }
     params.actions_per_provider[k] = owned.size();
   }
-  r.analytic = Protocol6Costs(params);
+  r.analytic = Protocol6Costs(params).ValueOrDie();
   return r;
 }
 
@@ -80,6 +80,11 @@ void Run() {
                 " bytes\n",
                 r.measured.num_rounds, r.measured.num_messages, 3 * m,
                 r.measured.num_bytes, r.analytic.ms_bits / 8);
+    std::printf("MS payload=%" PRIu64 " wire=%" PRIu64
+                " bytes | model enveloped=%" PRIu64
+                " bytes (+29/msg framing)\n",
+                r.measured.num_payload_bytes, r.measured.num_bytes,
+                EnvelopedBits(r.analytic) / 8);
   }
 
   std::printf("\n[Sweep 2] ciphertext size z (m=2, A=20): MS scales with z\n");

@@ -67,7 +67,8 @@ Status BinaryReader::ReadVarU64(uint64_t* out) {
 Status BinaryReader::ReadBytes(std::vector<uint8_t>* out) {
   uint64_t len;
   PSI_RETURN_NOT_OK(ReadVarU64(&len));
-  if (pos_ + len > size_) {
+  // Compare against the remaining span: `pos_ + len` could wrap uint64.
+  if (len > size_ - pos_) {
     return Status::SerializationError("byte string length exceeds buffer");
   }
   out->assign(data_ + pos_, data_ + pos_ + len);
@@ -78,12 +79,49 @@ Status BinaryReader::ReadBytes(std::vector<uint8_t>* out) {
 Status BinaryReader::ReadString(std::string* out) {
   uint64_t len;
   PSI_RETURN_NOT_OK(ReadVarU64(&len));
-  if (pos_ + len > size_) {
+  if (len > size_ - pos_) {
     return Status::SerializationError("string length exceeds buffer");
   }
   out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
   pos_ += len;
   return Status::OK();
+}
+
+Status BinaryReader::ReadCount(uint64_t* out, size_t min_bytes_per_element) {
+  uint64_t count;
+  PSI_RETURN_NOT_OK(ReadVarU64(&count));
+  const uint64_t min_bytes = min_bytes_per_element == 0 ? 1 : min_bytes_per_element;
+  if (count > remaining() / min_bytes) {
+    return Status::SerializationError("element count exceeds buffer capacity");
+  }
+  *out = count;
+  return Status::OK();
+}
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  static const Crc32Table table;
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table.entries[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 }  // namespace psi

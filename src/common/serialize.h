@@ -46,6 +46,9 @@ class BinaryWriter {
     buf_.insert(buf_.end(), data, data + len);
   }
 
+  /// Pre-allocates capacity for `n` bytes.
+  void Reserve(size_t n) { buf_.reserve(n); }
+
   const std::vector<uint8_t>& buffer() const { return buf_; }
   std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }
@@ -76,6 +79,13 @@ class BinaryReader {
   Status ReadBytes(std::vector<uint8_t>* out);
   Status ReadString(std::string* out);
 
+  /// \brief Reads a varint element count and rejects any value that could not
+  /// possibly fit in the remaining bytes (each element occupies at least
+  /// `min_bytes_per_element`). Decoders must use this before `resize(count)`
+  /// on peer-controlled buffers, so a corrupted length prefix cannot trigger
+  /// a multi-gigabyte allocation.
+  Status ReadCount(uint64_t* out, size_t min_bytes_per_element = 1);
+
   /// \brief Bytes not yet consumed.
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
@@ -87,6 +97,15 @@ class BinaryReader {
   size_t size_;
   size_t pos_ = 0;
 };
+
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `len`
+/// bytes. Used by the network envelope to detect corrupted frames before any
+/// payload decoding happens.
+uint32_t Crc32(const uint8_t* data, size_t len);
+
+inline uint32_t Crc32(const std::vector<uint8_t>& buf) {
+  return Crc32(buf.data(), buf.size());
+}
 
 }  // namespace psi
 

@@ -7,6 +7,11 @@ namespace psi {
 
 namespace {
 
+// Step tags for ProtocolId::kHomomorphicSum frames.
+constexpr uint16_t kStepPublishKey = 1;
+constexpr uint16_t kStepCiphertexts = 2;
+constexpr uint16_t kStepAggregate = 3;
+
 std::vector<uint8_t> PackBigUInts(const std::vector<BigUInt>& v) {
   BinaryWriter w;
   w.WriteVarU64(v.size());
@@ -18,9 +23,10 @@ Status UnpackBigUInts(const std::vector<uint8_t>& buf,
                       std::vector<BigUInt>* out) {
   BinaryReader r(buf);
   uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  PSI_RETURN_NOT_OK(r.ReadCount(&count));
   out->resize(count);
   for (auto& x : *out) PSI_RETURN_NOT_OK(ReadBigUInt(&r, &x));
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
   return Status::OK();
 }
 
@@ -58,14 +64,23 @@ Result<BatchedModularShares> HomomorphicSumProtocol::Run(
     WriteBigUInt(&w, keys.public_key.n);
     auto packed = w.TakeBuffer();
     for (size_t k = 1; k < m; ++k) {
-      PSI_RETURN_NOT_OK(network_->Send(players_[0], players_[k], packed));
+      PSI_RETURN_NOT_OK(network_->SendFramed(players_[0], players_[k],
+                                             ProtocolId::kHomomorphicSum,
+                                             kStepPublishKey, packed));
     }
   }
   std::vector<PaillierPublicKey> pub(m);
   for (size_t k = 1; k < m; ++k) {
-    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(players_[k], players_[0]));
+    PSI_ASSIGN_OR_RETURN(
+        auto buf, network_->RecvValidated(players_[k], players_[0],
+                                          ProtocolId::kHomomorphicSum,
+                                          kStepPublishKey));
     BinaryReader r(buf);
     PSI_RETURN_NOT_OK(ReadBigUInt(&r, &pub[k].n));
+    if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
+    if (pub[k].n.IsZero()) {
+      return Status::ProtocolError("received a zero Paillier modulus");
+    }
     pub[k].n_squared = pub[k].n * pub[k].n;
   }
 
@@ -78,8 +93,10 @@ Result<BatchedModularShares> HomomorphicSumProtocol::Run(
           cts[c],
           PaillierEncrypt(pub[k], BigUInt(inputs[k][c]), player_rngs[k]));
     }
-    PSI_RETURN_NOT_OK(
-        network_->Send(players_[k], players_[1], PackBigUInts(cts)));
+    PSI_RETURN_NOT_OK(network_->SendFramed(players_[k], players_[1],
+                                           ProtocolId::kHomomorphicSum,
+                                           kStepCiphertexts,
+                                           PackBigUInts(cts)));
   }
 
   // P2 aggregates homomorphically, folding in its own inputs and the mask.
@@ -94,7 +111,10 @@ Result<BatchedModularShares> HomomorphicSumProtocol::Run(
                         player_rngs[1]));
   }
   for (size_t k = 2; k < m; ++k) {
-    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(players_[1], players_[k]));
+    PSI_ASSIGN_OR_RETURN(
+        auto buf, network_->RecvValidated(players_[1], players_[k],
+                                          ProtocolId::kHomomorphicSum,
+                                          kStepCiphertexts));
     std::vector<BigUInt> cts;
     PSI_RETURN_NOT_OK(UnpackBigUInts(buf, &cts));
     if (cts.size() != count) {
@@ -107,11 +127,19 @@ Result<BatchedModularShares> HomomorphicSumProtocol::Run(
 
   // Round 3: the aggregate travels to P1, who decrypts and adds its input.
   network_->BeginRound(label_prefix + "HSum.Step3 (P2 -> P1: aggregate)");
-  PSI_RETURN_NOT_OK(
-      network_->Send(players_[1], players_[0], PackBigUInts(aggregate)));
-  PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(players_[0], players_[1]));
+  PSI_RETURN_NOT_OK(network_->SendFramed(players_[1], players_[0],
+                                         ProtocolId::kHomomorphicSum,
+                                         kStepAggregate,
+                                         PackBigUInts(aggregate)));
+  PSI_ASSIGN_OR_RETURN(
+      auto buf, network_->RecvValidated(players_[0], players_[1],
+                                        ProtocolId::kHomomorphicSum,
+                                        kStepAggregate));
   std::vector<BigUInt> received;
   PSI_RETURN_NOT_OK(UnpackBigUInts(buf, &received));
+  if (received.size() != count) {
+    return Status::ProtocolError("aggregate vector length mismatch");
+  }
 
   BatchedModularShares out;
   out.s1.resize(count);

@@ -25,19 +25,42 @@ Result<std::vector<double>> JointUniformBatch(Network* network, PartyId a,
     for (double x : v) w.WriteDouble(x);
     return w.TakeBuffer();
   };
-  PSI_RETURN_NOT_OK(network->Send(a, b, pack(contrib_a)));
-  PSI_RETURN_NOT_OK(network->Send(b, a, pack(contrib_b)));
+  constexpr uint16_t kStepExchange = 1;
+  PSI_RETURN_NOT_OK(network->SendFramed(a, b, ProtocolId::kJointRandom,
+                                        kStepExchange, pack(contrib_a)));
+  PSI_RETURN_NOT_OK(network->SendFramed(b, a, ProtocolId::kJointRandom,
+                                        kStepExchange, pack(contrib_b)));
 
-  // Both parties now hold both contributions; each computes the same values.
-  // (We deliver both messages to keep mailboxes clean.)
-  PSI_ASSIGN_OR_RETURN(auto at_b, network->Recv(b, a));
-  PSI_ASSIGN_OR_RETURN(auto at_a, network->Recv(a, b));
-  (void)at_b;
-  (void)at_a;
+  // Each party combines its own draw with the contribution it received.
+  PSI_ASSIGN_OR_RETURN(auto at_b,
+                       network->RecvValidated(b, a, ProtocolId::kJointRandom,
+                                              kStepExchange));
+  PSI_ASSIGN_OR_RETURN(auto at_a,
+                       network->RecvValidated(a, b, ProtocolId::kJointRandom,
+                                              kStepExchange));
+  auto unpack = [count](const std::vector<uint8_t>& buf,
+                        std::vector<double>* out) {
+    if (buf.size() != count * 8) {
+      return Status::ProtocolError("joint-random contribution size mismatch");
+    }
+    BinaryReader r(buf);
+    out->resize(count);
+    for (auto& x : *out) PSI_RETURN_NOT_OK(r.ReadDouble(&x));
+    return Status::OK();
+  };
+  std::vector<double> recv_at_b, recv_at_a;
+  PSI_RETURN_NOT_OK(unpack(at_b, &recv_at_b));
+  PSI_RETURN_NOT_OK(unpack(at_a, &recv_at_a));
 
   std::vector<double> joint(count);
   for (size_t i = 0; i < count; ++i) {
-    double sum = contrib_a[i] + contrib_b[i];
+    // Party a computes from (contrib_a, recv_at_a) and party b from
+    // (recv_at_b, contrib_b); the validated transport makes them agree.
+    double sum = contrib_a[i] + recv_at_a[i];
+    double sum_b = recv_at_b[i] + contrib_b[i];
+    if (sum != sum_b) {
+      return Status::ProtocolError("joint-random contributions diverged");
+    }
     joint[i] = sum - std::floor(sum);  // Fractional part: still uniform.
     if (joint[i] <= 0.0 || joint[i] >= 1.0) joint[i] = 0.5;  // FP edge guard.
   }

@@ -16,6 +16,10 @@ uint64_t PairKey(NodeId i, NodeId j) {
   return (static_cast<uint64_t>(i) << 32) | j;
 }
 
+// Step tags for ProtocolId::kLinkInfluence frames.
+constexpr uint16_t kStepOmega = 2;          // H -> P_k: Omega_E'.
+constexpr uint16_t kStepMaskedShares = 7;   // P1/P2 -> H: masked shares.
+
 std::vector<uint8_t> PackArcs(const std::vector<Arc>& arcs) {
   BinaryWriter w;
   w.WriteVarU64(arcs.size());
@@ -29,12 +33,13 @@ std::vector<uint8_t> PackArcs(const std::vector<Arc>& arcs) {
 Status UnpackArcs(const std::vector<uint8_t>& buf, std::vector<Arc>* out) {
   BinaryReader r(buf);
   uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  PSI_RETURN_NOT_OK(r.ReadCount(&count, /*min_bytes_per_element=*/8));
   out->resize(count);
   for (auto& a : *out) {
     PSI_RETURN_NOT_OK(r.ReadU32(&a.from));
     PSI_RETURN_NOT_OK(r.ReadU32(&a.to));
   }
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
   return Status::OK();
 }
 
@@ -49,9 +54,10 @@ Status UnpackBigUInts(const std::vector<uint8_t>& buf,
                       std::vector<BigUInt>* out) {
   BinaryReader r(buf);
   uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  PSI_RETURN_NOT_OK(r.ReadCount(&count));
   out->resize(count);
   for (auto& x : *out) PSI_RETURN_NOT_OK(ReadBigUInt(&r, &x));
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
   return Status::OK();
 }
 
@@ -65,9 +71,10 @@ std::vector<uint8_t> PackBigInts(const std::vector<BigInt>& v) {
 Status UnpackBigInts(const std::vector<uint8_t>& buf, std::vector<BigInt>* out) {
   BinaryReader r(buf);
   uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  PSI_RETURN_NOT_OK(r.ReadCount(&count));
   out->resize(count);
   for (auto& x : *out) PSI_RETURN_NOT_OK(ReadBigInt(&r, &x));
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
   return Status::OK();
 }
 
@@ -168,13 +175,23 @@ Result<LinkInfluence> LinkInfluenceProtocol::Run(
   network_->BeginRound("P4.Step2 (H -> P_k: Omega_E')");
   auto packed_omega = PackArcs(omega);
   for (size_t k = 0; k < m; ++k) {
-    PSI_RETURN_NOT_OK(network_->Send(host_, providers_[k], packed_omega));
+    PSI_RETURN_NOT_OK(network_->SendFramed(host_, providers_[k],
+                                           ProtocolId::kLinkInfluence,
+                                           kStepOmega, packed_omega));
   }
-  // Every provider decodes the arc set it received.
+  // Every provider decodes and validates the arc set it received.
   std::vector<std::vector<Arc>> provider_omega(m);
   for (size_t k = 0; k < m; ++k) {
-    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(providers_[k], host_));
+    PSI_ASSIGN_OR_RETURN(
+        auto buf, network_->RecvValidated(providers_[k], host_,
+                                          ProtocolId::kLinkInfluence,
+                                          kStepOmega));
     PSI_RETURN_NOT_OK(UnpackArcs(buf, &provider_omega[k]));
+    for (const Arc& a : provider_omega[k]) {
+      if (a.from >= n || a.to >= n) {
+        return Status::ProtocolError("Omega_E' arc endpoint out of range");
+      }
+    }
   }
 
   // ---- Local: provider counter vectors over [a | numerators]. ----
@@ -245,13 +262,24 @@ Result<LinkInfluence> LinkInfluenceProtocol::Run(
     masked2[c] = BigInt(mask_of_counter(c)) * shares.s2[c];
   }
   network_->BeginRound("P4.Steps7-8 (masked shares -> H)");
-  PSI_RETURN_NOT_OK(
-      network_->Send(providers_[0], host_, PackBigUInts(masked1)));
-  PSI_RETURN_NOT_OK(network_->Send(providers_[1], host_, PackBigInts(masked2)));
+  PSI_RETURN_NOT_OK(network_->SendFramed(providers_[0], host_,
+                                         ProtocolId::kLinkInfluence,
+                                         kStepMaskedShares,
+                                         PackBigUInts(masked1)));
+  PSI_RETURN_NOT_OK(network_->SendFramed(providers_[1], host_,
+                                         ProtocolId::kLinkInfluence,
+                                         kStepMaskedShares,
+                                         PackBigInts(masked2)));
 
   // ---- Step 9 (local at H): recombine and divide. ----
-  PSI_ASSIGN_OR_RETURN(auto buf1, network_->Recv(host_, providers_[0]));
-  PSI_ASSIGN_OR_RETURN(auto buf2, network_->Recv(host_, providers_[1]));
+  PSI_ASSIGN_OR_RETURN(
+      auto buf1, network_->RecvValidated(host_, providers_[0],
+                                         ProtocolId::kLinkInfluence,
+                                         kStepMaskedShares));
+  PSI_ASSIGN_OR_RETURN(
+      auto buf2, network_->RecvValidated(host_, providers_[1],
+                                         ProtocolId::kLinkInfluence,
+                                         kStepMaskedShares));
   std::vector<BigUInt> host_m1;
   std::vector<BigInt> host_m2;
   PSI_RETURN_NOT_OK(UnpackBigUInts(buf1, &host_m1));

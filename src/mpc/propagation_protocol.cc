@@ -11,6 +11,12 @@ namespace psi {
 
 namespace {
 
+// Step tags for ProtocolId::kPropagationGraph frames.
+constexpr uint16_t kStepOmega = 2;       // H -> P_k: Omega_E'.
+constexpr uint16_t kStepPublicKey = 3;   // H -> P_k: RSA public key.
+constexpr uint16_t kStepDeltas = 4;      // P_k -> P1: E(Delta) bundles.
+constexpr uint16_t kStepAggregate = 10;  // P1 -> H: concatenated bundles.
+
 std::vector<uint8_t> PackArcs(const std::vector<Arc>& arcs) {
   BinaryWriter w;
   w.WriteVarU64(arcs.size());
@@ -24,12 +30,13 @@ std::vector<uint8_t> PackArcs(const std::vector<Arc>& arcs) {
 Status UnpackArcs(const std::vector<uint8_t>& buf, std::vector<Arc>* out) {
   BinaryReader r(buf);
   uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  PSI_RETURN_NOT_OK(r.ReadCount(&count, /*min_bytes_per_element=*/8));
   out->resize(count);
   for (auto& a : *out) {
     PSI_RETURN_NOT_OK(r.ReadU32(&a.from));
     PSI_RETURN_NOT_OK(r.ReadU32(&a.to));
   }
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
   return Status::OK();
 }
 
@@ -44,6 +51,10 @@ Status UnpackPublicKey(const std::vector<uint8_t>& buf, RsaPublicKey* out) {
   BinaryReader r(buf);
   PSI_RETURN_NOT_OK(ReadBigUInt(&r, &out->n));
   PSI_RETURN_NOT_OK(ReadBigUInt(&r, &out->e));
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
+  if (out->n.IsZero() || out->e.IsZero()) {
+    return Status::ProtocolError("received a degenerate RSA public key");
+  }
   return Status::OK();
 }
 
@@ -87,7 +98,7 @@ Status DecryptDeltaVector(const RsaPrivateKey& key, BinaryReader* r,
   PSI_RETURN_NOT_OK(r->ReadU8(&mode));
   if (mode == kModePerInteger) {
     uint64_t count;
-    PSI_RETURN_NOT_OK(r->ReadVarU64(&count));
+    PSI_RETURN_NOT_OK(r->ReadCount(&count));
     delta->resize(count);
     for (auto& d : *delta) {
       BigUInt c;
@@ -103,7 +114,7 @@ Status DecryptDeltaVector(const RsaPrivateKey& key, BinaryReader* r,
     PSI_ASSIGN_OR_RETURN(auto plain, HybridDecrypt(key, ct));
     BinaryReader pr(plain);
     uint64_t count;
-    PSI_RETURN_NOT_OK(pr.ReadVarU64(&count));
+    PSI_RETURN_NOT_OK(pr.ReadCount(&count));
     delta->resize(count);
     for (auto& d : *delta) PSI_RETURN_NOT_OK(pr.ReadVarU64(&d));
   } else {
@@ -142,12 +153,23 @@ Result<Protocol6Output> PropagationGraphProtocol::Run(
   network_->BeginRound("P6.Step2 (H -> P_k: Omega_E')");
   auto packed_omega = PackArcs(omega);
   for (size_t k = 0; k < m; ++k) {
-    PSI_RETURN_NOT_OK(network_->Send(host_, providers_[k], packed_omega));
+    PSI_RETURN_NOT_OK(network_->SendFramed(host_, providers_[k],
+                                           ProtocolId::kPropagationGraph,
+                                           kStepOmega, packed_omega));
   }
+  const size_t n = host_graph.num_nodes();
   std::vector<std::vector<Arc>> provider_omega(m);
   for (size_t k = 0; k < m; ++k) {
-    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(providers_[k], host_));
+    PSI_ASSIGN_OR_RETURN(
+        auto buf, network_->RecvValidated(providers_[k], host_,
+                                          ProtocolId::kPropagationGraph,
+                                          kStepOmega));
     PSI_RETURN_NOT_OK(UnpackArcs(buf, &provider_omega[k]));
+    for (const Arc& a : provider_omega[k]) {
+      if (a.from >= n || a.to >= n) {
+        return Status::ProtocolError("Omega_E' arc endpoint out of range");
+      }
+    }
   }
 
   // ---- Step 3: H publishes its public key. ----
@@ -156,11 +178,16 @@ Result<Protocol6Output> PropagationGraphProtocol::Run(
   network_->BeginRound("P6.Step3 (H -> P_k: public key)");
   auto packed_key = PackPublicKey(keys.public_key);
   for (size_t k = 0; k < m; ++k) {
-    PSI_RETURN_NOT_OK(network_->Send(host_, providers_[k], packed_key));
+    PSI_RETURN_NOT_OK(network_->SendFramed(host_, providers_[k],
+                                           ProtocolId::kPropagationGraph,
+                                           kStepPublicKey, packed_key));
   }
   std::vector<RsaPublicKey> provider_keys(m);
   for (size_t k = 0; k < m; ++k) {
-    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(providers_[k], host_));
+    PSI_ASSIGN_OR_RETURN(
+        auto buf, network_->RecvValidated(providers_[k], host_,
+                                          ProtocolId::kPropagationGraph,
+                                          kStepPublicKey));
     PSI_RETURN_NOT_OK(UnpackPublicKey(buf, &provider_keys[k]));
   }
 
@@ -194,23 +221,33 @@ Result<Protocol6Output> PropagationGraphProtocol::Run(
     }
     provider_payloads[k] = w.TakeBuffer();
     if (k != 0) {
-      PSI_RETURN_NOT_OK(
-          network_->Send(providers_[k], providers_[0], provider_payloads[k]));
+      PSI_RETURN_NOT_OK(network_->SendFramed(providers_[k], providers_[0],
+                                             ProtocolId::kPropagationGraph,
+                                             kStepDeltas,
+                                             provider_payloads[k]));
     }
   }
 
   // P1 collects and forwards; it sees only ciphertext bytes.
   std::vector<uint8_t> aggregate = provider_payloads[0];
   for (size_t k = 1; k < m; ++k) {
-    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(providers_[0], providers_[k]));
+    PSI_ASSIGN_OR_RETURN(
+        auto buf, network_->RecvValidated(providers_[0], providers_[k],
+                                          ProtocolId::kPropagationGraph,
+                                          kStepDeltas));
     views_.p1_relayed_bytes += buf.size();
     aggregate.insert(aggregate.end(), buf.begin(), buf.end());
   }
   network_->BeginRound("P6.Step10 (P_1 -> H: all E(Delta))");
-  PSI_RETURN_NOT_OK(network_->Send(providers_[0], host_, std::move(aggregate)));
+  PSI_RETURN_NOT_OK(network_->SendFramed(providers_[0], host_,
+                                         ProtocolId::kPropagationGraph,
+                                         kStepAggregate, aggregate));
 
   // ---- Steps 11-12: H decrypts and assembles the PG(alpha). ----
-  PSI_ASSIGN_OR_RETURN(auto all, network_->Recv(host_, providers_[0]));
+  PSI_ASSIGN_OR_RETURN(
+      auto all, network_->RecvValidated(host_, providers_[0],
+                                        ProtocolId::kPropagationGraph,
+                                        kStepAggregate));
   BinaryReader reader(all);
 
   Protocol6Output out;
@@ -218,7 +255,9 @@ Result<Protocol6Output> PropagationGraphProtocol::Run(
   size_t providers_read = 0;
   while (providers_read < m) {
     uint64_t action_count;
-    PSI_RETURN_NOT_OK(reader.ReadVarU64(&action_count));
+    // Each action entry is at least 5 bytes (action id + mode byte).
+    PSI_RETURN_NOT_OK(reader.ReadCount(&action_count,
+                                       /*min_bytes_per_element=*/5));
     for (uint64_t i = 0; i < action_count; ++i) {
       uint32_t action;
       std::vector<uint64_t> delta;

@@ -26,18 +26,34 @@ Result<double> SecureDivisionProtocol::Run(uint64_t a1, uint64_t a2, Rng* rng1,
     w.WriteDouble(v);
     return w.TakeBuffer();
   };
-  PSI_RETURN_NOT_OK(network_->Send(p1_, host_, pack(r * static_cast<double>(a1))));
-  PSI_RETURN_NOT_OK(network_->Send(p2_, host_, pack(r * static_cast<double>(a2))));
+  constexpr uint16_t kStepMaskedToHost = 3;
+  PSI_RETURN_NOT_OK(network_->SendFramed(p1_, host_,
+                                         ProtocolId::kSecureDivision,
+                                         kStepMaskedToHost,
+                                         pack(r * static_cast<double>(a1))));
+  PSI_RETURN_NOT_OK(network_->SendFramed(p2_, host_,
+                                         ProtocolId::kSecureDivision,
+                                         kStepMaskedToHost,
+                                         pack(r * static_cast<double>(a2))));
 
   // Steps 5-9 (local at H).
   auto read_double = [](const std::vector<uint8_t>& buf) -> Result<double> {
+    if (buf.size() != 8) {
+      return Status::ProtocolError("masked value must be exactly one double");
+    }
     BinaryReader reader(buf);
     double v;
     PSI_RETURN_NOT_OK(reader.ReadDouble(&v));
     return v;
   };
-  PSI_ASSIGN_OR_RETURN(auto buf1, network_->Recv(host_, p1_));
-  PSI_ASSIGN_OR_RETURN(auto buf2, network_->Recv(host_, p2_));
+  PSI_ASSIGN_OR_RETURN(
+      auto buf1, network_->RecvValidated(host_, p1_,
+                                         ProtocolId::kSecureDivision,
+                                         kStepMaskedToHost));
+  PSI_ASSIGN_OR_RETURN(
+      auto buf2, network_->RecvValidated(host_, p2_,
+                                         ProtocolId::kSecureDivision,
+                                         kStepMaskedToHost));
   PSI_ASSIGN_OR_RETURN(views_.masked_a1, read_double(buf1));
   PSI_ASSIGN_OR_RETURN(views_.masked_a2, read_double(buf2));
 

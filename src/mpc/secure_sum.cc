@@ -8,6 +8,12 @@ namespace psi {
 
 namespace {
 
+// Step tags for ProtocolId::kSecureSum frames (Protocols 1-2).
+constexpr uint16_t kStepPairwiseShares = 2;   // Prot1 step 2.
+constexpr uint16_t kStepFoldIntoP2 = 4;       // Prot1 steps 4-5.
+constexpr uint16_t kStepToThirdParty = 3;     // Prot2 steps 3-4.
+constexpr uint16_t kStepComparisonBits = 6;   // Prot2 step 6.
+
 std::vector<uint8_t> PackShareVector(const std::vector<BigUInt>& shares) {
   BinaryWriter w;
   w.WriteVarU64(shares.size());
@@ -19,7 +25,7 @@ Status UnpackShareVector(const std::vector<uint8_t>& buf,
                          std::vector<BigUInt>* out) {
   BinaryReader r(buf);
   uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  PSI_RETURN_NOT_OK(r.ReadCount(&count));
   out->resize(count);
   for (auto& s : *out) PSI_RETURN_NOT_OK(ReadBigUInt(&r, &s));
   if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
@@ -47,6 +53,9 @@ Status UnpackBits(const std::vector<uint8_t>& buf, std::vector<bool>* out) {
   BinaryReader r(buf);
   uint64_t count;
   PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
+  if (count > static_cast<uint64_t>(r.remaining()) * 8) {
+    return Status::SerializationError("bit count exceeds buffer capacity");
+  }
   out->assign(count, false);
   uint8_t acc = 0;
   for (size_t i = 0; i < count; ++i) {
@@ -141,8 +150,10 @@ Result<BatchedModularShares> SecureSumProtocol::RunProtocol1(
   for (size_t k = 0; k < m; ++k) {
     for (size_t j = 0; j < m; ++j) {
       if (j == k) continue;
-      PSI_RETURN_NOT_OK(network_->Send(players_[k], players_[j],
-                                       PackShareVector(outgoing[k][j])));
+      PSI_RETURN_NOT_OK(network_->SendFramed(players_[k], players_[j],
+                                             ProtocolId::kSecureSum,
+                                             kStepPairwiseShares,
+                                             PackShareVector(outgoing[k][j])));
     }
   }
 
@@ -153,7 +164,10 @@ Result<BatchedModularShares> SecureSumProtocol::RunProtocol1(
     sums[j] = outgoing[j][j];
     for (size_t k = 0; k < m; ++k) {
       if (k == j) continue;
-      PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(players_[j], players_[k]));
+      PSI_ASSIGN_OR_RETURN(
+          auto buf, network_->RecvValidated(players_[j], players_[k],
+                                            ProtocolId::kSecureSum,
+                                            kStepPairwiseShares));
       std::vector<BigUInt> received;
       PSI_RETURN_NOT_OK(UnpackShareVector(buf, &received));
       if (received.size() != count) {
@@ -169,13 +183,21 @@ Result<BatchedModularShares> SecureSumProtocol::RunProtocol1(
   // Steps 4-5 (one round): players P3..Pm fold their sums into P2's.
   network_->BeginRound(label_prefix + "Prot1.Step4 (fold into P2)");
   for (size_t j = 2; j < m; ++j) {
-    PSI_RETURN_NOT_OK(
-        network_->Send(players_[j], players_[1], PackShareVector(sums[j])));
+    PSI_RETURN_NOT_OK(network_->SendFramed(players_[j], players_[1],
+                                           ProtocolId::kSecureSum,
+                                           kStepFoldIntoP2,
+                                           PackShareVector(sums[j])));
   }
   for (size_t j = 2; j < m; ++j) {
-    PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(players_[1], players_[j]));
+    PSI_ASSIGN_OR_RETURN(
+        auto buf, network_->RecvValidated(players_[1], players_[j],
+                                          ProtocolId::kSecureSum,
+                                          kStepFoldIntoP2));
     std::vector<BigUInt> received;
     PSI_RETURN_NOT_OK(UnpackShareVector(buf, &received));
+    if (received.size() != count) {
+      return Status::ProtocolError("folded share vector length mismatch");
+    }
     for (size_t c = 0; c < count; ++c) {
       sums[1][c] = ModAdd(sums[1][c], received[c], S);
     }
@@ -220,14 +242,24 @@ Result<BatchedIntegerShares> SecureSumProtocol::RunProtocol2(
 
   // Steps 3-4 (one round): both vectors travel to the third party.
   network_->BeginRound(label_prefix + "Prot2.Steps3-4 (to third party)");
-  PSI_RETURN_NOT_OK(
-      network_->Send(players_[0], third_party_, PackShareVector(sent_s1)));
-  PSI_RETURN_NOT_OK(network_->Send(players_[1], third_party_,
-                                   PackShareVector(sent_masked_s2)));
+  PSI_RETURN_NOT_OK(network_->SendFramed(players_[0], third_party_,
+                                         ProtocolId::kSecureSum,
+                                         kStepToThirdParty,
+                                         PackShareVector(sent_s1)));
+  PSI_RETURN_NOT_OK(network_->SendFramed(players_[1], third_party_,
+                                         ProtocolId::kSecureSum,
+                                         kStepToThirdParty,
+                                         PackShareVector(sent_masked_s2)));
 
   // Step 5 (local at the third party): y = s1 + s2 + r, compare with S.
-  PSI_ASSIGN_OR_RETURN(auto buf1, network_->Recv(third_party_, players_[0]));
-  PSI_ASSIGN_OR_RETURN(auto buf2, network_->Recv(third_party_, players_[1]));
+  PSI_ASSIGN_OR_RETURN(
+      auto buf1, network_->RecvValidated(third_party_, players_[0],
+                                         ProtocolId::kSecureSum,
+                                         kStepToThirdParty));
+  PSI_ASSIGN_OR_RETURN(
+      auto buf2, network_->RecvValidated(third_party_, players_[1],
+                                         ProtocolId::kSecureSum,
+                                         kStepToThirdParty));
   std::vector<BigUInt> tp_s1, tp_masked;
   PSI_RETURN_NOT_OK(UnpackShareVector(buf1, &tp_s1));
   PSI_RETURN_NOT_OK(UnpackShareVector(buf2, &tp_masked));
@@ -244,10 +276,18 @@ Result<BatchedIntegerShares> SecureSumProtocol::RunProtocol2(
 
   // Step 6 (one round): the answers return to P2 (one bit per counter).
   network_->BeginRound(label_prefix + "Prot2.Step6 (comparison bits)");
-  PSI_RETURN_NOT_OK(network_->Send(third_party_, players_[1], PackBits(bits)));
-  PSI_ASSIGN_OR_RETURN(auto bits_buf, network_->Recv(players_[1], third_party_));
+  PSI_RETURN_NOT_OK(network_->SendFramed(third_party_, players_[1],
+                                         ProtocolId::kSecureSum,
+                                         kStepComparisonBits, PackBits(bits)));
+  PSI_ASSIGN_OR_RETURN(
+      auto bits_buf, network_->RecvValidated(players_[1], third_party_,
+                                             ProtocolId::kSecureSum,
+                                             kStepComparisonBits));
   std::vector<bool> received_bits;
   PSI_RETURN_NOT_OK(UnpackBits(bits_buf, &received_bits));
+  if (received_bits.size() != count) {
+    return Status::ProtocolError("comparison bit vector length mismatch");
+  }
 
   // Steps 7-8 (local at P2): undo the permutation, apply the correction.
   BatchedIntegerShares out;

@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <numeric>
 
-#include "common/logging.h"
+#include "net/envelope.h"
 
 namespace psi {
 
@@ -44,8 +44,12 @@ CostSummary Summarize(std::vector<CostRow> rows) {
 
 }  // namespace
 
-CostSummary Protocol4Costs(const Protocol4CostParams& p) {
-  PSI_CHECK(p.m >= 2) << "Protocol 4 requires at least two providers";
+Result<CostSummary> Protocol4Costs(const Protocol4CostParams& p) {
+  if (p.m < 2) {
+    return Status::InvalidArgument(
+        "Protocol 4 cost model requires at least two providers (m = " +
+        std::to_string(p.m) + ")");
+  }
   const uint64_t nq = p.n + p.q;
   std::vector<CostRow> rows = {
       // H distributes the obfuscated arc index set Omega_E'.
@@ -69,9 +73,13 @@ CostSummary Protocol4Costs(const Protocol4CostParams& p) {
   return Summarize(std::move(rows));
 }
 
-CostSummary Protocol6Costs(const Protocol6CostParams& p) {
-  PSI_CHECK(p.actions_per_provider.size() == p.m)
-      << "need one action count per provider";
+Result<CostSummary> Protocol6Costs(const Protocol6CostParams& p) {
+  if (p.m == 0 || p.actions_per_provider.size() != p.m) {
+    return Status::InvalidArgument(
+        "Protocol 6 cost model needs one action count per provider (m = " +
+        std::to_string(p.m) + ", got " +
+        std::to_string(p.actions_per_provider.size()) + ")");
+  }
   const uint64_t total_actions =
       std::accumulate(p.actions_per_provider.begin(),
                       p.actions_per_provider.end(), uint64_t{0});
@@ -98,6 +106,10 @@ CostSummary Protocol6Costs(const Protocol6CostParams& p) {
   s.nm += 1;
   s.ms_bits += p.q * p.z * total_actions;
   return s;
+}
+
+uint64_t EnvelopedBits(const CostSummary& s) {
+  return s.ms_bits + s.nm * kEnvelopeOverheadBytes * 8;
 }
 
 }  // namespace psi

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace psi {
 
 /// \brief One analytic row: a communication round of a protocol.
@@ -43,7 +45,8 @@ struct Protocol4CostParams {
 
 /// \brief Table 1: the eight communication rounds of Protocol 4.
 /// NR = 8, NM = m^2 + m + 7, MS = O(m^2 (n+q) log S).
-CostSummary Protocol4Costs(const Protocol4CostParams& p);
+/// Returns InvalidArgument if p.m < 2 (Protocol 4 needs two providers).
+Result<CostSummary> Protocol4Costs(const Protocol4CostParams& p);
 
 /// \brief Parameters of the Protocol 6 cost model (Table 2).
 struct Protocol6CostParams {
@@ -57,7 +60,14 @@ struct Protocol6CostParams {
 
 /// \brief Table 2: the four communication rounds of Protocol 6.
 /// NR = 4, NM = 3m, MS <= 2 q z A bits (dominant terms).
-CostSummary Protocol6Costs(const Protocol6CostParams& p);
+/// Returns InvalidArgument unless p.actions_per_provider has exactly p.m
+/// entries (and p.m >= 1).
+Result<CostSummary> Protocol6Costs(const Protocol6CostParams& p);
+
+/// \brief Wire bits of a summary when every analytic message is carried in a
+/// typed envelope (net/envelope.h): ms_bits plus the fixed per-message
+/// framing overhead.
+uint64_t EnvelopedBits(const CostSummary& s);
 
 }  // namespace psi
 

@@ -1,0 +1,136 @@
+// Deterministic fault injection for the multiparty transport.
+//
+// FaultyNetwork wraps the lossless Network simulator and — driven by a
+// seeded RNG so every schedule is reproducible — drops, duplicates,
+// reorders, corrupts (single bit flip), truncates or delays frames matched
+// by a FaultPlan, and can silence a party entirely after a chosen round
+// (crash fault). It also keeps pristine copies of every transmitted frame,
+// which is what serves Network::RecvValidated's bounded retransmission
+// requests.
+//
+// The chaos invariant the test suite enforces on top of this layer
+// (docs/FAULTS.md): a protocol driver run under ANY fault schedule either
+// produces exactly the fault-free result or terminates promptly with a
+// clean non-OK Status — never a wrong answer, a crash, or a hang.
+
+#ifndef PSI_NET_FAULT_H_
+#define PSI_NET_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "net/network.h"
+
+namespace psi {
+
+/// \brief Wildcard PartyId accepted by FaultRule matchers.
+inline constexpr PartyId kAnyParty = 0xFFFFFFFFu;
+
+/// \brief What a firing fault rule does to a frame in flight.
+enum class FaultKind : uint8_t {
+  kDrop = 0,      ///< Frame vanishes.
+  kDuplicate,     ///< Frame is delivered twice.
+  kReorder,       ///< Frame jumps ahead of the channel queue.
+  kCorrupt,       ///< One random bit of the frame is flipped.
+  kTruncate,      ///< Frame is cut to a random proper prefix.
+  kDelay,         ///< Frame is held until the next BeginRound.
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// \brief One fault matcher: which messages it applies to and how often.
+struct FaultRule {
+  FaultKind kind = FaultKind::kDrop;
+  PartyId from = kAnyParty;   ///< Sender filter (kAnyParty matches all).
+  PartyId to = kAnyParty;     ///< Receiver filter.
+  uint64_t round_min = 0;     ///< First round index the rule is active in.
+  uint64_t round_max = UINT64_MAX;  ///< Last active round index.
+  double probability = 1.0;   ///< Per-matching-message firing probability.
+  uint32_t max_triggers = UINT32_MAX;  ///< Firing budget across the run.
+};
+
+/// \brief A party that stops participating after a given round: all its
+/// subsequent transmissions (including retransmissions) are lost.
+struct CrashSpec {
+  PartyId party = kAnyParty;
+  uint64_t after_round = 0;  ///< Crashed in every round index > after_round.
+};
+
+/// \brief A complete, seeded fault schedule.
+struct FaultPlan {
+  uint64_t seed = 0;  ///< Seeds the coin flips and mutation choices.
+  std::vector<FaultRule> rules;
+  std::optional<CrashSpec> crash;
+
+  /// \brief The all-zero plan: FaultyNetwork behaves exactly like Network.
+  static FaultPlan None() { return FaultPlan{}; }
+
+  /// \brief A randomized chaos schedule: 1-3 rules with random kinds,
+  /// probabilities and budgets, plus an occasional crash of one of
+  /// `num_parties` parties. Fully determined by `seed`.
+  static FaultPlan RandomPlan(uint64_t seed, size_t num_parties);
+};
+
+/// \brief Counters of what the fault layer actually did.
+struct FaultStats {
+  uint64_t transmitted = 0;    ///< Frames that entered the fault pipeline.
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+  uint64_t corrupted = 0;
+  uint64_t truncated = 0;
+  uint64_t delayed = 0;
+  uint64_t crash_dropped = 0;  ///< Sends silenced by a crash.
+  uint64_t retransmits_served = 0;
+  uint64_t retransmits_refused = 0;
+
+  uint64_t injected() const {
+    return dropped + duplicated + reordered + corrupted + truncated + delayed;
+  }
+};
+
+/// \brief Network with deterministic, plan-driven fault injection.
+class FaultyNetwork : public Network {
+ public:
+  explicit FaultyNetwork(FaultPlan plan);
+
+  /// \brief Releases delayed frames into their mailboxes, then opens the
+  /// round as usual.
+  void BeginRound(std::string label) override;
+
+  /// \brief Serves RecvValidated's retransmission requests from the pristine
+  /// frame store, re-running the fault pipeline on the retransmitted copy
+  /// (a retransmission travels the same unreliable wire). Refused when the
+  /// sender has crashed or the frame was never sent.
+  Result<std::vector<uint8_t>> RequestRetransmit(PartyId to, PartyId from,
+                                                 uint64_t seq) override;
+
+  const FaultStats& fault_stats() const { return stats_; }
+
+ protected:
+  Status Transmit(PartyId from, PartyId to,
+                  std::vector<uint8_t> frame) override;
+
+ private:
+  bool Crashed(PartyId party) const;
+  /// Index into plan_.rules of the first rule that matches and fires, or -1.
+  int Decide(PartyId from, PartyId to);
+  std::vector<uint8_t> Mutate(FaultKind kind, std::vector<uint8_t> frame);
+
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+  std::vector<uint32_t> triggers_used_;  // Parallel to plan_.rules.
+  // Pristine copies of every frame, per channel, for retransmission.
+  std::map<ChannelKey, std::vector<std::vector<uint8_t>>> sent_log_;
+  // Frames held by kDelay until the next BeginRound.
+  std::vector<std::pair<ChannelKey, std::vector<uint8_t>>> delayed_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_NET_FAULT_H_

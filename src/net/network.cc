@@ -1,24 +1,28 @@
 #include "net/network.h"
 
 #include <cstdio>
+#include <utility>
 
 namespace psi {
 
 std::string TrafficReport::ToString() const {
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof(line), "%-44s %12s %14s\n", "communication round",
-                "messages", "bytes");
+  std::snprintf(line, sizeof(line), "%-44s %12s %14s %14s\n",
+                "communication round", "messages", "bytes", "payload");
   out += line;
   for (const auto& r : rounds) {
-    std::snprintf(line, sizeof(line), "%-44s %12llu %14llu\n", r.label.c_str(),
+    std::snprintf(line, sizeof(line), "%-44s %12llu %14llu %14llu\n",
+                  r.label.c_str(),
                   static_cast<unsigned long long>(r.num_messages),
-                  static_cast<unsigned long long>(r.num_bytes));
+                  static_cast<unsigned long long>(r.num_bytes),
+                  static_cast<unsigned long long>(r.num_payload_bytes));
     out += line;
   }
-  std::snprintf(line, sizeof(line), "%-44s %12llu %14llu  (NR=%llu)\n",
+  std::snprintf(line, sizeof(line), "%-44s %12llu %14llu %14llu  (NR=%llu)\n",
                 "TOTAL", static_cast<unsigned long long>(num_messages),
                 static_cast<unsigned long long>(num_bytes),
+                static_cast<unsigned long long>(num_payload_bytes),
                 static_cast<unsigned long long>(num_rounds));
   out += line;
   return out;
@@ -31,10 +35,22 @@ PartyId Network::RegisterParty(std::string name) {
 }
 
 void Network::BeginRound(std::string label) {
-  rounds_.push_back(RoundStats{std::move(label), 0, 0});
+  rounds_.push_back(RoundStats{std::move(label), 0, 0, 0});
 }
 
-Status Network::Send(PartyId from, PartyId to, std::vector<uint8_t> payload) {
+const std::string& Network::CurrentRoundLabel() const {
+  static const std::string kNoRound = "<no round>";
+  return rounds_.empty() ? kNoRound : rounds_.back().label;
+}
+
+std::string Network::DescribeChannel(PartyId from, PartyId to) const {
+  auto name = [this](PartyId id) {
+    return ValidParty(id) ? names_[id] : "party#" + std::to_string(id);
+  };
+  return name(from) + " -> " + name(to);
+}
+
+Status Network::CheckSendArgs(PartyId from, PartyId to) const {
   if (!ValidParty(from) || !ValidParty(to)) {
     return Status::InvalidArgument("Send: unknown party id");
   }
@@ -44,11 +60,48 @@ Status Network::Send(PartyId from, PartyId to, std::vector<uint8_t> payload) {
   if (rounds_.empty()) {
     return Status::FailedPrecondition("Send before any BeginRound");
   }
-  rounds_.back().num_messages += 1;
-  rounds_.back().num_bytes += payload.size();
-  bytes_sent_by_[from] += payload.size();
-  mailboxes_[{from, to}].push_back(std::move(payload));
   return Status::OK();
+}
+
+void Network::MeterSend(PartyId from, size_t wire_bytes,
+                        size_t payload_bytes) {
+  rounds_.back().num_messages += 1;
+  rounds_.back().num_bytes += wire_bytes;
+  rounds_.back().num_payload_bytes += payload_bytes;
+  bytes_sent_by_[from] += wire_bytes;
+}
+
+void Network::Deliver(PartyId from, PartyId to, std::vector<uint8_t> frame,
+                      bool front) {
+  auto& box = mailboxes_[{from, to}];
+  if (front) {
+    box.push_front(std::move(frame));
+  } else {
+    box.push_back(std::move(frame));
+  }
+}
+
+Status Network::Transmit(PartyId from, PartyId to,
+                         std::vector<uint8_t> frame) {
+  Deliver(from, to, std::move(frame));
+  return Status::OK();
+}
+
+Status Network::Send(PartyId from, PartyId to, std::vector<uint8_t> payload) {
+  PSI_RETURN_NOT_OK(CheckSendArgs(from, to));
+  MeterSend(from, payload.size(), payload.size());
+  return Transmit(from, to, std::move(payload));
+}
+
+Status Network::SendFramed(PartyId from, PartyId to, ProtocolId protocol_id,
+                           uint16_t step,
+                           const std::vector<uint8_t>& payload) {
+  PSI_RETURN_NOT_OK(CheckSendArgs(from, to));
+  uint64_t seq = send_seq_[{from, to}]++;
+  std::vector<uint8_t> frame =
+      SealEnvelope(protocol_id, step, from, seq, payload);
+  MeterSend(from, frame.size(), payload.size());
+  return Transmit(from, to, std::move(frame));
 }
 
 Result<std::vector<uint8_t>> Network::Recv(PartyId to, PartyId from) {
@@ -58,11 +111,94 @@ Result<std::vector<uint8_t>> Network::Recv(PartyId to, PartyId from) {
   auto it = mailboxes_.find({from, to});
   if (it == mailboxes_.end() || it->second.empty()) {
     return Status::FailedPrecondition(
-        "Recv: no pending message from " + names_[from] + " to " + names_[to]);
+        "Recv: no pending message on " + DescribeChannel(from, to) +
+        " in round '" + CurrentRoundLabel() + "'");
   }
   std::vector<uint8_t> payload = std::move(it->second.front());
   it->second.pop_front();
   return payload;
+}
+
+Result<std::vector<uint8_t>> Network::RequestRetransmit(PartyId to,
+                                                        PartyId from,
+                                                        uint64_t seq) {
+  (void)seq;
+  return Status::FailedPrecondition(
+      "retransmission unavailable on the lossless network for " +
+      DescribeChannel(from, to));
+}
+
+Result<std::vector<uint8_t>> Network::RecvValidated(PartyId to, PartyId from,
+                                                    ProtocolId protocol_id,
+                                                    uint16_t step,
+                                                    const RecvOptions& opts) {
+  if (!ValidParty(from) || !ValidParty(to)) {
+    return Status::InvalidArgument("RecvValidated: unknown party id");
+  }
+  const ChannelKey key{from, to};
+  uint64_t& expected = recv_seq_[key];
+  auto& stash = stash_[key];
+  std::string last_error = "no message pending";
+  // Attempts meter transport work (receives, retransmission requests,
+  // damaged frames). Stale duplicates are free to discard but bounded
+  // separately so a flooded mailbox still terminates.
+  int attempts = 0;
+  int discards = 0;
+  while (attempts < opts.max_attempts && discards < 64) {
+    std::vector<uint8_t> frame;
+    auto sit = stash.find(expected);
+    if (sit != stash.end()) {
+      frame = std::move(sit->second);
+      stash.erase(sit);
+    } else if (HasPending(to, from)) {
+      PSI_ASSIGN_OR_RETURN(frame, Recv(to, from));
+      ++attempts;
+    } else {
+      ++attempts;
+      auto retry = RequestRetransmit(to, from, expected);
+      if (!retry.ok()) {
+        last_error = retry.status().message();
+        continue;
+      }
+      frame = std::move(retry).MoveValue();
+    }
+    auto env = OpenEnvelope(frame);
+    if (!env.ok()) {
+      last_error = env.status().message();
+      continue;
+    }
+    if (env->seq < expected) {
+      ++discards;  // Stale duplicate of an already-accepted frame.
+      continue;
+    }
+    if (env->seq > expected) {
+      stash.emplace(env->seq, std::move(frame));  // Arrived early.
+      ++discards;
+      continue;
+    }
+    if (env->sender != from) {
+      last_error = "frame claims sender " + std::to_string(env->sender);
+      continue;
+    }
+    if (env->protocol_id != protocol_id || env->step != step) {
+      // An intact, in-sequence frame of the wrong type is not a transport
+      // fault: the peer is running a different protocol or step. No number
+      // of retransmissions can fix that.
+      return Status::ProtocolError(
+          std::string("RecvValidated: expected ") +
+          ProtocolIdToString(protocol_id) + " step " + std::to_string(step) +
+          " but got " + ProtocolIdToString(env->protocol_id) + " step " +
+          std::to_string(env->step) + " on " + DescribeChannel(from, to) +
+          " in round '" + CurrentRoundLabel() + "'");
+    }
+    ++expected;
+    return std::move(env->payload);
+  }
+  return Status::ProtocolError(
+      "RecvValidated: giving up on " + DescribeChannel(from, to) +
+      " in round '" + CurrentRoundLabel() + "' after " +
+      std::to_string(attempts) + " attempt(s); last transport error: " +
+      last_error);
 }
 
 bool Network::HasPending(PartyId to, PartyId from) const {
@@ -76,6 +212,24 @@ size_t Network::PendingCount() const {
   return count;
 }
 
+std::string Network::Drain(PartyId to) {
+  std::string summary;
+  for (auto& [key, box] : mailboxes_) {
+    if (key.second != to || box.empty()) continue;
+    if (!summary.empty()) summary += "; ";
+    summary += std::to_string(box.size()) + " message(s) from " +
+               (ValidParty(key.first) ? names_[key.first]
+                                      : std::to_string(key.first)) +
+               " (sizes:";
+    for (const auto& frame : box) {
+      summary += " " + std::to_string(frame.size());
+    }
+    summary += " bytes)";
+    box.clear();
+  }
+  return summary;
+}
+
 TrafficReport Network::Report() const {
   TrafficReport report;
   report.rounds = rounds_;
@@ -83,6 +237,7 @@ TrafficReport Network::Report() const {
   for (const auto& r : rounds_) {
     report.num_messages += r.num_messages;
     report.num_bytes += r.num_bytes;
+    report.num_payload_bytes += r.num_payload_bytes;
   }
   return report;
 }

@@ -6,6 +6,17 @@
 // can only read messages addressed to it) and meters every transfer, which
 // is what reproduces the paper's communication-cost evaluation:
 //   NR = communication rounds, NM = total messages, MS = total bytes.
+//
+// Two transports coexist:
+//  * Send/Recv — raw byte buffers, exactly as metered by the Table benches'
+//    analytic model (payload bytes == wire bytes).
+//  * SendFramed/RecvValidated — typed envelopes (net/envelope.h) with
+//    per-channel sequence numbers and CRC validation. RecvValidated never
+//    hands a corrupt, truncated, duplicated, reordered or mistagged frame to
+//    a protocol decoder: it discards stale duplicates, stashes early frames,
+//    requests bounded retransmission of missing/damaged ones, and returns a
+//    clean ProtocolError when the channel cannot be repaired. Fault
+//    injection layers (net/fault.h) override the virtual hooks.
 
 #ifndef PSI_NET_NETWORK_H_
 #define PSI_NET_NETWORK_H_
@@ -17,6 +28,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/envelope.h"
 
 namespace psi {
 
@@ -27,24 +39,36 @@ using PartyId = uint32_t;
 struct RoundStats {
   std::string label;       ///< e.g. "P4.step2: H sends Omega_E'".
   uint64_t num_messages = 0;
-  uint64_t num_bytes = 0;
+  uint64_t num_bytes = 0;          ///< Wire bytes (framing included).
+  uint64_t num_payload_bytes = 0;  ///< Application payload bytes only.
 };
 
 /// \brief Aggregate traffic report (the NR/NM/MS of Section 7.1).
 struct TrafficReport {
   uint64_t num_rounds = 0;
   uint64_t num_messages = 0;
-  uint64_t num_bytes = 0;
+  uint64_t num_bytes = 0;          ///< Wire bytes (framing included).
+  uint64_t num_payload_bytes = 0;  ///< Raw payload bytes (pre-envelope MS).
   std::vector<RoundStats> rounds;
 
   /// \brief Multi-line rendering shaped like the paper's Tables 1-2.
   std::string ToString() const;
 };
 
+/// \brief Bounds for one RecvValidated call.
+struct RecvOptions {
+  /// Maximum transport attempts (initial receive plus retransmission
+  /// requests plus damaged-frame retries) before giving up with a
+  /// ProtocolError. This is the per-message deadline counter: a protocol
+  /// driver can never hang waiting for a frame that will not arrive.
+  int max_attempts = 6;
+};
+
 /// \brief Simulated message-passing network with exact byte metering.
 class Network {
  public:
   Network() = default;
+  virtual ~Network() = default;
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -58,14 +82,42 @@ class Network {
   /// BeginRound are accounted to this round. Rounds model the paper's
   /// definition: a stage where players send messages and the protocol
   /// proceeds only once all are delivered.
-  void BeginRound(std::string label);
+  virtual void BeginRound(std::string label);
 
-  /// \brief Sends `payload` from `from` to `to` (metered).
+  /// \brief Sends a raw `payload` from `from` to `to` (metered).
   Status Send(PartyId from, PartyId to, std::vector<uint8_t> payload);
 
+  /// \brief Seals `payload` in a typed envelope (protocol id, step tag,
+  /// sender, per-channel sequence number, CRC) and sends it. Wire bytes are
+  /// payload size plus the fixed kEnvelopeOverheadBytes.
+  Status SendFramed(PartyId from, PartyId to, ProtocolId protocol_id,
+                    uint16_t step, const std::vector<uint8_t>& payload);
+
   /// \brief Receives the oldest pending message sent by `from` to `to`.
-  /// Returns FailedPrecondition if none is pending.
-  Result<std::vector<uint8_t>> Recv(PartyId to, PartyId from);
+  /// Returns FailedPrecondition (naming both parties and the current round)
+  /// if none is pending.
+  virtual Result<std::vector<uint8_t>> Recv(PartyId to, PartyId from);
+
+  /// \brief Receives the next in-sequence framed message on (from -> to),
+  /// validating magic, checksum, sender, protocol id and step tag before
+  /// returning the payload. Damaged or missing frames trigger bounded
+  /// retransmission requests (served only by fault-injection networks that
+  /// keep pristine copies); stale duplicates are discarded; early frames are
+  /// stashed for later calls. Exhausting `opts.max_attempts` yields a
+  /// ProtocolError — never a hang and never a corrupt payload.
+  Result<std::vector<uint8_t>> RecvValidated(PartyId to, PartyId from,
+                                             ProtocolId protocol_id,
+                                             uint16_t step,
+                                             const RecvOptions& opts = {});
+
+  /// \brief Asks the transport to re-deliver the framed message with
+  /// sequence number `seq` on channel (from -> to). The lossless base
+  /// network keeps no copies (nothing is ever lost), so it reports
+  /// FailedPrecondition; FaultyNetwork overrides this with a retransmission
+  /// store.
+  virtual Result<std::vector<uint8_t>> RequestRetransmit(PartyId to,
+                                                         PartyId from,
+                                                         uint64_t seq);
 
   /// \brief True if a message from `from` to `to` is pending.
   bool HasPending(PartyId to, PartyId from) const;
@@ -73,24 +125,66 @@ class Network {
   /// \brief Total number of undelivered messages (0 after a clean protocol).
   size_t PendingCount() const;
 
+  /// \brief Discards every undelivered message addressed to `to` and returns
+  /// a human-readable summary of what was dropped ("2 message(s) from P1
+  /// (sizes: 34, 12 bytes)"), or the empty string if the mailboxes were
+  /// already clean. Tests assert `Drain(id) == ""` to get a useful diff.
+  std::string Drain(PartyId to);
+
   /// \brief Traffic so far.
   TrafficReport Report() const;
 
-  /// \brief Bytes sent by one party across all rounds.
+  /// \brief Bytes sent by one party across all rounds (wire bytes).
   uint64_t BytesSentBy(PartyId id) const;
 
-  /// \brief Resets all metering (mailboxes must be empty).
+  /// \brief Resets all metering (mailboxes must be empty). Sequence
+  /// counters survive: they are transport state shared with the peers, not
+  /// metering.
   Status ResetMetering();
 
- private:
+ protected:
+  using ChannelKey = std::pair<PartyId, PartyId>;  // (from, to).
+
+  /// \brief Argument validation shared by both send paths.
+  Status CheckSendArgs(PartyId from, PartyId to) const;
+
+  /// \brief Accounts one transmission to the current round.
+  void MeterSend(PartyId from, size_t wire_bytes, size_t payload_bytes);
+
+  /// \brief Enqueues a frame without metering. `front` models reordering.
+  void Deliver(PartyId from, PartyId to, std::vector<uint8_t> frame,
+               bool front = false);
+
+  /// \brief The delivery hook both send paths funnel through after
+  /// validation and metering. Fault-injection layers override this to drop,
+  /// duplicate, reorder, corrupt, truncate or delay the frame.
+  virtual Status Transmit(PartyId from, PartyId to,
+                          std::vector<uint8_t> frame);
+
   bool ValidParty(PartyId id) const { return id < names_.size(); }
 
+  /// \brief Index of the current round (0 before any BeginRound).
+  uint64_t RoundIndex() const {
+    return rounds_.empty() ? 0 : rounds_.size() - 1;
+  }
+
+  /// \brief Label of the current round, or "<no round>" before the first.
+  const std::string& CurrentRoundLabel() const;
+
+  /// \brief "P1 -> H" with names when known, ids otherwise.
+  std::string DescribeChannel(PartyId from, PartyId to) const;
+
+ private:
   std::vector<std::string> names_;
   // (from, to) -> FIFO of payloads.
-  std::map<std::pair<PartyId, PartyId>, std::deque<std::vector<uint8_t>>>
-      mailboxes_;
+  std::map<ChannelKey, std::deque<std::vector<uint8_t>>> mailboxes_;
   std::vector<RoundStats> rounds_;
   std::vector<uint64_t> bytes_sent_by_;
+  // Framed-transport state: next sequence number to assign / to accept,
+  // plus frames that arrived ahead of sequence.
+  std::map<ChannelKey, uint64_t> send_seq_;
+  std::map<ChannelKey, uint64_t> recv_seq_;
+  std::map<ChannelKey, std::map<uint64_t, std::vector<uint8_t>>> stash_;
 };
 
 }  // namespace psi

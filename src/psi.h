@@ -51,6 +51,8 @@
 #include "mpc/secure_user_score.h"    // IWYU pragma: export
 #include "mpc/segmented_influence.h"  // IWYU pragma: export
 #include "net/cost_model.h"           // IWYU pragma: export
+#include "net/envelope.h"             // IWYU pragma: export
+#include "net/fault.h"                // IWYU pragma: export
 #include "net/network.h"              // IWYU pragma: export
 #include "privacy/gain_experiment.h"  // IWYU pragma: export
 #include "privacy/leakage.h"          // IWYU pragma: export

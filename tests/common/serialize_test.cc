@@ -123,6 +123,132 @@ TEST(SerializeTest, RemainingTracksPosition) {
   EXPECT_EQ(r.remaining(), 8u);
 }
 
+TEST(SerializeTest, TruncatedVarintFailsAtEveryCutPoint) {
+  BinaryWriter w;
+  w.WriteVarU64(std::numeric_limits<uint64_t>::max());  // 10-byte encoding.
+  const auto& full = w.buffer();
+  for (size_t len = 0; len < full.size(); ++len) {
+    std::vector<uint8_t> cut(full.begin(),
+                             full.begin() + static_cast<ptrdiff_t>(len));
+    BinaryReader r(cut);
+    uint64_t v;
+    EXPECT_EQ(r.ReadVarU64(&v).code(), StatusCode::kSerializationError)
+        << "len=" << len;
+  }
+}
+
+TEST(SerializeTest, ReadCountRejectsImpossibleCounts) {
+  // A one-byte buffer claiming 2^64 - 1 elements: ReadCount must reject it
+  // without attempting any allocation.
+  BinaryWriter w;
+  w.WriteVarU64(std::numeric_limits<uint64_t>::max());
+  w.WriteU8(0);
+  BinaryReader r(w.buffer());
+  uint64_t count;
+  EXPECT_EQ(r.ReadCount(&count).code(), StatusCode::kSerializationError);
+}
+
+TEST(SerializeTest, ReadCountScalesByElementSize) {
+  // 4 elements follow, 8 bytes each.
+  BinaryWriter w;
+  w.WriteVarU64(4);
+  for (uint64_t i = 0; i < 4; ++i) w.WriteU64(i);
+
+  {
+    BinaryReader r(w.buffer());
+    uint64_t count;
+    ASSERT_TRUE(r.ReadCount(&count, /*min_bytes_per_element=*/8).ok());
+    EXPECT_EQ(count, 4u);
+  }
+  {
+    // The same prefix is impossible if each element needs at least 9 bytes.
+    BinaryReader r(w.buffer());
+    uint64_t count;
+    EXPECT_EQ(r.ReadCount(&count, /*min_bytes_per_element=*/9).code(),
+              StatusCode::kSerializationError);
+  }
+}
+
+TEST(SerializeTest, ReadCountAcceptsExactFit) {
+  BinaryWriter w;
+  w.WriteVarU64(3);
+  w.WriteRaw(reinterpret_cast<const uint8_t*>("abc"), 3);
+  BinaryReader r(w.buffer());
+  uint64_t count;
+  ASSERT_TRUE(r.ReadCount(&count).ok());
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+TEST(SerializeTest, OverlongLengthPrefixOnBytesFails) {
+  // Length prefix exceeds the remaining buffer by one byte.
+  BinaryWriter w;
+  w.WriteVarU64(5);
+  w.WriteRaw(reinterpret_cast<const uint8_t*>("abcd"), 4);
+  BinaryReader r(w.buffer());
+  std::vector<uint8_t> out;
+  EXPECT_EQ(r.ReadBytes(&out).code(), StatusCode::kSerializationError);
+}
+
+TEST(SerializeTest, EveryReadFailsCleanlyOnRandomTruncations) {
+  // Build one buffer with every field type, then replay every possible
+  // truncation. No read may succeed past the cut or touch memory out of
+  // bounds (ASan job enforces the latter).
+  BinaryWriter w;
+  w.WriteU8(1);
+  w.WriteU16(2);
+  w.WriteU32(3);
+  w.WriteU64(4);
+  w.WriteVarU64(1u << 20);
+  w.WriteString("payload");
+  w.WriteBytes({9, 8, 7});
+  const auto& full = w.buffer();
+
+  for (size_t len = 0; len <= full.size(); ++len) {
+    std::vector<uint8_t> cut(full.begin(),
+                             full.begin() + static_cast<ptrdiff_t>(len));
+    BinaryReader r(cut);
+    uint8_t u8;
+    uint16_t u16;
+    uint32_t u32;
+    uint64_t u64, var;
+    std::string s;
+    std::vector<uint8_t> b;
+    Status st = r.ReadU8(&u8);
+    if (st.ok()) st = r.ReadU16(&u16);
+    if (st.ok()) st = r.ReadU32(&u32);
+    if (st.ok()) st = r.ReadU64(&u64);
+    if (st.ok()) st = r.ReadVarU64(&var);
+    if (st.ok()) st = r.ReadString(&s);
+    if (st.ok()) st = r.ReadBytes(&b);
+    if (len < full.size()) {
+      EXPECT_EQ(st.code(), StatusCode::kSerializationError) << "len=" << len;
+    } else {
+      EXPECT_TRUE(st.ok());
+      EXPECT_TRUE(r.AtEnd());
+    }
+  }
+}
+
+TEST(SerializeTest, Crc32KnownVectors) {
+  // The standard CRC-32 check value.
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(check), 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  const char* a = "a";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(a), 1), 0xE8B7BE43u);
+}
+
+TEST(SerializeTest, Crc32DistinguishesNearbyBuffers) {
+  std::vector<uint8_t> buf(64, 0x5a);
+  uint32_t base = Crc32(buf);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    auto flipped = buf;
+    flipped[i] ^= 1;
+    EXPECT_NE(Crc32(flipped), base) << "byte " << i;
+  }
+}
+
 TEST(SerializeTest, NegativeAndSpecialDoubles) {
   BinaryWriter w;
   w.WriteDouble(-0.0);

@@ -1,0 +1,245 @@
+// Chaos harness: Protocols 4 and 6 under hundreds of seeded fault schedules.
+//
+// The invariant (docs/FAULTS.md): with the fault layer between the drivers
+// and the wire, a protocol run under ANY fault schedule either produces
+// exactly the result of the fault-free run, or terminates with a clean
+// non-OK Status within the bounded retransmission budget. It never returns
+// a wrong answer, crashes, or deadlocks. The fault layer draws from its own
+// RNG, so protocol randomness streams are identical across runs and a
+// completed faulty run must match the baseline bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+#include "actionlog/generator.h"
+#include "actionlog/partition.h"
+#include "graph/generators.h"
+#include "mpc/link_influence_protocol.h"
+#include "mpc/propagation_protocol.h"
+#include "net/cost_model.h"
+#include "net/fault.h"
+
+namespace psi {
+namespace {
+
+constexpr uint64_t kNumChaosSeeds = 200;
+
+// Static world: graph, cascades and provider partition are built once; only
+// the network and the (re-seeded) party RNGs differ between runs.
+struct WorldData {
+  size_t m = 0;
+  size_t n = 0;
+  size_t actions = 0;
+  std::unique_ptr<SocialGraph> graph;
+  ActionLog log;
+  std::vector<ActionLog> provider_logs;
+};
+
+WorldData MakeWorldData(size_t m, size_t n, size_t arcs, size_t actions,
+                        uint64_t seed) {
+  WorldData w;
+  w.m = m;
+  w.n = n;
+  w.actions = actions;
+  Rng rng(seed);
+  w.graph = std::make_unique<SocialGraph>(
+      ErdosRenyiArcs(&rng, n, arcs).ValueOrDie());
+  auto truth = GroundTruthInfluence::Random(&rng, *w.graph, 0.1, 0.7);
+  CascadeParams params;
+  params.num_actions = actions;
+  params.seeds_per_action = 2;
+  w.log = GenerateCascades(&rng, *w.graph, truth, params).ValueOrDie();
+  w.provider_logs = ExclusivePartition(&rng, w.log, m).ValueOrDie();
+  return w;
+}
+
+struct Parties {
+  PartyId host;
+  std::vector<PartyId> providers;
+};
+
+Parties RegisterParties(Network* net, size_t m) {
+  Parties p;
+  p.host = net->RegisterParty("H");
+  for (size_t k = 0; k < m; ++k) {
+    p.providers.push_back(net->RegisterParty("P" + std::to_string(k + 1)));
+  }
+  return p;
+}
+
+// Runs Protocol 4 on `net` with fixed RNG seeds (identical across calls, so
+// any two completed runs must agree exactly). Optionally reports the modulus
+// size and |Omega_E'| for the cost-model comparison.
+Result<LinkInfluence> RunP4(const WorldData& w, Network* net,
+                            size_t* log_s = nullptr, size_t* q = nullptr) {
+  Parties parties = RegisterParties(net, w.m);
+  Protocol4Config cfg;
+  cfg.h = 4;
+  std::vector<std::unique_ptr<Rng>> rngs;
+  std::vector<Rng*> rng_ptrs;
+  for (size_t k = 0; k < w.m; ++k) {
+    rngs.push_back(std::make_unique<Rng>(1000 + k));
+    rng_ptrs.push_back(rngs.back().get());
+  }
+  Rng host_rng(501), pair_secret(502);
+  LinkInfluenceProtocol proto(net, parties.host, parties.providers, cfg);
+  auto result = proto.Run(*w.graph, w.actions, w.provider_logs, &host_rng,
+                          rng_ptrs, &pair_secret);
+  if (log_s != nullptr) *log_s = proto.modulus().BitLength();
+  if (q != nullptr) *q = proto.views().omega.size();
+  return result;
+}
+
+Result<Protocol6Output> RunP6(const WorldData& w, Network* net) {
+  Parties parties = RegisterParties(net, w.m);
+  Protocol6Config cfg;
+  cfg.rsa_bits = 384;
+  cfg.encryption = Protocol6Config::EncryptionMode::kHybrid;
+  cfg.obfuscation_factor = 1.5;
+  std::vector<std::unique_ptr<Rng>> rngs;
+  std::vector<Rng*> rng_ptrs;
+  for (size_t k = 0; k < w.m; ++k) {
+    rngs.push_back(std::make_unique<Rng>(2000 + k));
+    rng_ptrs.push_back(rngs.back().get());
+  }
+  Rng host_rng(601);
+  PropagationGraphProtocol proto(net, parties.host, parties.providers, cfg);
+  return proto.Run(*w.graph, w.actions, w.provider_logs, &host_rng, rng_ptrs);
+}
+
+// Canonical flat encoding of a Protocol 6 output for exact comparison.
+std::vector<std::array<uint64_t, 4>> CanonicalArcs(const Protocol6Output& out) {
+  std::vector<std::array<uint64_t, 4>> arcs;
+  for (size_t a = 0; a < out.graphs.size(); ++a) {
+    for (NodeId v = 0; v < out.graphs[a].num_nodes(); ++v) {
+      for (const auto& arc : out.graphs[a].OutArcs(v)) {
+        arcs.push_back({a, static_cast<uint64_t>(v),
+                        static_cast<uint64_t>(arc.to), arc.delta_t});
+      }
+    }
+  }
+  std::sort(arcs.begin(), arcs.end());
+  return arcs;
+}
+
+TEST(ChaosTest, Protocol4SurvivesRandomFaultSchedules) {
+  WorldData w = MakeWorldData(/*m=*/3, /*n=*/16, /*arcs=*/50, /*actions=*/20,
+                              /*seed=*/77);
+  Network clean;
+  auto baseline = RunP4(w, &clean).ValueOrDie();
+
+  uint64_t ok_runs = 0, failed_runs = 0, faults_injected = 0;
+  for (uint64_t seed = 0; seed < kNumChaosSeeds; ++seed) {
+    FaultyNetwork net(FaultPlan::RandomPlan(seed, /*num_parties=*/w.m + 1));
+    auto result = RunP4(w, &net);
+    faults_injected += net.fault_stats().injected();
+    if (result.ok()) {
+      ++ok_runs;
+      const LinkInfluence& got = result.ValueOrDie();
+      ASSERT_EQ(got.p.size(), baseline.p.size()) << "seed=" << seed;
+      for (size_t e = 0; e < got.p.size(); ++e) {
+        // Bitwise equality: the fault layer must never perturb the result.
+        ASSERT_EQ(got.p[e], baseline.p[e]) << "seed=" << seed << " arc=" << e;
+      }
+    } else {
+      ++failed_runs;
+      // A clean, described error — not a crash, not a hang.
+      ASSERT_FALSE(result.status().message().empty()) << "seed=" << seed;
+    }
+  }
+  EXPECT_EQ(ok_runs + failed_runs, kNumChaosSeeds);
+  // The schedule generator must actually exercise both outcomes.
+  EXPECT_GT(faults_injected, 0u);
+  EXPECT_GT(ok_runs, 0u);
+  EXPECT_GT(failed_runs, 0u);
+}
+
+TEST(ChaosTest, Protocol6SurvivesRandomFaultSchedules) {
+  WorldData w = MakeWorldData(/*m=*/3, /*n=*/14, /*arcs=*/40, /*actions=*/8,
+                              /*seed=*/88);
+  Network clean;
+  auto baseline = CanonicalArcs(RunP6(w, &clean).ValueOrDie());
+
+  uint64_t ok_runs = 0, failed_runs = 0, faults_injected = 0;
+  for (uint64_t seed = 0; seed < kNumChaosSeeds; ++seed) {
+    FaultyNetwork net(FaultPlan::RandomPlan(seed, /*num_parties=*/w.m + 1));
+    auto result = RunP6(w, &net);
+    faults_injected += net.fault_stats().injected();
+    if (result.ok()) {
+      ++ok_runs;
+      ASSERT_EQ(CanonicalArcs(result.ValueOrDie()), baseline)
+          << "seed=" << seed;
+    } else {
+      ++failed_runs;
+      ASSERT_FALSE(result.status().message().empty()) << "seed=" << seed;
+    }
+  }
+  EXPECT_EQ(ok_runs + failed_runs, kNumChaosSeeds);
+  EXPECT_GT(faults_injected, 0u);
+  EXPECT_GT(ok_runs, 0u);
+  EXPECT_GT(failed_runs, 0u);
+}
+
+TEST(ChaosTest, Protocol4ZeroFaultPlanMatchesCostModelExactly) {
+  WorldData w = MakeWorldData(3, 16, 50, 20, 77);
+  FaultyNetwork net(FaultPlan::None());
+  size_t log_s = 0, q = 0;
+  ASSERT_TRUE(RunP4(w, &net, &log_s, &q).ok());
+  EXPECT_EQ(net.fault_stats().injected(), 0u);
+  EXPECT_EQ(net.fault_stats().retransmits_served, 0u);
+
+  Protocol4CostParams params;
+  params.m = w.m;
+  params.n = w.n;
+  params.q = q;
+  params.log_s = log_s;
+  auto model = Protocol4Costs(params).ValueOrDie();
+
+  auto report = net.Report();
+  // NR and NM agree with the analytic Table 1 model exactly.
+  EXPECT_EQ(report.num_rounds, model.nr);
+  EXPECT_EQ(report.num_messages, model.nm);
+  ASSERT_EQ(report.rounds.size(), model.rows.size());
+  for (size_t i = 0; i < model.rows.size(); ++i) {
+    EXPECT_EQ(report.rounds[i].num_messages, model.rows[i].num_messages)
+        << "round " << i;
+    // Every round meters the fixed envelope overhead on top of its payload.
+    EXPECT_EQ(report.rounds[i].num_bytes,
+              report.rounds[i].num_payload_bytes +
+                  report.rounds[i].num_messages * kEnvelopeOverheadBytes)
+        << "round " << i;
+  }
+  // Wire MS differs from payload MS by exactly 29 bytes per message, the
+  // same fixed overhead EnvelopedBits() adds to the analytic model.
+  EXPECT_EQ(report.num_bytes,
+            report.num_payload_bytes + model.nm * kEnvelopeOverheadBytes);
+  EXPECT_EQ(EnvelopedBits(model) - model.ms_bits,
+            model.nm * kEnvelopeOverheadBytes * 8);
+}
+
+TEST(ChaosTest, Protocol6ZeroFaultPlanMatchesCostModelExactly) {
+  WorldData w = MakeWorldData(3, 14, 40, 8, 88);
+  FaultyNetwork net(FaultPlan::None());
+  ASSERT_TRUE(RunP6(w, &net).ok());
+  EXPECT_EQ(net.fault_stats().injected(), 0u);
+
+  auto report = net.Report();
+  // Table 2: NR = 4, NM = 3m.
+  EXPECT_EQ(report.num_rounds, 4u);
+  EXPECT_EQ(report.num_messages, 3 * w.m);
+  for (const auto& round : report.rounds) {
+    EXPECT_EQ(round.num_bytes,
+              round.num_payload_bytes +
+                  round.num_messages * kEnvelopeOverheadBytes)
+        << round.label;
+  }
+  EXPECT_EQ(report.num_bytes,
+            report.num_payload_bytes +
+                report.num_messages * kEnvelopeOverheadBytes);
+}
+
+}  // namespace
+}  // namespace psi

@@ -34,8 +34,10 @@ TEST_F(JointRandomTest, MetersExactlyTwoMessagesOneRound) {
   auto report = net_.Report();
   EXPECT_EQ(report.num_rounds, 1u);
   EXPECT_EQ(report.num_messages, 2u);
-  // 64 doubles each direction = 2 * 512 bytes.
-  EXPECT_EQ(report.num_bytes, 2u * 64u * 8u);
+  // 64 doubles each direction = 2 * 512 payload bytes; on the wire each
+  // message additionally carries the fixed envelope framing.
+  EXPECT_EQ(report.num_payload_bytes, 2u * 64u * 8u);
+  EXPECT_EQ(report.num_bytes, 2u * (64u * 8u + kEnvelopeOverheadBytes));
   EXPECT_EQ(net_.PendingCount(), 0u);
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/envelope.h"
+
 namespace psi {
 namespace {
 
@@ -18,7 +20,7 @@ Protocol4CostParams P4Params(uint64_t m, uint64_t n, uint64_t q,
 TEST(CostModelTest, Protocol4TotalsMatchPaperFormulas) {
   // Section 7.1.1: NR = 8, NM = m^2 + m + 7.
   for (uint64_t m : {2u, 3u, 5u, 10u, 20u}) {
-    auto s = Protocol4Costs(P4Params(m, 1000, 5000, 128));
+    auto s = Protocol4Costs(P4Params(m, 1000, 5000, 128)).ValueOrDie();
     EXPECT_EQ(s.nr, 8u) << "m=" << m;
     EXPECT_EQ(s.nm, m * m + m + 7) << "m=" << m;
   }
@@ -26,8 +28,8 @@ TEST(CostModelTest, Protocol4TotalsMatchPaperFormulas) {
 
 TEST(CostModelTest, Protocol4DominantTermScalesAsM2NQLogS) {
   // MS = O(m^2 (n+q) log S): doubling log S roughly doubles the share rounds.
-  auto base = Protocol4Costs(P4Params(5, 1000, 5000, 64));
-  auto big = Protocol4Costs(P4Params(5, 1000, 5000, 128));
+  auto base = Protocol4Costs(P4Params(5, 1000, 5000, 64)).ValueOrDie();
+  auto big = Protocol4Costs(P4Params(5, 1000, 5000, 128)).ValueOrDie();
   // The real-valued and index rounds do not scale with log S, so the ratio
   // sits slightly below 2.
   double ratio = static_cast<double>(big.ms_bits) /
@@ -37,7 +39,7 @@ TEST(CostModelTest, Protocol4DominantTermScalesAsM2NQLogS) {
 }
 
 TEST(CostModelTest, Protocol4RowStructure) {
-  auto s = Protocol4Costs(P4Params(4, 100, 300, 64));
+  auto s = Protocol4Costs(P4Params(4, 100, 300, 64)).ValueOrDie();
   ASSERT_EQ(s.rows.size(), 8u);
   // Row 2 is the m(m-1) pairwise share exchange of (n+q) log S bits.
   EXPECT_EQ(s.rows[1].num_messages, 12u);
@@ -51,7 +53,7 @@ TEST(CostModelTest, Protocol4RowStructure) {
 }
 
 TEST(CostModelTest, Protocol4TwoProvidersHasEmptyFoldRound) {
-  auto s = Protocol4Costs(P4Params(2, 10, 20, 64));
+  auto s = Protocol4Costs(P4Params(2, 10, 20, 64)).ValueOrDie();
   EXPECT_EQ(s.rows[2].num_messages, 0u);  // m - 2 == 0.
   EXPECT_EQ(s.nm, 2u * 2u + 2u + 7u);
 }
@@ -65,7 +67,7 @@ TEST(CostModelTest, Protocol6TotalsMatchPaperFormulas) {
     p.z = 1024;
     p.kappa = 2048;
     p.actions_per_provider.assign(m, 50);
-    auto s = Protocol6Costs(p);
+    auto s = Protocol6Costs(p).ValueOrDie();
     EXPECT_EQ(s.nr, 4u) << "m=" << m;
     EXPECT_EQ(s.nm, 3 * m) << "m=" << m;
     uint64_t total_actions = 50 * m;
@@ -81,7 +83,7 @@ TEST(CostModelTest, Protocol6DominatedByCiphertextRounds) {
   p.z = 1024;
   p.kappa = 2048;
   p.actions_per_provider = {100, 100, 100};
-  auto s = Protocol6Costs(p);
+  auto s = Protocol6Costs(p).ValueOrDie();
   // Last round: q * z * A bits = 2000 * 1024 * 300.
   EXPECT_EQ(s.rows.back().bits_per_message, 2000ull * 1024 * 300);
   // The two ciphertext rounds are ~ 2qzA of the total.
@@ -97,7 +99,7 @@ TEST(CostModelTest, Protocol6UnequalProvidersExactTotal) {
   p.z = 100;
   p.kappa = 200;
   p.actions_per_provider = {7, 3, 5};
-  auto s = Protocol6Costs(p);
+  auto s = Protocol6Costs(p).ValueOrDie();
   uint64_t expected = 3 * (2 * 10 * p.index_bits)  // Omega round
                       + 3 * 200                    // key round
                       + 10 * 100 * (3 + 5)         // relay round (P2, P3)
@@ -106,10 +108,38 @@ TEST(CostModelTest, Protocol6UnequalProvidersExactTotal) {
 }
 
 TEST(CostModelTest, SummaryRendering) {
-  auto s = Protocol4Costs(P4Params(3, 10, 20, 64));
+  auto s = Protocol4Costs(P4Params(3, 10, 20, 64)).ValueOrDie();
   std::string text = s.ToString();
   EXPECT_NE(text.find("NR=8"), std::string::npos);
   EXPECT_NE(text.find("Prot.1"), std::string::npos);
+}
+
+TEST(CostModelTest, Protocol4RejectsTooFewProviders) {
+  auto r = Protocol4Costs(P4Params(1, 10, 20, 64));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("two providers"), std::string::npos);
+}
+
+TEST(CostModelTest, Protocol6RejectsMismatchedActionCounts) {
+  Protocol6CostParams p;
+  p.m = 3;
+  p.q = 10;
+  p.z = 100;
+  p.kappa = 200;
+  p.actions_per_provider = {7, 3};  // Only two entries for three providers.
+  auto r = Protocol6Costs(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  p.m = 0;
+  p.actions_per_provider.clear();
+  EXPECT_FALSE(Protocol6Costs(p).ok());
+}
+
+TEST(CostModelTest, EnvelopedBitsAddsFixedPerMessageOverhead) {
+  auto s = Protocol4Costs(P4Params(3, 10, 20, 64)).ValueOrDie();
+  EXPECT_EQ(EnvelopedBits(s), s.ms_bits + s.nm * kEnvelopeOverheadBytes * 8);
 }
 
 }  // namespace

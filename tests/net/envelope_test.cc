@@ -1,0 +1,115 @@
+#include "net/envelope.h"
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+
+namespace psi {
+namespace {
+
+std::vector<uint8_t> SamplePayload(size_t n) {
+  std::vector<uint8_t> p(n);
+  for (size_t i = 0; i < n; ++i) p[i] = static_cast<uint8_t>(i * 37 + 11);
+  return p;
+}
+
+TEST(EnvelopeTest, SealOpenRoundtrip) {
+  auto payload = SamplePayload(100);
+  auto frame = SealEnvelope(ProtocolId::kSecureSum, /*step=*/3, /*sender=*/7,
+                            /*seq=*/42, payload);
+  EXPECT_EQ(frame.size(), payload.size() + kEnvelopeOverheadBytes);
+
+  auto env = OpenEnvelope(frame).ValueOrDie();
+  EXPECT_EQ(env.protocol_id, ProtocolId::kSecureSum);
+  EXPECT_EQ(env.step, 3u);
+  EXPECT_EQ(env.sender, 7u);
+  EXPECT_EQ(env.seq, 42u);
+  EXPECT_EQ(env.payload, payload);
+}
+
+TEST(EnvelopeTest, EmptyPayloadRoundtrip) {
+  auto frame = SealEnvelope(ProtocolId::kJointRandom, 1, 0, 0, {});
+  EXPECT_EQ(frame.size(), kEnvelopeOverheadBytes);
+  auto env = OpenEnvelope(frame).ValueOrDie();
+  EXPECT_TRUE(env.payload.empty());
+}
+
+TEST(EnvelopeTest, RejectsShortFrame) {
+  auto frame = SealEnvelope(ProtocolId::kSecureSum, 1, 0, 0, SamplePayload(8));
+  for (size_t len : {size_t{0}, size_t{4}, kEnvelopeOverheadBytes - 1}) {
+    std::vector<uint8_t> cut(frame.begin(),
+                             frame.begin() + static_cast<ptrdiff_t>(len));
+    auto r = OpenEnvelope(cut);
+    ASSERT_FALSE(r.ok()) << "len=" << len;
+    EXPECT_EQ(r.status().code(), StatusCode::kSerializationError);
+  }
+}
+
+TEST(EnvelopeTest, RejectsBadMagicAndVersion) {
+  auto frame = SealEnvelope(ProtocolId::kSecureSum, 1, 0, 0, SamplePayload(8));
+  auto bad_magic = frame;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(OpenEnvelope(bad_magic).ok());
+
+  auto bad_version = frame;
+  bad_version[4] = kEnvelopeVersion + 1;
+  EXPECT_FALSE(OpenEnvelope(bad_version).ok());
+}
+
+TEST(EnvelopeTest, AnySingleBitFlipIsDetected) {
+  auto frame = SealEnvelope(ProtocolId::kPropagationGraph, 4, 2, 9,
+                            SamplePayload(32));
+  // CRC-32 detects every single-bit error; flipping any bit of the frame
+  // (header, payload or trailer) must fail validation.
+  for (size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    auto damaged = frame;
+    damaged[bit / 8] = static_cast<uint8_t>(damaged[bit / 8] ^
+                                            (1u << (bit % 8)));
+    EXPECT_FALSE(OpenEnvelope(damaged).ok()) << "bit=" << bit;
+  }
+}
+
+TEST(EnvelopeTest, RejectsTruncationAndExtension) {
+  auto frame = SealEnvelope(ProtocolId::kSecureSum, 1, 0, 0, SamplePayload(40));
+  for (size_t cut = 1; cut < frame.size(); ++cut) {
+    std::vector<uint8_t> truncated(frame.begin(),
+                                   frame.end() - static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(OpenEnvelope(truncated).ok()) << "cut=" << cut;
+  }
+  auto extended = frame;
+  extended.push_back(0);
+  EXPECT_FALSE(OpenEnvelope(extended).ok());
+}
+
+TEST(EnvelopeTest, RejectsLengthFieldMismatch) {
+  auto frame = SealEnvelope(ProtocolId::kSecureSum, 1, 0, 0, SamplePayload(16));
+  // Rewrite payload_len (offset 21) to lie about the size; even with a
+  // recomputed CRC the frame-size cross-check rejects it.
+  auto lying = frame;
+  lying[21] = 200;
+  uint32_t crc = Crc32(lying.data(), lying.size() - 4);
+  std::memcpy(lying.data() + lying.size() - 4, &crc, 4);
+  auto r = OpenEnvelope(lying);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("length"), std::string::npos);
+}
+
+TEST(EnvelopeTest, PeekSeqReadsWithoutFullValidation) {
+  auto frame = SealEnvelope(ProtocolId::kSecureSum, 1, 0, 777, {});
+  EXPECT_EQ(PeekEnvelopeSeq(frame).ValueOrDie(), 777u);
+  // Peek still rejects garbage that is too short or mistagged.
+  EXPECT_FALSE(PeekEnvelopeSeq({1, 2, 3}).ok());
+  auto bad = frame;
+  bad[1] ^= 0x40;
+  EXPECT_FALSE(PeekEnvelopeSeq(bad).ok());
+}
+
+TEST(EnvelopeTest, ProtocolIdNames) {
+  EXPECT_STREQ(ProtocolIdToString(ProtocolId::kSecureSum), "SecureSum");
+  EXPECT_STREQ(ProtocolIdToString(ProtocolId::kPropagationGraph),
+               "PropagationGraph");
+  EXPECT_STREQ(ProtocolIdToString(static_cast<ProtocolId>(999)), "Unknown");
+}
+
+}  // namespace
+}  // namespace psi

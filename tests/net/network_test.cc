@@ -119,5 +119,85 @@ TEST_F(NetworkTest, ReportRenderingContainsTotals) {
   EXPECT_NE(s.find("100"), std::string::npos);
 }
 
+TEST_F(NetworkTest, RecvErrorNamesPartiesAndRound) {
+  net_.BeginRound("P4.Step2 (H -> P_k: Omega_E')");
+  auto r = net_.Recv(b_, a_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("A -> B"), std::string::npos);
+  EXPECT_NE(r.status().message().find("P4.Step2"), std::string::npos);
+}
+
+TEST_F(NetworkTest, RecvErrorBeforeAnyRound) {
+  auto r = net_.Recv(b_, a_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("<no round>"), std::string::npos);
+}
+
+TEST_F(NetworkTest, DrainReportsAndClearsUndelivered) {
+  net_.BeginRound("r");
+  ASSERT_TRUE(net_.Send(a_, c_, std::vector<uint8_t>(4)).ok());
+  ASSERT_TRUE(net_.Send(a_, c_, std::vector<uint8_t>(9)).ok());
+  ASSERT_TRUE(net_.Send(b_, c_, std::vector<uint8_t>(2)).ok());
+  ASSERT_TRUE(net_.Send(a_, b_, std::vector<uint8_t>(1)).ok());
+
+  std::string summary = net_.Drain(c_);
+  EXPECT_NE(summary.find("2 message(s) from A"), std::string::npos);
+  EXPECT_NE(summary.find("4 9 bytes"), std::string::npos);
+  EXPECT_NE(summary.find("1 message(s) from B"), std::string::npos);
+  // C's mailboxes are now empty, B's message is untouched.
+  EXPECT_EQ(net_.PendingCount(), 1u);
+  EXPECT_EQ(net_.Drain(c_), "");
+  EXPECT_TRUE(net_.HasPending(b_, a_));
+}
+
+TEST_F(NetworkTest, SendFramedMetersWireAndPayloadSeparately) {
+  net_.BeginRound("r");
+  ASSERT_TRUE(net_.SendFramed(a_, b_, ProtocolId::kSecureSum, 1,
+                              std::vector<uint8_t>(50)).ok());
+  auto report = net_.Report();
+  EXPECT_EQ(report.num_payload_bytes, 50u);
+  EXPECT_EQ(report.num_bytes, 50u + kEnvelopeOverheadBytes);
+  EXPECT_EQ(net_.BytesSentBy(a_), 50u + kEnvelopeOverheadBytes);
+}
+
+TEST_F(NetworkTest, RecvValidatedRoundtripAndSequencing) {
+  net_.BeginRound("r");
+  ASSERT_TRUE(net_.SendFramed(a_, b_, ProtocolId::kSecureSum, 1, {10}).ok());
+  ASSERT_TRUE(net_.SendFramed(a_, b_, ProtocolId::kSecureSum, 1, {20}).ok());
+  auto m1 = net_.RecvValidated(b_, a_, ProtocolId::kSecureSum, 1).ValueOrDie();
+  auto m2 = net_.RecvValidated(b_, a_, ProtocolId::kSecureSum, 1).ValueOrDie();
+  EXPECT_EQ(m1[0], 10);
+  EXPECT_EQ(m2[0], 20);
+}
+
+TEST_F(NetworkTest, RecvValidatedRejectsWrongProtocolOrStep) {
+  net_.BeginRound("r");
+  ASSERT_TRUE(net_.SendFramed(a_, b_, ProtocolId::kSecureSum, 1, {1}).ok());
+  auto r = net_.RecvValidated(b_, a_, ProtocolId::kPropagationGraph, 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kProtocolError);
+  EXPECT_NE(r.status().message().find("SecureSum"), std::string::npos);
+  EXPECT_NE(r.status().message().find("PropagationGraph"), std::string::npos);
+
+  ASSERT_TRUE(net_.SendFramed(a_, b_, ProtocolId::kSecureSum, 2, {1}).ok());
+  EXPECT_FALSE(net_.RecvValidated(b_, a_, ProtocolId::kSecureSum, 9).ok());
+}
+
+TEST_F(NetworkTest, RecvValidatedRejectsRawTraffic) {
+  net_.BeginRound("r");
+  ASSERT_TRUE(net_.Send(a_, b_, {1, 2, 3}).ok());
+  auto r = net_.RecvValidated(b_, a_, ProtocolId::kSecureSum, 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kProtocolError);
+}
+
+TEST_F(NetworkTest, BaseNetworkHasNoRetransmissionStore) {
+  net_.BeginRound("r");
+  auto r = net_.RequestRetransmit(b_, a_, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(r.status().message().find("A -> B"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace psi
