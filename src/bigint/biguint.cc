@@ -12,7 +12,15 @@ namespace {
 
 __extension__ typedef unsigned __int128 u128;
 
-constexpr size_t kKaratsubaThreshold = 32;  // limbs
+// Cutover below which MulKaratsuba falls back to schoolbook. Tuned with a
+// BM_BigUIntMul sweep (256/1024/4096/16384-bit balanced operands) over
+// thresholds {8,16,24,28,32,40,48,64}: 8-16 lose badly to recursion
+// overhead; 24-32 pay ~10% at 4096 bits for the extra split down to 16-limb
+// leaves; 40-64 are equal-best at every measured size (identical recursion
+// trees on power-of-two operands). 40 is the smallest value on that
+// plateau, so Karatsuba still engages for 2560-bit-plus operands (Paillier
+// n^2 products at 2048-bit keys and up).
+constexpr size_t kKaratsubaThreshold = 40;  // limbs
 constexpr uint64_t kDecChunk = 10000000000000000000ull;  // 10^19
 constexpr int kDecChunkDigits = 19;
 

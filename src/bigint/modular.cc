@@ -1,12 +1,45 @@
 #include "bigint/modular.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "bigint/bigint.h"
 #include "bigint/montgomery.h"
 #include "common/logging.h"
 
 namespace psi {
+
+namespace {
+
+// Thread-local MRU cache of Montgomery contexts. Repeated ModPow calls with
+// the same modulus (Miller-Rabin rounds, every Paillier/RSA operation of a
+// protocol run) would otherwise rebuild R^2 mod n — two Knuth divisions —
+// per exponentiation. Four entries cover the working set of the widest
+// caller (RSA-CRT decryption alternates p and q while the peer's n and n^2
+// stay warm). Thread-local storage keeps the cache lock-free under
+// ParallelFor workers. The returned pointer is invalidated by the next
+// lookup on the same thread.
+const MontgomeryContext* CachedMontgomeryContext(const BigUInt& m) {
+  constexpr size_t kCacheCap = 4;
+  thread_local std::vector<std::pair<BigUInt, MontgomeryContext>> cache;
+  for (size_t i = 0; i < cache.size(); ++i) {
+    if (cache[i].first == m) {
+      if (i != 0) {
+        auto mid = cache.begin() + static_cast<ptrdiff_t>(i);
+        std::rotate(cache.begin(), mid, mid + 1);
+      }
+      return &cache.front().second;
+    }
+  }
+  auto ctx = MontgomeryContext::Create(m);
+  if (!ctx.ok()) return nullptr;
+  if (cache.size() >= kCacheCap) cache.pop_back();
+  cache.emplace(cache.begin(), m, std::move(ctx).MoveValue());
+  return &cache.front().second;
+}
+
+}  // namespace
 
 BigUInt ModAdd(const BigUInt& a, const BigUInt& b, const BigUInt& m) {
   PSI_DCHECK(a < m && b < m);
@@ -29,11 +62,12 @@ BigUInt ModPow(const BigUInt& base, const BigUInt& exp, const BigUInt& m) {
   PSI_CHECK(!m.IsZero()) << "ModPow modulus must be positive";
   if (m.IsOne()) return BigUInt();
   // Odd multi-limb moduli (the RSA/Paillier case) route through Montgomery
-  // arithmetic: REDC replaces every Knuth-division reduction. The context
-  // setup costs two divisions, amortized over the exponent bits.
+  // arithmetic: REDC replaces every Knuth-division reduction, and the
+  // thread-local context cache amortizes the R^2 mod n setup across calls.
   if (m.IsOdd() && m.BitLength() >= 128 && exp.BitLength() >= 8) {
-    auto ctx = MontgomeryContext::Create(m);
-    if (ctx.ok()) return ctx->Pow(base, exp);
+    if (const MontgomeryContext* ctx = CachedMontgomeryContext(m)) {
+      return ctx->Pow(base, exp);
+    }
   }
   BigUInt result(1);
   BigUInt b = base % m;

@@ -1,5 +1,6 @@
 #include "bigint/montgomery.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/logging.h"
@@ -85,15 +86,97 @@ BigUInt MontgomeryContext::Multiply(const BigUInt& a, const BigUInt& b) const {
   return Reduce(a * b);
 }
 
+namespace {
+
+// Fixed-window width for a `bits`-bit exponent: chosen so the 2^w - 1 table
+// multiplies amortize against the ~bits * (1/2 - 1/w) multiplies the window
+// saves over plain square-and-multiply.
+size_t WindowBitsFor(size_t bits) {
+  if (bits <= 24) return 1;
+  if (bits <= 96) return 2;
+  if (bits <= 256) return 3;
+  if (bits <= 1024) return 4;
+  return 5;
+}
+
+// The w-bit digit of exp starting at bit position pos (little-endian).
+size_t ExpDigit(const BigUInt& exp, size_t pos, size_t w) {
+  size_t digit = 0;
+  for (size_t j = w; j-- > 0;) {
+    digit = (digit << 1) | static_cast<size_t>(exp.GetBit(pos + j));
+  }
+  return digit;
+}
+
+}  // namespace
+
 BigUInt MontgomeryContext::Pow(const BigUInt& base, const BigUInt& exp) const {
   if (n_.IsOne()) return BigUInt();
   BigUInt b_mont = ToMontgomery(base % n_);
-  BigUInt result = r_mod_n_;  // Montgomery form of 1.
-  for (size_t i = exp.BitLength(); i-- > 0;) {
-    result = Multiply(result, result);
-    if (exp.GetBit(i)) result = Multiply(result, b_mont);
+  const size_t bits = exp.BitLength();
+  const size_t w = WindowBitsFor(bits);
+  if (w == 1) {
+    BigUInt result = r_mod_n_;  // Montgomery form of 1.
+    for (size_t i = bits; i-- > 0;) {
+      result = Multiply(result, result);
+      if (exp.GetBit(i)) result = Multiply(result, b_mont);
+    }
+    return FromMontgomery(result);
+  }
+  // Fixed window: table[d] = base^d in Montgomery form, d < 2^w.
+  std::vector<BigUInt> table(size_t{1} << w);
+  table[0] = r_mod_n_;
+  table[1] = b_mont;
+  for (size_t d = 2; d < table.size(); ++d) {
+    table[d] = Multiply(table[d - 1], b_mont);
+  }
+  const size_t digits = (bits + w - 1) / w;
+  BigUInt result = table[ExpDigit(exp, (digits - 1) * w, w)];
+  for (size_t d = digits - 1; d-- > 0;) {
+    for (size_t s = 0; s < w; ++s) result = Multiply(result, result);
+    size_t digit = ExpDigit(exp, d * w, w);
+    if (digit != 0) result = Multiply(result, table[digit]);
   }
   return FromMontgomery(result);
+}
+
+FixedBaseTable::FixedBaseTable(const MontgomeryContext* ctx,
+                               const BigUInt& base, size_t max_exp_bits,
+                               size_t window_bits)
+    : ctx_(ctx), base_(base % ctx->modulus()), max_exp_bits_(max_exp_bits) {
+  if (window_bits == 0) {
+    // Build cost is (2^w - 1) * ceil(bits/w) multiplies; w = 4 keeps that
+    // under ~4 * bits while quartering the per-Pow multiply count.
+    window_ = max_exp_bits_ <= 64 ? 2 : 4;
+  } else {
+    window_ = std::min<size_t>(std::max<size_t>(window_bits, 1), 8);
+  }
+  const size_t w = window_;
+  const size_t digits = (std::max<size_t>(max_exp_bits_, 1) + w - 1) / w;
+  table_.resize(digits);
+  // t = base^(2^(w*i)) as i advances; each row holds t^1 .. t^(2^w - 1).
+  BigUInt t = ctx_->ToMontgomery(base_);
+  for (size_t i = 0; i < digits; ++i) {
+    auto& row = table_[i];
+    row.resize((size_t{1} << w) - 1);
+    row[0] = t;
+    for (size_t d = 1; d < row.size(); ++d) {
+      row[d] = ctx_->Multiply(row[d - 1], t);
+    }
+    if (i + 1 < digits) t = ctx_->Multiply(row.back(), t);  // t^(2^w).
+  }
+}
+
+BigUInt FixedBaseTable::Pow(const BigUInt& exp) const {
+  if (exp.BitLength() > max_exp_bits_) return ctx_->Pow(base_, exp);
+  const size_t w = window_;
+  BigUInt result = ctx_->OneMontgomery();
+  const size_t digits = (exp.BitLength() + w - 1) / w;
+  for (size_t i = 0; i < digits; ++i) {
+    size_t digit = ExpDigit(exp, i * w, w);
+    if (digit != 0) result = ctx_->Multiply(result, table_[i][digit - 1]);
+  }
+  return ctx_->FromMontgomery(result);
 }
 
 }  // namespace psi

@@ -33,9 +33,14 @@ class MontgomeryContext {
   /// the Montgomery domain.
   BigUInt Multiply(const BigUInt& a, const BigUInt& b) const;
 
-  /// \brief base^exp mod n via square-and-multiply in the Montgomery
-  /// domain. `base` is an ordinary residue (reduced internally).
+  /// \brief base^exp mod n via fixed-window exponentiation in the
+  /// Montgomery domain (2^w odd/even table, window width picked from the
+  /// exponent size; plain square-and-multiply for short exponents).
+  /// `base` is an ordinary residue (reduced internally).
   BigUInt Pow(const BigUInt& base, const BigUInt& exp) const;
+
+  /// \brief Montgomery form of 1 (R mod n).
+  const BigUInt& OneMontgomery() const { return r_mod_n_; }
 
  private:
   MontgomeryContext(BigUInt n, uint64_t n_prime, BigUInt r_mod_n,
@@ -54,6 +59,40 @@ class MontgomeryContext {
   BigUInt r_mod_n_;    // R mod n (the Montgomery form of 1).
   BigUInt r2_mod_n_;   // R^2 mod n (for ToMontgomery).
   size_t limbs_;       // k: R = 2^(64k).
+};
+
+/// \brief Precomputed power table for one fixed base: many exponentiations
+/// of the same base cost ~bits/w multiplies each and zero squarings.
+///
+/// Stores base^(d * 2^(w*i)) for every w-bit digit value d and digit
+/// position i up to `max_exp_bits`. base^e is then the product of one table
+/// entry per nonzero digit of e. The referenced MontgomeryContext must
+/// outlive the table. Read-only after construction, so a single table can
+/// serve many ParallelFor workers concurrently.
+class FixedBaseTable {
+ public:
+  /// \param ctx Montgomery domain of the modulus (kept by pointer).
+  /// \param base the fixed base (reduced mod n internally).
+  /// \param max_exp_bits largest exponent bit-length Pow must serve.
+  /// \param window_bits digit width w (clamped to [1, 8]); 0 picks a
+  ///        default balancing table build cost against per-Pow savings.
+  FixedBaseTable(const MontgomeryContext* ctx, const BigUInt& base,
+                 size_t max_exp_bits, size_t window_bits = 0);
+
+  /// \brief base^exp mod n. Exponents longer than max_exp_bits fall back to
+  /// the context's generic Pow.
+  BigUInt Pow(const BigUInt& exp) const;
+
+  size_t max_exp_bits() const { return max_exp_bits_; }
+  size_t window_bits() const { return window_; }
+
+ private:
+  const MontgomeryContext* ctx_;
+  BigUInt base_;         // Ordinary residue, for the fallback path.
+  size_t max_exp_bits_;
+  size_t window_;
+  // table_[i][d-1] = base^(d << (w*i)) in Montgomery form, d in [1, 2^w).
+  std::vector<std::vector<BigUInt>> table_;
 };
 
 }  // namespace psi

@@ -1,9 +1,45 @@
 #include "crypto/paillier.h"
 
 #include "bigint/modular.h"
+#include "bigint/montgomery.h"
 #include "bigint/primes.h"
+#include "common/thread_pool.h"
 
 namespace psi {
+
+namespace {
+
+// The randomizer rejection loop shared by the serial and pooled paths: the
+// draw sequence from `rng` must be identical in both, or transcripts would
+// depend on which path a protocol took.
+BigUInt DrawRandomizer(const PaillierPublicKey& key, Rng* rng) {
+  BigUInt r;
+  do {
+    r = BigUInt::RandomBelow(rng, key.n);
+  } while (r.IsZero() || !Gcd(r, key.n).IsOne());
+  return r;
+}
+
+// r_i^n mod n^2 for every drawn randomizer, fanned out across the pool.
+// Pure modular arithmetic over a shared read-only Montgomery context; no
+// RNG access, so the fan-out cannot perturb any transcript.
+std::vector<BigUInt> RandomizerPowers(const PaillierPublicKey& key,
+                                      const std::vector<BigUInt>& rs) {
+  std::vector<BigUInt> powers(rs.size());
+  auto ctx = MontgomeryContext::Create(key.n_squared);
+  if (ctx.ok()) {
+    const MontgomeryContext& mont = *ctx;
+    ParallelFor(rs.size(),
+                [&](size_t i) { powers[i] = mont.Pow(rs[i], key.n); });
+  } else {
+    for (size_t i = 0; i < rs.size(); ++i) {
+      powers[i] = ModPow(rs[i], key.n, key.n_squared);
+    }
+  }
+  return powers;
+}
+
+}  // namespace
 
 Result<PaillierKeyPair> PaillierGenerateKeyPair(Rng* rng, size_t bits) {
   if (bits < 128 || bits % 2 != 0) {
@@ -40,12 +76,54 @@ Result<BigUInt> PaillierEncrypt(const PaillierPublicKey& key, const BigUInt& m,
   if (m >= key.n) return Status::InvalidArgument("Paillier plaintext >= n");
   // g^m mod n^2 with g = n+1 simplifies to 1 + m*n (binomial expansion).
   BigUInt g_m = (BigUInt(1) + m * key.n) % key.n_squared;
-  BigUInt r;
-  do {
-    r = BigUInt::RandomBelow(rng, key.n);
-  } while (r.IsZero() || !Gcd(r, key.n).IsOne());
-  BigUInt r_n = ModPow(r, key.n, key.n_squared);
+  BigUInt r_n = ModPow(DrawRandomizer(key, rng), key.n, key.n_squared);
   return ModMul(g_m, r_n, key.n_squared);
+}
+
+Result<PaillierRandomizerPool> PaillierRandomizerPool::Create(
+    const PaillierPublicKey& key, Rng* rng, size_t count) {
+  if (key.n.IsZero()) {
+    return Status::InvalidArgument("Paillier public key has a zero modulus");
+  }
+  std::vector<BigUInt> rs(count);
+  for (auto& r : rs) r = DrawRandomizer(key, rng);
+  PaillierRandomizerPool pool;
+  pool.powers_ = RandomizerPowers(key, rs);
+  return pool;
+}
+
+Result<BigUInt> PaillierRandomizerPool::Next() {
+  if (next_ >= powers_.size()) {
+    return Status::FailedPrecondition("Paillier randomizer pool exhausted");
+  }
+  return std::move(powers_[next_++]);
+}
+
+Result<BigUInt> PaillierEncryptWithPool(const PaillierPublicKey& key,
+                                        const BigUInt& m,
+                                        PaillierRandomizerPool* pool) {
+  if (m >= key.n) return Status::InvalidArgument("Paillier plaintext >= n");
+  BigUInt g_m = (BigUInt(1) + m * key.n) % key.n_squared;
+  PSI_ASSIGN_OR_RETURN(BigUInt r_n, pool->Next());
+  return ModMul(g_m, r_n, key.n_squared);
+}
+
+Result<std::vector<BigUInt>> PaillierEncryptBatch(
+    const PaillierPublicKey& key, const std::vector<BigUInt>& plaintexts,
+    Rng* rng) {
+  for (const auto& m : plaintexts) {
+    if (m >= key.n) return Status::InvalidArgument("Paillier plaintext >= n");
+  }
+  // All RNG draws happen here, in index order, before anything fans out.
+  std::vector<BigUInt> rs(plaintexts.size());
+  for (auto& r : rs) r = DrawRandomizer(key, rng);
+  std::vector<BigUInt> powers = RandomizerPowers(key, rs);
+  std::vector<BigUInt> out(plaintexts.size());
+  ParallelFor(plaintexts.size(), [&](size_t i) {
+    BigUInt g_m = (BigUInt(1) + plaintexts[i] * key.n) % key.n_squared;
+    out[i] = ModMul(g_m, powers[i], key.n_squared);
+  });
+  return out;
 }
 
 Result<BigUInt> PaillierDecrypt(const PaillierPrivateKey& key,

@@ -42,6 +42,47 @@ Result<PaillierKeyPair> PaillierGenerateKeyPair(Rng* rng, size_t bits);
 Result<BigUInt> PaillierEncrypt(const PaillierPublicKey& key, const BigUInt& m,
                                 Rng* rng);
 
+/// \brief Pool of precomputed randomizer powers r^n mod n^2.
+///
+/// The r values are drawn from `rng` in strict sequential program order —
+/// the exact byte stream repeated PaillierEncrypt calls would consume — so
+/// a pool-backed encryption produces byte-identical ciphertexts to the
+/// serial path. Only the pure r^n modular exponentiations (the dominant
+/// cost, Table 1 ablation) fan out across the thread pool.
+class PaillierRandomizerPool {
+ public:
+  /// \brief Draws `count` randomizers sequentially from `rng`, then computes
+  /// their n-th powers mod n^2 in parallel.
+  static Result<PaillierRandomizerPool> Create(const PaillierPublicKey& key,
+                                               Rng* rng, size_t count);
+
+  /// \brief Precomputed powers not yet consumed.
+  size_t remaining() const { return powers_.size() - next_; }
+
+  /// \brief Pops the next r^n in draw order; FailedPrecondition when empty.
+  Result<BigUInt> Next();
+
+ private:
+  PaillierRandomizerPool() = default;
+  std::vector<BigUInt> powers_;
+  size_t next_ = 0;
+};
+
+/// \brief Encrypts with a randomizer power taken from `pool` instead of a
+/// fresh modular exponentiation. Byte-identical to PaillierEncrypt with the
+/// rng the pool was filled from.
+Result<BigUInt> PaillierEncryptWithPool(const PaillierPublicKey& key,
+                                        const BigUInt& m,
+                                        PaillierRandomizerPool* pool);
+
+/// \brief Encrypts a vector of plaintexts: randomizers drawn sequentially
+/// from `rng` (same stream as count serial PaillierEncrypt calls), the r^n
+/// powers computed in parallel. Ciphertexts are byte-identical to the
+/// serial path for every thread count.
+Result<std::vector<BigUInt>> PaillierEncryptBatch(
+    const PaillierPublicKey& key, const std::vector<BigUInt>& plaintexts,
+    Rng* rng);
+
 /// \brief Decrypts: m = L(c^lambda mod n^2) * mu mod n, L(u) = (u-1)/n.
 Result<BigUInt> PaillierDecrypt(const PaillierPrivateKey& key,
                                 const BigUInt& c);

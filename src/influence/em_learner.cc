@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
+
 namespace psi {
 
 namespace {
@@ -88,24 +90,42 @@ Result<EmResult> LearnInfluenceEm(const SocialGraph& graph,
 
   EmResult result;
   std::vector<double> successes(graph.num_arcs());
+  // E-step fan-out state: activations are split into a chunk count that
+  // depends only on their number (never on PSI_THREADS), each chunk
+  // accumulates into its own partial array, and partials are reduced in
+  // chunk order — so the floating-point result is identical for every
+  // thread count. Partial buffers are allocated once across iterations.
+  const size_t num_activations = ep.activation_parents.size();
+  const size_t num_chunks = ThreadPool::NumChunks(num_activations);
+  std::vector<std::vector<double>> partials(num_chunks);
   for (size_t iter = 0; iter < config.max_iterations; ++iter) {
     // E-step: ascribe each activation to its candidate parents.
-    std::fill(successes.begin(), successes.end(), 0.0);
-    for (const auto& parents : ep.activation_parents) {
-      double fail_all = 1.0;
-      for (size_t k : parents) fail_all *= 1.0 - p[k];
-      double activation_prob = 1.0 - fail_all;
-      if (activation_prob <= 0.0) {
-        // All candidate parents currently at 0: split evenly to escape the
-        // degenerate fixpoint.
-        double share = 1.0 / static_cast<double>(parents.size());
-        for (size_t k : parents) successes[k] += share;
-        continue;
+    ParallelForChunked(num_activations,
+                       [&](size_t chunk, size_t begin, size_t end) {
+      auto& part = partials[chunk];
+      part.assign(p.size(), 0.0);
+      for (size_t a = begin; a < end; ++a) {
+        const auto& parents = ep.activation_parents[a];
+        double fail_all = 1.0;
+        for (size_t k : parents) fail_all *= 1.0 - p[k];
+        double activation_prob = 1.0 - fail_all;
+        if (activation_prob <= 0.0) {
+          // All candidate parents currently at 0: split evenly to escape
+          // the degenerate fixpoint.
+          double share = 1.0 / static_cast<double>(parents.size());
+          for (size_t k : parents) part[k] += share;
+          continue;
+        }
+        for (size_t k : parents) {
+          part[k] += p[k] / activation_prob;
+        }
       }
-      for (size_t k : parents) {
-        successes[k] += p[k] / activation_prob;
-      }
-    }
+    });
+    ParallelFor(successes.size(), [&](size_t k) {
+      double sum = 0.0;
+      for (size_t c = 0; c < num_chunks; ++c) sum += partials[c][k];
+      successes[k] = sum;
+    });
     // M-step: successes over trials.
     double delta = 0.0;
     for (size_t k = 0; k < p.size(); ++k) {

@@ -2,6 +2,7 @@
 
 #include "bigint/modular.h"
 #include "common/serialize.h"
+#include "common/thread_pool.h"
 
 namespace psi {
 
@@ -85,14 +86,15 @@ Result<BatchedModularShares> HomomorphicSumProtocol::Run(
   }
 
   // Round 2: P3..Pm encrypt their counter vectors for P2 to aggregate.
+  // Batch encryption: randomizers come out of each provider's RNG in the
+  // same sequential order as the serial path; only the r^n powers fan out.
   network_->BeginRound(label_prefix + "HSum.Step2 (P_k -> P2: E(x_k))");
   for (size_t k = 2; k < m; ++k) {
-    std::vector<BigUInt> cts(count);
-    for (size_t c = 0; c < count; ++c) {
-      PSI_ASSIGN_OR_RETURN(
-          cts[c],
-          PaillierEncrypt(pub[k], BigUInt(inputs[k][c]), player_rngs[k]));
-    }
+    std::vector<BigUInt> plain(count);
+    for (size_t c = 0; c < count; ++c) plain[c] = BigUInt(inputs[k][c]);
+    PSI_ASSIGN_OR_RETURN(
+        std::vector<BigUInt> cts,
+        PaillierEncryptBatch(pub[k], plain, player_rngs[k]));
     PSI_RETURN_NOT_OK(network_->SendFramed(players_[k], players_[1],
                                            ProtocolId::kHomomorphicSum,
                                            kStepCiphertexts,
@@ -102,14 +104,13 @@ Result<BatchedModularShares> HomomorphicSumProtocol::Run(
   // P2 aggregates homomorphically, folding in its own inputs and the mask.
   std::vector<BigUInt> rho(count);
   for (auto& x : rho) x = BigUInt::RandomBelow(player_rngs[1], pub[1].n);
-  std::vector<BigUInt> aggregate(count);
+  std::vector<BigUInt> own_plain(count);
   for (size_t c = 0; c < count; ++c) {
-    PSI_ASSIGN_OR_RETURN(
-        aggregate[c],
-        PaillierEncrypt(pub[1],
-                        (BigUInt(inputs[1][c]) + rho[c]) % pub[1].n,
-                        player_rngs[1]));
+    own_plain[c] = (BigUInt(inputs[1][c]) + rho[c]) % pub[1].n;
   }
+  PSI_ASSIGN_OR_RETURN(
+      std::vector<BigUInt> aggregate,
+      PaillierEncryptBatch(pub[1], own_plain, player_rngs[1]));
   for (size_t k = 2; k < m; ++k) {
     PSI_ASSIGN_OR_RETURN(
         auto buf, network_->RecvValidated(players_[1], players_[k],
@@ -120,9 +121,9 @@ Result<BatchedModularShares> HomomorphicSumProtocol::Run(
     if (cts.size() != count) {
       return Status::ProtocolError("ciphertext vector length mismatch");
     }
-    for (size_t c = 0; c < count; ++c) {
+    ParallelFor(count, [&](size_t c) {
       aggregate[c] = PaillierAddCiphertexts(pub[1], aggregate[c], cts[c]);
-    }
+    });
   }
 
   // Round 3: the aggregate travels to P1, who decrypts and adds its input.
@@ -145,12 +146,14 @@ Result<BatchedModularShares> HomomorphicSumProtocol::Run(
   out.s1.resize(count);
   out.s2.resize(count);
   const BigUInt& N = keys.public_key.n;
-  for (size_t c = 0; c < count; ++c) {
+  // Per-counter decryption is pure (c^lambda mod n^2), so it fans out.
+  PSI_RETURN_NOT_OK(ParallelForStatus(count, [&](size_t c) -> Status {
     PSI_ASSIGN_OR_RETURN(BigUInt masked,
                          PaillierDecrypt(keys.private_key, received[c]));
     out.s1[c] = ModAdd(masked, BigUInt(inputs[0][c]) % N, N);
     out.s2[c] = ModSub(BigUInt(), rho[c], N);  // -rho mod N.
-  }
+    return Status::OK();
+  }));
   return out;
 }
 

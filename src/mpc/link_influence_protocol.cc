@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/serialize.h"
+#include "common/thread_pool.h"
 #include "graph/generators.h"
 #include "mpc/joint_random.h"
 
@@ -254,13 +255,15 @@ Result<LinkInfluence> LinkInfluenceProtocol::Run(
   };
 
   // ---- Steps 7-8: masked shares travel to H (one message per party). ----
+  // Pure big-integer products over already-drawn masks: the per-link loop
+  // fans out with no effect on the transcript.
   const size_t total = n + q;
   std::vector<BigUInt> masked1(total);
   std::vector<BigInt> masked2(total);
-  for (size_t c = 0; c < total; ++c) {
+  ParallelFor(total, [&](size_t c) {
     masked1[c] = mask_of_counter(c) * shares.s1[c];
     masked2[c] = BigInt(mask_of_counter(c)) * shares.s2[c];
-  }
+  });
   network_->BeginRound("P4.Steps7-8 (masked shares -> H)");
   PSI_RETURN_NOT_OK(network_->SendFramed(providers_[0], host_,
                                          ProtocolId::kLinkInfluence,
@@ -290,7 +293,7 @@ Result<LinkInfluence> LinkInfluenceProtocol::Run(
 
   // Recombined masked counters: R_i * a_i and R_i * numerator_ij, exact.
   std::vector<BigUInt> masked_a(n), masked_b(q);
-  for (size_t c = 0; c < total; ++c) {
+  PSI_RETURN_NOT_OK(ParallelForStatus(total, [&](size_t c) -> Status {
     BigInt value = BigInt(host_m1[c]) + host_m2[c];
     if (value.IsNegative()) {
       return Status::ProtocolError("negative recombined masked counter");
@@ -300,7 +303,8 @@ Result<LinkInfluence> LinkInfluenceProtocol::Run(
     } else {
       masked_b[c - n] = value.magnitude();
     }
-  }
+    return Status::OK();
+  }));
   views_.host_masked_a.resize(n);
   for (size_t i = 0; i < n; ++i) {
     // What H "sees" as a real number: r_i * a_i (descaled fixed point).

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/serialize.h"
+#include "common/thread_pool.h"
 #include "graph/generators.h"
 
 namespace psi {
@@ -70,13 +71,20 @@ Status EncryptDeltaVector(const RsaPublicKey& key,
   if (mode == Protocol6Config::EncryptionMode::kPerInteger) {
     w->WriteU8(kModePerInteger);
     w->WriteVarU64(delta.size());
-    for (uint64_t d : delta) {
-      // Randomized encoding: (Delta << 64) | 64 random bits, so equal
-      // plaintexts yield unequal ciphertexts under deterministic RSA.
-      BigUInt m = (BigUInt(d) << 64) + BigUInt(rng->NextU64());
-      PSI_ASSIGN_OR_RETURN(BigUInt c, RsaEncrypt(key, m));
-      WriteBigUInt(w, c);
+    // Randomized encoding: (Delta << 64) | 64 random bits, so equal
+    // plaintexts yield unequal ciphertexts under deterministic RSA. The
+    // low-bit draws stay in link order; only the RSA exponentiations fan
+    // out, and the ciphertexts are serialized back in link order.
+    std::vector<BigUInt> plain(delta.size());
+    for (size_t i = 0; i < delta.size(); ++i) {
+      plain[i] = (BigUInt(delta[i]) << 64) + BigUInt(rng->NextU64());
     }
+    std::vector<BigUInt> cts(delta.size());
+    PSI_RETURN_NOT_OK(ParallelForStatus(delta.size(), [&](size_t i) -> Status {
+      PSI_ASSIGN_OR_RETURN(cts[i], RsaEncrypt(key, plain[i]));
+      return Status::OK();
+    }));
+    for (const BigUInt& c : cts) WriteBigUInt(w, c);
   } else {
     w->WriteU8(kModeHybrid);
     BinaryWriter plain;
@@ -100,12 +108,14 @@ Status DecryptDeltaVector(const RsaPrivateKey& key, BinaryReader* r,
     uint64_t count;
     PSI_RETURN_NOT_OK(r->ReadCount(&count));
     delta->resize(count);
-    for (auto& d : *delta) {
-      BigUInt c;
-      PSI_RETURN_NOT_OK(ReadBigUInt(r, &c));
-      PSI_ASSIGN_OR_RETURN(BigUInt m, RsaDecrypt(key, c));
-      PSI_ASSIGN_OR_RETURN(d, (m >> 64).ToUint64());
-    }
+    // Deserialize in wire order, then fan the pure RSA-CRT decryptions out.
+    std::vector<BigUInt> cts(delta->size());
+    for (auto& c : cts) PSI_RETURN_NOT_OK(ReadBigUInt(r, &c));
+    PSI_RETURN_NOT_OK(ParallelForStatus(cts.size(), [&](size_t i) -> Status {
+      PSI_ASSIGN_OR_RETURN(BigUInt m, RsaDecrypt(key, cts[i]));
+      PSI_ASSIGN_OR_RETURN((*delta)[i], (m >> 64).ToUint64());
+      return Status::OK();
+    }));
   } else if (mode == kModeHybrid) {
     HybridCiphertext ct;
     PSI_RETURN_NOT_OK(ReadBigUInt(r, &ct.encapsulated_key));

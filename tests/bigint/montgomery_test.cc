@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "bigint/modular.h"
 #include "bigint/primes.h"
 
@@ -93,6 +95,93 @@ TEST(MontgomeryTest, ModPowRoutesThroughMontgomeryConsistently) {
     BigUInt exp = BigUInt::RandomBits(&rng, 100);
     ASSERT_EQ(ModPow(base, exp, m), ReferencePow(base, exp, m))
         << (m.IsOdd() ? "odd" : "even") << " modulus trial " << trial;
+  }
+}
+
+TEST(MontgomeryTest, WindowedPowMatchesReferenceOnLargeModuli) {
+  // The fixed-window path kicks in for big exponents; cross-check it against
+  // the naive square-and-multiply reference over random 512..2048-bit odd
+  // moduli (window sizes 4 and 5 per WindowBitsFor).
+  Rng rng(6);
+  for (size_t bits : {512u, 1024u, 2048u}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      BigUInt m = BigUInt::RandomBits(&rng, bits);
+      m.SetBit(0);
+      m.SetBit(bits - 1);
+      BigUInt base = BigUInt::RandomBelow(&rng, m);
+      BigUInt exp = BigUInt::RandomBits(&rng, bits);
+      auto ctx = MontgomeryContext::Create(m).ValueOrDie();
+      ASSERT_EQ(ctx.Pow(base, exp), ReferencePow(base, exp, m))
+          << "bits " << bits << " trial " << trial;
+    }
+  }
+}
+
+TEST(MontgomeryTest, WindowedPowExponentStructureEdges) {
+  // Exponents whose windows are all-zero, all-one, or straddle the top
+  // digit stress the first-digit and skip-zero-window logic.
+  Rng rng(7);
+  BigUInt m = BigUInt::RandomBits(&rng, 512);
+  m.SetBit(0);
+  m.SetBit(511);
+  auto ctx = MontgomeryContext::Create(m).ValueOrDie();
+  BigUInt base = BigUInt::RandomBelow(&rng, m);
+  std::vector<BigUInt> exps;
+  exps.push_back(BigUInt::PowerOfTwo(511));                // Lone top bit.
+  exps.push_back(BigUInt::PowerOfTwo(512) - BigUInt(1));   // All ones.
+  exps.push_back(BigUInt::PowerOfTwo(253));                // Mid-digit bit.
+  exps.push_back(BigUInt(1));
+  exps.push_back(BigUInt((1u << 16) - 1));                 // Short exponent.
+  for (const auto& exp : exps) {
+    ASSERT_EQ(ctx.Pow(base, exp), ReferencePow(base, exp, m))
+        << "exp bits " << exp.BitLength();
+  }
+}
+
+TEST(MontgomeryTest, FixedBaseTableMatchesGenericPow) {
+  Rng rng(8);
+  for (size_t bits : {512u, 1024u, 2048u}) {
+    BigUInt m = BigUInt::RandomBits(&rng, bits);
+    m.SetBit(0);
+    m.SetBit(bits - 1);
+    auto ctx = MontgomeryContext::Create(m).ValueOrDie();
+    BigUInt base = BigUInt::RandomBelow(&rng, m);
+    FixedBaseTable table(&ctx, base, bits);
+    for (int trial = 0; trial < 5; ++trial) {
+      BigUInt exp = BigUInt::RandomBits(&rng, bits);
+      ASSERT_EQ(table.Pow(exp), ctx.Pow(base, exp))
+          << "bits " << bits << " trial " << trial;
+    }
+    // Degenerate exponents.
+    EXPECT_EQ(table.Pow(BigUInt(0)), BigUInt(1));
+    EXPECT_EQ(table.Pow(BigUInt(1)), base % m);
+  }
+}
+
+TEST(MontgomeryTest, FixedBaseTableFallsBackOnOversizeExponent) {
+  Rng rng(9);
+  BigUInt m = BigUInt::RandomBits(&rng, 512);
+  m.SetBit(0);
+  m.SetBit(511);
+  auto ctx = MontgomeryContext::Create(m).ValueOrDie();
+  BigUInt base = BigUInt::RandomBelow(&rng, m);
+  FixedBaseTable table(&ctx, base, /*max_exp_bits=*/128);
+  // An exponent wider than the table still computes correctly (generic
+  // path), and an in-range exponent uses the table.
+  BigUInt big_exp = BigUInt::RandomBits(&rng, 512);
+  EXPECT_EQ(table.Pow(big_exp), ctx.Pow(base, big_exp));
+  BigUInt small_exp = BigUInt::RandomBits(&rng, 128);
+  EXPECT_EQ(table.Pow(small_exp), ctx.Pow(base, small_exp));
+}
+
+TEST(MontgomeryTest, FixedBaseTableSmallExponentWindow) {
+  // max_exp_bits <= 64 selects the narrow window; exhaustively check small
+  // exponents against direct computation.
+  auto ctx = MontgomeryContext::Create(BigUInt(1000003)).ValueOrDie();
+  BigUInt base(12345);
+  FixedBaseTable table(&ctx, base, /*max_exp_bits=*/16);
+  for (uint64_t e = 0; e < 300; ++e) {
+    ASSERT_EQ(table.Pow(BigUInt(e)), ctx.Pow(base, BigUInt(e))) << "e " << e;
   }
 }
 

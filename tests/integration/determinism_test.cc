@@ -1,0 +1,179 @@
+// Thread-count determinism regression: the parallel crypto engine must not
+// change a single transcript byte. Every RNG draw happens in serial program
+// order and only pure modular arithmetic fans out (common/thread_pool.h), so
+// a protocol run with an 8-worker pool must produce the exact envelope
+// sequence — frame for frame, byte for byte — and the exact metering report
+// of the single-threaded run. This pins the contract that lets the chaos
+// suite, the cost model, and golden transcripts ignore PSI_THREADS.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "actionlog/generator.h"
+#include "actionlog/partition.h"
+#include "common/thread_pool.h"
+#include "graph/generators.h"
+#include "influence/em_learner.h"
+#include "mpc/homomorphic_sum.h"
+#include "mpc/propagation_protocol.h"
+
+namespace psi {
+namespace {
+
+// Network that records every transmitted frame (envelope bytes included)
+// in order. Two runs are transcript-identical iff their logs compare equal.
+class TranscriptNetwork : public Network {
+ public:
+  struct Frame {
+    PartyId from;
+    PartyId to;
+    std::vector<uint8_t> bytes;
+    bool operator==(const Frame& o) const {
+      return std::tie(from, to, bytes) == std::tie(o.from, o.to, o.bytes);
+    }
+  };
+
+  const std::vector<Frame>& frames() const { return frames_; }
+
+ protected:
+  Status Transmit(PartyId from, PartyId to,
+                  std::vector<uint8_t> frame) override {
+    frames_.push_back(Frame{from, to, frame});
+    return Network::Transmit(from, to, std::move(frame));
+  }
+
+ private:
+  std::vector<Frame> frames_;
+};
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  ~DeterminismTest() override { ThreadPool::Global().SetNumThreads(1); }
+};
+
+struct P6Run {
+  std::vector<TranscriptNetwork::Frame> frames;
+  std::string traffic;
+  std::vector<std::vector<std::tuple<NodeId, NodeId, uint64_t>>> arcs;
+};
+
+P6Run RunProtocol6(size_t num_threads) {
+  ThreadPool::Global().SetNumThreads(num_threads);
+  Rng world_rng(77);
+  auto graph = ErdosRenyiArcs(&world_rng, 30, 120).ValueOrDie();
+  auto truth = GroundTruthInfluence::Random(&world_rng, graph, 0.2, 0.8);
+  CascadeParams params;
+  params.num_actions = 12;
+  params.seeds_per_action = 2;
+  auto log = GenerateCascades(&world_rng, graph, truth, params).ValueOrDie();
+  auto provider_logs = ExclusivePartition(&world_rng, log, 3).ValueOrDie();
+
+  TranscriptNetwork net;
+  PartyId host = net.RegisterParty("H");
+  std::vector<PartyId> providers{net.RegisterParty("P1"),
+                                 net.RegisterParty("P2"),
+                                 net.RegisterParty("P3")};
+  Protocol6Config cfg;
+  cfg.rsa_bits = 384;
+  cfg.encryption = Protocol6Config::EncryptionMode::kPerInteger;
+  Rng r1(31), r2(32), r3(33), host_rng(34);
+  std::vector<Rng*> rngs{&r1, &r2, &r3};
+  PropagationGraphProtocol proto(&net, host, providers, cfg);
+  auto out = proto.Run(graph, params.num_actions, provider_logs, &host_rng,
+                       rngs).ValueOrDie();
+
+  P6Run run;
+  run.frames = net.frames();
+  run.traffic = net.Report().ToString();
+  run.arcs.resize(out.graphs.size());
+  for (size_t a = 0; a < out.graphs.size(); ++a) {
+    for (NodeId v = 0; v < out.graphs[a].num_nodes(); ++v) {
+      for (const auto& arc : out.graphs[a].OutArcs(v)) {
+        run.arcs[a].emplace_back(v, arc.to, arc.delta_t);
+      }
+    }
+  }
+  return run;
+}
+
+TEST_F(DeterminismTest, Protocol6TranscriptInvariantUnderThreadCount) {
+  P6Run serial = RunProtocol6(1);
+  P6Run threaded = RunProtocol6(8);
+  ASSERT_EQ(serial.frames.size(), threaded.frames.size());
+  for (size_t i = 0; i < serial.frames.size(); ++i) {
+    ASSERT_EQ(serial.frames[i], threaded.frames[i]) << "frame " << i;
+  }
+  EXPECT_EQ(serial.traffic, threaded.traffic);
+  EXPECT_EQ(serial.arcs, threaded.arcs);
+}
+
+struct HSumRun {
+  std::vector<TranscriptNetwork::Frame> frames;
+  std::string traffic;
+  std::vector<BigUInt> s1;
+  std::vector<BigUInt> s2;
+};
+
+HSumRun RunHomomorphicSum(size_t num_threads) {
+  ThreadPool::Global().SetNumThreads(num_threads);
+  TranscriptNetwork net;
+  std::vector<PartyId> players{net.RegisterParty("P1"),
+                               net.RegisterParty("P2"),
+                               net.RegisterParty("P3")};
+  std::vector<std::vector<uint64_t>> inputs{{5, 0, 19, 3}, {7, 1, 2, 8},
+                                            {11, 4, 6, 100}};
+  Rng r1(91), r2(92), r3(93);
+  std::vector<Rng*> rngs{&r1, &r2, &r3};
+  HomomorphicSumProtocol proto(&net, players, 512);
+  auto shares = proto.Run(inputs, rngs, "det.").ValueOrDie();
+  HSumRun run;
+  run.frames = net.frames();
+  run.traffic = net.Report().ToString();
+  run.s1 = std::move(shares.s1);
+  run.s2 = std::move(shares.s2);
+  return run;
+}
+
+TEST_F(DeterminismTest, PaillierSumTranscriptInvariantUnderThreadCount) {
+  HSumRun serial = RunHomomorphicSum(1);
+  HSumRun threaded = RunHomomorphicSum(8);
+  ASSERT_EQ(serial.frames.size(), threaded.frames.size());
+  for (size_t i = 0; i < serial.frames.size(); ++i) {
+    ASSERT_EQ(serial.frames[i], threaded.frames[i]) << "frame " << i;
+  }
+  EXPECT_EQ(serial.traffic, threaded.traffic);
+  EXPECT_EQ(serial.s1, threaded.s1);
+  EXPECT_EQ(serial.s2, threaded.s2);
+}
+
+TEST_F(DeterminismTest, EmLearnerBitIdenticalAcrossThreadCounts) {
+  // The E-step reduction uses thread-count-invariant chunking, so learned
+  // probabilities must compare EXACTLY equal (not just within tolerance).
+  Rng rng(55);
+  auto graph = ErdosRenyiArcs(&rng, 60, 360).ValueOrDie();
+  auto truth = GroundTruthInfluence::Uniform(graph, 0.35);
+  CascadeParams params;
+  params.num_actions = 40;
+  auto log = GenerateCascades(&rng, graph, truth, params).ValueOrDie();
+  EmConfig cfg;
+  cfg.h = 4;
+  cfg.max_iterations = 15;
+
+  ThreadPool::Global().SetNumThreads(1);
+  auto serial = LearnInfluenceEm(graph, log, cfg).ValueOrDie();
+  ThreadPool::Global().SetNumThreads(8);
+  auto threaded = LearnInfluenceEm(graph, log, cfg).ValueOrDie();
+
+  EXPECT_EQ(serial.iterations, threaded.iterations);
+  ASSERT_EQ(serial.influence.p.size(), threaded.influence.p.size());
+  for (size_t k = 0; k < serial.influence.p.size(); ++k) {
+    EXPECT_EQ(serial.influence.p[k], threaded.influence.p[k]) << "arc " << k;
+  }
+  EXPECT_EQ(serial.log_likelihood, threaded.log_likelihood);
+}
+
+}  // namespace
+}  // namespace psi
