@@ -34,7 +34,7 @@ void EncryptionModes() {
   double hybrid_time = 0;
   for (auto mode : {Protocol6Config::EncryptionMode::kHybrid,
                     Protocol6Config::EncryptionMode::kPerInteger}) {
-    auto world = MakeWorld(2, 50, 200, 30, /*seed=*/11);
+    auto world = MakeWorld(2, 50, 200, 30, /*seed=*/BenchSeed(11));
   World& w = *world;
     Protocol6Config cfg;
     cfg.rsa_bits = 512;

@@ -28,7 +28,7 @@ void Run() {
   constexpr size_t kArcs = 300;
   constexpr uint64_t kWindow = 3;
 
-  Rng rng(2718);
+  Rng rng(BenchSeed(2718));
   auto graph = ErdosRenyiArcs(&rng, kUsers, kArcs).ValueOrDie();
   auto truth = GroundTruthInfluence::Random(&rng, graph, 0.05, 0.9);
 

@@ -25,7 +25,7 @@ void SweepBudget() {
               "bytes vs k=10");
   uint64_t base_bytes = 0;
   for (uint64_t k : {10u, 20u, 40u, 80u, 160u}) {
-    auto world = MakeWorld(3, 200, 1000, 80, /*seed=*/33);
+    auto world = MakeWorld(3, 200, 1000, 80, /*seed=*/BenchSeed(33));
   World& w = *world;
     Protocol4Config cfg;
     cfg.epsilon_log2 = k;

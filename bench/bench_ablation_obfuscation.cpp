@@ -24,7 +24,7 @@ void SweepObfuscationFactor() {
   std::printf("%8s %8s %12s %14s %20s\n", "c", "q", "bytes",
               "bytes/true arc", "P(pair in E | Omega)");
   for (double c : {1.25, 1.5, 2.0, 3.0, 5.0}) {
-    auto world = MakeWorld(3, 200, 1000, 80, /*seed=*/97);
+    auto world = MakeWorld(3, 200, 1000, 80, /*seed=*/BenchSeed(97));
   World& w = *world;
     Protocol4Config cfg;
     cfg.obfuscation_factor = c;
@@ -55,7 +55,7 @@ void CompareObfuscationMethods() {
         {"enhanced", ObfuscationMethod::kEnhanced, 4},
         {"enhanced", ObfuscationMethod::kEnhanced, 16},
         {"enhanced", ObfuscationMethod::kEnhanced, 64}}) {
-    Rng rng(555);
+    Rng rng(BenchSeed(555));
     auto graph = ErdosRenyiArcs(&rng, 60, 300).ValueOrDie();
     auto truth = GroundTruthInfluence::Uniform(graph, 0.4);
     CascadeParams params;

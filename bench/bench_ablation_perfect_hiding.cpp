@@ -33,7 +33,7 @@ void Run() {
   for (size_t n : {6u, 8u, 10u, 14u}) {
     size_t arcs = 2 * n;
     // Standard Protocol 4.
-    auto world_a = MakeWorld(2, n, arcs, 20, /*seed=*/n);
+    auto world_a = MakeWorld(2, n, arcs, 20, /*seed=*/BenchSeed(n));
     World& wa = *world_a;
     Protocol4Config p4_cfg;
     LinkInfluenceProtocol p4(&wa.net, wa.host, wa.providers, p4_cfg);
@@ -45,7 +45,7 @@ void Run() {
     uint64_t p4_bytes = wa.net.Report().num_bytes;
 
     // OT-based perfect hiding, same world.
-    auto world_b = MakeWorld(2, n, arcs, 20, /*seed=*/n);
+    auto world_b = MakeWorld(2, n, arcs, 20, /*seed=*/BenchSeed(n));
     World& wb = *world_b;
     PerfectHidingConfig ph_cfg;
     PerfectHidingLinkInfluenceProtocol ph(&wb.net, wb.host, wb.providers,

@@ -13,6 +13,7 @@
 #include "bigint/modular.h"
 #include "bigint/montgomery.h"
 #include "bigint/primes.h"
+#include "crypto/packing.h"
 #include "crypto/paillier.h"
 #include "crypto/rsa.h"
 #include "crypto/sha256.h"
@@ -20,6 +21,7 @@
 #include "influence/influence_max.h"
 #include "influence/link_influence.h"
 #include "influence/user_score.h"
+#include "mpc/homomorphic_sum.h"
 #include "mpc/link_influence_protocol.h"
 #include "mpc/secure_sum.h"
 
@@ -210,6 +212,79 @@ BENCHMARK(BM_PaillierRandomizerPoolCreate)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
+void BM_PaillierDecrypt(benchmark::State& state) {
+  // The classic path: one c^lambda mod n^2 exponentiation per counter.
+  Rng rng(8);
+  auto kp = PaillierGenerateKeyPair(&rng, 512).ValueOrDie();
+  BigUInt c =
+      PaillierEncrypt(kp.public_key, BigUInt(123456789), &rng).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PaillierDecrypt(kp.private_key, c).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PaillierDecrypt);
+
+void BM_PaillierDecryptCrt(benchmark::State& state) {
+  // CRT path: half-size moduli and half-size exponents, Garner recombine.
+  Rng rng(8);
+  auto kp = PaillierGenerateKeyPair(&rng, 512).ValueOrDie();
+  BigUInt c =
+      PaillierEncrypt(kp.public_key, BigUInt(123456789), &rng).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PaillierDecryptCrt(kp.private_key, c).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PaillierDecryptCrt);
+
+// The homomorphic-sum packing geometry the acceptance gate measures: 512-bit
+// keys, 20-bit counters, m = 3 players, 2^-30 statistical masks.
+constexpr uint64_t kPackCounterBound = (1ull << 20) - 1;
+constexpr size_t kPackPlayers = 3;
+constexpr uint64_t kPackEpsilonLog2 = 30;
+
+void BM_PackedCounterDecrypt(benchmark::State& state) {
+  // One CRT decryption + slot extraction recovers a whole ciphertext's worth
+  // of counters; items/sec is counters per second (compare with
+  // BM_PaillierDecrypt, the old per-counter cost).
+  Rng rng(8);
+  auto kp = PaillierGenerateKeyPair(&rng, 512).ValueOrDie();
+  auto codec = HomomorphicSumPackedCodec(
+                   kp.public_key.n.BitLength() - 1, BigUInt(kPackCounterBound),
+                   kPackPlayers, kPackEpsilonLog2)
+                   .ValueOrDie();
+  const size_t k = codec.slots_per_plaintext();
+  std::vector<BigUInt> counters(k);
+  for (size_t i = 0; i < k; ++i) counters[i] = BigUInt(kPackCounterBound - i);
+  auto plain = codec.Pack(counters).ValueOrDie();
+  BigUInt c = PaillierEncrypt(kp.public_key, plain[0], &rng).ValueOrDie();
+  for (auto _ : state) {
+    BigUInt m = PaillierDecryptCrt(kp.private_key, c).ValueOrDie();
+    benchmark::DoNotOptimize(codec.Unpack({m}, k).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(k));
+  state.counters["slots"] = static_cast<double>(k);
+}
+BENCHMARK(BM_PackedCounterDecrypt);
+
+void BM_PackingRoundTrip(benchmark::State& state) {
+  // Pure codec arithmetic (no crypto): pack + unpack of `count` counters.
+  auto codec = HomomorphicSumPackedCodec(511, BigUInt(kPackCounterBound),
+                                         kPackPlayers, kPackEpsilonLog2)
+                   .ValueOrDie();
+  const auto count = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> counters(count);
+  for (size_t i = 0; i < count; ++i) counters[i] = i % kPackCounterBound;
+  for (auto _ : state) {
+    auto packed = codec.Pack(counters).ValueOrDie();
+    benchmark::DoNotOptimize(codec.UnpackU64(packed, count).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PackingRoundTrip)->Arg(512);
+
 void BM_FixedBaseTablePow(benchmark::State& state) {
   // Repeated-base exponentiation via the precomputed window table: zero
   // squarings per call, ~bits/w multiplies. Compare with BM_ModPow, which
@@ -253,6 +328,60 @@ void BM_Protocol2Batch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Protocol2Batch)->Arg(100)->Arg(1000)->Arg(5000);
+
+// Packed vs unpacked homomorphic sum at identical inputs: the two headline
+// numbers of the packing optimisation. `bits_per_counter` meters the full
+// run (key publish + ciphertext rounds + envelope overhead) from the
+// network simulator; items/sec counts aggregated counters.
+void RunHomomorphicSumBench(benchmark::State& state, bool packed) {
+  const size_t count = 512;
+  std::vector<std::vector<uint64_t>> inputs(
+      kPackPlayers, std::vector<uint64_t>(count));
+  for (size_t k = 0; k < kPackPlayers; ++k) {
+    for (size_t c = 0; c < count; ++c) {
+      inputs[k][c] = (1000 * k + 7 * c) % kPackCounterBound;
+    }
+  }
+  HomomorphicSumConfig cfg;
+  cfg.paillier_bits = 512;
+  if (packed) {
+    cfg.counter_bound = BigUInt(kPackCounterBound);
+    cfg.packing_epsilon_log2 = kPackEpsilonLog2;
+  }
+  uint64_t bytes = 0, runs = 0;
+  for (auto _ : state) {
+    Network net;
+    std::vector<PartyId> players;
+    for (size_t k = 0; k < kPackPlayers; ++k) {
+      players.push_back(net.RegisterParty("P" + std::to_string(k + 1)));
+    }
+    Rng r1(91), r2(92), r3(93);
+    std::vector<Rng*> rngs{&r1, &r2, &r3};
+    HomomorphicSumProtocol proto(&net, players, cfg);
+    benchmark::DoNotOptimize(proto.Run(inputs, rngs, "bm.").ValueOrDie());
+    if (packed && !proto.last_run_packed()) {
+      state.SkipWithError("packed run fell back to unpacked");
+      return;
+    }
+    bytes += net.Report().num_bytes;
+    ++runs;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(count));
+  if (runs > 0) {
+    state.counters["bits_per_counter"] =
+        static_cast<double>(bytes) * 8.0 / (static_cast<double>(runs) * count);
+  }
+}
+
+void BM_HomomorphicSumUnpacked(benchmark::State& state) {
+  RunHomomorphicSumBench(state, /*packed=*/false);
+}
+BENCHMARK(BM_HomomorphicSumUnpacked)->Unit(benchmark::kMillisecond);
+
+void BM_HomomorphicSumPacked(benchmark::State& state) {
+  RunHomomorphicSumBench(state, /*packed=*/true);
+}
+BENCHMARK(BM_HomomorphicSumPacked)->Unit(benchmark::kMillisecond);
 
 void BM_Protocol4EndToEnd(benchmark::State& state) {
   const auto n = static_cast<size_t>(state.range(0));

@@ -6,6 +6,7 @@
 #define PSI_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,10 +42,25 @@ struct World {
   }
 };
 
+/// \brief The bench RNG seed: PSI_BENCH_SEED when set to a valid integer,
+/// `fallback` (each bench's historical constant) otherwise. Lets a sweep
+/// re-run every bench on fresh worlds without recompiling.
+inline uint64_t BenchSeed(uint64_t fallback = 42) {
+  const char* env = std::getenv("PSI_BENCH_SEED");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return v;
+    std::fprintf(stderr, "PSI_BENCH_SEED='%s' is not an integer; using %llu\n",
+                 env, static_cast<unsigned long long>(fallback));
+  }
+  return fallback;
+}
+
 inline std::unique_ptr<World> MakeWorld(size_t num_providers,
                                         size_t num_users, size_t num_arcs,
                                         size_t num_actions,
-                                        uint64_t seed = 42) {
+                                        uint64_t seed = BenchSeed(42)) {
   auto world = std::make_unique<World>();
   World& w = *world;
   Rng rng(seed);

@@ -1,0 +1,132 @@
+#include "crypto/packing.h"
+
+namespace psi {
+
+size_t CeilLog2(uint64_t v) {
+  size_t bits = 0;
+  uint64_t pow = 1;
+  while (pow < v) {
+    ++bits;
+    if (pow > (uint64_t{1} << 62)) break;  // v > 2^63: saturate.
+    pow <<= 1;
+  }
+  return bits;
+}
+
+Result<PackingCodec> PackingCodec::Create(size_t plaintext_bits,
+                                          const BigUInt& counter_bound,
+                                          uint64_t max_additions,
+                                          size_t pad_bits) {
+  if (counter_bound.IsZero()) {
+    return Status::InvalidArgument("packing counter bound must be positive");
+  }
+  if (max_additions == 0) {
+    return Status::InvalidArgument("packing needs max_additions >= 1");
+  }
+  if (plaintext_bits <= pad_bits) {
+    return Status::InvalidArgument("pad leaves no plaintext bits to pack");
+  }
+  PackingCodec codec;
+  codec.plaintext_bits_ = plaintext_bits;
+  codec.counter_bound_ = counter_bound;
+  codec.max_additions_ = max_additions;
+  codec.pad_bits_ = pad_bits;
+  codec.guard_bits_ = CeilLog2(max_additions);
+  codec.slot_bits_ = counter_bound.BitLength() + codec.guard_bits_;
+  codec.slots_ = (plaintext_bits - pad_bits) / codec.slot_bits_;
+  if (codec.slots_ == 0) {
+    return Status::InvalidArgument(
+        "packing slot of " + std::to_string(codec.slot_bits_) +
+        " bits does not fit in " + std::to_string(plaintext_bits - pad_bits) +
+        " usable plaintext bits");
+  }
+  codec.slot_mask_plus_one_ = BigUInt::PowerOfTwo(codec.slot_bits_);
+  return codec;
+}
+
+Status PackingCodec::CheckAdditionBudget(uint64_t num_addends) const {
+  if (num_addends > max_additions_) {
+    return Status::FailedPrecondition(
+        "packed addition budget exhausted: " + std::to_string(num_addends) +
+        " addends exceed the declared max of " +
+        std::to_string(max_additions_) +
+        " (guard bits would overflow into the next slot)");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<BigUInt>> PackingCodec::Pack(
+    const std::vector<BigUInt>& counters) const {
+  return Pack(counters, std::vector<BigUInt>(NumPlaintexts(counters.size())));
+}
+
+Result<std::vector<BigUInt>> PackingCodec::Pack(
+    const std::vector<BigUInt>& counters,
+    const std::vector<BigUInt>& pads) const {
+  const size_t plaintexts = NumPlaintexts(counters.size());
+  if (pads.size() != plaintexts) {
+    return Status::InvalidArgument("need exactly one pad per plaintext");
+  }
+  std::vector<BigUInt> out(plaintexts);
+  for (size_t p = 0; p < plaintexts; ++p) {
+    if (pads[p].BitLength() > pad_bits_) {
+      return Status::InvalidArgument("packing pad wider than pad_bits");
+    }
+    BigUInt packed = pads[p];
+    const size_t begin = p * slots_;
+    const size_t end =
+        begin + slots_ < counters.size() ? begin + slots_ : counters.size();
+    for (size_t c = begin; c < end; ++c) {
+      if (counters[c] > counter_bound_) {
+        return Status::InvalidArgument(
+            "counter " + std::to_string(c) +
+            " exceeds the declared packing bound " +
+            counter_bound_.ToDecimalString() +
+            " — fall back to the unpacked path");
+      }
+      packed += counters[c] << (pad_bits_ + (c - begin) * slot_bits_);
+    }
+    out[p] = std::move(packed);
+  }
+  return out;
+}
+
+Result<std::vector<BigUInt>> PackingCodec::Pack(
+    const std::vector<uint64_t>& counters) const {
+  std::vector<BigUInt> big(counters.size());
+  for (size_t i = 0; i < counters.size(); ++i) big[i] = BigUInt(counters[i]);
+  return Pack(big);
+}
+
+Result<std::vector<BigUInt>> PackingCodec::Unpack(
+    const std::vector<BigUInt>& plaintexts, size_t count) const {
+  if (plaintexts.size() != NumPlaintexts(count)) {
+    return Status::InvalidArgument("packed plaintext count mismatch");
+  }
+  std::vector<BigUInt> out(count);
+  for (size_t p = 0; p < plaintexts.size(); ++p) {
+    if (plaintexts[p].BitLength() > plaintext_bits_) {
+      return Status::InvalidArgument("packed plaintext wider than declared");
+    }
+    BigUInt rest = plaintexts[p] >> pad_bits_;
+    const size_t begin = p * slots_;
+    const size_t end = begin + slots_ < count ? begin + slots_ : count;
+    for (size_t c = begin; c < end; ++c) {
+      out[c] = rest % slot_mask_plus_one_;
+      rest >>= slot_bits_;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> PackingCodec::UnpackU64(
+    const std::vector<BigUInt>& plaintexts, size_t count) const {
+  PSI_ASSIGN_OR_RETURN(auto big, Unpack(plaintexts, count));
+  std::vector<uint64_t> out(count);
+  for (size_t i = 0; i < count; ++i) {
+    PSI_ASSIGN_OR_RETURN(out[i], big[i].ToUint64());
+  }
+  return out;
+}
+
+}  // namespace psi

@@ -1,0 +1,114 @@
+// Plaintext slot packing for additively homomorphic counters.
+//
+// A Paillier plaintext at a 512-bit key carries ~20 useful bits when the
+// protocols move one counter per ciphertext: a >50x blowup in wire bits,
+// encryptions, homomorphic multiplies and decryptions. PackingCodec
+// concatenates k bounded counters into one plaintext, each in a fixed-width
+// slot wide enough that slot-wise sums of up to `max_additions` packed
+// plaintexts cannot carry into the neighbouring slot:
+//
+//   slot_bits = BitLength(counter_bound) + ceil(log2(max_additions))
+//   k         = floor((plaintext_bits - pad_bits) / slot_bits)
+//
+// Homomorphic addition of packed ciphertexts then adds all k slots at once,
+// and one decryption recovers k counters. The bound is *checked at pack
+// time*: a counter above `counter_bound` is a hard error, never silent
+// corruption, so a caller that cannot prove its bound must fall back to the
+// unpacked path instead.
+//
+// `pad_bits` reserves the low bits of every plaintext for a caller-supplied
+// randomizer (Protocol 6 packs under deterministic RSA, which needs a random
+// pad exactly like its per-integer mode). Paillier callers leave it 0.
+//
+// The codec is pure arithmetic over public parameters — both endpoints of a
+// protocol derive the same geometry from the public key size and the public
+// counter bound, so no extra negotiation travels on the wire.
+
+#ifndef PSI_CRYPTO_PACKING_H_
+#define PSI_CRYPTO_PACKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/biguint.h"
+#include "common/status.h"
+
+namespace psi {
+
+/// \brief Fixed-geometry codec packing bounded counters into plaintext slots.
+class PackingCodec {
+ public:
+  /// \brief Builds a codec.
+  ///
+  /// \param plaintext_bits usable bits of one plaintext (use key bits - 1 so
+  ///        every packed value stays below the modulus).
+  /// \param counter_bound inclusive upper bound of every packed counter.
+  /// \param max_additions how many packed plaintexts may be added slot-wise
+  ///        (>= 1; the pack itself counts as one).
+  /// \param pad_bits low bits reserved per plaintext for a randomizer pad.
+  /// \return InvalidArgument when the geometry yields no whole slot.
+  static Result<PackingCodec> Create(size_t plaintext_bits,
+                                     const BigUInt& counter_bound,
+                                     uint64_t max_additions,
+                                     size_t pad_bits = 0);
+
+  size_t slot_bits() const { return slot_bits_; }
+  size_t slots_per_plaintext() const { return slots_; }
+  size_t guard_bits() const { return guard_bits_; }
+  size_t pad_bits() const { return pad_bits_; }
+  uint64_t max_additions() const { return max_additions_; }
+  const BigUInt& counter_bound() const { return counter_bound_; }
+
+  /// \brief Plaintexts needed for `count` counters: ceil(count / k).
+  size_t NumPlaintexts(size_t count) const {
+    return (count + slots_ - 1) / slots_;
+  }
+
+  /// \brief Guard-bit budget check: adding `num_addends` packed plaintexts
+  /// slot-wise is safe only while num_addends <= max_additions. Callers
+  /// about to fold ciphertexts together must consult this first.
+  Status CheckAdditionBudget(uint64_t num_addends) const;
+
+  /// \brief Packs counters into NumPlaintexts(counters.size()) plaintexts.
+  /// The last plaintext's tail slots are zero. Returns InvalidArgument on
+  /// the first counter above counter_bound (the pack-time bound check).
+  Result<std::vector<BigUInt>> Pack(const std::vector<BigUInt>& counters) const;
+
+  /// \brief Pack() plus a caller-drawn pad per plaintext, stored in the low
+  /// pad_bits. pads.size() must equal NumPlaintexts(counters.size()); each
+  /// pad must fit pad_bits.
+  Result<std::vector<BigUInt>> Pack(const std::vector<BigUInt>& counters,
+                                    const std::vector<BigUInt>& pads) const;
+
+  /// \brief Convenience overload for native counters.
+  Result<std::vector<BigUInt>> Pack(const std::vector<uint64_t>& counters) const;
+
+  /// \brief Recovers `count` slot values (pads are skipped, not returned).
+  /// Slot values up to max_additions * counter_bound round-trip exactly;
+  /// rejects plaintexts wider than the declared geometry.
+  Result<std::vector<BigUInt>> Unpack(const std::vector<BigUInt>& plaintexts,
+                                      size_t count) const;
+
+  /// \brief Unpack() narrowed to uint64 (OutOfRange when a slot exceeds it).
+  Result<std::vector<uint64_t>> UnpackU64(
+      const std::vector<BigUInt>& plaintexts, size_t count) const;
+
+ private:
+  PackingCodec() = default;
+
+  size_t plaintext_bits_ = 0;
+  size_t slot_bits_ = 0;
+  size_t guard_bits_ = 0;
+  size_t pad_bits_ = 0;
+  size_t slots_ = 0;
+  uint64_t max_additions_ = 1;
+  BigUInt counter_bound_;
+  BigUInt slot_mask_plus_one_;  // 2^slot_bits, for slot extraction.
+};
+
+/// \brief ceil(log2(v)) for v >= 1 (0 for v == 1).
+size_t CeilLog2(uint64_t v);
+
+}  // namespace psi
+
+#endif  // PSI_CRYPTO_PACKING_H_

@@ -22,12 +22,29 @@ struct PaillierPublicKey {
   size_t CiphertextBytes() const { return (n_squared.BitLength() + 7) / 8; }
 };
 
-/// \brief Paillier private key (lambda, mu).
+/// \brief Paillier private key (lambda, mu) plus precomputed CRT parameters.
+///
+/// The CRT block is filled by PaillierGenerateKeyPair and lets
+/// PaillierDecryptCrt exponentiate mod p^2 and q^2 (half-size moduli,
+/// half-size exponents) instead of mod n^2 — ~3-4x per decryption. Keys
+/// deserialized from the legacy wire format lack the block (HasCrt() is
+/// false) and decrypt through the classic path.
 struct PaillierPrivateKey {
   BigUInt n;
   BigUInt n_squared;
   BigUInt lambda;  ///< lcm(p-1, q-1)
   BigUInt mu;      ///< (L(g^lambda mod n^2))^-1 mod n
+
+  // -- CRT block (empty when unavailable) -----------------------------------
+  BigUInt p;          ///< First prime factor of n.
+  BigUInt q;          ///< Second prime factor.
+  BigUInt p_squared;  ///< p^2.
+  BigUInt q_squared;  ///< q^2.
+  BigUInt hp;  ///< (L_p((n+1)^(p-1) mod p^2))^-1 mod p, L_p(u) = (u-1)/p.
+  BigUInt hq;  ///< (L_q((n+1)^(q-1) mod q^2))^-1 mod q.
+  BigUInt q_inv_p;  ///< q^-1 mod p, for Garner recombination.
+
+  bool HasCrt() const { return !p.IsZero(); }
 };
 
 struct PaillierKeyPair {
@@ -86,6 +103,28 @@ Result<std::vector<BigUInt>> PaillierEncryptBatch(
 /// \brief Decrypts: m = L(c^lambda mod n^2) * mu mod n, L(u) = (u-1)/n.
 Result<BigUInt> PaillierDecrypt(const PaillierPrivateKey& key,
                                 const BigUInt& c);
+
+/// \brief CRT-accelerated decryption: exponentiates mod p^2 and q^2 with
+/// exponents p-1 and q-1, recombines via Garner — same result as
+/// PaillierDecrypt at ~3-4x the speed (half-size moduli AND half-size
+/// exponents). Falls back to PaillierDecrypt when the key lacks the CRT
+/// block. Rejects c >= n^2 and (like the classic path) ciphertexts not
+/// coprime to n as malformed.
+Result<BigUInt> PaillierDecryptCrt(const PaillierPrivateKey& key,
+                                   const BigUInt& c);
+
+/// \brief Decrypts a vector, fanning the pure per-ciphertext CRT
+/// exponentiations out across the thread pool. Results are index-aligned
+/// and identical to serial PaillierDecryptCrt calls.
+Result<std::vector<BigUInt>> PaillierDecryptBatch(
+    const PaillierPrivateKey& key, const std::vector<BigUInt>& ciphertexts);
+
+/// \brief Serializes a private key. Writes the versioned format (v1) that
+/// carries the CRT block; ReadPaillierPrivateKey also accepts the legacy
+/// v0 layout (n, lambda, mu — no version byte, no CRT block), yielding a
+/// key with HasCrt() == false that still decrypts via the classic path.
+void WritePaillierPrivateKey(BinaryWriter* w, const PaillierPrivateKey& key);
+Status ReadPaillierPrivateKey(BinaryReader* r, PaillierPrivateKey* out);
 
 /// \brief Homomorphic addition: Dec(AddCiphertexts(c1, c2)) = m1 + m2 mod n.
 BigUInt PaillierAddCiphertexts(const PaillierPublicKey& key, const BigUInt& c1,

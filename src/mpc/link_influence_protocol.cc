@@ -7,6 +7,7 @@
 #include "common/serialize.h"
 #include "common/thread_pool.h"
 #include "graph/generators.h"
+#include "mpc/homomorphic_sum.h"
 #include "mpc/joint_random.h"
 
 namespace psi {
@@ -211,21 +212,62 @@ Result<LinkInfluence> LinkInfluenceProtocol::Run(
   if (config_.weights.has_value()) {
     bound = bound * BigUInt(config_.weight_scale) * BigUInt(config_.h);
   }
-  modulus_ = config_.modulus_s.has_value()
-                 ? *config_.modulus_s
-                 : RecommendedModulus(bound, n + q, config_.epsilon_log2);
 
-  // ---- Steps 3-4: batched Protocol 2 over all n + q counters. ----
-  SecureSumConfig sum_config;
-  sum_config.modulus_s = modulus_;
-  sum_config.input_bound_a = bound;
-  sum_config.use_secret_permutation = config_.use_secret_permutation;
-  PartyId third_party = (m > 2) ? providers_[2] : host_;
-  SecureSumProtocol secure_sum(network_, providers_, third_party, sum_config);
-  PSI_ASSIGN_OR_RETURN(
-      BatchedIntegerShares shares,
-      secure_sum.RunProtocol2(inputs, provider_rngs, pair_secret_rng, "P4."));
-  views_.secure_sum = secure_sum.views();
+  // ---- Steps 3-4: aggregate all n + q counters into integer shares. ----
+  // Packed Paillier aggregation applies only when the public bound A holds
+  // for every actual input (never assume — a violation would silently
+  // corrupt neighbouring slots) and a whole slot fits the key. The
+  // geometry check runs at paillier_bits - 2 usable bits because the
+  // generated modulus may come out one bit short of the nominal size.
+  views_.used_packed_aggregation = false;
+  views_.packed_slots = 1;
+  bool pack = config_.aggregation == P4Aggregation::kPaillierPacked;
+  if (pack) {
+    for (const auto& v : inputs) {
+      for (uint64_t x : v) {
+        if (BigUInt(x) > bound) {
+          pack = false;  // bound not proven: fall back to Protocol 2.
+          break;
+        }
+      }
+      if (!pack) break;
+    }
+  }
+  if (pack && config_.paillier_bits >= 2) {
+    pack = HomomorphicSumPackedCodec(config_.paillier_bits - 2, bound, m,
+                                     config_.epsilon_log2)
+               .ok();
+  }
+
+  BatchedIntegerShares shares;
+  if (pack) {
+    HomomorphicSumConfig sum_config;
+    sum_config.paillier_bits = config_.paillier_bits;
+    sum_config.counter_bound = bound;
+    sum_config.packing_epsilon_log2 = config_.epsilon_log2;
+    HomomorphicSumProtocol hsum(network_, providers_, sum_config);
+    PSI_ASSIGN_OR_RETURN(
+        shares, hsum.RunInteger(inputs, provider_rngs, "P4."));
+    modulus_ = hsum.modulus();
+    views_.used_packed_aggregation = true;
+    views_.packed_slots = hsum.last_run_slots();
+  } else {
+    modulus_ = config_.modulus_s.has_value()
+                   ? *config_.modulus_s
+                   : RecommendedModulus(bound, n + q, config_.epsilon_log2);
+    SecureSumConfig sum_config;
+    sum_config.modulus_s = modulus_;
+    sum_config.input_bound_a = bound;
+    sum_config.use_secret_permutation = config_.use_secret_permutation;
+    PartyId third_party = (m > 2) ? providers_[2] : host_;
+    SecureSumProtocol secure_sum(network_, providers_, third_party,
+                                 sum_config);
+    PSI_ASSIGN_OR_RETURN(
+        shares,
+        secure_sum.RunProtocol2(inputs, provider_rngs, pair_secret_rng,
+                                "P4."));
+    views_.secure_sum = secure_sum.views();
+  }
 
   // ---- Steps 5-6: joint per-user masks M_i ~ Z and r_i ~ U(0, M_i). ----
   PSI_ASSIGN_OR_RETURN(

@@ -53,16 +53,29 @@ struct AggregatedClassCounters {
   uint64_t FollowCount(NodeId i, NodeId j, uint64_t h) const;
 };
 
+/// \brief How the provider counter vectors are turned into additive shares.
+enum class P4Aggregation {
+  /// Batched Protocol 2 (the paper's path, third party + permutation).
+  kSecureSum,
+  /// Packed Paillier aggregation (mpc/homomorphic_sum.h): k counters per
+  /// ciphertext, CRT decryption, no third party. Falls back to kSecureSum
+  /// when the counter bound A can't be proven for the actual inputs or no
+  /// whole slot fits the key.
+  kPaillierPacked,
+};
+
 /// \brief Protocol 4 parameters (public to all players).
 struct Protocol4Config {
   uint64_t h = 4;                   ///< Memory window width.
   double obfuscation_factor = 2.0;  ///< The c > 1 of step 1.
   uint64_t epsilon_log2 = 40;       ///< Theorem 4.1 leakage budget 2^-eps.
-  std::optional<BigUInt> modulus_s; ///< Explicit S override (else auto).
+  std::optional<BigUInt> modulus_s; ///< Explicit S override (kSecureSum only).
   bool use_secret_permutation = true;
   size_t fraction_bits = 64;        ///< Fixed-point resolution of r_i.
   std::optional<TemporalWeights> weights;  ///< Eq. (2) variant when set.
   uint64_t weight_scale = 1u << 16; ///< Fixed-point scale for w_l.
+  P4Aggregation aggregation = P4Aggregation::kSecureSum;
+  size_t paillier_bits = 512;       ///< Key size for kPaillierPacked.
 };
 
 /// \brief Observations recorded for the privacy tests.
@@ -72,6 +85,10 @@ struct Protocol4Views {
   std::vector<double> host_masked_a;
   std::vector<double> host_masked_b;
   SecureSumViews secure_sum;
+  /// Whether the last run aggregated via packed Paillier (vs Protocol 2).
+  bool used_packed_aggregation = false;
+  /// Counters per Paillier ciphertext of the last packed run (1 otherwise).
+  size_t packed_slots = 1;
 };
 
 /// \brief The counter vector one provider contributes to the batched secure

@@ -1,11 +1,13 @@
 #include "mpc/propagation_protocol.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/serialize.h"
 #include "common/thread_pool.h"
+#include "crypto/packing.h"
 #include "graph/generators.h"
 
 namespace psi {
@@ -62,12 +64,59 @@ Status UnpackPublicKey(const std::vector<uint8_t>& buf, RsaPublicKey* out) {
 // Encrypted Delta vector of one action, as serialized on the wire.
 constexpr uint8_t kModePerInteger = 0;
 constexpr uint8_t kModeHybrid = 1;
+constexpr uint8_t kModePacked = 2;
+
+// Both endpoints derive the packed geometry from the published modulus and
+// the public Delta bound: one slot per Delta, low 64 bits reserved for the
+// randomizer pad (same randomization as kPerInteger, amortized over k
+// slots). InvalidArgument when no whole slot fits z - 65 bits.
+Result<PackingCodec> DeltaPackingCodec(const BigUInt& rsa_modulus,
+                                       uint64_t delta_bound) {
+  return PackingCodec::Create(rsa_modulus.BitLength() - 1,
+                              BigUInt(delta_bound),
+                              /*max_additions=*/1, /*pad_bits=*/64);
+}
 
 Status EncryptDeltaVector(const RsaPublicKey& key,
                           Protocol6Config::EncryptionMode mode,
+                          const PackingCodec* codec, uint64_t delta_bound,
                           uint32_t action, const std::vector<uint64_t>& delta,
                           Rng* rng, BinaryWriter* w) {
   w->WriteU32(action);
+  if (mode == Protocol6Config::EncryptionMode::kPackedInteger) {
+    // The bound is public but this provider's Deltas are not guaranteed to
+    // obey it; a violation downgrades this one vector to kPerInteger
+    // (slot corruption is never an option).
+    bool bounded = codec != nullptr;
+    for (uint64_t d : delta) {
+      if (d > delta_bound) {
+        bounded = false;
+        break;
+      }
+    }
+    if (bounded) {
+      w->WriteU8(kModePacked);
+      w->WriteVarU64(delta.size());
+      const size_t num_ct = codec->NumPlaintexts(delta.size());
+      // Pads are drawn serially in wire order (determinism contract); only
+      // the RSA exponentiations fan out.
+      std::vector<BigUInt> counters(delta.size());
+      for (size_t i = 0; i < delta.size(); ++i) counters[i] = BigUInt(delta[i]);
+      std::vector<BigUInt> pads(num_ct);
+      for (auto& p : pads) p = BigUInt(rng->NextU64());
+      PSI_ASSIGN_OR_RETURN(std::vector<BigUInt> plain,
+                           codec->Pack(counters, pads));
+      std::vector<BigUInt> cts(plain.size());
+      PSI_RETURN_NOT_OK(
+          ParallelForStatus(plain.size(), [&](size_t i) -> Status {
+            PSI_ASSIGN_OR_RETURN(cts[i], RsaEncrypt(key, plain[i]));
+            return Status::OK();
+          }));
+      for (const BigUInt& c : cts) WriteBigUInt(w, c);
+      return Status::OK();
+    }
+    mode = Protocol6Config::EncryptionMode::kPerInteger;
+  }
   if (mode == Protocol6Config::EncryptionMode::kPerInteger) {
     w->WriteU8(kModePerInteger);
     w->WriteVarU64(delta.size());
@@ -99,11 +148,29 @@ Status EncryptDeltaVector(const RsaPublicKey& key,
   return Status::OK();
 }
 
-Status DecryptDeltaVector(const RsaPrivateKey& key, BinaryReader* r,
-                          uint32_t* action, std::vector<uint64_t>* delta) {
+Status DecryptDeltaVector(const RsaPrivateKey& key, const PackingCodec* codec,
+                          BinaryReader* r, uint32_t* action,
+                          std::vector<uint64_t>* delta) {
   PSI_RETURN_NOT_OK(r->ReadU32(action));
   uint8_t mode;
   PSI_RETURN_NOT_OK(r->ReadU8(&mode));
+  if (mode == kModePacked) {
+    if (codec == nullptr) {
+      return Status::ProtocolError("packed mode byte but packing not enabled");
+    }
+    uint64_t count;
+    PSI_RETURN_NOT_OK(r->ReadCount(&count));
+    const size_t num_ct = codec->NumPlaintexts(count);
+    std::vector<BigUInt> cts(num_ct);
+    for (auto& c : cts) PSI_RETURN_NOT_OK(ReadBigUInt(r, &c));
+    std::vector<BigUInt> plain(num_ct);
+    PSI_RETURN_NOT_OK(ParallelForStatus(num_ct, [&](size_t i) -> Status {
+      PSI_ASSIGN_OR_RETURN(plain[i], RsaDecrypt(key, cts[i]));
+      return Status::OK();
+    }));
+    PSI_ASSIGN_OR_RETURN(*delta, codec->UnpackU64(plain, count));
+    return Status::OK();
+  }
   if (mode == kModePerInteger) {
     uint64_t count;
     PSI_RETURN_NOT_OK(r->ReadCount(&count));
@@ -201,6 +268,17 @@ Result<Protocol6Output> PropagationGraphProtocol::Run(
     PSI_RETURN_NOT_OK(UnpackPublicKey(buf, &provider_keys[k]));
   }
 
+  // Packed geometry, derived by every party from the published modulus and
+  // the public Delta bound. When no whole slot fits the key the whole run
+  // downgrades to per-integer ciphertexts (codec stays null).
+  std::optional<PackingCodec> codec;
+  if (config_.encryption == Protocol6Config::EncryptionMode::kPackedInteger) {
+    auto codec_or =
+        DeltaPackingCodec(keys.public_key.n, config_.packed_delta_bound);
+    if (codec_or.ok()) codec = *codec_or;
+  }
+  const PackingCodec* codec_ptr = codec.has_value() ? &*codec : nullptr;
+
   // ---- Steps 4-9: providers encrypt their Delta vectors, route via P1. ----
   network_->BeginRound("P6.Steps4-9 (P_k -> P_1: E(Delta))");
   std::vector<std::vector<uint8_t>> provider_payloads(m);
@@ -225,9 +303,9 @@ Result<Protocol6Output> PropagationGraphProtocol::Run(
           delta[p] = tj - ti;
         }
       }
-      PSI_RETURN_NOT_OK(EncryptDeltaVector(provider_keys[k],
-                                           config_.encryption, action, delta,
-                                           provider_rngs[k], &w));
+      PSI_RETURN_NOT_OK(EncryptDeltaVector(
+          provider_keys[k], config_.encryption, codec_ptr,
+          config_.packed_delta_bound, action, delta, provider_rngs[k], &w));
     }
     provider_payloads[k] = w.TakeBuffer();
     if (k != 0) {
@@ -271,8 +349,8 @@ Result<Protocol6Output> PropagationGraphProtocol::Run(
     for (uint64_t i = 0; i < action_count; ++i) {
       uint32_t action;
       std::vector<uint64_t> delta;
-      PSI_RETURN_NOT_OK(
-          DecryptDeltaVector(keys.private_key, &reader, &action, &delta));
+      PSI_RETURN_NOT_OK(DecryptDeltaVector(keys.private_key, codec_ptr,
+                                           &reader, &action, &delta));
       ++views_.p1_relayed_ciphertexts;
       if (action >= num_actions) {
         return Status::ProtocolError("action id out of declared range");

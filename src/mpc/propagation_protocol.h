@@ -16,6 +16,11 @@
 //    do not produce equal ciphertexts.
 //  * kHybrid    — one RSA-KEM + ChaCha20 stream per Delta vector (the
 //    production configuration; ablation A4 quantifies the gap).
+//  * kPackedInteger — kPerInteger's accounting shrunk by slot packing
+//    (crypto/packing.h): k = floor((z - 65) / BitLength(delta_bound))
+//    Deltas ride in each ciphertext, whose low 64 bits hold the random
+//    pad. An action whose Delta exceeds the public bound falls back to
+//    kPerInteger for that one vector (the mode byte is per action).
 
 #ifndef PSI_MPC_PROPAGATION_PROTOCOL_H_
 #define PSI_MPC_PROPAGATION_PROTOCOL_H_
@@ -37,8 +42,12 @@ namespace psi {
 struct Protocol6Config {
   double obfuscation_factor = 2.0;  ///< The c > 1 of step 1.
   size_t rsa_bits = 512;            ///< Modulus size (z = rsa_bits).
-  enum class EncryptionMode { kPerInteger, kHybrid };
+  enum class EncryptionMode { kPerInteger, kHybrid, kPackedInteger };
   EncryptionMode encryption = EncryptionMode::kPerInteger;
+  /// Public inclusive bound on Delta values for kPackedInteger (Deltas are
+  /// timestamp differences, so a deployment bounds them by the log's time
+  /// horizon). Vectors that exceed it fall back to kPerInteger.
+  uint64_t packed_delta_bound = (1ull << 32) - 1;
 };
 
 /// \brief Host-side output.

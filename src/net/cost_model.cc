@@ -80,9 +80,16 @@ Result<CostSummary> Protocol6Costs(const Protocol6CostParams& p) {
         std::to_string(p.m) + ", got " +
         std::to_string(p.actions_per_provider.size()) + ")");
   }
+  if (p.slots_per_ciphertext == 0) {
+    return Status::InvalidArgument("slots_per_ciphertext must be >= 1");
+  }
   const uint64_t total_actions =
       std::accumulate(p.actions_per_provider.begin(),
                       p.actions_per_provider.end(), uint64_t{0});
+  // Ciphertexts per action vector: q under kPerInteger, ceil(q / slots)
+  // under kPackedInteger.
+  const uint64_t cts_per_action =
+      (p.q + p.slots_per_ciphertext - 1) / p.slots_per_ciphertext;
 
   std::vector<CostRow> rows;
   rows.push_back({"Step 2 (H -> P_k: Omega_E')", p.m, 2 * p.q * p.index_bits});
@@ -92,7 +99,7 @@ Result<CostSummary> Protocol6Costs(const Protocol6CostParams& p) {
   // Messages differ in size, so the table reports the average; NM and total
   // bits are exact.
   uint64_t relay_actions = total_actions - p.actions_per_provider[0];
-  uint64_t relay_bits = p.q * p.z * relay_actions;
+  uint64_t relay_bits = cts_per_action * p.z * relay_actions;
   uint64_t relay_msgs = p.m - 1;
   rows.push_back({"Steps 4-9 (P_k -> P_1: E(Delta))", relay_msgs,
                   relay_msgs == 0 ? 0 : relay_bits / relay_msgs});
@@ -101,11 +108,70 @@ Result<CostSummary> Protocol6Costs(const Protocol6CostParams& p) {
   s.ms_bits += relay_bits - (relay_msgs == 0 ? 0 : relay_bits / relay_msgs) * relay_msgs;
   // Round 4: P_1 forwards everything (its own + relayed) to H.
   s.rows.push_back({"Step 10 (P_1 -> H: all E(Delta))", 1,
-                    p.q * p.z * total_actions});
+                    cts_per_action * p.z * total_actions});
   s.nr += 1;
   s.nm += 1;
-  s.ms_bits += p.q * p.z * total_actions;
+  s.ms_bits += cts_per_action * p.z * total_actions;
   return s;
+}
+
+namespace {
+
+// Serialized size of one full-width b-bit BigUInt: varint limb count
+// followed by ceil(b / 64) 8-byte limbs (bigint/biguint.h wire format).
+uint64_t SerializedBigUIntBits(uint64_t bit_length) {
+  const uint64_t limbs = (bit_length + 63) / 64;
+  uint64_t varint_bytes = 1;
+  for (uint64_t v = limbs; v >= 0x80; v >>= 7) ++varint_bytes;
+  return 8 * (varint_bytes + 8 * limbs);
+}
+
+// Payload bits of a varint-framed vector of `count` full-width values.
+uint64_t BigUIntVectorBits(uint64_t count, uint64_t bit_length) {
+  uint64_t varint_bytes = 1;
+  for (uint64_t v = count; v >= 0x80; v >>= 7) ++varint_bytes;
+  return 8 * varint_bytes + count * SerializedBigUIntBits(bit_length);
+}
+
+}  // namespace
+
+Result<CostSummary> HomomorphicSumCosts(const HomomorphicSumCostParams& p) {
+  if (p.m < 2) {
+    return Status::InvalidArgument(
+        "homomorphic sum cost model requires at least two players");
+  }
+  if (p.slots_per_ciphertext == 0) {
+    return Status::InvalidArgument("slots_per_ciphertext must be >= 1");
+  }
+  const uint64_t num_ct =
+      (p.count + p.slots_per_ciphertext - 1) / p.slots_per_ciphertext;
+  // Ciphertexts are uniform mod N^2, i.e. full-width 2 * key_bits values
+  // (a short top limb happens with probability ~2^-64 and is ignored).
+  const uint64_t ct_vector_bits = BigUIntVectorBits(num_ct, 2 * p.key_bits);
+  std::vector<CostRow> rows = {
+      {"HSum.Step1 (P1 -> P_k: key)", p.m - 1,
+       SerializedBigUIntBits(p.key_bits)},
+      {"HSum.Step2 (P_k -> P2: E(x_k))", p.m - 2, ct_vector_bits},
+      {"HSum.Step3 (P2 -> P1: aggregate)", 1, ct_vector_bits},
+  };
+  return Summarize(std::move(rows));
+}
+
+double PackingSavingsReport::EnvelopeRatio() const {
+  const uint64_t packed_bits = EnvelopedBits(packed);
+  if (packed_bits == 0) return 0.0;
+  return static_cast<double>(EnvelopedBits(unpacked)) /
+         static_cast<double>(packed_bits);
+}
+
+Result<PackingSavingsReport> HomomorphicSumPackingSavings(
+    const HomomorphicSumCostParams& p) {
+  HomomorphicSumCostParams unpacked = p;
+  unpacked.slots_per_ciphertext = 1;
+  PackingSavingsReport report;
+  PSI_ASSIGN_OR_RETURN(report.unpacked, HomomorphicSumCosts(unpacked));
+  PSI_ASSIGN_OR_RETURN(report.packed, HomomorphicSumCosts(p));
+  return report;
 }
 
 uint64_t EnvelopedBits(const CostSummary& s) {

@@ -56,6 +56,10 @@ struct Protocol6CostParams {
   uint64_t kappa;  ///< Public key size in bits.
   std::vector<uint64_t> actions_per_provider;  ///< A_k, k = 1..m.
   uint64_t index_bits = 32;
+  /// Deltas per ciphertext under kPackedInteger (crypto/packing.h); 1
+  /// reproduces Table 2 exactly. Each action vector then costs
+  /// ceil(q / slots) * z bits instead of q * z.
+  uint64_t slots_per_ciphertext = 1;
 };
 
 /// \brief Table 2: the four communication rounds of Protocol 6.
@@ -68,6 +72,34 @@ Result<CostSummary> Protocol6Costs(const Protocol6CostParams& p);
 /// typed envelope (net/envelope.h): ms_bits plus the fixed per-message
 /// framing overhead.
 uint64_t EnvelopedBits(const CostSummary& s);
+
+/// \brief Parameters of the homomorphic-sum extension's cost model.
+struct HomomorphicSumCostParams {
+  uint64_t m;         ///< Number of players.
+  uint64_t count;     ///< Counters aggregated.
+  uint64_t key_bits;  ///< Paillier modulus size |N|.
+  /// Counters per ciphertext (HomomorphicSumPackedCodec geometry); 1 models
+  /// the unpacked path.
+  uint64_t slots_per_ciphertext = 1;
+};
+
+/// \brief Exact payload bits of the three homomorphic-sum rounds, matching
+/// the implementation's serialization byte for byte (varint-framed BigUInt
+/// vectors, full-width ciphertexts of 2 * key_bits bits). NR = 3,
+/// NM = 2m - 2. With slots > 1 the ciphertext rounds carry
+/// ceil(count / slots) ciphertexts instead of count.
+Result<CostSummary> HomomorphicSumCosts(const HomomorphicSumCostParams& p);
+
+/// \brief Packed-vs-unpacked comparison at identical m/count/key_bits: the
+/// headline bandwidth number of the packing optimisation.
+struct PackingSavingsReport {
+  CostSummary unpacked;  ///< slots = 1.
+  CostSummary packed;    ///< slots as passed.
+  /// EnvelopedBits(unpacked) / EnvelopedBits(packed).
+  double EnvelopeRatio() const;
+};
+Result<PackingSavingsReport> HomomorphicSumPackingSavings(
+    const HomomorphicSumCostParams& p);
 
 }  // namespace psi
 

@@ -22,6 +22,7 @@
 #include "crypto/chacha20.h"          // IWYU pragma: export
 #include "crypto/commitment.h"        // IWYU pragma: export
 #include "crypto/oblivious_transfer.h"  // IWYU pragma: export
+#include "crypto/packing.h"           // IWYU pragma: export
 #include "crypto/paillier.h"          // IWYU pragma: export
 #include "crypto/permutation.h"       // IWYU pragma: export
 #include "crypto/rsa.h"               // IWYU pragma: export

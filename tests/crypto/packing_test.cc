@@ -1,0 +1,169 @@
+#include "crypto/packing.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace psi {
+namespace {
+
+TEST(PackingCodecTest, GeometryFromBoundAndBudget) {
+  // 20-bit bound, 4 addends -> 2 guard bits -> 22-bit slots, 23 of which fit
+  // a 511-bit plaintext.
+  auto codec =
+      PackingCodec::Create(511, BigUInt((1ull << 20) - 1), 4).ValueOrDie();
+  EXPECT_EQ(codec.guard_bits(), 2u);
+  EXPECT_EQ(codec.slot_bits(), 22u);
+  EXPECT_EQ(codec.slots_per_plaintext(), 23u);
+  EXPECT_EQ(codec.pad_bits(), 0u);
+  EXPECT_EQ(codec.NumPlaintexts(0), 0u);
+  EXPECT_EQ(codec.NumPlaintexts(1), 1u);
+  EXPECT_EQ(codec.NumPlaintexts(23), 1u);
+  EXPECT_EQ(codec.NumPlaintexts(24), 2u);
+  EXPECT_EQ(codec.NumPlaintexts(230), 10u);
+}
+
+TEST(PackingCodecTest, CreateRejectsDegenerateGeometry) {
+  const BigUInt bound((1ull << 20) - 1);
+  // Slot wider than the plaintext.
+  EXPECT_FALSE(PackingCodec::Create(16, bound, 1).ok());
+  // The pad eats every bit the slot would need.
+  EXPECT_FALSE(PackingCodec::Create(30, bound, 1, /*pad_bits=*/20).ok());
+  EXPECT_FALSE(PackingCodec::Create(20, bound, 1, /*pad_bits=*/20).ok());
+  // Nonsense parameters.
+  EXPECT_FALSE(PackingCodec::Create(511, BigUInt(), 1).ok());
+  EXPECT_FALSE(PackingCodec::Create(511, bound, 0).ok());
+}
+
+TEST(PackingCodecTest, RoundTripAtEverySlotWidth) {
+  // Sweep slot widths 1 .. n_bits/2 for a 64-bit plaintext by varying the
+  // counter bound (max_additions = 1 -> no guard bits -> slot == BitLength).
+  constexpr size_t kPlaintextBits = 64;
+  Rng rng(4242);
+  for (size_t w = 1; w <= kPlaintextBits / 2; ++w) {
+    const BigUInt bound = BigUInt::PowerOfTwo(w) - BigUInt(1);
+    auto codec = PackingCodec::Create(kPlaintextBits, bound, 1).ValueOrDie();
+    ASSERT_EQ(codec.slot_bits(), w) << "width " << w;
+    ASSERT_EQ(codec.slots_per_plaintext(), kPlaintextBits / w);
+
+    // Enough counters for two full plaintexts plus a ragged tail; always
+    // include both extremes of the slot range.
+    std::vector<BigUInt> counters = {BigUInt(), bound};
+    const size_t total = 2 * codec.slots_per_plaintext() + 3;
+    while (counters.size() < total) {
+      counters.push_back(BigUInt::RandomBelow(&rng, bound + BigUInt(1)));
+    }
+
+    auto packed = codec.Pack(counters).ValueOrDie();
+    ASSERT_EQ(packed.size(), codec.NumPlaintexts(total));
+    auto back = codec.Unpack(packed, total).ValueOrDie();
+    ASSERT_EQ(back.size(), total);
+    for (size_t i = 0; i < total; ++i) {
+      ASSERT_EQ(back[i], counters[i]) << "width " << w << " counter " << i;
+    }
+  }
+}
+
+TEST(PackingCodecTest, PackRejectsCounterAboveBound) {
+  auto codec = PackingCodec::Create(64, BigUInt(255), 1).ValueOrDie();
+  // In-bounds values pack fine; bound + 1 is a hard pack-time error, not
+  // silent truncation.
+  EXPECT_TRUE(codec.Pack(std::vector<BigUInt>{BigUInt(255)}).ok());
+  auto over = codec.Pack(std::vector<BigUInt>{BigUInt(3), BigUInt(256)});
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PackingCodecTest, AdditionBudgetIsEnforced) {
+  auto codec = PackingCodec::Create(128, BigUInt(1000), 5).ValueOrDie();
+  EXPECT_TRUE(codec.CheckAdditionBudget(1).ok());
+  EXPECT_TRUE(codec.CheckAdditionBudget(5).ok());
+  auto over = codec.CheckAdditionBudget(6);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PackingCodecTest, GuardBitsAbsorbSlotWiseSums) {
+  // 8-bit bound with a budget of 4 -> 10-bit slots. Adding four packed
+  // plaintexts of all-maximal counters lands exactly on the worst case
+  // 4 * 255 = 1020 < 2^10, so every slot sum is exact with no carry into
+  // its neighbour. A fifth addend (5 * 255 = 1275) would overflow the slot,
+  // which is precisely what CheckAdditionBudget rejects above.
+  constexpr uint64_t kAddends = 4;
+  auto codec = PackingCodec::Create(64, BigUInt(255), kAddends).ValueOrDie();
+  ASSERT_EQ(codec.slot_bits(), 10u);
+  const size_t count = codec.slots_per_plaintext();
+  std::vector<BigUInt> maxed(count, BigUInt(255));
+  auto packed = codec.Pack(maxed).ValueOrDie();
+  ASSERT_EQ(packed.size(), 1u);
+  BigUInt sum;
+  for (uint64_t i = 0; i < kAddends; ++i) sum += packed[0];
+  auto slots = codec.Unpack({sum}, count).ValueOrDie();
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(slots[i], BigUInt(255 * kAddends));
+  }
+}
+
+TEST(PackingCodecTest, PadsOccupyLowBitsAndAreSkippedOnUnpack) {
+  auto codec =
+      PackingCodec::Create(64, BigUInt(255), 1, /*pad_bits=*/16).ValueOrDie();
+  ASSERT_EQ(codec.slots_per_plaintext(), 6u);
+  std::vector<BigUInt> counters = {BigUInt(1), BigUInt(2), BigUInt(3),
+                                   BigUInt(4), BigUInt(5), BigUInt(6),
+                                   BigUInt(7)};
+  std::vector<BigUInt> pads = {BigUInt(0xBEEF), BigUInt(0x7)};
+  auto packed = codec.Pack(counters, pads).ValueOrDie();
+  ASSERT_EQ(packed.size(), 2u);
+  // The pad sits verbatim in the low pad_bits of each plaintext.
+  EXPECT_EQ(packed[0] % BigUInt::PowerOfTwo(16), pads[0]);
+  EXPECT_EQ(packed[1] % BigUInt::PowerOfTwo(16), pads[1]);
+  // Unpack returns the counters only.
+  auto back = codec.Unpack(packed, counters.size()).ValueOrDie();
+  for (size_t i = 0; i < counters.size(); ++i) {
+    EXPECT_EQ(back[i], counters[i]);
+  }
+  // One pad per plaintext, and it must fit the reserved width.
+  EXPECT_FALSE(codec.Pack(counters, {BigUInt(1)}).ok());
+  EXPECT_FALSE(
+      codec.Pack(counters, {BigUInt(1ull << 16), BigUInt(2)}).ok());
+}
+
+TEST(PackingCodecTest, UnpackRejectsMalformedInput) {
+  auto codec = PackingCodec::Create(32, BigUInt(255), 1).ValueOrDie();
+  // Wrong plaintext count for the requested number of counters.
+  EXPECT_FALSE(codec.Unpack({}, 1).ok());
+  EXPECT_FALSE(codec.Unpack({BigUInt(1), BigUInt(2)}, 3).ok());
+  // A plaintext wider than the declared geometry is rejected, not wrapped.
+  EXPECT_FALSE(codec.Unpack({BigUInt::PowerOfTwo(40)}, 1).ok());
+}
+
+TEST(PackingCodecTest, UnpackU64NarrowsWithRangeCheck) {
+  // 70-bit slots hold values no uint64 can: UnpackU64 must refuse them.
+  const BigUInt bound = BigUInt::PowerOfTwo(70) - BigUInt(1);
+  auto codec = PackingCodec::Create(256, bound, 1).ValueOrDie();
+  std::vector<BigUInt> small = {BigUInt(77), BigUInt(0)};
+  auto packed_small = codec.Pack(small).ValueOrDie();
+  auto u64s = codec.UnpackU64(packed_small, small.size()).ValueOrDie();
+  EXPECT_EQ(u64s[0], 77u);
+  EXPECT_EQ(u64s[1], 0u);
+  std::vector<BigUInt> wide = {BigUInt::PowerOfTwo(65)};
+  auto packed_wide = codec.Pack(wide).ValueOrDie();
+  EXPECT_FALSE(codec.UnpackU64(packed_wide, wide.size()).ok());
+}
+
+TEST(PackingCodecTest, CeilLog2Values) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(4), 2u);
+  EXPECT_EQ(CeilLog2(5), 3u);
+  EXPECT_EQ(CeilLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1025), 11u);
+  EXPECT_EQ(CeilLog2(uint64_t{1} << 63), 63u);
+}
+
+}  // namespace
+}  // namespace psi

@@ -17,6 +17,7 @@
 #include "actionlog/generator.h"
 #include "actionlog/partition.h"
 #include "graph/generators.h"
+#include "mpc/homomorphic_sum.h"
 #include "mpc/link_influence_protocol.h"
 #include "mpc/propagation_protocol.h"
 #include "net/cost_model.h"
@@ -74,10 +75,14 @@ Parties RegisterParties(Network* net, size_t m) {
 // any two completed runs must agree exactly). Optionally reports the modulus
 // size and |Omega_E'| for the cost-model comparison.
 Result<LinkInfluence> RunP4(const WorldData& w, Network* net,
-                            size_t* log_s = nullptr, size_t* q = nullptr) {
+                            size_t* log_s = nullptr, size_t* q = nullptr,
+                            P4Aggregation aggregation =
+                                P4Aggregation::kSecureSum) {
   Parties parties = RegisterParties(net, w.m);
   Protocol4Config cfg;
   cfg.h = 4;
+  cfg.aggregation = aggregation;
+  cfg.paillier_bits = 384;  // Keeps per-seed keygen cheap in chaos sweeps.
   std::vector<std::unique_ptr<Rng>> rngs;
   std::vector<Rng*> rng_ptrs;
   for (size_t k = 0; k < w.m; ++k) {
@@ -93,11 +98,13 @@ Result<LinkInfluence> RunP4(const WorldData& w, Network* net,
   return result;
 }
 
-Result<Protocol6Output> RunP6(const WorldData& w, Network* net) {
+Result<Protocol6Output> RunP6(const WorldData& w, Network* net,
+                              Protocol6Config::EncryptionMode mode =
+                                  Protocol6Config::EncryptionMode::kHybrid) {
   Parties parties = RegisterParties(net, w.m);
   Protocol6Config cfg;
   cfg.rsa_bits = 384;
-  cfg.encryption = Protocol6Config::EncryptionMode::kHybrid;
+  cfg.encryption = mode;
   cfg.obfuscation_factor = 1.5;
   std::vector<std::unique_ptr<Rng>> rngs;
   std::vector<Rng*> rng_ptrs;
@@ -181,6 +188,110 @@ TEST(ChaosTest, Protocol6SurvivesRandomFaultSchedules) {
   EXPECT_GT(faults_injected, 0u);
   EXPECT_GT(ok_runs, 0u);
   EXPECT_GT(failed_runs, 0u);
+}
+
+TEST(ChaosTest, PackedAggregationSurvivesRandomFaultSchedules) {
+  // Packed Paillier envelopes (ciphertext vectors, the published key) ride
+  // the same fault layer: every completed faulty run must reproduce the
+  // clean run bit for bit, every aborted run must fail cleanly.
+  constexpr uint64_t kSeeds = 120;  // Each run pays a Paillier keygen.
+  WorldData w = MakeWorldData(/*m=*/3, /*n=*/16, /*arcs=*/50, /*actions=*/20,
+                              /*seed=*/77);
+  Network clean;
+  auto baseline = RunP4(w, &clean, nullptr, nullptr,
+                        P4Aggregation::kPaillierPacked)
+                      .ValueOrDie();
+
+  uint64_t ok_runs = 0, failed_runs = 0, faults_injected = 0;
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    FaultyNetwork net(FaultPlan::RandomPlan(seed, /*num_parties=*/w.m + 1));
+    auto result =
+        RunP4(w, &net, nullptr, nullptr, P4Aggregation::kPaillierPacked);
+    faults_injected += net.fault_stats().injected();
+    if (result.ok()) {
+      ++ok_runs;
+      const LinkInfluence& got = result.ValueOrDie();
+      ASSERT_EQ(got.p.size(), baseline.p.size()) << "seed=" << seed;
+      for (size_t e = 0; e < got.p.size(); ++e) {
+        ASSERT_EQ(got.p[e], baseline.p[e]) << "seed=" << seed << " arc=" << e;
+      }
+    } else {
+      ++failed_runs;
+      ASSERT_FALSE(result.status().message().empty()) << "seed=" << seed;
+    }
+  }
+  EXPECT_EQ(ok_runs + failed_runs, kSeeds);
+  EXPECT_GT(faults_injected, 0u);
+  EXPECT_GT(ok_runs, 0u);
+  EXPECT_GT(failed_runs, 0u);
+}
+
+TEST(ChaosTest, PackedProtocol6SurvivesRandomFaultSchedules) {
+  constexpr uint64_t kSeeds = 120;
+  WorldData w = MakeWorldData(/*m=*/3, /*n=*/14, /*arcs=*/40, /*actions=*/8,
+                              /*seed=*/88);
+  constexpr auto kMode = Protocol6Config::EncryptionMode::kPackedInteger;
+  Network clean;
+  auto baseline = CanonicalArcs(RunP6(w, &clean, kMode).ValueOrDie());
+
+  uint64_t ok_runs = 0, failed_runs = 0, faults_injected = 0;
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    FaultyNetwork net(FaultPlan::RandomPlan(seed, /*num_parties=*/w.m + 1));
+    auto result = RunP6(w, &net, kMode);
+    faults_injected += net.fault_stats().injected();
+    if (result.ok()) {
+      ++ok_runs;
+      ASSERT_EQ(CanonicalArcs(result.ValueOrDie()), baseline)
+          << "seed=" << seed;
+    } else {
+      ++failed_runs;
+      ASSERT_FALSE(result.status().message().empty()) << "seed=" << seed;
+    }
+  }
+  EXPECT_EQ(ok_runs + failed_runs, kSeeds);
+  EXPECT_GT(faults_injected, 0u);
+  EXPECT_GT(ok_runs, 0u);
+  EXPECT_GT(failed_runs, 0u);
+}
+
+TEST(ChaosTest, PackedHomomorphicSumZeroFaultPlanMetersExactly) {
+  // Zero-fault metering stays exact for packed envelopes: the fault layer
+  // adds nothing, and the analytic model predicts the wire bytes.
+  FaultyNetwork net(FaultPlan::None());
+  const size_t m = 3;
+  std::vector<PartyId> players;
+  std::vector<std::unique_ptr<Rng>> rngs;
+  std::vector<Rng*> rng_ptrs;
+  for (size_t k = 0; k < m; ++k) {
+    players.push_back(net.RegisterParty("P" + std::to_string(k + 1)));
+    rngs.push_back(std::make_unique<Rng>(3000 + k));
+    rng_ptrs.push_back(rngs.back().get());
+  }
+  HomomorphicSumConfig config;
+  config.paillier_bits = 512;
+  config.counter_bound = BigUInt((1ull << 20) - 1);
+  HomomorphicSumProtocol proto(&net, players, config);
+  const size_t count = 30;
+  std::vector<std::vector<uint64_t>> inputs(m, std::vector<uint64_t>(count));
+  for (size_t k = 0; k < m; ++k) {
+    for (size_t c = 0; c < count; ++c) inputs[k][c] = 31 * k + c;
+  }
+  ASSERT_TRUE(proto.Run(inputs, rng_ptrs, "h.").ok());
+  ASSERT_TRUE(proto.last_run_packed());
+  EXPECT_EQ(net.fault_stats().injected(), 0u);
+
+  HomomorphicSumCostParams p;
+  p.m = m;
+  p.count = count;
+  p.key_bits = 512;
+  p.slots_per_ciphertext = proto.last_run_slots();
+  auto model = HomomorphicSumCosts(p).ValueOrDie();
+  auto report = net.Report();
+  EXPECT_EQ(report.num_rounds, model.nr);
+  EXPECT_EQ(report.num_messages, model.nm);
+  EXPECT_EQ(report.num_bytes * 8, EnvelopedBits(model));
+  EXPECT_EQ(report.num_bytes,
+            report.num_payload_bytes + model.nm * kEnvelopeOverheadBytes);
 }
 
 TEST(ChaosTest, Protocol4ZeroFaultPlanMatchesCostModelExactly) {

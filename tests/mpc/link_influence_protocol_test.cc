@@ -203,6 +203,94 @@ TEST(Protocol4Test, Validation) {
                    .ok());
 }
 
+TEST(Protocol4Test, PackedAggregationMatchesPlaintext) {
+  P4Fixture f(3, 30, 120, 40);
+  Protocol4Config cfg;
+  cfg.h = 4;
+  cfg.aggregation = P4Aggregation::kPaillierPacked;
+  LinkInfluenceProtocol proto(&f.net, f.host, f.providers, cfg);
+  auto secure = proto.Run(*f.graph, 40, f.provider_logs, f.host_rng.get(),
+                          f.RngPtrs(), f.pair_secret.get())
+                    .ValueOrDie();
+  EXPECT_TRUE(proto.views().used_packed_aggregation);
+  EXPECT_GT(proto.views().packed_slots, 1u);
+  auto plain =
+      ComputeLinkInfluence(f.log, f.graph->arcs(), 30, cfg.h).ValueOrDie();
+  ASSERT_EQ(secure.p.size(), plain.p.size());
+  for (size_t e = 0; e < plain.p.size(); ++e) {
+    EXPECT_NEAR(secure.p[e], plain.p[e], 1e-9) << "arc " << e;
+  }
+}
+
+TEST(Protocol4Test, PackedAggregationMatchesSecureSum) {
+  // Identical worlds through both aggregation backends: the estimates must
+  // coincide (both are exact), only the transcript shape differs.
+  P4Fixture fp(3, 25, 100, 30, 77);
+  P4Fixture fs(3, 25, 100, 30, 77);
+  Protocol4Config packed_cfg;
+  packed_cfg.aggregation = P4Aggregation::kPaillierPacked;
+  Protocol4Config sum_cfg;  // Default kSecureSum.
+  LinkInfluenceProtocol packed(&fp.net, fp.host, fp.providers, packed_cfg);
+  LinkInfluenceProtocol sums(&fs.net, fs.host, fs.providers, sum_cfg);
+  auto sp = packed
+                .Run(*fp.graph, 30, fp.provider_logs, fp.host_rng.get(),
+                     fp.RngPtrs(), fp.pair_secret.get())
+                .ValueOrDie();
+  auto ss = sums
+                .Run(*fs.graph, 30, fs.provider_logs, fs.host_rng.get(),
+                     fs.RngPtrs(), fs.pair_secret.get())
+                .ValueOrDie();
+  ASSERT_TRUE(packed.views().used_packed_aggregation);
+  ASSERT_FALSE(sums.views().used_packed_aggregation);
+  ASSERT_EQ(sp.p.size(), ss.p.size());
+  for (size_t e = 0; e < sp.p.size(); ++e) {
+    EXPECT_NEAR(sp.p[e], ss.p[e], 1e-9) << "arc " << e;
+  }
+}
+
+TEST(Protocol4Test, PackedAggregationWithTemporalWeights) {
+  // Eq. (2) inflates the counter bound by weight_scale * h; packing must
+  // derive its geometry from that inflated bound and still be exact.
+  P4Fixture f(3, 30, 150, 50);
+  Protocol4Config cfg;
+  cfg.h = 4;
+  cfg.weights = TemporalWeights::LinearDecay(4);
+  cfg.weight_scale = 1u << 16;
+  cfg.aggregation = P4Aggregation::kPaillierPacked;
+  LinkInfluenceProtocol proto(&f.net, f.host, f.providers, cfg);
+  auto secure = proto.Run(*f.graph, 50, f.provider_logs, f.host_rng.get(),
+                          f.RngPtrs(), f.pair_secret.get())
+                    .ValueOrDie();
+  EXPECT_TRUE(proto.views().used_packed_aggregation);
+  auto plain = ComputeWeightedLinkInfluence(f.log, f.graph->arcs(), 30,
+                                            *cfg.weights)
+                   .ValueOrDie();
+  for (size_t e = 0; e < plain.p.size(); ++e) {
+    EXPECT_NEAR(secure.p[e], plain.p[e], 1e-3) << "arc " << e;
+  }
+}
+
+TEST(Protocol4Test, PackedAggregationFallsBackWhenNoSlotFits) {
+  // A huge statistical-mask headroom makes the slot wider than the Paillier
+  // plaintext; the protocol must detect that up front and fall back to the
+  // Protocol 2 backend, still producing the exact estimates.
+  P4Fixture f(2, 15, 60, 20);
+  Protocol4Config cfg;
+  cfg.aggregation = P4Aggregation::kPaillierPacked;
+  cfg.epsilon_log2 = 600;  // Slot would need > 600 bits; |N| - 2 = 510.
+  LinkInfluenceProtocol proto(&f.net, f.host, f.providers, cfg);
+  auto secure = proto.Run(*f.graph, 20, f.provider_logs, f.host_rng.get(),
+                          f.RngPtrs(), f.pair_secret.get())
+                    .ValueOrDie();
+  EXPECT_FALSE(proto.views().used_packed_aggregation);
+  EXPECT_EQ(proto.views().packed_slots, 1u);
+  auto plain =
+      ComputeLinkInfluence(f.log, f.graph->arcs(), 15, cfg.h).ValueOrDie();
+  for (size_t e = 0; e < plain.p.size(); ++e) {
+    EXPECT_NEAR(secure.p[e], plain.p[e], 1e-9) << "arc " << e;
+  }
+}
+
 // Parameterized sweep across provider counts: correctness and the NM
 // formula must hold for every m.
 class Protocol4ProviderSweep : public ::testing::TestWithParam<size_t> {};

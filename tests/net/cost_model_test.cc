@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "mpc/homomorphic_sum.h"
 #include "net/envelope.h"
+#include "net/network.h"
 
 namespace psi {
 namespace {
@@ -140,6 +144,108 @@ TEST(CostModelTest, Protocol6RejectsMismatchedActionCounts) {
 TEST(CostModelTest, EnvelopedBitsAddsFixedPerMessageOverhead) {
   auto s = Protocol4Costs(P4Params(3, 10, 20, 64)).ValueOrDie();
   EXPECT_EQ(EnvelopedBits(s), s.ms_bits + s.nm * kEnvelopeOverheadBytes * 8);
+}
+
+TEST(CostModelTest, Protocol6SlotsOneIsBitIdenticalToTable2) {
+  Protocol6CostParams p;
+  p.m = 3;
+  p.q = 10;
+  p.z = 100;
+  p.kappa = 200;
+  p.actions_per_provider = {7, 3, 5};
+  Protocol6CostParams packed = p;
+  packed.slots_per_ciphertext = 1;  // Explicit 1 == the historical model.
+  auto base = Protocol6Costs(p).ValueOrDie();
+  auto same = Protocol6Costs(packed).ValueOrDie();
+  EXPECT_EQ(base.ms_bits, same.ms_bits);
+  EXPECT_EQ(base.nm, same.nm);
+
+  // slots = 4: each action vector costs ceil(10 / 4) = 3 ciphertexts.
+  packed.slots_per_ciphertext = 4;
+  auto fewer = Protocol6Costs(packed).ValueOrDie();
+  uint64_t expected = 3 * (2 * 10 * p.index_bits)  // Omega round (unchanged)
+                      + 3 * 200                    // key round (unchanged)
+                      + 3 * 100 * (3 + 5)          // relay round
+                      + 3 * 100 * 15;              // forward round
+  EXPECT_EQ(fewer.ms_bits, expected);
+  EXPECT_EQ(fewer.nm, base.nm);  // Same message structure, smaller payloads.
+
+  packed.slots_per_ciphertext = 0;
+  EXPECT_FALSE(Protocol6Costs(packed).ok());
+}
+
+TEST(CostModelTest, HomomorphicSumTotals) {
+  for (uint64_t m : {2u, 3u, 6u}) {
+    HomomorphicSumCostParams p;
+    p.m = m;
+    p.count = 100;
+    p.key_bits = 512;
+    auto s = HomomorphicSumCosts(p).ValueOrDie();
+    EXPECT_EQ(s.nr, 3u) << "m=" << m;
+    EXPECT_EQ(s.nm, 2 * m - 2) << "m=" << m;
+  }
+  HomomorphicSumCostParams bad;
+  bad.m = 1;
+  bad.count = 1;
+  bad.key_bits = 512;
+  EXPECT_FALSE(HomomorphicSumCosts(bad).ok());
+}
+
+TEST(CostModelTest, HomomorphicSumCostsMatchMeteredRun) {
+  // The analytic model must reproduce the simulator's zero-fault byte count
+  // exactly, for both the unpacked and the packed path.
+  for (bool use_packed : {false, true}) {
+    Network net;
+    std::vector<PartyId> players;
+    std::vector<std::unique_ptr<Rng>> rngs;
+    std::vector<Rng*> rng_ptrs;
+    const size_t m = 3;
+    for (size_t k = 0; k < m; ++k) {
+      players.push_back(net.RegisterParty("P" + std::to_string(k + 1)));
+      rngs.push_back(std::make_unique<Rng>(500 + k));
+      rng_ptrs.push_back(rngs.back().get());
+    }
+    HomomorphicSumConfig config;
+    config.paillier_bits = 512;
+    if (use_packed) config.counter_bound = BigUInt((1ull << 20) - 1);
+    HomomorphicSumProtocol proto(&net, players, config);
+    const size_t count = 40;
+    std::vector<std::vector<uint64_t>> inputs(m,
+                                              std::vector<uint64_t>(count));
+    for (size_t k = 0; k < m; ++k) {
+      for (size_t c = 0; c < count; ++c) inputs[k][c] = 1000 * k + 7 * c;
+    }
+    ASSERT_TRUE(proto.Run(inputs, rng_ptrs, "h.").ok());
+    ASSERT_EQ(proto.last_run_packed(), use_packed);
+
+    HomomorphicSumCostParams p;
+    p.m = m;
+    p.count = count;
+    p.key_bits = 512;
+    p.slots_per_ciphertext = proto.last_run_slots();
+    auto s = HomomorphicSumCosts(p).ValueOrDie();
+    auto report = net.Report();
+    EXPECT_EQ(report.num_messages, s.nm) << "packed=" << use_packed;
+    EXPECT_EQ(report.num_rounds, s.nr) << "packed=" << use_packed;
+    EXPECT_EQ(report.num_bytes * 8, EnvelopedBits(s))
+        << "packed=" << use_packed;
+  }
+}
+
+TEST(CostModelTest, HomomorphicSumPackingSavingsRatio) {
+  HomomorphicSumCostParams p;
+  p.m = 3;
+  p.count = 512;
+  p.key_bits = 512;
+  p.slots_per_ciphertext = 9;  // The 20-bit-counter geometry at 512 bits.
+  auto report = HomomorphicSumPackingSavings(p).ValueOrDie();
+  EXPECT_EQ(report.unpacked.nm, report.packed.nm);
+  EXPECT_GT(report.unpacked.ms_bits, report.packed.ms_bits);
+  EXPECT_GT(report.EnvelopeRatio(), 8.0);
+
+  p.slots_per_ciphertext = 1;
+  auto flat = HomomorphicSumPackingSavings(p).ValueOrDie();
+  EXPECT_DOUBLE_EQ(flat.EnvelopeRatio(), 1.0);
 }
 
 }  // namespace

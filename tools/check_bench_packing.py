@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the ciphertext-packing hot path.
+
+Validates a fresh bench_micro JSON run against the committed baseline
+(BENCH_packing.json):
+
+  1. Absolute floors (the PR's acceptance criteria, machine independent
+     because both sides of each ratio come from the same run):
+       - packed decrypt throughput >= 8x the unpacked per-counter decrypt;
+       - packed homomorphic-sum bits per counter <= 1/8 of unpacked.
+  2. Regression guard: the packed-vs-unpacked decrypt-per-counter ratio must
+     not fall more than 25% below the committed baseline's ratio.
+
+Usage: check_bench_packing.py --baseline BENCH_packing.json --run fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+DECRYPT_UNPACKED = "BM_PaillierDecrypt"
+DECRYPT_PACKED = "BM_PackedCounterDecrypt"
+HSUM_UNPACKED = "BM_HomomorphicSumUnpacked"
+HSUM_PACKED = "BM_HomomorphicSumPacked"
+
+MIN_RATIO = 8.0
+MAX_REGRESSION = 0.25
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    by_name = {}
+    for bench in data.get("benchmarks", []):
+        by_name[bench["name"]] = bench
+    return by_name
+
+
+def metric(benches, name, key):
+    if name not in benches:
+        raise SystemExit(f"FAIL: benchmark '{name}' missing from results")
+    value = benches[name].get(key)
+    if value is None or value <= 0:
+        raise SystemExit(f"FAIL: benchmark '{name}' has no positive '{key}'")
+    return float(value)
+
+
+def decrypt_ratio(benches):
+    """Packed / unpacked decrypted counters per second (same run)."""
+    return metric(benches, DECRYPT_PACKED, "items_per_second") / metric(
+        benches, DECRYPT_UNPACKED, "items_per_second"
+    )
+
+
+def bits_ratio(benches):
+    """Unpacked / packed metered bits per counter (same run)."""
+    return metric(benches, HSUM_UNPACKED, "bits_per_counter") / metric(
+        benches, HSUM_PACKED, "bits_per_counter"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--run", required=True)
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.run)
+
+    failures = []
+
+    fresh_decrypt = decrypt_ratio(fresh)
+    print(f"decrypt counters/s, packed vs unpacked: {fresh_decrypt:.2f}x")
+    if fresh_decrypt < MIN_RATIO:
+        failures.append(
+            f"decrypt speedup {fresh_decrypt:.2f}x < required {MIN_RATIO}x"
+        )
+
+    fresh_bits = bits_ratio(fresh)
+    print(f"metered bits/counter, unpacked vs packed: {fresh_bits:.2f}x")
+    if fresh_bits < MIN_RATIO:
+        failures.append(
+            f"bandwidth reduction {fresh_bits:.2f}x < required {MIN_RATIO}x"
+        )
+
+    base_decrypt = decrypt_ratio(baseline)
+    floor = base_decrypt * (1.0 - MAX_REGRESSION)
+    print(
+        f"baseline decrypt ratio {base_decrypt:.2f}x, regression floor "
+        f"{floor:.2f}x"
+    )
+    if fresh_decrypt < floor:
+        failures.append(
+            f"decrypt-per-counter regressed: {fresh_decrypt:.2f}x vs "
+            f"baseline {base_decrypt:.2f}x (> {MAX_REGRESSION:.0%} drop)"
+        )
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("OK: packing bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
