@@ -16,15 +16,15 @@
 namespace psi {
 
 /// \brief Writes the log to a stream (one "user action time" line each).
-Status WriteActionLogText(const ActionLog& log, std::ostream* out);
+[[nodiscard]] Status WriteActionLogText(const ActionLog& log, std::ostream* out);
 
 /// \brief Reads a log from a stream (duplicates collapse per the at-most-
 /// once rule).
-Result<ActionLog> ReadActionLogText(std::istream* in);
+[[nodiscard]] Result<ActionLog> ReadActionLogText(std::istream* in);
 
 /// \brief File conveniences.
-Status SaveActionLog(const ActionLog& log, const std::string& path);
-Result<ActionLog> LoadActionLog(const std::string& path);
+[[nodiscard]] Status SaveActionLog(const ActionLog& log, const std::string& path);
+[[nodiscard]] Result<ActionLog> LoadActionLog(const std::string& path);
 
 }  // namespace psi
 

@@ -23,7 +23,7 @@
 namespace psi {
 
 /// \brief Splits the log by assigning every action to one uniform provider.
-Result<std::vector<ActionLog>> ExclusivePartition(Rng* rng,
+[[nodiscard]] Result<std::vector<ActionLog>> ExclusivePartition(Rng* rng,
                                                   const ActionLog& log,
                                                   size_t num_providers);
 
@@ -38,11 +38,11 @@ struct ActionClassConfig {
   size_t num_classes() const { return provider_groups.size(); }
 
   /// \brief Validates shape: every class non-empty, every action classed.
-  Status Validate(size_t num_providers) const;
+  [[nodiscard]] Status Validate(size_t num_providers) const;
 
   /// \brief Random config: `num_classes` classes, each supported by a
   /// uniformly chosen group of between min_group and max_group providers.
-  static Result<ActionClassConfig> Random(Rng* rng, size_t num_actions,
+  [[nodiscard]] static Result<ActionClassConfig> Random(Rng* rng, size_t num_actions,
                                           size_t num_classes,
                                           size_t num_providers,
                                           size_t min_group, size_t max_group);
@@ -50,7 +50,7 @@ struct ActionClassConfig {
 
 /// \brief Splits the log per the class structure: each record of a class-q
 /// action goes to a uniformly random provider in P_q.
-Result<std::vector<ActionLog>> NonExclusivePartition(
+[[nodiscard]] Result<std::vector<ActionLog>> NonExclusivePartition(
     Rng* rng, const ActionLog& log, size_t num_providers,
     const ActionClassConfig& config);
 

@@ -37,7 +37,7 @@ class BigInt {
       : magnitude_(std::move(magnitude)) {}
 
   /// \brief Parses optional leading '-' followed by decimal digits.
-  static Result<BigInt> FromDecimalString(std::string_view s);
+  [[nodiscard]] static Result<BigInt> FromDecimalString(std::string_view s);
 
   bool IsZero() const { return magnitude_.IsZero(); }
   bool IsNegative() const { return negative_; }
@@ -68,7 +68,7 @@ class BigInt {
   BigUInt Mod(const BigUInt& m) const;
 
   /// \brief Checked narrowing to int64_t.
-  Result<int64_t> ToInt64() const;
+  [[nodiscard]] Result<int64_t> ToInt64() const;
 
   /// \brief Nearest double.
   double ToDouble() const {
@@ -84,7 +84,7 @@ class BigInt {
 
 /// \brief Wire format: 1 sign byte then the magnitude.
 void WriteBigInt(BinaryWriter* w, const BigInt& v);
-Status ReadBigInt(BinaryReader* r, BigInt* out);
+[[nodiscard]] Status ReadBigInt(BinaryReader* r, BigInt* out);
 
 }  // namespace psi
 

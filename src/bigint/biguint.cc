@@ -542,10 +542,10 @@ void WriteBigUInt(BinaryWriter* w, const BigUInt& v) {
 
 Status ReadBigUInt(BinaryReader* r, BigUInt* out) {
   uint64_t count;
-  PSI_RETURN_NOT_OK(r->ReadVarU64(&count));
-  if (count > (1u << 24)) {
-    return Status::SerializationError("unreasonable BigUInt limb count");
-  }
+  // Each limb occupies 8 bytes, so a count the remaining buffer cannot hold
+  // is malformed; checking against remaining() (instead of a fixed cap)
+  // keeps a tiny buffer from driving a large allocation.
+  PSI_RETURN_NOT_OK(r->ReadCount(&count, /*min_bytes_per_element=*/8));
   std::vector<uint8_t> bytes(static_cast<size_t>(count) * 8);
   BigUInt v;
   for (uint64_t i = 0; i < count; ++i) {

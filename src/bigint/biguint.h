@@ -34,10 +34,10 @@ class BigUInt {
   }
 
   /// \brief Parses a decimal string ("123456789...").
-  static Result<BigUInt> FromDecimalString(std::string_view s);
+  [[nodiscard]] static Result<BigUInt> FromDecimalString(std::string_view s);
 
   /// \brief Parses a hexadecimal string without 0x prefix ("deadbeef").
-  static Result<BigUInt> FromHexString(std::string_view s);
+  [[nodiscard]] static Result<BigUInt> FromHexString(std::string_view s);
 
   /// \brief Builds from little-endian bytes.
   static BigUInt FromLittleEndianBytes(const std::vector<uint8_t>& bytes);
@@ -78,7 +78,7 @@ class BigUInt {
   BigUInt& operator-=(const BigUInt& rhs);
 
   /// \brief Subtraction returning OutOfRange instead of aborting.
-  Result<BigUInt> CheckedSub(const BigUInt& rhs) const;
+  [[nodiscard]] Result<BigUInt> CheckedSub(const BigUInt& rhs) const;
 
   BigUInt operator*(const BigUInt& rhs) const;
   BigUInt& operator*=(const BigUInt& rhs);
@@ -103,7 +103,7 @@ class BigUInt {
   // -- Conversions ----------------------------------------------------------
 
   /// \brief Checked narrowing to 64 bits.
-  Result<uint64_t> ToUint64() const;
+  [[nodiscard]] Result<uint64_t> ToUint64() const;
 
   /// \brief Nearest double (inf if the value exceeds the double range).
   double ToDouble() const;
@@ -135,11 +135,11 @@ double DivideToDouble(const BigUInt& a, const BigUInt& b);
 
 /// \brief floor(d) as a BigUInt for any finite d >= 0 (d may exceed 2^64:
 /// the Z-distributed masks of Protocol 3 are unbounded above).
-Result<BigUInt> BigUIntFromDouble(double d);
+[[nodiscard]] Result<BigUInt> BigUIntFromDouble(double d);
 
 /// \brief Wire format: varint limb count, then limbs.
 void WriteBigUInt(BinaryWriter* w, const BigUInt& v);
-Status ReadBigUInt(BinaryReader* r, BigUInt* out);
+[[nodiscard]] Status ReadBigUInt(BinaryReader* r, BigUInt* out);
 
 }  // namespace psi
 

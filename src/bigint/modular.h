@@ -30,7 +30,7 @@ BigUInt Lcm(const BigUInt& a, const BigUInt& b);
 /// \brief Multiplicative inverse of a modulo m (extended Euclid).
 ///
 /// Returns InvalidArgument if gcd(a, m) != 1 or m < 2.
-Result<BigUInt> ModInverse(const BigUInt& a, const BigUInt& m);
+[[nodiscard]] Result<BigUInt> ModInverse(const BigUInt& a, const BigUInt& m);
 
 }  // namespace psi
 

@@ -19,7 +19,7 @@ class MontgomeryContext {
  public:
   /// \brief Builds the context. Returns InvalidArgument for even or < 3
   /// moduli.
-  static Result<MontgomeryContext> Create(const BigUInt& modulus);
+  [[nodiscard]] static Result<MontgomeryContext> Create(const BigUInt& modulus);
 
   const BigUInt& modulus() const { return n_; }
 

@@ -1,0 +1,22 @@
+// Annotation vocabulary for psi_lint's secret-flow check.
+//
+// PSI_SECRET marks a field, parameter, or local whose value must never
+// influence control flow, division/modulo operands, log output, or an
+// unencrypted network send. The macro expands to nothing — it exists purely
+// so tools/psi_lint can track where secret values flow (the secret-flow check
+// in docs/STATIC_ANALYSIS.md). Annotate the declaration:
+//
+//   PSI_SECRET BigUInt lambda;                 // struct field
+//   void Derive(PSI_SECRET const BigUInt& p);  // parameter
+//
+// A secret may reach a sink only through a sanitizing call (a function whose
+// name indicates masking/encryption, e.g. Mask, Encrypt, Blind, Commit,
+// Hash); anything else needs a `// psi-lint: allow(secret-flow) <reason>`
+// suppression with a written justification.
+
+#ifndef PSI_COMMON_ANNOTATIONS_H_
+#define PSI_COMMON_ANNOTATIONS_H_
+
+#define PSI_SECRET
+
+#endif  // PSI_COMMON_ANNOTATIONS_H_

@@ -69,29 +69,29 @@ class BinaryReader {
       : data_(buf.data()), size_(buf.size()) {}
   BinaryReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
-  Status ReadU8(uint8_t* out);
-  Status ReadU16(uint16_t* out);
-  Status ReadU32(uint32_t* out);
-  Status ReadU64(uint64_t* out);
-  Status ReadI64(int64_t* out);
-  Status ReadDouble(double* out);
-  Status ReadVarU64(uint64_t* out);
-  Status ReadBytes(std::vector<uint8_t>* out);
-  Status ReadString(std::string* out);
+  [[nodiscard]] Status ReadU8(uint8_t* out);
+  [[nodiscard]] Status ReadU16(uint16_t* out);
+  [[nodiscard]] Status ReadU32(uint32_t* out);
+  [[nodiscard]] Status ReadU64(uint64_t* out);
+  [[nodiscard]] Status ReadI64(int64_t* out);
+  [[nodiscard]] Status ReadDouble(double* out);
+  [[nodiscard]] Status ReadVarU64(uint64_t* out);
+  [[nodiscard]] Status ReadBytes(std::vector<uint8_t>* out);
+  [[nodiscard]] Status ReadString(std::string* out);
 
   /// \brief Reads a varint element count and rejects any value that could not
   /// possibly fit in the remaining bytes (each element occupies at least
   /// `min_bytes_per_element`). Decoders must use this before `resize(count)`
   /// on peer-controlled buffers, so a corrupted length prefix cannot trigger
   /// a multi-gigabyte allocation.
-  Status ReadCount(uint64_t* out, size_t min_bytes_per_element = 1);
+  [[nodiscard]] Status ReadCount(uint64_t* out, size_t min_bytes_per_element = 1);
 
   /// \brief Bytes not yet consumed.
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
 
  private:
-  Status Take(void* out, size_t n);
+  [[nodiscard]] Status Take(void* out, size_t n);
 
   const uint8_t* data_;
   size_t size_;

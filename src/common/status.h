@@ -42,36 +42,36 @@ class Status {
       : code_(code), message_(std::move(message)) {}
 
   /// \brief The OK (success) status.
-  static Status OK() { return Status(); }
+  [[nodiscard]] static Status OK() { return Status(); }
 
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status ProtocolError(std::string msg) {
+  [[nodiscard]] static Status ProtocolError(std::string msg) {
     return Status(StatusCode::kProtocolError, std::move(msg));
   }
-  static Status CryptoError(std::string msg) {
+  [[nodiscard]] static Status CryptoError(std::string msg) {
     return Status(StatusCode::kCryptoError, std::move(msg));
   }
-  static Status SerializationError(std::string msg) {
+  [[nodiscard]] static Status SerializationError(std::string msg) {
     return Status(StatusCode::kSerializationError, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 

@@ -114,7 +114,7 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 /// \brief ParallelFor over a Status-returning body. Every index runs; on
 /// failure the error of the lowest failing index is returned, so the
 /// surfaced Status does not depend on worker scheduling.
-Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn);
+[[nodiscard]] Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn);
 
 /// \brief ParallelForChunked on the global pool.
 void ParallelForChunked(

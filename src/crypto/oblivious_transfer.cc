@@ -45,7 +45,7 @@ std::vector<std::vector<uint8_t>> PadMessages(
   return out;
 }
 
-Result<std::vector<uint8_t>> UnpadMessage(const std::vector<uint8_t>& padded) {
+[[nodiscard]] Result<std::vector<uint8_t>> UnpadMessage(const std::vector<uint8_t>& padded) {
   if (padded.size() < 4) return Status::CryptoError("OT message too short");
   uint32_t len = static_cast<uint32_t>(padded[0]) |
                  (static_cast<uint32_t>(padded[1]) << 8) |

@@ -38,7 +38,7 @@ namespace psi {
 /// \param choices the receiver's indices into `messages`.
 /// \param sender_keys an RSA key pair owned by the sender.
 /// \return the chosen messages, in choice order (receiver output).
-Result<std::vector<std::vector<uint8_t>>> RunObliviousTransfers(
+[[nodiscard]] Result<std::vector<std::vector<uint8_t>>> RunObliviousTransfers(
     Network* network, PartyId sender, PartyId receiver,
     const std::vector<std::vector<uint8_t>>& messages,
     const std::vector<size_t>& choices, const RsaKeyPair& sender_keys,

@@ -47,7 +47,7 @@ class PackingCodec {
   ///        (>= 1; the pack itself counts as one).
   /// \param pad_bits low bits reserved per plaintext for a randomizer pad.
   /// \return InvalidArgument when the geometry yields no whole slot.
-  static Result<PackingCodec> Create(size_t plaintext_bits,
+  [[nodiscard]] static Result<PackingCodec> Create(size_t plaintext_bits,
                                      const BigUInt& counter_bound,
                                      uint64_t max_additions,
                                      size_t pad_bits = 0);
@@ -67,30 +67,30 @@ class PackingCodec {
   /// \brief Guard-bit budget check: adding `num_addends` packed plaintexts
   /// slot-wise is safe only while num_addends <= max_additions. Callers
   /// about to fold ciphertexts together must consult this first.
-  Status CheckAdditionBudget(uint64_t num_addends) const;
+  [[nodiscard]] Status CheckAdditionBudget(uint64_t num_addends) const;
 
   /// \brief Packs counters into NumPlaintexts(counters.size()) plaintexts.
   /// The last plaintext's tail slots are zero. Returns InvalidArgument on
   /// the first counter above counter_bound (the pack-time bound check).
-  Result<std::vector<BigUInt>> Pack(const std::vector<BigUInt>& counters) const;
+  [[nodiscard]] Result<std::vector<BigUInt>> Pack(const std::vector<BigUInt>& counters) const;
 
   /// \brief Pack() plus a caller-drawn pad per plaintext, stored in the low
   /// pad_bits. pads.size() must equal NumPlaintexts(counters.size()); each
   /// pad must fit pad_bits.
-  Result<std::vector<BigUInt>> Pack(const std::vector<BigUInt>& counters,
+  [[nodiscard]] Result<std::vector<BigUInt>> Pack(const std::vector<BigUInt>& counters,
                                     const std::vector<BigUInt>& pads) const;
 
   /// \brief Convenience overload for native counters.
-  Result<std::vector<BigUInt>> Pack(const std::vector<uint64_t>& counters) const;
+  [[nodiscard]] Result<std::vector<BigUInt>> Pack(const std::vector<uint64_t>& counters) const;
 
   /// \brief Recovers `count` slot values (pads are skipped, not returned).
   /// Slot values up to max_additions * counter_bound round-trip exactly;
   /// rejects plaintexts wider than the declared geometry.
-  Result<std::vector<BigUInt>> Unpack(const std::vector<BigUInt>& plaintexts,
+  [[nodiscard]] Result<std::vector<BigUInt>> Unpack(const std::vector<BigUInt>& plaintexts,
                                       size_t count) const;
 
   /// \brief Unpack() narrowed to uint64 (OutOfRange when a slot exceeds it).
-  Result<std::vector<uint64_t>> UnpackU64(
+  [[nodiscard]] Result<std::vector<uint64_t>> UnpackU64(
       const std::vector<BigUInt>& plaintexts, size_t count) const;
 
  private:

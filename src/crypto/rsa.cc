@@ -16,6 +16,7 @@ Result<RsaKeyPair> RsaGenerateKeyPair(Rng* rng, size_t bits) {
   for (;;) {
     BigUInt p = RandomPrime(rng, bits / 2);
     BigUInt q = RandomPrime(rng, bits / 2);
+    // psi-lint: allow(secret-flow) one-time key generation; no attacker-visible interaction has started yet
     if (p == q) continue;
     BigUInt p1 = p - BigUInt(1);
     BigUInt q1 = q - BigUInt(1);
@@ -29,7 +30,9 @@ Result<RsaKeyPair> RsaGenerateKeyPair(Rng* rng, size_t bits) {
     kp.private_key.n = kp.public_key.n;
     kp.private_key.p = p;
     kp.private_key.q = q;
+    // psi-lint: allow(secret-flow) one-time key generation; timing is not observable on the wire
     kp.private_key.d_mod_p1 = kp.private_key.d % p1;
+    // psi-lint: allow(secret-flow) one-time key generation; timing is not observable on the wire
     kp.private_key.d_mod_q1 = kp.private_key.d % q1;
     PSI_ASSIGN_OR_RETURN(kp.private_key.q_inv_p, ModInverse(q, p));
     return kp;
@@ -44,8 +47,11 @@ Result<BigUInt> RsaEncrypt(const RsaPublicKey& key, const BigUInt& m) {
 Result<BigUInt> RsaDecrypt(const RsaPrivateKey& key, const BigUInt& c) {
   if (c >= key.n) return Status::InvalidArgument("RSA ciphertext >= modulus");
   // CRT: m_p = c^dP mod p, m_q = c^dQ mod q, recombine via Garner.
+  // psi-lint: allow(secret-flow) CRT decryption at the key owner; DESIGN.md's simulated network carries no timing channel
   BigUInt m_p = ModPow(c % key.p, key.d_mod_p1, key.p);
+  // psi-lint: allow(secret-flow) CRT decryption at the key owner; DESIGN.md's simulated network carries no timing channel
   BigUInt m_q = ModPow(c % key.q, key.d_mod_q1, key.q);
+  // psi-lint: allow(secret-flow) CRT decryption at the key owner; DESIGN.md's simulated network carries no timing channel
   BigUInt h = ModMul(key.q_inv_p, ModSub(m_p, m_q % key.p, key.p), key.p);
   return m_q + h * key.q;
 }

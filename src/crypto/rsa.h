@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bigint/biguint.h"
+#include "common/annotations.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -41,12 +42,12 @@ struct RsaPublicKey {
 /// \brief RSA private key with CRT acceleration values.
 struct RsaPrivateKey {
   BigUInt n;
-  BigUInt d;
-  BigUInt p;
-  BigUInt q;
-  BigUInt d_mod_p1;   ///< d mod (p-1)
-  BigUInt d_mod_q1;   ///< d mod (q-1)
-  BigUInt q_inv_p;    ///< q^-1 mod p
+  PSI_SECRET BigUInt d;
+  PSI_SECRET BigUInt p;
+  PSI_SECRET BigUInt q;
+  PSI_SECRET BigUInt d_mod_p1;   ///< d mod (p-1)
+  PSI_SECRET BigUInt d_mod_q1;   ///< d mod (q-1)
+  PSI_SECRET BigUInt q_inv_p;    ///< q^-1 mod p
 };
 
 /// \brief Key pair container.
@@ -56,13 +57,13 @@ struct RsaKeyPair {
 };
 
 /// \brief Generates an RSA key pair with a `bits`-bit modulus and e = 65537.
-Result<RsaKeyPair> RsaGenerateKeyPair(Rng* rng, size_t bits);
+[[nodiscard]] Result<RsaKeyPair> RsaGenerateKeyPair(Rng* rng, size_t bits);
 
 /// \brief c = m^e mod n. Requires m < n.
-Result<BigUInt> RsaEncrypt(const RsaPublicKey& key, const BigUInt& m);
+[[nodiscard]] Result<BigUInt> RsaEncrypt(const RsaPublicKey& key, const BigUInt& m);
 
 /// \brief m = c^d mod n via CRT. Requires c < n.
-Result<BigUInt> RsaDecrypt(const RsaPrivateKey& key, const BigUInt& c);
+[[nodiscard]] Result<BigUInt> RsaDecrypt(const RsaPrivateKey& key, const BigUInt& c);
 
 /// \brief Hybrid ciphertext: RSA-encapsulated ChaCha20 key + stream payload.
 struct HybridCiphertext {
@@ -77,12 +78,12 @@ struct HybridCiphertext {
 
 /// \brief Encrypts an arbitrary byte string: one RSA operation total
 /// (vs one per integer for plain RSA), the Table-2 ablation point.
-Result<HybridCiphertext> HybridEncrypt(const RsaPublicKey& key,
+[[nodiscard]] Result<HybridCiphertext> HybridEncrypt(const RsaPublicKey& key,
                                        const std::vector<uint8_t>& plaintext,
                                        Rng* rng);
 
 /// \brief Inverse of HybridEncrypt.
-Result<std::vector<uint8_t>> HybridDecrypt(const RsaPrivateKey& key,
+[[nodiscard]] Result<std::vector<uint8_t>> HybridDecrypt(const RsaPrivateKey& key,
                                            const HybridCiphertext& ct);
 
 }  // namespace psi

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "common/annotations.h"
 #include "common/logging.h"
 #include "common/random.h"
 
@@ -36,14 +37,15 @@ class ShiftCipher {
   /// \brief Inverse of Encrypt.
   uint64_t Decrypt(uint64_t c) const {
     PSI_DCHECK(c < frame_);
-    return c >= key_ ? c - key_ : c + frame_ - key_;
+    uint64_t shifted = c + frame_ - key_;
+    return shifted >= frame_ ? shifted - frame_ : shifted;
   }
 
   uint64_t key() const { return key_; }
   uint64_t frame() const { return frame_; }
 
  private:
-  uint64_t key_;
+  PSI_SECRET uint64_t key_;
   uint64_t frame_;
 };
 

@@ -12,28 +12,28 @@
 namespace psi {
 
 /// \brief G(n, M): exactly `num_arcs` distinct directed arcs, uniform.
-Result<SocialGraph> ErdosRenyiArcs(Rng* rng, size_t num_nodes,
+[[nodiscard]] Result<SocialGraph> ErdosRenyiArcs(Rng* rng, size_t num_nodes,
                                    size_t num_arcs);
 
 /// \brief G(n, p): each ordered pair becomes an arc with probability p.
-Result<SocialGraph> ErdosRenyiProb(Rng* rng, size_t num_nodes, double p);
+[[nodiscard]] Result<SocialGraph> ErdosRenyiProb(Rng* rng, size_t num_nodes, double p);
 
 /// \brief Barabasi-Albert preferential attachment; each new node attaches to
 /// `attach` existing nodes, creating arcs in both directions (followers of
 /// popular accounts). Produces a heavy-tailed degree distribution.
-Result<SocialGraph> BarabasiAlbert(Rng* rng, size_t num_nodes, size_t attach);
+[[nodiscard]] Result<SocialGraph> BarabasiAlbert(Rng* rng, size_t num_nodes, size_t attach);
 
 /// \brief Watts-Strogatz small world on a ring: each node linked to `k`
 /// clockwise neighbors (both arc directions), each arc rewired with
 /// probability `beta`.
-Result<SocialGraph> WattsStrogatz(Rng* rng, size_t num_nodes, size_t k,
+[[nodiscard]] Result<SocialGraph> WattsStrogatz(Rng* rng, size_t num_nodes, size_t k,
                                   double beta);
 
 /// \brief The paper's E' obfuscation (Protocol 4 step 1 / Protocol 6 step 1):
 /// a uniformly random superset E' of the arcs of `graph` with
 /// |E'| >= factor * |E|, factor > 1. Returns arcs in randomized order so the
 /// position of a pair inside Omega_E' carries no information.
-Result<std::vector<Arc>> ObfuscateArcSet(Rng* rng, const SocialGraph& graph,
+[[nodiscard]] Result<std::vector<Arc>> ObfuscateArcSet(Rng* rng, const SocialGraph& graph,
                                          double factor);
 
 }  // namespace psi

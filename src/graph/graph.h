@@ -37,14 +37,14 @@ class SocialGraph {
   size_t num_arcs() const { return arcs_.size(); }
 
   /// \brief Adds arc (from, to). Self-loops and duplicates are rejected.
-  Status AddArc(NodeId from, NodeId to);
+  [[nodiscard]] Status AddArc(NodeId from, NodeId to);
 
   /// \brief True iff (from, to) is an arc.
   bool HasArc(NodeId from, NodeId to) const;
 
   /// \brief Adds both (u, v) and (v, u) — undirected relations like
   /// friendship are modeled as two arcs (footnote 4 of the paper).
-  Status AddSymmetric(NodeId u, NodeId v);
+  [[nodiscard]] Status AddSymmetric(NodeId u, NodeId v);
 
   const std::vector<NodeId>& OutNeighbors(NodeId v) const { return out_[v]; }
   const std::vector<NodeId>& InNeighbors(NodeId v) const { return in_[v]; }

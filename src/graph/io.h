@@ -18,14 +18,14 @@
 namespace psi {
 
 /// \brief Writes the graph to a stream.
-Status WriteGraphText(const SocialGraph& graph, std::ostream* out);
+[[nodiscard]] Status WriteGraphText(const SocialGraph& graph, std::ostream* out);
 
 /// \brief Reads a graph from a stream.
-Result<SocialGraph> ReadGraphText(std::istream* in);
+[[nodiscard]] Result<SocialGraph> ReadGraphText(std::istream* in);
 
 /// \brief File conveniences.
-Status SaveGraph(const SocialGraph& graph, const std::string& path);
-Result<SocialGraph> LoadGraph(const std::string& path);
+[[nodiscard]] Status SaveGraph(const SocialGraph& graph, const std::string& path);
+[[nodiscard]] Result<SocialGraph> LoadGraph(const std::string& path);
 
 }  // namespace psi
 

@@ -29,7 +29,7 @@ class PropagationGraph {
   size_t num_arcs() const { return num_arcs_; }
 
   /// \brief Adds (from, to) labeled delta_t. delta_t must be positive.
-  Status AddArc(NodeId from, NodeId to, uint64_t delta_t);
+  [[nodiscard]] Status AddArc(NodeId from, NodeId to, uint64_t delta_t);
 
   const std::vector<LabeledArc>& OutArcs(NodeId v) const { return adj_[v]; }
 

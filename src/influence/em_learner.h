@@ -47,7 +47,7 @@ struct EmResult {
 };
 
 /// \brief Learns p_uv for every arc of `graph` from the unified log.
-Result<EmResult> LearnInfluenceEm(const SocialGraph& graph,
+[[nodiscard]] Result<EmResult> LearnInfluenceEm(const SocialGraph& graph,
                                   const ActionLog& log,
                                   const EmConfig& config);
 

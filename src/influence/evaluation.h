@@ -15,17 +15,17 @@ namespace psi {
 
 /// \brief Kendall rank correlation tau-a in [-1, 1]: the normalized excess
 /// of concordant over discordant pairs. 0 for degenerate inputs.
-Result<double> KendallTau(const std::vector<double>& a,
+[[nodiscard]] Result<double> KendallTau(const std::vector<double>& a,
                           const std::vector<double>& b);
 
 /// \brief Fraction of the reference top-k that the estimate's top-k
 /// recovers (a.k.a. precision@k == recall@k for equal k).
-Result<double> TopKOverlap(const std::vector<double>& reference,
+[[nodiscard]] Result<double> TopKOverlap(const std::vector<double>& reference,
                            const std::vector<double>& estimate, size_t k);
 
 /// \brief Mean reciprocal rank of the reference's argmax within the
 /// estimate's ranking (1 = the estimate ranks the true best item first).
-Result<double> ReciprocalRankOfBest(const std::vector<double>& reference,
+[[nodiscard]] Result<double> ReciprocalRankOfBest(const std::vector<double>& reference,
                                     const std::vector<double>& estimate);
 
 }  // namespace psi

@@ -46,7 +46,7 @@ struct FlatProbs {
   std::vector<double> p;       // per (node, out-neighbor j)
 };
 
-Result<FlatProbs> Flatten(const SocialGraph& graph,
+[[nodiscard]] Result<FlatProbs> Flatten(const SocialGraph& graph,
                           const ArcProbabilities& probs) {
   if (probs.size() != graph.num_arcs()) {
     return Status::InvalidArgument("probability vector length != arc count");

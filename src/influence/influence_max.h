@@ -21,7 +21,7 @@ namespace psi {
 using ArcProbabilities = std::vector<double>;
 
 /// \brief Monte Carlo estimate of the expected IC spread of `seeds`.
-Result<double> EstimateSpread(const SocialGraph& graph,
+[[nodiscard]] Result<double> EstimateSpread(const SocialGraph& graph,
                               const ArcProbabilities& probs,
                               const std::vector<NodeId>& seeds, Rng* rng,
                               size_t num_simulations);
@@ -35,7 +35,7 @@ struct SeedSelection {
 
 /// \brief KKT greedy: k rounds, each adding the node with the largest
 /// marginal spread gain.
-Result<SeedSelection> GreedyInfluenceMaximization(const SocialGraph& graph,
+[[nodiscard]] Result<SeedSelection> GreedyInfluenceMaximization(const SocialGraph& graph,
                                                   const ArcProbabilities& probs,
                                                   size_t k, Rng* rng,
                                                   size_t num_simulations);
@@ -43,7 +43,7 @@ Result<SeedSelection> GreedyInfluenceMaximization(const SocialGraph& graph,
 /// \brief CELF lazy greedy (Leskovec et al.): exploits submodularity to skip
 /// most marginal-gain re-evaluations; returns the same seeds as plain greedy
 /// up to Monte Carlo noise, with far fewer evaluations.
-Result<SeedSelection> CelfInfluenceMaximization(const SocialGraph& graph,
+[[nodiscard]] Result<SeedSelection> CelfInfluenceMaximization(const SocialGraph& graph,
                                                 const ArcProbabilities& probs,
                                                 size_t k, Rng* rng,
                                                 size_t num_simulations);

@@ -24,19 +24,19 @@ struct LinkInfluence {
 };
 
 /// \brief Eq. (1): p_ij = b^h_ij / a_i over the unified log.
-Result<LinkInfluence> ComputeLinkInfluence(const ActionLog& log,
+[[nodiscard]] Result<LinkInfluence> ComputeLinkInfluence(const ActionLog& log,
                                            const std::vector<Arc>& pairs,
                                            size_t num_users, uint64_t h);
 
 /// \brief Eq. (2): temporally weighted variant.
-Result<LinkInfluence> ComputeWeightedLinkInfluence(
+[[nodiscard]] Result<LinkInfluence> ComputeWeightedLinkInfluence(
     const ActionLog& log, const std::vector<Arc>& pairs, size_t num_users,
     const TemporalWeights& weights);
 
 /// \brief Mean absolute error between two influence vectors on the same
 /// pairs (used to compare learned strengths against ground truth and secure
 /// output against plaintext).
-Result<double> MeanAbsoluteError(const LinkInfluence& a,
+[[nodiscard]] Result<double> MeanAbsoluteError(const LinkInfluence& a,
                                  const LinkInfluence& b);
 
 }  // namespace psi

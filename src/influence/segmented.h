@@ -34,7 +34,7 @@ ActionLog FilterLogBySegment(const ActionLog& log,
                              uint32_t segment);
 
 /// \brief Plaintext baseline: Eq. (1) per segment over the unified log.
-Result<SegmentedLinkInfluence> ComputeSegmentedLinkInfluence(
+[[nodiscard]] Result<SegmentedLinkInfluence> ComputeSegmentedLinkInfluence(
     const ActionLog& log, const std::vector<Arc>& pairs, size_t num_users,
     uint64_t h, const std::vector<uint32_t>& segment_of_action,
     uint32_t num_segments);

@@ -17,7 +17,7 @@ namespace psi {
 /// \brief Builds PG(alpha) per Definition 3.1: arc (v_i, v_j) labeled
 /// Delta t = t_j - t_i whenever (v_i, v_j) in E, both performed `action`,
 /// and Delta t > 0.
-Result<PropagationGraph> BuildPropagationGraph(const SocialGraph& graph,
+[[nodiscard]] Result<PropagationGraph> BuildPropagationGraph(const SocialGraph& graph,
                                                const ActionLog& log,
                                                ActionId action);
 
@@ -29,14 +29,14 @@ struct UserScoreOptions {
 
 /// \brief score(v_i) = (sum_alpha |Inf_tau(v_i, alpha)|) / a_i per Eq. (3);
 /// 0 when a_i = 0. Returned per user id.
-Result<std::vector<double>> ComputeUserInfluenceScores(
+[[nodiscard]] Result<std::vector<double>> ComputeUserInfluenceScores(
     const SocialGraph& graph, const ActionLog& log,
     const UserScoreOptions& options);
 
 /// \brief Same scores computed from pre-built propagation graphs (the form
 /// the host uses after Protocol 6): graphs[a] is PG(a), `action_counts` is
 /// the a_i vector obtained via Protocol 4.
-Result<std::vector<double>> ScoresFromPropagationGraphs(
+[[nodiscard]] Result<std::vector<double>> ScoresFromPropagationGraphs(
     const std::vector<PropagationGraph>& graphs,
     const std::vector<std::vector<NodeId>>& performers,
     const std::vector<uint64_t>& action_counts,

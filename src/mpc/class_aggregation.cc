@@ -7,6 +7,7 @@
 #include "common/serialize.h"
 #include "crypto/permutation.h"
 #include "crypto/shift_cipher.h"
+#include "mpc/wire.h"
 
 namespace psi {
 
@@ -16,38 +17,11 @@ uint64_t PairKey(NodeId i, NodeId j) {
   return (static_cast<uint64_t>(i) << 32) | j;
 }
 
-std::vector<uint8_t> PackRecords(const std::vector<ActionRecord>& records) {
-  BinaryWriter w;
-  w.WriteVarU64(records.size());
-  for (const auto& r : records) {
-    w.WriteU32(r.user);
-    w.WriteU32(r.action);
-    w.WriteU64(r.time);
-  }
-  return w.TakeBuffer();
-}
+}  // namespace
 
-Status UnpackRecords(const std::vector<uint8_t>& buf,
-                     std::vector<ActionRecord>* out) {
-  BinaryReader r(buf);
-  uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
-  out->resize(count);
-  for (auto& rec : *out) {
-    PSI_RETURN_NOT_OK(r.ReadU32(&rec.user));
-    PSI_RETURN_NOT_OK(r.ReadU32(&rec.action));
-    PSI_RETURN_NOT_OK(r.ReadU64(&rec.time));
-  }
-  return Status::OK();
-}
+namespace internal {
 
-// Sparse counters the aggregator computes over obfuscated identities.
-struct ObfuscatedCounters {
-  std::unordered_map<uint32_t, uint64_t> a;                  // user' -> count
-  std::unordered_map<uint64_t, std::vector<uint64_t>> c;     // (i',j') -> c^l
-};
-
-std::vector<uint8_t> PackCounters(const ObfuscatedCounters& counters,
+std::vector<uint8_t> PackCounters(const internal::ObfuscatedCounters& counters,
                                   uint64_t h) {
   BinaryWriter w;
   w.WriteVarU64(counters.a.size());
@@ -64,10 +38,12 @@ std::vector<uint8_t> PackCounters(const ObfuscatedCounters& counters,
 }
 
 Status UnpackCounters(const std::vector<uint8_t>& buf, uint64_t h,
-                      ObfuscatedCounters* out) {
+                      internal::ObfuscatedCounters* out) {
   BinaryReader r(buf);
   uint64_t a_count;
-  PSI_RETURN_NOT_OK(r.ReadVarU64(&a_count));
+  // An a-entry is a u32 user plus a varint count: at least 5 bytes.
+  PSI_RETURN_NOT_OK(r.ReadCount(&a_count, /*min_bytes_per_element=*/5));
+  out->a.reserve(a_count);
   for (uint64_t i = 0; i < a_count; ++i) {
     uint32_t user;
     uint64_t count;
@@ -76,7 +52,9 @@ Status UnpackCounters(const std::vector<uint8_t>& buf, uint64_t h,
     out->a.emplace(user, count);
   }
   uint64_t c_count;
-  PSI_RETURN_NOT_OK(r.ReadVarU64(&c_count));
+  // A c-entry is a u64 key plus h varints: at least 8 + h bytes.
+  PSI_RETURN_NOT_OK(r.ReadCount(&c_count, /*min_bytes_per_element=*/8 + h));
+  out->c.reserve(c_count);
   for (uint64_t i = 0; i < c_count; ++i) {
     uint64_t key;
     PSI_RETURN_NOT_OK(r.ReadU64(&key));
@@ -86,10 +64,11 @@ Status UnpackCounters(const std::vector<uint8_t>& buf, uint64_t h,
     }
     out->c.emplace(key, std::move(by_delay));
   }
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
   return Status::OK();
 }
 
-}  // namespace
+}  // namespace internal
 
 std::pair<ActionLog, ActionLog> SplitOutClass(
     const ActionLog& log, const std::vector<uint32_t>& class_of_action,
@@ -202,7 +181,7 @@ Result<AggregatedClassCounters> ClassAggregationProtocol::Run(
     // Shuffle so record order reveals nothing about real-vs-fake.
     Rng shuffle_rng = group_secret_rng->Fork("shuffle-" + std::to_string(k));
     shuffle_rng.Shuffle(&obf);
-    PSI_RETURN_NOT_OK(network_->Send(group_[k], aggregator_, PackRecords(obf)));
+    PSI_RETURN_NOT_OK(network_->Send(group_[k], aggregator_, wire::PackRecords(obf)));
   }
 
   // ---- Steps 3-4: the aggregator merges and counts. ----
@@ -211,12 +190,12 @@ Result<AggregatedClassCounters> ClassAggregationProtocol::Run(
   for (size_t k = 0; k < d; ++k) {
     PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(aggregator_, group_[k]));
     std::vector<ActionRecord> records;
-    PSI_RETURN_NOT_OK(UnpackRecords(buf, &records));
+    PSI_RETURN_NOT_OK(wire::UnpackRecords(buf, &records));
     views_.aggregator_logs.push_back(records);
     merged.insert(merged.end(), records.begin(), records.end());
   }
 
-  ObfuscatedCounters counters;
+  internal::ObfuscatedCounters counters;
   std::unordered_map<uint32_t, std::vector<ActionRecord>> by_action;
   for (const auto& r : merged) {
     ++counters.a[r.user];
@@ -247,12 +226,12 @@ Result<AggregatedClassCounters> ClassAggregationProtocol::Run(
   // ---- Step 5: nonzero counters return to the representative. ----
   network_->BeginRound(label_prefix + "P5.Step5 (counters to representative)");
   PSI_RETURN_NOT_OK(network_->Send(aggregator_, group_[0],
-                                   PackCounters(counters, config_.h)));
+                                   internal::PackCounters(counters, config_.h)));
 
   // ---- Step 6: the representative recovers the true counters. ----
   PSI_ASSIGN_OR_RETURN(auto buf, network_->Recv(group_[0], aggregator_));
-  ObfuscatedCounters received;
-  PSI_RETURN_NOT_OK(UnpackCounters(buf, config_.h, &received));
+  internal::ObfuscatedCounters received;
+  PSI_RETURN_NOT_OK(internal::UnpackCounters(buf, config_.h, &received));
 
   AggregatedClassCounters out;
   out.a.assign(num_users, 0);

@@ -23,6 +23,7 @@
 #define PSI_MPC_CLASS_AGGREGATION_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "actionlog/action_log.h"
@@ -69,7 +70,7 @@ class ClassAggregationProtocol {
   /// \param group_secret_rng key material shared by the group (derives the
   ///        secret permutation/injection, action pseudonyms and shift key);
   ///        hidden from the aggregator, never crosses the network.
-  Result<AggregatedClassCounters> Run(const std::vector<ActionLog>& class_logs,
+  [[nodiscard]] Result<AggregatedClassCounters> Run(const std::vector<ActionLog>& class_logs,
                                       size_t num_users, Rng* group_secret_rng,
                                       const std::string& label_prefix);
 
@@ -88,6 +89,25 @@ class ClassAggregationProtocol {
 std::pair<ActionLog, ActionLog> SplitOutClass(
     const ActionLog& log, const std::vector<uint32_t>& class_of_action,
     uint32_t q);
+
+namespace internal {
+
+/// \brief Sparse counters the aggregator computes over obfuscated
+/// identities. Exposed for the malformed-input wire tests.
+struct ObfuscatedCounters {
+  std::unordered_map<uint32_t, uint64_t> a;               // user' -> count
+  std::unordered_map<uint64_t, std::vector<uint64_t>> c;  // (i',j') -> c^l
+};
+
+std::vector<uint8_t> PackCounters(const ObfuscatedCounters& counters,
+                                  uint64_t h);
+
+/// \brief Decodes PackCounters output; rejects counts that cannot fit in the
+/// buffer and trailing bytes.
+[[nodiscard]] Status UnpackCounters(const std::vector<uint8_t>& buf,
+                                    uint64_t h, ObfuscatedCounters* out);
+
+}  // namespace internal
 
 }  // namespace psi
 

@@ -5,6 +5,7 @@
 #include "bigint/modular.h"
 #include "common/serialize.h"
 #include "common/thread_pool.h"
+#include "mpc/wire.h"
 
 namespace psi {
 
@@ -14,24 +15,6 @@ namespace {
 constexpr uint16_t kStepPublishKey = 1;
 constexpr uint16_t kStepCiphertexts = 2;
 constexpr uint16_t kStepAggregate = 3;
-
-std::vector<uint8_t> PackBigUInts(const std::vector<BigUInt>& v) {
-  BinaryWriter w;
-  w.WriteVarU64(v.size());
-  for (const auto& x : v) WriteBigUInt(&w, x);
-  return w.TakeBuffer();
-}
-
-Status UnpackBigUInts(const std::vector<uint8_t>& buf,
-                      std::vector<BigUInt>* out) {
-  BinaryReader r(buf);
-  uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadCount(&count));
-  out->resize(count);
-  for (auto& x : *out) PSI_RETURN_NOT_OK(ReadBigUInt(&r, &x));
-  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
-  return Status::OK();
-}
 
 // The per-slot mask range: rho_c uniform in [0, B * m * 2^eps). The slot sum
 // a P1 observes is sum_k x_k + rho_c with sum_k x_k <= B * m, so the
@@ -234,7 +217,7 @@ HomomorphicSumProtocol::RunPacked(
     PSI_RETURN_NOT_OK(network_->SendFramed(players_[k], players_[1],
                                            ProtocolId::kHomomorphicSum,
                                            kStepCiphertexts,
-                                           PackBigUInts(cts)));
+                                           wire::PackBigUInts(cts)));
   }
 
   // P2 folds everything together with a per-slot statistical mask. Masks
@@ -255,7 +238,7 @@ HomomorphicSumProtocol::RunPacked(
                                           ProtocolId::kHomomorphicSum,
                                           kStepCiphertexts));
     std::vector<BigUInt> cts;
-    PSI_RETURN_NOT_OK(UnpackBigUInts(buf, &cts));
+    PSI_RETURN_NOT_OK(wire::UnpackBigUInts(buf, &cts));
     if (cts.size() != num_ct) {
       return Status::ProtocolError("packed ciphertext vector length mismatch");
     }
@@ -269,13 +252,13 @@ HomomorphicSumProtocol::RunPacked(
   PSI_RETURN_NOT_OK(network_->SendFramed(players_[1], players_[0],
                                          ProtocolId::kHomomorphicSum,
                                          kStepAggregate,
-                                         PackBigUInts(aggregate)));
+                                         wire::PackBigUInts(aggregate)));
   PSI_ASSIGN_OR_RETURN(
       auto buf, network_->RecvValidated(players_[0], players_[1],
                                         ProtocolId::kHomomorphicSum,
                                         kStepAggregate));
   std::vector<BigUInt> received;
-  PSI_RETURN_NOT_OK(UnpackBigUInts(buf, &received));
+  PSI_RETURN_NOT_OK(wire::UnpackBigUInts(buf, &received));
   if (received.size() != num_ct) {
     return Status::ProtocolError("aggregate vector length mismatch");
   }
@@ -354,7 +337,7 @@ Result<BatchedModularShares> HomomorphicSumProtocol::RunUnpacked(
     PSI_RETURN_NOT_OK(network_->SendFramed(players_[k], players_[1],
                                            ProtocolId::kHomomorphicSum,
                                            kStepCiphertexts,
-                                           PackBigUInts(cts)));
+                                           wire::PackBigUInts(cts)));
   }
 
   // P2 aggregates homomorphically, folding in its own inputs and the mask.
@@ -373,7 +356,7 @@ Result<BatchedModularShares> HomomorphicSumProtocol::RunUnpacked(
                                           ProtocolId::kHomomorphicSum,
                                           kStepCiphertexts));
     std::vector<BigUInt> cts;
-    PSI_RETURN_NOT_OK(UnpackBigUInts(buf, &cts));
+    PSI_RETURN_NOT_OK(wire::UnpackBigUInts(buf, &cts));
     if (cts.size() != count) {
       return Status::ProtocolError("ciphertext vector length mismatch");
     }
@@ -387,13 +370,13 @@ Result<BatchedModularShares> HomomorphicSumProtocol::RunUnpacked(
   PSI_RETURN_NOT_OK(network_->SendFramed(players_[1], players_[0],
                                          ProtocolId::kHomomorphicSum,
                                          kStepAggregate,
-                                         PackBigUInts(aggregate)));
+                                         wire::PackBigUInts(aggregate)));
   PSI_ASSIGN_OR_RETURN(
       auto buf, network_->RecvValidated(players_[0], players_[1],
                                         ProtocolId::kHomomorphicSum,
                                         kStepAggregate));
   std::vector<BigUInt> received;
-  PSI_RETURN_NOT_OK(UnpackBigUInts(buf, &received));
+  PSI_RETURN_NOT_OK(wire::UnpackBigUInts(buf, &received));
   if (received.size() != count) {
     return Status::ProtocolError("aggregate vector length mismatch");
   }

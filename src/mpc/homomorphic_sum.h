@@ -62,7 +62,7 @@ struct HomomorphicSumConfig {
 /// Slot values must hold (m - 1) ciphertext addends of up to mask_bound + B
 /// each, so max_additions = m. Returns InvalidArgument when no whole slot
 /// fits the plaintext (callers then use the unpacked path).
-Result<PackingCodec> HomomorphicSumPackedCodec(size_t plaintext_bits,
+[[nodiscard]] Result<PackingCodec> HomomorphicSumPackedCodec(size_t plaintext_bits,
                                                const BigUInt& counter_bound,
                                                size_t num_players,
                                                uint64_t epsilon_log2);
@@ -81,7 +81,7 @@ class HomomorphicSumProtocol {
   /// \brief Runs the batched aggregation; three communication rounds.
   /// Packed when config.counter_bound is set, every input obeys it, and a
   /// slot fits; silently unpacked otherwise (check last_run_packed()).
-  Result<BatchedModularShares> Run(
+  [[nodiscard]] Result<BatchedModularShares> Run(
       const std::vector<std::vector<uint64_t>>& inputs,
       const std::vector<Rng*>& player_rngs, const std::string& label_prefix);
 
@@ -90,7 +90,7 @@ class HomomorphicSumProtocol {
   /// share-masking stage needs. FailedPrecondition when the counter bound
   /// is unset, cannot be proven for the inputs, or no slot fits — callers
   /// fall back to Protocol 2 in that case.
-  Result<BatchedIntegerShares> RunInteger(
+  [[nodiscard]] Result<BatchedIntegerShares> RunInteger(
       const std::vector<std::vector<uint64_t>>& inputs,
       const std::vector<Rng*>& player_rngs, const std::string& label_prefix);
 
@@ -110,21 +110,21 @@ class HomomorphicSumProtocol {
     std::vector<BigUInt> masked;  // sum of all inputs + rho, per counter.
     std::vector<BigUInt> rho;     // P2's per-slot masks.
   };
-  Result<PackedOutcome> RunPacked(
+  [[nodiscard]] Result<PackedOutcome> RunPacked(
       const PaillierKeyPair& keys, const PackingCodec& codec,
       const std::vector<std::vector<uint64_t>>& inputs,
       const std::vector<Rng*>& player_rngs, const std::string& label_prefix);
 
-  Result<BatchedModularShares> RunUnpacked(
+  [[nodiscard]] Result<BatchedModularShares> RunUnpacked(
       const std::vector<std::vector<uint64_t>>& inputs,
       const std::vector<Rng*>& player_rngs, const std::string& label_prefix);
 
-  Result<BatchedModularShares> RunUnpacked(
+  [[nodiscard]] Result<BatchedModularShares> RunUnpacked(
       const PaillierKeyPair& keys,
       const std::vector<std::vector<uint64_t>>& inputs,
       const std::vector<Rng*>& player_rngs, const std::string& label_prefix);
 
-  Status ValidateInputs(const std::vector<std::vector<uint64_t>>& inputs,
+  [[nodiscard]] Status ValidateInputs(const std::vector<std::vector<uint64_t>>& inputs,
                         const std::vector<Rng*>& player_rngs) const;
 
   // True when a bound is configured, all inputs obey it, and a slot fits.

@@ -26,7 +26,7 @@ namespace psi {
 /// Opens one communication round labeled `label`; sends one message in each
 /// direction (2 messages of count * 8 bytes), matching the Table 1 rows for
 /// Protocol 4 steps 5 and 6.
-Result<std::vector<double>> JointUniformBatch(Network* network, PartyId a,
+[[nodiscard]] Result<std::vector<double>> JointUniformBatch(Network* network, PartyId a,
                                               PartyId b, size_t count,
                                               Rng* rng_a, Rng* rng_b,
                                               const std::string& label);
@@ -35,7 +35,7 @@ Result<std::vector<double>> JointUniformBatch(Network* network, PartyId a,
 std::vector<double> ToZDistribution(const std::vector<double>& uniforms);
 
 /// \brief Transforms joint uniforms into r_i ~ U(0, M_i).
-Result<std::vector<double>> ToUniformBelow(const std::vector<double>& uniforms,
+[[nodiscard]] Result<std::vector<double>> ToUniformBelow(const std::vector<double>& uniforms,
                                            const std::vector<double>& bounds);
 
 }  // namespace psi

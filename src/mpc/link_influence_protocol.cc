@@ -4,11 +4,13 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/annotations.h"
 #include "common/serialize.h"
 #include "common/thread_pool.h"
 #include "graph/generators.h"
 #include "mpc/homomorphic_sum.h"
 #include "mpc/joint_random.h"
+#include "mpc/wire.h"
 
 namespace psi {
 
@@ -21,64 +23,6 @@ uint64_t PairKey(NodeId i, NodeId j) {
 // Step tags for ProtocolId::kLinkInfluence frames.
 constexpr uint16_t kStepOmega = 2;          // H -> P_k: Omega_E'.
 constexpr uint16_t kStepMaskedShares = 7;   // P1/P2 -> H: masked shares.
-
-std::vector<uint8_t> PackArcs(const std::vector<Arc>& arcs) {
-  BinaryWriter w;
-  w.WriteVarU64(arcs.size());
-  for (const Arc& a : arcs) {
-    w.WriteU32(a.from);
-    w.WriteU32(a.to);
-  }
-  return w.TakeBuffer();
-}
-
-Status UnpackArcs(const std::vector<uint8_t>& buf, std::vector<Arc>* out) {
-  BinaryReader r(buf);
-  uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadCount(&count, /*min_bytes_per_element=*/8));
-  out->resize(count);
-  for (auto& a : *out) {
-    PSI_RETURN_NOT_OK(r.ReadU32(&a.from));
-    PSI_RETURN_NOT_OK(r.ReadU32(&a.to));
-  }
-  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
-  return Status::OK();
-}
-
-std::vector<uint8_t> PackBigUInts(const std::vector<BigUInt>& v) {
-  BinaryWriter w;
-  w.WriteVarU64(v.size());
-  for (const auto& x : v) WriteBigUInt(&w, x);
-  return w.TakeBuffer();
-}
-
-Status UnpackBigUInts(const std::vector<uint8_t>& buf,
-                      std::vector<BigUInt>* out) {
-  BinaryReader r(buf);
-  uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadCount(&count));
-  out->resize(count);
-  for (auto& x : *out) PSI_RETURN_NOT_OK(ReadBigUInt(&r, &x));
-  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
-  return Status::OK();
-}
-
-std::vector<uint8_t> PackBigInts(const std::vector<BigInt>& v) {
-  BinaryWriter w;
-  w.WriteVarU64(v.size());
-  for (const auto& x : v) WriteBigInt(&w, x);
-  return w.TakeBuffer();
-}
-
-Status UnpackBigInts(const std::vector<uint8_t>& buf, std::vector<BigInt>* out) {
-  BinaryReader r(buf);
-  uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadCount(&count));
-  out->resize(count);
-  for (auto& x : *out) PSI_RETURN_NOT_OK(ReadBigInt(&r, &x));
-  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
-  return Status::OK();
-}
 
 }  // namespace
 
@@ -175,7 +119,7 @@ Result<LinkInfluence> LinkInfluenceProtocol::Run(
   const size_t q = omega.size();
 
   network_->BeginRound("P4.Step2 (H -> P_k: Omega_E')");
-  auto packed_omega = PackArcs(omega);
+  auto packed_omega = wire::PackArcs(omega);
   for (size_t k = 0; k < m; ++k) {
     PSI_RETURN_NOT_OK(network_->SendFramed(host_, providers_[k],
                                            ProtocolId::kLinkInfluence,
@@ -188,7 +132,7 @@ Result<LinkInfluence> LinkInfluenceProtocol::Run(
         auto buf, network_->RecvValidated(providers_[k], host_,
                                           ProtocolId::kLinkInfluence,
                                           kStepOmega));
-    PSI_RETURN_NOT_OK(UnpackArcs(buf, &provider_omega[k]));
+    PSI_RETURN_NOT_OK(wire::UnpackArcs(buf, &provider_omega[k]));
     for (const Arc& a : provider_omega[k]) {
       if (a.from >= n || a.to >= n) {
         return Status::ProtocolError("Omega_E' arc endpoint out of range");
@@ -282,12 +226,14 @@ Result<LinkInfluence> LinkInfluenceProtocol::Run(
   PSI_ASSIGN_OR_RETURN(auto r_values, ToUniformBelow(u_r, m_values));
 
   // Fixed-point masks R_i = floor(r_i * 2^fraction_bits), never zero.
-  std::vector<BigUInt> masks(n);
+  PSI_SECRET std::vector<BigUInt> masks;
+  masks.resize(n);
   for (size_t i = 0; i < n; ++i) {
     PSI_ASSIGN_OR_RETURN(
         masks[i],
         BigUIntFromDouble(std::ldexp(r_values[i],
                                      static_cast<int>(config_.fraction_bits))));
+    // psi-lint: allow(secret-flow) zero test only nudges the mask to 1 so the later division is defined; it leaks one bit with probability ~2^-fraction_bits
     if (masks[i].IsZero()) masks[i] = BigUInt(1);
   }
 
@@ -310,11 +256,11 @@ Result<LinkInfluence> LinkInfluenceProtocol::Run(
   PSI_RETURN_NOT_OK(network_->SendFramed(providers_[0], host_,
                                          ProtocolId::kLinkInfluence,
                                          kStepMaskedShares,
-                                         PackBigUInts(masked1)));
+                                         wire::PackBigUInts(masked1)));
   PSI_RETURN_NOT_OK(network_->SendFramed(providers_[1], host_,
                                          ProtocolId::kLinkInfluence,
                                          kStepMaskedShares,
-                                         PackBigInts(masked2)));
+                                         wire::PackBigInts(masked2)));
 
   // ---- Step 9 (local at H): recombine and divide. ----
   PSI_ASSIGN_OR_RETURN(
@@ -327,8 +273,8 @@ Result<LinkInfluence> LinkInfluenceProtocol::Run(
                                          kStepMaskedShares));
   std::vector<BigUInt> host_m1;
   std::vector<BigInt> host_m2;
-  PSI_RETURN_NOT_OK(UnpackBigUInts(buf1, &host_m1));
-  PSI_RETURN_NOT_OK(UnpackBigInts(buf2, &host_m2));
+  PSI_RETURN_NOT_OK(wire::UnpackBigUInts(buf1, &host_m1));
+  PSI_RETURN_NOT_OK(wire::UnpackBigInts(buf2, &host_m2));
   if (host_m1.size() != total || host_m2.size() != total) {
     return Status::ProtocolError("masked share vectors have wrong length");
   }

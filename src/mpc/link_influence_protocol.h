@@ -93,7 +93,7 @@ struct Protocol4Views {
 
 /// \brief The counter vector one provider contributes to the batched secure
 /// sum: [a_0..a_{n-1}, numerator(pair_0)..numerator(pair_{q-1})].
-Result<std::vector<uint64_t>> ComputeProviderCounterVector(
+[[nodiscard]] Result<std::vector<uint64_t>> ComputeProviderCounterVector(
     const ActionLog& log, size_t num_users, const std::vector<Arc>& pairs,
     const Protocol4Config& config,
     const AggregatedClassCounters* extra = nullptr);
@@ -114,7 +114,7 @@ class LinkInfluenceProtocol {
   ///        is added to provider k's counters.
   /// \param pair_secret_rng pre-shared P1/P2 key material (permutation).
   /// \return p_ij for every arc of E, as computed by the host.
-  Result<LinkInfluence> Run(const SocialGraph& host_graph,
+  [[nodiscard]] Result<LinkInfluence> Run(const SocialGraph& host_graph,
                             uint64_t num_actions_public,
                             const std::vector<ActionLog>& provider_logs,
                             Rng* host_rng,

@@ -3,10 +3,12 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/annotations.h"
 #include "common/serialize.h"
 #include "graph/generators.h"
 #include "mpc/joint_random.h"
 #include "mpc/secure_sum.h"
+#include "mpc/wire.h"
 
 namespace psi {
 
@@ -14,28 +16,6 @@ namespace {
 
 uint64_t PairKey(NodeId i, NodeId j) {
   return (static_cast<uint64_t>(i) << 32) | j;
-}
-
-std::vector<uint8_t> PackArcs(const std::vector<Arc>& arcs) {
-  BinaryWriter w;
-  w.WriteVarU64(arcs.size());
-  for (const Arc& a : arcs) {
-    w.WriteU32(a.from);
-    w.WriteU32(a.to);
-  }
-  return w.TakeBuffer();
-}
-
-Status UnpackArcs(const std::vector<uint8_t>& buf, std::vector<Arc>* out) {
-  BinaryReader r(buf);
-  uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
-  out->resize(count);
-  for (auto& a : *out) {
-    PSI_RETURN_NOT_OK(r.ReadU32(&a.from));
-    PSI_RETURN_NOT_OK(r.ReadU32(&a.to));
-  }
-  return Status::OK();
 }
 
 }  // namespace
@@ -77,7 +57,7 @@ Result<std::vector<LinkInfluence>> MultiHostLinkInfluenceProtocol::Run(
     PSI_ASSIGN_OR_RETURN(omegas[h],
                          ObfuscateArcSet(host_rngs[h], *host_graphs[h],
                                          config_.obfuscation_factor));
-    auto packed = PackArcs(omegas[h]);
+    auto packed = wire::PackArcs(omegas[h]);
     for (size_t k = 0; k < m; ++k) {
       PSI_RETURN_NOT_OK(network_->Send(hosts_[h], providers_[k], packed));
     }
@@ -96,7 +76,7 @@ Result<std::vector<LinkInfluence>> MultiHostLinkInfluenceProtocol::Run(
       for (size_t k = 0; k < m; ++k) {
         PSI_ASSIGN_OR_RETURN(auto buf,
                              network_->Recv(providers_[k], hosts_[h]));
-        if (k == 0) PSI_RETURN_NOT_OK(UnpackArcs(buf, &decoded));
+        if (k == 0) PSI_RETURN_NOT_OK(wire::UnpackArcs(buf, &decoded));
       }
       range_start[h] = all_pairs.size();
       all_pairs.insert(all_pairs.end(), decoded.begin(), decoded.end());
@@ -141,12 +121,14 @@ Result<std::vector<LinkInfluence>> MultiHostLinkInfluenceProtocol::Run(
                                   provider_rngs[0], provider_rngs[1],
                                   "MH.Step6 (joint r_i)"));
   PSI_ASSIGN_OR_RETURN(auto r_values, ToUniformBelow(u_r, m_values));
-  std::vector<BigUInt> masks(n);
+  PSI_SECRET std::vector<BigUInt> masks;
+  masks.resize(n);
   for (size_t i = 0; i < n; ++i) {
     PSI_ASSIGN_OR_RETURN(
         masks[i],
         BigUIntFromDouble(std::ldexp(r_values[i],
                                      static_cast<int>(config_.fraction_bits))));
+    // psi-lint: allow(secret-flow) zero test only nudges the mask to 1 so the later division is defined; it leaks one bit with probability ~2^-fraction_bits
     if (masks[i].IsZero()) masks[i] = BigUInt(1);
   }
   auto mask_of_counter = [&](size_t c) -> const BigUInt& {

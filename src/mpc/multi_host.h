@@ -43,7 +43,7 @@ class MultiHostLinkInfluenceProtocol {
   ///
   /// \param host_graphs host h's private graph (all share one user count).
   /// \return per-host link influence: out[h] covers host_graphs[h]->arcs().
-  Result<std::vector<LinkInfluence>> Run(
+  [[nodiscard]] Result<std::vector<LinkInfluence>> Run(
       const std::vector<const SocialGraph*>& host_graphs,
       uint64_t num_actions_public,
       const std::vector<ActionLog>& provider_logs,

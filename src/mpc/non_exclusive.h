@@ -35,7 +35,7 @@ class NonExclusivePipeline {
   /// \param class_config the public class structure (A_q and P_q).
   /// \param class_secret_rng shared key material of the provider groups
   ///        (forked per class); hidden from each class's aggregator.
-  Result<LinkInfluence> Run(const SocialGraph& host_graph,
+  [[nodiscard]] Result<LinkInfluence> Run(const SocialGraph& host_graph,
                             uint64_t num_actions_public,
                             const std::vector<ActionLog>& provider_logs,
                             const ActionClassConfig& class_config,

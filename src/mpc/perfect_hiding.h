@@ -45,7 +45,7 @@ class PerfectHidingLinkInfluenceProtocol {
 
   /// \brief Runs the protocol; H learns p_ij for its arcs, the providers
   /// learn nothing about E (not even a superset).
-  Result<LinkInfluence> Run(const SocialGraph& host_graph,
+  [[nodiscard]] Result<LinkInfluence> Run(const SocialGraph& host_graph,
                             uint64_t num_actions_public,
                             const std::vector<ActionLog>& provider_logs,
                             Rng* host_rng,

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "crypto/packing.h"
 #include "graph/generators.h"
+#include "mpc/wire.h"
 
 namespace psi {
 
@@ -20,29 +21,6 @@ constexpr uint16_t kStepPublicKey = 3;   // H -> P_k: RSA public key.
 constexpr uint16_t kStepDeltas = 4;      // P_k -> P1: E(Delta) bundles.
 constexpr uint16_t kStepAggregate = 10;  // P1 -> H: concatenated bundles.
 
-std::vector<uint8_t> PackArcs(const std::vector<Arc>& arcs) {
-  BinaryWriter w;
-  w.WriteVarU64(arcs.size());
-  for (const Arc& a : arcs) {
-    w.WriteU32(a.from);
-    w.WriteU32(a.to);
-  }
-  return w.TakeBuffer();
-}
-
-Status UnpackArcs(const std::vector<uint8_t>& buf, std::vector<Arc>* out) {
-  BinaryReader r(buf);
-  uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadCount(&count, /*min_bytes_per_element=*/8));
-  out->resize(count);
-  for (auto& a : *out) {
-    PSI_RETURN_NOT_OK(r.ReadU32(&a.from));
-    PSI_RETURN_NOT_OK(r.ReadU32(&a.to));
-  }
-  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
-  return Status::OK();
-}
-
 std::vector<uint8_t> PackPublicKey(const RsaPublicKey& key) {
   BinaryWriter w;
   WriteBigUInt(&w, key.n);
@@ -50,7 +28,7 @@ std::vector<uint8_t> PackPublicKey(const RsaPublicKey& key) {
   return w.TakeBuffer();
 }
 
-Status UnpackPublicKey(const std::vector<uint8_t>& buf, RsaPublicKey* out) {
+[[nodiscard]] Status UnpackPublicKey(const std::vector<uint8_t>& buf, RsaPublicKey* out) {
   BinaryReader r(buf);
   PSI_RETURN_NOT_OK(ReadBigUInt(&r, &out->n));
   PSI_RETURN_NOT_OK(ReadBigUInt(&r, &out->e));
@@ -70,14 +48,14 @@ constexpr uint8_t kModePacked = 2;
 // the public Delta bound: one slot per Delta, low 64 bits reserved for the
 // randomizer pad (same randomization as kPerInteger, amortized over k
 // slots). InvalidArgument when no whole slot fits z - 65 bits.
-Result<PackingCodec> DeltaPackingCodec(const BigUInt& rsa_modulus,
+[[nodiscard]] Result<PackingCodec> DeltaPackingCodec(const BigUInt& rsa_modulus,
                                        uint64_t delta_bound) {
   return PackingCodec::Create(rsa_modulus.BitLength() - 1,
                               BigUInt(delta_bound),
                               /*max_additions=*/1, /*pad_bits=*/64);
 }
 
-Status EncryptDeltaVector(const RsaPublicKey& key,
+[[nodiscard]] Status EncryptDeltaVector(const RsaPublicKey& key,
                           Protocol6Config::EncryptionMode mode,
                           const PackingCodec* codec, uint64_t delta_bound,
                           uint32_t action, const std::vector<uint64_t>& delta,
@@ -148,7 +126,7 @@ Status EncryptDeltaVector(const RsaPublicKey& key,
   return Status::OK();
 }
 
-Status DecryptDeltaVector(const RsaPrivateKey& key, const PackingCodec* codec,
+[[nodiscard]] Status DecryptDeltaVector(const RsaPrivateKey& key, const PackingCodec* codec,
                           BinaryReader* r, uint32_t* action,
                           std::vector<uint64_t>* delta) {
   PSI_RETURN_NOT_OK(r->ReadU32(action));
@@ -228,7 +206,7 @@ Result<Protocol6Output> PropagationGraphProtocol::Run(
   const size_t q = omega.size();
 
   network_->BeginRound("P6.Step2 (H -> P_k: Omega_E')");
-  auto packed_omega = PackArcs(omega);
+  auto packed_omega = wire::PackArcs(omega);
   for (size_t k = 0; k < m; ++k) {
     PSI_RETURN_NOT_OK(network_->SendFramed(host_, providers_[k],
                                            ProtocolId::kPropagationGraph,
@@ -241,7 +219,7 @@ Result<Protocol6Output> PropagationGraphProtocol::Run(
         auto buf, network_->RecvValidated(providers_[k], host_,
                                           ProtocolId::kPropagationGraph,
                                           kStepOmega));
-    PSI_RETURN_NOT_OK(UnpackArcs(buf, &provider_omega[k]));
+    PSI_RETURN_NOT_OK(wire::UnpackArcs(buf, &provider_omega[k]));
     for (const Arc& a : provider_omega[k]) {
       if (a.from >= n || a.to >= n) {
         return Status::ProtocolError("Omega_E' arc endpoint out of range");

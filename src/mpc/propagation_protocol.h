@@ -74,7 +74,7 @@ class PropagationGraphProtocol {
   /// at exactly one provider).
   ///
   /// \param num_actions public |A|; output graphs are indexed by action id.
-  Result<Protocol6Output> Run(const SocialGraph& host_graph,
+  [[nodiscard]] Result<Protocol6Output> Run(const SocialGraph& host_graph,
                               size_t num_actions,
                               const std::vector<ActionLog>& provider_logs,
                               Rng* host_rng,

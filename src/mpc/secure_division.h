@@ -31,7 +31,7 @@ class SecureDivisionProtocol {
       : network_(network), p1_(p1), p2_(p2), host_(host) {}
 
   /// \brief Runs the protocol; returns the quotient as computed by H.
-  Result<double> Run(uint64_t a1, uint64_t a2, Rng* rng1, Rng* rng2,
+  [[nodiscard]] Result<double> Run(uint64_t a1, uint64_t a2, Rng* rng1, Rng* rng2,
                      const std::string& label_prefix);
 
   const SecureDivisionViews& views() const { return views_; }

@@ -1,6 +1,7 @@
 #include "mpc/secure_sum.h"
 
 #include "bigint/modular.h"
+#include "common/annotations.h"
 #include "common/serialize.h"
 #include "crypto/permutation.h"
 
@@ -21,7 +22,7 @@ std::vector<uint8_t> PackShareVector(const std::vector<BigUInt>& shares) {
   return w.TakeBuffer();
 }
 
-Status UnpackShareVector(const std::vector<uint8_t>& buf,
+[[nodiscard]] Status UnpackShareVector(const std::vector<uint8_t>& buf,
                          std::vector<BigUInt>* out) {
   BinaryReader r(buf);
   uint64_t count;
@@ -49,7 +50,7 @@ std::vector<uint8_t> PackBits(const std::vector<bool>& bits) {
   return w.TakeBuffer();
 }
 
-Status UnpackBits(const std::vector<uint8_t>& buf, std::vector<bool>* out) {
+[[nodiscard]] Status UnpackBits(const std::vector<uint8_t>& buf, std::vector<bool>* out) {
   BinaryReader r(buf);
   uint64_t count;
   PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
@@ -220,7 +221,8 @@ Result<BatchedIntegerShares> SecureSumProtocol::RunProtocol2(
   const BigUInt r_bound = S - config_.input_bound_a;  // r in [0, S-A-1].
 
   // Step 2 (local at P2): one masking value per counter.
-  std::vector<BigUInt> masks(count);
+  PSI_SECRET std::vector<BigUInt> masks;
+  masks.resize(count);
   for (auto& r : masks) r = BigUInt::RandomBelow(player_rngs[1], r_bound);
 
   // Batched refinement (Section 5.1): P1 and P2 permute the counter order

@@ -69,7 +69,7 @@ class SecureSumProtocol {
 
   /// \brief Batched Protocol 1. inputs[k][c] is player k's private value for
   /// counter c; all vectors must share one length. Two communication rounds.
-  Result<BatchedModularShares> RunProtocol1(
+  [[nodiscard]] Result<BatchedModularShares> RunProtocol1(
       const std::vector<std::vector<uint64_t>>& inputs,
       const std::vector<Rng*>& player_rngs, const std::string& label_prefix);
 
@@ -77,7 +77,7 @@ class SecureSumProtocol {
   /// rounds. `pair_secret_rng` is key material pre-shared between P1 and P2
   /// (their pairwise secure channel) used to derive the secret permutation;
   /// it never crosses the metered network.
-  Result<BatchedIntegerShares> RunProtocol2(
+  [[nodiscard]] Result<BatchedIntegerShares> RunProtocol2(
       const std::vector<std::vector<uint64_t>>& inputs,
       const std::vector<Rng*>& player_rngs, Rng* pair_secret_rng,
       const std::string& label_prefix);
@@ -85,7 +85,7 @@ class SecureSumProtocol {
   const SecureSumViews& views() const { return views_; }
 
  private:
-  Status ValidateInputs(const std::vector<std::vector<uint64_t>>& inputs,
+  [[nodiscard]] Status ValidateInputs(const std::vector<std::vector<uint64_t>>& inputs,
                         const std::vector<Rng*>& player_rngs) const;
 
   Network* network_;

@@ -5,26 +5,11 @@
 #include "actionlog/counters.h"
 #include "common/serialize.h"
 #include "mpc/joint_random.h"
+#include "mpc/wire.h"
 
 namespace psi {
 
 namespace {
-
-std::vector<uint8_t> PackBigInts(const std::vector<BigInt>& v) {
-  BinaryWriter w;
-  w.WriteVarU64(v.size());
-  for (const auto& x : v) WriteBigInt(&w, x);
-  return w.TakeBuffer();
-}
-
-Status UnpackBigInts(const std::vector<uint8_t>& buf, std::vector<BigInt>* out) {
-  BinaryReader r(buf);
-  uint64_t count;
-  PSI_RETURN_NOT_OK(r.ReadVarU64(&count));
-  out->resize(count);
-  for (auto& x : *out) PSI_RETURN_NOT_OK(ReadBigInt(&r, &x));
-  return Status::OK();
-}
 
 }  // namespace
 
@@ -109,7 +94,7 @@ Result<std::vector<double>> SecureUserScoreProtocol::Run(
     }
     PSI_RETURN_NOT_OK(network_->Send(providers_[0], host_, w.TakeBuffer()));
   }
-  PSI_RETURN_NOT_OK(network_->Send(providers_[1], host_, PackBigInts(masked2)));
+  PSI_RETURN_NOT_OK(network_->Send(providers_[1], host_, wire::PackBigInts(masked2)));
 
   // Host reconstructs a_i = (R*a_i) / (R*1) exactly.
   PSI_ASSIGN_OR_RETURN(auto buf1, network_->Recv(host_, providers_[0]));
@@ -126,7 +111,7 @@ Result<std::vector<double>> SecureUserScoreProtocol::Run(
     }
   }
   std::vector<BigInt> host_m2;
-  PSI_RETURN_NOT_OK(UnpackBigInts(buf2, &host_m2));
+  PSI_RETURN_NOT_OK(wire::UnpackBigInts(buf2, &host_m2));
   if (host_m2.size() != n) {
     return Status::ProtocolError("masked vector length");
   }

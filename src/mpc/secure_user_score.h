@@ -42,7 +42,7 @@ class SecureUserScoreProtocol {
                           SecureScoreConfig config);
 
   /// \brief Returns score(v_i) for every user, as computed by the host.
-  Result<std::vector<double>> Run(const SocialGraph& host_graph,
+  [[nodiscard]] Result<std::vector<double>> Run(const SocialGraph& host_graph,
                                   size_t num_actions,
                                   const std::vector<ActionLog>& provider_logs,
                                   Rng* host_rng,

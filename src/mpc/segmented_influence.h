@@ -38,7 +38,7 @@ class SegmentedInfluenceProtocol {
   /// \param segment_of_action public segment label per action id.
   /// \param num_segments G.
   /// \return per-segment strengths for every arc of E, at the host.
-  Result<SegmentedLinkInfluence> Run(
+  [[nodiscard]] Result<SegmentedLinkInfluence> Run(
       const SocialGraph& host_graph, uint64_t num_actions_public,
       const std::vector<ActionLog>& provider_logs,
       const std::vector<uint32_t>& segment_of_action, uint32_t num_segments,

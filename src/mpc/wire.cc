@@ -1,0 +1,95 @@
+#include "mpc/wire.h"
+
+#include "common/serialize.h"
+
+namespace psi {
+namespace wire {
+
+std::vector<uint8_t> PackArcs(const std::vector<Arc>& arcs) {
+  BinaryWriter w;
+  w.WriteVarU64(arcs.size());
+  for (const Arc& a : arcs) {
+    w.WriteU32(a.from);
+    w.WriteU32(a.to);
+  }
+  return w.TakeBuffer();
+}
+
+Status UnpackArcs(const std::vector<uint8_t>& buf, std::vector<Arc>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r.ReadCount(&count, /*min_bytes_per_element=*/8));
+  out->resize(count);
+  for (auto& a : *out) {
+    PSI_RETURN_NOT_OK(r.ReadU32(&a.from));
+    PSI_RETURN_NOT_OK(r.ReadU32(&a.to));
+  }
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
+  return Status::OK();
+}
+
+std::vector<uint8_t> PackBigUInts(const std::vector<BigUInt>& v) {
+  BinaryWriter w;
+  w.WriteVarU64(v.size());
+  for (const auto& x : v) WriteBigUInt(&w, x);
+  return w.TakeBuffer();
+}
+
+Status UnpackBigUInts(const std::vector<uint8_t>& buf,
+                      std::vector<BigUInt>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  // A serialized BigUInt is at least one byte (the varint limb count).
+  PSI_RETURN_NOT_OK(r.ReadCount(&count, /*min_bytes_per_element=*/1));
+  out->resize(count);
+  for (auto& x : *out) PSI_RETURN_NOT_OK(ReadBigUInt(&r, &x));
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
+  return Status::OK();
+}
+
+std::vector<uint8_t> PackBigInts(const std::vector<BigInt>& v) {
+  BinaryWriter w;
+  w.WriteVarU64(v.size());
+  for (const auto& x : v) WriteBigInt(&w, x);
+  return w.TakeBuffer();
+}
+
+Status UnpackBigInts(const std::vector<uint8_t>& buf, std::vector<BigInt>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  // A serialized BigInt is a sign byte plus at least a one-byte magnitude.
+  PSI_RETURN_NOT_OK(r.ReadCount(&count, /*min_bytes_per_element=*/2));
+  out->resize(count);
+  for (auto& x : *out) PSI_RETURN_NOT_OK(ReadBigInt(&r, &x));
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
+  return Status::OK();
+}
+
+std::vector<uint8_t> PackRecords(const std::vector<ActionRecord>& records) {
+  BinaryWriter w;
+  w.WriteVarU64(records.size());
+  for (const auto& r : records) {
+    w.WriteU32(r.user);
+    w.WriteU32(r.action);
+    w.WriteU64(r.time);
+  }
+  return w.TakeBuffer();
+}
+
+Status UnpackRecords(const std::vector<uint8_t>& buf,
+                     std::vector<ActionRecord>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r.ReadCount(&count, /*min_bytes_per_element=*/16));
+  out->resize(count);
+  for (auto& rec : *out) {
+    PSI_RETURN_NOT_OK(r.ReadU32(&rec.user));
+    PSI_RETURN_NOT_OK(r.ReadU32(&rec.action));
+    PSI_RETURN_NOT_OK(r.ReadU64(&rec.time));
+  }
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace psi

@@ -1,0 +1,67 @@
+// Shared wire codecs for the MPC protocols.
+//
+// Every protocol driver used to carry its own anonymous-namespace copy of
+// these pack/unpack helpers; several of the older copies resized vectors from
+// an attacker-controlled count before reading a single element. The shared
+// versions follow the hardened BinaryReader discipline:
+//
+//   * counts are read with ReadCount(min_bytes_per_element) so a tiny buffer
+//     can never drive a large allocation, and
+//   * every decoder rejects trailing bytes, so a frame is either exactly one
+//     message or an error.
+//
+// psi_lint's read-bounds check enforces this discipline going forward
+// (docs/STATIC_ANALYSIS.md).
+
+#ifndef PSI_MPC_WIRE_H_
+#define PSI_MPC_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "bigint/bigint.h"
+#include "bigint/biguint.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace psi {
+namespace wire {
+
+/// \brief Encodes an arc list as varint count + (u32 from, u32 to) pairs.
+std::vector<uint8_t> PackArcs(const std::vector<Arc>& arcs);
+
+/// \brief Decodes PackArcs output; rejects oversized counts and trailing
+/// bytes.
+[[nodiscard]] Status UnpackArcs(const std::vector<uint8_t>& buf,
+                                std::vector<Arc>* out);
+
+/// \brief Encodes a BigUInt batch as varint count + serialized elements.
+std::vector<uint8_t> PackBigUInts(const std::vector<BigUInt>& v);
+
+/// \brief Decodes PackBigUInts output; rejects oversized counts and trailing
+/// bytes.
+[[nodiscard]] Status UnpackBigUInts(const std::vector<uint8_t>& buf,
+                                    std::vector<BigUInt>* out);
+
+/// \brief Encodes a BigInt batch as varint count + serialized elements.
+std::vector<uint8_t> PackBigInts(const std::vector<BigInt>& v);
+
+/// \brief Decodes PackBigInts output; rejects oversized counts and trailing
+/// bytes.
+[[nodiscard]] Status UnpackBigInts(const std::vector<uint8_t>& buf,
+                                   std::vector<BigInt>* out);
+
+/// \brief Encodes an action-record batch as varint count +
+/// (u32 user, u32 action, u64 time) triples.
+std::vector<uint8_t> PackRecords(const std::vector<ActionRecord>& records);
+
+/// \brief Decodes PackRecords output; rejects oversized counts and trailing
+/// bytes.
+[[nodiscard]] Status UnpackRecords(const std::vector<uint8_t>& buf,
+                                   std::vector<ActionRecord>* out);
+
+}  // namespace wire
+}  // namespace psi
+
+#endif  // PSI_MPC_WIRE_H_

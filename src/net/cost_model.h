@@ -46,7 +46,7 @@ struct Protocol4CostParams {
 /// \brief Table 1: the eight communication rounds of Protocol 4.
 /// NR = 8, NM = m^2 + m + 7, MS = O(m^2 (n+q) log S).
 /// Returns InvalidArgument if p.m < 2 (Protocol 4 needs two providers).
-Result<CostSummary> Protocol4Costs(const Protocol4CostParams& p);
+[[nodiscard]] Result<CostSummary> Protocol4Costs(const Protocol4CostParams& p);
 
 /// \brief Parameters of the Protocol 6 cost model (Table 2).
 struct Protocol6CostParams {
@@ -66,7 +66,7 @@ struct Protocol6CostParams {
 /// NR = 4, NM = 3m, MS <= 2 q z A bits (dominant terms).
 /// Returns InvalidArgument unless p.actions_per_provider has exactly p.m
 /// entries (and p.m >= 1).
-Result<CostSummary> Protocol6Costs(const Protocol6CostParams& p);
+[[nodiscard]] Result<CostSummary> Protocol6Costs(const Protocol6CostParams& p);
 
 /// \brief Wire bits of a summary when every analytic message is carried in a
 /// typed envelope (net/envelope.h): ms_bits plus the fixed per-message
@@ -88,7 +88,7 @@ struct HomomorphicSumCostParams {
 /// vectors, full-width ciphertexts of 2 * key_bits bits). NR = 3,
 /// NM = 2m - 2. With slots > 1 the ciphertext rounds carry
 /// ceil(count / slots) ciphertexts instead of count.
-Result<CostSummary> HomomorphicSumCosts(const HomomorphicSumCostParams& p);
+[[nodiscard]] Result<CostSummary> HomomorphicSumCosts(const HomomorphicSumCostParams& p);
 
 /// \brief Packed-vs-unpacked comparison at identical m/count/key_bits: the
 /// headline bandwidth number of the packing optimisation.
@@ -98,7 +98,7 @@ struct PackingSavingsReport {
   /// EnvelopedBits(unpacked) / EnvelopedBits(packed).
   double EnvelopeRatio() const;
 };
-Result<PackingSavingsReport> HomomorphicSumPackingSavings(
+[[nodiscard]] Result<PackingSavingsReport> HomomorphicSumPackingSavings(
     const HomomorphicSumCostParams& p);
 
 }  // namespace psi

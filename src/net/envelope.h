@@ -73,12 +73,12 @@ std::vector<uint8_t> SealEnvelope(ProtocolId protocol_id, uint16_t step,
 /// \brief Parses and validates a frame. Returns SerializationError on any
 /// malformed input: short buffer, bad magic/version, length mismatch,
 /// trailing bytes, or checksum failure. Never reads out of bounds.
-Result<Envelope> OpenEnvelope(const std::vector<uint8_t>& frame);
+[[nodiscard]] Result<Envelope> OpenEnvelope(const std::vector<uint8_t>& frame);
 
 /// \brief Cheap peek at the sequence number of a sealed frame (no checksum
 /// verification); used by fault layers to index retransmission stores.
 /// Returns SerializationError if the buffer is too short or mistagged.
-Result<uint64_t> PeekEnvelopeSeq(const std::vector<uint8_t>& frame);
+[[nodiscard]] Result<uint64_t> PeekEnvelopeSeq(const std::vector<uint8_t>& frame);
 
 }  // namespace psi
 

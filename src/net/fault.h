@@ -106,13 +106,13 @@ class FaultyNetwork : public Network {
   /// frame store, re-running the fault pipeline on the retransmitted copy
   /// (a retransmission travels the same unreliable wire). Refused when the
   /// sender has crashed or the frame was never sent.
-  Result<std::vector<uint8_t>> RequestRetransmit(PartyId to, PartyId from,
+  [[nodiscard]] Result<std::vector<uint8_t>> RequestRetransmit(PartyId to, PartyId from,
                                                  uint64_t seq) override;
 
   const FaultStats& fault_stats() const { return stats_; }
 
  protected:
-  Status Transmit(PartyId from, PartyId to,
+  [[nodiscard]] Status Transmit(PartyId from, PartyId to,
                   std::vector<uint8_t> frame) override;
 
  private:

@@ -85,18 +85,18 @@ class Network {
   virtual void BeginRound(std::string label);
 
   /// \brief Sends a raw `payload` from `from` to `to` (metered).
-  Status Send(PartyId from, PartyId to, std::vector<uint8_t> payload);
+  [[nodiscard]] Status Send(PartyId from, PartyId to, std::vector<uint8_t> payload);
 
   /// \brief Seals `payload` in a typed envelope (protocol id, step tag,
   /// sender, per-channel sequence number, CRC) and sends it. Wire bytes are
   /// payload size plus the fixed kEnvelopeOverheadBytes.
-  Status SendFramed(PartyId from, PartyId to, ProtocolId protocol_id,
+  [[nodiscard]] Status SendFramed(PartyId from, PartyId to, ProtocolId protocol_id,
                     uint16_t step, const std::vector<uint8_t>& payload);
 
   /// \brief Receives the oldest pending message sent by `from` to `to`.
   /// Returns FailedPrecondition (naming both parties and the current round)
   /// if none is pending.
-  virtual Result<std::vector<uint8_t>> Recv(PartyId to, PartyId from);
+  [[nodiscard]] virtual Result<std::vector<uint8_t>> Recv(PartyId to, PartyId from);
 
   /// \brief Receives the next in-sequence framed message on (from -> to),
   /// validating magic, checksum, sender, protocol id and step tag before
@@ -105,7 +105,7 @@ class Network {
   /// keep pristine copies); stale duplicates are discarded; early frames are
   /// stashed for later calls. Exhausting `opts.max_attempts` yields a
   /// ProtocolError — never a hang and never a corrupt payload.
-  Result<std::vector<uint8_t>> RecvValidated(PartyId to, PartyId from,
+  [[nodiscard]] Result<std::vector<uint8_t>> RecvValidated(PartyId to, PartyId from,
                                              ProtocolId protocol_id,
                                              uint16_t step,
                                              const RecvOptions& opts = {});
@@ -115,7 +115,7 @@ class Network {
   /// network keeps no copies (nothing is ever lost), so it reports
   /// FailedPrecondition; FaultyNetwork overrides this with a retransmission
   /// store.
-  virtual Result<std::vector<uint8_t>> RequestRetransmit(PartyId to,
+  [[nodiscard]] virtual Result<std::vector<uint8_t>> RequestRetransmit(PartyId to,
                                                          PartyId from,
                                                          uint64_t seq);
 
@@ -140,13 +140,13 @@ class Network {
   /// \brief Resets all metering (mailboxes must be empty). Sequence
   /// counters survive: they are transport state shared with the peers, not
   /// metering.
-  Status ResetMetering();
+  [[nodiscard]] Status ResetMetering();
 
  protected:
   using ChannelKey = std::pair<PartyId, PartyId>;  // (from, to).
 
   /// \brief Argument validation shared by both send paths.
-  Status CheckSendArgs(PartyId from, PartyId to) const;
+  [[nodiscard]] Status CheckSendArgs(PartyId from, PartyId to) const;
 
   /// \brief Accounts one transmission to the current round.
   void MeterSend(PartyId from, size_t wire_bytes, size_t payload_bytes);
@@ -158,7 +158,7 @@ class Network {
   /// \brief The delivery hook both send paths funnel through after
   /// validation and metering. Fault-injection layers override this to drop,
   /// duplicate, reorder, corrupt, truncate or delay the frame.
-  virtual Status Transmit(PartyId from, PartyId to,
+  [[nodiscard]] virtual Status Transmit(PartyId from, PartyId to,
                           std::vector<uint8_t> frame);
 
   bool ValidParty(PartyId id) const { return id < names_.size(); }

@@ -37,7 +37,7 @@ struct GainExperimentResult {
 };
 
 /// \brief Runs the experiment for one prior over {0..A}.
-Result<GainExperimentResult> RunGainExperiment(const std::vector<double>& prior,
+[[nodiscard]] Result<GainExperimentResult> RunGainExperiment(const std::vector<double>& prior,
                                                const GainExperimentConfig& config,
                                                Rng* rng);
 

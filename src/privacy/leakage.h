@@ -36,7 +36,7 @@ struct LeakageProbabilities {
 };
 
 /// \brief Evaluates the Theorem 4.1 probabilities.
-Result<LeakageProbabilities> ComputeLeakageProbabilities(uint64_t x,
+[[nodiscard]] Result<LeakageProbabilities> ComputeLeakageProbabilities(uint64_t x,
                                                          const BigUInt& bound_a,
                                                          const BigUInt& s);
 

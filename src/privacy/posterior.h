@@ -30,14 +30,14 @@ class PosteriorAnalyzer {
   /// \brief Builds the analyzer. `prior[x]` is f_X(x); it is normalized
   /// internally. The effective A is the largest x with prior[x] > 0
   /// (the paper's WLOG).
-  static Result<PosteriorAnalyzer> Create(std::vector<double> prior);
+  [[nodiscard]] static Result<PosteriorAnalyzer> Create(std::vector<double> prior);
 
   /// \brief f_X(. | Y = y), normalized. Requires y > 0.
-  Result<std::vector<double>> Posterior(double y) const;
+  [[nodiscard]] Result<std::vector<double>> Posterior(double y) const;
 
   /// \brief Eq. (7) by direct numerical integration over mu (substituted to
   /// v = 1/mu), normalized. Cross-validates the closed form.
-  Result<std::vector<double>> PosteriorNumerical(double y,
+  [[nodiscard]] Result<std::vector<double>> PosteriorNumerical(double y,
                                                  size_t grid_points) const;
 
   /// \brief Mean of the prior (the observer's best guess with no y).

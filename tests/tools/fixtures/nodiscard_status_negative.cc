@@ -1,0 +1,13 @@
+// Fixture: every Status is consumed.
+#include "nodiscard_status_negative.h"
+
+namespace fx {
+
+Status Caller(Client* c) {
+  PSI_RETURN_NOT_OK(c->Flush());
+  Status s = Connect(3);                    // assigned
+  if (!s.ok()) return s;
+  return Connect(4);                        // returned
+}
+
+}  // namespace fx

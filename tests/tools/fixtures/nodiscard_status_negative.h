@@ -1,0 +1,14 @@
+// Fixture header: correctly annotated declarations.
+#include "common/status.h"
+
+namespace fx {
+
+[[nodiscard]] Status Connect(int fd);
+[[nodiscard]] Result<int> Parse(const char* s);
+
+class Client {
+ public:
+  [[nodiscard]] Status Flush();
+};
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+// Fixture: call sites that silently discard a Status.
+#include "nodiscard_status_positive.h"
+
+namespace fx {
+
+void Caller(Client* c) {
+  c->Flush();                               // discarded Status
+  Connect(3);                               // discarded Status
+}
+
+}  // namespace fx

@@ -1,0 +1,14 @@
+// Fixture header: Status/Result functions missing [[nodiscard]].
+#include "common/status.h"
+
+namespace fx {
+
+Status Connect(int fd);                     // missing [[nodiscard]]
+Result<int> Parse(const char* s);           // missing [[nodiscard]]
+
+class Client {
+ public:
+  Status Flush();                           // missing [[nodiscard]]
+};
+
+}  // namespace fx

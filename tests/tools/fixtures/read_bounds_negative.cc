@@ -1,0 +1,37 @@
+// Fixture: ReadCount and explicit guards make deserialized counts safe.
+#include "common/serialize.h"
+
+namespace fx {
+
+Status GoodReadCount(BinaryReader* r, std::vector<int>* out) {
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r->ReadCount(&count, /*min_bytes_per_element=*/8));
+  out->resize(count);                       // bounded by ReadCount
+  return Status::OK();
+}
+
+Status GoodGuard(BinaryReader* r, std::vector<int>* out) {
+  uint64_t n;
+  PSI_RETURN_NOT_OK(r->ReadU64(&n));
+  if (n > r->remaining()) return Status::SerializationError("bad count");
+  out->resize(n);                           // guarded above
+  return Status::OK();
+}
+
+Status GoodCheck(BinaryReader* r) {
+  uint64_t n;
+  PSI_RETURN_NOT_OK(r->ReadVarU64(&n));
+  PSI_CHECK(n <= 64) << "count out of range";
+  for (uint64_t i = 0; i < n; ++i) Touch(i);  // bounded by the check
+  return Status::OK();
+}
+
+Status GoodReassigned(BinaryReader* r, std::vector<int>* out) {
+  uint64_t n;
+  PSI_RETURN_NOT_OK(r->ReadU64(&n));
+  n = 16;                                   // overwritten: no longer tainted
+  out->resize(n);
+  return Status::OK();
+}
+
+}  // namespace fx

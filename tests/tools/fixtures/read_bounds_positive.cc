@@ -1,0 +1,30 @@
+// Fixture: counts deserialized from a peer drive allocations and loops
+// without any bound check.
+#include "common/serialize.h"
+
+namespace fx {
+
+Status Bad(BinaryReader* r, std::vector<int>* out) {
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r->ReadVarU64(&count));
+  out->resize(count);                       // unchecked resize
+  return Status::OK();
+}
+
+Status BadLoop(BinaryReader* r) {
+  uint64_t n;
+  PSI_RETURN_NOT_OK(r->ReadU64(&n));
+  for (uint64_t i = 0; i < n; ++i) {        // unchecked loop bound
+    Touch(i);
+  }
+  return Status::OK();
+}
+
+Status BadReserve(BinaryReader* r, std::vector<int>* out) {
+  uint64_t k;
+  PSI_RETURN_NOT_OK(r->ReadU32(&k));
+  out->reserve(k);                          // unchecked reserve
+  return Status::OK();
+}
+
+}  // namespace fx

@@ -1,0 +1,21 @@
+// Fixture: serial draws, and parallel bodies that only consume pre-drawn
+// values, are fine.
+#include "common/thread_pool.h"
+
+namespace fx {
+
+void Good(ThreadPool* pool, Rng* rng, std::vector<int>* out) {
+  std::vector<int> pre(out->size());
+  for (auto& v : pre) v = rng->UniformU64(10);   // serial program order
+  ParallelFor(0, out->size(), [&](size_t i) {
+    (*out)[i] = pre[i] * 2;                       // pure compute
+  });
+  pool->Submit([&] {
+    int x = pre[0];
+    (void)x;
+  });
+  auto later = rng->NextBlock();                  // after the parallel region
+  (void)later;
+}
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Fixture: RNG draws inside parallel bodies break transcript determinism.
+#include "common/thread_pool.h"
+
+namespace fx {
+
+void Bad(ThreadPool* pool, Rng* rng, std::vector<int>* out) {
+  ParallelFor(0, out->size(), [&](size_t i) {
+    (*out)[i] = rng->UniformU64(10);      // draw inside a parallel body
+  });
+  pool->Submit([&] {
+    auto x = rng->NextBlock();            // draw inside a submitted task
+    (void)x;
+  });
+  ParallelForChunked(0, 8, 2, [&](size_t lo, size_t hi) {
+    my_prng.Fill(lo, hi);                 // prng method call in parallel body
+  });
+}
+
+}  // namespace fx

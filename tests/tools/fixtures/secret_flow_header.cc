@@ -1,0 +1,9 @@
+// Fixture: uses a secret declared only in the paired header.
+#include "secret_flow_header.h"
+
+namespace fx {
+int Branch(const Mask& m) {
+  if (m.r != 0) return 1;            // violation via inherited annotation
+  return 0;
+}
+}  // namespace fx

@@ -1,0 +1,8 @@
+// Fixture header: the annotation lives here; the paired .cc must inherit it.
+#include "common/annotations.h"
+
+namespace fx {
+struct Mask {
+  PSI_SECRET unsigned long long r;
+};
+}  // namespace fx

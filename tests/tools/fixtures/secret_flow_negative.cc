@@ -1,0 +1,24 @@
+// Fixture: no violations — secrets only reach sinks through sanitizers,
+// and public values may do anything.
+#include "common/annotations.h"
+
+namespace fx {
+
+struct Key {
+  PSI_SECRET int d;
+  int n;
+};
+
+int Use(const Key& k, int x) {
+  if (k.n > 0) return 1;             // public value in a branch is fine
+  int a = x % k.n;                   // public modulo operand
+  int b = Mask(k.d) % x;             // sanitized before the sink
+  PSI_LOG(INFO) << k.n;              // public log
+  return a + b;
+}
+
+void Ok(Network* net, const Key& k) {
+  net->Send(0, 1, Encrypt(k.d));     // encrypted before sending
+}
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// Fixture: every secret use below is a violation.
+#include "common/annotations.h"
+
+namespace fx {
+
+struct Key {
+  PSI_SECRET int d;
+  int n;
+};
+
+int Use(const Key& k, int x) {
+  if (k.d > 0) return 1;             // branch on a secret
+  int a = x % k.d;                   // secret modulo operand
+  int b = k.d / x;                   // secret division operand
+  int c = k.d > x ? 1 : 0;           // secret in a ternary condition
+  PSI_LOG(INFO) << k.d;              // secret logged
+  return a + b + c;
+}
+
+void Leak(Network* net, const Key& k) {
+  net->Send(0, 1, Pack(k.d));        // secret sent without masking
+}
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// Fixture: malformed suppressions are findings themselves.
+#include "common/annotations.h"
+
+namespace fx {
+
+struct Key {
+  PSI_SECRET int d;
+};
+
+int Use(const Key& k) {
+  // psi-lint: allow(secret-flow)
+  if (k.d > 0) return 1;               // missing justification
+
+  // psi-lint: allow(not-a-check) some words
+  if (k.d > 1) return 2;               // unknown check name
+
+  // psi-lint: allow secret-flow no parens
+  if (k.d > 2) return 3;               // missing parentheses
+
+  // psi-lint: disable(secret-flow) wrong verb
+  if (k.d > 3) return 4;               // unknown directive
+
+  return 0;
+}
+
+}  // namespace fx

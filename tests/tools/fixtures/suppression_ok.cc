@@ -1,0 +1,17 @@
+// Fixture: valid suppressions silence a real finding, both same-line and
+// line-above.
+#include "common/annotations.h"
+
+namespace fx {
+
+struct Key {
+  PSI_SECRET int d;
+};
+
+int Use(const Key& k) {
+  // psi-lint: allow(secret-flow) fixture demonstrates the line-above form
+  if (k.d > 0) return 1;
+  return k.d > 2 ? 3 : 4;  // psi-lint: allow(secret-flow) same-line form
+}
+
+}  // namespace fx

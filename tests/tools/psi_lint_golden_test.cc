@@ -1,0 +1,140 @@
+// Golden-file tests for psi_lint (docs/STATIC_ANALYSIS.md).
+//
+// Every fixture under fixtures/ has a sibling `<name>.expected` holding the
+// findings psi_lint must report for that file, one `line: check: message`
+// per line (empty file = clean). The whole directory is linted in one pass,
+// so cross-file behavior — header annotation inheritance, the project-wide
+// discarded-Status call-site pass — is exercised exactly as the CLI does it.
+//
+// To update after an intentional checker change: run
+//   psi_lint tests/tools/fixtures
+// review the diff, and copy the per-file findings into the .expected files.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace psi_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char kFixtureDir[] = PSI_LINT_FIXTURE_DIR;
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".h" || ext == ".hpp";
+}
+
+struct Expectations {
+  // file name (no directory) -> expected "line: check: message" lines.
+  std::map<std::string, std::vector<std::string>> per_file;
+  size_t suppressed = 0;
+};
+
+Expectations LoadExpectations() {
+  Expectations out;
+  for (const auto& entry : fs::directory_iterator(kFixtureDir)) {
+    const fs::path& p = entry.path();
+    if (p.extension() != ".expected") continue;
+    // foo.cc.expected -> foo.cc
+    const std::string source_name = p.stem().string();
+    std::ifstream in(p);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (line.rfind("suppressed ", 0) == 0) {
+        out.suppressed += static_cast<size_t>(std::stoul(line.substr(11)));
+        continue;
+      }
+      lines.push_back(line);
+    }
+    out.per_file[source_name] = std::move(lines);
+  }
+  return out;
+}
+
+TEST(PsiLintGolden, EveryFixtureHasExpectations) {
+  const Expectations expected = LoadExpectations();
+  for (const auto& entry : fs::directory_iterator(kFixtureDir)) {
+    if (!IsSourceFile(entry.path())) continue;
+    const std::string name = entry.path().filename().string();
+    EXPECT_TRUE(expected.per_file.count(name))
+        << "fixture " << name << " has no .expected file";
+  }
+}
+
+TEST(PsiLintGolden, FindingsMatchExpectations) {
+  const Expectations expected = LoadExpectations();
+  const LintResult result = LintPaths({kFixtureDir});
+  ASSERT_GT(result.files_scanned, 0u);
+
+  std::map<std::string, std::vector<std::string>> actual;
+  for (const auto& [name, unused] : expected.per_file) actual[name];
+  for (const Finding& f : result.findings) {
+    const std::string name = fs::path(f.file).filename().string();
+    std::ostringstream line;
+    line << f.line << ": " << f.check << ": " << f.message;
+    actual[name].push_back(line.str());
+  }
+
+  for (const auto& [name, want] : expected.per_file) {
+    EXPECT_EQ(actual[name], want) << "findings mismatch for fixture " << name;
+  }
+  for (const auto& [name, got] : actual) {
+    EXPECT_TRUE(expected.per_file.count(name))
+        << "unexpected findings in " << name;
+  }
+  EXPECT_EQ(result.suppressed, expected.suppressed);
+}
+
+TEST(PsiLintGolden, OnlyChecksFilterRestrictsFindings) {
+  LintOptions options;
+  options.only_checks = {"read-bounds"};
+  const LintResult result = LintPaths({kFixtureDir}, options);
+  ASSERT_FALSE(result.findings.empty());
+  for (const Finding& f : result.findings) {
+    // bad-suppression findings always survive the filter.
+    EXPECT_TRUE(f.check == "read-bounds" || f.check == "bad-suppression")
+        << f.ToString();
+  }
+}
+
+TEST(PsiLintGolden, JsonReportIsWellFormed) {
+  const LintResult result = LintPaths({kFixtureDir});
+  const std::string json = ToJson(result);
+  EXPECT_NE(json.find("\"findings\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\""), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\""), std::string::npos);
+  // Every finding's check name appears in the JSON.
+  for (const Finding& f : result.findings) {
+    EXPECT_NE(json.find("\"" + f.check + "\""), std::string::npos);
+  }
+}
+
+TEST(PsiLintGolden, UnreadablePathIsIoErrorFinding) {
+  const LintResult result =
+      LintPaths({std::string(kFixtureDir) + "/does_not_exist.cc"});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].check, "io-error");
+}
+
+TEST(PsiLintGolden, KnownCheckNames) {
+  EXPECT_TRUE(IsKnownCheck("secret-flow"));
+  EXPECT_TRUE(IsKnownCheck("rng-order"));
+  EXPECT_TRUE(IsKnownCheck("read-bounds"));
+  EXPECT_TRUE(IsKnownCheck("nodiscard-status"));
+  EXPECT_FALSE(IsKnownCheck("bad-suppression"));
+  EXPECT_FALSE(IsKnownCheck("made-up"));
+}
+
+}  // namespace
+}  // namespace psi_lint

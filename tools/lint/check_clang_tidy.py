@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Zero-new-warnings clang-tidy gate (docs/STATIC_ANALYSIS.md).
+
+Runs clang-tidy (config: the committed .clang-tidy) over every translation
+unit in a CMake compile database and compares the warnings against the
+committed baseline. The build is clean when every warning's fingerprint —
+``path:check-name`` with the path repo-relative, line numbers deliberately
+excluded so unrelated edits don't shift the baseline — already appears in
+the baseline. New fingerprints fail the gate; fingerprints that no longer
+fire are reported so the baseline can be pruned.
+
+Usage:
+  check_clang_tidy.py --build-dir build [--baseline tools/lint/clang_tidy_baseline.txt]
+  check_clang_tidy.py --build-dir build --update-baseline   # regenerate
+
+Exit codes: 0 clean, 1 new warnings, 2 usage/environment error.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+WARNING_RE = re.compile(r"^(?P<path>[^:]+):\d+:\d+: warning: .*\[(?P<check>[\w.,-]+)\]$")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def find_clang_tidy():
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17", "clang-tidy-16",
+                 "clang-tidy-15", "clang-tidy-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def sources_from_compile_db(build_dir, root):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"error: {db_path} not found; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        sys.exit(2)
+    with open(db_path) as f:
+        db = json.load(f)
+    sources = []
+    for entry in db:
+        path = os.path.abspath(os.path.join(entry["directory"], entry["file"]))
+        rel = os.path.relpath(path, root)
+        # Gate the project's own code, not vendored/generated TUs.
+        if rel.startswith(("src/", "tools/", "tests/", "bench/")):
+            sources.append(path)
+    return sorted(set(sources))
+
+
+def run_clang_tidy(tidy, build_dir, sources, root):
+    fingerprints = set()
+    raw_lines = []
+    for i in range(0, len(sources), 16):
+        chunk = sources[i:i + 16]
+        proc = subprocess.run(
+            [tidy, "-p", build_dir, "--quiet", *chunk],
+            capture_output=True, text=True)
+        for line in proc.stdout.splitlines():
+            m = WARNING_RE.match(line)
+            if not m:
+                continue
+            rel = os.path.relpath(os.path.abspath(m.group("path")), root)
+            for check in m.group("check").split(","):
+                fingerprints.add(f"{rel}:{check}")
+            raw_lines.append(line)
+    return fingerprints, raw_lines
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--baseline",
+                        default=os.path.join("tools", "lint", "clang_tidy_baseline.txt"))
+    parser.add_argument("--update-baseline", action="store_true")
+    args = parser.parse_args()
+
+    root = repo_root()
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("error: clang-tidy not found on PATH", file=sys.stderr)
+        return 2
+
+    sources = sources_from_compile_db(args.build_dir, root)
+    if not sources:
+        print("error: compile database contains no project sources",
+              file=sys.stderr)
+        return 2
+    found, raw = run_clang_tidy(tidy, args.build_dir, sources, root)
+
+    baseline_path = os.path.join(root, args.baseline)
+    if args.update_baseline:
+        with open(baseline_path, "w") as f:
+            for fp in sorted(found):
+                f.write(fp + "\n")
+        print(f"wrote {len(found)} fingerprint(s) to {args.baseline}")
+        return 0
+
+    baseline = set()
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as f:
+            baseline = {l.strip() for l in f if l.strip() and not l.startswith("#")}
+
+    new = sorted(found - baseline)
+    fixed = sorted(baseline - found)
+    if fixed:
+        print(f"note: {len(fixed)} baselined warning(s) no longer fire; "
+              f"prune with --update-baseline:")
+        for fp in fixed:
+            print(f"  {fp}")
+    if new:
+        print(f"error: {len(new)} clang-tidy warning(s) not in the baseline:")
+        for fp in new:
+            print(f"  {fp}")
+        print("\nFull clang-tidy output for the new warnings' files:")
+        for line in raw:
+            print(f"  {line}")
+        return 1
+    print(f"clang-tidy clean: {len(found)} warning(s), all baselined "
+          f"({len(sources)} translation units)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

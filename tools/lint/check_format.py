@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""clang-format gate: ``--dry-run -Werror`` over the project's C++ sources.
+
+Files listed in the baseline (tools/lint/format_baseline.txt) predate the
+.clang-format gate and are tolerated until they are reformatted; every other
+file — in particular every NEW file — must be byte-identical to clang-format
+output. When a baselined file becomes clean the script says so, so the
+baseline only ever shrinks (a ratchet). Regenerate with --update-baseline
+after reformatting.
+
+Usage:
+  check_format.py [--baseline tools/lint/format_baseline.txt]
+  check_format.py --update-baseline
+
+Exit codes: 0 clean, 1 violations outside the baseline, 2 environment error.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+DIRS = ("src", "tools", "tests", "bench")
+EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def find_clang_format():
+    for name in ("clang-format", "clang-format-18", "clang-format-17",
+                 "clang-format-16", "clang-format-15", "clang-format-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def project_sources(root):
+    out = subprocess.run(["git", "-C", root, "ls-files", *DIRS],
+                         capture_output=True, text=True, check=True).stdout
+    return sorted(f for f in out.splitlines()
+                  if f.endswith(EXTS)
+                  # psi_lint fixtures are test data with intentional style.
+                  and not f.startswith("tests/tools/fixtures/"))
+
+
+def nonconforming(fmt, root, files):
+    bad = []
+    for i in range(0, len(files), 32):
+        chunk = files[i:i + 32]
+        proc = subprocess.run([fmt, "--dry-run", "-Werror", "--style=file", *chunk],
+                              cwd=root, capture_output=True, text=True)
+        if proc.returncode == 0:
+            continue
+        # Re-run per file to attribute failures precisely.
+        for f in chunk:
+            one = subprocess.run([fmt, "--dry-run", "-Werror", "--style=file", f],
+                                 cwd=root, capture_output=True, text=True)
+            if one.returncode != 0:
+                bad.append(f)
+    return bad
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline",
+                        default=os.path.join("tools", "lint", "format_baseline.txt"))
+    parser.add_argument("--update-baseline", action="store_true")
+    args = parser.parse_args()
+
+    root = repo_root()
+    fmt = find_clang_format()
+    if fmt is None:
+        print("error: clang-format not found on PATH", file=sys.stderr)
+        return 2
+
+    files = project_sources(root)
+    bad = nonconforming(fmt, root, files)
+
+    baseline_path = os.path.join(root, args.baseline)
+    if args.update_baseline:
+        with open(baseline_path, "w") as f:
+            for name in bad:
+                f.write(name + "\n")
+        print(f"wrote {len(bad)} file(s) to {args.baseline}")
+        return 0
+
+    baseline = set()
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as f:
+            baseline = {l.strip() for l in f if l.strip() and not l.startswith("#")}
+
+    new = sorted(set(bad) - baseline)
+    cleaned = sorted(baseline - set(bad))
+    if cleaned:
+        print(f"note: {len(cleaned)} baselined file(s) now conform; prune with "
+              "--update-baseline:")
+        for name in cleaned:
+            print(f"  {name}")
+    if new:
+        print(f"error: {len(new)} file(s) not clang-format clean and not baselined:")
+        for name in new:
+            print(f"  {name}")
+        print("fix: clang-format -i <file>")
+        return 1
+    print(f"clang-format clean: {len(files)} file(s) checked, "
+          f"{len(bad)} baselined exception(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

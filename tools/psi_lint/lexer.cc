@@ -1,0 +1,271 @@
+#include "lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace psi_lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators, longest first so maximal munch works.
+const std::array<const char*, 24> kPuncts = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=",
+};
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+class Lexer {
+ public:
+  Lexer(const std::string& path, const std::string& src) : src_(src) {
+    out_.path = path;
+  }
+
+  LexedFile Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        SkipPreprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '"' || (c == 'R' && Peek(1) == '"' && LooksLikeRawString())) {
+        LexString();
+        continue;
+      }
+      if (c == '\'') {
+        LexChar();
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdent();
+        continue;
+      }
+      LexPunct();
+    }
+    BuildMatchTable();
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokKind kind, size_t begin, size_t end, int line) {
+    out_.tokens.push_back({kind, src_.substr(begin, end - begin), line});
+  }
+
+  void SkipPreprocessor() {
+    // Directives (and their continuation lines) carry no tokens the checks
+    // care about, and `#include <net/envelope.h>` must not lex as division.
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && Peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (src_[pos_] == '\n') {
+        ++pos_;
+        ++line_;
+        at_line_start_ = true;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void LexLineComment() {
+    const int line = line_;
+    const size_t begin = pos_ + 2;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    out_.comments.push_back({line, Trim(src_.substr(begin, pos_ - begin))});
+  }
+
+  void LexBlockComment() {
+    const int line = line_;
+    const size_t begin = pos_ + 2;
+    pos_ += 2;
+    while (pos_ < src_.size() && !(src_[pos_] == '*' && Peek(1) == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    const size_t end = pos_;
+    if (pos_ < src_.size()) pos_ += 2;
+    out_.comments.push_back({line, Trim(src_.substr(begin, end - begin))});
+  }
+
+  bool LooksLikeRawString() const {
+    // R"delim( — a quote right after R, with a '(' within the short
+    // delimiter window, and not part of a longer identifier.
+    if (!out_.tokens.empty()) {
+      // `FooR"x"`? Identifiers are lexed greedily, so if we are here the
+      // previous character was not an identifier char.
+    }
+    for (size_t i = pos_ + 2; i < src_.size() && i < pos_ + 20; ++i) {
+      if (src_[i] == '(') return true;
+      if (src_[i] == '"' || src_[i] == '\n') return false;
+    }
+    return false;
+  }
+
+  void LexString() {
+    const int line = line_;
+    const size_t begin = pos_;
+    if (src_[pos_] == 'R') {
+      // Raw string: R"delim( ... )delim".
+      pos_ += 2;  // R"
+      size_t delim_begin = pos_;
+      while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+      const std::string closer =
+          ")" + src_.substr(delim_begin, pos_ - delim_begin) + "\"";
+      while (pos_ < src_.size() && src_.compare(pos_, closer.size(), closer) != 0) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ < src_.size()) pos_ += closer.size();
+    } else {
+      ++pos_;  // opening quote
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ < src_.size()) ++pos_;  // closing quote
+    }
+    Emit(TokKind::kString, begin, pos_, line);
+  }
+
+  void LexChar() {
+    const int line = line_;
+    const size_t begin = pos_;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\n') break;  // Unterminated; bail at EOL.
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    Emit(TokKind::kChar, begin, pos_, line);
+  }
+
+  void LexNumber() {
+    const int line = line_;
+    const size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.') {
+        ++pos_;
+        continue;
+      }
+      if (c == '\'' && IsDigit(Peek(1))) {  // Digit separator: 1'000'000.
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(TokKind::kNumber, begin, pos_, line);
+  }
+
+  void LexIdent() {
+    const int line = line_;
+    const size_t begin = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+    Emit(TokKind::kIdent, begin, pos_, line);
+  }
+
+  void LexPunct() {
+    const int line = line_;
+    for (const char* p : kPuncts) {
+      const size_t n = std::char_traits<char>::length(p);
+      if (src_.compare(pos_, n, p) == 0) {
+        Emit(TokKind::kPunct, pos_, pos_ + n, line);
+        pos_ += n;
+        return;
+      }
+    }
+    Emit(TokKind::kPunct, pos_, pos_ + 1, line);
+    ++pos_;
+  }
+
+  void BuildMatchTable() {
+    out_.match.assign(out_.tokens.size(), LexedFile::kNoMatch);
+    std::vector<size_t> stack;
+    for (size_t i = 0; i < out_.tokens.size(); ++i) {
+      const Token& t = out_.tokens[i];
+      if (t.kind != TokKind::kPunct || t.text.size() != 1) continue;
+      const char c = t.text[0];
+      if (c == '(' || c == '[' || c == '{') {
+        stack.push_back(i);
+      } else if (c == ')' || c == ']' || c == '}') {
+        const char open = c == ')' ? '(' : (c == ']' ? '[' : '{');
+        // Pop until the matching opener kind; tolerates mismatched input.
+        while (!stack.empty() && out_.tokens[stack.back()].text[0] != open) {
+          stack.pop_back();
+        }
+        if (!stack.empty()) {
+          out_.match[stack.back()] = i;
+          out_.match[i] = stack.back();
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  const std::string& src_;
+  LexedFile out_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+LexedFile Lex(const std::string& path, const std::string& content) {
+  return Lexer(path, content).Run();
+}
+
+}  // namespace psi_lint

@@ -1,0 +1,66 @@
+// Token-level C++ lexer for psi_lint.
+//
+// psi_lint deliberately avoids libclang: the four project invariants it
+// enforces (docs/STATIC_ANALYSIS.md) are all expressible over the token
+// stream plus bracket matching, and a dependency-free scanner can run as a
+// ctest gate on every machine that can build the repo. The lexer therefore
+// handles exactly as much of C++ as the checks need:
+//
+//   * comments are lexed out of the token stream but retained (with line
+//     numbers) for suppression and annotation parsing,
+//   * preprocessor directives are skipped whole (including continuation
+//     lines), so `#include <a/b.h>` never looks like division,
+//   * string/char literals are single tokens (raw strings included),
+//   * multi-character operators are single tokens so `->` and `::` chains
+//     are easy to walk.
+
+#ifndef PSI_TOOLS_PSI_LINT_LEXER_H_
+#define PSI_TOOLS_PSI_LINT_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace psi_lint {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// A comment with its starting line ("//" and "/* */" both included, text
+/// without the delimiters, trimmed).
+struct Comment {
+  int line = 0;
+  std::string text;
+};
+
+/// A lexed source file: tokens (no whitespace / comments / preprocessor),
+/// the comments on the side, and a bracket-match table.
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  /// For each token index holding `(`, `[` or `{`: the index of the
+  /// matching closer; for each closer the index of the opener; else npos.
+  std::vector<size_t> match;
+
+  static constexpr size_t kNoMatch = static_cast<size_t>(-1);
+};
+
+/// Lexes `content` (the text of `path`). Never fails: unterminated
+/// constructs are truncated at end-of-file.
+LexedFile Lex(const std::string& path, const std::string& content);
+
+}  // namespace psi_lint
+
+#endif  // PSI_TOOLS_PSI_LINT_LEXER_H_

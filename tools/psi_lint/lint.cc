@@ -1,0 +1,251 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace psi_lint {
+namespace {
+
+const char* const kChecks[] = {"secret-flow", "rng-order", "read-bounds",
+                               "nodiscard-status"};
+
+struct Suppression {
+  int line = 0;
+  std::string check;
+};
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parses the suppressions in one file's comments. Valid:
+///   psi-lint: allow(check-name) non-empty justification
+/// Anything that mentions psi-lint but does not match produces a
+/// bad-suppression finding (never suppressible).
+void ParseSuppressions(const LexedFile& file,
+                       std::vector<Suppression>* suppressions,
+                       std::vector<Finding>* findings) {
+  for (const Comment& c : file.comments) {
+    const size_t tag = c.text.find("psi-lint:");
+    if (tag == std::string::npos) continue;
+    std::string rest = Trim(c.text.substr(tag + 9));
+    const std::string kAllow = "allow(";
+    if (rest.compare(0, kAllow.size(), kAllow) != 0) {
+      findings->push_back({file.path, c.line, "bad-suppression",
+                           "unrecognized psi-lint directive (expected "
+                           "'psi-lint: allow(<check>) <justification>')"});
+      continue;
+    }
+    const size_t close = rest.find(')');
+    if (close == std::string::npos) {
+      findings->push_back({file.path, c.line, "bad-suppression",
+                           "unterminated allow(...) directive"});
+      continue;
+    }
+    const std::string check = Trim(rest.substr(kAllow.size(), close - kAllow.size()));
+    const std::string justification = Trim(rest.substr(close + 1));
+    if (!IsKnownCheck(check)) {
+      findings->push_back({file.path, c.line, "bad-suppression",
+                           "allow() names unknown check '" + check + "'"});
+      continue;
+    }
+    if (justification.empty()) {
+      findings->push_back(
+          {file.path, c.line, "bad-suppression",
+           "allow(" + check +
+               ") requires a justification after the closing parenthesis"});
+      continue;
+    }
+    suppressions->push_back({c.line, check});
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// "foo/bar.cc" -> "foo/bar"; used to pair a .cc with its header so that
+/// PSI_SECRET annotations on fields in bar.h taint uses inside bar.cc.
+std::string Stem(const std::string& path) {
+  const size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(0, dot);
+}
+
+bool IsSourceExtension(const std::string& path) {
+  return path.size() >= 2 &&
+         (path.rfind(".h") == path.size() - 2 ||
+          (path.size() >= 3 && path.rfind(".cc") == path.size() - 3) ||
+          (path.size() >= 4 && (path.rfind(".hpp") == path.size() - 4 ||
+                                path.rfind(".cpp") == path.size() - 4)));
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  return file + ":" + std::to_string(line) + ": " + check + ": " + message;
+}
+
+bool IsKnownCheck(const std::string& name) {
+  for (const char* c : kChecks) {
+    if (name == c) return true;
+  }
+  return false;
+}
+
+LintResult LintSources(const std::vector<SourceBuffer>& sources,
+                       const LintOptions& options) {
+  LintResult result;
+  std::vector<LexedFile> lexed;
+  lexed.reserve(sources.size());
+  for (const SourceBuffer& s : sources) {
+    lexed.push_back(Lex(s.path, s.content));
+  }
+  result.files_scanned = lexed.size();
+
+  // Project-wide tables: Status-returning function names and per-stem
+  // secret annotations.
+  std::set<std::string> status_functions;
+  std::map<std::string, std::vector<std::string>> header_secrets;
+  for (const LexedFile& f : lexed) {
+    for (std::string& n : internal::CollectStatusFunctions(f)) {
+      status_functions.insert(std::move(n));
+    }
+    const bool is_header = f.path.size() >= 2 &&
+                           (f.path.rfind(".h") == f.path.size() - 2 ||
+                            (f.path.size() >= 4 &&
+                             f.path.rfind(".hpp") == f.path.size() - 4));
+    if (is_header) {
+      std::vector<std::string> secrets = internal::CollectSecretNames(f);
+      if (!secrets.empty()) header_secrets[Stem(f.path)] = std::move(secrets);
+    }
+  }
+  const std::vector<std::string> known(status_functions.begin(),
+                                       status_functions.end());
+
+  const std::set<std::string> only(options.only_checks.begin(),
+                                   options.only_checks.end());
+  for (const LexedFile& f : lexed) {
+    std::vector<std::string> extra;
+    const auto it = header_secrets.find(Stem(f.path));
+    if (it != header_secrets.end() && Stem(f.path) + ".h" != f.path &&
+        Stem(f.path) + ".hpp" != f.path) {
+      extra = it->second;
+    }
+    std::vector<Finding> findings = internal::RunChecks(f, extra, known);
+
+    std::vector<Suppression> suppressions;
+    ParseSuppressions(f, &suppressions, &result.findings);
+
+    for (Finding& finding : findings) {
+      if (!only.empty() && only.count(finding.check) == 0) continue;
+      const bool suppressed =
+          std::any_of(suppressions.begin(), suppressions.end(),
+                      [&](const Suppression& s) {
+                        return s.check == finding.check &&
+                               (s.line == finding.line ||
+                                s.line + 1 == finding.line);
+                      });
+      if (suppressed) {
+        ++result.suppressed;
+      } else {
+        result.findings.push_back(std::move(finding));
+      }
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.check != b.check) return a.check < b.check;
+              return a.message < b.message;
+            });
+  return result;
+}
+
+LintResult LintPaths(const std::vector<std::string>& paths,
+                     const LintOptions& options) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::vector<Finding> io_errors;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && IsSourceExtension(it->path().string())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      io_errors.push_back({p, 0, "io-error", "no such file or directory"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<SourceBuffer> sources;
+  sources.reserve(files.size());
+  for (const std::string& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      io_errors.push_back({f, 0, "io-error", "cannot open file"});
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    sources.push_back({f, ss.str()});
+  }
+
+  LintResult result = LintSources(sources, options);
+  result.findings.insert(result.findings.end(), io_errors.begin(),
+                         io_errors.end());
+  return result;
+}
+
+std::string ToJson(const LintResult& result) {
+  std::ostringstream out;
+  out << "{\"findings\":[";
+  for (size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    if (i > 0) out << ",";
+    out << "{\"file\":\"" << JsonEscape(f.file) << "\",\"line\":" << f.line
+        << ",\"check\":\"" << JsonEscape(f.check) << "\",\"message\":\""
+        << JsonEscape(f.message) << "\"}";
+  }
+  out << "],\"files_scanned\":" << result.files_scanned
+      << ",\"suppressed\":" << result.suppressed << "}";
+  return out.str();
+}
+
+}  // namespace psi_lint

@@ -1,0 +1,104 @@
+// psi_lint — project-specific static checks for the psi codebase.
+//
+// Four invariants that functional tests cannot see (docs/STATIC_ANALYSIS.md):
+//
+//   secret-flow       PSI_SECRET-annotated values must not reach branch
+//                     conditions, ternaries, `%` / `/` operands, PSI_LOG
+//                     statements, or network Send calls except through a
+//                     masking / encryption call.
+//   rng-order         No RNG method call lexically inside a lambda passed to
+//                     ParallelFor* / ThreadPool::Submit — every draw stays in
+//                     serial program order (the transcript determinism
+//                     contract of common/thread_pool.h).
+//   read-bounds       A count deserialized from a peer (ReadU64 / ReadVarU64
+//                     and friends) must be bound-checked — BinaryReader::
+//                     ReadCount or an explicit `if` guard — before it reaches
+//                     resize / reserve / assign or a loop bound.
+//   nodiscard-status  Functions returning Status / Result<T> carry
+//                     [[nodiscard]], and no call site silently discards one.
+//
+// Findings are suppressed line-by-line with
+//     // psi-lint: allow(<check>) <justification>
+// on the finding's line or the line above; the justification text is
+// mandatory. A malformed suppression is itself a finding (bad-suppression)
+// and cannot be suppressed.
+
+#ifndef PSI_TOOLS_PSI_LINT_LINT_H_
+#define PSI_TOOLS_PSI_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace psi_lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string check;    // "secret-flow", ..., or "bad-suppression".
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// An in-memory source buffer (tests) or a file loaded from disk (CLI).
+struct SourceBuffer {
+  std::string path;
+  std::string content;
+};
+
+struct LintOptions {
+  /// When non-empty, only findings of these checks are reported
+  /// (bad-suppression is always reported).
+  std::vector<std::string> only_checks;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;   // Sorted by (file, line, check).
+  size_t files_scanned = 0;
+  size_t suppressed = 0;           // Findings silenced by valid allow().
+};
+
+/// True iff `name` is one of the four check names.
+bool IsKnownCheck(const std::string& name);
+
+/// Lints a set of in-memory sources as one project: the nodiscard-status
+/// call-site pass and the secret annotation table see all buffers, and a
+/// `.cc` buffer inherits the PSI_SECRET annotations of the same-stem `.h`.
+LintResult LintSources(const std::vector<SourceBuffer>& sources,
+                       const LintOptions& options = {});
+
+/// Expands `paths` (files, or directories searched recursively for
+/// .h/.hpp/.cc/.cpp) and lints them. Unreadable paths produce a finding of
+/// check "io-error".
+LintResult LintPaths(const std::vector<std::string>& paths,
+                     const LintOptions& options = {});
+
+/// Machine-readable report:
+/// {"findings":[{"file":...,"line":N,"check":...,"message":...}],
+///  "files_scanned":N,"suppressed":N}
+std::string ToJson(const LintResult& result);
+
+namespace internal {
+
+/// Runs the four checks over one lexed file. `extra_secrets` are secret
+/// names inherited from a paired header; `known_status_functions` is the
+/// project-wide set of Status/Result-returning function names (for the
+/// discarded-call pass). Suppressions are NOT applied here.
+std::vector<Finding> RunChecks(
+    const LexedFile& file, const std::vector<std::string>& extra_secrets,
+    const std::vector<std::string>& known_status_functions);
+
+/// Collects the names declared with PSI_SECRET in `file`.
+std::vector<std::string> CollectSecretNames(const LexedFile& file);
+
+/// Collects the names of Status/Result-returning functions declared in
+/// `file` (whether or not they carry [[nodiscard]]).
+std::vector<std::string> CollectStatusFunctions(const LexedFile& file);
+
+}  // namespace internal
+
+}  // namespace psi_lint
+
+#endif  // PSI_TOOLS_PSI_LINT_LINT_H_

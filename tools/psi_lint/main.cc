@@ -1,0 +1,78 @@
+// psi_lint CLI.
+//
+//   psi_lint [--json FILE] [--check NAME]... <file-or-dir>...
+//
+// Prints findings as "file:line: check: message" and exits 1 when any
+// finding survives suppression, 0 when clean, 2 on usage or I/O errors.
+// docs/STATIC_ANALYSIS.md documents the checks and the suppression syntax.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: psi_lint [--json FILE] [--check NAME]... <file-or-dir>...\n"
+         "checks: secret-flow rng-order read-bounds nodiscard-status\n"
+         "suppress: // psi-lint: allow(<check>) <justification>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string json_path;
+  psi_lint::LintOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (++i >= argc) return Usage();
+      json_path = argv[i];
+    } else if (arg == "--check") {
+      if (++i >= argc) return Usage();
+      if (!psi_lint::IsKnownCheck(argv[i])) {
+        std::cerr << "psi_lint: unknown check '" << argv[i] << "'\n";
+        return Usage();
+      }
+      options.only_checks.push_back(argv[i]);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "psi_lint: unknown flag '" << arg << "'\n";
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  const psi_lint::LintResult result = psi_lint::LintPaths(paths, options);
+
+  bool io_error = false;
+  for (const psi_lint::Finding& f : result.findings) {
+    std::cout << f.ToString() << "\n";
+    if (f.check == "io-error") io_error = true;
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "psi_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << psi_lint::ToJson(result) << "\n";
+  }
+  std::cerr << "psi_lint: " << result.files_scanned << " file(s), "
+            << result.findings.size() << " finding(s), " << result.suppressed
+            << " suppressed\n";
+  if (io_error) return 2;
+  return result.findings.empty() ? 0 : 1;
+}
