@@ -12,7 +12,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace psi {
 
@@ -85,13 +87,30 @@ class Rng {
     }
   }
 
+  /// \brief Byte length of a `SaveState()` snapshot (fixed-width).
+  static constexpr size_t kStateBytes = 32 + 12 + 4 + 64 + 8;
+
+  /// \brief Serializes the full generator state (key, nonce, counter, block
+  /// buffer, cursor) into a fixed-width `kStateBytes` snapshot.
+  ///
+  /// Restoring the snapshot with `LoadState` reproduces the exact output
+  /// stream from the capture point, which is what lets a checkpointed
+  /// protocol stage replay with bitwise-identical randomness. The snapshot
+  /// contains the ChaCha key, i.e. it is as secret as the generator itself:
+  /// checkpoint stores must treat it as `PSI_SECRET` and never send it.
+  [[nodiscard]] std::vector<uint8_t> SaveState() const;
+
+  /// \brief Restores a `SaveState()` snapshot. Returns SerializationError if
+  /// `state` is not exactly `kStateBytes` long or the cursor is out of range.
+  [[nodiscard]] Status LoadState(const std::vector<uint8_t>& state);
+
  private:
   void Refill();
 
-  std::array<uint32_t, 8> key_;
+  PSI_SECRET std::array<uint32_t, 8> key_;
   std::array<uint32_t, 3> nonce_ = {0, 0, 0};
   uint32_t counter_ = 0;
-  std::array<uint8_t, 64> block_{};
+  PSI_SECRET std::array<uint8_t, 64> block_{};
   size_t pos_ = 64;  // Forces a refill on first use.
 };
 

@@ -94,6 +94,13 @@ ClassAggregationProtocol::ClassAggregationProtocol(Network* network,
 Result<AggregatedClassCounters> ClassAggregationProtocol::Run(
     const std::vector<ActionLog>& class_logs, size_t num_users,
     Rng* group_secret_rng, const std::string& label_prefix) {
+  return DrainOnError(
+      network_, RunImpl(class_logs, num_users, group_secret_rng, label_prefix));
+}
+
+Result<AggregatedClassCounters> ClassAggregationProtocol::RunImpl(
+    const std::vector<ActionLog>& class_logs, size_t num_users,
+    Rng* group_secret_rng, const std::string& label_prefix) {
   const size_t d = group_.size();
   if (d == 0) return Status::InvalidArgument("empty provider group");
   if (class_logs.size() != d) {

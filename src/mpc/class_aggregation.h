@@ -77,6 +77,11 @@ class ClassAggregationProtocol {
   const Protocol5Views& views() const { return views_; }
 
  private:
+  // The protocol body; the public entry drains mailboxes on error.
+  [[nodiscard]] Result<AggregatedClassCounters> RunImpl(
+      const std::vector<ActionLog>& class_logs, size_t num_users,
+      Rng* group_secret_rng, const std::string& label_prefix);
+
   Network* network_;
   std::vector<PartyId> group_;
   PartyId aggregator_;

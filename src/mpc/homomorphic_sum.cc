@@ -94,9 +94,23 @@ bool HomomorphicSumProtocol::PackingApplies(
 Result<BatchedModularShares> HomomorphicSumProtocol::Run(
     const std::vector<std::vector<uint64_t>>& inputs,
     const std::vector<Rng*>& player_rngs, const std::string& label_prefix) {
+  return DrainOnError(network_, RunImpl(inputs, player_rngs, label_prefix));
+}
+
+Result<BatchedIntegerShares> HomomorphicSumProtocol::RunInteger(
+    const std::vector<std::vector<uint64_t>>& inputs,
+    const std::vector<Rng*>& player_rngs, const std::string& label_prefix) {
+  return DrainOnError(network_,
+                      RunIntegerImpl(inputs, player_rngs, label_prefix));
+}
+
+Result<BatchedModularShares> HomomorphicSumProtocol::RunImpl(
+    const std::vector<std::vector<uint64_t>>& inputs,
+    const std::vector<Rng*>& player_rngs, const std::string& label_prefix) {
   PSI_RETURN_NOT_OK(ValidateInputs(inputs, player_rngs));
   last_run_packed_ = false;
   last_run_slots_ = 1;
+  last_run_crypto_ops_ = 0;
   if (!PackingApplies(inputs)) {
     return RunUnpacked(inputs, player_rngs, label_prefix);
   }
@@ -106,6 +120,7 @@ Result<BatchedModularShares> HomomorphicSumProtocol::Run(
   PSI_ASSIGN_OR_RETURN(
       PaillierKeyPair keys,
       PaillierGenerateKeyPair(player_rngs[0], config_.paillier_bits));
+  ++last_run_crypto_ops_;  // keygen
   auto codec_or = HomomorphicSumPackedCodec(
       keys.public_key.n.BitLength() - 1, *config_.counter_bound,
       players_.size(), config_.packing_epsilon_log2);
@@ -128,12 +143,13 @@ Result<BatchedModularShares> HomomorphicSumProtocol::Run(
   return out;
 }
 
-Result<BatchedIntegerShares> HomomorphicSumProtocol::RunInteger(
+Result<BatchedIntegerShares> HomomorphicSumProtocol::RunIntegerImpl(
     const std::vector<std::vector<uint64_t>>& inputs,
     const std::vector<Rng*>& player_rngs, const std::string& label_prefix) {
   PSI_RETURN_NOT_OK(ValidateInputs(inputs, player_rngs));
   last_run_packed_ = false;
   last_run_slots_ = 1;
+  last_run_crypto_ops_ = 0;
   if (!PackingApplies(inputs)) {
     return Status::FailedPrecondition(
         "integer shares need a proven counter bound; use the modular Run() "
@@ -142,6 +158,7 @@ Result<BatchedIntegerShares> HomomorphicSumProtocol::RunInteger(
   PSI_ASSIGN_OR_RETURN(
       PaillierKeyPair keys,
       PaillierGenerateKeyPair(player_rngs[0], config_.paillier_bits));
+  ++last_run_crypto_ops_;  // keygen
   PSI_ASSIGN_OR_RETURN(
       PackingCodec codec,
       HomomorphicSumPackedCodec(keys.public_key.n.BitLength() - 1,
@@ -214,6 +231,7 @@ HomomorphicSumProtocol::RunPacked(
     PSI_ASSIGN_OR_RETURN(
         std::vector<BigUInt> cts,
         PaillierEncryptBatch(pub[k], packed, player_rngs[k]));
+    last_run_crypto_ops_ += cts.size();  // encryptions
     PSI_RETURN_NOT_OK(network_->SendFramed(players_[k], players_[1],
                                            ProtocolId::kHomomorphicSum,
                                            kStepCiphertexts,
@@ -232,6 +250,7 @@ HomomorphicSumProtocol::RunPacked(
   PSI_ASSIGN_OR_RETURN(
       std::vector<BigUInt> aggregate,
       PaillierEncryptBatch(pub[1], own_packed, player_rngs[1]));
+  last_run_crypto_ops_ += aggregate.size();  // encryptions
   for (size_t k = 2; k < m; ++k) {
     PSI_ASSIGN_OR_RETURN(
         auto buf, network_->RecvValidated(players_[1], players_[k],
@@ -245,6 +264,7 @@ HomomorphicSumProtocol::RunPacked(
     ParallelFor(num_ct, [&](size_t c) {
       aggregate[c] = PaillierAddCiphertexts(pub[1], aggregate[c], cts[c]);
     });
+    last_run_crypto_ops_ += num_ct;  // homomorphic additions
   }
 
   // Round 3: the aggregate travels to P1.
@@ -267,6 +287,7 @@ HomomorphicSumProtocol::RunPacked(
   // wrap (guard bits sized for m additions), so the values are exact.
   PSI_ASSIGN_OR_RETURN(std::vector<BigUInt> plains,
                        PaillierDecryptBatch(keys.private_key, received));
+  last_run_crypto_ops_ += plains.size();  // decryptions
   PSI_ASSIGN_OR_RETURN(std::vector<BigUInt> slots,
                        codec.Unpack(plains, count));
   PackedOutcome out;
@@ -286,6 +307,7 @@ Result<BatchedModularShares> HomomorphicSumProtocol::RunUnpacked(
   PSI_ASSIGN_OR_RETURN(
       PaillierKeyPair keys,
       PaillierGenerateKeyPair(player_rngs[0], config_.paillier_bits));
+  ++last_run_crypto_ops_;  // keygen
   return RunUnpacked(keys, inputs, player_rngs, label_prefix);
 }
 
@@ -334,6 +356,7 @@ Result<BatchedModularShares> HomomorphicSumProtocol::RunUnpacked(
     PSI_ASSIGN_OR_RETURN(
         std::vector<BigUInt> cts,
         PaillierEncryptBatch(pub[k], plain, player_rngs[k]));
+    last_run_crypto_ops_ += cts.size();  // encryptions
     PSI_RETURN_NOT_OK(network_->SendFramed(players_[k], players_[1],
                                            ProtocolId::kHomomorphicSum,
                                            kStepCiphertexts,
@@ -350,6 +373,7 @@ Result<BatchedModularShares> HomomorphicSumProtocol::RunUnpacked(
   PSI_ASSIGN_OR_RETURN(
       std::vector<BigUInt> aggregate,
       PaillierEncryptBatch(pub[1], own_plain, player_rngs[1]));
+  last_run_crypto_ops_ += aggregate.size();  // encryptions
   for (size_t k = 2; k < m; ++k) {
     PSI_ASSIGN_OR_RETURN(
         auto buf, network_->RecvValidated(players_[1], players_[k],
@@ -363,6 +387,7 @@ Result<BatchedModularShares> HomomorphicSumProtocol::RunUnpacked(
     ParallelFor(count, [&](size_t c) {
       aggregate[c] = PaillierAddCiphertexts(pub[1], aggregate[c], cts[c]);
     });
+    last_run_crypto_ops_ += count;  // homomorphic additions
   }
 
   // Round 3: the aggregate travels to P1, who decrypts and adds its input.
@@ -384,6 +409,7 @@ Result<BatchedModularShares> HomomorphicSumProtocol::RunUnpacked(
   // CRT-accelerated batched decryption (same values as the classic path).
   PSI_ASSIGN_OR_RETURN(std::vector<BigUInt> masked,
                        PaillierDecryptBatch(keys.private_key, received));
+  last_run_crypto_ops_ += masked.size();  // decryptions
   BatchedModularShares out;
   out.s1.resize(count);
   out.s2.resize(count);

@@ -103,6 +103,12 @@ class HomomorphicSumProtocol {
   /// \brief Counters per ciphertext of the last run (1 when unpacked).
   size_t last_run_slots() const { return last_run_slots_; }
 
+  /// \brief Public-key operations of the last run: keygen + encryptions +
+  /// homomorphic additions + decryptions. Feeds the session layer's
+  /// crypto-op ledger (mpc/session.h), which is how the chaos harness
+  /// proves stage-resume recomputes nothing.
+  uint64_t last_run_crypto_ops() const { return last_run_crypto_ops_; }
+
  private:
   // The packed wire protocol: returns, per counter, the recombined value
   // sum_k x_k + rho_c (exact over Z) and P2's masks rho_c.
@@ -110,6 +116,14 @@ class HomomorphicSumProtocol {
     std::vector<BigUInt> masked;  // sum of all inputs + rho, per counter.
     std::vector<BigUInt> rho;     // P2's per-slot masks.
   };
+  // The protocol bodies; the public entries drain mailboxes on error.
+  [[nodiscard]] Result<BatchedModularShares> RunImpl(
+      const std::vector<std::vector<uint64_t>>& inputs,
+      const std::vector<Rng*>& player_rngs, const std::string& label_prefix);
+  [[nodiscard]] Result<BatchedIntegerShares> RunIntegerImpl(
+      const std::vector<std::vector<uint64_t>>& inputs,
+      const std::vector<Rng*>& player_rngs, const std::string& label_prefix);
+
   [[nodiscard]] Result<PackedOutcome> RunPacked(
       const PaillierKeyPair& keys, const PackingCodec& codec,
       const std::vector<std::vector<uint64_t>>& inputs,
@@ -136,6 +150,7 @@ class HomomorphicSumProtocol {
   BigUInt modulus_;
   bool last_run_packed_ = false;
   size_t last_run_slots_ = 1;
+  uint64_t last_run_crypto_ops_ = 0;
 };
 
 }  // namespace psi

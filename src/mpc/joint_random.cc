@@ -6,10 +6,12 @@
 
 namespace psi {
 
-Result<std::vector<double>> JointUniformBatch(Network* network, PartyId a,
-                                              PartyId b, size_t count,
-                                              Rng* rng_a, Rng* rng_b,
-                                              const std::string& label) {
+namespace {
+
+// The exchange body; the public entry drains mailboxes on error.
+[[nodiscard]] Result<std::vector<double>> JointUniformBatchImpl(
+    Network* network, PartyId a, PartyId b, size_t count, Rng* rng_a,
+    Rng* rng_b, const std::string& label) {
   network->BeginRound(label);
 
   auto draw = [count](Rng* rng) {
@@ -65,6 +67,16 @@ Result<std::vector<double>> JointUniformBatch(Network* network, PartyId a,
     if (joint[i] <= 0.0 || joint[i] >= 1.0) joint[i] = 0.5;  // FP edge guard.
   }
   return joint;
+}
+
+}  // namespace
+
+Result<std::vector<double>> JointUniformBatch(Network* network, PartyId a,
+                                              PartyId b, size_t count,
+                                              Rng* rng_a, Rng* rng_b,
+                                              const std::string& label) {
+  return DrainOnError(
+      network, JointUniformBatchImpl(network, a, b, count, rng_a, rng_b, label));
 }
 
 std::vector<double> ToZDistribution(const std::vector<double>& uniforms) {

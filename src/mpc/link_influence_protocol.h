@@ -35,6 +35,7 @@
 #include "graph/graph.h"
 #include "influence/link_influence.h"
 #include "mpc/secure_sum.h"
+#include "mpc/session.h"
 #include "net/network.h"
 
 namespace psi {
@@ -122,6 +123,21 @@ class LinkInfluenceProtocol {
                             Rng* pair_secret_rng,
                             const std::vector<const AggregatedClassCounters*>&
                                 extras = {});
+
+  /// \brief Runs the protocol as a checkpointed session (mpc/session.h): six
+  /// resumable stages (omega, counters, aggregate, masks, masked-shares,
+  /// recombine) under `retry`. A stage that fails — a provider crashed
+  /// mid-round, an unrepairable channel — is replayed from the last
+  /// checkpoint after a resume handshake, with all randomness rewound, so a
+  /// recovered run returns bitwise the fault-free result. `Run` is exactly
+  /// this with a single attempt. `stats_out` (optional) receives the
+  /// session's SessionStats.
+  [[nodiscard]] Result<LinkInfluence> RunSession(
+      const SocialGraph& host_graph, uint64_t num_actions_public,
+      const std::vector<ActionLog>& provider_logs, Rng* host_rng,
+      const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng,
+      const RetryPolicy& retry, SessionStats* stats_out = nullptr,
+      const std::vector<const AggregatedClassCounters*>& extras = {});
 
   const Protocol4Views& views() const { return views_; }
 

@@ -33,6 +33,16 @@ Result<std::vector<LinkInfluence>> MultiHostLinkInfluenceProtocol::Run(
     uint64_t num_actions_public, const std::vector<ActionLog>& provider_logs,
     const std::vector<Rng*>& host_rngs, const std::vector<Rng*>& provider_rngs,
     Rng* pair_secret_rng) {
+  return DrainOnError(
+      network_, RunImpl(host_graphs, num_actions_public, provider_logs,
+                        host_rngs, provider_rngs, pair_secret_rng));
+}
+
+Result<std::vector<LinkInfluence>> MultiHostLinkInfluenceProtocol::RunImpl(
+    const std::vector<const SocialGraph*>& host_graphs,
+    uint64_t num_actions_public, const std::vector<ActionLog>& provider_logs,
+    const std::vector<Rng*>& host_rngs, const std::vector<Rng*>& provider_rngs,
+    Rng* pair_secret_rng) {
   const size_t r = hosts_.size();
   const size_t m = providers_.size();
   if (r == 0) return Status::InvalidArgument("need at least one host");

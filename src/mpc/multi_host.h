@@ -54,6 +54,14 @@ class MultiHostLinkInfluenceProtocol {
   const std::vector<size_t>& omega_sizes() const { return omega_sizes_; }
 
  private:
+  // The protocol body; the public entry drains mailboxes on error.
+  [[nodiscard]] Result<std::vector<LinkInfluence>> RunImpl(
+      const std::vector<const SocialGraph*>& host_graphs,
+      uint64_t num_actions_public,
+      const std::vector<ActionLog>& provider_logs,
+      const std::vector<Rng*>& host_rngs,
+      const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng);
+
   Network* network_;
   std::vector<PartyId> hosts_;
   std::vector<PartyId> providers_;

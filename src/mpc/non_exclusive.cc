@@ -46,6 +46,18 @@ Result<LinkInfluence> NonExclusivePipeline::Run(
     const ActionClassConfig& class_config, Rng* host_rng,
     const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng,
     Rng* class_secret_rng) {
+  return DrainOnError(
+      network_, RunImpl(host_graph, num_actions_public, provider_logs,
+                        class_config, host_rng, provider_rngs, pair_secret_rng,
+                        class_secret_rng));
+}
+
+Result<LinkInfluence> NonExclusivePipeline::RunImpl(
+    const SocialGraph& host_graph, uint64_t num_actions_public,
+    const std::vector<ActionLog>& provider_logs,
+    const ActionClassConfig& class_config, Rng* host_rng,
+    const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng,
+    Rng* class_secret_rng) {
   const size_t m = providers_.size();
   PSI_RETURN_NOT_OK(class_config.Validate(m));
   if (provider_logs.size() != m) {

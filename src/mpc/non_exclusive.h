@@ -44,6 +44,14 @@ class NonExclusivePipeline {
                             Rng* pair_secret_rng, Rng* class_secret_rng);
 
  private:
+  // The pipeline body; the public entry drains mailboxes on error.
+  [[nodiscard]] Result<LinkInfluence> RunImpl(
+      const SocialGraph& host_graph, uint64_t num_actions_public,
+      const std::vector<ActionLog>& provider_logs,
+      const ActionClassConfig& class_config, Rng* host_rng,
+      const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng,
+      Rng* class_secret_rng);
+
   /// \brief An aggregator for class q: a player outside the group
   /// (preferring another provider, falling back to the host).
   PartyId PickAggregator(const std::vector<size_t>& group) const;

@@ -38,6 +38,15 @@ Result<LinkInfluence> PerfectHidingLinkInfluenceProtocol::Run(
     const SocialGraph& host_graph, uint64_t num_actions_public,
     const std::vector<ActionLog>& provider_logs, Rng* host_rng,
     const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng) {
+  return DrainOnError(
+      network_, RunImpl(host_graph, num_actions_public, provider_logs,
+                        host_rng, provider_rngs, pair_secret_rng));
+}
+
+Result<LinkInfluence> PerfectHidingLinkInfluenceProtocol::RunImpl(
+    const SocialGraph& host_graph, uint64_t num_actions_public,
+    const std::vector<ActionLog>& provider_logs, Rng* host_rng,
+    const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng) {
   const size_t m = providers_.size();
   const size_t n = host_graph.num_nodes();
   if (m < 2) return Status::InvalidArgument("need at least two providers");

@@ -53,6 +53,12 @@ class PerfectHidingLinkInfluenceProtocol {
                             Rng* pair_secret_rng);
 
  private:
+  // The protocol body; the public entry drains mailboxes on error.
+  [[nodiscard]] Result<LinkInfluence> RunImpl(
+      const SocialGraph& host_graph, uint64_t num_actions_public,
+      const std::vector<ActionLog>& provider_logs, Rng* host_rng,
+      const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng);
+
   Network* network_;
   PartyId host_;
   std::vector<PartyId> providers_;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/annotations.h"
 #include "common/serialize.h"
 #include "common/thread_pool.h"
 #include "crypto/packing.h"
@@ -21,6 +22,15 @@ constexpr uint16_t kStepPublicKey = 3;   // H -> P_k: RSA public key.
 constexpr uint16_t kStepDeltas = 4;      // P_k -> P1: E(Delta) bundles.
 constexpr uint16_t kStepAggregate = 10;  // P1 -> H: concatenated bundles.
 
+// SessionState keys of the checkpointed stage machine. The host's RSA
+// private key lives only in its durable state (and the in-memory keypair);
+// it never crosses the wire.
+constexpr char kKeyOmega[] = "omega";
+constexpr char kKeyPublicKey[] = "pubkey";
+constexpr char kKeyPrivateKey[] = "rsa-key";
+constexpr char kKeyPayload[] = "payload";
+constexpr char kKeyDeltas[] = "deltas";
+
 std::vector<uint8_t> PackPublicKey(const RsaPublicKey& key) {
   BinaryWriter w;
   WriteBigUInt(&w, key.n);
@@ -35,6 +45,37 @@ std::vector<uint8_t> PackPublicKey(const RsaPublicKey& key) {
   if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
   if (out->n.IsZero() || out->e.IsZero()) {
     return Status::ProtocolError("received a degenerate RSA public key");
+  }
+  return Status::OK();
+}
+
+// Checkpoint codec for the host's private key (CRT values included, so a
+// restarted host decrypts at full speed). Durable-storage only.
+std::vector<uint8_t> PackPrivateKey(const RsaPrivateKey& key) {
+  BinaryWriter w;
+  WriteBigUInt(&w, key.n);
+  WriteBigUInt(&w, key.d);
+  WriteBigUInt(&w, key.p);
+  WriteBigUInt(&w, key.q);
+  WriteBigUInt(&w, key.d_mod_p1);
+  WriteBigUInt(&w, key.d_mod_q1);
+  WriteBigUInt(&w, key.q_inv_p);
+  return w.TakeBuffer();
+}
+
+[[nodiscard]] Status UnpackPrivateKey(const std::vector<uint8_t>& buf,
+                                      RsaPrivateKey* out) {
+  BinaryReader r(buf);
+  PSI_RETURN_NOT_OK(ReadBigUInt(&r, &out->n));
+  PSI_RETURN_NOT_OK(ReadBigUInt(&r, &out->d));
+  PSI_RETURN_NOT_OK(ReadBigUInt(&r, &out->p));
+  PSI_RETURN_NOT_OK(ReadBigUInt(&r, &out->q));
+  PSI_RETURN_NOT_OK(ReadBigUInt(&r, &out->d_mod_p1));
+  PSI_RETURN_NOT_OK(ReadBigUInt(&r, &out->d_mod_q1));
+  PSI_RETURN_NOT_OK(ReadBigUInt(&r, &out->q_inv_p));
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
+  if (out->n.IsZero() || out->d.IsZero()) {
+    return Status::SerializationError("checkpointed RSA key is degenerate");
   }
   return Status::OK();
 }
@@ -55,11 +96,12 @@ constexpr uint8_t kModePacked = 2;
                               /*max_additions=*/1, /*pad_bits=*/64);
 }
 
+// `crypto_ops` accumulates RSA exponentiations for the session ledger.
 [[nodiscard]] Status EncryptDeltaVector(const RsaPublicKey& key,
                           Protocol6Config::EncryptionMode mode,
                           const PackingCodec* codec, uint64_t delta_bound,
                           uint32_t action, const std::vector<uint64_t>& delta,
-                          Rng* rng, BinaryWriter* w) {
+                          Rng* rng, BinaryWriter* w, uint64_t* crypto_ops) {
   w->WriteU32(action);
   if (mode == Protocol6Config::EncryptionMode::kPackedInteger) {
     // The bound is public but this provider's Deltas are not guaranteed to
@@ -91,6 +133,7 @@ constexpr uint8_t kModePacked = 2;
             return Status::OK();
           }));
       for (const BigUInt& c : cts) WriteBigUInt(w, c);
+      *crypto_ops += cts.size();
       return Status::OK();
     }
     mode = Protocol6Config::EncryptionMode::kPerInteger;
@@ -112,6 +155,7 @@ constexpr uint8_t kModePacked = 2;
       return Status::OK();
     }));
     for (const BigUInt& c : cts) WriteBigUInt(w, c);
+    *crypto_ops += cts.size();
   } else {
     w->WriteU8(kModeHybrid);
     BinaryWriter plain;
@@ -122,13 +166,14 @@ constexpr uint8_t kModePacked = 2;
     WriteBigUInt(w, ct.encapsulated_key);
     w->WriteBytes(ct.nonce);
     w->WriteBytes(ct.payload);
+    *crypto_ops += 1;  // one RSA-KEM exponentiation per vector
   }
   return Status::OK();
 }
 
 [[nodiscard]] Status DecryptDeltaVector(const RsaPrivateKey& key, const PackingCodec* codec,
                           BinaryReader* r, uint32_t* action,
-                          std::vector<uint64_t>* delta) {
+                          std::vector<uint64_t>* delta, uint64_t* crypto_ops) {
   PSI_RETURN_NOT_OK(r->ReadU32(action));
   uint8_t mode;
   PSI_RETURN_NOT_OK(r->ReadU8(&mode));
@@ -146,6 +191,7 @@ constexpr uint8_t kModePacked = 2;
       PSI_ASSIGN_OR_RETURN(plain[i], RsaDecrypt(key, cts[i]));
       return Status::OK();
     }));
+    *crypto_ops += num_ct;
     PSI_ASSIGN_OR_RETURN(*delta, codec->UnpackU64(plain, count));
     return Status::OK();
   }
@@ -161,12 +207,14 @@ constexpr uint8_t kModePacked = 2;
       PSI_ASSIGN_OR_RETURN((*delta)[i], (m >> 64).ToUint64());
       return Status::OK();
     }));
+    *crypto_ops += cts.size();
   } else if (mode == kModeHybrid) {
     HybridCiphertext ct;
     PSI_RETURN_NOT_OK(ReadBigUInt(r, &ct.encapsulated_key));
     PSI_RETURN_NOT_OK(r->ReadBytes(&ct.nonce));
     PSI_RETURN_NOT_OK(r->ReadBytes(&ct.payload));
     PSI_ASSIGN_OR_RETURN(auto plain, HybridDecrypt(key, ct));
+    *crypto_ops += 1;
     BinaryReader pr(plain);
     uint64_t count;
     PSI_RETURN_NOT_OK(pr.ReadCount(&count));
@@ -192,163 +240,251 @@ Result<Protocol6Output> PropagationGraphProtocol::Run(
     const SocialGraph& host_graph, size_t num_actions,
     const std::vector<ActionLog>& provider_logs, Rng* host_rng,
     const std::vector<Rng*>& provider_rngs) {
+  RetryPolicy single_attempt;
+  single_attempt.max_attempts = 1;
+  return RunSession(host_graph, num_actions, provider_logs, host_rng,
+                    provider_rngs, single_attempt, /*stats_out=*/nullptr);
+}
+
+Result<Protocol6Output> PropagationGraphProtocol::RunSession(
+    const SocialGraph& host_graph, size_t num_actions,
+    const std::vector<ActionLog>& provider_logs, Rng* host_rng,
+    const std::vector<Rng*>& provider_rngs, const RetryPolicy& retry,
+    SessionStats* stats_out) {
   const size_t m = providers_.size();
+  const size_t n = host_graph.num_nodes();
   if (m < 2) return Status::InvalidArgument("Protocol 6 needs >= 2 providers");
   if (provider_logs.size() != m || provider_rngs.size() != m) {
     return Status::InvalidArgument("one log and rng per provider");
   }
 
+  std::vector<PartyId> parties;
+  parties.reserve(m + 1);
+  parties.push_back(host_);
+  parties.insert(parties.end(), providers_.begin(), providers_.end());
+  ProtocolSession session("p6", network_, std::move(parties));
+  session.RegisterRng("host", host_rng);
+  for (size_t k = 0; k < m; ++k) {
+    session.RegisterRng("provider" + std::to_string(k), provider_rngs[k]);
+  }
+
   // ---- Steps 1-2: H publishes Omega_E'. ----
-  PSI_ASSIGN_OR_RETURN(
-      std::vector<Arc> omega,
-      ObfuscateArcSet(host_rng, host_graph, config_.obfuscation_factor));
-  views_.omega = omega;
-  const size_t q = omega.size();
-
-  network_->BeginRound("P6.Step2 (H -> P_k: Omega_E')");
-  auto packed_omega = wire::PackArcs(omega);
-  for (size_t k = 0; k < m; ++k) {
-    PSI_RETURN_NOT_OK(network_->SendFramed(host_, providers_[k],
-                                           ProtocolId::kPropagationGraph,
-                                           kStepOmega, packed_omega));
-  }
-  const size_t n = host_graph.num_nodes();
-  std::vector<std::vector<Arc>> provider_omega(m);
-  for (size_t k = 0; k < m; ++k) {
+  session.AddStage("omega", [&, this]() -> Status {
     PSI_ASSIGN_OR_RETURN(
-        auto buf, network_->RecvValidated(providers_[k], host_,
-                                          ProtocolId::kPropagationGraph,
-                                          kStepOmega));
-    PSI_RETURN_NOT_OK(wire::UnpackArcs(buf, &provider_omega[k]));
-    for (const Arc& a : provider_omega[k]) {
-      if (a.from >= n || a.to >= n) {
-        return Status::ProtocolError("Omega_E' arc endpoint out of range");
-      }
+        std::vector<Arc> omega,
+        ObfuscateArcSet(host_rng, host_graph, config_.obfuscation_factor));
+    views_.omega = omega;
+
+    network_->BeginRound("P6.Step2 (H -> P_k: Omega_E')");
+    auto packed_omega = wire::PackArcs(omega);
+    for (size_t k = 0; k < m; ++k) {
+      PSI_RETURN_NOT_OK(network_->SendFramed(host_, providers_[k],
+                                             ProtocolId::kPropagationGraph,
+                                             kStepOmega, packed_omega));
     }
-  }
-
-  // ---- Step 3: H publishes its public key. ----
-  PSI_ASSIGN_OR_RETURN(RsaKeyPair keys,
-                       RsaGenerateKeyPair(host_rng, config_.rsa_bits));
-  network_->BeginRound("P6.Step3 (H -> P_k: public key)");
-  auto packed_key = PackPublicKey(keys.public_key);
-  for (size_t k = 0; k < m; ++k) {
-    PSI_RETURN_NOT_OK(network_->SendFramed(host_, providers_[k],
-                                           ProtocolId::kPropagationGraph,
-                                           kStepPublicKey, packed_key));
-  }
-  std::vector<RsaPublicKey> provider_keys(m);
-  for (size_t k = 0; k < m; ++k) {
-    PSI_ASSIGN_OR_RETURN(
-        auto buf, network_->RecvValidated(providers_[k], host_,
-                                          ProtocolId::kPropagationGraph,
-                                          kStepPublicKey));
-    PSI_RETURN_NOT_OK(UnpackPublicKey(buf, &provider_keys[k]));
-  }
-
-  // Packed geometry, derived by every party from the published modulus and
-  // the public Delta bound. When no whole slot fits the key the whole run
-  // downgrades to per-integer ciphertexts (codec stays null).
-  std::optional<PackingCodec> codec;
-  if (config_.encryption == Protocol6Config::EncryptionMode::kPackedInteger) {
-    auto codec_or =
-        DeltaPackingCodec(keys.public_key.n, config_.packed_delta_bound);
-    if (codec_or.ok()) codec = *codec_or;
-  }
-  const PackingCodec* codec_ptr = codec.has_value() ? &*codec : nullptr;
-
-  // ---- Steps 4-9: providers encrypt their Delta vectors, route via P1. ----
-  network_->BeginRound("P6.Steps4-9 (P_k -> P_1: E(Delta))");
-  std::vector<std::vector<uint8_t>> provider_payloads(m);
-  for (size_t k = 0; k < m; ++k) {
-    BinaryWriter w;
-    // Actions controlled by provider k: those appearing in its log
-    // (exclusive case).
-    std::unordered_set<ActionId> owned;
-    for (const auto& rec : provider_logs[k].records()) {
-      owned.insert(rec.action);
-    }
-    std::vector<ActionId> owned_sorted(owned.begin(), owned.end());
-    std::sort(owned_sorted.begin(), owned_sorted.end());
-    w.WriteVarU64(owned_sorted.size());
-    for (ActionId action : owned_sorted) {
-      std::vector<uint64_t> delta(provider_omega[k].size(), 0);
-      for (size_t p = 0; p < provider_omega[k].size(); ++p) {
-        const Arc& arc = provider_omega[k][p];
-        uint64_t ti, tj;
-        if (provider_logs[k].Lookup(arc.from, action, &ti) &&
-            provider_logs[k].Lookup(arc.to, action, &tj) && tj > ti) {
-          delta[p] = tj - ti;
+    session.PartyState(host_).Put(kKeyOmega, packed_omega);
+    for (size_t k = 0; k < m; ++k) {
+      PSI_ASSIGN_OR_RETURN(
+          auto buf, network_->RecvValidated(providers_[k], host_,
+                                            ProtocolId::kPropagationGraph,
+                                            kStepOmega));
+      std::vector<Arc> provider_omega;
+      PSI_RETURN_NOT_OK(wire::UnpackArcs(buf, &provider_omega));
+      for (const Arc& a : provider_omega) {
+        if (a.from >= n || a.to >= n) {
+          return Status::ProtocolError("Omega_E' arc endpoint out of range");
         }
       }
-      PSI_RETURN_NOT_OK(EncryptDeltaVector(
-          provider_keys[k], config_.encryption, codec_ptr,
-          config_.packed_delta_bound, action, delta, provider_rngs[k], &w));
+      session.PartyState(providers_[k]).Put(kKeyOmega, std::move(buf));
     }
-    provider_payloads[k] = w.TakeBuffer();
-    if (k != 0) {
+    return Status::OK();
+  });
+
+  // ---- Step 3: H generates a key pair and publishes its public half. ----
+  session.AddStage("keygen", [&, this]() -> Status {
+    PSI_ASSIGN_OR_RETURN(RsaKeyPair keys,
+                         RsaGenerateKeyPair(host_rng, config_.rsa_bits));
+    session.MeterCryptoOps(1);  // key generation
+    session.PartyState(host_).Put(kKeyPrivateKey,
+                                  PackPrivateKey(keys.private_key));
+    network_->BeginRound("P6.Step3 (H -> P_k: public key)");
+    auto packed_key = PackPublicKey(keys.public_key);
+    for (size_t k = 0; k < m; ++k) {
+      PSI_RETURN_NOT_OK(network_->SendFramed(host_, providers_[k],
+                                             ProtocolId::kPropagationGraph,
+                                             kStepPublicKey, packed_key));
+    }
+    for (size_t k = 0; k < m; ++k) {
+      PSI_ASSIGN_OR_RETURN(
+          auto buf, network_->RecvValidated(providers_[k], host_,
+                                            ProtocolId::kPropagationGraph,
+                                            kStepPublicKey));
+      RsaPublicKey pub;
+      PSI_RETURN_NOT_OK(UnpackPublicKey(buf, &pub));
+      session.PartyState(providers_[k]).Put(kKeyPublicKey, std::move(buf));
+    }
+    return Status::OK();
+  });
+
+  // ---- Steps 4-8 (local): providers encrypt their Delta vectors. ----
+  session.AddStage("encrypt", [&, this]() -> Status {
+    uint64_t ops = 0;
+    for (size_t k = 0; k < m; ++k) {
+      std::vector<Arc> provider_omega;
+      {
+        PSI_ASSIGN_OR_RETURN(auto buf,
+                             session.PartyState(providers_[k]).Get(kKeyOmega));
+        PSI_RETURN_NOT_OK(wire::UnpackArcs(buf, &provider_omega));
+      }
+      RsaPublicKey pub;
+      {
+        PSI_ASSIGN_OR_RETURN(
+            auto buf, session.PartyState(providers_[k]).Get(kKeyPublicKey));
+        PSI_RETURN_NOT_OK(UnpackPublicKey(buf, &pub));
+      }
+      // Packed geometry, derived by every party from the published modulus
+      // and the public Delta bound. When no whole slot fits the key the
+      // whole run downgrades to per-integer ciphertexts (codec stays null).
+      std::optional<PackingCodec> codec;
+      if (config_.encryption ==
+          Protocol6Config::EncryptionMode::kPackedInteger) {
+        auto codec_or = DeltaPackingCodec(pub.n, config_.packed_delta_bound);
+        if (codec_or.ok()) codec = *codec_or;
+      }
+      const PackingCodec* codec_ptr = codec.has_value() ? &*codec : nullptr;
+
+      BinaryWriter w;
+      // Actions controlled by provider k: those appearing in its log
+      // (exclusive case).
+      std::unordered_set<ActionId> owned;
+      for (const auto& rec : provider_logs[k].records()) {
+        owned.insert(rec.action);
+      }
+      std::vector<ActionId> owned_sorted(owned.begin(), owned.end());
+      std::sort(owned_sorted.begin(), owned_sorted.end());
+      w.WriteVarU64(owned_sorted.size());
+      for (ActionId action : owned_sorted) {
+        std::vector<uint64_t> delta(provider_omega.size(), 0);
+        for (size_t p = 0; p < provider_omega.size(); ++p) {
+          const Arc& arc = provider_omega[p];
+          uint64_t ti, tj;
+          if (provider_logs[k].Lookup(arc.from, action, &ti) &&
+              provider_logs[k].Lookup(arc.to, action, &tj) && tj > ti) {
+            delta[p] = tj - ti;
+          }
+        }
+        PSI_RETURN_NOT_OK(EncryptDeltaVector(
+            pub, config_.encryption, codec_ptr, config_.packed_delta_bound,
+            action, delta, provider_rngs[k], &w, &ops));
+      }
+      session.PartyState(providers_[k]).Put(kKeyPayload, w.TakeBuffer());
+    }
+    session.MeterCryptoOps(ops);
+    return Status::OK();
+  });
+
+  // ---- Steps 4-10 (wire): bundles route via P1, who sees only bytes. ----
+  session.AddStage("relay", [&, this]() -> Status {
+    network_->BeginRound("P6.Steps4-9 (P_k -> P_1: E(Delta))");
+    for (size_t k = 1; k < m; ++k) {
+      PSI_ASSIGN_OR_RETURN(auto payload,
+                           session.PartyState(providers_[k]).Get(kKeyPayload));
       PSI_RETURN_NOT_OK(network_->SendFramed(providers_[k], providers_[0],
                                              ProtocolId::kPropagationGraph,
-                                             kStepDeltas,
-                                             provider_payloads[k]));
+                                             kStepDeltas, payload));
     }
-  }
-
-  // P1 collects and forwards; it sees only ciphertext bytes.
-  std::vector<uint8_t> aggregate = provider_payloads[0];
-  for (size_t k = 1; k < m; ++k) {
+    // P1 collects and forwards. Reset the relay counters so a replayed
+    // stage observes the same totals as the fault-free run.
+    views_.p1_relayed_bytes = 0;
+    PSI_ASSIGN_OR_RETURN(std::vector<uint8_t> aggregate,
+                         session.PartyState(providers_[0]).Get(kKeyPayload));
+    for (size_t k = 1; k < m; ++k) {
+      PSI_ASSIGN_OR_RETURN(
+          auto buf, network_->RecvValidated(providers_[0], providers_[k],
+                                            ProtocolId::kPropagationGraph,
+                                            kStepDeltas));
+      views_.p1_relayed_bytes += buf.size();
+      aggregate.insert(aggregate.end(), buf.begin(), buf.end());
+    }
+    network_->BeginRound("P6.Step10 (P_1 -> H: all E(Delta))");
+    PSI_RETURN_NOT_OK(network_->SendFramed(providers_[0], host_,
+                                           ProtocolId::kPropagationGraph,
+                                           kStepAggregate, aggregate));
     PSI_ASSIGN_OR_RETURN(
-        auto buf, network_->RecvValidated(providers_[0], providers_[k],
+        auto all, network_->RecvValidated(host_, providers_[0],
                                           ProtocolId::kPropagationGraph,
-                                          kStepDeltas));
-    views_.p1_relayed_bytes += buf.size();
-    aggregate.insert(aggregate.end(), buf.begin(), buf.end());
-  }
-  network_->BeginRound("P6.Step10 (P_1 -> H: all E(Delta))");
-  PSI_RETURN_NOT_OK(network_->SendFramed(providers_[0], host_,
-                                         ProtocolId::kPropagationGraph,
-                                         kStepAggregate, aggregate));
+                                          kStepAggregate));
+    session.PartyState(host_).Put(kKeyDeltas, std::move(all));
+    return Status::OK();
+  });
 
-  // ---- Steps 11-12: H decrypts and assembles the PG(alpha). ----
-  PSI_ASSIGN_OR_RETURN(
-      auto all, network_->RecvValidated(host_, providers_[0],
-                                        ProtocolId::kPropagationGraph,
-                                        kStepAggregate));
-  BinaryReader reader(all);
-
+  // ---- Steps 11-12 (local at H): decrypt and assemble the PG(alpha). ----
   Protocol6Output out;
-  out.graphs.assign(num_actions, PropagationGraph(host_graph.num_nodes()));
-  size_t providers_read = 0;
-  while (providers_read < m) {
-    uint64_t action_count;
-    // Each action entry is at least 5 bytes (action id + mode byte).
-    PSI_RETURN_NOT_OK(reader.ReadCount(&action_count,
-                                       /*min_bytes_per_element=*/5));
-    for (uint64_t i = 0; i < action_count; ++i) {
-      uint32_t action;
-      std::vector<uint64_t> delta;
-      PSI_RETURN_NOT_OK(DecryptDeltaVector(keys.private_key, codec_ptr,
-                                           &reader, &action, &delta));
-      ++views_.p1_relayed_ciphertexts;
-      if (action >= num_actions) {
-        return Status::ProtocolError("action id out of declared range");
-      }
-      if (delta.size() != q) {
-        return Status::ProtocolError("Delta vector length mismatch");
-      }
-      for (size_t p = 0; p < q; ++p) {
-        // Only genuine arcs of E become PG arcs; decoys are discarded.
-        if (delta[p] > 0 && host_graph.HasArc(omega[p].from, omega[p].to)) {
-          PSI_RETURN_NOT_OK(
-              out.graphs[action].AddArc(omega[p].from, omega[p].to, delta[p]));
+  session.AddStage("decode", [&, this]() -> Status {
+    RsaPrivateKey priv;
+    {
+      PSI_ASSIGN_OR_RETURN(auto buf,
+                           session.PartyState(host_).Get(kKeyPrivateKey));
+      PSI_RETURN_NOT_OK(UnpackPrivateKey(buf, &priv));
+    }
+    std::vector<Arc> omega;
+    {
+      PSI_ASSIGN_OR_RETURN(auto buf, session.PartyState(host_).Get(kKeyOmega));
+      PSI_RETURN_NOT_OK(wire::UnpackArcs(buf, &omega));
+    }
+    const size_t q = omega.size();
+    std::optional<PackingCodec> codec;
+    if (config_.encryption ==
+        Protocol6Config::EncryptionMode::kPackedInteger) {
+      auto codec_or = DeltaPackingCodec(priv.n, config_.packed_delta_bound);
+      if (codec_or.ok()) codec = *codec_or;
+    }
+    const PackingCodec* codec_ptr = codec.has_value() ? &*codec : nullptr;
+
+    PSI_ASSIGN_OR_RETURN(auto all, session.PartyState(host_).Get(kKeyDeltas));
+    BinaryReader reader(all);
+    out.graphs.assign(num_actions, PropagationGraph(host_graph.num_nodes()));
+    views_.p1_relayed_ciphertexts = 0;
+    uint64_t ops = 0;
+    size_t providers_read = 0;
+    while (providers_read < m) {
+      uint64_t action_count;
+      // Each action entry is at least 5 bytes (action id + mode byte).
+      PSI_RETURN_NOT_OK(reader.ReadCount(&action_count,
+                                         /*min_bytes_per_element=*/5));
+      for (uint64_t i = 0; i < action_count; ++i) {
+        uint32_t action;
+        std::vector<uint64_t> delta;
+        PSI_RETURN_NOT_OK(DecryptDeltaVector(priv, codec_ptr, &reader,
+                                             &action, &delta, &ops));
+        ++views_.p1_relayed_ciphertexts;
+        if (action >= num_actions) {
+          return Status::ProtocolError("action id out of declared range");
+        }
+        if (delta.size() != q) {
+          return Status::ProtocolError("Delta vector length mismatch");
+        }
+        for (size_t p = 0; p < q; ++p) {
+          // Only genuine arcs of E become PG arcs; decoys are discarded.
+          if (delta[p] > 0 && host_graph.HasArc(omega[p].from, omega[p].to)) {
+            PSI_RETURN_NOT_OK(out.graphs[action].AddArc(
+                omega[p].from, omega[p].to, delta[p]));
+          }
         }
       }
+      ++providers_read;
     }
-    ++providers_read;
-  }
-  if (!reader.AtEnd()) {
-    return Status::ProtocolError("trailing bytes in aggregated payload");
-  }
+    session.MeterCryptoOps(ops);
+    if (!reader.AtEnd()) {
+      return Status::ProtocolError("trailing bytes in aggregated payload");
+    }
+    return Status::OK();
+  });
+
+  SessionOrchestrator orchestrator(retry);
+  Status run = orchestrator.Run(&session);
+  if (stats_out != nullptr) *stats_out = orchestrator.stats();
+  PSI_RETURN_NOT_OK(run);
   return out;
 }
 

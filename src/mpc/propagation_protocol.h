@@ -34,6 +34,7 @@
 #include "crypto/rsa.h"
 #include "graph/graph.h"
 #include "graph/propagation_graph.h"
+#include "mpc/session.h"
 #include "net/network.h"
 
 namespace psi {
@@ -79,6 +80,19 @@ class PropagationGraphProtocol {
                               const std::vector<ActionLog>& provider_logs,
                               Rng* host_rng,
                               const std::vector<Rng*>& provider_rngs);
+
+  /// \brief Runs the protocol as a checkpointed session (mpc/session.h):
+  /// five resumable stages (omega, keygen, encrypt, relay, decode) under
+  /// `retry`. The host's RSA private key checkpoints into its durable
+  /// SessionState (never the wire), so a crash-restarted run decrypts with
+  /// the original key and converges bitwise to the fault-free output. `Run`
+  /// is exactly this with a single attempt. `stats_out` (optional) receives
+  /// the session's SessionStats.
+  [[nodiscard]] Result<Protocol6Output> RunSession(
+      const SocialGraph& host_graph, size_t num_actions,
+      const std::vector<ActionLog>& provider_logs, Rng* host_rng,
+      const std::vector<Rng*>& provider_rngs, const RetryPolicy& retry,
+      SessionStats* stats_out = nullptr);
 
   const Protocol6Views& views() const { return views_; }
 

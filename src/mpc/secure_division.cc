@@ -8,6 +8,12 @@ namespace psi {
 Result<double> SecureDivisionProtocol::Run(uint64_t a1, uint64_t a2, Rng* rng1,
                                            Rng* rng2,
                                            const std::string& label_prefix) {
+  return DrainOnError(network_, RunImpl(a1, a2, rng1, rng2, label_prefix));
+}
+
+Result<double> SecureDivisionProtocol::RunImpl(
+    uint64_t a1, uint64_t a2, Rng* rng1, Rng* rng2,
+    const std::string& label_prefix) {
   // Steps 1-2: joint M ~ Z, then joint r ~ U(0, M).
   PSI_ASSIGN_OR_RETURN(
       auto u_m, JointUniformBatch(network_, p1_, p2_, 1, rng1, rng2,

@@ -37,6 +37,11 @@ class SecureDivisionProtocol {
   const SecureDivisionViews& views() const { return views_; }
 
  private:
+  // The protocol body; the public entry drains mailboxes on error.
+  [[nodiscard]] Result<double> RunImpl(uint64_t a1, uint64_t a2, Rng* rng1,
+                                       Rng* rng2,
+                                       const std::string& label_prefix);
+
   Network* network_;
   PartyId p1_;
   PartyId p2_;

@@ -124,6 +124,22 @@ Status SecureSumProtocol::ValidateInputs(
 Result<BatchedModularShares> SecureSumProtocol::RunProtocol1(
     const std::vector<std::vector<uint64_t>>& inputs,
     const std::vector<Rng*>& player_rngs, const std::string& label_prefix) {
+  return DrainOnError(network_,
+                      RunProtocol1Impl(inputs, player_rngs, label_prefix));
+}
+
+Result<BatchedIntegerShares> SecureSumProtocol::RunProtocol2(
+    const std::vector<std::vector<uint64_t>>& inputs,
+    const std::vector<Rng*>& player_rngs, Rng* pair_secret_rng,
+    const std::string& label_prefix) {
+  return DrainOnError(network_,
+                      RunProtocol2Impl(inputs, player_rngs, pair_secret_rng,
+                                       label_prefix));
+}
+
+Result<BatchedModularShares> SecureSumProtocol::RunProtocol1Impl(
+    const std::vector<std::vector<uint64_t>>& inputs,
+    const std::vector<Rng*>& player_rngs, const std::string& label_prefix) {
   PSI_RETURN_NOT_OK(ValidateInputs(inputs, player_rngs));
   const size_t m = players_.size();
   const size_t count = inputs[0].size();
@@ -210,12 +226,12 @@ Result<BatchedModularShares> SecureSumProtocol::RunProtocol1(
   return out;
 }
 
-Result<BatchedIntegerShares> SecureSumProtocol::RunProtocol2(
+Result<BatchedIntegerShares> SecureSumProtocol::RunProtocol2Impl(
     const std::vector<std::vector<uint64_t>>& inputs,
     const std::vector<Rng*>& player_rngs, Rng* pair_secret_rng,
     const std::string& label_prefix) {
   PSI_ASSIGN_OR_RETURN(BatchedModularShares mod_shares,
-                       RunProtocol1(inputs, player_rngs, label_prefix));
+                       RunProtocol1Impl(inputs, player_rngs, label_prefix));
   const size_t count = mod_shares.s1.size();
   const BigUInt& S = config_.modulus_s;
   const BigUInt r_bound = S - config_.input_bound_a;  // r in [0, S-A-1].

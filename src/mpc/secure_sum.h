@@ -85,6 +85,15 @@ class SecureSumProtocol {
   const SecureSumViews& views() const { return views_; }
 
  private:
+  // The protocol bodies; the public entries drain mailboxes on error.
+  [[nodiscard]] Result<BatchedModularShares> RunProtocol1Impl(
+      const std::vector<std::vector<uint64_t>>& inputs,
+      const std::vector<Rng*>& player_rngs, const std::string& label_prefix);
+  [[nodiscard]] Result<BatchedIntegerShares> RunProtocol2Impl(
+      const std::vector<std::vector<uint64_t>>& inputs,
+      const std::vector<Rng*>& player_rngs, Rng* pair_secret_rng,
+      const std::string& label_prefix);
+
   [[nodiscard]] Status ValidateInputs(const std::vector<std::vector<uint64_t>>& inputs,
                         const std::vector<Rng*>& player_rngs) const;
 

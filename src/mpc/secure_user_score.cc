@@ -25,6 +25,15 @@ Result<std::vector<double>> SecureUserScoreProtocol::Run(
     const SocialGraph& host_graph, size_t num_actions,
     const std::vector<ActionLog>& provider_logs, Rng* host_rng,
     const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng) {
+  return DrainOnError(network_,
+                      RunImpl(host_graph, num_actions, provider_logs, host_rng,
+                              provider_rngs, pair_secret_rng));
+}
+
+Result<std::vector<double>> SecureUserScoreProtocol::RunImpl(
+    const SocialGraph& host_graph, size_t num_actions,
+    const std::vector<ActionLog>& provider_logs, Rng* host_rng,
+    const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng) {
   const size_t m = providers_.size();
   const size_t n = host_graph.num_nodes();
   if (m < 2) return Status::InvalidArgument("pipeline needs >= 2 providers");

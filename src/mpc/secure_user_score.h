@@ -57,6 +57,12 @@ class SecureUserScoreProtocol {
   const Protocol6Views& protocol6_views() const { return p6_views_; }
 
  private:
+  // The pipeline body; the public entry drains mailboxes on error.
+  [[nodiscard]] Result<std::vector<double>> RunImpl(
+      const SocialGraph& host_graph, size_t num_actions,
+      const std::vector<ActionLog>& provider_logs, Rng* host_rng,
+      const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng);
+
   Network* network_;
   PartyId host_;
   std::vector<PartyId> providers_;

@@ -34,6 +34,18 @@ Result<SegmentedLinkInfluence> SegmentedInfluenceProtocol::Run(
     const std::vector<uint32_t>& segment_of_action, uint32_t num_segments,
     Rng* host_rng, const std::vector<Rng*>& provider_rngs,
     Rng* pair_secret_rng) {
+  return DrainOnError(
+      network_, RunImpl(host_graph, num_actions_public, provider_logs,
+                        segment_of_action, num_segments, host_rng,
+                        provider_rngs, pair_secret_rng));
+}
+
+Result<SegmentedLinkInfluence> SegmentedInfluenceProtocol::RunImpl(
+    const SocialGraph& host_graph, uint64_t num_actions_public,
+    const std::vector<ActionLog>& provider_logs,
+    const std::vector<uint32_t>& segment_of_action, uint32_t num_segments,
+    Rng* host_rng, const std::vector<Rng*>& provider_rngs,
+    Rng* pair_secret_rng) {
   const size_t m = providers_.size();
   const size_t n = host_graph.num_nodes();
   const size_t g_count = num_segments;

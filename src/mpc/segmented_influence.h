@@ -46,6 +46,14 @@ class SegmentedInfluenceProtocol {
       Rng* pair_secret_rng);
 
  private:
+  // The protocol body; the public entry drains mailboxes on error.
+  [[nodiscard]] Result<SegmentedLinkInfluence> RunImpl(
+      const SocialGraph& host_graph, uint64_t num_actions_public,
+      const std::vector<ActionLog>& provider_logs,
+      const std::vector<uint32_t>& segment_of_action, uint32_t num_segments,
+      Rng* host_rng, const std::vector<Rng*>& provider_rngs,
+      Rng* pair_secret_rng);
+
   Network* network_;
   PartyId host_;
   std::vector<PartyId> providers_;

@@ -1,0 +1,323 @@
+#include "mpc/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace psi {
+
+// -- SessionState -----------------------------------------------------------
+
+void SessionState::Put(const std::string& key, std::vector<uint8_t> value) {
+  entries_[key] = std::move(value);
+}
+
+bool SessionState::Has(const std::string& key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+Result<std::vector<uint8_t>> SessionState::Get(const std::string& key) const {
+  auto it = entries_.find(key);
+  // psi-lint: allow(secret-flow) only key presence branches, never a value
+  if (it == entries_.end()) {
+    return Status::FailedPrecondition("SessionState: no entry under key '" +
+                                      key + "'");
+  }
+  return it->second;
+}
+
+void SessionState::Clear() { entries_.clear(); }
+
+size_t SessionState::NumEntries() const { return entries_.size(); }
+
+uint64_t SessionState::ByteSize() const {
+  uint64_t total = 0;
+  for (const auto& [key, value] : entries_) {
+    total += key.size() + value.size();
+  }
+  return total;
+}
+
+std::vector<uint8_t> SessionState::Serialize() const {
+  BinaryWriter w;
+  w.Reserve(16 + ByteSize());
+  w.WriteU32(kSessionStateVersion);
+  w.WriteVarU64(entries_.size());
+  for (const auto& [key, value] : entries_) {
+    w.WriteString(key);
+    w.WriteBytes(value);
+  }
+  return w.TakeBuffer();
+}
+
+Result<SessionState> SessionState::Deserialize(
+    const std::vector<uint8_t>& buf) {
+  BinaryReader r(buf);
+  uint32_t version = 0;
+  PSI_RETURN_NOT_OK(r.ReadU32(&version));
+  if (version != kSessionStateVersion) {
+    return Status::SerializationError(
+        "SessionState: unsupported version " + std::to_string(version) +
+        " (want " + std::to_string(kSessionStateVersion) + ")");
+  }
+  uint64_t count = 0;
+  // An entry is at least a 1-byte key length plus a 1-byte value length.
+  PSI_RETURN_NOT_OK(r.ReadCount(&count, /*min_bytes_per_element=*/2));
+  SessionState state;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    std::vector<uint8_t> value;
+    PSI_RETURN_NOT_OK(r.ReadString(&key));
+    PSI_RETURN_NOT_OK(r.ReadBytes(&value));
+    const bool inserted =
+        state.entries_.emplace(std::move(key), std::move(value)).second;
+    if (!inserted) {
+      return Status::SerializationError("SessionState: duplicate key");
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::SerializationError("SessionState: trailing bytes");
+  }
+  return state;
+}
+
+// -- ProtocolSession --------------------------------------------------------
+
+ProtocolSession::ProtocolSession(std::string name, Network* network,
+                                 std::vector<PartyId> parties)
+    : name_(std::move(name)),
+      network_(network),
+      parties_(std::move(parties)) {}
+
+void ProtocolSession::AddStage(std::string stage_name, StageBody body) {
+  stage_names_.push_back(std::move(stage_name));
+  stage_bodies_.push_back(std::move(body));
+}
+
+void ProtocolSession::RegisterRng(std::string label, Rng* rng) {
+  rng_labels_.push_back(std::move(label));
+  rngs_.push_back(rng);
+}
+
+SessionState& ProtocolSession::PartyState(PartyId party) {
+  return states_[party];
+}
+
+void ProtocolSession::MeterCryptoOps(uint64_t ops) {
+  current_stage_ops_ += ops;
+}
+
+// -- SessionOrchestrator ----------------------------------------------------
+
+SessionOrchestrator::Checkpoint SessionOrchestrator::Capture(
+    ProtocolSession& session, uint32_t stages_completed,
+    std::vector<uint64_t> stage_ops) {
+  Checkpoint cp;
+  cp.stages_completed = stages_completed;
+  cp.stage_ops = std::move(stage_ops);
+  for (PartyId party : session.parties_) {
+    cp.party_blobs.emplace_back(party, session.PartyState(party).Serialize());
+  }
+  for (Rng* rng : session.rngs_) {
+    cp.rng_blobs.push_back(rng->SaveState());
+  }
+  return cp;
+}
+
+Status SessionOrchestrator::Restore(ProtocolSession& session,
+                                    const Checkpoint& checkpoint) {
+  for (const auto& [party, blob] : checkpoint.party_blobs) {
+    PSI_ASSIGN_OR_RETURN(session.states_[party],
+                         SessionState::Deserialize(blob));
+  }
+  // psi-lint: allow(secret-flow) branches on the snapshot count, not content
+  if (checkpoint.rng_blobs.size() != session.rngs_.size()) {
+    return Status::Internal(
+        "session checkpoint snapshots " +
+        std::to_string(checkpoint.rng_blobs.size()) + " RNG stream(s) but " +
+        std::to_string(session.rngs_.size()) + " are registered");
+  }
+  for (size_t i = 0; i < session.rngs_.size(); ++i) {
+    PSI_RETURN_NOT_OK(session.rngs_[i]->LoadState(checkpoint.rng_blobs[i]));
+  }
+  return Status::OK();
+}
+
+Status SessionOrchestrator::ResumeHandshake(ProtocolSession& session,
+                                            uint32_t attempt,
+                                            uint32_t next_stage) {
+  Network* net = session.network_;
+  net->BeginRound("session." + session.name_ + ".resume (attempt " +
+                  std::to_string(attempt) + ")");
+  // Every frame still in a mailbox belongs to the failed attempt (including
+  // fault-delayed frames the BeginRound above just flushed): drop them all,
+  // then jump each channel's expected sequence number past anything the
+  // failed attempt ever sent. Replayed stages then start on clean channels,
+  // and any straggler that surfaces later is a stale duplicate RecvValidated
+  // discards for free.
+  for (PartyId party : session.parties_) {
+    (void)net->Drain(party);
+  }
+  const std::vector<PartyId>& members = session.parties_;
+  for (PartyId from : members) {
+    for (PartyId to : members) {
+      if (from != to) net->ResyncChannel(from, to);
+    }
+  }
+  const TrafficReport before = net->Report();
+  BinaryWriter w;
+  w.WriteU32(attempt);
+  w.WriteU32(next_stage);
+  const std::vector<uint8_t> sync = w.TakeBuffer();
+  for (PartyId from : members) {
+    for (PartyId to : members) {
+      if (from == to) continue;
+      PSI_RETURN_NOT_OK(net->SendFramed(from, to, ProtocolId::kSession,
+                                        kSessionStepResumeSync, sync));
+    }
+  }
+  for (PartyId from : members) {
+    for (PartyId to : members) {
+      if (from == to) continue;
+      PSI_ASSIGN_OR_RETURN(
+          const std::vector<uint8_t> echo,
+          net->RecvValidated(to, from, ProtocolId::kSession,
+                             kSessionStepResumeSync));
+      BinaryReader r(echo);
+      uint32_t peer_attempt = 0;
+      uint32_t peer_stage = 0;
+      PSI_RETURN_NOT_OK(r.ReadU32(&peer_attempt));
+      PSI_RETURN_NOT_OK(r.ReadU32(&peer_stage));
+      if (!r.AtEnd()) {
+        return Status::SerializationError(
+            "resume sync frame has trailing bytes");
+      }
+      if (peer_attempt != attempt || peer_stage != next_stage) {
+        return Status::ProtocolError(
+            "resume handshake mismatch on " + net->party_name(from) + " -> " +
+            net->party_name(to) + ": peer is at attempt " +
+            std::to_string(peer_attempt) + " stage " +
+            std::to_string(peer_stage) + ", expected attempt " +
+            std::to_string(attempt) + " stage " + std::to_string(next_stage));
+      }
+    }
+  }
+  const TrafficReport after = net->Report();
+  stats_.handshake_messages += after.num_messages - before.num_messages;
+  stats_.handshake_bytes += after.num_bytes - before.num_bytes;
+  return Status::OK();
+}
+
+Status SessionOrchestrator::Run(ProtocolSession* session) {
+  if (session == nullptr || session->network_ == nullptr) {
+    return Status::InvalidArgument(
+        "SessionOrchestrator: session and network must be non-null");
+  }
+  if (session->stage_bodies_.empty()) {
+    return Status::InvalidArgument("SessionOrchestrator: session '" +
+                                   session->name_ + "' has no stages");
+  }
+  if (session->parties_.size() < 2) {
+    return Status::InvalidArgument(
+        "SessionOrchestrator: a session needs at least 2 parties");
+  }
+  if (policy_.max_attempts == 0) {
+    return Status::InvalidArgument("RetryPolicy: max_attempts must be >= 1");
+  }
+  stats_ = SessionStats{};
+  completed_high_water_ = 0;
+  Rng backoff_rng(policy_.seed);
+  Network* net = session->network_;
+
+  const Checkpoint initial = Capture(*session, 0, {});
+  Checkpoint latest = initial;
+  Status last_error = Status::OK();
+  for (uint32_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    ++stats_.attempts;
+    uint32_t start_stage = 0;
+    std::vector<uint64_t> ledger;
+    if (attempt > 1) {
+      // Deterministic backoff measured in rounds: each waited round is a
+      // real BeginRound, so fault windows defined in rounds (a crashed
+      // party's restart_round) make progress while the session waits.
+      const uint32_t shift = std::min<uint32_t>(attempt - 2, 20);
+      uint64_t wait = policy_.backoff_rounds_base == 0
+                          ? 0
+                          : std::min(policy_.backoff_rounds_base << shift,
+                                     policy_.backoff_rounds_cap);
+      if (policy_.backoff_jitter_rounds > 0) {
+        wait += backoff_rng.UniformU64(policy_.backoff_jitter_rounds + 1);
+      }
+      for (uint64_t i = 0; i < wait; ++i) {
+        net->BeginRound("session." + session->name_ + ".backoff (attempt " +
+                        std::to_string(attempt) + ")");
+      }
+      stats_.backoff_rounds += wait;
+
+      const Checkpoint& source =
+          policy_.resume_from_checkpoint ? latest : initial;
+      // A checkpoint that fails to restore is terminal: retrying cannot
+      // repair durable storage.
+      PSI_RETURN_NOT_OK(Restore(*session, source));
+      start_stage = source.stages_completed;
+      ledger = source.stage_ops;
+      Status handshake = ResumeHandshake(*session, attempt, start_stage);
+      if (!handshake.ok()) {
+        // The handshake travels the same faulty wire as everything else;
+        // its failure consumes this attempt.
+        last_error = std::move(handshake);
+        continue;
+      }
+      ++stats_.resumes;
+      stats_.stages_resumed += start_stage;
+      for (uint32_t i = 0; i < start_stage; ++i) {
+        stats_.crypto_ops_saved += source.stage_ops[i];
+      }
+    }
+
+    Status stage_error = Status::OK();
+    for (size_t i = start_stage; i < session->num_stages(); ++i) {
+      session->current_stage_ops_ = 0;
+      ++stats_.stages_run;
+      Status body = session->stage_bodies_[i]();
+      stats_.crypto_ops_total += session->current_stage_ops_;
+      if (i < completed_high_water_) {
+        // Only reachable with resume_from_checkpoint off: the full-restart
+        // baseline redoes work a checkpoint already holds.
+        stats_.crypto_ops_recomputed += session->current_stage_ops_;
+      }
+      if (!body.ok()) {
+        stage_error = std::move(body);
+        break;
+      }
+      ledger.push_back(session->current_stage_ops_);
+      latest = Capture(*session, static_cast<uint32_t>(i) + 1, ledger);
+      completed_high_water_ =
+          std::max<uint32_t>(completed_high_water_, static_cast<uint32_t>(i) + 1);
+      ++stats_.checkpoints_written;
+      for (const auto& [party, blob] : latest.party_blobs) {
+        (void)party;
+        stats_.checkpoint_bytes += blob.size();
+      }
+      for (const auto& blob : latest.rng_blobs) {
+        stats_.checkpoint_bytes += blob.size();
+      }
+    }
+    if (stage_error.ok()) {
+      // Fault layers can leave stale duplicates or just-released delayed
+      // frames behind even on success; a clean session never leaks frames
+      // into whatever runs next on this network.
+      (void)net->DrainAll();
+      return Status::OK();
+    }
+    last_error = std::move(stage_error);
+  }
+  (void)net->DrainAll();
+  return Status::ProtocolError(
+      "session '" + session->name_ + "' failed after " +
+      std::to_string(stats_.attempts) + " attempt(s); last error: " +
+      last_error.message());
+}
+
+}  // namespace psi

@@ -1,0 +1,229 @@
+// Checkpointed protocol sessions: crash-restart recovery for long MPC runs.
+//
+// A ProtocolSession runs a protocol driver as a sequence of named stages.
+// After every completed stage the SessionOrchestrator captures a checkpoint:
+// each party's durable key/value SessionState plus a snapshot of every
+// registered RNG stream. When a stage fails (a party crashed mid-round, the
+// channel could not be repaired, a peer sent garbage), the orchestrator
+// backs off a bounded, seeded number of rounds, restores every party from
+// the last checkpoint, performs a resume handshake — re-synchronizing the
+// per-channel envelope sequence counters and draining stale mailboxes — and
+// replays only the failed stage. Because the RNG snapshots rewind the
+// randomness along with the state, a replayed stage re-derives bitwise the
+// same masks, shares and ciphertexts, so a recovered run converges to the
+// exact fault-free transcript (the chaos harness pins this).
+//
+// Secrecy: checkpoints hold exactly what the parties already hold — key
+// material, masks, shares, RNG streams. They are process-local durable
+// storage and NEVER cross the wire; the only session traffic is the resume
+// handshake, whose payload is two public counters (attempt, next stage).
+// Checkpoint buffers are PSI_SECRET-annotated and psi_lint-audited
+// (docs/FAULTS.md has the full secrecy argument).
+
+#ifndef PSI_MPC_SESSION_H_
+#define PSI_MPC_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "net/network.h"
+
+namespace psi {
+
+/// \brief Version tag of the SessionState wire format.
+inline constexpr uint32_t kSessionStateVersion = 1;
+
+/// \brief Step tag of the resume-handshake sync frame (ProtocolId::kSession).
+inline constexpr uint16_t kSessionStepResumeSync = 1;
+
+/// \brief One party's durable per-session store: named byte blobs written by
+/// stage bodies and restored verbatim on recovery.
+///
+/// Values are opaque to the session layer; stages encode them with the
+/// hardened mpc/wire.h codecs. They routinely hold secrets (masks, shares,
+/// private keys), so the store is PSI_SECRET and its serialized form must
+/// only ever travel to durable storage, never to a peer.
+class SessionState {
+ public:
+  /// \brief Inserts or overwrites the blob under `key`.
+  void Put(const std::string& key, std::vector<uint8_t> value);
+
+  /// \brief True if a blob is stored under `key`.
+  bool Has(const std::string& key) const;
+
+  /// \brief The blob under `key`, or FailedPrecondition if absent (a stage
+  /// reading state its predecessors never wrote is a driver bug).
+  [[nodiscard]] Result<std::vector<uint8_t>> Get(const std::string& key) const;
+
+  /// \brief Removes all entries.
+  void Clear();
+
+  size_t NumEntries() const;
+
+  /// \brief Total stored bytes (keys + values).
+  uint64_t ByteSize() const;
+
+  /// \brief Versioned serialization: u32 version, varint entry count, then
+  /// (string key, bytes value) pairs in key order.
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
+
+  /// \brief Parses a Serialize() buffer. Returns SerializationError on a
+  /// version mismatch, truncation, an oversized count, duplicate keys, or
+  /// trailing bytes — a damaged checkpoint is rejected, never half-loaded.
+  [[nodiscard]] static Result<SessionState> Deserialize(
+      const std::vector<uint8_t>& buf);
+
+ private:
+  PSI_SECRET std::map<std::string, std::vector<uint8_t>> entries_;
+};
+
+/// \brief Deterministic retry schedule for a session run.
+struct RetryPolicy {
+  /// Total tries of the stage sequence (1 = no recovery, fail fast).
+  uint32_t max_attempts = 3;
+  /// Rounds waited before retry r is base << (r-2), capped below. Each
+  /// waited round is a real BeginRound, so crash-restart windows measured
+  /// in rounds (net/fault.h) make progress while the session waits.
+  uint64_t backoff_rounds_base = 1;
+  uint64_t backoff_rounds_cap = 8;
+  /// Extra rounds drawn uniformly from [0, jitter] per retry, from a stream
+  /// seeded by `seed` (deterministic, independent of protocol randomness).
+  uint64_t backoff_jitter_rounds = 1;
+  uint64_t seed = 0x5e5510u;
+  /// When false, every retry restarts from the initial checkpoint instead
+  /// of the latest one — the "no recovery layer" baseline the recovery
+  /// bench compares against. Completed crypto work is then redone and shows
+  /// up in SessionStats::crypto_ops_recomputed.
+  bool resume_from_checkpoint = true;
+};
+
+/// \brief What a session run did: attempts, checkpoint volume, handshake
+/// traffic, and the crypto-op ledger proving checkpointed work is not
+/// redone.
+struct SessionStats {
+  uint32_t attempts = 0;         ///< Tries of the stage sequence (>= 1).
+  uint32_t resumes = 0;          ///< Successful resume handshakes.
+  uint64_t stages_run = 0;       ///< Stage executions, including replays.
+  uint64_t stages_resumed = 0;   ///< Stage executions skipped via resume.
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_bytes = 0;  ///< Serialized bytes across all writes.
+  uint64_t backoff_rounds = 0;    ///< Rounds spent waiting before retries.
+  uint64_t handshake_messages = 0;  ///< Resume sync frames (incl. repairs).
+  uint64_t handshake_bytes = 0;     ///< Wire bytes of the above.
+  /// Crypto operations metered by stage bodies (MeterCryptoOps), total
+  /// across all executions.
+  uint64_t crypto_ops_total = 0;
+  /// Ops of completed stages skipped by resuming (work recovery saved).
+  uint64_t crypto_ops_saved = 0;
+  /// Ops re-executed for a stage that had already completed in an earlier
+  /// attempt. Zero whenever resume_from_checkpoint is true: a checkpointed
+  /// ciphertext is never produced twice.
+  uint64_t crypto_ops_recomputed = 0;
+};
+
+/// \brief A protocol run decomposed into named, checkpointable stages.
+///
+/// Stage bodies are closures over the driver. They communicate through the
+/// Network exactly as before, persist their outputs into the parties'
+/// SessionStates, and report expensive public-key operations via
+/// MeterCryptoOps. A body must be replayable: reading its inputs from
+/// SessionState (not from driver locals of an earlier stage) and drawing
+/// randomness only from registered RNGs.
+class ProtocolSession {
+ public:
+  using StageBody = std::function<Status()>;
+
+  /// \brief `parties` are the session members (host first by convention);
+  /// the resume handshake runs over every ordered pair of them.
+  ProtocolSession(std::string name, Network* network,
+                  std::vector<PartyId> parties);
+
+  /// \brief Appends a stage. Stages run in registration order.
+  void AddStage(std::string stage_name, StageBody body);
+
+  /// \brief Registers an RNG whose stream the checkpoints snapshot and
+  /// recovery rewinds. Every RNG a stage body draws from must be here.
+  void RegisterRng(std::string label, Rng* rng);
+
+  /// \brief The durable store of `party` (created on first use).
+  SessionState& PartyState(PartyId party);
+
+  /// \brief Accounts `ops` expensive crypto operations (encryptions,
+  /// decryptions, homomorphic additions, key generations) to the currently
+  /// running stage.
+  void MeterCryptoOps(uint64_t ops);
+
+  const std::string& name() const { return name_; }
+  Network* network() const { return network_; }
+  const std::vector<PartyId>& parties() const { return parties_; }
+  size_t num_stages() const { return stage_names_.size(); }
+  const std::string& stage_name(size_t index) const {
+    return stage_names_[index];
+  }
+
+ private:
+  friend class SessionOrchestrator;
+
+  std::string name_;
+  Network* network_;
+  std::vector<PartyId> parties_;
+  std::vector<std::string> stage_names_;
+  std::vector<StageBody> stage_bodies_;
+  std::vector<std::string> rng_labels_;
+  std::vector<Rng*> rngs_;
+  std::map<PartyId, SessionState> states_;
+  uint64_t current_stage_ops_ = 0;
+};
+
+/// \brief Drives a ProtocolSession under a RetryPolicy: run stages in order,
+/// checkpoint after each, and on failure restore + handshake + replay.
+class SessionOrchestrator {
+ public:
+  explicit SessionOrchestrator(RetryPolicy policy) : policy_(policy) {}
+
+  /// \brief Runs the session to completion. OK only if every stage
+  /// succeeded in some attempt; otherwise the last stage error wrapped in a
+  /// ProtocolError naming the attempt budget. Mailboxes of all parties are
+  /// drained on every outcome, so a failed session never leaks frames into
+  /// a successor protocol.
+  [[nodiscard]] Status Run(ProtocolSession* session);
+
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  /// One full checkpoint: serialized party states + RNG snapshots + the
+  /// per-completed-stage crypto-op ledger. Holds key material and masks —
+  /// PSI_SECRET, durable-storage only.
+  struct Checkpoint {
+    uint32_t stages_completed = 0;
+    PSI_SECRET std::vector<std::pair<PartyId, std::vector<uint8_t>>>
+        party_blobs;
+    PSI_SECRET std::vector<std::vector<uint8_t>> rng_blobs;
+    std::vector<uint64_t> stage_ops;  ///< Ops metered per completed stage.
+  };
+
+  [[nodiscard]] Checkpoint Capture(ProtocolSession& session,
+                                   uint32_t stages_completed,
+                                   std::vector<uint64_t> stage_ops);
+  [[nodiscard]] Status Restore(ProtocolSession& session,
+                               const Checkpoint& checkpoint);
+  [[nodiscard]] Status ResumeHandshake(ProtocolSession& session,
+                                       uint32_t attempt, uint32_t next_stage);
+
+  RetryPolicy policy_;
+  SessionStats stats_;
+  /// Highest stage index ever completed across attempts; re-running below
+  /// it is recomputation (only possible with resume_from_checkpoint off).
+  uint32_t completed_high_water_ = 0;
+};
+
+}  // namespace psi
+
+#endif  // PSI_MPC_SESSION_H_

@@ -65,6 +65,23 @@ Status UnpackBigInts(const std::vector<uint8_t>& buf, std::vector<BigInt>* out) 
   return Status::OK();
 }
 
+std::vector<uint8_t> PackU64s(const std::vector<uint64_t>& v) {
+  BinaryWriter w;
+  w.WriteVarU64(v.size());
+  for (uint64_t x : v) w.WriteU64(x);
+  return w.TakeBuffer();
+}
+
+Status UnpackU64s(const std::vector<uint8_t>& buf, std::vector<uint64_t>* out) {
+  BinaryReader r(buf);
+  uint64_t count;
+  PSI_RETURN_NOT_OK(r.ReadCount(&count, /*min_bytes_per_element=*/8));
+  out->resize(count);
+  for (auto& x : *out) PSI_RETURN_NOT_OK(r.ReadU64(&x));
+  if (!r.AtEnd()) return Status::SerializationError("trailing bytes");
+  return Status::OK();
+}
+
 std::vector<uint8_t> PackRecords(const std::vector<ActionRecord>& records) {
   BinaryWriter w;
   w.WriteVarU64(records.size());

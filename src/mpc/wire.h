@@ -52,6 +52,15 @@ std::vector<uint8_t> PackBigInts(const std::vector<BigInt>& v);
 [[nodiscard]] Status UnpackBigInts(const std::vector<uint8_t>& buf,
                                    std::vector<BigInt>* out);
 
+/// \brief Encodes a u64 batch as varint count + fixed-width u64 elements
+/// (checkpointed counter vectors in mpc/session stages).
+std::vector<uint8_t> PackU64s(const std::vector<uint64_t>& v);
+
+/// \brief Decodes PackU64s output; rejects oversized counts and trailing
+/// bytes.
+[[nodiscard]] Status UnpackU64s(const std::vector<uint8_t>& buf,
+                                std::vector<uint64_t>* out);
+
 /// \brief Encodes an action-record batch as varint count +
 /// (u32 user, u32 action, u64 time) triples.
 std::vector<uint8_t> PackRecords(const std::vector<ActionRecord>& records);

@@ -178,4 +178,16 @@ uint64_t EnvelopedBits(const CostSummary& s) {
   return s.ms_bits + s.nm * kEnvelopeOverheadBytes * 8;
 }
 
+Result<CostSummary> SessionResumeCosts(const SessionResumeCostParams& p) {
+  if (p.num_parties < 2) {
+    return Status::InvalidArgument(
+        "SessionResumeCosts: a session needs at least 2 parties");
+  }
+  std::vector<CostRow> rows = {
+      {"Session.resume (pairwise sync)", p.num_parties * (p.num_parties - 1),
+       64},
+  };
+  return Summarize(std::move(rows));
+}
+
 }  // namespace psi

@@ -101,6 +101,21 @@ struct PackingSavingsReport {
 [[nodiscard]] Result<PackingSavingsReport> HomomorphicSumPackingSavings(
     const HomomorphicSumCostParams& p);
 
+/// \brief Parameters of the session resume-handshake cost model
+/// (mpc/session.h). One resume costs exactly one round in which every
+/// ordered pair of live session parties exchanges one fixed-size sync
+/// message (u32 attempt + u32 next_stage = 8 bytes of payload).
+struct SessionResumeCostParams {
+  uint64_t num_parties;  ///< Parties in the session (host + providers).
+};
+
+/// \brief Exact analytic cost of one resume handshake: NR = 1,
+/// NM = P * (P - 1), 64 payload bits per message. Retransmissions injected
+/// by a fault layer during the handshake are extra, exactly as for every
+/// other round. Returns InvalidArgument if p.num_parties < 2.
+[[nodiscard]] Result<CostSummary> SessionResumeCosts(
+    const SessionResumeCostParams& p);
+
 }  // namespace psi
 
 #endif  // PSI_NET_COST_MODEL_H_

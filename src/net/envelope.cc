@@ -14,6 +14,7 @@ const char* ProtocolIdToString(ProtocolId id) {
     case ProtocolId::kPropagationGraph: return "PropagationGraph";
     case ProtocolId::kHomomorphicSum: return "HomomorphicSum";
     case ProtocolId::kJointRandom: return "JointRandom";
+    case ProtocolId::kSession: return "Session";
   }
   return "Unknown";
 }

@@ -45,6 +45,7 @@ enum class ProtocolId : uint16_t {
   kPropagationGraph = 6,  ///< Protocol 6 (mpc/propagation_protocol).
   kHomomorphicSum = 7,    ///< Paillier extension (mpc/homomorphic_sum).
   kJointRandom = 8,       ///< Joint randomness rounds (mpc/joint_random).
+  kSession = 9,           ///< Session resume handshake (mpc/session).
 };
 
 /// \brief Human-readable name of a protocol id ("SecureSum").

@@ -47,14 +47,40 @@ FaultPlan FaultPlan::RandomPlan(uint64_t seed, size_t num_parties) {
   return plan;
 }
 
+FaultPlan FaultPlan::RandomRestartPlan(uint64_t seed, size_t num_parties) {
+  Rng rng(seed ^ 0xc2b2ae3d27d4eb4fULL);
+  FaultPlan plan;
+  plan.seed = seed;
+  // 0-2 light rules so recovery is exercised both alone and under noise.
+  const size_t num_rules = rng.UniformU64(3);
+  for (size_t i = 0; i < num_rules; ++i) {
+    FaultRule rule;
+    rule.kind = static_cast<FaultKind>(rng.UniformU64(6));
+    rule.probability = rng.UniformReal(0.05, 0.2);
+    rule.max_triggers = static_cast<uint32_t>(1 + rng.UniformU64(3));
+    plan.rules.push_back(rule);
+  }
+  CrashSpec crash;
+  // Never crash party 0 (the host H, without which no round can start).
+  crash.party = num_parties > 1
+                    ? static_cast<PartyId>(1 + rng.UniformU64(num_parties - 1))
+                    : kAnyParty;
+  crash.after_round = rng.UniformU64(8);
+  crash.restart_round = crash.after_round + 2 + rng.UniformU64(6);
+  plan.crash = crash;
+  return plan;
+}
+
 FaultyNetwork::FaultyNetwork(FaultPlan plan)
     : plan_(std::move(plan)),
       rng_(plan_.seed),
       triggers_used_(plan_.rules.size(), 0) {}
 
 bool FaultyNetwork::Crashed(PartyId party) const {
-  return plan_.crash.has_value() && plan_.crash->party == party &&
-         RoundIndex() > plan_.crash->after_round;
+  if (!plan_.crash.has_value() || plan_.crash->party != party) return false;
+  const uint64_t round = RoundIndex();
+  return round > plan_.crash->after_round &&
+         round < plan_.crash->restart_round;
 }
 
 int FaultyNetwork::Decide(PartyId from, PartyId to) {

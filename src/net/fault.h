@@ -54,10 +54,19 @@ struct FaultRule {
 };
 
 /// \brief A party that stops participating after a given round: all its
-/// subsequent transmissions (including retransmissions) are lost.
+/// transmissions (including retransmissions) are lost while it is down.
+///
+/// With the default `restart_round` the crash is permanent. A finite
+/// `restart_round` models crash-*restart*: the party is down for round
+/// indices in (after_round, restart_round) and rejoins from `restart_round`
+/// on — having lost its volatile state, which is exactly the failure a
+/// checkpointed ProtocolSession (mpc/session.h) recovers from. Restarting
+/// parties keep their retransmission store (it models durable storage, like
+/// the session checkpoint).
 struct CrashSpec {
   PartyId party = kAnyParty;
-  uint64_t after_round = 0;  ///< Crashed in every round index > after_round.
+  uint64_t after_round = 0;  ///< Down in every round index > after_round...
+  uint64_t restart_round = UINT64_MAX;  ///< ...until this round (exclusive).
 };
 
 /// \brief A complete, seeded fault schedule.
@@ -73,6 +82,13 @@ struct FaultPlan {
   /// probabilities and budgets, plus an occasional crash of one of
   /// `num_parties` parties. Fully determined by `seed`.
   static FaultPlan RandomPlan(uint64_t seed, size_t num_parties);
+
+  /// \brief A randomized crash-restart schedule for session recovery tests:
+  /// always crashes one non-host party after a random round and restarts it
+  /// a few rounds later, plus 0-2 light fault rules. Fully determined by
+  /// `seed`. Kept separate from RandomPlan so its draw order (and therefore
+  /// every existing chaos transcript) is unchanged.
+  static FaultPlan RandomRestartPlan(uint64_t seed, size_t num_parties);
 };
 
 /// \brief Counters of what the fault layer actually did.

@@ -172,6 +172,14 @@ Result<std::vector<uint8_t>> Network::RecvValidated(PartyId to, PartyId from,
       continue;
     }
     if (env->seq > expected) {
+      if (stash.size() >= kMaxStashedFramesPerChannel) {
+        return Status::ProtocolError(
+            "RecvValidated: early-frame stash overflow on " +
+            DescribeChannel(from, to) + " in round '" + CurrentRoundLabel() +
+            "' (" + std::to_string(stash.size()) +
+            " frames ahead of seq " + std::to_string(expected) +
+            "); refusing to buffer more");
+      }
       stash.emplace(env->seq, std::move(frame));  // Arrived early.
       ++discards;
       continue;
@@ -228,6 +236,28 @@ std::string Network::Drain(PartyId to) {
     box.clear();
   }
   return summary;
+}
+
+std::string Network::DrainAll() {
+  std::string summary;
+  for (PartyId id = 0; id < names_.size(); ++id) {
+    std::string part = Drain(id);
+    if (part.empty()) continue;
+    if (!summary.empty()) summary += "; ";
+    summary += "to " + names_[id] + ": " + part;
+  }
+  return summary;
+}
+
+void Network::ResyncChannel(PartyId from, PartyId to) {
+  const ChannelKey key{from, to};
+  recv_seq_[key] = send_seq_[key];
+  stash_[key].clear();
+}
+
+size_t Network::StashedCount(PartyId from, PartyId to) const {
+  auto it = stash_.find({from, to});
+  return it == stash_.end() ? 0 : it->second.size();
 }
 
 TrafficReport Network::Report() const {

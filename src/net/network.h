@@ -55,6 +55,15 @@ struct TrafficReport {
   std::string ToString() const;
 };
 
+/// \brief Upper bound on frames stashed ahead-of-sequence per channel.
+///
+/// RecvValidated keeps early frames (seq > expected) so a later call can
+/// consume them without retransmission. The stash persists across calls, so
+/// without a cap a peer that floods one channel with far-future sequence
+/// numbers would grow it without limit. At the cap the receiver reports a
+/// clean ProtocolError instead of buffering further.
+inline constexpr size_t kMaxStashedFramesPerChannel = 64;
+
 /// \brief Bounds for one RecvValidated call.
 struct RecvOptions {
   /// Maximum transport attempts (initial receive plus retransmission
@@ -131,6 +140,22 @@ class Network {
   /// already clean. Tests assert `Drain(id) == ""` to get a useful diff.
   std::string Drain(PartyId to);
 
+  /// \brief Drains every party's mailbox (see Drain). Drivers call this on
+  /// their error paths so a failed run never leaves frames behind for an
+  /// unrelated successor to misread; the chaos harness asserts
+  /// `PendingCount() == 0` after every outcome.
+  std::string DrainAll();
+
+  /// \brief Re-synchronizes the framed channel (from -> to) after a session
+  /// resume: the receiver's expected sequence number jumps to the sender's
+  /// next unsent one and the early-frame stash is dropped. Any frame still
+  /// in flight from before the resume becomes a stale duplicate (seq <
+  /// expected), which RecvValidated already discards for free.
+  void ResyncChannel(PartyId from, PartyId to);
+
+  /// \brief Frames currently stashed ahead-of-sequence on (from -> to).
+  size_t StashedCount(PartyId from, PartyId to) const;
+
   /// \brief Traffic so far.
   TrafficReport Report() const;
 
@@ -186,6 +211,17 @@ class Network {
   std::map<ChannelKey, uint64_t> recv_seq_;
   std::map<ChannelKey, std::map<uint64_t, std::vector<uint8_t>>> stash_;
 };
+
+/// \brief Returns `result` unchanged, first draining every mailbox when it
+/// carries an error. Protocol drivers route their public entry points
+/// through this so a failed run never leaves half-consumed frames behind
+/// for an unrelated successor protocol to misread; the chaos harness
+/// asserts `PendingCount() == 0` after every outcome.
+template <typename T>
+[[nodiscard]] Result<T> DrainOnError(Network* network, Result<T> result) {
+  if (!result.ok()) (void)network->DrainAll();
+  return result;
+}
 
 }  // namespace psi
 

@@ -51,6 +51,7 @@
 #include "mpc/secure_sum.h"           // IWYU pragma: export
 #include "mpc/secure_user_score.h"    // IWYU pragma: export
 #include "mpc/segmented_influence.h"  // IWYU pragma: export
+#include "mpc/session.h"             // IWYU pragma: export
 #include "net/cost_model.h"           // IWYU pragma: export
 #include "net/envelope.h"             // IWYU pragma: export
 #include "net/fault.h"                // IWYU pragma: export

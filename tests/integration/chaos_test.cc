@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
 #include <memory>
 
 #include "actionlog/generator.h"
@@ -20,13 +21,23 @@
 #include "mpc/homomorphic_sum.h"
 #include "mpc/link_influence_protocol.h"
 #include "mpc/propagation_protocol.h"
+#include "mpc/session.h"
 #include "net/cost_model.h"
 #include "net/fault.h"
 
 namespace psi {
 namespace {
 
-constexpr uint64_t kNumChaosSeeds = 200;
+// Seeds per chaos sweep. Defaults to 200; CI's sanitizer job soaks with
+// PSI_CHAOS_SEEDS=1000, and local debugging can shrink it the same way.
+uint64_t NumChaosSeeds() {
+  const char* env = std::getenv("PSI_CHAOS_SEEDS");
+  if (env == nullptr || *env == '\0') return 200;
+  const uint64_t parsed = std::strtoull(env, nullptr, 10);
+  return parsed == 0 ? 200 : parsed;
+}
+
+const uint64_t kNumChaosSeeds = NumChaosSeeds();
 
 // Static world: graph, cascades and provider partition are built once; only
 // the network and the (re-seeded) party RNGs differ between runs.
@@ -117,6 +128,57 @@ Result<Protocol6Output> RunP6(const WorldData& w, Network* net,
   return proto.Run(*w.graph, w.actions, w.provider_logs, &host_rng, rng_ptrs);
 }
 
+// RunP4 through the session/recovery layer (mpc/session.h): same world,
+// same RNG seeds, so a completed session run must reproduce RunP4's result
+// bit for bit no matter how many crash-restart cycles it survived.
+Result<LinkInfluence> RunP4Session(const WorldData& w, Network* net,
+                                   const RetryPolicy& retry,
+                                   SessionStats* stats,
+                                   P4Aggregation aggregation =
+                                       P4Aggregation::kSecureSum,
+                                   size_t* log_s = nullptr,
+                                   size_t* q = nullptr) {
+  Parties parties = RegisterParties(net, w.m);
+  Protocol4Config cfg;
+  cfg.h = 4;
+  cfg.aggregation = aggregation;
+  cfg.paillier_bits = 384;
+  std::vector<std::unique_ptr<Rng>> rngs;
+  std::vector<Rng*> rng_ptrs;
+  for (size_t k = 0; k < w.m; ++k) {
+    rngs.push_back(std::make_unique<Rng>(1000 + k));
+    rng_ptrs.push_back(rngs.back().get());
+  }
+  Rng host_rng(501), pair_secret(502);
+  LinkInfluenceProtocol proto(net, parties.host, parties.providers, cfg);
+  auto result = proto.RunSession(*w.graph, w.actions, w.provider_logs,
+                                 &host_rng, rng_ptrs, &pair_secret, retry,
+                                 stats);
+  if (log_s != nullptr) *log_s = proto.modulus().BitLength();
+  if (q != nullptr) *q = proto.views().omega.size();
+  return result;
+}
+
+Result<Protocol6Output> RunP6Session(const WorldData& w, Network* net,
+                                     const RetryPolicy& retry,
+                                     SessionStats* stats) {
+  Parties parties = RegisterParties(net, w.m);
+  Protocol6Config cfg;
+  cfg.rsa_bits = 384;
+  cfg.encryption = Protocol6Config::EncryptionMode::kHybrid;
+  cfg.obfuscation_factor = 1.5;
+  std::vector<std::unique_ptr<Rng>> rngs;
+  std::vector<Rng*> rng_ptrs;
+  for (size_t k = 0; k < w.m; ++k) {
+    rngs.push_back(std::make_unique<Rng>(2000 + k));
+    rng_ptrs.push_back(rngs.back().get());
+  }
+  Rng host_rng(601);
+  PropagationGraphProtocol proto(net, parties.host, parties.providers, cfg);
+  return proto.RunSession(*w.graph, w.actions, w.provider_logs, &host_rng,
+                          rng_ptrs, retry, stats);
+}
+
 // Canonical flat encoding of a Protocol 6 output for exact comparison.
 std::vector<std::array<uint64_t, 4>> CanonicalArcs(const Protocol6Output& out) {
   std::vector<std::array<uint64_t, 4>> arcs;
@@ -143,6 +205,9 @@ TEST(ChaosTest, Protocol4SurvivesRandomFaultSchedules) {
     FaultyNetwork net(FaultPlan::RandomPlan(seed, /*num_parties=*/w.m + 1));
     auto result = RunP4(w, &net);
     faults_injected += net.fault_stats().injected();
+    // Drained mailboxes on every outcome: a failed run must not leak frames
+    // into whatever would run next on this network.
+    ASSERT_EQ(net.PendingCount(), 0u) << "seed=" << seed;
     if (result.ok()) {
       ++ok_runs;
       const LinkInfluence& got = result.ValueOrDie();
@@ -175,6 +240,7 @@ TEST(ChaosTest, Protocol6SurvivesRandomFaultSchedules) {
     FaultyNetwork net(FaultPlan::RandomPlan(seed, /*num_parties=*/w.m + 1));
     auto result = RunP6(w, &net);
     faults_injected += net.fault_stats().injected();
+    ASSERT_EQ(net.PendingCount(), 0u) << "seed=" << seed;
     if (result.ok()) {
       ++ok_runs;
       ASSERT_EQ(CanonicalArcs(result.ValueOrDie()), baseline)
@@ -194,7 +260,8 @@ TEST(ChaosTest, PackedAggregationSurvivesRandomFaultSchedules) {
   // Packed Paillier envelopes (ciphertext vectors, the published key) ride
   // the same fault layer: every completed faulty run must reproduce the
   // clean run bit for bit, every aborted run must fail cleanly.
-  constexpr uint64_t kSeeds = 120;  // Each run pays a Paillier keygen.
+  const uint64_t kSeeds =
+      (kNumChaosSeeds * 3) / 5;  // Each run pays a Paillier keygen.
   WorldData w = MakeWorldData(/*m=*/3, /*n=*/16, /*arcs=*/50, /*actions=*/20,
                               /*seed=*/77);
   Network clean;
@@ -208,6 +275,7 @@ TEST(ChaosTest, PackedAggregationSurvivesRandomFaultSchedules) {
     auto result =
         RunP4(w, &net, nullptr, nullptr, P4Aggregation::kPaillierPacked);
     faults_injected += net.fault_stats().injected();
+    ASSERT_EQ(net.PendingCount(), 0u) << "seed=" << seed;
     if (result.ok()) {
       ++ok_runs;
       const LinkInfluence& got = result.ValueOrDie();
@@ -227,7 +295,7 @@ TEST(ChaosTest, PackedAggregationSurvivesRandomFaultSchedules) {
 }
 
 TEST(ChaosTest, PackedProtocol6SurvivesRandomFaultSchedules) {
-  constexpr uint64_t kSeeds = 120;
+  const uint64_t kSeeds = (kNumChaosSeeds * 3) / 5;
   WorldData w = MakeWorldData(/*m=*/3, /*n=*/14, /*arcs=*/40, /*actions=*/8,
                               /*seed=*/88);
   constexpr auto kMode = Protocol6Config::EncryptionMode::kPackedInteger;
@@ -239,6 +307,7 @@ TEST(ChaosTest, PackedProtocol6SurvivesRandomFaultSchedules) {
     FaultyNetwork net(FaultPlan::RandomPlan(seed, /*num_parties=*/w.m + 1));
     auto result = RunP6(w, &net, kMode);
     faults_injected += net.fault_stats().injected();
+    ASSERT_EQ(net.PendingCount(), 0u) << "seed=" << seed;
     if (result.ok()) {
       ++ok_runs;
       ASSERT_EQ(CanonicalArcs(result.ValueOrDie()), baseline)
@@ -350,6 +419,227 @@ TEST(ChaosTest, Protocol6ZeroFaultPlanMatchesCostModelExactly) {
   EXPECT_EQ(report.num_bytes,
             report.num_payload_bytes +
                 report.num_messages * kEnvelopeOverheadBytes);
+}
+
+TEST(ChaosTest, Protocol4SessionRecoversFromCrashRestartSchedules) {
+  // The tentpole invariant: under crash-restart schedules, a session run
+  // either reproduces the fault-free transcript bit for bit — resuming from
+  // checkpoints, recomputing NOTHING that was already checkpointed — or
+  // fails with a clean error once the attempt budget is spent.
+  WorldData w = MakeWorldData(/*m=*/3, /*n=*/16, /*arcs=*/50, /*actions=*/20,
+                              /*seed=*/77);
+  Network clean;
+  auto baseline = RunP4(w, &clean).ValueOrDie();
+
+  uint64_t ok_runs = 0, failed_runs = 0, recovered_runs = 0;
+  for (uint64_t seed = 0; seed < kNumChaosSeeds; ++seed) {
+    FaultyNetwork net(
+        FaultPlan::RandomRestartPlan(seed, /*num_parties=*/w.m + 1));
+    RetryPolicy retry;
+    retry.max_attempts = 4;
+    SessionStats stats;
+    auto result = RunP4Session(w, &net, retry, &stats);
+    ASSERT_EQ(net.PendingCount(), 0u) << "seed=" << seed;
+    // Stage-resume never redoes checkpointed crypto work, recovered or not.
+    ASSERT_EQ(stats.crypto_ops_recomputed, 0u) << "seed=" << seed;
+    if (result.ok()) {
+      ++ok_runs;
+      if (stats.resumes > 0) ++recovered_runs;
+      const LinkInfluence& got = result.ValueOrDie();
+      ASSERT_EQ(got.p.size(), baseline.p.size()) << "seed=" << seed;
+      for (size_t e = 0; e < got.p.size(); ++e) {
+        ASSERT_EQ(got.p[e], baseline.p[e]) << "seed=" << seed << " arc=" << e;
+      }
+    } else {
+      ++failed_runs;
+      ASSERT_FALSE(result.status().message().empty()) << "seed=" << seed;
+    }
+  }
+  EXPECT_EQ(ok_runs + failed_runs, kNumChaosSeeds);
+  EXPECT_GT(ok_runs, 0u);
+  // The sweep must actually exercise recovery, not just fault-free luck:
+  // some runs must have completed only via resume handshakes.
+  EXPECT_GT(recovered_runs, 0u);
+}
+
+TEST(ChaosTest, Protocol6SessionRecoversFromCrashRestartSchedules) {
+  const uint64_t kSeeds = (kNumChaosSeeds * 3) / 5;  // RSA keygen per run.
+  WorldData w = MakeWorldData(/*m=*/3, /*n=*/14, /*arcs=*/40, /*actions=*/8,
+                              /*seed=*/88);
+  Network clean;
+  auto baseline = CanonicalArcs(RunP6(w, &clean).ValueOrDie());
+
+  uint64_t ok_runs = 0, failed_runs = 0, recovered_runs = 0;
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    FaultyNetwork net(
+        FaultPlan::RandomRestartPlan(seed, /*num_parties=*/w.m + 1));
+    RetryPolicy retry;
+    retry.max_attempts = 4;
+    SessionStats stats;
+    auto result = RunP6Session(w, &net, retry, &stats);
+    ASSERT_EQ(net.PendingCount(), 0u) << "seed=" << seed;
+    ASSERT_EQ(stats.crypto_ops_recomputed, 0u) << "seed=" << seed;
+    if (result.ok()) {
+      ++ok_runs;
+      if (stats.resumes > 0) ++recovered_runs;
+      ASSERT_EQ(CanonicalArcs(result.ValueOrDie()), baseline)
+          << "seed=" << seed;
+    } else {
+      ++failed_runs;
+      ASSERT_FALSE(result.status().message().empty()) << "seed=" << seed;
+    }
+  }
+  EXPECT_EQ(ok_runs + failed_runs, kSeeds);
+  EXPECT_GT(ok_runs, 0u);
+  EXPECT_GT(recovered_runs, 0u);
+}
+
+TEST(ChaosTest, Protocol4SessionZeroFaultPlanMatchesCostModelExactly) {
+  // With no faults, the session layer must be invisible on the wire: one
+  // attempt, no handshake, no backoff — metering identical to the analytic
+  // Table 1 model, byte for byte, even with a multi-attempt retry budget.
+  WorldData w = MakeWorldData(3, 16, 50, 20, 77);
+  FaultyNetwork net(FaultPlan::None());
+  RetryPolicy retry;  // Defaults: max_attempts = 3, resume on.
+  SessionStats stats;
+  size_t log_s = 0, q = 0;
+  ASSERT_TRUE(RunP4Session(w, &net, retry, &stats,
+                           P4Aggregation::kSecureSum, &log_s, &q)
+                  .ok());
+  EXPECT_EQ(net.PendingCount(), 0u);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.resumes, 0u);
+  EXPECT_EQ(stats.backoff_rounds, 0u);
+  EXPECT_EQ(stats.handshake_messages, 0u);
+  EXPECT_EQ(stats.handshake_bytes, 0u);
+  EXPECT_EQ(stats.crypto_ops_recomputed, 0u);
+  EXPECT_GT(stats.checkpoints_written, 0u);
+
+  Protocol4CostParams params;
+  params.m = w.m;
+  params.n = w.n;
+  params.q = q;
+  params.log_s = log_s;
+  auto model = Protocol4Costs(params).ValueOrDie();
+  auto report = net.Report();
+  EXPECT_EQ(report.num_rounds, model.nr);
+  EXPECT_EQ(report.num_messages, model.nm);
+  EXPECT_EQ(report.num_bytes,
+            report.num_payload_bytes + model.nm * kEnvelopeOverheadBytes);
+}
+
+// A crash-only plan (no probabilistic rules) taking down provider P1 for the
+// round window (after_round, restart_round). Deterministic: the handshake
+// round then carries exactly the analytic resume traffic.
+FaultPlan CrashOnlyPlan(PartyId party, uint64_t after_round,
+                        uint64_t restart_round) {
+  FaultPlan plan;
+  plan.crash = CrashSpec{party, after_round, restart_round};
+  return plan;
+}
+
+TEST(ChaosTest, ForcedResumeHandshakeMetersExactly) {
+  WorldData w = MakeWorldData(3, 16, 50, 20, 77);
+  Network clean;
+  auto baseline = RunP4(w, &clean).ValueOrDie();
+  // Party ids are registration order: host, then providers (RunP4Session
+  // registers the same way every run).
+  const PartyId provider1 = 1;
+
+  bool found = false;
+  for (uint64_t after = 1; after <= 10 && !found; ++after) {
+    FaultyNetwork net(CrashOnlyPlan(provider1, after, after + 3));
+    RetryPolicy retry;
+    retry.max_attempts = 4;
+    SessionStats stats;
+    auto result = RunP4Session(w, &net, retry, &stats);
+    ASSERT_EQ(net.PendingCount(), 0u) << "after_round=" << after;
+    if (!result.ok() || stats.resumes != 1) continue;
+    found = true;
+
+    // The recovered run converges to the fault-free transcript...
+    const LinkInfluence& got = result.ValueOrDie();
+    ASSERT_EQ(got.p.size(), baseline.p.size());
+    for (size_t e = 0; e < got.p.size(); ++e) {
+      ASSERT_EQ(got.p[e], baseline.p[e]) << "arc=" << e;
+    }
+    // ...skipping checkpointed stages instead of recomputing them.
+    EXPECT_GT(stats.stages_resumed, 0u);
+    EXPECT_EQ(stats.crypto_ops_recomputed, 0u);
+
+    // The one resume round meters exactly what the analytic model predicts.
+    SessionResumeCostParams p;
+    p.num_parties = w.m + 1;
+    auto model = SessionResumeCosts(p).ValueOrDie();
+    auto report = net.Report();
+    const RoundStats* resume_round = nullptr;
+    for (const auto& round : report.rounds) {
+      if (round.label.find(".resume") != std::string::npos) {
+        ASSERT_EQ(resume_round, nullptr) << "two resume rounds in one resume";
+        resume_round = &round;
+      }
+    }
+    ASSERT_NE(resume_round, nullptr);
+    EXPECT_EQ(model.nr, 1u);
+    EXPECT_EQ(resume_round->num_messages, model.nm);
+    EXPECT_EQ(resume_round->num_payload_bytes * 8, model.ms_bits);
+    EXPECT_EQ(resume_round->num_bytes,
+              resume_round->num_payload_bytes +
+                  model.nm * kEnvelopeOverheadBytes);
+    EXPECT_EQ(stats.handshake_messages, model.nm);
+    EXPECT_EQ(stats.handshake_bytes, resume_round->num_bytes);
+  }
+  // Some crash window in the probe range must trigger exactly one recovery;
+  // if none does, the recovery machinery is broken (or the probe is stale).
+  ASSERT_TRUE(found);
+}
+
+TEST(ChaosTest, FullRestartBaselineRecomputesPackedCryptoOps) {
+  // The ablation behind bench_recovery: with resume_from_checkpoint off,
+  // every retry restarts from scratch, so completed Paillier work is redone
+  // and the ledger must show it. Same inputs, same final bits — the only
+  // difference is the wasted work.
+  WorldData w = MakeWorldData(3, 16, 50, 20, 77);
+  Network clean;
+  auto baseline =
+      RunP4(w, &clean, nullptr, nullptr, P4Aggregation::kPaillierPacked)
+          .ValueOrDie();
+  const PartyId provider1 = 1;
+
+  bool found = false;
+  for (uint64_t after = 1; after <= 10 && !found; ++after) {
+    // Resume-mode probe first: find a window that recovers, then rerun the
+    // identical schedule with checkpoint resume disabled.
+    FaultyNetwork net(CrashOnlyPlan(provider1, after, after + 3));
+    RetryPolicy retry;
+    retry.max_attempts = 4;
+    SessionStats stats;
+    auto result = RunP4Session(w, &net, retry, &stats,
+                               P4Aggregation::kPaillierPacked);
+    ASSERT_EQ(net.PendingCount(), 0u) << "after_round=" << after;
+    if (!result.ok() || stats.resumes == 0 || stats.crypto_ops_saved == 0) {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(stats.crypto_ops_recomputed, 0u);
+
+    FaultyNetwork net_full(CrashOnlyPlan(provider1, after, after + 3));
+    RetryPolicy full_restart = retry;
+    full_restart.resume_from_checkpoint = false;
+    SessionStats full_stats;
+    auto full_result = RunP4Session(w, &net_full, full_restart, &full_stats,
+                                    P4Aggregation::kPaillierPacked);
+    ASSERT_EQ(net_full.PendingCount(), 0u);
+    ASSERT_TRUE(full_result.ok());
+    EXPECT_GT(full_stats.crypto_ops_recomputed, 0u);
+    EXPECT_EQ(full_stats.crypto_ops_saved, 0u);
+    const LinkInfluence& got = full_result.ValueOrDie();
+    ASSERT_EQ(got.p.size(), baseline.p.size());
+    for (size_t e = 0; e < got.p.size(); ++e) {
+      ASSERT_EQ(got.p[e], baseline.p[e]) << "arc=" << e;
+    }
+  }
+  ASSERT_TRUE(found);
 }
 
 }  // namespace

@@ -18,7 +18,10 @@
 #include "graph/generators.h"
 #include "influence/em_learner.h"
 #include "mpc/homomorphic_sum.h"
+#include "mpc/link_influence_protocol.h"
 #include "mpc/propagation_protocol.h"
+#include "mpc/session.h"
+#include "net/fault.h"
 
 namespace psi {
 namespace {
@@ -190,6 +193,114 @@ TEST_F(DeterminismTest, PackedPaillierSumDiffersOnlyInSizeFromUnpacked) {
   for (const auto& fr : packed.frames) packed_bytes += fr.bytes.size();
   for (const auto& fr : unpacked.frames) unpacked_bytes += fr.bytes.size();
   EXPECT_LT(packed_bytes, unpacked_bytes);
+}
+
+// Fault-injecting network that also logs every transmission attempt (before
+// the fault pipeline mutates it), so two crash-recovered runs can be compared
+// frame for frame.
+class TranscriptFaultyNetwork : public FaultyNetwork {
+ public:
+  using FaultyNetwork::FaultyNetwork;
+
+  const std::vector<TranscriptNetwork::Frame>& frames() const {
+    return frames_;
+  }
+
+ protected:
+  Status Transmit(PartyId from, PartyId to,
+                  std::vector<uint8_t> frame) override {
+    frames_.push_back(TranscriptNetwork::Frame{from, to, frame});
+    return FaultyNetwork::Transmit(from, to, std::move(frame));
+  }
+
+ private:
+  std::vector<TranscriptNetwork::Frame> frames_;
+};
+
+struct P4World {
+  std::unique_ptr<SocialGraph> graph;
+  size_t actions = 20;
+  std::vector<ActionLog> provider_logs;
+};
+
+P4World MakeP4World() {
+  P4World w;
+  Rng rng(77);
+  w.graph = std::make_unique<SocialGraph>(
+      ErdosRenyiArcs(&rng, 16, 50).ValueOrDie());
+  auto truth = GroundTruthInfluence::Random(&rng, *w.graph, 0.1, 0.7);
+  CascadeParams params;
+  params.num_actions = w.actions;
+  params.seeds_per_action = 2;
+  auto log = GenerateCascades(&rng, *w.graph, truth, params).ValueOrDie();
+  w.provider_logs = ExclusivePartition(&rng, log, 3).ValueOrDie();
+  return w;
+}
+
+struct P4SessionRun {
+  Result<LinkInfluence> result = Status::Internal("not run");
+  SessionStats stats;
+  std::vector<TranscriptNetwork::Frame> frames;
+};
+
+P4SessionRun RunP4SessionOnce(const P4World& w, size_t num_threads,
+                              uint64_t crash_after) {
+  ThreadPool::Global().SetNumThreads(num_threads);
+  FaultPlan plan;
+  plan.crash = CrashSpec{/*party=*/1, crash_after, crash_after + 3};
+  TranscriptFaultyNetwork net(plan);
+  PartyId host = net.RegisterParty("H");
+  std::vector<PartyId> providers{net.RegisterParty("P1"),
+                                 net.RegisterParty("P2"),
+                                 net.RegisterParty("P3")};
+  Protocol4Config cfg;
+  cfg.h = 4;
+  Rng r1(31), r2(32), r3(33), host_rng(34), pair_secret(35);
+  std::vector<Rng*> rngs{&r1, &r2, &r3};
+  LinkInfluenceProtocol proto(&net, host, providers, cfg);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  P4SessionRun run;
+  run.result = proto.RunSession(*w.graph, w.actions, w.provider_logs,
+                                &host_rng, rngs, &pair_secret, retry,
+                                &run.stats);
+  run.frames = net.frames();
+  return run;
+}
+
+TEST_F(DeterminismTest, ResumedSessionTranscriptInvariantUnderThreadCount) {
+  // Crash-restart recovery replays a checkpointed stage; the replay must be
+  // byte-identical no matter the pool size, or golden transcripts and the
+  // bitwise chaos comparisons would depend on PSI_THREADS.
+  P4World w = MakeP4World();
+  // Find a crash window the session actually recovers from (serially).
+  uint64_t crash_after = 0;
+  for (uint64_t after = 1; after <= 10; ++after) {
+    P4SessionRun probe = RunP4SessionOnce(w, 1, after);
+    if (probe.result.ok() && probe.stats.resumes > 0) {
+      crash_after = after;
+      break;
+    }
+  }
+  ASSERT_GT(crash_after, 0u) << "no recoverable crash window found";
+
+  P4SessionRun serial = RunP4SessionOnce(w, 1, crash_after);
+  P4SessionRun threaded = RunP4SessionOnce(w, 8, crash_after);
+  ASSERT_TRUE(serial.result.ok());
+  ASSERT_TRUE(threaded.result.ok());
+  EXPECT_GT(serial.stats.resumes, 0u);
+  EXPECT_EQ(serial.stats.resumes, threaded.stats.resumes);
+  EXPECT_EQ(serial.stats.stages_resumed, threaded.stats.stages_resumed);
+  ASSERT_EQ(serial.frames.size(), threaded.frames.size());
+  for (size_t i = 0; i < serial.frames.size(); ++i) {
+    ASSERT_EQ(serial.frames[i], threaded.frames[i]) << "frame " << i;
+  }
+  const LinkInfluence& a = serial.result.ValueOrDie();
+  const LinkInfluence& b = threaded.result.ValueOrDie();
+  ASSERT_EQ(a.p.size(), b.p.size());
+  for (size_t e = 0; e < a.p.size(); ++e) {
+    ASSERT_EQ(a.p[e], b.p[e]) << "arc " << e;
+  }
 }
 
 TEST_F(DeterminismTest, EmLearnerBitIdenticalAcrossThreadCounts) {

@@ -1,0 +1,330 @@
+// Unit tests for the session/recovery layer (mpc/session.h): durable state
+// serialization, retry orchestration, RNG rewind, and the crypto-op ledger.
+
+#include "mpc/session.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+
+namespace psi {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> v) { return v; }
+
+TEST(SessionStateTest, PutGetHasClear) {
+  SessionState state;
+  EXPECT_FALSE(state.Has("omega"));
+  EXPECT_EQ(state.NumEntries(), 0u);
+  state.Put("omega", Bytes({1, 2, 3}));
+  state.Put("masks", Bytes({9}));
+  EXPECT_TRUE(state.Has("omega"));
+  EXPECT_EQ(state.NumEntries(), 2u);
+  EXPECT_EQ(state.ByteSize(), 5u + 5u + 3u + 1u);  // keys 5+5, values 3+1.
+  EXPECT_EQ(state.Get("omega").ValueOrDie(), Bytes({1, 2, 3}));
+  state.Put("omega", Bytes({7}));  // Overwrite.
+  EXPECT_EQ(state.Get("omega").ValueOrDie(), Bytes({7}));
+  state.Clear();
+  EXPECT_EQ(state.NumEntries(), 0u);
+  EXPECT_FALSE(state.Has("omega"));
+}
+
+TEST(SessionStateTest, GetMissingKeyIsFailedPrecondition) {
+  SessionState state;
+  auto result = state.Get("absent");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionStateTest, SerializeRoundTrips) {
+  SessionState state;
+  state.Put("a", Bytes({}));  // Empty values are legal.
+  state.Put("counters", Bytes({0, 255, 128}));
+  state.Put("pubkey", std::vector<uint8_t>(300, 0x5a));
+  auto restored = SessionState::Deserialize(state.Serialize()).ValueOrDie();
+  EXPECT_EQ(restored.NumEntries(), 3u);
+  EXPECT_EQ(restored.Get("a").ValueOrDie(), Bytes({}));
+  EXPECT_EQ(restored.Get("counters").ValueOrDie(), Bytes({0, 255, 128}));
+  EXPECT_EQ(restored.Get("pubkey").ValueOrDie(),
+            std::vector<uint8_t>(300, 0x5a));
+  // Byte-stable: serializing the restored state reproduces the buffer.
+  EXPECT_EQ(restored.Serialize(), state.Serialize());
+}
+
+TEST(SessionStateTest, EmptyStateRoundTrips) {
+  auto restored = SessionState::Deserialize(SessionState().Serialize());
+  EXPECT_EQ(restored.ValueOrDie().NumEntries(), 0u);
+}
+
+TEST(SessionStateTest, DeserializeRejectsTruncationAtEveryPrefix) {
+  SessionState state;
+  state.Put("key", Bytes({1, 2, 3, 4}));
+  state.Put("second", Bytes({5}));
+  const std::vector<uint8_t> buf = state.Serialize();
+  for (size_t len = 0; len < buf.size(); ++len) {
+    std::vector<uint8_t> prefix(buf.begin(),
+                                buf.begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_FALSE(SessionState::Deserialize(prefix).ok()) << "len=" << len;
+  }
+}
+
+TEST(SessionStateTest, DeserializeRejectsWrongVersion) {
+  SessionState state;
+  state.Put("key", Bytes({1}));
+  std::vector<uint8_t> buf = state.Serialize();
+  buf[0] ^= 0xFF;  // Version is the leading u32.
+  auto result = SessionState::Deserialize(buf);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kSerializationError);
+}
+
+TEST(SessionStateTest, DeserializeRejectsTrailingBytes) {
+  SessionState state;
+  state.Put("key", Bytes({1}));
+  std::vector<uint8_t> buf = state.Serialize();
+  buf.push_back(0);
+  auto result = SessionState::Deserialize(buf);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kSerializationError);
+}
+
+TEST(SessionStateTest, DeserializeRejectsDuplicateKeys) {
+  BinaryWriter w;
+  w.WriteU32(kSessionStateVersion);
+  w.WriteVarU64(2);
+  w.WriteString("dup");
+  w.WriteBytes(Bytes({1}));
+  w.WriteString("dup");
+  w.WriteBytes(Bytes({2}));
+  auto result = SessionState::Deserialize(w.TakeBuffer());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kSerializationError);
+}
+
+TEST(SessionStateTest, DeserializeRejectsOversizedCount) {
+  BinaryWriter w;
+  w.WriteU32(kSessionStateVersion);
+  w.WriteVarU64(1u << 30);  // Claims a billion entries in a tiny buffer.
+  auto result = SessionState::Deserialize(w.TakeBuffer());
+  EXPECT_FALSE(result.ok());
+}
+
+// -- Orchestrator -----------------------------------------------------------
+
+struct TestWorld {
+  Network net;
+  PartyId alice;
+  PartyId bob;
+  TestWorld() : alice(net.RegisterParty("A")), bob(net.RegisterParty("B")) {}
+};
+
+TEST(SessionOrchestratorTest, RunsAllStagesOnceWhenNothingFails) {
+  TestWorld w;
+  ProtocolSession session("t", &w.net, {w.alice, w.bob});
+  int runs = 0;
+  session.AddStage("one", [&] {
+    ++runs;
+    return Status::OK();
+  });
+  session.AddStage("two", [&] {
+    ++runs;
+    return Status::OK();
+  });
+  SessionOrchestrator orchestrator(RetryPolicy{});
+  ASSERT_TRUE(orchestrator.Run(&session).ok());
+  EXPECT_EQ(runs, 2);
+  const SessionStats& stats = orchestrator.stats();
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.resumes, 0u);
+  EXPECT_EQ(stats.stages_run, 2u);
+  EXPECT_EQ(stats.stages_resumed, 0u);
+  EXPECT_EQ(stats.checkpoints_written, 2u);
+  EXPECT_EQ(stats.handshake_messages, 0u);
+  EXPECT_EQ(stats.backoff_rounds, 0u);
+  EXPECT_EQ(w.net.PendingCount(), 0u);
+}
+
+TEST(SessionOrchestratorTest, ResumesOnlyTheFailedStage) {
+  TestWorld w;
+  ProtocolSession session("t", &w.net, {w.alice, w.bob});
+  int stage1_runs = 0, stage2_runs = 0;
+  session.AddStage("one", [&] {
+    ++stage1_runs;
+    return Status::OK();
+  });
+  session.AddStage("two", [&] {
+    ++stage2_runs;
+    return stage2_runs == 1 ? Status::ProtocolError("transient") : Status::OK();
+  });
+  SessionOrchestrator orchestrator(RetryPolicy{});
+  ASSERT_TRUE(orchestrator.Run(&session).ok());
+  EXPECT_EQ(stage1_runs, 1);  // Resumed from the checkpoint, never replayed.
+  EXPECT_EQ(stage2_runs, 2);
+  const SessionStats& stats = orchestrator.stats();
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_EQ(stats.resumes, 1u);
+  EXPECT_EQ(stats.stages_run, 3u);
+  EXPECT_EQ(stats.stages_resumed, 1u);
+  // Two parties -> two ordered pairs -> two sync frames per handshake.
+  EXPECT_EQ(stats.handshake_messages, 2u);
+  EXPECT_GT(stats.handshake_bytes, 0u);
+  EXPECT_EQ(w.net.PendingCount(), 0u);
+}
+
+TEST(SessionOrchestratorTest, ExhaustsAttemptBudgetWithWrappedError) {
+  TestWorld w;
+  ProtocolSession session("doomed", &w.net, {w.alice, w.bob});
+  session.AddStage("always-fails",
+                   [&] { return Status::ProtocolError("peer sent garbage"); });
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  SessionOrchestrator orchestrator(retry);
+  Status status = orchestrator.Run(&session);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("doomed"), std::string::npos);
+  EXPECT_NE(status.message().find("2 attempt"), std::string::npos);
+  EXPECT_NE(status.message().find("peer sent garbage"), std::string::npos);
+  EXPECT_EQ(orchestrator.stats().attempts, 2u);
+  EXPECT_EQ(w.net.PendingCount(), 0u);
+}
+
+TEST(SessionOrchestratorTest, LedgerSavesCheckpointedCryptoOps) {
+  TestWorld w;
+  ProtocolSession session("t", &w.net, {w.alice, w.bob});
+  int stage2_runs = 0;
+  session.AddStage("expensive", [&] {
+    session.MeterCryptoOps(10);
+    return Status::OK();
+  });
+  session.AddStage("flaky", [&] {
+    session.MeterCryptoOps(3);
+    ++stage2_runs;
+    return stage2_runs == 1 ? Status::ProtocolError("transient") : Status::OK();
+  });
+  SessionOrchestrator orchestrator(RetryPolicy{});
+  ASSERT_TRUE(orchestrator.Run(&session).ok());
+  const SessionStats& stats = orchestrator.stats();
+  EXPECT_EQ(stats.crypto_ops_total, 10u + 3u + 3u);
+  EXPECT_EQ(stats.crypto_ops_saved, 10u);
+  EXPECT_EQ(stats.crypto_ops_recomputed, 0u);
+}
+
+TEST(SessionOrchestratorTest, FullRestartBaselineRecomputesOps) {
+  TestWorld w;
+  ProtocolSession session("t", &w.net, {w.alice, w.bob});
+  int stage2_runs = 0;
+  session.AddStage("expensive", [&] {
+    session.MeterCryptoOps(10);
+    return Status::OK();
+  });
+  session.AddStage("flaky", [&] {
+    ++stage2_runs;
+    return stage2_runs == 1 ? Status::ProtocolError("transient") : Status::OK();
+  });
+  RetryPolicy retry;
+  retry.resume_from_checkpoint = false;
+  SessionOrchestrator orchestrator(retry);
+  ASSERT_TRUE(orchestrator.Run(&session).ok());
+  const SessionStats& stats = orchestrator.stats();
+  // The retry replays the expensive stage from scratch: its ops are redone.
+  EXPECT_EQ(stats.crypto_ops_recomputed, 10u);
+  EXPECT_EQ(stats.crypto_ops_saved, 0u);
+  EXPECT_EQ(stats.stages_resumed, 0u);
+}
+
+TEST(SessionOrchestratorTest, RngRewindReplaysIdenticalDraws) {
+  TestWorld w;
+  Rng rng(42);
+  ProtocolSession session("t", &w.net, {w.alice, w.bob});
+  session.RegisterRng("shared", &rng);
+  uint64_t first_draw = 0, second_draw = 0;
+  int runs = 0;
+  session.AddStage("one", [&] { return Status::OK(); });
+  session.AddStage("draws", [&] {
+    ++runs;
+    if (runs == 1) {
+      first_draw = rng.NextU64();
+      return Status::ProtocolError("fail after drawing");
+    }
+    second_draw = rng.NextU64();
+    return Status::OK();
+  });
+  SessionOrchestrator orchestrator(RetryPolicy{});
+  ASSERT_TRUE(orchestrator.Run(&session).ok());
+  // The checkpoint rewound the stream: the replay re-derives the same bits,
+  // which is what makes recovered transcripts converge bitwise.
+  EXPECT_EQ(second_draw, first_draw);
+}
+
+TEST(SessionOrchestratorTest, RestoreDiscardsFailedAttemptStateWrites) {
+  TestWorld w;
+  ProtocolSession session("t", &w.net, {w.alice, w.bob});
+  int stage2_runs = 0;
+  std::vector<uint8_t> seen_on_replay;
+  session.AddStage("writes", [&] {
+    session.PartyState(w.alice).Put("x", Bytes({1}));
+    return Status::OK();
+  });
+  session.AddStage("clobbers-then-fails", [&] {
+    ++stage2_runs;
+    if (stage2_runs == 1) {
+      session.PartyState(w.alice).Put("x", Bytes({2}));
+      return Status::ProtocolError("fail after clobbering");
+    }
+    seen_on_replay = session.PartyState(w.alice).Get("x").ValueOrDie();
+    return Status::OK();
+  });
+  SessionOrchestrator orchestrator(RetryPolicy{});
+  ASSERT_TRUE(orchestrator.Run(&session).ok());
+  // The replayed stage sees the checkpointed value, not the failed write.
+  EXPECT_EQ(seen_on_replay, Bytes({1}));
+}
+
+TEST(SessionOrchestratorTest, BackoffScheduleIsDeterministic) {
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.backoff_jitter_rounds = 3;
+  uint64_t first_backoff = 0;
+  for (int run = 0; run < 2; ++run) {
+    TestWorld w;
+    ProtocolSession session("t", &w.net, {w.alice, w.bob});
+    session.AddStage("always-fails",
+                     [&] { return Status::ProtocolError("down"); });
+    SessionOrchestrator orchestrator(retry);
+    EXPECT_FALSE(orchestrator.Run(&session).ok());
+    if (run == 0) {
+      first_backoff = orchestrator.stats().backoff_rounds;
+    } else {
+      EXPECT_EQ(orchestrator.stats().backoff_rounds, first_backoff);
+    }
+  }
+  // 3 retries with base 1, cap 8: deterministic 1+2+4 plus seeded jitter.
+  EXPECT_GE(first_backoff, 7u);
+  EXPECT_LE(first_backoff, 7u + 3u * 3u);
+}
+
+TEST(SessionOrchestratorTest, RejectsDegenerateSessions) {
+  TestWorld w;
+  SessionOrchestrator orchestrator(RetryPolicy{});
+  EXPECT_FALSE(orchestrator.Run(nullptr).ok());
+
+  ProtocolSession no_stages("t", &w.net, {w.alice, w.bob});
+  EXPECT_FALSE(orchestrator.Run(&no_stages).ok());
+
+  ProtocolSession one_party("t", &w.net, {w.alice});
+  one_party.AddStage("s", [] { return Status::OK(); });
+  EXPECT_FALSE(orchestrator.Run(&one_party).ok());
+
+  RetryPolicy zero_attempts;
+  zero_attempts.max_attempts = 0;
+  SessionOrchestrator rejecting(zero_attempts);
+  ProtocolSession fine("t", &w.net, {w.alice, w.bob});
+  fine.AddStage("s", [] { return Status::OK(); });
+  EXPECT_FALSE(rejecting.Run(&fine).ok());
+}
+
+}  // namespace
+}  // namespace psi

@@ -164,5 +164,33 @@ TEST(CountersCodec, RejectsTrailingBytes) {
   EXPECT_FALSE(internal::UnpackCounters(buf, h, &decoded).ok());
 }
 
+TEST(WireU64s, RoundTrips) {
+  std::vector<uint64_t> values = {0, 1, UINT64_MAX, 1ull << 40, 42};
+  std::vector<uint64_t> decoded = {9};
+  ASSERT_TRUE(wire::UnpackU64s(wire::PackU64s(values), &decoded).ok());
+  EXPECT_EQ(decoded, values);
+
+  ASSERT_TRUE(wire::UnpackU64s(wire::PackU64s({}), &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(WireU64s, RejectsOversizedCount) {
+  std::vector<uint64_t> decoded;
+  EXPECT_FALSE(
+      wire::UnpackU64s(CountOnlyBuffer(1ull << 40, 16), &decoded).ok());
+}
+
+TEST(WireU64s, RejectsTruncationAndTrailingBytes) {
+  auto buf = wire::PackU64s({7, 8, 9});
+  std::vector<uint64_t> decoded;
+  for (size_t len = 0; len < buf.size(); ++len) {
+    std::vector<uint8_t> prefix(buf.begin(),
+                                buf.begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_FALSE(wire::UnpackU64s(prefix, &decoded).ok()) << "len=" << len;
+  }
+  buf.push_back(0);
+  EXPECT_FALSE(wire::UnpackU64s(buf, &decoded).ok());
+}
+
 }  // namespace
 }  // namespace psi

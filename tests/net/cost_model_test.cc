@@ -248,5 +248,22 @@ TEST(CostModelTest, HomomorphicSumPackingSavingsRatio) {
   EXPECT_DOUBLE_EQ(flat.EnvelopeRatio(), 1.0);
 }
 
+TEST(CostModelTest, SessionResumeCosts) {
+  SessionResumeCostParams p;
+  p.num_parties = 4;  // H + 3 providers.
+  auto s = SessionResumeCosts(p).ValueOrDie();
+  // One round; one 8-byte sync frame per ordered pair of parties.
+  EXPECT_EQ(s.nr, 1u);
+  EXPECT_EQ(s.nm, 4u * 3u);
+  EXPECT_EQ(s.ms_bits, s.nm * 64u);
+
+  p.num_parties = 2;
+  auto pair = SessionResumeCosts(p).ValueOrDie();
+  EXPECT_EQ(pair.nm, 2u);
+
+  p.num_parties = 1;
+  EXPECT_FALSE(SessionResumeCosts(p).ok());
+}
+
 }  // namespace
 }  // namespace psi

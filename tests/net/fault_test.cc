@@ -255,5 +255,79 @@ TEST_F(FaultTest, FaultKindNames) {
   EXPECT_STREQ(FaultKindToString(FaultKind::kDelay), "delay");
 }
 
+TEST_F(FaultTest, EarlyFrameStashIsBounded) {
+  // A lost first frame turns every later frame on the channel into an
+  // "early" one. The receiver stashes a bounded number, then refuses to
+  // buffer more with a clean error instead of growing without limit.
+  FaultPlan plan;
+  FaultRule drop_first = Always(FaultKind::kDrop, /*max_triggers=*/1);
+  plan.rules.push_back(drop_first);
+  FaultyNetwork net(plan);
+  Register(&net);
+  net.BeginRound("flood");
+  for (int i = 0; i < 70; ++i) {
+    ASSERT_TRUE(net.SendFramed(a_, b_, ProtocolId::kSecureSum, 1,
+                               std::vector<uint8_t>(4)).ok());
+  }
+  RecvOptions opts;
+  opts.max_attempts = 200;
+  // First call fills the stash to the cap and gives up on seq 0.
+  auto first = net.RecvValidated(b_, a_, ProtocolId::kSecureSum, 1, opts);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(net.StashedCount(a_, b_), kMaxStashedFramesPerChannel);
+  // The next early frame hits the cap: a clean refusal, not more buffering.
+  auto second = net.RecvValidated(b_, a_, ProtocolId::kSecureSum, 1, opts);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kProtocolError);
+  EXPECT_NE(second.status().message().find("stash overflow"),
+            std::string::npos);
+  EXPECT_EQ(net.StashedCount(a_, b_), kMaxStashedFramesPerChannel);
+  // A resume repairs the channel: stash dropped, stale frames discarded.
+  net.ResyncChannel(a_, b_);
+  EXPECT_EQ(net.StashedCount(a_, b_), 0u);
+  (void)net.DrainAll();
+  EXPECT_EQ(net.PendingCount(), 0u);
+}
+
+TEST_F(FaultTest, CrashRestartWindowSilencesOnlyItsRounds) {
+  FaultPlan plan;
+  plan.crash = CrashSpec{/*party=*/1, /*after_round=*/0, /*restart_round=*/2};
+  FaultyNetwork net(plan);
+  Register(&net);
+
+  net.BeginRound("r0");  // Round index 0: before the window, b is up.
+  ASSERT_TRUE(net.Send(b_, a_, {1}).ok());
+  EXPECT_TRUE(net.Recv(a_, b_).ok());
+
+  net.BeginRound("r1");  // Round index 1: inside (0, 2), b is down.
+  ASSERT_TRUE(net.Send(b_, a_, {2}).ok());
+  EXPECT_FALSE(net.HasPending(a_, b_));
+  EXPECT_EQ(net.fault_stats().crash_dropped, 1u);
+
+  net.BeginRound("r2");  // Round index 2: restarted, b is up again.
+  ASSERT_TRUE(net.Send(b_, a_, {3}).ok());
+  auto msg = net.Recv(a_, b_);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg.ValueOrDie()[0], 3);
+}
+
+TEST_F(FaultTest, RandomRestartPlanIsDeterministicAndAlwaysRestarts) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    FaultPlan p1 = FaultPlan::RandomRestartPlan(seed, 4);
+    FaultPlan p2 = FaultPlan::RandomRestartPlan(seed, 4);
+    ASSERT_TRUE(p1.crash.has_value());
+    ASSERT_TRUE(p2.crash.has_value());
+    EXPECT_EQ(p1.crash->party, p2.crash->party);
+    EXPECT_EQ(p1.crash->after_round, p2.crash->after_round);
+    EXPECT_EQ(p1.crash->restart_round, p2.crash->restart_round);
+    // Never the host, always a finite restart: every schedule is
+    // recoverable in principle, which is what the session sweeps rely on.
+    EXPECT_GE(p1.crash->party, 1u);
+    EXPECT_LT(p1.crash->restart_round, UINT64_MAX);
+    EXPECT_GT(p1.crash->restart_round, p1.crash->after_round + 1);
+    EXPECT_LE(p1.rules.size(), 2u);
+  }
+}
+
 }  // namespace
 }  // namespace psi

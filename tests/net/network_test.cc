@@ -199,5 +199,25 @@ TEST_F(NetworkTest, BaseNetworkHasNoRetransmissionStore) {
   EXPECT_NE(r.status().message().find("A -> B"), std::string::npos);
 }
 
+TEST_F(NetworkTest, ResyncChannelSkipsStaleInFlightFrames) {
+  net_.BeginRound("r1");
+  for (uint8_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(net_.SendFramed(a_, b_, ProtocolId::kSecureSum, 1, {i}).ok());
+  }
+  ASSERT_TRUE(net_.RecvValidated(b_, a_, ProtocolId::kSecureSum, 1).ok());
+
+  // A session resume: the receiver jumps past everything the failed attempt
+  // sent; the two undelivered frames become stale duplicates.
+  net_.ResyncChannel(a_, b_);
+  net_.BeginRound("r2");
+  ASSERT_TRUE(net_.SendFramed(a_, b_, ProtocolId::kSecureSum, 2, {42}).ok());
+  auto fresh = net_.RecvValidated(b_, a_, ProtocolId::kSecureSum, 2);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.ValueOrDie()[0], 42);
+  // The stale frames were discarded on the way, not misdelivered.
+  EXPECT_EQ(net_.PendingCount(), 0u);
+  EXPECT_EQ(net_.StashedCount(a_, b_), 0u);
+}
+
 }  // namespace
 }  // namespace psi

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Bench gate for the session/recovery layer.
+
+Validates a fresh bench_recovery JSON run against the committed baseline
+(BENCH_recovery.json). Every gated counter is a deterministic meter
+(session stats, wire traffic), so the checks are machine independent;
+real_time_ns is reported but never gated.
+
+  1. Correctness invariants (same run):
+       - all three scenarios complete and reproduce the fault-free
+         influence estimates bit for bit;
+       - the fault-free control is wire-invisible: one attempt, zero
+         handshake traffic, zero backoff;
+       - stage resume never redoes checkpointed crypto work
+         (crypto_ops_recomputed == 0) and actually skips completed stages
+         (crypto_ops_saved > 0, stages_resumed > 0, resumes >= 1);
+       - the full-restart ablation redoes that exact work
+         (crypto_ops_recomputed == stage-resume's crypto_ops_saved,
+         crypto_ops_saved == 0).
+  2. Regression guard vs the committed baseline:
+       - resume handshake traffic (messages and bytes) must not grow more
+         than 25% over baseline;
+       - the fraction of crypto work recovery saves must not fall more
+         than 25% below baseline.
+
+Usage: check_bench_recovery.py --baseline BENCH_recovery.json --run fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+NO_FAULT = "recovery/no_fault"
+RESUME = "recovery/stage_resume"
+FULL = "recovery/full_restart"
+
+MAX_REGRESSION = 0.25
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    by_name = {}
+    for bench in data.get("benchmarks", []):
+        by_name[bench["name"]] = bench
+    return by_name
+
+
+def row(benches, name):
+    if name not in benches:
+        raise SystemExit(f"FAIL: benchmark '{name}' missing from results")
+    return benches[name]
+
+
+def counter(benches, name, key):
+    value = row(benches, name).get(key)
+    if value is None:
+        raise SystemExit(f"FAIL: benchmark '{name}' has no counter '{key}'")
+    return int(value)
+
+
+def saved_fraction(benches):
+    """Share of total crypto ops that stage resume skipped (same run)."""
+    total = counter(benches, RESUME, "crypto_ops_total")
+    if total == 0:
+        raise SystemExit(f"FAIL: '{RESUME}' metered zero crypto ops")
+    return counter(benches, RESUME, "crypto_ops_saved") / total
+
+
+def check_invariants(benches, failures):
+    for name in (NO_FAULT, RESUME, FULL):
+        if counter(benches, name, "ok") != 1:
+            failures.append(f"{name} did not complete")
+        if counter(benches, name, "result_matches_fault_free") != 1:
+            failures.append(f"{name} diverged from the fault-free result")
+
+    if counter(benches, NO_FAULT, "attempts") != 1:
+        failures.append("no-fault control needed more than one attempt")
+    for key in ("handshake_messages", "handshake_bytes", "backoff_rounds"):
+        if counter(benches, NO_FAULT, key) != 0:
+            failures.append(f"no-fault control has nonzero {key}")
+
+    if counter(benches, RESUME, "resumes") < 1:
+        failures.append("stage-resume run never resumed (probe found no crash)")
+    if counter(benches, RESUME, "stages_resumed") < 1:
+        failures.append("stage-resume run skipped no stages")
+    if counter(benches, RESUME, "crypto_ops_recomputed") != 0:
+        failures.append("stage resume recomputed checkpointed crypto work")
+    saved = counter(benches, RESUME, "crypto_ops_saved")
+    if saved == 0:
+        failures.append("stage resume saved no crypto work")
+
+    if counter(benches, FULL, "crypto_ops_saved") != 0:
+        failures.append("full-restart ablation claims saved crypto work")
+    redone = counter(benches, FULL, "crypto_ops_recomputed")
+    if redone == 0:
+        failures.append("full-restart ablation redid no crypto work")
+    elif redone != saved:
+        failures.append(
+            f"ledger mismatch: full restart redid {redone} ops but stage "
+            f"resume saved {saved} on the identical schedule"
+        )
+
+
+def check_regressions(benches, baseline, failures):
+    for key in ("handshake_messages", "handshake_bytes"):
+        fresh = counter(benches, RESUME, key)
+        base = counter(baseline, RESUME, key)
+        ceiling = base * (1.0 + MAX_REGRESSION)
+        print(f"{key}: {fresh} (baseline {base}, ceiling {ceiling:.0f})")
+        if fresh > ceiling:
+            failures.append(
+                f"{key} grew: {fresh} vs baseline {base} "
+                f"(> {MAX_REGRESSION:.0%} increase)"
+            )
+
+    fresh_frac = saved_fraction(benches)
+    base_frac = saved_fraction(baseline)
+    floor = base_frac * (1.0 - MAX_REGRESSION)
+    print(
+        f"crypto ops saved by resume: {fresh_frac:.0%} of total "
+        f"(baseline {base_frac:.0%}, floor {floor:.0%})"
+    )
+    if fresh_frac < floor:
+        failures.append(
+            f"recovery saves less work: {fresh_frac:.0%} vs baseline "
+            f"{base_frac:.0%} (> {MAX_REGRESSION:.0%} drop)"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--run", required=True)
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.run)
+
+    failures = []
+    check_invariants(fresh, failures)
+    check_regressions(fresh, baseline, failures)
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("OK: recovery bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
