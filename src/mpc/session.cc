@@ -262,6 +262,15 @@ Status SessionOrchestrator::Run(ProtocolSession* session) {
       PSI_RETURN_NOT_OK(Restore(*session, source));
       start_stage = source.stages_completed;
       ledger = source.stage_ops;
+      // Repair the transport's own plumbing first: on a socket backend this
+      // re-dials and re-authenticates dead daemon links (seeded backoff
+      // with jitter); on the simulator it is a no-op. Only then can the
+      // resume handshake's frames travel.
+      Status repaired = net->Reestablish();
+      if (!repaired.ok()) {
+        last_error = std::move(repaired);
+        continue;  // The peer may come back; this consumed an attempt.
+      }
       Status handshake = ResumeHandshake(*session, attempt, start_stage);
       if (!handshake.ok()) {
         // The handshake travels the same faulty wire as everything else;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "net/envelope.h"
+#include "net/socket_util.h"
 
 namespace psi {
 
@@ -188,6 +189,40 @@ Result<CostSummary> SessionResumeCosts(const SessionResumeCostParams& p) {
        64},
   };
   return Summarize(std::move(rows));
+}
+
+double TransportOverheadReport::OverheadRatio(uint64_t protocol_bytes) const {
+  if (protocol_bytes == 0) return 0.0;
+  return static_cast<double>(total_overhead_bytes) /
+         static_cast<double>(protocol_bytes);
+}
+
+Result<TransportOverheadReport> TransportOverheadCosts(
+    const TransportOverheadCostParams& p) {
+  if (p.hosted_parties > 127) {
+    return Status::InvalidArgument(
+        "TransportOverheadCosts: the 1-byte-varint party model stops at "
+        "127 hosted parties");
+  }
+  constexpr uint64_t kHeader = kTransportHeaderBytes;
+  constexpr uint64_t kRoutingPrefix = 8;  // u32 from + u32 to.
+  TransportOverheadReport report;
+  // A relayed frame is framed client -> daemon and again on the echo back.
+  report.relay_overhead_bytes =
+      p.relayed_messages * 2 * (kHeader + kRoutingPrefix);
+  // Probe and answer each carry an empty body.
+  report.heartbeat_bytes = p.heartbeats * 2 * kHeader;
+  // challenge(nonce) + hello(session, digest, parties) + ack(u8, "ok").
+  const uint64_t hello_body = (1 + p.session_name_bytes) + (1 + 32) + 1 +
+                              p.hosted_parties;
+  const uint64_t ack_body = 1 + (1 + 2);
+  report.reconnect_bytes =
+      p.reconnects * ((kHeader + kAuthNonceBytes) + (kHeader + hello_body) +
+                      (kHeader + ack_body));
+  report.total_overhead_bytes = report.relay_overhead_bytes +
+                                report.heartbeat_bytes +
+                                report.reconnect_bytes;
+  return report;
 }
 
 }  // namespace psi

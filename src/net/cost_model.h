@@ -116,6 +116,35 @@ struct SessionResumeCostParams {
 [[nodiscard]] Result<CostSummary> SessionResumeCosts(
     const SessionResumeCostParams& p);
 
+/// \brief Parameters of the socket transport's overhead model
+/// (net/socket_transport.h). Protocol metering is identical on both
+/// backends; this model prices the extra transport bytes a socket run
+/// pays on the wire for a given protocol transcript.
+struct TransportOverheadCostParams {
+  uint64_t relayed_messages;   ///< Protocol messages that cross a daemon.
+  uint64_t heartbeats = 0;     ///< Probes sent while blocked waiting.
+  uint64_t reconnects = 0;     ///< Dial+auth handshakes after failures.
+  uint64_t session_name_bytes = 16;  ///< Hello field sizes (model inputs).
+  uint64_t hosted_parties = 1;       ///< Parties per hello (1-byte varints).
+};
+
+/// \brief Analytic transport bytes of a socket run: each relayed protocol
+/// message is framed twice (client -> daemon and the echo back), costing
+/// 2 * (12-byte transport header + 8-byte routing prefix) on top of its
+/// envelope; a heartbeat and its ack cost one empty-body header each; a
+/// reconnect costs the challenge/hello/ack exchange, whose hello carries a
+/// length-prefixed session string, the 32-byte digest, and the party list.
+struct TransportOverheadReport {
+  uint64_t relay_overhead_bytes = 0;
+  uint64_t heartbeat_bytes = 0;
+  uint64_t reconnect_bytes = 0;
+  uint64_t total_overhead_bytes = 0;
+  /// total_overhead_bytes / protocol_bytes (0 when protocol_bytes is 0).
+  double OverheadRatio(uint64_t protocol_bytes) const;
+};
+[[nodiscard]] Result<TransportOverheadReport> TransportOverheadCosts(
+    const TransportOverheadCostParams& p);
+
 }  // namespace psi
 
 #endif  // PSI_NET_COST_MODEL_H_

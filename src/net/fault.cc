@@ -1,164 +1,27 @@
 #include "net/fault.h"
 
-#include <algorithm>
 #include <utility>
 
 namespace psi {
 
-const char* FaultKindToString(FaultKind kind) {
-  switch (kind) {
-    case FaultKind::kDrop: return "drop";
-    case FaultKind::kDuplicate: return "duplicate";
-    case FaultKind::kReorder: return "reorder";
-    case FaultKind::kCorrupt: return "corrupt";
-    case FaultKind::kTruncate: return "truncate";
-    case FaultKind::kDelay: return "delay";
-  }
-  return "unknown";
-}
-
-FaultPlan FaultPlan::RandomPlan(uint64_t seed, size_t num_parties) {
-  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
-  FaultPlan plan;
-  plan.seed = seed;
-  const size_t num_rules = 1 + rng.UniformU64(3);
-  for (size_t i = 0; i < num_rules; ++i) {
-    FaultRule rule;
-    rule.kind = static_cast<FaultKind>(rng.UniformU64(6));
-    // Mostly wildcard channels; occasionally pin one endpoint.
-    if (num_parties > 0 && rng.Bernoulli(0.3)) {
-      rule.from = static_cast<PartyId>(rng.UniformU64(num_parties));
-    }
-    if (num_parties > 0 && rng.Bernoulli(0.3)) {
-      rule.to = static_cast<PartyId>(rng.UniformU64(num_parties));
-    }
-    rule.probability = rng.UniformReal(0.05, 0.35);
-    rule.max_triggers = static_cast<uint32_t>(1 + rng.UniformU64(4));
-    plan.rules.push_back(rule);
-  }
-  if (num_parties > 1 && rng.Bernoulli(0.15)) {
-    CrashSpec crash;
-    // Never crash party 0: by convention that is the host H, without which
-    // no protocol can even start a round.
-    crash.party = static_cast<PartyId>(1 + rng.UniformU64(num_parties - 1));
-    crash.after_round = 1 + rng.UniformU64(6);
-    plan.crash = crash;
-  }
-  return plan;
-}
-
-FaultPlan FaultPlan::RandomRestartPlan(uint64_t seed, size_t num_parties) {
-  Rng rng(seed ^ 0xc2b2ae3d27d4eb4fULL);
-  FaultPlan plan;
-  plan.seed = seed;
-  // 0-2 light rules so recovery is exercised both alone and under noise.
-  const size_t num_rules = rng.UniformU64(3);
-  for (size_t i = 0; i < num_rules; ++i) {
-    FaultRule rule;
-    rule.kind = static_cast<FaultKind>(rng.UniformU64(6));
-    rule.probability = rng.UniformReal(0.05, 0.2);
-    rule.max_triggers = static_cast<uint32_t>(1 + rng.UniformU64(3));
-    plan.rules.push_back(rule);
-  }
-  CrashSpec crash;
-  // Never crash party 0 (the host H, without which no round can start).
-  crash.party = num_parties > 1
-                    ? static_cast<PartyId>(1 + rng.UniformU64(num_parties - 1))
-                    : kAnyParty;
-  crash.after_round = rng.UniformU64(8);
-  crash.restart_round = crash.after_round + 2 + rng.UniformU64(6);
-  plan.crash = crash;
-  return plan;
-}
-
-FaultyNetwork::FaultyNetwork(FaultPlan plan)
-    : plan_(std::move(plan)),
-      rng_(plan_.seed),
-      triggers_used_(plan_.rules.size(), 0) {}
-
-bool FaultyNetwork::Crashed(PartyId party) const {
-  if (!plan_.crash.has_value() || plan_.crash->party != party) return false;
-  const uint64_t round = RoundIndex();
-  return round > plan_.crash->after_round &&
-         round < plan_.crash->restart_round;
-}
-
-int FaultyNetwork::Decide(PartyId from, PartyId to) {
-  const uint64_t round = RoundIndex();
-  for (size_t i = 0; i < plan_.rules.size(); ++i) {
-    const FaultRule& rule = plan_.rules[i];
-    if (rule.from != kAnyParty && rule.from != from) continue;
-    if (rule.to != kAnyParty && rule.to != to) continue;
-    if (round < rule.round_min || round > rule.round_max) continue;
-    if (triggers_used_[i] >= rule.max_triggers) continue;
-    // Draw the coin only for matching rules so the decision stream is a
-    // deterministic function of the message sequence.
-    if (!rng_.Bernoulli(rule.probability)) continue;
-    ++triggers_used_[i];
-    return static_cast<int>(i);
-  }
-  return -1;
-}
-
-std::vector<uint8_t> FaultyNetwork::Mutate(FaultKind kind,
-                                           std::vector<uint8_t> frame) {
-  switch (kind) {
-    case FaultKind::kCorrupt: {
-      if (!frame.empty()) {
-        const uint64_t bit = rng_.UniformU64(frame.size() * 8);
-        frame[bit / 8] = static_cast<uint8_t>(frame[bit / 8] ^
-                                              (1u << (bit % 8)));
-      }
-      return frame;
-    }
-    case FaultKind::kTruncate: {
-      if (!frame.empty()) {
-        frame.resize(rng_.UniformU64(frame.size()));
-      }
-      return frame;
-    }
-    default:
-      return frame;
-  }
-}
+FaultyNetwork::FaultyNetwork(FaultPlan plan) : injector_(std::move(plan)) {}
 
 Status FaultyNetwork::Transmit(PartyId from, PartyId to,
                                std::vector<uint8_t> frame) {
-  if (Crashed(from)) {
-    ++stats_.crash_dropped;
-    return Status::OK();  // Silently lost: the receiver sees only silence.
-  }
-  ++stats_.transmitted;
-  sent_log_[{from, to}].push_back(frame);  // Pristine copy, pre-fault.
-  const int rule = Decide(from, to);
-  if (rule < 0) {
-    return Network::Transmit(from, to, std::move(frame));
-  }
-  switch (plan_.rules[static_cast<size_t>(rule)].kind) {
-    case FaultKind::kDrop:
-      ++stats_.dropped;
+  FaultInjector::Verdict verdict =
+      injector_.OnTransmit(RoundIndex(), from, to, std::move(frame));
+  switch (verdict.action) {
+    case FaultInjector::Action::kSwallow:
       return Status::OK();
-    case FaultKind::kDuplicate:
-      ++stats_.duplicated;
-      Deliver(from, to, frame);
-      Deliver(from, to, std::move(frame));
+    case FaultInjector::Action::kDeliverTwice:
+      Deliver(from, to, verdict.frame);
+      Deliver(from, to, std::move(verdict.frame));
       return Status::OK();
-    case FaultKind::kReorder:
-      ++stats_.reordered;
-      Deliver(from, to, std::move(frame), /*front=*/true);
+    case FaultInjector::Action::kDeliverFront:
+      Deliver(from, to, std::move(verdict.frame), /*front=*/true);
       return Status::OK();
-    case FaultKind::kCorrupt:
-      ++stats_.corrupted;
-      Deliver(from, to, Mutate(FaultKind::kCorrupt, std::move(frame)));
-      return Status::OK();
-    case FaultKind::kTruncate:
-      ++stats_.truncated;
-      Deliver(from, to, Mutate(FaultKind::kTruncate, std::move(frame)));
-      return Status::OK();
-    case FaultKind::kDelay:
-      ++stats_.delayed;
-      delayed_.emplace_back(ChannelKey{from, to}, std::move(frame));
-      return Status::OK();
+    case FaultInjector::Action::kDeliver:
+      return Network::Transmit(from, to, std::move(verdict.frame));
   }
   return Status::OK();
 }
@@ -166,9 +29,7 @@ Status FaultyNetwork::Transmit(PartyId from, PartyId to,
 void FaultyNetwork::BeginRound(std::string label) {
   // Delayed frames surface at the next round boundary, before any of the
   // round's own traffic.
-  std::vector<std::pair<ChannelKey, std::vector<uint8_t>>> due;
-  due.swap(delayed_);
-  for (auto& [key, frame] : due) {
+  for (auto& [key, frame] : injector_.TakeDelayed()) {
     Deliver(key.first, key.second, std::move(frame));
   }
   Network::BeginRound(std::move(label));
@@ -177,44 +38,13 @@ void FaultyNetwork::BeginRound(std::string label) {
 Result<std::vector<uint8_t>> FaultyNetwork::RequestRetransmit(PartyId to,
                                                               PartyId from,
                                                               uint64_t seq) {
-  if (Crashed(from)) {
-    ++stats_.retransmits_refused;
-    return Status::FailedPrecondition(
-        "retransmit refused: " + party_name(from) + " crashed after round " +
-        std::to_string(plan_.crash->after_round));
+  FaultInjector::Retransmission served = injector_.OnRetransmit(
+      RoundIndex(), to, from, seq, DescribeChannel(from, to),
+      party_name(from));
+  if (served.wire_bytes > 0) {
+    MeterSend(from, served.wire_bytes, served.payload_bytes);
   }
-  auto it = sent_log_.find({from, to});
-  if (it != sent_log_.end()) {
-    for (const auto& frame : it->second) {
-      auto peeked = PeekEnvelopeSeq(frame);
-      if (!peeked.ok() || peeked.ValueOrDie() != seq) continue;
-      // A retransmission travels the same unreliable wire: it is metered
-      // like any other message and the fault pipeline gets another shot at
-      // it. Bounded attempts in RecvValidated guarantee termination.
-      ++stats_.retransmits_served;
-      MeterSend(from, frame.size(), frame.size() - kEnvelopeOverheadBytes);
-      const int rule = Decide(from, to);
-      if (rule >= 0) {
-        const FaultKind kind = plan_.rules[static_cast<size_t>(rule)].kind;
-        if (kind == FaultKind::kDrop || kind == FaultKind::kDelay) {
-          ++(kind == FaultKind::kDrop ? stats_.dropped : stats_.delayed);
-          return Status::FailedPrecondition("retransmitted frame lost on " +
-                                            DescribeChannel(from, to));
-        }
-        if (kind == FaultKind::kCorrupt || kind == FaultKind::kTruncate) {
-          ++(kind == FaultKind::kCorrupt ? stats_.corrupted
-                                         : stats_.truncated);
-          return Mutate(kind, frame);
-        }
-        // Duplicate / reorder have no meaning for a direct hand-back.
-      }
-      return frame;
-    }
-  }
-  ++stats_.retransmits_refused;
-  return Status::FailedPrecondition(
-      "retransmit refused: no frame with seq " + std::to_string(seq) +
-      " was ever sent on " + DescribeChannel(from, to));
+  return std::move(served.result);
 }
 
 }  // namespace psi

@@ -1,12 +1,14 @@
-// Deterministic fault injection for the multiparty transport.
+// Deterministic fault injection over the in-process simulator.
 //
-// FaultyNetwork wraps the lossless Network simulator and — driven by a
-// seeded RNG so every schedule is reproducible — drops, duplicates,
-// reorders, corrupts (single bit flip), truncates or delays frames matched
-// by a FaultPlan, and can silence a party entirely after a chosen round
-// (crash fault). It also keeps pristine copies of every transmitted frame,
-// which is what serves Network::RecvValidated's bounded retransmission
-// requests.
+// FaultyNetwork decorates the lossless Network simulator with the shared
+// FaultInjector pipeline (net/fault_injector.h): driven by a seeded RNG so
+// every schedule is reproducible, it drops, duplicates, reorders, corrupts
+// (single bit flip), truncates or delays frames matched by a FaultPlan,
+// and can silence a party entirely after a chosen round (crash fault). The
+// injector also keeps pristine copies of every transmitted frame, which is
+// what serves Network::RecvValidated's bounded retransmission requests.
+// The socket transport applies the *same* injector to frames crossing real
+// sockets, so one chaos plan means one fault schedule on either backend.
 //
 // The chaos invariant the test suite enforces on top of this layer
 // (docs/FAULTS.md): a protocol driver run under ANY fault schedule either
@@ -17,97 +19,13 @@
 #define PSI_NET_FAULT_H_
 
 #include <cstdint>
-#include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "common/random.h"
+#include "net/fault_injector.h"
 #include "net/network.h"
 
 namespace psi {
-
-/// \brief Wildcard PartyId accepted by FaultRule matchers.
-inline constexpr PartyId kAnyParty = 0xFFFFFFFFu;
-
-/// \brief What a firing fault rule does to a frame in flight.
-enum class FaultKind : uint8_t {
-  kDrop = 0,      ///< Frame vanishes.
-  kDuplicate,     ///< Frame is delivered twice.
-  kReorder,       ///< Frame jumps ahead of the channel queue.
-  kCorrupt,       ///< One random bit of the frame is flipped.
-  kTruncate,      ///< Frame is cut to a random proper prefix.
-  kDelay,         ///< Frame is held until the next BeginRound.
-};
-
-const char* FaultKindToString(FaultKind kind);
-
-/// \brief One fault matcher: which messages it applies to and how often.
-struct FaultRule {
-  FaultKind kind = FaultKind::kDrop;
-  PartyId from = kAnyParty;   ///< Sender filter (kAnyParty matches all).
-  PartyId to = kAnyParty;     ///< Receiver filter.
-  uint64_t round_min = 0;     ///< First round index the rule is active in.
-  uint64_t round_max = UINT64_MAX;  ///< Last active round index.
-  double probability = 1.0;   ///< Per-matching-message firing probability.
-  uint32_t max_triggers = UINT32_MAX;  ///< Firing budget across the run.
-};
-
-/// \brief A party that stops participating after a given round: all its
-/// transmissions (including retransmissions) are lost while it is down.
-///
-/// With the default `restart_round` the crash is permanent. A finite
-/// `restart_round` models crash-*restart*: the party is down for round
-/// indices in (after_round, restart_round) and rejoins from `restart_round`
-/// on — having lost its volatile state, which is exactly the failure a
-/// checkpointed ProtocolSession (mpc/session.h) recovers from. Restarting
-/// parties keep their retransmission store (it models durable storage, like
-/// the session checkpoint).
-struct CrashSpec {
-  PartyId party = kAnyParty;
-  uint64_t after_round = 0;  ///< Down in every round index > after_round...
-  uint64_t restart_round = UINT64_MAX;  ///< ...until this round (exclusive).
-};
-
-/// \brief A complete, seeded fault schedule.
-struct FaultPlan {
-  uint64_t seed = 0;  ///< Seeds the coin flips and mutation choices.
-  std::vector<FaultRule> rules;
-  std::optional<CrashSpec> crash;
-
-  /// \brief The all-zero plan: FaultyNetwork behaves exactly like Network.
-  static FaultPlan None() { return FaultPlan{}; }
-
-  /// \brief A randomized chaos schedule: 1-3 rules with random kinds,
-  /// probabilities and budgets, plus an occasional crash of one of
-  /// `num_parties` parties. Fully determined by `seed`.
-  static FaultPlan RandomPlan(uint64_t seed, size_t num_parties);
-
-  /// \brief A randomized crash-restart schedule for session recovery tests:
-  /// always crashes one non-host party after a random round and restarts it
-  /// a few rounds later, plus 0-2 light fault rules. Fully determined by
-  /// `seed`. Kept separate from RandomPlan so its draw order (and therefore
-  /// every existing chaos transcript) is unchanged.
-  static FaultPlan RandomRestartPlan(uint64_t seed, size_t num_parties);
-};
-
-/// \brief Counters of what the fault layer actually did.
-struct FaultStats {
-  uint64_t transmitted = 0;    ///< Frames that entered the fault pipeline.
-  uint64_t dropped = 0;
-  uint64_t duplicated = 0;
-  uint64_t reordered = 0;
-  uint64_t corrupted = 0;
-  uint64_t truncated = 0;
-  uint64_t delayed = 0;
-  uint64_t crash_dropped = 0;  ///< Sends silenced by a crash.
-  uint64_t retransmits_served = 0;
-  uint64_t retransmits_refused = 0;
-
-  uint64_t injected() const {
-    return dropped + duplicated + reordered + corrupted + truncated + delayed;
-  }
-};
 
 /// \brief Network with deterministic, plan-driven fault injection.
 class FaultyNetwork : public Network {
@@ -125,26 +43,14 @@ class FaultyNetwork : public Network {
   [[nodiscard]] Result<std::vector<uint8_t>> RequestRetransmit(PartyId to, PartyId from,
                                                  uint64_t seq) override;
 
-  const FaultStats& fault_stats() const { return stats_; }
+  const FaultStats& fault_stats() const { return injector_.stats(); }
 
  protected:
   [[nodiscard]] Status Transmit(PartyId from, PartyId to,
                   std::vector<uint8_t> frame) override;
 
  private:
-  bool Crashed(PartyId party) const;
-  /// Index into plan_.rules of the first rule that matches and fires, or -1.
-  int Decide(PartyId from, PartyId to);
-  std::vector<uint8_t> Mutate(FaultKind kind, std::vector<uint8_t> frame);
-
-  FaultPlan plan_;
-  Rng rng_;
-  FaultStats stats_;
-  std::vector<uint32_t> triggers_used_;  // Parallel to plan_.rules.
-  // Pristine copies of every frame, per channel, for retransmission.
-  std::map<ChannelKey, std::vector<std::vector<uint8_t>>> sent_log_;
-  // Frames held by kDelay until the next BeginRound.
-  std::vector<std::pair<ChannelKey, std::vector<uint8_t>>> delayed_;
+  FaultInjector injector_;
 };
 
 }  // namespace psi

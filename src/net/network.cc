@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
@@ -36,6 +37,13 @@ PartyId Network::RegisterParty(std::string name) {
 
 void Network::BeginRound(std::string label) {
   rounds_.push_back(RoundStats{std::move(label), 0, 0, 0});
+  if (round_observer_) {
+    round_observer_(rounds_.back().label, rounds_.size() - 1);
+  }
+}
+
+void Network::SetRoundObserver(RoundObserver observer) {
+  round_observer_ = std::move(observer);
 }
 
 const std::string& Network::CurrentRoundLabel() const {
@@ -128,6 +136,13 @@ Result<std::vector<uint8_t>> Network::RequestRetransmit(PartyId to,
       DescribeChannel(from, to));
 }
 
+Status Network::WaitForPending(PartyId to, PartyId from, uint64_t budget_ms) {
+  (void)to;
+  (void)from;
+  (void)budget_ms;
+  return Status::OK();  // Simulator mailboxes are synchronous.
+}
+
 Result<std::vector<uint8_t>> Network::RecvValidated(PartyId to, PartyId from,
                                                     ProtocolId protocol_id,
                                                     uint16_t step,
@@ -141,10 +156,28 @@ Result<std::vector<uint8_t>> Network::RecvValidated(PartyId to, PartyId from,
   std::string last_error = "no message pending";
   // Attempts meter transport work (receives, retransmission requests,
   // damaged frames). Stale duplicates are free to discard but bounded
-  // separately so a flooded mailbox still terminates.
+  // separately so a flooded mailbox still terminates. Retransmission
+  // requests draw on their own budget so a dead channel degrades into a
+  // clean error instead of hammering the peer max_attempts times.
+  const uint64_t deadline_ms =
+      opts.deadline_ms != 0 ? opts.deadline_ms : DefaultRecvDeadlineMs();
+  const auto started = std::chrono::steady_clock::now();
+  auto elapsed_ms = [&started]() -> uint64_t {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count());
+  };
   int attempts = 0;
   int discards = 0;
-  while (attempts < opts.max_attempts && discards < 64) {
+  int retransmits = 0;
+  while (attempts < opts.max_attempts && discards < opts.max_discards) {
+    if (deadline_ms != 0 && elapsed_ms() >= deadline_ms) {
+      return Status::ProtocolError(
+          "RecvValidated: deadline of " + std::to_string(deadline_ms) +
+          " ms expired on " + DescribeChannel(from, to) + " in round '" +
+          CurrentRoundLabel() + "'; last transport error: " + last_error);
+    }
     std::vector<uint8_t> frame;
     auto sit = stash.find(expected);
     if (sit != stash.end()) {
@@ -155,12 +188,27 @@ Result<std::vector<uint8_t>> Network::RecvValidated(PartyId to, PartyId from,
       ++attempts;
     } else {
       ++attempts;
-      auto retry = RequestRetransmit(to, from, expected);
-      if (!retry.ok()) {
-        last_error = retry.status().message();
+      uint64_t wait_budget_ms =
+          deadline_ms != 0 ? deadline_ms - elapsed_ms() : 0;
+      Status waited = WaitForPending(to, from, wait_budget_ms);
+      if (!waited.ok()) {
+        last_error = waited.message();
         continue;
       }
-      frame = std::move(retry).MoveValue();
+      if (HasPending(to, from)) {
+        PSI_ASSIGN_OR_RETURN(frame, Recv(to, from));
+      } else {
+        if (retransmits >= opts.max_retransmits) {
+          break;  // Nothing pending and no budget left; keep last_error.
+        }
+        ++retransmits;
+        auto retry = RequestRetransmit(to, from, expected);
+        if (!retry.ok()) {
+          last_error = retry.status().message();
+          continue;
+        }
+        frame = std::move(retry).MoveValue();
+      }
     }
     auto env = OpenEnvelope(frame);
     if (!env.ok()) {
@@ -205,8 +253,9 @@ Result<std::vector<uint8_t>> Network::RecvValidated(PartyId to, PartyId from,
   return Status::ProtocolError(
       "RecvValidated: giving up on " + DescribeChannel(from, to) +
       " in round '" + CurrentRoundLabel() + "' after " +
-      std::to_string(attempts) + " attempt(s); last transport error: " +
-      last_error);
+      std::to_string(attempts) + " attempt(s) and " +
+      std::to_string(retransmits) +
+      " retransmission request(s); last transport error: " + last_error);
 }
 
 bool Network::HasPending(PartyId to, PartyId from) const {

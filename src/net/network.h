@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -68,9 +69,24 @@ inline constexpr size_t kMaxStashedFramesPerChannel = 64;
 struct RecvOptions {
   /// Maximum transport attempts (initial receive plus retransmission
   /// requests plus damaged-frame retries) before giving up with a
-  /// ProtocolError. This is the per-message deadline counter: a protocol
+  /// ProtocolError. This is the per-message attempt counter: a protocol
   /// driver can never hang waiting for a frame that will not arrive.
   int max_attempts = 6;
+  /// Cap on RequestRetransmit calls within those attempts. Retransmission
+  /// is the expensive repair path (a full extra transit of the frame), so
+  /// it gets its own configurable budget instead of riding the fixed
+  /// attempt constant; once spent, the call keeps draining pending frames
+  /// but no longer asks the transport to re-deliver anything.
+  int max_retransmits = 4;
+  /// Free discards (stale duplicates, early-frame stashes) tolerated before
+  /// giving up, so a flooded mailbox still terminates.
+  int max_discards = 64;
+  /// Wall-clock bound on the whole call, in milliseconds. 0 means "backend
+  /// default": unbounded on the simulated Network (attempts alone bound the
+  /// call), the configured receive timeout on the socket transport. A
+  /// wedged peer that never sends therefore surfaces as a clean
+  /// ProtocolError naming the deadline, never as a hang.
+  uint64_t deadline_ms = 0;
 };
 
 /// \brief Simulated message-passing network with exact byte metering.
@@ -86,6 +102,14 @@ class Network {
 
   size_t num_parties() const { return names_.size(); }
   const std::string& party_name(PartyId id) const { return names_[id]; }
+
+  /// \brief Observer invoked at every BeginRound with the round's label and
+  /// index. Chaos harnesses use it to act at exact protocol positions (kill
+  /// a peer daemon at round k); operational backends use it for tracing.
+  using RoundObserver = std::function<void(const std::string&, uint64_t)>;
+
+  /// \brief Installs (or clears, with nullptr) the round observer.
+  void SetRoundObserver(RoundObserver observer);
 
   /// \brief Opens a new communication round. All sends until the next
   /// BeginRound are accounted to this round. Rounds model the paper's
@@ -127,6 +151,14 @@ class Network {
   [[nodiscard]] virtual Result<std::vector<uint8_t>> RequestRetransmit(PartyId to,
                                                          PartyId from,
                                                          uint64_t seq);
+
+  /// \brief Repairs the transport's own plumbing after a failure: a socket
+  /// backend re-dials and re-authenticates every dead peer connection
+  /// (seeded exponential backoff with jitter, bounded attempts) before the
+  /// session layer replays protocol traffic. The in-process simulator has
+  /// no plumbing to repair, so the base implementation is a no-op.
+  /// SessionOrchestrator calls this before every resume handshake.
+  [[nodiscard]] virtual Status Reestablish() { return Status::OK(); }
 
   /// \brief True if a message from `from` to `to` is pending.
   bool HasPending(PartyId to, PartyId from) const;
@@ -186,6 +218,21 @@ class Network {
   [[nodiscard]] virtual Status Transmit(PartyId from, PartyId to,
                           std::vector<uint8_t> frame);
 
+  /// \brief Blocks (up to `budget_ms`) until a message from `from` to `to`
+  /// is pending, for backends where frames arrive asynchronously: the
+  /// socket transport pumps its event loop here (reads, heartbeats,
+  /// dead-peer detection). The simulator's mailboxes are synchronous, so
+  /// the base implementation returns immediately. A non-OK return means the
+  /// channel is known-unrepairable right now (peer declared dead), not
+  /// merely empty.
+  [[nodiscard]] virtual Status WaitForPending(PartyId to, PartyId from,
+                                              uint64_t budget_ms);
+
+  /// \brief Backend default for RecvOptions::deadline_ms == 0. The
+  /// simulator returns 0 (no wall-clock bound); the socket transport
+  /// returns its configured receive timeout.
+  virtual uint64_t DefaultRecvDeadlineMs() const { return 0; }
+
   bool ValidParty(PartyId id) const { return id < names_.size(); }
 
   /// \brief Index of the current round (0 before any BeginRound).
@@ -200,6 +247,7 @@ class Network {
   std::string DescribeChannel(PartyId from, PartyId to) const;
 
  private:
+  RoundObserver round_observer_;
   std::vector<std::string> names_;
   // (from, to) -> FIFO of payloads.
   std::map<ChannelKey, std::deque<std::vector<uint8_t>>> mailboxes_;
@@ -212,14 +260,22 @@ class Network {
   std::map<ChannelKey, std::map<uint64_t, std::vector<uint8_t>>> stash_;
 };
 
-/// \brief Returns `result` unchanged, first draining every mailbox when it
-/// carries an error. Protocol drivers route their public entry points
-/// through this so a failed run never leaves half-consumed frames behind
-/// for an unrelated successor protocol to misread; the chaos harness
-/// asserts `PendingCount() == 0` after every outcome.
+/// \brief Returns `result` unchanged on success; on error, drains every
+/// mailbox first and appends the per-channel discard summary ("2 message(s)
+/// from P1 ...") to the error's context. Protocol drivers route their
+/// public entry points through this so a failed run never leaves
+/// half-consumed frames behind for an unrelated successor protocol to
+/// misread — and so a chaos-run error names exactly what it threw away;
+/// the chaos harness asserts `PendingCount() == 0` after every outcome.
 template <typename T>
 [[nodiscard]] Result<T> DrainOnError(Network* network, Result<T> result) {
-  if (!result.ok()) (void)network->DrainAll();
+  if (!result.ok()) {
+    std::string drained = network->DrainAll();
+    if (!drained.empty()) {
+      return Status(result.status().code(),
+                    result.status().message() + " [drained: " + drained + "]");
+    }
+  }
   return result;
 }
 

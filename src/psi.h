@@ -53,9 +53,13 @@
 #include "mpc/segmented_influence.h"  // IWYU pragma: export
 #include "mpc/session.h"             // IWYU pragma: export
 #include "net/cost_model.h"           // IWYU pragma: export
+#include "net/daemon.h"               // IWYU pragma: export
 #include "net/envelope.h"             // IWYU pragma: export
 #include "net/fault.h"                // IWYU pragma: export
+#include "net/fault_injector.h"       // IWYU pragma: export
 #include "net/network.h"              // IWYU pragma: export
+#include "net/socket_transport.h"     // IWYU pragma: export
+#include "net/socket_util.h"          // IWYU pragma: export
 #include "privacy/gain_experiment.h"  // IWYU pragma: export
 #include "privacy/leakage.h"          // IWYU pragma: export
 #include "privacy/posterior.h"        // IWYU pragma: export

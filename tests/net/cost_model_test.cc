@@ -7,6 +7,7 @@
 #include "mpc/homomorphic_sum.h"
 #include "net/envelope.h"
 #include "net/network.h"
+#include "net/socket_util.h"
 
 namespace psi {
 namespace {
@@ -263,6 +264,51 @@ TEST(CostModelTest, SessionResumeCosts) {
 
   p.num_parties = 1;
   EXPECT_FALSE(SessionResumeCosts(p).ok());
+}
+
+TEST(CostModelTest, TransportOverheadCosts) {
+  TransportOverheadCostParams p;
+  p.relayed_messages = 10;
+  p.heartbeats = 5;
+  p.reconnects = 1;
+  p.session_name_bytes = 16;
+  p.hosted_parties = 1;
+  auto report = TransportOverheadCosts(p).ValueOrDie();
+  // Each relayed frame is framed twice: 12-byte transport header plus the
+  // 8-byte routing prefix, client -> daemon and on the echo back.
+  EXPECT_EQ(report.relay_overhead_bytes, 10u * 2u * (12u + 8u));
+  // A probe and its ack each cost one empty-body header.
+  EXPECT_EQ(report.heartbeat_bytes, 5u * 2u * 12u);
+  // challenge(16-byte nonce) + hello(session, 32-byte digest, party list)
+  // + ack(verdict byte, short reason), each under a 12-byte header.
+  const uint64_t hello_body = (1 + 16) + (1 + 32) + 1 + 1;
+  const uint64_t ack_body = 1 + (1 + 2);
+  EXPECT_EQ(report.reconnect_bytes,
+            (12u + 16u) + (12u + hello_body) + (12u + ack_body));
+  EXPECT_EQ(report.total_overhead_bytes,
+            report.relay_overhead_bytes + report.heartbeat_bytes +
+                report.reconnect_bytes);
+  // Ratio against a protocol transcript; zero protocol bytes is not a
+  // division crash.
+  EXPECT_GT(report.OverheadRatio(4000), 0.0);
+  EXPECT_DOUBLE_EQ(report.OverheadRatio(0), 0.0);
+}
+
+TEST(CostModelTest, TransportOverheadCostsRejectsWidePartyLists) {
+  TransportOverheadCostParams p;
+  p.relayed_messages = 1;
+  p.hosted_parties = 128;  // Beyond the 1-byte-varint model.
+  EXPECT_FALSE(TransportOverheadCosts(p).ok());
+}
+
+TEST(CostModelTest, TransportOverheadMatchesMeasuredRelayFraming) {
+  // The model's per-relay constant is exactly the transport header plus
+  // the routing prefix the implementation writes (net/socket_util.h):
+  // kData body = [u32 from][u32 to][envelope frame].
+  TransportOverheadCostParams p;
+  p.relayed_messages = 1;
+  auto one = TransportOverheadCosts(p).ValueOrDie();
+  EXPECT_EQ(one.relay_overhead_bytes, 2 * (kTransportHeaderBytes + 8));
 }
 
 }  // namespace

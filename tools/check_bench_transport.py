@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Bench gate for the socket transport layer.
+
+Validates a fresh bench_transport JSON run against the committed baseline
+(BENCH_transport.json). Every gated counter is a deterministic meter
+(protocol traffic, relay frame counts, reconnect attempts), so the checks
+are machine independent; real_time_ns / roundtrip_ns are reported but never
+gated (loopback scheduling is not reproducible across machines).
+
+  1. Correctness invariants (same run):
+       - all three scenarios complete;
+       - the socket backend meters protocol traffic identically to the
+         simulator (metering_matches_simulator == 1) and its wire counters
+         equal the simulator row's counters exactly;
+       - every relayed frame came back (frames_echoed == frames_relayed)
+         and the daemon hairpinned each one, with zero protocol
+         violations;
+       - the relay framing overhead matches the analytic cost model:
+         relay_overhead_bytes == frames_relayed * 2 * (12 + 8);
+       - the reconnect scenario detected the dead peer, reconnected, and
+         the restarted daemon saw a resume hello.
+  2. Regression guard vs the committed baseline:
+       - protocol wire traffic (messages and bytes) must not grow more
+         than 25% over baseline;
+       - relayed frame count and relay overhead must not grow more than
+         25% (transport chatter creeping into the data path);
+       - reconnect_attempts must not grow at all: recovery from a
+         listening daemon must stay a first-dial success.
+
+Usage: check_bench_transport.py --baseline BENCH_transport.json --run fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+SIM = "transport/simulator_roundtrip"
+SOCK = "transport/socket_roundtrip"
+RECONNECT = "transport/reconnect_resume"
+
+MAX_REGRESSION = 0.25
+
+# Per-relayed-frame framing cost: each protocol frame is framed twice
+# (client -> daemon, echo back), a 12-byte transport header plus the
+# 8-byte from/to routing prefix each way (docs/TRANSPORT.md).
+RELAY_OVERHEAD_PER_FRAME = 2 * (12 + 8)
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    by_name = {}
+    for bench in data.get("benchmarks", []):
+        by_name[bench["name"]] = bench
+    return by_name
+
+
+def row(benches, name):
+    if name not in benches:
+        raise SystemExit(f"FAIL: benchmark '{name}' missing from results")
+    return benches[name]
+
+
+def counter(benches, name, key):
+    value = row(benches, name).get(key)
+    if value is None:
+        raise SystemExit(f"FAIL: benchmark '{name}' has no counter '{key}'")
+    return int(value)
+
+
+def check_invariants(benches, failures):
+    for name in (SIM, SOCK, RECONNECT):
+        if counter(benches, name, "ok") != 1:
+            failures.append(f"{name} did not complete")
+
+    if counter(benches, SOCK, "metering_matches_simulator") != 1:
+        failures.append("socket run metered differently from the simulator")
+    for key in ("wire_messages", "wire_bytes", "wire_payload_bytes"):
+        sim = counter(benches, SIM, key)
+        sock = counter(benches, SOCK, key)
+        if sim != sock:
+            failures.append(f"{key} differs across backends: {sim} vs {sock}")
+
+    relayed = counter(benches, SOCK, "frames_relayed")
+    if relayed == 0:
+        failures.append("no frames crossed the wire")
+    if counter(benches, SOCK, "frames_echoed") != relayed:
+        failures.append("relayed and echoed frame counts differ")
+    if counter(benches, SOCK, "frames_hairpinned") != relayed:
+        failures.append("daemon hairpin count disagrees with the client")
+    if counter(benches, SOCK, "daemon_protocol_violations") != 0:
+        failures.append("daemon recorded protocol violations on a clean run")
+
+    overhead = counter(benches, SOCK, "relay_overhead_bytes")
+    expected = relayed * RELAY_OVERHEAD_PER_FRAME
+    if overhead != expected:
+        failures.append(
+            f"relay overhead diverged from the analytic model: "
+            f"{overhead} vs {expected} for {relayed} frames"
+        )
+
+    if counter(benches, RECONNECT, "dead_peers_detected") < 1:
+        failures.append("dead daemon went undetected")
+    if counter(benches, RECONNECT, "reconnects") != 1:
+        failures.append("reconnect scenario did not reconnect exactly once")
+    if counter(benches, RECONNECT, "resumed_hellos") < 1:
+        failures.append("restarted daemon never saw a resume hello")
+
+
+def check_regressions(benches, baseline, failures):
+    grow_caps = [
+        (SOCK, "wire_messages"),
+        (SOCK, "wire_bytes"),
+        (SOCK, "frames_relayed"),
+        (SOCK, "relay_overhead_bytes"),
+    ]
+    for name, key in grow_caps:
+        fresh = counter(benches, name, key)
+        base = counter(baseline, name, key)
+        ceiling = base * (1.0 + MAX_REGRESSION)
+        print(f"{name}/{key}: {fresh} (baseline {base}, ceiling {ceiling:.0f})")
+        if fresh > ceiling:
+            failures.append(
+                f"{name}/{key} grew: {fresh} vs baseline {base} "
+                f"(> {MAX_REGRESSION:.0%} increase)"
+            )
+
+    fresh_attempts = counter(benches, RECONNECT, "reconnect_attempts")
+    base_attempts = counter(baseline, RECONNECT, "reconnect_attempts")
+    print(
+        f"{RECONNECT}/reconnect_attempts: {fresh_attempts} "
+        f"(baseline {base_attempts})"
+    )
+    if fresh_attempts > base_attempts:
+        failures.append(
+            f"reconnecting to a listening daemon took {fresh_attempts} "
+            f"dials (baseline {base_attempts}): first-dial recovery broke"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--run", required=True)
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.run)
+
+    failures = []
+    check_invariants(fresh, failures)
+    check_regressions(fresh, baseline, failures)
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("OK: transport bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

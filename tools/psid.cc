@@ -1,0 +1,95 @@
+// psid — the party-hosting daemon binary of the socket transport.
+//
+// Hosts one endpoint of the wire for the parties named on the command
+// line and serves any number of concurrent protocol sessions (see
+// src/net/daemon.h for the model). Prints the bound port on stdout so
+// scripts can spawn it with --port 0 and discover the ephemeral port.
+//
+//   psid --port 7001 --token s3cret --host P1 --host P2
+//
+// SIGINT/SIGTERM shut it down cleanly.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/daemon.h"
+
+namespace {
+
+psi::PsidDaemon* g_daemon = nullptr;
+
+void HandleSignal(int /*sig*/) {
+  if (g_daemon != nullptr) g_daemon->Stop();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--bind ADDR] [--token T] "
+               "[--seed N] [--host PARTY]...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  psi::PsidConfig config;
+  uint16_t port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--port" && has_value) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--bind" && has_value) {
+      config.bind_host = argv[++i];
+    } else if (arg == "--token" && has_value) {
+      config.auth_token = argv[++i];
+    } else if (arg == "--seed" && has_value) {
+      config.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--host" && has_value) {
+      config.hosted_parties.push_back(argv[++i]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  psi::PsidDaemon daemon(config);
+  auto bound = daemon.Listen(port);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "psid: %s\n", bound.status().message().c_str());
+    return 1;
+  }
+  g_daemon = &daemon;
+  signal(SIGINT, HandleSignal);
+  signal(SIGTERM, HandleSignal);
+
+  std::printf("%u\n", static_cast<unsigned>(bound.ValueOrDie()));
+  std::fflush(stdout);
+  std::string parties;
+  for (const std::string& p : config.hosted_parties) {
+    parties += (parties.empty() ? "" : ", ") + p;
+  }
+  std::fprintf(stderr, "psid: listening on %s:%u hosting [%s]\n",
+               config.bind_host.c_str(),
+               static_cast<unsigned>(bound.ValueOrDie()), parties.c_str());
+
+  psi::Status served = daemon.Run();
+  if (!served.ok()) {
+    std::fprintf(stderr, "psid: %s\n", served.message().c_str());
+    return 1;
+  }
+  const psi::PsidStats& stats = daemon.stats();
+  std::fprintf(stderr,
+               "psid: served %llu connection(s), %llu hairpinned + %llu "
+               "forwarded frame(s), %llu auth failure(s)\n",
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.frames_hairpinned),
+               static_cast<unsigned long long>(stats.frames_forwarded),
+               static_cast<unsigned long long>(stats.auth_failures));
+  return 0;
+}
