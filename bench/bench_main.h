@@ -1,0 +1,43 @@
+// Shared main() for the google-benchmark binaries. The stock
+// BENCHMARK_MAIN() is not enough for our JSON gates: the library-provided
+// "library_build_type" context key describes how *libbenchmark* was built,
+// not this binary — a Release psi build linked against a distro debug
+// libbenchmark reports "debug". PSI_BENCHMARK_MAIN() stamps the context
+// with the truth about this binary (psi_build_type) plus which limb-kernel
+// variant the one-time CPU dispatch selected (psi_limb_kernel), and the
+// tools/check_bench_*.py gates refuse to accept debug numbers.
+
+#ifndef PSI_BENCH_BENCH_MAIN_H_
+#define PSI_BENCH_BENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include "bigint/limb_kernel.h"
+
+namespace psi {
+namespace bench {
+
+#ifdef NDEBUG
+inline constexpr const char kPsiBuildType[] = "release";
+#else
+inline constexpr const char kPsiBuildType[] = "debug";
+#endif
+
+}  // namespace bench
+}  // namespace psi
+
+#define PSI_BENCHMARK_MAIN()                                                 \
+  int main(int argc, char** argv) {                                          \
+    benchmark::AddCustomContext("psi_build_type", psi::bench::kPsiBuildType); \
+    benchmark::AddCustomContext(                                             \
+        "psi_limb_kernel",                                                   \
+        psi::limb_kernel::VariantName(psi::limb_kernel::ActiveVariant()));   \
+    benchmark::Initialize(&argc, argv);                                      \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;        \
+    benchmark::RunSpecifiedBenchmarks();                                     \
+    benchmark::Shutdown();                                                   \
+    return 0;                                                                \
+  }                                                                          \
+  static_assert(true, "require a trailing semicolon")
+
+#endif  // PSI_BENCH_BENCH_MAIN_H_

@@ -7,6 +7,8 @@
 
 #include <memory>
 
+#include "bench_main.h"
+
 #include "actionlog/counters.h"
 #include "actionlog/generator.h"
 #include "actionlog/partition.h"
@@ -475,4 +477,4 @@ BENCHMARK(BM_CascadeGeneration)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace psi
 
-BENCHMARK_MAIN();
+PSI_BENCHMARK_MAIN();

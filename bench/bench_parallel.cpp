@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "bench_main.h"
+
 #include "actionlog/generator.h"
 #include "actionlog/partition.h"
 #include "common/thread_pool.h"
@@ -107,4 +109,4 @@ BENCHMARK(BM_ParallelEmEstep)->Apply(ThreadArgs)
 }  // namespace
 }  // namespace psi
 
-BENCHMARK_MAIN();
+PSI_BENCHMARK_MAIN();

@@ -197,6 +197,11 @@ int Run() {
   std::printf(
       "{\n"
       "  \"context\": {\n"
+#ifdef NDEBUG
+      "    \"psi_build_type\": \"release\",\n"
+#else
+      "    \"psi_build_type\": \"debug\",\n"
+#endif
       "    \"bench\": \"bench_recovery\",\n"
       "    \"protocol\": \"link_influence (Protocol 4)\",\n"
       "    \"providers\": %zu,\n"

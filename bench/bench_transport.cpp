@@ -229,6 +229,11 @@ int Run() {
   std::printf(
       "{\n"
       "  \"context\": {\n"
+#ifdef NDEBUG
+      "    \"psi_build_type\": \"release\",\n"
+#else
+      "    \"psi_build_type\": \"debug\",\n"
+#endif
       "    \"bench\": \"bench_transport\",\n"
       "    \"round_trips\": %zu,\n"
       "    \"payload_bytes\": %zu,\n"

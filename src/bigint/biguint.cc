@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdlib>
 
+#include "bigint/limb_kernel.h"
 #include "common/logging.h"
 
 namespace psi {
@@ -12,17 +14,34 @@ namespace {
 
 __extension__ typedef unsigned __int128 u128;
 
-// Cutover below which MulKaratsuba falls back to schoolbook. Tuned with a
-// BM_BigUIntMul sweep (256/1024/4096/16384-bit balanced operands) over
-// thresholds {8,16,24,28,32,40,48,64}: 8-16 lose badly to recursion
-// overhead; 24-32 pay ~10% at 4096 bits for the extra split down to 16-limb
-// leaves; 40-64 are equal-best at every measured size (identical recursion
-// trees on power-of-two operands). 40 is the smallest value on that
-// plateau, so Karatsuba still engages for 2560-bit-plus operands (Paillier
-// n^2 products at 2048-bit keys and up).
+// Cutover below which MulKaratsuba falls back to schoolbook. Re-tuned after
+// the schoolbook base case moved onto the dispatched limb kernels
+// (limb_kernel::Mul, BMI2/ADX on x86): BM_BigUIntMul sweep
+// (256/1024/4096/16384-bit balanced operands) over thresholds
+// {8,16,24,28,32,40,48,64,96}. 8-16 still lose 2-4x to recursion overhead;
+// 24-32 now pay ~15% at 4096 bits (the faster mulx base case shrinks what a
+// split saves, so splitting down to 16-limb leaves got relatively worse);
+// 40-64 tie within noise at every size (4096b: 4.2-4.4us; 16384b: 46-47us)
+// and 96 gives back ~10% by running 64-limb schoolbook leaves. The pre- and
+// post-kernel sweeps agree on 40 as the smallest value on the plateau, so
+// Karatsuba still engages for 2560-bit-plus operands (Paillier n^2 products
+// at 2048-bit keys and up).
 constexpr size_t kKaratsubaThreshold = 40;  // limbs
 constexpr uint64_t kDecChunk = 10000000000000000000ull;  // 10^19
 constexpr int kDecChunkDigits = 19;
+
+// The sweep harness overrides the cutover via PSI_KARATSUBA_THRESHOLD; the
+// committed default above is what ships. Read once per process.
+size_t KaratsubaThreshold() {
+  static const size_t kThreshold = [] {
+    if (const char* env = std::getenv("PSI_KARATSUBA_THRESHOLD")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 1) return static_cast<size_t>(v);
+    }
+    return kKaratsubaThreshold;
+  }();
+  return kThreshold;
+}
 
 int HexDigitValue(char c) {
   if (c >= '0' && c <= '9') return c - '0';
@@ -79,6 +98,13 @@ BigUInt BigUInt::FromLittleEndianBytes(const std::vector<uint8_t>& bytes) {
   for (size_t i = 0; i < bytes.size(); ++i) {
     v.limbs_[i / 8] |= static_cast<uint64_t>(bytes[i]) << (8 * (i % 8));
   }
+  v.Normalize();
+  return v;
+}
+
+BigUInt BigUInt::FromLimbs(const uint64_t* limbs, size_t count) {
+  BigUInt v;
+  v.limbs_.assign(limbs, limbs + count);
   v.Normalize();
   return v;
 }
@@ -191,16 +217,11 @@ BigUInt BigUInt::MulSchoolbook(const BigUInt& a, const BigUInt& b) {
   BigUInt out;
   if (a.IsZero() || b.IsZero()) return out;
   out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
-  for (size_t i = 0; i < a.limbs_.size(); ++i) {
-    uint64_t carry = 0;
-    u128 ai = a.limbs_[i];
-    for (size_t j = 0; j < b.limbs_.size(); ++j) {
-      u128 cur = static_cast<u128>(out.limbs_[i + j]) + ai * b.limbs_[j] + carry;
-      out.limbs_[i + j] = static_cast<uint64_t>(cur);
-      carry = static_cast<uint64_t>(cur >> 64);
-    }
-    out.limbs_[i + b.limbs_.size()] = carry;
-  }
+  // The CPU-dispatched limb kernel (mulx/adcx chains where the CPU has
+  // them, __int128 schoolbook otherwise) is the shared base case for
+  // BigUInt and FixedUInt multiplies.
+  limb_kernel::Mul(a.limbs_.data(), a.limbs_.size(), b.limbs_.data(),
+                   b.limbs_.size(), out.limbs_.data());
   out.Normalize();
   return out;
 }
@@ -218,8 +239,8 @@ BigUInt BigUInt::Slice(size_t lo, size_t hi) const {
 }
 
 BigUInt BigUInt::MulKaratsuba(const BigUInt& a, const BigUInt& b) {
-  if (a.limbs_.size() < kKaratsubaThreshold ||
-      b.limbs_.size() < kKaratsubaThreshold) {
+  const size_t threshold = KaratsubaThreshold();
+  if (a.limbs_.size() < threshold || b.limbs_.size() < threshold) {
     return MulSchoolbook(a, b);
   }
   size_t half = std::max(a.limbs_.size(), b.limbs_.size()) / 2;

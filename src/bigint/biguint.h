@@ -42,6 +42,9 @@ class BigUInt {
   /// \brief Builds from little-endian bytes.
   static BigUInt FromLittleEndianBytes(const std::vector<uint8_t>& bytes);
 
+  /// \brief Builds from a little-endian limb array (high zero limbs fine).
+  static BigUInt FromLimbs(const uint64_t* limbs, size_t count);
+
   /// \brief 2^k.
   static BigUInt PowerOfTwo(size_t k);
 

@@ -1,0 +1,154 @@
+#include "bigint/fixed_mont.h"
+
+#include <vector>
+
+#include "bigint/limb_kernel.h"
+#include "bigint/pow_window.h"
+#include "common/logging.h"
+
+namespace psi {
+
+namespace {
+
+template <size_t L>
+class FixedMontEngine final : public FixedMontEngineBase {
+ public:
+  FixedMontEngine(const BigUInt& modulus, uint64_t n_prime,
+                  const BigUInt& r_mod_n, const BigUInt& r2_mod_n)
+      : n_big_(modulus), n0_(n_prime) {
+    for (size_t i = 0; i < L; ++i) {
+      n_[i] = modulus.limb(i);
+      one_mont_[i] = r_mod_n.limb(i);
+      r2_[i] = r2_mod_n.limb(i);
+      one_[i] = i == 0 ? 1 : 0;
+    }
+  }
+
+  size_t limbs() const override { return L; }
+
+  void MontMulRaw(const uint64_t* a, const uint64_t* b,
+                  uint64_t* out) const override {
+    limb_kernel::MontMul<L>(a, b, n_, n0_, out);
+  }
+
+  void ToMontRaw(const uint64_t* a, uint64_t* out) const override {
+    limb_kernel::MontMul<L>(a, r2_, n_, n0_, out);
+  }
+
+  void FromMontRaw(const uint64_t* a, uint64_t* out) const override {
+    // REDC(a * 1) = a * R^-1 mod n.
+    limb_kernel::MontMul<L>(a, one_, n_, n0_, out);
+  }
+
+  void OneMontRaw(uint64_t* out) const override {
+    for (size_t i = 0; i < L; ++i) out[i] = one_mont_[i];
+  }
+
+  BigUInt Multiply(const BigUInt& a, const BigUInt& b) const override {
+    uint64_t ra[L], rb[L], ro[L];
+    Load(a, ra);
+    Load(b, rb);
+    limb_kernel::MontMul<L>(ra, rb, n_, n0_, ro);
+    return BigUInt::FromLimbs(ro, L);
+  }
+
+  BigUInt ToMontgomery(const BigUInt& a) const override {
+    PSI_DCHECK(a < n_big_);
+    uint64_t ra[L];
+    Load(a, ra);
+    ToMontRaw(ra, ra);
+    return BigUInt::FromLimbs(ra, L);
+  }
+
+  BigUInt FromMontgomery(const BigUInt& a) const override {
+    uint64_t ra[L];
+    Load(a, ra);
+    FromMontRaw(ra, ra);
+    return BigUInt::FromLimbs(ra, L);
+  }
+
+  BigUInt Pow(const BigUInt& base,
+              PSI_SECRET const BigUInt& exp) const override {
+    // Same digit walk as the heap MontgomeryContext::Pow (pow_window.h), so
+    // the two paths compute identical intermediate values — only the limb
+    // storage differs.
+    uint64_t b_mont[L];
+    Load(base % n_big_, b_mont);
+    ToMontRaw(b_mont, b_mont);
+    const size_t bits = exp.BitLength();
+    const size_t w = internal::WindowBitsFor(bits);
+    uint64_t result[L];
+    if (w == 1) {
+      OneMontRaw(result);
+      for (size_t i = bits; i-- > 0;) {
+        MontMulRaw(result, result, result);
+        // psi-lint: allow(secret-flow) exponent ladder at the key owner; DESIGN.md's simulated network carries no timing channel
+        if (exp.GetBit(i)) MontMulRaw(result, b_mont, result);
+      }
+    } else {
+      // table[d] = base^d in Montgomery form, d < 2^w, rows flat at stride L.
+      const size_t table_size = size_t{1} << w;
+      std::vector<uint64_t> table(table_size * L);
+      OneMontRaw(table.data());
+      for (size_t i = 0; i < L; ++i) table[L + i] = b_mont[i];
+      for (size_t d = 2; d < table_size; ++d) {
+        MontMulRaw(&table[(d - 1) * L], b_mont, &table[d * L]);
+      }
+      const size_t digits = (bits + w - 1) / w;
+      const size_t top = internal::ExpDigit(exp, (digits - 1) * w, w);
+      for (size_t i = 0; i < L; ++i) result[i] = table[top * L + i];
+      for (size_t d = digits - 1; d-- > 0;) {
+        for (size_t s = 0; s < w; ++s) MontMulRaw(result, result, result);
+        const size_t digit = internal::ExpDigit(exp, d * w, w);
+        if (digit != 0) MontMulRaw(result, &table[digit * L], result);
+      }
+    }
+    FromMontRaw(result, result);
+    return BigUInt::FromLimbs(result, L);
+  }
+
+ private:
+  /// Loads a value < n into an L-limb buffer (high limbs zero-filled).
+  static void Load(const BigUInt& v, uint64_t* out) {
+    PSI_DCHECK(v.num_limbs() <= L);
+    for (size_t i = 0; i < L; ++i) out[i] = v.limb(i);
+  }
+
+  BigUInt n_big_;           // For the boundary reductions (base % n).
+  uint64_t n_[L];           // The modulus.
+  uint64_t one_mont_[L];    // R mod n (Montgomery form of 1).
+  uint64_t r2_[L];          // R^2 mod n (ToMontgomery multiplier).
+  uint64_t one_[L];         // Plain 1 (FromMontgomery multiplier).
+  uint64_t n0_;             // -n^-1 mod 2^64.
+};
+
+}  // namespace
+
+std::shared_ptr<const FixedMontEngineBase> MakeFixedMontEngine(
+    const BigUInt& modulus, uint64_t n_prime, const BigUInt& r_mod_n,
+    const BigUInt& r2_mod_n) {
+  // Only an EXACT width match attaches an engine: the engine's R is
+  // 2^(64*L), and only L == num_limbs(modulus) reproduces the heap path's
+  // R, keeping Montgomery-domain values interchangeable between the two.
+  switch (modulus.num_limbs()) {
+    case 4:
+      return std::make_shared<FixedMontEngine<4>>(modulus, n_prime, r_mod_n,
+                                                  r2_mod_n);
+    case 8:
+      return std::make_shared<FixedMontEngine<8>>(modulus, n_prime, r_mod_n,
+                                                  r2_mod_n);
+    case 16:
+      return std::make_shared<FixedMontEngine<16>>(modulus, n_prime, r_mod_n,
+                                                   r2_mod_n);
+    case 32:
+      return std::make_shared<FixedMontEngine<32>>(modulus, n_prime, r_mod_n,
+                                                   r2_mod_n);
+    case 64:
+      return std::make_shared<FixedMontEngine<64>>(modulus, n_prime, r_mod_n,
+                                                   r2_mod_n);
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace psi

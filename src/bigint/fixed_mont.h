@@ -1,0 +1,96 @@
+// Fixed-width Montgomery engine: the stack-allocated fast path under
+// MontgomeryContext. When a modulus is exactly one of the instantiated limb
+// widths (the 512/1024/2048-bit key geometries Paillier/RSA use, their n^2,
+// and the CRT half-sizes), MontgomeryContext::Create attaches an engine and
+// routes Multiply/Pow/ToMontgomery/FromMontgomery through it: every inner
+// multiply becomes a compile-time-unrolled CIOS kernel over FixedUInt-style
+// stack buffers (limb_kernel.h) instead of heap-limbed BigUInt REDC.
+//
+// The engine uses the SAME R = 2^(64 * num_limbs(n)) as the heap path — the
+// exact-width match in MakeFixedMontEngine guarantees that — so Montgomery-
+// domain values are interchangeable between the two paths and results are
+// bit-for-bit identical. Kernel choice (portable vs x86) cannot change any
+// value either; both compute the same exact integers. Protocol transcripts
+// therefore do not move by a single byte when the engine engages.
+//
+// To add a new key geometry: add its limb width to kFixedMontWidths and a
+// matching case in MakeFixedMontEngine's width switch (fixed_mont.cc) —
+// that case instantiates FixedMontEngine<W> and all its kernels. Nothing
+// else changes (docs/PERF.md "Fixed-width limb engine").
+
+#ifndef PSI_BIGINT_FIXED_MONT_H_
+#define PSI_BIGINT_FIXED_MONT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "bigint/biguint.h"
+#include "common/annotations.h"
+
+namespace psi {
+
+/// Widths (in 64-bit limbs) the engine is instantiated for: 256 to
+/// 4096-bit moduli in powers of two. Covers p/q, p^2/q^2, n and n^2 for
+/// 512/1024/2048-bit Paillier/RSA keys.
+inline constexpr size_t kFixedMontWidths[] = {4, 8, 16, 32, 64};
+
+/// Largest instantiated width; raw-limb scratch buffers size to this.
+inline constexpr size_t kMaxFixedMontLimbs = 64;
+
+/// \brief Type-erased fixed-width Montgomery engine for one odd modulus.
+///
+/// Raw-limb entry points operate on little-endian buffers of exactly
+/// limbs() limbs (callers own the storage; kMaxFixedMontLimbs bounds it),
+/// letting hot loops (FixedBaseTable::Pow, the exponentiation ladder) stay
+/// allocation-free. BigUInt entry points convert at the boundary only.
+/// Read-only after construction: safe to share across ParallelFor workers.
+class FixedMontEngineBase {
+ public:
+  virtual ~FixedMontEngineBase() = default;
+
+  /// Width of every raw-limb buffer, == num_limbs of the modulus.
+  virtual size_t limbs() const = 0;
+
+  // -- raw-limb hot path (no allocation, fixed-width kernels) ---------------
+
+  /// out = a*b*R^-1 mod n for Montgomery-domain a, b < n. Aliasing with
+  /// either input is fine.
+  virtual void MontMulRaw(const uint64_t* a, const uint64_t* b,
+                          uint64_t* out) const = 0;
+
+  /// out = a*R mod n for an ordinary residue a < n.
+  virtual void ToMontRaw(const uint64_t* a, uint64_t* out) const = 0;
+
+  /// out = a*R^-1 mod n (leaves the Montgomery domain).
+  virtual void FromMontRaw(const uint64_t* a, uint64_t* out) const = 0;
+
+  /// out = R mod n, the Montgomery form of 1.
+  virtual void OneMontRaw(uint64_t* out) const = 0;
+
+  // -- BigUInt boundary -----------------------------------------------------
+
+  /// Montgomery product of two domain values (< n).
+  virtual BigUInt Multiply(const BigUInt& a, const BigUInt& b) const = 0;
+
+  virtual BigUInt ToMontgomery(const BigUInt& a) const = 0;
+  virtual BigUInt FromMontgomery(const BigUInt& a) const = 0;
+
+  /// base^exp mod n, fixed-window ladder over the raw kernels. `base` is an
+  /// ordinary residue (reduced internally). The exponent is key material on
+  /// the decrypt path, hence the taint annotation.
+  virtual BigUInt Pow(const BigUInt& base, PSI_SECRET const BigUInt& exp)
+      const = 0;
+};
+
+/// \brief Builds the engine for `modulus` when its exact limb width is one
+/// of kFixedMontWidths; returns nullptr otherwise (callers keep the heap
+/// path). Preconditions match MontgomeryContext: odd modulus >= 3;
+/// `n_prime` = -n^-1 mod 2^64, `r_mod_n`/`r2_mod_n` for R = 2^(64*limbs).
+std::shared_ptr<const FixedMontEngineBase> MakeFixedMontEngine(
+    const BigUInt& modulus, uint64_t n_prime, const BigUInt& r_mod_n,
+    const BigUInt& r2_mod_n);
+
+}  // namespace psi
+
+#endif  // PSI_BIGINT_FIXED_MONT_H_

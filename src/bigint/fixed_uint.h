@@ -1,0 +1,90 @@
+// FixedUInt<Limbs>: a stack-allocated unsigned integer of compile-time
+// width. Where BigUInt pays heap limbs, dynamic sizing, and runtime loop
+// bounds, FixedUInt is a plain array whose add/sub/mul/REDC loops unroll at
+// compile time (limb_kernel.h). It deliberately has no growing arithmetic —
+// widths are part of the type, overflow is the caller's contract — because
+// its one job is to be the operand representation inside the fixed-width
+// Montgomery engine (fixed_mont.h). Conversions to/from BigUInt happen only
+// at the API boundary.
+
+#ifndef PSI_BIGINT_FIXED_UINT_H_
+#define PSI_BIGINT_FIXED_UINT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bigint/biguint.h"
+#include "bigint/limb_kernel.h"
+#include "common/logging.h"
+
+namespace psi {
+
+/// \brief Fixed-width little-endian unsigned integer (Limbs x 64 bits),
+/// value-type semantics, no allocation anywhere.
+template <size_t Limbs>
+class FixedUInt {
+  static_assert(Limbs > 0, "FixedUInt needs at least one limb");
+
+ public:
+  static constexpr size_t kLimbs = Limbs;
+  static constexpr size_t kBits = Limbs * 64;
+
+  constexpr FixedUInt() : limbs_{} {}
+
+  /// \brief True when v's significant limbs fit this width.
+  static bool Fits(const BigUInt& v) { return v.num_limbs() <= Limbs; }
+
+  /// \brief Converts from BigUInt. Precondition: Fits(v).
+  static FixedUInt FromBigUInt(const BigUInt& v) {
+    PSI_DCHECK(Fits(v));
+    FixedUInt out;
+    for (size_t i = 0; i < Limbs; ++i) out.limbs_[i] = v.limb(i);
+    return out;
+  }
+
+  BigUInt ToBigUInt() const { return BigUInt::FromLimbs(limbs_, Limbs); }
+
+  uint64_t limb(size_t i) const { return limbs_[i]; }
+  uint64_t* data() { return limbs_; }
+  const uint64_t* data() const { return limbs_; }
+
+  bool IsZero() const {
+    for (size_t i = 0; i < Limbs; ++i) {
+      if (limbs_[i] != 0) return false;
+    }
+    return true;
+  }
+
+  /// \brief out = a + b (mod 2^kBits); returns the carry out (0 or 1).
+  static uint64_t Add(const FixedUInt& a, const FixedUInt& b, FixedUInt* out) {
+    return limb_kernel::AddFixed<Limbs>(a.limbs_, b.limbs_, out->limbs_);
+  }
+
+  /// \brief out = a - b (mod 2^kBits); returns the borrow out (0 or 1).
+  static uint64_t Sub(const FixedUInt& a, const FixedUInt& b, FixedUInt* out) {
+    return limb_kernel::SubFixed<Limbs>(a.limbs_, b.limbs_, out->limbs_);
+  }
+
+  /// \brief Three-way compare (-1, 0, 1).
+  static int Compare(const FixedUInt& a, const FixedUInt& b) {
+    return limb_kernel::CompareFixed<Limbs>(a.limbs_, b.limbs_);
+  }
+
+  /// \brief Full-width product: out = a * b over 2*Limbs limbs, no overflow
+  /// possible.
+  static void MulFull(const FixedUInt& a, const FixedUInt& b,
+                      FixedUInt<2 * Limbs>* out) {
+    limb_kernel::MulFixed<Limbs>(a.limbs_, b.limbs_, out->data());
+  }
+
+  bool operator==(const FixedUInt& rhs) const {
+    return Compare(*this, rhs) == 0;
+  }
+
+ private:
+  uint64_t limbs_[Limbs];
+};
+
+}  // namespace psi
+
+#endif  // PSI_BIGINT_FIXED_UINT_H_

@@ -22,7 +22,13 @@ namespace {
 // lookup on the same thread.
 const MontgomeryContext* CachedMontgomeryContext(const BigUInt& m) {
   constexpr size_t kCacheCap = 4;
-  thread_local std::vector<std::pair<BigUInt, MontgomeryContext>> cache;
+  // Engine-backed and heap-only contexts cache separately: a live
+  // ScopedHeapOnlyModPow guard must never be served (or evict) the other
+  // flavor.
+  const bool heap_only = internal::HeapOnlyEngineForced();
+  thread_local std::vector<std::pair<BigUInt, MontgomeryContext>> cache_auto;
+  thread_local std::vector<std::pair<BigUInt, MontgomeryContext>> cache_heap;
+  auto& cache = heap_only ? cache_heap : cache_auto;
   for (size_t i = 0; i < cache.size(); ++i) {
     if (cache[i].first == m) {
       if (i != 0) {
@@ -32,7 +38,8 @@ const MontgomeryContext* CachedMontgomeryContext(const BigUInt& m) {
       return &cache.front().second;
     }
   }
-  auto ctx = MontgomeryContext::Create(m);
+  auto ctx = MontgomeryContext::Create(
+      m, heap_only ? EngineMode::kHeapOnly : EngineMode::kAuto);
   if (!ctx.ok()) return nullptr;
   if (cache.size() >= kCacheCap) cache.pop_back();
   cache.emplace(cache.begin(), m, std::move(ctx).MoveValue());
@@ -40,6 +47,15 @@ const MontgomeryContext* CachedMontgomeryContext(const BigUInt& m) {
 }
 
 }  // namespace
+
+ScopedHeapOnlyModPow::ScopedHeapOnlyModPow()
+    : prev_(internal::HeapOnlyEngineForced()) {
+  internal::SetHeapOnlyEngineForced(true);
+}
+
+ScopedHeapOnlyModPow::~ScopedHeapOnlyModPow() {
+  internal::SetHeapOnlyEngineForced(prev_);
+}
 
 BigUInt ModAdd(const BigUInt& a, const BigUInt& b, const BigUInt& m) {
   PSI_DCHECK(a < m && b < m);

@@ -21,6 +21,25 @@ BigUInt ModMul(const BigUInt& a, const BigUInt& b, const BigUInt& m);
 /// \brief a^e mod m by left-to-right square-and-multiply. m > 0; 0^0 == 1.
 BigUInt ModPow(const BigUInt& base, const BigUInt& exp, const BigUInt& m);
 
+/// \brief RAII guard: while an instance lives, Montgomery contexts built
+/// anywhere in the process with EngineMode::kAuto (ModPow's cache, Paillier
+/// randomizer pools, ParallelFor workers) stay heap-only instead of
+/// attaching the fixed-width engine. Heap-only contexts are cached
+/// separately, so repeated calls still amortize setup — the measured delta
+/// is purely engine vs heap arithmetic. Benchmarks (BM_*Heap) and the
+/// differential tests use this; production code never should, and only one
+/// guard owner at a time (the flag is process-wide).
+class ScopedHeapOnlyModPow {
+ public:
+  ScopedHeapOnlyModPow();
+  ~ScopedHeapOnlyModPow();
+  ScopedHeapOnlyModPow(const ScopedHeapOnlyModPow&) = delete;
+  ScopedHeapOnlyModPow& operator=(const ScopedHeapOnlyModPow&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// \brief Greatest common divisor (binary-free classic Euclid).
 BigUInt Gcd(BigUInt a, BigUInt b);
 

@@ -1,11 +1,31 @@
 #include "bigint/montgomery.h"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
+#include "bigint/pow_window.h"
 #include "common/logging.h"
 
 namespace psi {
+
+namespace internal {
+
+namespace {
+// Relaxed is enough: the only writers are bench/test RAII guards that set
+// the flag before launching work and restore it after joining.
+std::atomic<bool> g_heap_only_engine{false};
+}  // namespace
+
+bool HeapOnlyEngineForced() {
+  return g_heap_only_engine.load(std::memory_order_relaxed);
+}
+
+void SetHeapOnlyEngineForced(bool forced) {
+  g_heap_only_engine.store(forced, std::memory_order_relaxed);
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -23,7 +43,8 @@ uint64_t InverseMod2e64(uint64_t odd) {
 
 }  // namespace
 
-Result<MontgomeryContext> MontgomeryContext::Create(const BigUInt& modulus) {
+Result<MontgomeryContext> MontgomeryContext::Create(const BigUInt& modulus,
+                                                    EngineMode mode) {
   if (modulus.IsEven() || modulus < BigUInt(3)) {
     return Status::InvalidArgument(
         "Montgomery context requires an odd modulus >= 3");
@@ -33,8 +54,12 @@ Result<MontgomeryContext> MontgomeryContext::Create(const BigUInt& modulus) {
   BigUInt r = BigUInt::PowerOfTwo(64 * limbs);
   BigUInt r_mod_n = r % modulus;
   BigUInt r2_mod_n = BigUInt::PowerOfTwo(128 * limbs) % modulus;
+  std::shared_ptr<const FixedMontEngineBase> engine;
+  if (mode == EngineMode::kAuto && !internal::HeapOnlyEngineForced()) {
+    engine = MakeFixedMontEngine(modulus, n_prime, r_mod_n, r2_mod_n);
+  }
   return MontgomeryContext(modulus, n_prime, std::move(r_mod_n),
-                           std::move(r2_mod_n), limbs);
+                           std::move(r2_mod_n), limbs, std::move(engine));
 }
 
 BigUInt MontgomeryContext::Reduce(const BigUInt& t) const {
@@ -61,60 +86,33 @@ BigUInt MontgomeryContext::Reduce(const BigUInt& t) const {
     }
   }
   // Result is acc[limbs_ .. 2*limbs_] (the +1 limb catches the final carry).
-  std::vector<uint8_t> bytes((limbs_ + 1) * 8);
-  for (size_t i = 0; i <= limbs_; ++i) {
-    uint64_t limb = acc[limbs_ + i];
-    for (size_t b = 0; b < 8; ++b) {
-      bytes[i * 8 + b] = static_cast<uint8_t>((limb >> (8 * b)) & 0xff);
-    }
-  }
-  BigUInt result = BigUInt::FromLittleEndianBytes(bytes);
+  BigUInt result = BigUInt::FromLimbs(acc.data() + limbs_, limbs_ + 1);
   if (result >= n_) result -= n_;
   return result;
 }
 
 BigUInt MontgomeryContext::ToMontgomery(const BigUInt& a) const {
+  if (engine_) return engine_->ToMontgomery(a);
   PSI_DCHECK(a < n_);
   return Reduce(a * r2_mod_n_);
 }
 
 BigUInt MontgomeryContext::FromMontgomery(const BigUInt& a) const {
+  if (engine_) return engine_->FromMontgomery(a);
   return Reduce(a);
 }
 
 BigUInt MontgomeryContext::Multiply(const BigUInt& a, const BigUInt& b) const {
+  if (engine_) return engine_->Multiply(a, b);
   return Reduce(a * b);
 }
 
-namespace {
-
-// Fixed-window width for a `bits`-bit exponent: chosen so the 2^w - 1 table
-// multiplies amortize against the ~bits * (1/2 - 1/w) multiplies the window
-// saves over plain square-and-multiply.
-size_t WindowBitsFor(size_t bits) {
-  if (bits <= 24) return 1;
-  if (bits <= 96) return 2;
-  if (bits <= 256) return 3;
-  if (bits <= 1024) return 4;
-  return 5;
-}
-
-// The w-bit digit of exp starting at bit position pos (little-endian).
-size_t ExpDigit(const BigUInt& exp, size_t pos, size_t w) {
-  size_t digit = 0;
-  for (size_t j = w; j-- > 0;) {
-    digit = (digit << 1) | static_cast<size_t>(exp.GetBit(pos + j));
-  }
-  return digit;
-}
-
-}  // namespace
-
 BigUInt MontgomeryContext::Pow(const BigUInt& base, const BigUInt& exp) const {
   if (n_.IsOne()) return BigUInt();
+  if (engine_) return engine_->Pow(base, exp);
   BigUInt b_mont = ToMontgomery(base % n_);
   const size_t bits = exp.BitLength();
-  const size_t w = WindowBitsFor(bits);
+  const size_t w = internal::WindowBitsFor(bits);
   if (w == 1) {
     BigUInt result = r_mod_n_;  // Montgomery form of 1.
     for (size_t i = bits; i-- > 0;) {
@@ -131,10 +129,10 @@ BigUInt MontgomeryContext::Pow(const BigUInt& base, const BigUInt& exp) const {
     table[d] = Multiply(table[d - 1], b_mont);
   }
   const size_t digits = (bits + w - 1) / w;
-  BigUInt result = table[ExpDigit(exp, (digits - 1) * w, w)];
+  BigUInt result = table[internal::ExpDigit(exp, (digits - 1) * w, w)];
   for (size_t d = digits - 1; d-- > 0;) {
     for (size_t s = 0; s < w; ++s) result = Multiply(result, result);
-    size_t digit = ExpDigit(exp, d * w, w);
+    size_t digit = internal::ExpDigit(exp, d * w, w);
     if (digit != 0) result = Multiply(result, table[digit]);
   }
   return FromMontgomery(result);
@@ -153,12 +151,34 @@ FixedBaseTable::FixedBaseTable(const MontgomeryContext* ctx,
   }
   const size_t w = window_;
   const size_t digits = (std::max<size_t>(max_exp_bits_, 1) + w - 1) / w;
+  const size_t row_entries = (size_t{1} << w) - 1;
+  if (const FixedMontEngineBase* eng = ctx_->fixed_engine()) {
+    // Engine path: identical entries, flat raw-limb storage, and the whole
+    // build runs on stack buffers through the fixed kernels.
+    const size_t limbs = eng->limbs();
+    fixed_rows_.resize(digits * row_entries * limbs);
+    uint64_t t[kMaxFixedMontLimbs];
+    uint64_t base_raw[kMaxFixedMontLimbs];
+    for (size_t i = 0; i < limbs; ++i) base_raw[i] = base_.limb(i);
+    eng->ToMontRaw(base_raw, t);
+    for (size_t i = 0; i < digits; ++i) {
+      uint64_t* row = fixed_rows_.data() + i * row_entries * limbs;
+      for (size_t j = 0; j < limbs; ++j) row[j] = t[j];
+      for (size_t d = 1; d < row_entries; ++d) {
+        eng->MontMulRaw(row + (d - 1) * limbs, t, row + d * limbs);
+      }
+      if (i + 1 < digits) {
+        eng->MontMulRaw(row + (row_entries - 1) * limbs, t, t);  // t^(2^w).
+      }
+    }
+    return;
+  }
   table_.resize(digits);
   // t = base^(2^(w*i)) as i advances; each row holds t^1 .. t^(2^w - 1).
   BigUInt t = ctx_->ToMontgomery(base_);
   for (size_t i = 0; i < digits; ++i) {
     auto& row = table_[i];
-    row.resize((size_t{1} << w) - 1);
+    row.resize(row_entries);
     row[0] = t;
     for (size_t d = 1; d < row.size(); ++d) {
       row[d] = ctx_->Multiply(row[d - 1], t);
@@ -170,10 +190,26 @@ FixedBaseTable::FixedBaseTable(const MontgomeryContext* ctx,
 BigUInt FixedBaseTable::Pow(const BigUInt& exp) const {
   if (exp.BitLength() > max_exp_bits_) return ctx_->Pow(base_, exp);
   const size_t w = window_;
-  BigUInt result = ctx_->OneMontgomery();
   const size_t digits = (exp.BitLength() + w - 1) / w;
+  if (const FixedMontEngineBase* eng = ctx_->fixed_engine()) {
+    const size_t limbs = eng->limbs();
+    const size_t row_entries = (size_t{1} << w) - 1;
+    uint64_t result[kMaxFixedMontLimbs];
+    eng->OneMontRaw(result);
+    for (size_t i = 0; i < digits; ++i) {
+      const size_t digit = internal::ExpDigit(exp, i * w, w);
+      if (digit != 0) {
+        const uint64_t* entry =
+            fixed_rows_.data() + (i * row_entries + digit - 1) * limbs;
+        eng->MontMulRaw(result, entry, result);
+      }
+    }
+    eng->FromMontRaw(result, result);
+    return BigUInt::FromLimbs(result, limbs);
+  }
+  BigUInt result = ctx_->OneMontgomery();
   for (size_t i = 0; i < digits; ++i) {
-    size_t digit = ExpDigit(exp, i * w, w);
+    size_t digit = internal::ExpDigit(exp, i * w, w);
     if (digit != 0) result = ctx_->Multiply(result, table_[i][digit - 1]);
   }
   return ctx_->FromMontgomery(result);

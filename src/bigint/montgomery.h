@@ -5,21 +5,50 @@
 // crypto layer uses. ModPow (bigint/modular.h) routes through this context
 // automatically for odd multi-limb moduli; the generic path remains for
 // even ones.
+//
+// When the modulus width exactly matches an instantiated fixed-width
+// geometry (fixed_mont.h), the context transparently attaches a
+// FixedMontEngine and every Multiply/Pow runs on stack-allocated
+// compile-time-unrolled limb kernels instead of heap BigUInt REDC — same R,
+// same values, only faster. EngineMode::kHeapOnly keeps the heap path for
+// baseline benchmarking and differential tests.
 
 #ifndef PSI_BIGINT_MONTGOMERY_H_
 #define PSI_BIGINT_MONTGOMERY_H_
 
+#include <memory>
+#include <vector>
+
 #include "bigint/biguint.h"
+#include "bigint/fixed_mont.h"
 #include "common/status.h"
 
 namespace psi {
+
+/// \brief Whether MontgomeryContext::Create may attach the fixed-width
+/// engine. kHeapOnly exists for the heap-vs-fixed differential tests and
+/// the BM_*Heap baseline benches; production callers use the default.
+enum class EngineMode {
+  kAuto,      ///< Attach a FixedMontEngine when the width matches.
+  kHeapOnly,  ///< Always use heap BigUInt REDC.
+};
+
+namespace internal {
+/// Process-wide flag behind ScopedHeapOnlyModPow (bigint/modular.h): while
+/// true, Create(EngineMode::kAuto) builds heap-only contexts everywhere —
+/// including ParallelFor workers — so whole-protocol heap baselines are
+/// honest. Bench/test plumbing; not for production code.
+bool HeapOnlyEngineForced();
+void SetHeapOnlyEngineForced(bool forced);
+}  // namespace internal
 
 /// \brief Precomputed Montgomery domain for one odd modulus.
 class MontgomeryContext {
  public:
   /// \brief Builds the context. Returns InvalidArgument for even or < 3
   /// moduli.
-  [[nodiscard]] static Result<MontgomeryContext> Create(const BigUInt& modulus);
+  [[nodiscard]] static Result<MontgomeryContext> Create(
+      const BigUInt& modulus, EngineMode mode = EngineMode::kAuto);
 
   const BigUInt& modulus() const { return n_; }
 
@@ -42,14 +71,21 @@ class MontgomeryContext {
   /// \brief Montgomery form of 1 (R mod n).
   const BigUInt& OneMontgomery() const { return r_mod_n_; }
 
+  /// \brief The attached fixed-width engine, or nullptr on the heap path.
+  /// Raw-limb consumers (FixedBaseTable, benches) use this to stay
+  /// allocation-free; both paths share R, so domain values interchange.
+  const FixedMontEngineBase* fixed_engine() const { return engine_.get(); }
+
  private:
   MontgomeryContext(BigUInt n, uint64_t n_prime, BigUInt r_mod_n,
-                    BigUInt r2_mod_n, size_t limbs)
+                    BigUInt r2_mod_n, size_t limbs,
+                    std::shared_ptr<const FixedMontEngineBase> engine)
       : n_(std::move(n)),
         n_prime_(n_prime),
         r_mod_n_(std::move(r_mod_n)),
         r2_mod_n_(std::move(r2_mod_n)),
-        limbs_(limbs) {}
+        limbs_(limbs),
+        engine_(std::move(engine)) {}
 
   /// REDC over the limb vector of t (t < n*R): returns t*R^-1 mod n.
   BigUInt Reduce(const BigUInt& t) const;
@@ -59,6 +95,7 @@ class MontgomeryContext {
   BigUInt r_mod_n_;    // R mod n (the Montgomery form of 1).
   BigUInt r2_mod_n_;   // R^2 mod n (for ToMontgomery).
   size_t limbs_;       // k: R = 2^(64k).
+  std::shared_ptr<const FixedMontEngineBase> engine_;  // May be null.
 };
 
 /// \brief Precomputed power table for one fixed base: many exponentiations
@@ -69,6 +106,10 @@ class MontgomeryContext {
 /// entry per nonzero digit of e. The referenced MontgomeryContext must
 /// outlive the table. Read-only after construction, so a single table can
 /// serve many ParallelFor workers concurrently.
+///
+/// With a fixed-width engine attached to the context, rows live in one flat
+/// limb array and Pow runs entirely on stack buffers — no allocation per
+/// exponentiation.
 class FixedBaseTable {
  public:
   /// \param ctx Montgomery domain of the modulus (kept by pointer).
@@ -91,8 +132,12 @@ class FixedBaseTable {
   BigUInt base_;         // Ordinary residue, for the fallback path.
   size_t max_exp_bits_;
   size_t window_;
-  // table_[i][d-1] = base^(d << (w*i)) in Montgomery form, d in [1, 2^w).
+  // Heap path: table_[i][d-1] = base^(d << (w*i)) in Montgomery form,
+  // d in [1, 2^w).
   std::vector<std::vector<BigUInt>> table_;
+  // Engine path: the same entries as raw limbs, row i at stride
+  // (2^w - 1) * limbs, entry d-1 at offset (d-1) * limbs within the row.
+  std::vector<uint64_t> fixed_rows_;
 };
 
 }  // namespace psi

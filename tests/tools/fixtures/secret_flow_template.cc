@@ -1,0 +1,42 @@
+// Fixture: secret flow inside a templated class (the fixed-width Montgomery
+// engine shape — fixed_mont.cc). The checker must see through the template
+// header: PSI_SECRET parameters of template member functions are tracked
+// exactly like non-template ones, and a suppression on the ladder line
+// still works inside a template body.
+#include "common/annotations.h"
+
+namespace fx {
+
+template <unsigned L>
+class Engine {
+ public:
+  int Pow(int base, PSI_SECRET int exp) const {
+    int result = 1;
+    for (int i = 0; i < 8; ++i) {
+      result *= base;
+      if ((exp >> i) & 1) result *= base;  // secret exponent bit branches
+    }
+    return result;
+  }
+
+  int Masked(int base, PSI_SECRET int exp) const {
+    int result = base;
+    // psi-lint: allow(secret-flow) fixture: suppression inside a template
+    if (exp != 0) result *= base;
+    return result;
+  }
+
+  PSI_SECRET int key_ = 0;
+};
+
+template <unsigned L>
+int Digit(const Engine<L>& e, PSI_SECRET unsigned exp, unsigned pos) {
+  return static_cast<int>((exp >> pos) % (1u << L));  // secret '%' operand
+}
+
+int Drive(int x) {
+  Engine<4> e;
+  return e.Pow(x, 3) + e.Masked(x, 1) + Digit(e, 9u, 1u);
+}
+
+}  // namespace fx

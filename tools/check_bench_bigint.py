@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the fixed-width big-integer engine.
+
+Validates a fresh bench_bigint JSON run against the committed baseline
+(BENCH_bigint.json):
+
+  1. Build-type sanity: both JSONs must come from a Release build of the
+     psi libraries (context key `psi_build_type`, falling back to the
+     google-benchmark `library_build_type` for pre-engine files). Debug
+     numbers gate nothing and are rejected loudly.
+  2. Absolute floors (the PR's acceptance criteria; machine independent
+     because both sides of each ratio come from the same run):
+       - BM_MontgomeryPow/1024 at least 2x faster than its *Heap twin;
+       - BM_PaillierDecryptCrt/1024 at least 2x faster than its *Heap twin.
+  3. Regression guard: neither ratio may fall more than 25% below the
+     committed baseline's ratio.
+
+The whole-protocol BM_Protocol4EndToEnd / BM_Protocol6EndToEnd deltas are
+printed for the record but not gated: the protocol benches spend most of
+their time outside modular exponentiation, so their engine-vs-heap ratio is
+small and noisy on shared CI runners.
+
+Usage: check_bench_bigint.py --baseline BENCH_bigint.json --run fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+GATED_PAIRS = [
+    ("BM_MontgomeryPow/1024", "BM_MontgomeryPowHeap/1024"),
+    ("BM_PaillierDecryptCrt/1024", "BM_PaillierDecryptCrtHeap/1024"),
+]
+REPORTED_PAIRS = [
+    ("BM_MontgomeryPow/512", "BM_MontgomeryPowHeap/512"),
+    ("BM_MontgomeryPow/2048", "BM_MontgomeryPowHeap/2048"),
+    ("BM_PaillierDecryptCrt/512", "BM_PaillierDecryptCrtHeap/512"),
+    ("BM_PaillierEncrypt/1024", "BM_PaillierEncryptHeap/1024"),
+    ("BM_Protocol4EndToEnd", "BM_Protocol4EndToEndHeap"),
+    ("BM_Protocol6EndToEnd", "BM_Protocol6EndToEndHeap"),
+]
+
+MIN_SPEEDUP = 2.0
+MAX_REGRESSION = 0.25
+
+
+def require_release_build(data, label):
+    """Fails loudly unless the JSON was produced by a Release build."""
+    context = data.get("context", {})
+    build = context.get("psi_build_type", context.get("library_build_type"))
+    if build is None:
+        raise SystemExit(
+            f"FAIL: {label} carries no psi_build_type/library_build_type "
+            "context; re-record it with a current Release bench binary"
+        )
+    if build != "release":
+        raise SystemExit(
+            f"FAIL: {label} was recorded from a '{build}' build; bench "
+            "gates only accept Release numbers (cmake "
+            "-DCMAKE_BUILD_TYPE=Release)"
+        )
+
+
+def load(path, label):
+    with open(path) as f:
+        data = json.load(f)
+    require_release_build(data, label)
+    return {bench["name"]: bench for bench in data.get("benchmarks", [])}
+
+
+def cpu_time(benches, name):
+    if name not in benches:
+        raise SystemExit(f"FAIL: benchmark '{name}' missing from results")
+    value = benches[name].get("cpu_time")
+    if value is None or value <= 0:
+        raise SystemExit(f"FAIL: benchmark '{name}' has no positive cpu_time")
+    return float(value)
+
+
+def speedup(benches, engine_name, heap_name):
+    """Heap time / engine time from the same run."""
+    return cpu_time(benches, heap_name) / cpu_time(benches, engine_name)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--run", required=True)
+    args = parser.parse_args()
+
+    baseline = load(args.baseline, f"baseline {args.baseline}")
+    fresh = load(args.run, f"run {args.run}")
+
+    failures = []
+    for engine_name, heap_name in GATED_PAIRS:
+        fresh_ratio = speedup(fresh, engine_name, heap_name)
+        base_ratio = speedup(baseline, engine_name, heap_name)
+        floor = base_ratio * (1.0 - MAX_REGRESSION)
+        print(
+            f"{engine_name}: {fresh_ratio:.2f}x over heap "
+            f"(baseline {base_ratio:.2f}x, regression floor {floor:.2f}x)"
+        )
+        if fresh_ratio < MIN_SPEEDUP:
+            failures.append(
+                f"{engine_name} speedup {fresh_ratio:.2f}x < required "
+                f"{MIN_SPEEDUP}x"
+            )
+        if fresh_ratio < floor:
+            failures.append(
+                f"{engine_name} regressed: {fresh_ratio:.2f}x vs baseline "
+                f"{base_ratio:.2f}x (> {MAX_REGRESSION:.0%} drop)"
+            )
+
+    for engine_name, heap_name in REPORTED_PAIRS:
+        if engine_name in fresh and heap_name in fresh:
+            print(
+                f"{engine_name}: {speedup(fresh, engine_name, heap_name):.2f}x "
+                "over heap (reported, not gated)"
+            )
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("OK: bigint bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

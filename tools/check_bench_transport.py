@@ -46,9 +46,27 @@ MAX_REGRESSION = 0.25
 RELAY_OVERHEAD_PER_FRAME = 2 * (12 + 8)
 
 
+def require_release_build(data, path):
+    """Fails loudly unless the JSON was produced by a Release build."""
+    context = data.get("context", {})
+    build = context.get("psi_build_type", context.get("library_build_type"))
+    if build is None:
+        raise SystemExit(
+            f"FAIL: {path} carries no psi_build_type/library_build_type "
+            "context; re-record it with a current Release bench binary"
+        )
+    if build != "release":
+        raise SystemExit(
+            f"FAIL: {path} was recorded from a '{build}' build; bench "
+            "gates only accept Release numbers (cmake "
+            "-DCMAKE_BUILD_TYPE=Release)"
+        )
+
+
 def load(path):
     with open(path) as f:
         data = json.load(f)
+    require_release_build(data, path)
     by_name = {}
     for bench in data.get("benchmarks", []):
         by_name[bench["name"]] = bench
