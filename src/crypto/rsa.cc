@@ -21,6 +21,7 @@ Result<RsaKeyPair> RsaGenerateKeyPair(Rng* rng, size_t bits) {
     BigUInt p1 = p - BigUInt(1);
     BigUInt q1 = q - BigUInt(1);
     BigUInt phi = p1 * q1;
+    // psi-lint: allow(secret-flow) one-time key generation; no attacker-visible interaction has started yet
     if (!Gcd(e, phi).IsOne()) continue;
 
     RsaKeyPair kp;

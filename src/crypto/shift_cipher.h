@@ -28,17 +28,26 @@ class ShiftCipher {
   }
 
   /// \brief e_s(t) = t + s mod frame. Precondition: t < frame.
-  uint64_t Encrypt(uint64_t t) const {
+  ///
+  /// The ciphertext is what the providers hand the semi-trusted aggregator,
+  /// so the return value is public by construction (PSI_SANITIZES). The
+  /// reduction is branch-free: a branching `shifted >= frame_ ? ... : ...`
+  /// would leak key bits through timing.
+  PSI_SANITIZES uint64_t Encrypt(uint64_t t) const {
     PSI_DCHECK(t < frame_);
-    uint64_t shifted = t + key_;
-    return shifted >= frame_ ? shifted - frame_ : shifted;
+    const uint64_t shifted = t + key_;
+    const uint64_t wrap = 0 - static_cast<uint64_t>(shifted >= frame_);
+    return shifted - (frame_ & wrap);
   }
 
-  /// \brief Inverse of Encrypt.
-  uint64_t Decrypt(uint64_t c) const {
+  /// \brief Inverse of Encrypt, with the same branch-free reduction. The
+  /// plaintext timestamp is the protocol output at the authorized party,
+  /// so the return value is likewise declassified.
+  PSI_SANITIZES uint64_t Decrypt(uint64_t c) const {
     PSI_DCHECK(c < frame_);
-    uint64_t shifted = c + frame_ - key_;
-    return shifted >= frame_ ? shifted - frame_ : shifted;
+    const uint64_t shifted = c + frame_ - key_;
+    const uint64_t wrap = 0 - static_cast<uint64_t>(shifted >= frame_);
+    return shifted - (frame_ & wrap);
   }
 
   uint64_t key() const { return key_; }

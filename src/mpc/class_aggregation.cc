@@ -177,8 +177,9 @@ Result<AggregatedClassCounters> ClassAggregationProtocol::RunImpl(
       for (uint64_t t = 0; t < frame; ++t) {
         for (uint64_t fill = per_time[t]; fill < w_max; ++fill) {
           ActionRecord o;
-          o.user = static_cast<NodeId>(
-              fake_user_pool[local.UniformU64(fake_user_pool.size())]);
+          const uint64_t pick = local.UniformU64(fake_user_pool.size());
+          // psi-lint: allow(secret-flow) the index is a uniform draw the provider publishes anyway as the fake pseudonym
+          o.user = static_cast<NodeId>(fake_user_pool[pick]);
           o.action = local.NextU32();
           o.time = t;
           obf.push_back(o);

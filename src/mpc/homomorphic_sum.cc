@@ -137,7 +137,9 @@ Result<BatchedModularShares> HomomorphicSumProtocol::RunImpl(
   out.s1.resize(count);
   out.s2.resize(count);
   for (size_t c = 0; c < count; ++c) {
+    // psi-lint: allow(secret-flow) operands are the public modulus and an already-masked share
     out.s1[c] = packed.masked[c] % N;
+    // psi-lint: allow(secret-flow) operands are the public modulus and the player's own mask
     out.s2[c] = ModSub(BigUInt(), packed.rho[c] % N, N);  // -rho mod N.
   }
   return out;

@@ -343,7 +343,6 @@ Result<LinkInfluence> LinkInfluenceProtocol::RunSession(
                            session.PartyState(providers_[1]).Get(kKeyShare2));
       PSI_RETURN_NOT_OK(wire::UnpackBigInts(buf, &s2));
     }
-    // psi-lint: allow(secret-flow) branches on vector sizes, not mask values
     if (masks.size() != n || s1.size() != total || s2.size() != total) {
       return Status::Internal("checkpointed stage state has wrong geometry");
     }

@@ -31,7 +31,9 @@ constexpr char kKeyPrivateKey[] = "rsa-key";
 constexpr char kKeyPayload[] = "payload";
 constexpr char kKeyDeltas[] = "deltas";
 
-std::vector<uint8_t> PackPublicKey(const RsaPublicKey& key) {
+// Serializes only the public half of the key pair: the output is wire-bound
+// by definition, so the packer declassifies the keygen-derived taint.
+PSI_SANITIZES std::vector<uint8_t> PackPublicKey(const RsaPublicKey& key) {
   BinaryWriter w;
   WriteBigUInt(&w, key.n);
   WriteBigUInt(&w, key.e);

@@ -19,7 +19,6 @@ bool SessionState::Has(const std::string& key) const {
 
 Result<std::vector<uint8_t>> SessionState::Get(const std::string& key) const {
   auto it = entries_.find(key);
-  // psi-lint: allow(secret-flow) only key presence branches, never a value
   if (it == entries_.end()) {
     return Status::FailedPrecondition("SessionState: no entry under key '" +
                                       key + "'");
@@ -131,7 +130,6 @@ Status SessionOrchestrator::Restore(ProtocolSession& session,
     PSI_ASSIGN_OR_RETURN(session.states_[party],
                          SessionState::Deserialize(blob));
   }
-  // psi-lint: allow(secret-flow) branches on the snapshot count, not content
   if (checkpoint.rng_blobs.size() != session.rngs_.size()) {
     return Status::Internal(
         "session checkpoint snapshots " +

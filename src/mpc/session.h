@@ -47,9 +47,13 @@ inline constexpr uint16_t kSessionStepResumeSync = 1;
 /// stage bodies and restored verbatim on recovery.
 ///
 /// Values are opaque to the session layer; stages encode them with the
-/// hardened mpc/wire.h codecs. They routinely hold secrets (masks, shares,
-/// private keys), so the store is PSI_SECRET and its serialized form must
-/// only ever travel to durable storage, never to a peer.
+/// hardened mpc/wire.h codecs. Stage bodies routinely stash wire payloads
+/// (ciphertexts, masked shares) here and re-send them on resume, so the
+/// store itself is not PSI_SECRET — the taint engine tracks the underlying
+/// plaintexts at their source instead. The durable serialized form IS
+/// sensitive (it can embed private keys and RNG snapshots): Checkpoint's
+/// party_blobs/rng_blobs carry the PSI_SECRET annotation and must only ever
+/// travel to durable storage, never to a peer.
 class SessionState {
  public:
   /// \brief Inserts or overwrites the blob under `key`.
@@ -81,7 +85,7 @@ class SessionState {
       const std::vector<uint8_t>& buf);
 
  private:
-  PSI_SECRET std::map<std::string, std::vector<uint8_t>> entries_;
+  std::map<std::string, std::vector<uint8_t>> entries_;
 };
 
 /// \brief Deterministic retry schedule for a session run.

@@ -165,9 +165,6 @@ bool PsidDaemon::HandleHello(Conn* conn, const TransportMsg& msg) {
   hasher.Update(config_.auth_token);
   hasher.Update(conn->nonce);
   const auto expected = hasher.Finish();
-  // psi-lint: allow(secret-flow) admission compares fixed-size hashes of
-  // the token, never the token itself; timing on a 32-byte memcmp of
-  // digests does not narrow the preimage
   const bool authed =
       digest.size() == expected.size() &&
       std::memcmp(digest.data(), expected.data(), expected.size()) == 0;

@@ -1,0 +1,40 @@
+// Fixture: no violations — every SendFramed pairs with a RecvValidated with
+// the flipped party pair, the same ProtocolId and the same step, and stage
+// names are unique non-empty literals.
+#include "common/annotations.h"
+
+namespace fx {
+
+void Paired(Network* net, PartyId a, PartyId b) {
+  net->SendFramed(a, b, ProtocolId::kLinkInfluence, kStepOmega, payload);
+  net->RecvValidated(b, a, ProtocolId::kLinkInfluence, kStepOmega);
+}
+
+void Stages(ProtocolSession& session, Network* net) {
+  session.AddStage("omega", [&]() {
+    net->SendFramed(host, provider, ProtocolId::kLinkInfluence, kStepOmega,
+                    buf);
+    net->RecvValidated(provider, host, ProtocolId::kLinkInfluence, kStepOmega);
+  });
+  session.AddStage("masks", [&]() {
+    for (size_t k = 0; k < m; ++k) {
+      net->SendFramed(players[k], players[0], ProtocolId::kLinkInfluence,
+                      kStepMasks, shares[k]);
+    }
+    for (size_t k = 0; k < m; ++k) {
+      net->RecvValidated(players[0], players[k], ProtocolId::kLinkInfluence,
+                         kStepMasks);
+    }
+  });
+}
+
+// One-sided helpers are exempt: the peer recv lives in another function.
+void SendSide(Network* net, PartyId a, PartyId b) {
+  net->SendFramed(a, b, ProtocolId::kSecureSum, kStepShare, payload);
+}
+
+void RecvSide(Network* net, PartyId a, PartyId b) {
+  net->RecvValidated(b, a, ProtocolId::kSecureSum, kStepShare);
+}
+
+}  // namespace fx

@@ -1,0 +1,36 @@
+// Fixture: channel-schedule violations — the seeded desync (a SendFramed no
+// peer ever consumes), a recv with no preceding send, a stage mixing
+// protocol ids, and unstable stage names.
+#include "common/annotations.h"
+
+namespace fx {
+
+void Stages(ProtocolSession& session, Network* net) {
+  session.AddStage("omega", [&]() {
+    // Seeded desync: nothing in this stage consumes the frame.
+    net->SendFramed(host, provider, ProtocolId::kLinkInfluence, kStepOmega,
+                    buf);
+  });
+  session.AddStage("counters", [&]() {
+    // Deadlock: the recv has no preceding send with the flipped pair.
+    net->RecvValidated(host, provider, ProtocolId::kLinkInfluence,
+                       kStepCounters);
+  });
+  session.AddStage("mixed", [&]() {
+    net->SendFramed(host, provider, ProtocolId::kLinkInfluence, kStepOmega,
+                    buf);
+    net->RecvValidated(provider, host, ProtocolId::kPropagationGraph,
+                       kStepOmega);
+  });
+  session.AddStage(stage_name, [&]() {});  // non-literal name
+  session.AddStage("omega", [&]() {});     // duplicate name
+}
+
+// A function with both sides present is held to pairing: the step tags
+// differ, so the send is orphaned and the recv blocks.
+void Mismatched(Network* net, PartyId a, PartyId b) {
+  net->SendFramed(a, b, ProtocolId::kSecureSum, kStepShare, payload);
+  net->RecvValidated(b, a, ProtocolId::kSecureSum, kStepRecombine);
+}
+
+}  // namespace fx

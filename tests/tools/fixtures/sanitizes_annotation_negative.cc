@@ -1,0 +1,27 @@
+// Fixture: no violations — PSI_SANITIZES declassifiers on declarations,
+// definitions, and inline members all launder taint at their call sites.
+#include "common/annotations.h"
+
+namespace fx {
+
+struct Key {
+  PSI_SECRET unsigned s;
+
+  // Inline member declassifier.
+  PSI_SANITIZES unsigned Commit() const { return s * 40503u; }
+};
+
+// Declaration-only declassifier.
+PSI_SANITIZES unsigned MaskShare(unsigned v, unsigned r);
+
+// Definition-site declassifier.
+PSI_SANITIZES unsigned Pad(unsigned v) { return v ^ 0x5a5au; }
+
+void Publish(Network* net, const Key& k, unsigned r) {
+  if (k.Commit() != 0) {             // declassified branch
+    net->Send(0, 1, MaskShare(k.s, r));
+  }
+  PSI_LOG(INFO) << Pad(k.s);
+}
+
+}  // namespace fx

@@ -1,0 +1,20 @@
+// Fixture: the PSI_SANITIZES vocabulary is explicit — a function merely
+// NAMED like a sanitizer no longer launders anything.
+#include "common/annotations.h"
+
+namespace fx {
+
+struct Key {
+  PSI_SECRET unsigned s;
+};
+
+// No annotation: despite the name, calls do not declassify.
+unsigned MaskBytes(unsigned v) { return v; }
+
+void Leak(Network* net, const Key& k) {
+  if (MaskBytes(k.s) != 0) {              // name-vocabulary no longer sanitizes
+    net->Send(0, 1, MaskBytes(k.s));
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,34 @@
+// Fixture: no violations — taint killed by re-assignment, laundered by
+// PSI_SANITIZES, or never reaching a sink.
+#include "common/annotations.h"
+
+namespace fx {
+
+PSI_SANITIZES unsigned Blind(unsigned v);
+
+struct Key {
+  PSI_SECRET unsigned d;
+  unsigned n;
+};
+
+// The sanitizer annotation stops the summary: Launder is NOT secret-derived
+// even though its return expression touches the secret.
+PSI_SANITIZES unsigned Launder(const Key& k) { return k.d * 2654435761u; }
+
+unsigned Use(const Key& k, const unsigned* table, unsigned x) {
+  unsigned m = k.d;
+  m = x;                             // taint killed before any sink
+  if (m > 7) return 0;
+  unsigned idx = Launder(k);         // declassified at the call site
+  unsigned v = table[idx];           // public index
+  unsigned b = Blind(k.d);           // laundered assignment: b is clean
+  unsigned s = x << b;
+  return v + s + table[m % 4];
+}
+
+unsigned Projection(const Key& k, const unsigned* table) {
+  // Size-like projections of a secret object are public structure.
+  return table[sizeof(k) % 4];
+}
+
+}  // namespace fx

@@ -1,0 +1,39 @@
+// Fixture: flow-sensitive taint — violations via assignment propagation,
+// function summaries, and the constant-time sinks.
+#include "common/annotations.h"
+
+namespace fx {
+
+struct Key {
+  PSI_SECRET unsigned d;
+  unsigned n;
+};
+
+// Summary taint: the return value derives from the secret field.
+unsigned Derive(const Key& k) {
+  unsigned m = k.d + 1;              // m tainted by assignment
+  return m * 3;                      // -> Derive() is secret-derived
+}
+
+unsigned Use(const Key& k, const unsigned* table, unsigned x) {
+  unsigned m = k.d;                  // taint propagates through locals
+  unsigned c = m ^ x;
+  if (c > 7) return 0;               // branch on derived secret
+  unsigned idx = Derive(k);          // summary taint at the call site
+  unsigned v = table[idx];           // secret-indexed subscript
+  unsigned s = x << m;               // secret shift count
+  return v + s;
+}
+
+bool Same(const Key& k, const unsigned char* a, const unsigned char* b) {
+  return memcmp(a, b, k.d) == 0;     // secret length in early-exit compare
+}
+
+unsigned Kill(const Key& k, unsigned x) {
+  unsigned m = k.d;
+  m = x;                             // plain re-assignment kills the taint
+  if (m > 2) return 1;               // clean: no finding
+  return 0;
+}
+
+}  // namespace fx

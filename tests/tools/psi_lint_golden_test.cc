@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "lint.h"
+#include "sarif.h"
 
 namespace psi_lint {
 namespace {
@@ -132,8 +133,90 @@ TEST(PsiLintGolden, KnownCheckNames) {
   EXPECT_TRUE(IsKnownCheck("rng-order"));
   EXPECT_TRUE(IsKnownCheck("read-bounds"));
   EXPECT_TRUE(IsKnownCheck("nodiscard-status"));
+  EXPECT_TRUE(IsKnownCheck("channel-schedule"));
   EXPECT_FALSE(IsKnownCheck("bad-suppression"));
   EXPECT_FALSE(IsKnownCheck("made-up"));
+}
+
+// The seeded desync in channel_schedule_positive.cc (a SendFramed whose
+// RecvValidated never runs) must be flagged when the check is on and must be
+// the ONLY thing standing between the fixture and a pass when it is off —
+// i.e. the gate genuinely depends on channel-schedule being enabled.
+TEST(PsiLintGolden, SeededDesyncIsCaughtOnlyByChannelScheduleCheck) {
+  const std::string fixture =
+      std::string(kFixtureDir) + "/channel_schedule_positive.cc";
+
+  LintOptions with;
+  with.only_checks = {"channel-schedule"};
+  const LintResult on = LintPaths({fixture}, with);
+  bool saw_desync = false;
+  for (const Finding& f : on.findings) {
+    EXPECT_EQ(f.check, "channel-schedule") << f.ToString();
+    if (f.message.find("never consumed") != std::string::npos) {
+      saw_desync = true;
+    }
+  }
+  EXPECT_TRUE(saw_desync)
+      << "seeded desync fixture did not produce a desync finding";
+
+  LintOptions without;
+  without.only_checks = {"secret-flow", "rng-order", "read-bounds",
+                         "nodiscard-status"};
+  const LintResult off = LintPaths({fixture}, without);
+  for (const Finding& f : off.findings) {
+    EXPECT_NE(f.check, "channel-schedule") << f.ToString();
+    EXPECT_EQ(f.message.find("never consumed"), std::string::npos)
+        << "desync finding leaked past the only_checks filter: "
+        << f.ToString();
+  }
+}
+
+TEST(PsiLintGolden, SarifReportIsWellFormed) {
+  const LintResult result = LintPaths({kFixtureDir});
+  ASSERT_FALSE(result.findings.empty());
+  const std::string sarif = ToSarif(result);
+
+  // Schema-level required properties of a SARIF 2.1.0 log.
+  EXPECT_NE(sarif.find("\"$schema\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"runs\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"tool\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"psi_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"rules\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"results\""), std::string::npos);
+
+  // Every finding appears as a result with its rule id and location.
+  for (const Finding& f : result.findings) {
+    EXPECT_NE(sarif.find("\"ruleId\":\"" + f.check + "\""),
+              std::string::npos)
+        << f.check;
+  }
+
+  // Balanced braces/brackets outside string literals — a cheap structural
+  // JSON validity proxy that catches truncated emission.
+  int braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (char c : sarif) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
 }
 
 }  // namespace

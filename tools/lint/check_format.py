@@ -11,12 +11,27 @@ after reformatting.
 Usage:
   check_format.py [--baseline tools/lint/format_baseline.txt]
   check_format.py --update-baseline
+  check_format.py --prune-baseline [--offline]
+
+``--prune-baseline`` rechecks only the baselined files and rewrites the
+baseline with the still-dirty ones — shrink-only, so it can never add an
+exception the way ``--update-baseline`` can. With ``--offline`` (for
+machines without clang-format) pruning falls back to a battery of
+mechanically-checkable style invariants (tabs, CRLF, trailing whitespace,
+column limit, blank-line runs, keyword spacing, brace attachment, pointer
+alignment): an entry failing any invariant is provably still dirty and is
+kept; an entry passing all of them is pruned. The offline battery is
+conservative in what it keeps, not a proof of conformance — if a pruned
+file turns out dirty under real clang-format, the next CI lint run reports
+it as a new violation and it should be reformatted (preferred) or
+re-baselined.
 
 Exit codes: 0 clean, 1 violations outside the baseline, 2 environment error.
 """
 
 import argparse
 import os
+import re
 import shutil
 import subprocess
 import sys
@@ -64,14 +79,109 @@ def nonconforming(fmt, root, files):
     return bad
 
 
+def offline_violations(path):
+    """Violations of style invariants decidable without clang-format.
+
+    Every check is a necessary condition for .clang-format conformance
+    (Google base, 90 columns, left pointer alignment, attached braces), so
+    a non-empty result proves the file is still dirty. An empty result is
+    evidence, not proof — clang-format's line-breaking and alignment
+    decisions are not reproduced here.
+    """
+    with open(path, "rb") as f:
+        raw = f.read()
+    v = []
+    if b"\t" in raw:
+        v.append("tab")
+    if b"\r" in raw:
+        v.append("crlf")
+    if not raw.endswith(b"\n") or raw.endswith(b"\n\n"):
+        v.append("final-newline")
+    blank = 0
+    for i, line in enumerate(raw.decode("utf-8", "replace").split("\n"), 1):
+        if line != line.rstrip():
+            v.append(f"{i}:trailing-whitespace")
+        if len(line) > 90:
+            v.append(f"{i}:line-over-90-columns")
+        blank = blank + 1 if line.strip() == "" else 0
+        if blank > 1:
+            v.append(f"{i}:consecutive-blank-lines")
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("//", "/*", "*", "*/")):
+            continue
+        # Mask comments and string literals before token-level checks.
+        code = re.sub(r"//.*", "", line)
+        code = re.sub(r'"(\\.|[^"\\])*"', '""', code)
+        indent = len(line) - len(line.lstrip(" "))
+        # Continuation lines aligned to an open paren may legally sit at an
+        # odd column, so odd indentation only *keeps* a file baselined when
+        # pruning — a false positive here is the safe direction.
+        if indent % 2 == 1 and not re.match(r"^ (public|private|protected):", line):
+            v.append(f"{i}:odd-indentation")
+        if re.search(r"\b(if|for|while|switch|catch)\(", code):
+            v.append(f"{i}:missing-space-after-keyword")
+        if re.search(r"\)\{", code):
+            v.append(f"{i}:missing-space-before-brace")
+        if re.match(r"^\s*else\b", code):
+            v.append(f"{i}:else-not-attached")
+        if re.match(r"^\s*{\s*$", code):
+            v.append(f"{i}:unattached-open-brace")
+    return v
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline",
                         default=os.path.join("tools", "lint", "format_baseline.txt"))
     parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="recheck only baselined files; rewrite the "
+                             "baseline keeping the still-dirty ones")
+    parser.add_argument("--offline", action="store_true",
+                        help="with --prune-baseline: use the clang-format-"
+                             "free invariant battery instead of clang-format")
     args = parser.parse_args()
 
     root = repo_root()
+    baseline_path = os.path.join(root, args.baseline)
+
+    if args.prune_baseline:
+        baseline = []
+        with open(baseline_path) as f:
+            header = [l.rstrip("\n") for l in f if l.startswith("#")]
+        with open(baseline_path) as f:
+            baseline = [l.strip() for l in f
+                        if l.strip() and not l.startswith("#")]
+        checked = set(project_sources(root))
+        live = [b for b in baseline if b in checked]
+        gone = sorted(set(baseline) - set(live))
+
+        fmt = None if args.offline else find_clang_format()
+        if fmt is not None:
+            still_dirty = set(nonconforming(fmt, root, live))
+            how = "clang-format"
+        elif args.offline:
+            still_dirty = {b for b in live if offline_violations(b)}
+            how = "offline invariant battery"
+        else:
+            print("error: clang-format not found on PATH "
+                  "(use --offline for the invariant battery)",
+                  file=sys.stderr)
+            return 2
+
+        kept = [b for b in baseline if b in still_dirty]
+        pruned = sorted(set(live) - still_dirty)
+        with open(baseline_path, "w") as f:
+            for line in header:
+                f.write(line + "\n")
+            for name in kept:
+                f.write(name + "\n")
+        print(f"pruned {len(pruned)} clean entr(ies) via {how}, "
+              f"{len(gone)} no longer checked, {len(kept)} kept")
+        for name in pruned:
+            print(f"  pruned: {name}")
+        return 0
+
     fmt = find_clang_format()
     if fmt is None:
         print("error: clang-format not found on PATH", file=sys.stderr)
@@ -80,7 +190,6 @@ def main():
     files = project_sources(root)
     bad = nonconforming(fmt, root, files)
 
-    baseline_path = os.path.join(root, args.baseline)
     if args.update_baseline:
         with open(baseline_path, "w") as f:
             for name in bad:

@@ -54,7 +54,7 @@ struct Flags {
   }
 };
 
-Result<Flags> ParseFlags(int argc, char** argv, int first) {
+[[nodiscard]] Result<Flags> ParseFlags(int argc, char** argv, int first) {
   Flags flags;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
@@ -74,7 +74,7 @@ int Fail(const Status& status) {
   return 1;
 }
 
-Status RunGenerate(const Flags& flags) {
+[[nodiscard]] Status RunGenerate(const Flags& flags) {
   std::string dir = flags.GetString("out-dir", "");
   if (dir.empty()) return Status::InvalidArgument("--out-dir is required");
   uint64_t users = flags.GetInt("users", 100);
@@ -112,7 +112,7 @@ struct LoadedWorld {
   std::vector<ActionLog> provider_logs;
 };
 
-Result<LoadedWorld> LoadWorld(const std::string& dir, uint64_t providers) {
+[[nodiscard]] Result<LoadedWorld> LoadWorld(const std::string& dir, uint64_t providers) {
   LoadedWorld w;
   PSI_ASSIGN_OR_RETURN(w.graph, LoadGraph(dir + "/graph.txt"));
   for (uint64_t k = 0; k < providers; ++k) {
@@ -132,7 +132,7 @@ uint64_t CountActions(const std::vector<ActionLog>& logs) {
   return max_action;
 }
 
-Status RunLearn(const Flags& flags) {
+[[nodiscard]] Status RunLearn(const Flags& flags) {
   std::string dir = flags.GetString("dir", "");
   if (dir.empty()) return Status::InvalidArgument("--dir is required");
   uint64_t window = flags.GetInt("window", 4);
@@ -186,7 +186,7 @@ Status RunLearn(const Flags& flags) {
   return Status::OK();
 }
 
-Status RunScores(const Flags& flags) {
+[[nodiscard]] Status RunScores(const Flags& flags) {
   std::string dir = flags.GetString("dir", "");
   if (dir.empty()) return Status::InvalidArgument("--dir is required");
   uint64_t tau = flags.GetInt("tau", 12);

@@ -1,19 +1,26 @@
-// The four psi_lint checks (see lint.h for the invariant statements).
+// The token-level psi_lint checks (see lint.h for the invariant statements).
 //
 // Everything here is a lexical approximation: the checks see tokens, bracket
 // matching and brace depth — not types or dataflow. The approximations are
 // chosen so that (a) every true violation of the written invariant in this
 // codebase's idiom is caught, and (b) false positives are rare enough to
-// justify individually with `// psi-lint: allow(...)`.
+// justify individually with a `psi-lint: allow(...)` comment.
+//
+// The secret-flow check lives in taint.cc (flow-sensitive engine) and the
+// channel-schedule check in schedule.cc; RunChecks at the bottom merges all
+// engines into one per-file finding list.
 
 #include <algorithm>
 #include <cctype>
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "lint.h"
+#include "schedule.h"
+#include "taint.h"
 
 namespace psi_lint {
 namespace internal {
@@ -31,19 +38,6 @@ std::string Lower(const std::string& s) {
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/// Methods that make a PSI_SECRET value safe to expose: once a secret has
-/// gone through one of these calls its output is masked, encrypted, or a
-/// commitment — exactly the transformations the protocols' leakage analyses
-/// assume an adversary may observe.
-bool IsSanitizerName(const std::string& name) {
-  const std::string n = Lower(name);
-  for (const char* s : {"mask", "encrypt", "blind", "commit", "hash", "seal",
-                        "shuffle", "permut", "obfusc"}) {
-    if (n.find(s) != std::string::npos) return true;
-  }
-  return false;
 }
 
 bool IsRngishName(const std::string& name) {
@@ -66,14 +60,11 @@ bool IsComparisonPunct(const std::string& t) {
 
 class CheckRunner {
  public:
-  CheckRunner(const LexedFile& file, const std::vector<std::string>& extra_secrets,
+  CheckRunner(const LexedFile& file,
               const std::vector<std::string>& known_status_functions)
       : f_(file),
         known_status_(known_status_functions.begin(),
-                      known_status_functions.end()) {
-    for (const std::string& s : CollectSecretNames(file)) secrets_.insert(s);
-    for (const std::string& s : extra_secrets) secrets_.insert(s);
-  }
+                      known_status_functions.end()) {}
 
   std::vector<std::string> StatusFunctionNames() const {
     std::vector<std::string> names;
@@ -84,7 +75,6 @@ class CheckRunner {
   }
 
   std::vector<Finding> Run() {
-    CheckSecretFlow();
     CheckRngOrder();
     CheckReadBounds();
     CheckNodiscardDecls();
@@ -169,133 +159,6 @@ class CheckRunner {
       }
     }
     return kNone;
-  }
-
-  // -- check 1: secret-flow -------------------------------------------------
-
-  bool SanitizedAt(size_t idx, size_t span_begin) const {
-    // A secret use is exempt when an enclosing call inside the span is a
-    // masking/encryption/commitment function: Send(Encrypt(key, secret)).
-    for (size_t j = span_begin; j < idx; ++j) {
-      if (!P(j, "(")) continue;
-      const size_t close = Match(j);
-      if (close == kNone || close <= idx) continue;
-      if (j > 0 && IsIdent(j - 1) && IsSanitizerName(Tok(j - 1).text)) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  void SpanSecrets(size_t begin, size_t end, const std::string& context,
-                   bool allow_sanitizers) {
-    for (size_t j = begin; j < end && j < N(); ++j) {
-      if (!IsIdent(j) || secrets_.count(Tok(j).text) == 0) continue;
-      if (allow_sanitizers && SanitizedAt(j, begin)) continue;
-      Report(j, "secret-flow",
-             "secret '" + Tok(j).text + "' reaches " + context +
-                 "; route it through a masking/encryption call first");
-    }
-  }
-
-  /// Collects identifiers of the immediate left operand of the operator at
-  /// `op` and reports secrets among them.
-  void LeftOperandSecrets(size_t op) {
-    size_t j = op;
-    while (j > 0) {
-      --j;
-      const Token& t = Tok(j);
-      if (t.kind == TokKind::kPunct && (t.text == ")" || t.text == "]")) {
-        const size_t open = Match(j);
-        if (open == kNone) return;
-        SpanSecretsOperand(open, j, op);
-        if (open == 0) return;
-        j = open;
-        // `foo(...)` / `arr[...]`: keep walking the chain through the name.
-        continue;
-      }
-      if (t.kind == TokKind::kIdent) {
-        ReportIfSecret(j, op);
-        if (j > 0 && Tok(j - 1).kind == TokKind::kPunct &&
-            (Tok(j - 1).text == "." || Tok(j - 1).text == "->" ||
-             Tok(j - 1).text == "::")) {
-          --j;  // Walk `a.b.c` chains.
-          continue;
-        }
-        return;
-      }
-      if (t.kind == TokKind::kNumber || t.kind == TokKind::kString) return;
-      return;  // Hit an operator: left operand ends.
-    }
-  }
-
-  void RightOperandSecrets(size_t op) {
-    size_t j = op + 1;
-    // Skip unary prefixes.
-    while (j < N() && Tok(j).kind == TokKind::kPunct &&
-           (Tok(j).text == "-" || Tok(j).text == "+" || Tok(j).text == "!" ||
-            Tok(j).text == "~" || Tok(j).text == "*" || Tok(j).text == "&")) {
-      ++j;
-    }
-    while (j < N()) {
-      const Token& t = Tok(j);
-      if (t.kind == TokKind::kPunct && (t.text == "(" || t.text == "[")) {
-        const size_t close = Match(j);
-        if (close == kNone) return;
-        SpanSecretsOperand(j, close, op);
-        j = close + 1;
-        continue;
-      }
-      if (t.kind == TokKind::kIdent) {
-        ReportIfSecret(j, op);
-        ++j;
-        continue;
-      }
-      if (t.kind == TokKind::kPunct &&
-          (t.text == "." || t.text == "->" || t.text == "::")) {
-        ++j;
-        continue;
-      }
-      return;  // Number, operator, `;`, ... — operand over.
-    }
-  }
-
-  void SpanSecretsOperand(size_t begin, size_t end, size_t op) {
-    for (size_t j = begin; j < end; ++j) {
-      // Mask(secret) % x: the sanitizer call makes the operand public.
-      if (IsIdent(j) && !SanitizedAt(j, begin)) ReportIfSecret(j, op);
-    }
-  }
-
-  void ReportIfSecret(size_t j, size_t op) {
-    if (secrets_.count(Tok(j).text) == 0) return;
-    Report(j, "secret-flow",
-           "secret '" + Tok(j).text + "' is an operand of variable-time '" +
-               Tok(op).text + "'; mask it or use constant-time arithmetic");
-  }
-
-  void CheckSecretFlow() {
-    if (secrets_.empty()) return;
-    for (size_t i = 0; i < N(); ++i) {
-      if ((Id(i, "if") || Id(i, "while")) && P(i + 1, "(") &&
-          Match(i + 1) != kNone) {
-        SpanSecrets(i + 2, Match(i + 1), "a branch condition",
-                    /*allow_sanitizers=*/true);
-      } else if (P(i, "?")) {
-        SpanSecrets(StatementStart(i), i, "a ternary condition",
-                    /*allow_sanitizers=*/true);
-      } else if (P(i, "%") || P(i, "/") || P(i, "%=") || P(i, "/=")) {
-        LeftOperandSecrets(i);
-        RightOperandSecrets(i);
-      } else if (Id(i, "PSI_LOG")) {
-        SpanSecrets(i, StatementEnd(i), "a log statement",
-                    /*allow_sanitizers=*/false);
-      } else if ((Id(i, "Send") || Id(i, "SendFramed")) && P(i + 1, "(") &&
-                 Match(i + 1) != kNone) {
-        SpanSecrets(i + 2, Match(i + 1), "a network send",
-                    /*allow_sanitizers=*/true);
-      }
-    }
   }
 
   // -- check 2: rng-order ---------------------------------------------------
@@ -572,7 +435,6 @@ class CheckRunner {
   }
 
   const LexedFile& f_;
-  std::set<std::string> secrets_;
   std::set<std::string> known_status_;
   std::map<std::string, int> tainted_;  // name -> brace depth of the taint.
   mutable std::vector<std::pair<size_t, size_t>> anon_spans_;
@@ -616,13 +478,57 @@ std::vector<std::string> CollectSecretNames(const LexedFile& file) {
 }
 
 std::vector<std::string> CollectStatusFunctions(const LexedFile& file) {
-  return CheckRunner(file, {}, {}).StatusFunctionNames();
+  return CheckRunner(file, {}).StatusFunctionNames();
 }
 
-std::vector<Finding> RunChecks(
-    const LexedFile& file, const std::vector<std::string>& extra_secrets,
-    const std::vector<std::string>& known_status_functions) {
-  return CheckRunner(file, extra_secrets, known_status_functions).Run();
+std::vector<std::string> CollectVoidFunctions(const LexedFile& file) {
+  std::vector<std::string> names;
+  const auto& toks = file.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "void") continue;
+    // `void Name(` or `void Class::Name(`; returning-a-pointer `void*` and
+    // parameter positions (`(void)` casts, `void` params) never match the
+    // ident-then-paren shape.
+    size_t j = i + 1;
+    if (toks[j].kind != TokKind::kIdent) continue;
+    while (j + 2 < toks.size() && toks[j + 1].kind == TokKind::kPunct &&
+           toks[j + 1].text == "::" && toks[j + 2].kind == TokKind::kIdent) {
+      j += 2;
+    }
+    if (j + 1 < toks.size() && toks[j + 1].kind == TokKind::kPunct &&
+        toks[j + 1].text == "(") {
+      names.push_back(toks[j].text);
+    }
+  }
+  return names;
+}
+
+std::vector<Finding> RunChecks(const LexedFile& file,
+                               const std::vector<std::string>& extra_secrets,
+                               const ProjectContext& project) {
+  std::vector<std::string> secrets = CollectSecretNames(file);
+  secrets.insert(secrets.end(), extra_secrets.begin(), extra_secrets.end());
+
+  std::vector<Finding> findings = CheckRunner(file, project.status_functions).Run();
+  TaintAnalysis taint = AnalyzeTaint(file, secrets, project.sanitizers,
+                                     project.tainted_functions);
+  findings.insert(findings.end(), taint.findings.begin(),
+                  taint.findings.end());
+  std::vector<Finding> schedule = RunScheduleCheck(file);
+  findings.insert(findings.end(), schedule.begin(), schedule.end());
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.check, a.message) <
+                     std::tie(b.line, b.check, b.message);
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.line == b.line && a.check == b.check &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+  return findings;
 }
 
 }  // namespace internal

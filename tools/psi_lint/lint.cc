@@ -10,11 +10,14 @@
 #include <string>
 #include <vector>
 
+#include "symbols.h"
+#include "taint.h"
+
 namespace psi_lint {
 namespace {
 
 const char* const kChecks[] = {"secret-flow", "rng-order", "read-bounds",
-                               "nodiscard-status"};
+                               "nodiscard-status", "channel-schedule"};
 
 struct Suppression {
   int line = 0;
@@ -38,6 +41,15 @@ void ParseSuppressions(const LexedFile& file,
   for (const Comment& c : file.comments) {
     const size_t tag = c.text.find("psi-lint:");
     if (tag == std::string::npos) continue;
+    // Comments that merely QUOTE the grammar are not directives: doc
+    // comments (`///` / `/** ...` — the stripped text starts with another
+    // delimiter character) and backtick-quoted mentions like
+    // "a comment `psi-lint: allow(...)`".
+    if (!c.text.empty() && (c.text[0] == '/' || c.text[0] == '*')) continue;
+    if (c.text.find('`') != std::string::npos &&
+        c.text.find('`') < tag) {
+      continue;
+    }
     std::string rest = Trim(c.text.substr(tag + 9));
     const std::string kAllow = "allow(";
     if (rest.compare(0, kAllow.size(), kAllow) != 0) {
@@ -131,13 +143,21 @@ LintResult LintSources(const std::vector<SourceBuffer>& sources,
   }
   result.files_scanned = lexed.size();
 
-  // Project-wide tables: Status-returning function names and per-stem
-  // secret annotations.
+  // Project-wide tables: Status-returning function names, PSI_SANITIZES
+  // declassifier names, and per-stem secret annotations.
   std::set<std::string> status_functions;
+  std::set<std::string> void_functions;
+  std::set<std::string> sanitizer_set;
   std::map<std::string, std::vector<std::string>> header_secrets;
   for (const LexedFile& f : lexed) {
     for (std::string& n : internal::CollectStatusFunctions(f)) {
       status_functions.insert(std::move(n));
+    }
+    for (std::string& n : internal::CollectVoidFunctions(f)) {
+      void_functions.insert(std::move(n));
+    }
+    for (std::string& n : internal::CollectSanitizerNames(f)) {
+      sanitizer_set.insert(std::move(n));
     }
     const bool is_header = f.path.size() >= 2 &&
                            (f.path.rfind(".h") == f.path.size() - 2 ||
@@ -148,19 +168,66 @@ LintResult LintSources(const std::vector<SourceBuffer>& sources,
       if (!secrets.empty()) header_secrets[Stem(f.path)] = std::move(secrets);
     }
   }
-  const std::vector<std::string> known(status_functions.begin(),
-                                       status_functions.end());
 
-  const std::set<std::string> only(options.only_checks.begin(),
-                                   options.only_checks.end());
-  for (const LexedFile& f : lexed) {
+  internal::ProjectContext project;
+  for (const std::string& n : void_functions) status_functions.erase(n);
+  project.status_functions.assign(status_functions.begin(),
+                                  status_functions.end());
+  project.sanitizers.assign(sanitizer_set.begin(), sanitizer_set.end());
+
+  // Effective per-file secret list (own annotations + paired header's).
+  auto extra_secrets_for = [&](const LexedFile& f) {
     std::vector<std::string> extra;
     const auto it = header_secrets.find(Stem(f.path));
     if (it != header_secrets.end() && Stem(f.path) + ".h" != f.path &&
         Stem(f.path) + ".hpp" != f.path) {
       extra = it->second;
     }
-    std::vector<Finding> findings = internal::RunChecks(f, extra, known);
+    return extra;
+  };
+
+  // Summary-taint fixpoint: a function whose return value derives from a
+  // secret is itself a taint source at its call sites — including call
+  // sites in other files. Matching is by name, so a name only enters the
+  // cross-file table when EVERY definition of it in the batch is tainted:
+  // one secret-derived Run() among dozens of clean ones must not taint
+  // every .Run() call in the project. Iterate until the admitted set stops
+  // growing; it only grows, so this terminates (two or three rounds in
+  // practice).
+  std::map<std::string, size_t> def_count;
+  bool have_defs = false;
+  std::set<std::string> admitted;
+  for (int round = 0; round < 8; ++round) {
+    project.tainted_functions.assign(admitted.begin(), admitted.end());
+    std::map<std::string, size_t> tainted_count;
+    for (size_t fi = 0; fi < lexed.size(); ++fi) {
+      const LexedFile& f = lexed[fi];
+      std::vector<std::string> secrets = internal::CollectSecretNames(f);
+      std::vector<std::string> extra = extra_secrets_for(f);
+      secrets.insert(secrets.end(), extra.begin(), extra.end());
+      internal::TaintAnalysis ta = internal::AnalyzeTaint(
+          f, secrets, project.sanitizers, project.tainted_functions);
+      if (!have_defs) {
+        for (const std::string& n : ta.defined_functions) ++def_count[n];
+      }
+      for (const std::string& n : ta.tainted_functions) {
+        ++tainted_count[n];
+      }
+    }
+    have_defs = true;
+    const size_t before = admitted.size();
+    for (const auto& [name, count] : tainted_count) {
+      if (count >= def_count[name]) admitted.insert(name);
+    }
+    if (admitted.size() == before) break;
+  }
+  project.tainted_functions.assign(admitted.begin(), admitted.end());
+
+  const std::set<std::string> only(options.only_checks.begin(),
+                                   options.only_checks.end());
+  for (const LexedFile& f : lexed) {
+    std::vector<Finding> findings =
+        internal::RunChecks(f, extra_secrets_for(f), project);
 
     std::vector<Suppression> suppressions;
     ParseSuppressions(f, &suppressions, &result.findings);

@@ -1,11 +1,14 @@
 // psi_lint — project-specific static checks for the psi codebase.
 //
-// Four invariants that functional tests cannot see (docs/STATIC_ANALYSIS.md):
+// Five invariants that functional tests cannot see (docs/STATIC_ANALYSIS.md):
 //
-//   secret-flow       PSI_SECRET-annotated values must not reach branch
-//                     conditions, ternaries, `%` / `/` operands, PSI_LOG
-//                     statements, or network Send calls except through a
-//                     masking / encryption call.
+//   secret-flow       PSI_SECRET-annotated values — and, via the taint
+//                     engine (taint.h), anything assigned from them or
+//                     returned by a function that derives from them — must
+//                     not reach branch conditions, ternaries, `%` / `/`
+//                     operands, PSI_LOG statements, network Send calls,
+//                     array subscripts, shift counts, or early-exit
+//                     compares except through a PSI_SANITIZES call.
 //   rng-order         No RNG method call lexically inside a lambda passed to
 //                     ParallelFor* / ThreadPool::Submit — every draw stays in
 //                     serial program order (the transcript determinism
@@ -16,12 +19,17 @@
 //                     resize / reserve / assign or a loop bound.
 //   nodiscard-status  Functions returning Status / Result<T> carry
 //                     [[nodiscard]], and no call site silently discards one.
+//   channel-schedule  Every SendFramed has a structurally reachable peer
+//                     RecvValidated with the same ProtocolId in the same
+//                     stage/function, and AddStage registration uses unique
+//                     non-empty literal names (schedule.h).
 //
 // Findings are suppressed line-by-line with
-//     // psi-lint: allow(<check>) <justification>
+//     a comment `psi-lint: allow(<check>) <justification>`
 // on the finding's line or the line above; the justification text is
 // mandatory. A malformed suppression is itself a finding (bad-suppression)
-// and cannot be suppressed.
+// and cannot be suppressed. Doc comments and backtick quotes that merely
+// mention the grammar (like the line above) are ignored.
 
 #ifndef PSI_TOOLS_PSI_LINT_LINT_H_
 #define PSI_TOOLS_PSI_LINT_LINT_H_
@@ -60,7 +68,7 @@ struct LintResult {
   size_t suppressed = 0;           // Findings silenced by valid allow().
 };
 
-/// True iff `name` is one of the four check names.
+/// True iff `name` is one of the five check names.
 bool IsKnownCheck(const std::string& name);
 
 /// Lints a set of in-memory sources as one project: the nodiscard-status
@@ -82,13 +90,21 @@ std::string ToJson(const LintResult& result);
 
 namespace internal {
 
-/// Runs the four checks over one lexed file. `extra_secrets` are secret
-/// names inherited from a paired header; `known_status_functions` is the
-/// project-wide set of Status/Result-returning function names (for the
-/// discarded-call pass). Suppressions are NOT applied here.
-std::vector<Finding> RunChecks(
-    const LexedFile& file, const std::vector<std::string>& extra_secrets,
-    const std::vector<std::string>& known_status_functions);
+/// Project-wide symbol tables the per-file checks consume. LintSources
+/// builds these over the whole batch: the discarded-call pass needs every
+/// Status-returning function, the taint engine needs every PSI_SANITIZES
+/// name and the summary-taint fixpoint.
+struct ProjectContext {
+  std::vector<std::string> status_functions;
+  std::vector<std::string> sanitizers;
+  std::vector<std::string> tainted_functions;
+};
+
+/// Runs the five checks over one lexed file. `extra_secrets` are secret
+/// names inherited from a paired header. Suppressions are NOT applied here.
+std::vector<Finding> RunChecks(const LexedFile& file,
+                               const std::vector<std::string>& extra_secrets,
+                               const ProjectContext& project);
 
 /// Collects the names declared with PSI_SECRET in `file`.
 std::vector<std::string> CollectSecretNames(const LexedFile& file);
@@ -96,6 +112,12 @@ std::vector<std::string> CollectSecretNames(const LexedFile& file);
 /// Collects the names of Status/Result-returning functions declared in
 /// `file` (whether or not they carry [[nodiscard]]).
 std::vector<std::string> CollectStatusFunctions(const LexedFile& file);
+
+/// Collects the names of void-returning functions declared in `file`.
+/// LintSources drops these from the discarded-call set: matching is by
+/// name, so a void Run() in one file must not flag discards of it just
+/// because a Status Run() exists elsewhere.
+std::vector<std::string> CollectVoidFunctions(const LexedFile& file);
 
 }  // namespace internal
 

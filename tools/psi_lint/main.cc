@@ -1,6 +1,6 @@
 // psi_lint CLI.
 //
-//   psi_lint [--json FILE] [--check NAME]... <file-or-dir>...
+//   psi_lint [--json FILE] [--sarif FILE] [--check NAME]... <file-or-dir>...
 //
 // Prints findings as "file:line: check: message" and exits 1 when any
 // finding survives suppression, 0 when clean, 2 on usage or I/O errors.
@@ -13,13 +13,16 @@
 #include <vector>
 
 #include "lint.h"
+#include "sarif.h"
 
 namespace {
 
 int Usage() {
   std::cerr
-      << "usage: psi_lint [--json FILE] [--check NAME]... <file-or-dir>...\n"
-         "checks: secret-flow rng-order read-bounds nodiscard-status\n"
+      << "usage: psi_lint [--json FILE] [--sarif FILE] [--check NAME]... "
+         "<file-or-dir>...\n"
+         "checks: secret-flow rng-order read-bounds nodiscard-status "
+         "channel-schedule\n"
          "suppress: // psi-lint: allow(<check>) <justification>\n";
   return 2;
 }
@@ -29,6 +32,7 @@ int Usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string json_path;
+  std::string sarif_path;
   psi_lint::LintOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -36,6 +40,9 @@ int main(int argc, char** argv) {
     if (arg == "--json") {
       if (++i >= argc) return Usage();
       json_path = argv[i];
+    } else if (arg == "--sarif") {
+      if (++i >= argc) return Usage();
+      sarif_path = argv[i];
     } else if (arg == "--check") {
       if (++i >= argc) return Usage();
       if (!psi_lint::IsKnownCheck(argv[i])) {
@@ -69,6 +76,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << psi_lint::ToJson(result) << "\n";
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "psi_lint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << psi_lint::ToSarif(result) << "\n";
   }
   std::cerr << "psi_lint: " << result.files_scanned << " file(s), "
             << result.findings.size() << " finding(s), " << result.suppressed

@@ -1,0 +1,103 @@
+#include "sarif.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace psi_lint {
+namespace {
+
+struct RuleInfo {
+  const char* id;
+  const char* description;
+};
+
+// Every check that can appear in a LintResult, in stable order so rule
+// indices are deterministic across runs.
+const RuleInfo kRules[] = {
+    {"secret-flow",
+     "PSI_SECRET-derived values must not reach branches, variable-time "
+     "arithmetic, logs, sends, subscripts, shift counts, or early-exit "
+     "compares except through a PSI_SANITIZES call"},
+    {"rng-order",
+     "No RNG draw inside ParallelFor/Submit regions; randomness stays in "
+     "serial program order"},
+    {"read-bounds",
+     "Peer-deserialized counts must be bound-checked before sizing memory "
+     "or bounding loops"},
+    {"nodiscard-status",
+     "Status/Result functions carry [[nodiscard]] and no call site "
+     "discards one"},
+    {"channel-schedule",
+     "Every SendFramed needs a structurally reachable peer RecvValidated "
+     "with the same ProtocolId in the same stage; stage names are unique "
+     "non-empty literals"},
+    {"bad-suppression",
+     "Malformed psi-lint suppression comment (never itself suppressible)"},
+    {"io-error", "Path could not be read"},
+};
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToSarif(const LintResult& result) {
+  std::map<std::string, size_t> rule_index;
+  for (size_t i = 0; i < sizeof(kRules) / sizeof(kRules[0]); ++i) {
+    rule_index[kRules[i].id] = i;
+  }
+
+  std::ostringstream out;
+  out << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+         "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+         "\"name\":\"psi_lint\","
+         "\"informationUri\":\"docs/STATIC_ANALYSIS.md\","
+         "\"rules\":[";
+  for (size_t i = 0; i < sizeof(kRules) / sizeof(kRules[0]); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"id\":\"" << kRules[i].id << "\",\"shortDescription\":{"
+        << "\"text\":\"" << Escape(kRules[i].description) << "\"}}";
+  }
+  out << "]}},\"results\":[";
+  for (size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    if (i > 0) out << ",";
+    const auto it = rule_index.find(f.check);
+    // SARIF regions are 1-based; io-error findings carry line 0.
+    const int line = std::max(f.line, 1);
+    out << "{\"ruleId\":\"" << Escape(f.check) << "\"";
+    if (it != rule_index.end()) out << ",\"ruleIndex\":" << it->second;
+    out << ",\"level\":\"error\",\"message\":{\"text\":\""
+        << Escape(f.message) << "\"},\"locations\":[{\"physicalLocation\":{"
+        << "\"artifactLocation\":{\"uri\":\"" << Escape(f.file)
+        << "\"},\"region\":{\"startLine\":" << line << "}}}]}";
+  }
+  out << "]}]}";
+  return out.str();
+}
+
+}  // namespace psi_lint

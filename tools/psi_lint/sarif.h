@@ -1,0 +1,22 @@
+// SARIF 2.1.0 emitter: psi_lint findings as a static-analysis report GitHub
+// code scanning can ingest (`--sarif FILE` on the CLI; the CI lint job
+// uploads it so findings surface as PR annotations).
+
+#ifndef PSI_TOOLS_PSI_LINT_SARIF_H_
+#define PSI_TOOLS_PSI_LINT_SARIF_H_
+
+#include <string>
+
+#include "lint.h"
+
+namespace psi_lint {
+
+/// Serializes `result` as a SARIF 2.1.0 document: one run, one driver
+/// ("psi_lint"), one rule per check (including bad-suppression and
+/// io-error), one result per finding with a physical location. Paths are
+/// emitted as given (the CLI passes repo-relative paths in CI).
+std::string ToSarif(const LintResult& result);
+
+}  // namespace psi_lint
+
+#endif  // PSI_TOOLS_PSI_LINT_SARIF_H_

@@ -1,0 +1,322 @@
+#include "schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "symbols.h"
+
+namespace psi_lint {
+namespace internal {
+namespace {
+
+constexpr size_t kNone = LexedFile::kNoMatch;
+
+struct Stage {
+  std::string name;       // Literal text without quotes ("" if not literal).
+  bool literal = false;   // First AddStage argument is a string literal.
+  int line = 0;
+  size_t call_idx = 0;    // Token index of the AddStage identifier.
+  size_t body_open = kNone;
+  size_t body_close = kNone;
+};
+
+struct ChannelEvent {
+  bool is_send = false;
+  int line = 0;
+  size_t idx = 0;  // Token index of the SendFramed/RecvValidated identifier.
+  // Normalized argument spellings: sends are (from, to, pid, step), recvs
+  // are (to, from, pid, step) — Network::RecvValidated names the receiver
+  // first.
+  std::string a1, a2, pid, step;
+  bool matched = false;
+};
+
+/// "#" is the wildcard a bare identifier normalizes to.
+bool FieldMatch(const std::string& a, const std::string& b) {
+  return a == "#" || b == "#" || a == b;
+}
+
+class ScheduleChecker {
+ public:
+  explicit ScheduleChecker(const LexedFile& file) : v_(file) {}
+
+  std::vector<Finding> Run() {
+    functions_ = CollectFunctions(v_.file());
+    CollectStages();
+    CheckStageRegistration();
+    CollectEvents();
+    CheckPairing();
+    return std::move(findings_);
+  }
+
+ private:
+  void Report(size_t tok_idx, const std::string& message) {
+    findings_.push_back({v_.file().path, v_.Tok(tok_idx).line,
+                         "channel-schedule", message});
+  }
+
+  bool IsMethodCall(size_t i) const {
+    return i > 0 && (v_.P(i - 1, ".") || v_.P(i - 1, "->")) &&
+           v_.P(i + 1, "(") && v_.Match(i + 1) != kNone;
+  }
+
+  // -- stage collection -----------------------------------------------------
+
+  void CollectStages() {
+    for (size_t i = 0; i < v_.N(); ++i) {
+      if (!v_.Id(i, "AddStage") || !IsMethodCall(i)) continue;
+      const size_t open = i + 1;
+      const size_t close = v_.Match(open);
+      Stage st;
+      st.call_idx = i;
+      st.line = v_.Tok(i).line;
+      if (open + 1 < close && v_.Tok(open + 1).kind == TokKind::kString) {
+        st.literal = true;
+        const std::string& lit = v_.Tok(open + 1).text;
+        if (lit.size() >= 2) st.name = lit.substr(1, lit.size() - 2);
+      }
+      // The stage body is the first lambda inside the argument list.
+      for (const FunctionInfo& fn : functions_) {
+        if (!fn.is_lambda) continue;
+        if (fn.body_open > open && fn.body_open < close) {
+          st.body_open = fn.body_open;
+          st.body_close = fn.body_close;
+          break;
+        }
+      }
+      stages_.push_back(st);
+    }
+  }
+
+  void CheckStageRegistration() {
+    // Names must be non-empty string literals, unique per registering
+    // function: SessionOrchestrator checkpoints and the resume handshake
+    // address stages by name.
+    std::map<size_t, std::set<std::string>> seen_per_fn;
+    for (const Stage& st : stages_) {
+      if (!st.literal || st.name.empty()) {
+        Report(st.call_idx,
+               "AddStage name must be a non-empty string literal; "
+               "checkpoint/resume addresses stages by name, so names must "
+               "be stable across runs");
+        continue;
+      }
+      const size_t fn = InnermostFunction(functions_, st.call_idx);
+      if (!seen_per_fn[fn].insert(st.name).second) {
+        Report(st.call_idx,
+               "stage name '" + st.name +
+                   "' is registered twice in this function; "
+                   "checkpoint/resume addresses stages by name, which must "
+                   "be unique within a session");
+      }
+    }
+  }
+
+  // -- event collection -----------------------------------------------------
+
+  /// kConstant-style names (kStepOmega, kSessionStepResumeSync) are
+  /// compile-time tags: keep them concrete so a step/id mismatch inside one
+  /// scope is caught. Runtime-varying names (host_, players, from) stay
+  /// wildcards.
+  static bool IsTagConstant(const std::string& name) {
+    return name.size() >= 2 && name[0] == 'k' && name[1] >= 'A' &&
+           name[1] <= 'Z';
+  }
+
+  /// Normalizes one argument span [begin, end): a bare identifier becomes
+  /// the wildcard "#" (unless it is a kConstant tag), a single-identifier
+  /// subscript index becomes "[ # ]", everything else joins verbatim.
+  std::string NormalizeArg(size_t begin, size_t end) const {
+    if (end == begin + 1 && v_.IsIdent(begin)) {
+      const std::string& name = v_.Tok(begin).text;
+      return IsTagConstant(name) ? name : "#";
+    }
+    std::string out;
+    for (size_t j = begin; j < end; ++j) {
+      std::string text = v_.Tok(j).text;
+      if (v_.IsIdent(j) && j > begin && j + 1 < end && v_.P(j - 1, "[") &&
+          v_.P(j + 1, "]")) {
+        text = "#";
+      }
+      if (!out.empty()) out += ' ';
+      out += text;
+    }
+    return out;
+  }
+
+  void CollectEvents() {
+    for (size_t i = 0; i < v_.N(); ++i) {
+      const bool is_send = v_.Id(i, "SendFramed");
+      const bool is_recv = v_.Id(i, "RecvValidated");
+      if ((!is_send && !is_recv) || !IsMethodCall(i)) continue;
+      const size_t open = i + 1;
+      const size_t close = v_.Match(open);
+      // Split the first four top-level arguments.
+      std::vector<std::string> args;
+      size_t arg_begin = open + 1;
+      int depth = 0;
+      for (size_t j = open + 1; j <= close && args.size() < 4; ++j) {
+        const Token& t = v_.Tok(j);
+        const bool top_comma =
+            j == close ||
+            (t.kind == TokKind::kPunct && t.text == "," && depth == 0);
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+          if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+        }
+        if (top_comma && j > arg_begin) {
+          args.push_back(NormalizeArg(arg_begin, j));
+          arg_begin = j + 1;
+        }
+      }
+      if (args.size() < 4) continue;  // Not the framed-channel signature.
+      ChannelEvent ev;
+      ev.is_send = is_send;
+      ev.line = v_.Tok(i).line;
+      ev.idx = i;
+      ev.a1 = args[0];
+      ev.a2 = args[1];
+      ev.pid = args[2];
+      ev.step = args[3];
+      events_.push_back(ev);
+    }
+  }
+
+  // -- pairing --------------------------------------------------------------
+
+  struct Scope {
+    std::string describe;
+    bool is_stage = false;
+    size_t stage_idx = 0;
+    std::vector<size_t> event_indices;  // Into events_, in token order.
+  };
+
+  /// Innermost stage body containing token `i`, or stages_.size().
+  size_t InnermostStage(size_t i) const {
+    size_t best = stages_.size();
+    size_t best_width = static_cast<size_t>(-1);
+    for (size_t k = 0; k < stages_.size(); ++k) {
+      const Stage& st = stages_[k];
+      if (st.body_open == kNone) continue;
+      if (i <= st.body_open || i >= st.body_close) continue;
+      const size_t width = st.body_close - st.body_open;
+      if (width < best_width) {
+        best = k;
+        best_width = width;
+      }
+    }
+    return best;
+  }
+
+  void CheckPairing() {
+    // Group events by innermost stage body, else innermost function body,
+    // else file scope.
+    std::map<std::pair<int, size_t>, Scope> scopes;
+    for (size_t e = 0; e < events_.size(); ++e) {
+      const size_t i = events_[e].idx;
+      const size_t st = InnermostStage(i);
+      if (st != stages_.size()) {
+        Scope& s = scopes[{0, st}];
+        s.is_stage = true;
+        s.stage_idx = st;
+        s.describe = "stage '" + stages_[st].name + "'";
+        s.event_indices.push_back(e);
+        continue;
+      }
+      const size_t fn = InnermostFunction(functions_, i);
+      if (fn != functions_.size()) {
+        Scope& s = scopes[{1, fn}];
+        const std::string& name = functions_[fn].name;
+        s.describe = name.empty() ? "this lambda" : "function '" + name + "'";
+        s.event_indices.push_back(e);
+        continue;
+      }
+      Scope& s = scopes[{2, 0}];
+      s.describe = "this file";
+      s.event_indices.push_back(e);
+    }
+
+    for (auto& [key, scope] : scopes) {
+      // One-sided helper functions pair with a peer elsewhere; only stage
+      // bodies and mixed send/recv scopes are held to structural pairing.
+      bool has_send = false, has_recv = false;
+      for (size_t e : scope.event_indices) {
+        (events_[e].is_send ? has_send : has_recv) = true;
+      }
+      if (!scope.is_stage && !(has_send && has_recv)) continue;
+
+      std::vector<size_t> outstanding;  // Unmatched sends, in order.
+      std::set<std::string> stage_pids;
+      for (size_t e : scope.event_indices) {
+        ChannelEvent& ev = events_[e];
+        if (ev.pid != "#") stage_pids.insert(ev.pid);
+        if (ev.is_send) {
+          outstanding.push_back(e);
+          continue;
+        }
+        // recv(to, from, ...) consumes the earliest send(from, to, ...)
+        // with the party pair flipped and the same protocol id and step.
+        bool found = false;
+        for (size_t k = 0; k < outstanding.size(); ++k) {
+          const ChannelEvent& send = events_[outstanding[k]];
+          if (FieldMatch(send.a1, ev.a2) && FieldMatch(send.a2, ev.a1) &&
+              FieldMatch(send.pid, ev.pid) && FieldMatch(send.step, ev.step)) {
+            outstanding.erase(outstanding.begin() +
+                              static_cast<std::ptrdiff_t>(k));
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          Report(ev.idx,
+                 "RecvValidated(" + ev.a1 + " <- " + ev.a2 + ", " + ev.pid +
+                     ", step " + ev.step +
+                     ") has no preceding SendFramed with the flipped party "
+                     "pair in " + scope.describe +
+                     "; the receiving party blocks forever (deadlock) — "
+                     "send before receiving within a stage");
+        }
+      }
+      for (size_t e : outstanding) {
+        const ChannelEvent& send = events_[e];
+        Report(send.idx,
+               "SendFramed(" + send.a1 + " -> " + send.a2 + ", " + send.pid +
+                   ", step " + send.step +
+                   ") has no matching RecvValidated with the flipped party "
+                   "pair in " + scope.describe +
+                   "; the frame is never consumed and the channel "
+                   "desynchronizes on the next round");
+      }
+      if (scope.is_stage && stage_pids.size() > 1) {
+        std::string ids;
+        for (const std::string& p : stage_pids) {
+          if (!ids.empty()) ids += " vs ";
+          ids += p;
+        }
+        Report(stages_[scope.stage_idx].call_idx,
+               "stage '" + stages_[scope.stage_idx].name +
+                   "' mixes protocol ids (" + ids +
+                   "); a checkpointed stage replays as one protocol round "
+                   "and must stay on a single ProtocolId");
+      }
+    }
+  }
+
+  TokenView v_;
+  std::vector<FunctionInfo> functions_;
+  std::vector<Stage> stages_;
+  std::vector<ChannelEvent> events_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::vector<Finding> RunScheduleCheck(const LexedFile& file) {
+  return ScheduleChecker(file).Run();
+}
+
+}  // namespace internal
+}  // namespace psi_lint

@@ -1,0 +1,41 @@
+// channel-schedule check: structural send/recv pairing for MPC drivers.
+//
+// Every `SendFramed(from, to, ProtocolId, step, ...)` a driver issues must
+// have a structurally reachable `RecvValidated(to, from, ProtocolId, step)`
+// in the same stage (or function) — the SPMD drivers run every party in one
+// body, so an unpaired send is a frame nobody consumes (the peers
+// desynchronize) and a recv with no preceding send blocks forever (the
+// simulator deadlocks; the socket backend times out every retry).
+//
+// Matching is lexical over normalized argument spellings: a bare identifier
+// (a loop variable like `from`) is a wildcard `#`, a single-identifier
+// subscript (`players_[k]`) normalizes its index to `players_[#]`, and
+// anything else (literals, `host_`, `providers_[0]`) must match verbatim
+// with the party pair flipped. Scopes come from `AddStage("name", [...])`
+// bodies first, then enclosing functions; a function is only held to the
+// pairing rule when it contains both sends and recvs (one-sided helpers
+// pair with a peer in another function, which token analysis cannot see).
+//
+// Stage registration is checked too: `AddStage` names must be non-empty
+// string literals, unique per registering function (checkpoint/resume in
+// session.cc addresses stages by name), and a stage body must stay on a
+// single ProtocolId (a checkpointed stage replays as one protocol round).
+
+#ifndef PSI_TOOLS_PSI_LINT_SCHEDULE_H_
+#define PSI_TOOLS_PSI_LINT_SCHEDULE_H_
+
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+
+namespace psi_lint {
+namespace internal {
+
+/// Runs the channel-schedule check over one file.
+std::vector<Finding> RunScheduleCheck(const LexedFile& file);
+
+}  // namespace internal
+}  // namespace psi_lint
+
+#endif  // PSI_TOOLS_PSI_LINT_SCHEDULE_H_

@@ -1,0 +1,265 @@
+#include "symbols.h"
+
+#include <algorithm>
+#include <set>
+
+namespace psi_lint {
+namespace internal {
+namespace {
+
+constexpr size_t kNone = LexedFile::kNoMatch;
+
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "new" || s == "delete";
+}
+
+bool IsBodySpecifier(const std::string& s) {
+  return s == "const" || s == "noexcept" || s == "override" || s == "final" ||
+         s == "mutable" || s == "constexpr" || s == "try";
+}
+
+}  // namespace
+
+size_t TokenView::StatementStart(size_t i) const {
+  while (i > 0) {
+    const Token& t = Tok(i - 1);
+    if (t.kind == TokKind::kPunct &&
+        (t.text == ";" || t.text == "{" || t.text == "}")) {
+      break;
+    }
+    --i;
+  }
+  return i;
+}
+
+size_t TokenView::StatementEnd(size_t i) const {
+  int depth = 0;
+  for (size_t j = i; j < N(); ++j) {
+    const std::string& t = Tok(j).text;
+    if (Tok(j).kind != TokKind::kPunct) continue;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    if (t == ")" || t == "]" || t == "}") --depth;
+    if (t == ";" && depth <= 0) return j;
+  }
+  return N();
+}
+
+bool TokenView::IsSubscriptOpen(size_t i) const {
+  if (!P(i, "[") || i == 0) return false;
+  const Token& prev = Tok(i - 1);
+  return prev.kind == TokKind::kIdent ||
+         (prev.kind == TokKind::kPunct &&
+          (prev.text == ")" || prev.text == "]"));
+}
+
+std::vector<FunctionInfo> CollectFunctions(const LexedFile& file) {
+  const TokenView v(file);
+  std::vector<FunctionInfo> out;
+  const size_t n = v.N();
+
+  // Pass 1: lambdas. A `[` that is not a subscript (and not the inner
+  // bracket of an attribute) introduces a capture list; the body is the
+  // first `{` after the optional parameter list / specifiers / trailing
+  // return type.
+  for (size_t i = 0; i < n; ++i) {
+    if (!v.P(i, "[") || v.IsSubscriptOpen(i)) continue;
+    if (i > 0 && v.P(i - 1, "[")) continue;  // [[attribute]]
+    if (v.P(i + 1, "[")) continue;           // [[attribute]]
+    const size_t capture_close = v.Match(i);
+    if (capture_close == kNone) continue;
+    size_t j = capture_close + 1;
+    if (v.P(j, "(")) {
+      const size_t params_close = v.Match(j);
+      if (params_close == kNone) continue;
+      j = params_close + 1;
+    }
+    // Specifiers and an optional `-> Type` before the body.
+    size_t guard = 0;
+    while (j < n && guard++ < 64) {
+      if (v.P(j, "{")) break;
+      if (v.IsIdent(j) || v.P(j, "->") || v.P(j, "::") || v.P(j, "<") ||
+          v.P(j, ">") || v.P(j, ">>") || v.P(j, "*") || v.P(j, "&") ||
+          v.P(j, ",")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (!v.P(j, "{") || v.Match(j) == kNone) continue;
+    FunctionInfo fn;
+    fn.is_lambda = true;
+    fn.body_open = j;
+    fn.body_close = v.Match(j);
+    fn.name_idx = j;
+    // `auto name = [...]` / `auto name = /*...*/ [...]`: credit the lambda
+    // to the variable it initializes so call sites of the local can inherit
+    // its taint summary.
+    if (i >= 2 && v.P(i - 1, "=") && v.IsIdent(i - 2)) {
+      fn.name = v.Tok(i - 2).text;
+      fn.name_idx = i - 2;
+    }
+    out.push_back(fn);
+  }
+
+  // Pass 2: named functions. The signature shape is
+  //   name ( params ) [specifiers | -> Type | : init-list] {
+  // where `name` is an identifier that is not a control keyword.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (!v.P(i, "(")) continue;
+    const size_t close = v.Match(i);
+    if (close == kNone || i == 0) continue;
+    if (!v.IsIdent(i - 1)) continue;
+    const std::string& name = v.Tok(i - 1).text;
+    if (IsControlKeyword(name)) continue;
+    size_t j = close + 1;
+    bool ok = true;
+    size_t guard = 0;
+    while (j < n && guard++ < 256) {
+      if (v.P(j, "{")) break;
+      if (v.IsIdent(j) && IsBodySpecifier(v.Tok(j).text)) {
+        ++j;
+        continue;
+      }
+      if (v.P(j, "->")) {  // Trailing return type: skip type tokens.
+        ++j;
+        while (j < n && (v.IsIdent(j) || v.P(j, "::") || v.P(j, "<") ||
+                         v.P(j, ">") || v.P(j, ">>") || v.P(j, "*") ||
+                         v.P(j, "&") || v.P(j, ",") ||
+                         v.Tok(j).kind == TokKind::kNumber)) {
+          ++j;
+        }
+        continue;
+      }
+      if (v.P(j, ":")) {  // Constructor initializer list.
+        ++j;
+        while (j < n) {
+          if (v.P(j, "{")) {
+            // An initializer brace (`a_{1}`) directly follows an identifier
+            // or `>`; the body brace follows `)` / `}` / the init list comma
+            // chain. Jump initializer braces whole.
+            if (j > 0 && (v.IsIdent(j - 1) || v.P(j - 1, ">"))) {
+              const size_t m = v.Match(j);
+              if (m == kNone) break;
+              j = m + 1;
+              continue;
+            }
+            break;
+          }
+          if (v.P(j, "(")) {
+            const size_t m = v.Match(j);
+            if (m == kNone) break;
+            j = m + 1;
+            continue;
+          }
+          if (v.P(j, ";")) break;  // Not a definition after all.
+          ++j;
+        }
+        continue;
+      }
+      ok = false;
+      break;
+    }
+    if (!ok || j >= n || !v.P(j, "{") || v.Match(j) == kNone) continue;
+    // Reject control-flow lookalikes: `a = b (c) {` cannot occur, but a
+    // lambda body already claimed via pass 1 can share the same `{` when the
+    // "name" is actually a capture — skip duplicates.
+    bool duplicate = false;
+    for (const FunctionInfo& fn : out) {
+      if (fn.body_open == j) duplicate = true;
+    }
+    if (duplicate) continue;
+    FunctionInfo fn;
+    fn.name = name;
+    fn.name_idx = i - 1;
+    fn.body_open = j;
+    fn.body_close = v.Match(j);
+    out.push_back(fn);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const FunctionInfo& a, const FunctionInfo& b) {
+              return a.body_open < b.body_open;
+            });
+  return out;
+}
+
+size_t InnermostFunction(const std::vector<FunctionInfo>& functions,
+                         size_t i) {
+  size_t best = functions.size();
+  size_t best_width = static_cast<size_t>(-1);
+  for (size_t k = 0; k < functions.size(); ++k) {
+    const FunctionInfo& fn = functions[k];
+    if (i <= fn.body_open || i >= fn.body_close) continue;
+    const size_t width = fn.body_close - fn.body_open;
+    if (width < best_width) {
+      best = k;
+      best_width = width;
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> CollectSanitizerNames(const LexedFile& file) {
+  const TokenView v(file);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < v.N(); ++i) {
+    if (!v.Id(i, "PSI_SANITIZES")) continue;
+    for (size_t j = i + 1; j < v.N() && j < i + 64; ++j) {
+      if (v.P(j, ";") || v.P(j, "{") || v.P(j, "}")) break;
+      if (v.IsIdent(j) && v.P(j + 1, "(")) {
+        names.push_back(v.Tok(j).text);
+        break;
+      }
+    }
+  }
+  return names;
+}
+
+std::vector<size_t> TemplateCloserIndices(const LexedFile& file) {
+  const TokenView v(file);
+  std::vector<size_t> closers;
+  for (size_t i = 0; i < v.N(); ++i) {
+    if (!v.P(i, "<") || i == 0 || !v.IsIdent(i - 1)) continue;
+    // Walk forward: a template argument list holds only type-ish tokens.
+    int depth = 0;
+    std::vector<size_t> pending;
+    bool is_template = false;
+    for (size_t j = i; j < v.N() && j < i + 256; ++j) {
+      const Token& t = v.Tok(j);
+      if (t.kind == TokKind::kIdent || t.kind == TokKind::kNumber) continue;
+      if (t.kind != TokKind::kPunct) break;
+      if (t.text == "<") {
+        ++depth;
+      } else if (t.text == ">") {
+        pending.push_back(j);
+        if (--depth == 0) {
+          is_template = true;
+          break;
+        }
+      } else if (t.text == ">>") {
+        pending.push_back(j);
+        depth -= 2;
+        if (depth <= 0) {
+          is_template = true;
+          break;
+        }
+      } else if (t.text == "," || t.text == "*" || t.text == "&" ||
+                 t.text == "&&" || t.text == "::" || t.text == "...") {
+        continue;
+      } else {
+        break;  // An operator/terminator templates never contain.
+      }
+    }
+    if (is_template) {
+      closers.insert(closers.end(), pending.begin(), pending.end());
+    }
+  }
+  std::sort(closers.begin(), closers.end());
+  closers.erase(std::unique(closers.begin(), closers.end()), closers.end());
+  return closers;
+}
+
+}  // namespace internal
+}  // namespace psi_lint

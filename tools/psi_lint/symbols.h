@@ -1,0 +1,97 @@
+// Scope and symbol model shared by the flow-sensitive engines.
+//
+// psi_lint stays token-level (no libclang), but the taint and
+// channel-schedule engines need more structure than a flat token stream:
+// which tokens form a function (or lambda) body, which functions carry the
+// PSI_SANITIZES annotation, and where a statement begins and ends. This
+// header provides that layer: a `TokenView` of positional utilities over a
+// LexedFile, function/lambda body discovery, and annotation collection.
+//
+// Everything here is a lexical approximation with the same contract as
+// checks.cc: catch every violation written in this codebase's idiom, keep
+// false positives rare enough to justify individually.
+
+#ifndef PSI_TOOLS_PSI_LINT_SYMBOLS_H_
+#define PSI_TOOLS_PSI_LINT_SYMBOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace psi_lint {
+namespace internal {
+
+/// A function, member function, or lambda body discovered in the token
+/// stream. `body_open`/`body_close` are token indices of the `{` / `}`.
+struct FunctionInfo {
+  std::string name;     // Last identifier before the parameter list; for a
+                        // lambda, the variable it initializes ("" if none).
+  size_t name_idx = 0;  // Token index of the name (body_open for unnamed).
+  size_t body_open = 0;
+  size_t body_close = 0;
+  bool is_lambda = false;
+};
+
+/// Read-only positional helpers over a LexedFile. All engines share these so
+/// "statement", "operand", and "template argument list" mean the same thing
+/// everywhere.
+class TokenView {
+ public:
+  explicit TokenView(const LexedFile& file) : f_(file) {}
+
+  const LexedFile& file() const { return f_; }
+  size_t N() const { return f_.tokens.size(); }
+  const Token& Tok(size_t i) const { return f_.tokens[i]; }
+  bool P(size_t i, const char* text) const {
+    return i < N() && Tok(i).kind == TokKind::kPunct && Tok(i).text == text;
+  }
+  bool Id(size_t i, const char* text) const {
+    return i < N() && Tok(i).kind == TokKind::kIdent && Tok(i).text == text;
+  }
+  bool IsIdent(size_t i) const {
+    return i < N() && Tok(i).kind == TokKind::kIdent;
+  }
+  size_t Match(size_t i) const {
+    return i < f_.match.size() ? f_.match[i] : LexedFile::kNoMatch;
+  }
+
+  /// Index right after the last `;` / `{` / `}` before `i` (statement start).
+  size_t StatementStart(size_t i) const;
+
+  /// Index of the `;` closing the statement containing `i` (paren-depth 0
+  /// relative to `i`), or N().
+  size_t StatementEnd(size_t i) const;
+
+  /// True when the `[` at `i` opens a subscript (previous token is a value:
+  /// identifier, `)`, or `]`) rather than a lambda capture or attribute.
+  bool IsSubscriptOpen(size_t i) const;
+
+ private:
+  const LexedFile& f_;
+};
+
+/// Discovers every function / member function / lambda body in `file`,
+/// sorted by `body_open`. Nested bodies (lambdas inside functions) are
+/// separate entries; use InnermostFunction to attribute a token.
+std::vector<FunctionInfo> CollectFunctions(const LexedFile& file);
+
+/// Index into `functions` of the innermost body containing token `i`, or
+/// `functions.size()` when `i` is at file scope.
+size_t InnermostFunction(const std::vector<FunctionInfo>& functions, size_t i);
+
+/// Names of functions declared with the PSI_SANITIZES annotation
+/// (common/annotations.h): the first identifier after the macro that is
+/// directly followed by `(`.
+std::vector<std::string> CollectSanitizerNames(const LexedFile& file);
+
+/// Token indices of `>` / `>>` tokens that close a template argument list
+/// (so the shift sink never fires on `Result<std::vector<uint64_t>>`). A
+/// span starting at `ident <` qualifies when it balances within the
+/// statement using only type-ish tokens.
+std::vector<size_t> TemplateCloserIndices(const LexedFile& file);
+
+}  // namespace internal
+}  // namespace psi_lint
+
+#endif  // PSI_TOOLS_PSI_LINT_SYMBOLS_H_

@@ -1,0 +1,545 @@
+#include "taint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "symbols.h"
+
+namespace psi_lint {
+namespace internal {
+namespace {
+
+constexpr size_t kNone = LexedFile::kNoMatch;
+
+bool IsMemcmpName(const std::string& n) {
+  return n == "memcmp" || n == "strcmp" || n == "strncmp" ||
+         n == "strcasecmp" || n == "bcmp";
+}
+
+bool IsStreamName(const std::string& n) {
+  return n == "cout" || n == "cerr" || n == "clog" || n == "cin";
+}
+
+bool IsCompoundAssign(const std::string& t) {
+  return t == "+=" || t == "-=" || t == "*=" || t == "&=" || t == "|=" ||
+         t == "^=" || t == "<<=" || t == ">>=" || t == "%=" || t == "/=";
+}
+
+/// Length/emptiness projections of a container of secrets are public: the
+/// adversary model already concedes message counts and sizes.
+bool IsProjectionName(const std::string& n) {
+  return n == "size" || n == "empty" || n == "length" || n == "capacity" ||
+         n == "ok" || n == "remaining";
+}
+
+enum class MsgKind {
+  kVarTime,    // % and / operands.
+  kEarlyExit,  // == and != operands.
+  kShift,      // Shift counts.
+};
+
+class TaintEngine {
+ public:
+  TaintEngine(const LexedFile& file, const std::vector<std::string>& secrets,
+              const std::vector<std::string>& sanitizers,
+              const std::vector<std::string>& tainted_functions)
+      : v_(file),
+        secrets_(secrets.begin(), secrets.end()),
+        sanitizers_(sanitizers.begin(), sanitizers.end()),
+        tainted_fns_(tainted_functions.begin(), tainted_functions.end()) {}
+
+  TaintAnalysis Run() {
+    TaintAnalysis out;
+    functions_ = CollectFunctions(v_.file());
+    // Clean files still report their definitions: the cross-file summary
+    // admits a name only when every definition of it is tainted, so the
+    // denominator needs the clean ones too.
+    for (const FunctionInfo& fn : functions_) {
+      if (!fn.name.empty()) out.defined_functions.push_back(fn.name);
+    }
+    if (secrets_.empty() && tainted_fns_.empty()) return out;
+    for (size_t idx : TemplateCloserIndices(v_.file())) {
+      template_closers_.insert(idx);
+    }
+    BuildConditionSpans();
+    Walk();
+    out.findings = std::move(findings_);
+    for (size_t idx : tainted_out_) {
+      out.tainted_functions.push_back(functions_[idx].name);
+    }
+    return out;
+  }
+
+ private:
+  void Report(size_t tok_idx, const std::string& message) {
+    findings_.push_back(
+        {v_.file().path, v_.Tok(tok_idx).line, "secret-flow", message});
+  }
+
+  // -- taint state ----------------------------------------------------------
+
+  bool IsTaintedName(const std::string& name) const {
+    return secrets_.count(name) != 0 || derived_.count(name) != 0;
+  }
+
+  /// Tainted identifier use at `j` — skips public projections
+  /// (`masks.size()`).
+  bool IsTaintedUse(size_t j) const {
+    if (!v_.IsIdent(j) || !IsTaintedName(v_.Tok(j).text)) return false;
+    if ((v_.P(j + 1, ".") || v_.P(j + 1, "->")) && v_.IsIdent(j + 2) &&
+        IsProjectionName(v_.Tok(j + 2).text) && v_.P(j + 3, "(")) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Call to a summary-tainted function at `j`.
+  bool IsTaintedCall(size_t j) const {
+    return v_.IsIdent(j) && tainted_fns_.count(v_.Tok(j).text) != 0 &&
+           v_.P(j + 1, "(");
+  }
+
+  void Taint(const std::string& name) { derived_[name] = depth_; }
+
+  // -- enclosing-call scans -------------------------------------------------
+
+  /// True when the use at `idx` sits inside a call to a PSI_SANITIZES
+  /// function whose argument list opened at or after `span_begin`:
+  /// Send(Encrypt(key, secret)).
+  bool Laundered(size_t idx, size_t span_begin) const {
+    return EnclosedInCall(idx, span_begin, [this](const std::string& n) {
+      return sanitizers_.count(n) != 0;
+    });
+  }
+
+  /// True when the use at `idx` sits inside a memcmp-family call; the
+  /// memcmp sink owns the report, so span scans skip these uses.
+  bool InsideMemcmp(size_t idx, size_t span_begin) const {
+    return EnclosedInCall(idx, span_begin,
+                          [](const std::string& n) { return IsMemcmpName(n); });
+  }
+
+  template <typename Pred>
+  bool EnclosedInCall(size_t idx, size_t span_begin, Pred pred) const {
+    for (size_t j = span_begin; j < idx; ++j) {
+      if (!v_.P(j, "(")) continue;
+      const size_t close = v_.Match(j);
+      if (close == kNone || close <= idx) continue;
+      if (j > 0 && v_.IsIdent(j - 1) && pred(v_.Tok(j - 1).text)) return true;
+    }
+    return false;
+  }
+
+  // -- span evaluation ------------------------------------------------------
+
+  bool SpanHasTaint(size_t begin, size_t end, bool allow_sanitizers) const {
+    for (size_t j = begin; j < end && j < v_.N(); ++j) {
+      const bool hit = IsTaintedUse(j) || IsTaintedCall(j);
+      if (!hit) continue;
+      if (allow_sanitizers && Laundered(j, begin)) continue;
+      return true;
+    }
+    return false;
+  }
+
+  void SpanSink(size_t begin, size_t end, const std::string& context,
+                bool allow_sanitizers, bool skip_memcmp_args) {
+    for (size_t j = begin; j < end && j < v_.N(); ++j) {
+      const bool use = IsTaintedUse(j);
+      const bool call = !use && IsTaintedCall(j);
+      if (!use && !call) continue;
+      if (allow_sanitizers && Laundered(j, begin)) continue;
+      if (skip_memcmp_args && InsideMemcmp(j, begin)) continue;
+      const std::string& name = v_.Tok(j).text;
+      Report(j, (use ? "secret '" + name + "'"
+                     : "value of secret-derived function '" + name + "'") +
+                    " reaches " + context +
+                    "; route it through a masking/encryption call first");
+    }
+  }
+
+  // -- operand walks (ported from the token-level check) --------------------
+
+  void ReportOperand(size_t j, size_t op, MsgKind kind) {
+    const bool use = IsTaintedUse(j);
+    const bool call = !use && IsTaintedCall(j);
+    if (!use && !call) return;
+    const std::string& name = v_.Tok(j).text;
+    const std::string subject =
+        use ? "secret '" + name + "'"
+            : "value of secret-derived function '" + name + "'";
+    switch (kind) {
+      case MsgKind::kVarTime:
+        Report(j, subject + " is an operand of variable-time '" +
+                      v_.Tok(op).text +
+                      "'; mask it or use constant-time arithmetic");
+        break;
+      case MsgKind::kEarlyExit:
+        Report(j, subject + " is an operand of early-exit '" +
+                      v_.Tok(op).text +
+                      "'; use a constant-time comparison over the full width");
+        break;
+      case MsgKind::kShift:
+        Report(j, subject +
+                      " is a shift count; a secret-dependent shift amount is "
+                      "variable-time — mask the count or use a fixed-width "
+                      "ladder");
+        break;
+    }
+  }
+
+  void OperandSpan(size_t begin, size_t end, size_t op, MsgKind kind) {
+    for (size_t j = begin; j < end; ++j) {
+      if (!v_.IsIdent(j)) continue;
+      if (Laundered(j, begin)) continue;
+      if (kind == MsgKind::kEarlyExit && InsideMemcmp(j, begin)) continue;
+      ReportOperand(j, op, kind);
+    }
+  }
+
+  void LeftOperand(size_t op, MsgKind kind) {
+    size_t j = op;
+    while (j > 0) {
+      --j;
+      const Token& t = v_.Tok(j);
+      if (t.kind == TokKind::kPunct && (t.text == ")" || t.text == "]")) {
+        const size_t open = v_.Match(j);
+        if (open == kNone) return;
+        OperandSpan(open, j, op, kind);
+        if (open == 0) return;
+        j = open;
+        continue;  // foo(...) / arr[...]: keep walking through the name.
+      }
+      if (t.kind == TokKind::kIdent) {
+        ReportOperand(j, op, kind);
+        if (j > 0 && v_.Tok(j - 1).kind == TokKind::kPunct &&
+            (v_.Tok(j - 1).text == "." || v_.Tok(j - 1).text == "->" ||
+             v_.Tok(j - 1).text == "::")) {
+          --j;  // Walk a.b.c chains.
+          continue;
+        }
+        return;
+      }
+      if (t.kind == TokKind::kNumber || t.kind == TokKind::kString) return;
+      return;  // Hit an operator: left operand ends.
+    }
+  }
+
+  void RightOperand(size_t op, MsgKind kind) {
+    size_t j = op + 1;
+    while (j < v_.N() && v_.Tok(j).kind == TokKind::kPunct &&
+           (v_.Tok(j).text == "-" || v_.Tok(j).text == "+" ||
+            v_.Tok(j).text == "!" || v_.Tok(j).text == "~" ||
+            v_.Tok(j).text == "*" || v_.Tok(j).text == "&")) {
+      ++j;  // Unary prefixes.
+    }
+    while (j < v_.N()) {
+      const Token& t = v_.Tok(j);
+      if (t.kind == TokKind::kPunct && (t.text == "(" || t.text == "[")) {
+        const size_t close = v_.Match(j);
+        if (close == kNone) return;
+        OperandSpan(j, close, op, kind);
+        j = close + 1;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent) {
+        ReportOperand(j, op, kind);
+        ++j;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct &&
+          (t.text == "." || t.text == "->" || t.text == "::")) {
+        ++j;
+        continue;
+      }
+      return;  // Number, operator, `;`, ... — operand over.
+    }
+  }
+
+  // -- assignments ----------------------------------------------------------
+
+  /// The base name written by the assignment whose `=`/`op=` is at `eq`,
+  /// plus whether it is a plain local write (`name = ...`) eligible for a
+  /// taint kill. Member/subscript writes taint the base object instead.
+  std::pair<std::string, bool> LhsTarget(size_t eq) const {
+    size_t j = eq;
+    bool simple = true;
+    while (j > 0) {
+      const Token& t = v_.Tok(j - 1);
+      if (t.kind == TokKind::kIdent) {
+        if (j >= 2 && v_.Tok(j - 2).kind == TokKind::kPunct &&
+            (v_.Tok(j - 2).text == "." || v_.Tok(j - 2).text == "->" ||
+             v_.Tok(j - 2).text == "::")) {
+          simple = false;
+          j -= 2;
+          continue;
+        }
+        return {t.text, simple};
+      }
+      if (t.kind == TokKind::kPunct && t.text == "]") {
+        const size_t open = v_.Match(j - 1);
+        if (open == kNone || open == 0) return {"", false};
+        simple = false;
+        j = open;
+        continue;
+      }
+      return {"", false};
+    }
+    return {"", false};
+  }
+
+  void HandleAssign(size_t eq, bool compound) {
+    const auto [base, simple] = LhsTarget(eq);
+    if (base.empty()) return;
+    const size_t rhs_end = v_.StatementEnd(eq);
+    if (SpanHasTaint(eq + 1, rhs_end, /*allow_sanitizers=*/true)) {
+      Taint(base);
+    } else if (simple && !compound) {
+      derived_.erase(base);
+    }
+  }
+
+  void HandleAssignOrReturn(size_t i) {
+    const size_t open = i + 1;
+    const size_t close = v_.Match(open);
+    if (close == kNone) return;
+    size_t comma = kNone;
+    int depth = 0;
+    for (size_t j = open + 1; j < close; ++j) {
+      const std::string& t = v_.Tok(j).text;
+      if (v_.Tok(j).kind != TokKind::kPunct) continue;
+      if (t == "(" || t == "[" || t == "{" || t == "<") ++depth;
+      if (t == ")" || t == "]" || t == "}" || t == ">") --depth;
+      if (t == "," && depth <= 0) {
+        comma = j;
+        break;
+      }
+    }
+    if (comma == kNone) return;
+    // The first argument is an lvalue; walk it back like an assignment LHS
+    // so `out[i]` taints the base `out`, not the index.
+    const auto [lhs, simple] = LhsTarget(comma);
+    if (lhs.empty()) return;
+    if (SpanHasTaint(comma + 1, close, /*allow_sanitizers=*/true)) {
+      Taint(lhs);
+    } else if (simple) {
+      derived_.erase(lhs);
+    }
+  }
+
+  void HandleRangeFor(size_t i) {
+    const size_t open = i + 1;
+    const size_t close = v_.Match(open);
+    if (close == kNone) return;
+    size_t colon = kNone;
+    int depth = 0;
+    for (size_t j = open + 1; j < close; ++j) {
+      const Token& t = v_.Tok(j);
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      if (t.text == ":" && depth == 0) {
+        colon = j;
+        break;
+      }
+      if (t.text == ";") return;  // Classic three-clause for.
+    }
+    if (colon == kNone) return;
+    std::string loop_var;
+    for (size_t j = open + 1; j < colon; ++j) {
+      if (v_.IsIdent(j)) loop_var = v_.Tok(j).text;
+    }
+    if (loop_var.empty()) return;
+    if (SpanHasTaint(colon + 1, close, /*allow_sanitizers=*/true)) {
+      Taint(loop_var);
+    } else {
+      derived_.erase(loop_var);
+    }
+  }
+
+  // -- function summaries ---------------------------------------------------
+
+  void HandleReturn(size_t i) {
+    const size_t fn = InnermostFunction(functions_, i);
+    if (fn == functions_.size()) return;
+    const FunctionInfo& info = functions_[fn];
+    if (info.name.empty()) return;          // Unnamed lambda: no call sites.
+    if (sanitizers_.count(info.name) != 0) return;  // Declared declassifier.
+    if (SpanHasTaint(i + 1, v_.StatementEnd(i), /*allow_sanitizers=*/true)) {
+      tainted_out_.insert(fn);
+    }
+  }
+
+  // -- condition spans (== / != sink exclusion zone) ------------------------
+
+  void BuildConditionSpans() {
+    for (size_t i = 0; i < v_.N(); ++i) {
+      if ((v_.Id(i, "if") || v_.Id(i, "while")) && v_.P(i + 1, "(") &&
+          v_.Match(i + 1) != kNone) {
+        cond_spans_.push_back({i + 2, v_.Match(i + 1)});
+      } else if (v_.P(i, "?")) {
+        cond_spans_.push_back({v_.StatementStart(i), i});
+      }
+    }
+  }
+
+  bool InConditionSpan(size_t i) const {
+    for (const auto& [begin, end] : cond_spans_) {
+      if (i >= begin && i < end) return true;
+    }
+    return false;
+  }
+
+  // -- sinks ----------------------------------------------------------------
+
+  /// Span start for the ternary-condition scan: after the last top-level
+  /// `=` so the name being initialized is not reported as its own
+  /// condition (`int c = secret > x ? 1 : 0;`).
+  size_t TernaryScanBegin(size_t q) const {
+    size_t begin = v_.StatementStart(q);
+    int depth = 0;
+    for (size_t j = begin; j < q; ++j) {
+      const Token& t = v_.Tok(j);
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      if (t.text == "=" && depth == 0) begin = j + 1;
+    }
+    return begin;
+  }
+
+  void ShiftSink(size_t i) {
+    if (template_closers_.count(i) != 0) return;
+    if (i > 0) {
+      const Token& prev = v_.Tok(i - 1);
+      if (prev.kind == TokKind::kString) return;  // os << "..." << x chains.
+      if (prev.kind == TokKind::kIdent && IsStreamName(prev.text)) return;
+    }
+    if (v_.Id(v_.StatementStart(i), "PSI_LOG")) return;  // Log sink owns it.
+    RightOperand(i, MsgKind::kShift);
+  }
+
+  void SubscriptSink(size_t i) {
+    const size_t close = v_.Match(i);
+    if (close == kNone) return;
+    for (size_t j = i + 1; j < close; ++j) {
+      const bool use = IsTaintedUse(j);
+      const bool call = !use && IsTaintedCall(j);
+      if (!use && !call) continue;
+      if (Laundered(j, i + 1)) continue;
+      const std::string& name = v_.Tok(j).text;
+      Report(j, (use ? "secret '" + name + "'"
+                     : "value of secret-derived function '" + name + "'") +
+                    " indexes a memory access; a secret-dependent address is "
+                    "a cache side channel — mask the index or use a "
+                    "constant-time select");
+    }
+  }
+
+  void MemcmpSink(size_t i) {
+    const size_t close = v_.Match(i + 1);
+    if (close == kNone) return;
+    for (size_t j = i + 2; j < close; ++j) {
+      const bool use = IsTaintedUse(j);
+      const bool call = !use && IsTaintedCall(j);
+      if (!use && !call) continue;
+      if (Laundered(j, i + 2)) continue;
+      const std::string& name = v_.Tok(j).text;
+      Report(j, (use ? "secret '" + name + "'"
+                     : "value of secret-derived function '" + name + "'") +
+                    " is an argument of early-exit '" + v_.Tok(i).text +
+                    "'; use a constant-time comparison over the full width");
+    }
+  }
+
+  // -- main walk ------------------------------------------------------------
+
+  void Walk() {
+    for (size_t i = 0; i < v_.N(); ++i) {
+      if (v_.P(i, "{")) ++depth_;
+      if (v_.P(i, "}")) {
+        --depth_;
+        for (auto it = derived_.begin(); it != derived_.end();) {
+          it = it->second > depth_ ? derived_.erase(it) : std::next(it);
+        }
+      }
+
+      // Taint propagation.
+      if (v_.P(i, "=")) {
+        HandleAssign(i, /*compound=*/false);
+      } else if (v_.Tok(i).kind == TokKind::kPunct &&
+                 IsCompoundAssign(v_.Tok(i).text)) {
+        HandleAssign(i, /*compound=*/true);
+      } else if (v_.Id(i, "PSI_ASSIGN_OR_RETURN") && v_.P(i + 1, "(")) {
+        HandleAssignOrReturn(i);
+      } else if (v_.Id(i, "for") && v_.P(i + 1, "(")) {
+        HandleRangeFor(i);
+      }
+
+      // Sinks.
+      if ((v_.Id(i, "if") || v_.Id(i, "while")) && v_.P(i + 1, "(") &&
+          v_.Match(i + 1) != kNone) {
+        SpanSink(i + 2, v_.Match(i + 1), "a branch condition",
+                 /*allow_sanitizers=*/true, /*skip_memcmp_args=*/true);
+      } else if (v_.P(i, "?")) {
+        SpanSink(TernaryScanBegin(i), i, "a ternary condition",
+                 /*allow_sanitizers=*/true, /*skip_memcmp_args=*/true);
+      } else if (v_.P(i, "%") || v_.P(i, "/") || v_.P(i, "%=") ||
+                 v_.P(i, "/=")) {
+        LeftOperand(i, MsgKind::kVarTime);
+        RightOperand(i, MsgKind::kVarTime);
+      } else if (v_.Id(i, "PSI_LOG")) {
+        // The old check banned sanitizers in logs because the name
+        // vocabulary was guesswork; an explicit PSI_SANITIZES declassifier
+        // makes its value loggable like any other public value.
+        SpanSink(i, v_.StatementEnd(i), "a log statement",
+                 /*allow_sanitizers=*/true, /*skip_memcmp_args=*/false);
+      } else if ((v_.Id(i, "Send") || v_.Id(i, "SendFramed")) &&
+                 v_.P(i + 1, "(") && v_.Match(i + 1) != kNone) {
+        SpanSink(i + 2, v_.Match(i + 1), "a network send",
+                 /*allow_sanitizers=*/true, /*skip_memcmp_args=*/false);
+      } else if (v_.IsSubscriptOpen(i)) {
+        SubscriptSink(i);
+      } else if (v_.P(i, "<<") || v_.P(i, ">>") || v_.P(i, "<<=") ||
+                 v_.P(i, ">>=")) {
+        ShiftSink(i);
+      } else if (v_.IsIdent(i) && IsMemcmpName(v_.Tok(i).text) &&
+                 v_.P(i + 1, "(")) {
+        MemcmpSink(i);
+      } else if ((v_.P(i, "==") || v_.P(i, "!=")) && !InConditionSpan(i)) {
+        LeftOperand(i, MsgKind::kEarlyExit);
+        RightOperand(i, MsgKind::kEarlyExit);
+      } else if (v_.Id(i, "return")) {
+        HandleReturn(i);
+      }
+    }
+  }
+
+  TokenView v_;
+  std::set<std::string> secrets_;
+  std::set<std::string> sanitizers_;
+  std::set<std::string> tainted_fns_;
+  std::map<std::string, int> derived_;  // name -> brace depth of the taint.
+  int depth_ = 0;
+  std::vector<FunctionInfo> functions_;
+  std::set<size_t> template_closers_;
+  std::vector<std::pair<size_t, size_t>> cond_spans_;
+  std::set<size_t> tainted_out_;  // Indices into functions_.
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+TaintAnalysis AnalyzeTaint(const LexedFile& file,
+                           const std::vector<std::string>& secrets,
+                           const std::vector<std::string>& sanitizers,
+                           const std::vector<std::string>& tainted_functions) {
+  return TaintEngine(file, secrets, sanitizers, tainted_functions).Run();
+}
+
+}  // namespace internal
+}  // namespace psi_lint

@@ -1,0 +1,65 @@
+// Flow-sensitive secret-taint engine behind the secret-flow check.
+//
+// The token-level check in PR 4 saw only direct uses of PSI_SECRET names at
+// a sink. This engine propagates taint in lexical order through the file:
+//
+//   * assignments and initializations (`auto m = key_;`, `x += secret;`,
+//     `PSI_ASSIGN_OR_RETURN(lhs, TaintedCall())`) taint the left-hand name;
+//     a plain re-assignment from a clean right-hand side kills the taint,
+//   * per-function summaries: a function (or named local lambda) whose
+//     `return` expression derives from a secret is itself a taint source at
+//     every call site, project-wide,
+//   * laundering is explicit: only calls to functions declared with
+//     PSI_SANITIZES (common/annotations.h) clear taint — the old
+//     name-vocabulary ("anything containing 'mask' or 'hash'") is gone.
+//
+// Sinks are the four original ones (branch/ternary conditions, variable-time
+// `%` and `/`, PSI_LOG, network sends) plus the constant-time sinks:
+// secret-indexed subscripts, secret shift counts, and early-exit compares
+// (`memcmp`/`strcmp` arguments, `==`/`!=` operands outside conditions).
+//
+// Known limits (documented in docs/STATIC_ANALYSIS.md): propagation is
+// lexical, so taint does not follow loop back-edges; implicit flows
+// (control-flow dependence) are not modeled; summaries are matched by name,
+// not by receiver type.
+
+#ifndef PSI_TOOLS_PSI_LINT_TAINT_H_
+#define PSI_TOOLS_PSI_LINT_TAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+
+namespace psi_lint {
+namespace internal {
+
+struct TaintAnalysis {
+  std::vector<Finding> findings;
+  /// One entry per function definition in this file whose return value
+  /// derives from a secret (summary taint). Input for the project-wide
+  /// fixpoint.
+  std::vector<std::string> tainted_functions;
+  /// One entry per named function definition in this file, tainted or not.
+  /// LintSources admits a name into the cross-file summary table only when
+  /// every definition of that name in the batch is tainted — a common
+  /// method name like Run() with one secret-derived overload among dozens
+  /// of clean ones would otherwise taint every call site in the project.
+  std::vector<std::string> defined_functions;
+};
+
+/// Runs the taint engine over one file. `secrets` are the PSI_SECRET names
+/// visible to the file (own + paired header), `sanitizers` the project-wide
+/// PSI_SANITIZES function names, `tainted_functions` the current summary
+/// table (call AnalyzeTaint repeatedly until the returned set stops
+/// growing — LintSources does this).
+TaintAnalysis AnalyzeTaint(const LexedFile& file,
+                           const std::vector<std::string>& secrets,
+                           const std::vector<std::string>& sanitizers,
+                           const std::vector<std::string>& tainted_functions);
+
+}  // namespace internal
+}  // namespace psi_lint
+
+#endif  // PSI_TOOLS_PSI_LINT_TAINT_H_
