@@ -67,12 +67,15 @@ SocketTransportConfig BenchTransportConfig() {
   return config;
 }
 
-/// An in-process psid daemon on its own serving thread.
+/// An in-process psid daemon on its own serving thread. `abrupt_stop`
+/// zeroes the drain grace so StopAndJoin() drops connections without a
+/// goodbye — the client observes a dead peer, exactly like a crash.
 class DaemonThread {
  public:
-  explicit DaemonThread(uint16_t port = 0) {
+  explicit DaemonThread(uint16_t port = 0, bool abrupt_stop = false) {
     PsidConfig config;
     config.hosted_parties = {"P1"};
+    if (abrupt_stop) config.drain_grace_ms = 0;
     daemon_ = std::make_unique<PsidDaemon>(config);
     port_ = daemon_->Listen(port).ValueOrDie();
     thread_ = std::thread([this] {
@@ -149,7 +152,7 @@ int Run() {
   }
 
   // --- The same traffic over TCP loopback through a daemon. ---------------
-  auto daemon = std::make_unique<DaemonThread>();
+  auto daemon = std::make_unique<DaemonThread>(0, /*abrupt_stop=*/true);
   const uint16_t port = daemon->port();
   SocketNetwork net(BenchTransportConfig());
   PartyId h = net.RegisterParty("H");

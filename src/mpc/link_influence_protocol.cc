@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/annotations.h"
@@ -35,8 +36,82 @@ constexpr char kKeyShare2[] = "s2";
 constexpr char kKeyMasks[] = "masks";
 constexpr char kKeyMasked1[] = "m1";
 constexpr char kKeyMasked2[] = "m2";
+// Stage-program inputs staged into each provider's state before the run:
+// the public counter config and the provider's own action log. They
+// checkpoint (and ship to the provider's daemon) with everything else.
+constexpr char kKeyExecCfg[] = "exec.cfg";
+constexpr char kKeyExecLog[] = "exec.log";
+
+// Registry name of the per-provider counter stage program.
+constexpr char kProgramCounters[] = "p4/counters";
+
+// One provider's counter computation over [a | numerators]: a pure function
+// of the provider's SessionState (omega, exec.cfg, exec.log) — it draws no
+// randomness and touches no wire, which is what lets it run in-process, on
+// the provider's psid daemon, or replayed after a crash with identical
+// output. Providers feeding Protocol-5 aggregates in keep a plain local
+// stage body instead (the aggregates are in-memory only).
+[[nodiscard]] Status CountersStageProgram(StageProgramContext* ctx) {
+  if (ctx->state == nullptr || !ctx->rngs.empty()) {
+    return Status::FailedPrecondition(
+        "p4/counters wants one party state and no RNG streams");
+  }
+  SessionState& st = *ctx->state;
+
+  PSI_ASSIGN_OR_RETURN(const std::vector<uint8_t> cfg_buf, st.Get(kKeyExecCfg));
+  BinaryReader cr(cfg_buf);
+  uint64_t num_users = 0;
+  Protocol4Config cfg;
+  uint8_t has_weights = 0;
+  PSI_RETURN_NOT_OK(cr.ReadU64(&num_users));
+  PSI_RETURN_NOT_OK(cr.ReadU64(&cfg.h));
+  PSI_RETURN_NOT_OK(cr.ReadU64(&cfg.weight_scale));
+  PSI_RETURN_NOT_OK(cr.ReadU8(&has_weights));
+  if (has_weights > 1) {
+    return Status::SerializationError("p4/counters: malformed exec.cfg");
+  }
+  if (has_weights == 1) {
+    uint64_t count = 0;
+    PSI_RETURN_NOT_OK(cr.ReadCount(&count, /*min_bytes_per_element=*/8));
+    TemporalWeights weights;
+    weights.w.resize(count);
+    for (double& w : weights.w) PSI_RETURN_NOT_OK(cr.ReadDouble(&w));
+    cfg.weights = std::move(weights);
+  }
+  if (!cr.AtEnd()) {
+    return Status::SerializationError("p4/counters: trailing exec.cfg bytes");
+  }
+
+  std::vector<Arc> provider_omega;
+  {
+    PSI_ASSIGN_OR_RETURN(const auto buf, st.Get(kKeyOmega));
+    PSI_RETURN_NOT_OK(wire::UnpackArcs(buf, &provider_omega));
+  }
+  ActionLog log;
+  {
+    PSI_ASSIGN_OR_RETURN(const auto buf, st.Get(kKeyExecLog));
+    std::vector<ActionRecord> records;
+    PSI_RETURN_NOT_OK(wire::UnpackRecords(buf, &records));
+    for (const ActionRecord& rec : records) log.Add(rec);
+  }
+
+  PSI_ASSIGN_OR_RETURN(std::vector<uint64_t> counters,
+                       ComputeProviderCounterVector(log, num_users,
+                                                    provider_omega, cfg,
+                                                    /*extra=*/nullptr));
+  st.Put(kKeyCounters, wire::PackU64s(counters));
+  return Status::OK();
+}
 
 }  // namespace
+
+void RegisterLinkInfluenceStagePrograms() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    StageProgramRegistry::Global().Register(kProgramCounters,
+                                            CountersStageProgram);
+  });
+}
 
 uint64_t AggregatedClassCounters::FollowCount(NodeId i, NodeId j,
                                               uint64_t h) const {
@@ -125,7 +200,9 @@ Result<LinkInfluence> LinkInfluenceProtocol::RunSession(
     const std::vector<ActionLog>& provider_logs, Rng* host_rng,
     const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng,
     const RetryPolicy& retry, SessionStats* stats_out,
-    const std::vector<const AggregatedClassCounters*>& extras) {
+    const std::vector<const AggregatedClassCounters*>& extras,
+    SessionOrchestrator* orchestrator) {
+  RegisterLinkInfluenceStagePrograms();
   const size_t m = providers_.size();
   const size_t n = host_graph.num_nodes();
   if (m < 2) return Status::InvalidArgument("Protocol 4 needs >= 2 providers");
@@ -147,6 +224,25 @@ Result<LinkInfluence> LinkInfluenceProtocol::RunSession(
   }
   if (pair_secret_rng != nullptr) {
     session.RegisterRng("pair-secret", pair_secret_rng);
+  }
+
+  // Stage the per-provider program inputs: the public counter config and
+  // each provider's own log, durable in that provider's state from stage 0
+  // (so the initial checkpoint and any daemon-shipped restore carry them).
+  BinaryWriter cfg;
+  cfg.WriteU64(n);
+  cfg.WriteU64(config_.h);
+  cfg.WriteU64(config_.weight_scale);
+  cfg.WriteU8(config_.weights.has_value() ? 1 : 0);
+  if (config_.weights.has_value()) {
+    cfg.WriteVarU64(config_.weights->w.size());
+    for (double w : config_.weights->w) cfg.WriteDouble(w);
+  }
+  const std::vector<uint8_t> cfg_buf = cfg.TakeBuffer();
+  for (size_t k = 0; k < m; ++k) {
+    SessionState& st = session.PartyState(providers_[k]);
+    st.Put(kKeyExecCfg, cfg_buf);
+    st.Put(kKeyExecLog, wire::PackRecords(provider_logs[k].records()));
   }
 
   // Stage bodies are replayable: inputs come from the parties' SessionStates
@@ -187,23 +283,38 @@ Result<LinkInfluence> LinkInfluenceProtocol::RunSession(
     return Status::OK();
   });
 
-  // ---- Local: provider counter vectors over [a | numerators]. ----
-  session.AddStage("counters", [&, this]() -> Status {
-    for (size_t k = 0; k < m; ++k) {
-      PSI_ASSIGN_OR_RETURN(auto buf,
-                           session.PartyState(providers_[k]).Get(kKeyOmega));
-      std::vector<Arc> provider_omega;
-      PSI_RETURN_NOT_OK(wire::UnpackArcs(buf, &provider_omega));
-      PSI_ASSIGN_OR_RETURN(
-          std::vector<uint64_t> counters,
-          ComputeProviderCounterVector(provider_logs[k], n, provider_omega,
-                                       config_,
-                                       extras.empty() ? nullptr : extras[k]));
-      session.PartyState(providers_[k])
-          .Put(kKeyCounters, wire::PackU64s(counters));
+  // ---- Local: provider counter vectors over [a | numerators]. One stage
+  // per provider, each a registered stage program placed on that provider:
+  // the base orchestrator (and the simulator) runs it in-process, a
+  // RemoteSessionOrchestrator ships it to the provider's own psid daemon.
+  // The stage draws no randomness and touches no wire, so the split is
+  // transcript-invariant versus the old single "counters" stage. A provider
+  // fed Protocol-5 aggregates keeps a plain local body — the aggregates are
+  // in-memory only, never serialized into its SessionState.
+  for (size_t k = 0; k < m; ++k) {
+    const std::string stage_name = "counters-P" + std::to_string(k);
+    if (extras.empty() || extras[k] == nullptr) {
+      RemoteStageSpec spec;
+      spec.party = providers_[k];
+      spec.program = kProgramCounters;
+      session.AddRemoteStage(stage_name, std::move(spec));
+    } else {
+      // psi-lint: allow(channel-schedule) the name is a pure function of the provider index k, so it is stable across runs and resumable
+      session.AddStage(stage_name, [&, this, k]() -> Status {
+        PSI_ASSIGN_OR_RETURN(auto buf,
+                             session.PartyState(providers_[k]).Get(kKeyOmega));
+        std::vector<Arc> provider_omega;
+        PSI_RETURN_NOT_OK(wire::UnpackArcs(buf, &provider_omega));
+        PSI_ASSIGN_OR_RETURN(
+            std::vector<uint64_t> counters,
+            ComputeProviderCounterVector(provider_logs[k], n, provider_omega,
+                                         config_, extras[k]));
+        session.PartyState(providers_[k])
+            .Put(kKeyCounters, wire::PackU64s(counters));
+        return Status::OK();
+      });
     }
-    return Status::OK();
-  });
+  }
 
   // ---- Steps 3-4: aggregate all n + q counters into integer shares. ----
   session.AddStage("aggregate", [&, this]() -> Status {
@@ -471,9 +582,11 @@ Result<LinkInfluence> LinkInfluenceProtocol::RunSession(
     return Status::OK();
   });
 
-  SessionOrchestrator orchestrator(retry);
-  Status run = orchestrator.Run(&session);
-  if (stats_out != nullptr) *stats_out = orchestrator.stats();
+  SessionOrchestrator local_orchestrator(retry);
+  SessionOrchestrator* driver =
+      orchestrator != nullptr ? orchestrator : &local_orchestrator;
+  Status run = driver->Run(&session);
+  if (stats_out != nullptr) *stats_out = driver->stats();
   PSI_RETURN_NOT_OK(run);
   return out;
 }

@@ -40,6 +40,12 @@
 
 namespace psi {
 
+/// \brief Registers Protocol 4's stage programs ("p4/counters") with the
+/// global StageProgramRegistry. Idempotent; RunSession calls it, and the
+/// psid execution engine calls it at startup so a daemon can run the
+/// programs without ever driving a session.
+void RegisterLinkInfluenceStagePrograms();
+
 /// \brief Aggregated per-class counters held by a representative provider
 /// after Protocol 5 (non-exclusive preprocessing). The representative feeds
 /// them into Protocol 4 on behalf of its class group.
@@ -124,20 +130,28 @@ class LinkInfluenceProtocol {
                             const std::vector<const AggregatedClassCounters*>&
                                 extras = {});
 
-  /// \brief Runs the protocol as a checkpointed session (mpc/session.h): six
-  /// resumable stages (omega, counters, aggregate, masks, masked-shares,
-  /// recombine) under `retry`. A stage that fails — a provider crashed
-  /// mid-round, an unrepairable channel — is replayed from the last
-  /// checkpoint after a resume handshake, with all randomness rewound, so a
-  /// recovered run returns bitwise the fault-free result. `Run` is exactly
-  /// this with a single attempt. `stats_out` (optional) receives the
-  /// session's SessionStats.
+  /// \brief Runs the protocol as a checkpointed session (mpc/session.h):
+  /// resumable stages (omega, one counters-P<k> per provider, aggregate,
+  /// masks, masked-shares, recombine) under `retry`. A stage that fails — a
+  /// provider crashed mid-round, an unrepairable channel — is replayed from
+  /// the last checkpoint after a resume handshake, with all randomness
+  /// rewound, so a recovered run returns bitwise the fault-free result. The
+  /// counters-P<k> stages are registered stage programs ("p4/counters")
+  /// placed on their providers: pass a RemoteSessionOrchestrator
+  /// (mpc/remote_exec.h) as `orchestrator` to execute them on the
+  /// providers' psid daemons; with the default orchestrator (nullptr: one
+  /// is built from `retry`; when non-null, `retry` is ignored in favor of
+  /// the orchestrator's own policy) they run in-process. A provider with a
+  /// non-null extras[k] keeps a plain local stage (the Protocol-5
+  /// aggregates are in-memory only). `Run` is exactly this with a single
+  /// attempt. `stats_out` (optional) receives the session's SessionStats.
   [[nodiscard]] Result<LinkInfluence> RunSession(
       const SocialGraph& host_graph, uint64_t num_actions_public,
       const std::vector<ActionLog>& provider_logs, Rng* host_rng,
       const std::vector<Rng*>& provider_rngs, Rng* pair_secret_rng,
       const RetryPolicy& retry, SessionStats* stats_out = nullptr,
-      const std::vector<const AggregatedClassCounters*>& extras = {});
+      const std::vector<const AggregatedClassCounters*>& extras = {},
+      SessionOrchestrator* orchestrator = nullptr);
 
   const Protocol4Views& views() const { return views_; }
 

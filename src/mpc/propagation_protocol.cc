@@ -1,6 +1,7 @@
 #include "mpc/propagation_protocol.h"
 
 #include <algorithm>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -30,6 +31,14 @@ constexpr char kKeyPublicKey[] = "pubkey";
 constexpr char kKeyPrivateKey[] = "rsa-key";
 constexpr char kKeyPayload[] = "payload";
 constexpr char kKeyDeltas[] = "deltas";
+// Stage-program inputs staged into each provider's state before the run:
+// the public encryption config and the provider's own action log. They
+// checkpoint (and ship to the provider's daemon) with everything else.
+constexpr char kKeyExecCfg[] = "exec.cfg";
+constexpr char kKeyExecLog[] = "exec.log";
+
+// Registry name of the per-provider encryption stage program.
+constexpr char kProgramEncrypt[] = "p6/encrypt";
 
 // Serializes only the public half of the key pair: the output is wire-bound
 // by definition, so the packer declassifies the keygen-derived taint.
@@ -228,7 +237,94 @@ constexpr uint8_t kModePacked = 2;
   return Status::OK();
 }
 
+// One provider's Steps 4-8: compute the Delta vector of every owned action
+// over Omega_E' and encrypt it under H's public key. A pure function of the
+// provider's SessionState (omega, pubkey, exec.cfg, exec.log) and its one
+// RNG stream — which is what lets it run in-process, on the provider's psid
+// daemon, or replayed after a crash with bitwise-identical output.
+[[nodiscard]] Status EncryptStageProgram(StageProgramContext* ctx) {
+  if (ctx->state == nullptr || ctx->rngs.size() != 1) {
+    return Status::FailedPrecondition(
+        "p6/encrypt wants one party state and exactly one RNG stream");
+  }
+  SessionState& st = *ctx->state;
+
+  PSI_ASSIGN_OR_RETURN(const std::vector<uint8_t> cfg_buf, st.Get(kKeyExecCfg));
+  BinaryReader cr(cfg_buf);
+  uint8_t mode_byte = 0;
+  uint64_t delta_bound = 0;
+  PSI_RETURN_NOT_OK(cr.ReadU8(&mode_byte));
+  PSI_RETURN_NOT_OK(cr.ReadU64(&delta_bound));
+  if (!cr.AtEnd() || mode_byte > 2) {
+    return Status::SerializationError("p6/encrypt: malformed exec.cfg");
+  }
+  const auto mode = static_cast<Protocol6Config::EncryptionMode>(mode_byte);
+
+  std::vector<Arc> provider_omega;
+  {
+    PSI_ASSIGN_OR_RETURN(const auto buf, st.Get(kKeyOmega));
+    PSI_RETURN_NOT_OK(wire::UnpackArcs(buf, &provider_omega));
+  }
+  RsaPublicKey pub;
+  {
+    PSI_ASSIGN_OR_RETURN(const auto buf, st.Get(kKeyPublicKey));
+    PSI_RETURN_NOT_OK(UnpackPublicKey(buf, &pub));
+  }
+  // Packed geometry, derived from the published modulus and the public
+  // Delta bound. When no whole slot fits the key the provider downgrades
+  // to per-integer ciphertexts (codec stays null).
+  std::optional<PackingCodec> codec;
+  if (mode == Protocol6Config::EncryptionMode::kPackedInteger) {
+    auto codec_or = DeltaPackingCodec(pub.n, delta_bound);
+    if (codec_or.ok()) codec = *codec_or;
+  }
+  const PackingCodec* codec_ptr = codec.has_value() ? &*codec : nullptr;
+
+  ActionLog log;
+  {
+    PSI_ASSIGN_OR_RETURN(const auto buf, st.Get(kKeyExecLog));
+    std::vector<ActionRecord> records;
+    PSI_RETURN_NOT_OK(wire::UnpackRecords(buf, &records));
+    for (const ActionRecord& rec : records) log.Add(rec);
+  }
+
+  BinaryWriter w;
+  uint64_t ops = 0;
+  // Actions controlled by this provider: those appearing in its log
+  // (exclusive case).
+  std::unordered_set<ActionId> owned;
+  for (const auto& rec : log.records()) owned.insert(rec.action);
+  std::vector<ActionId> owned_sorted(owned.begin(), owned.end());
+  std::sort(owned_sorted.begin(), owned_sorted.end());
+  w.WriteVarU64(owned_sorted.size());
+  for (ActionId action : owned_sorted) {
+    std::vector<uint64_t> delta(provider_omega.size(), 0);
+    for (size_t p = 0; p < provider_omega.size(); ++p) {
+      const Arc& arc = provider_omega[p];
+      uint64_t ti, tj;
+      if (log.Lookup(arc.from, action, &ti) &&
+          log.Lookup(arc.to, action, &tj) && tj > ti) {
+        delta[p] = tj - ti;
+      }
+    }
+    PSI_RETURN_NOT_OK(EncryptDeltaVector(pub, mode, codec_ptr, delta_bound,
+                                         action, delta, ctx->rngs[0], &w,
+                                         &ops));
+  }
+  st.Put(kKeyPayload, w.TakeBuffer());
+  ctx->crypto_ops += ops;
+  return Status::OK();
+}
+
 }  // namespace
+
+void RegisterPropagationStagePrograms() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    StageProgramRegistry::Global().Register(kProgramEncrypt,
+                                            EncryptStageProgram);
+  });
+}
 
 PropagationGraphProtocol::PropagationGraphProtocol(
     Network* network, PartyId host, std::vector<PartyId> providers,
@@ -252,7 +348,8 @@ Result<Protocol6Output> PropagationGraphProtocol::RunSession(
     const SocialGraph& host_graph, size_t num_actions,
     const std::vector<ActionLog>& provider_logs, Rng* host_rng,
     const std::vector<Rng*>& provider_rngs, const RetryPolicy& retry,
-    SessionStats* stats_out) {
+    SessionStats* stats_out, SessionOrchestrator* orchestrator) {
+  RegisterPropagationStagePrograms();
   const size_t m = providers_.size();
   const size_t n = host_graph.num_nodes();
   if (m < 2) return Status::InvalidArgument("Protocol 6 needs >= 2 providers");
@@ -268,6 +365,19 @@ Result<Protocol6Output> PropagationGraphProtocol::RunSession(
   session.RegisterRng("host", host_rng);
   for (size_t k = 0; k < m; ++k) {
     session.RegisterRng("provider" + std::to_string(k), provider_rngs[k]);
+  }
+
+  // Stage the per-provider program inputs: the public encryption config and
+  // each provider's own log, durable in that provider's state from stage 0
+  // (so the initial checkpoint and any daemon-shipped restore carry them).
+  BinaryWriter cfg;
+  cfg.WriteU8(static_cast<uint8_t>(config_.encryption));
+  cfg.WriteU64(config_.packed_delta_bound);
+  const std::vector<uint8_t> cfg_buf = cfg.TakeBuffer();
+  for (size_t k = 0; k < m; ++k) {
+    SessionState& st = session.PartyState(providers_[k]);
+    st.Put(kKeyExecCfg, cfg_buf);
+    st.Put(kKeyExecLog, wire::PackRecords(provider_logs[k].records()));
   }
 
   // ---- Steps 1-2: H publishes Omega_E'. ----
@@ -328,62 +438,19 @@ Result<Protocol6Output> PropagationGraphProtocol::RunSession(
     return Status::OK();
   });
 
-  // ---- Steps 4-8 (local): providers encrypt their Delta vectors. ----
-  session.AddStage("encrypt", [&, this]() -> Status {
-    uint64_t ops = 0;
-    for (size_t k = 0; k < m; ++k) {
-      std::vector<Arc> provider_omega;
-      {
-        PSI_ASSIGN_OR_RETURN(auto buf,
-                             session.PartyState(providers_[k]).Get(kKeyOmega));
-        PSI_RETURN_NOT_OK(wire::UnpackArcs(buf, &provider_omega));
-      }
-      RsaPublicKey pub;
-      {
-        PSI_ASSIGN_OR_RETURN(
-            auto buf, session.PartyState(providers_[k]).Get(kKeyPublicKey));
-        PSI_RETURN_NOT_OK(UnpackPublicKey(buf, &pub));
-      }
-      // Packed geometry, derived by every party from the published modulus
-      // and the public Delta bound. When no whole slot fits the key the
-      // whole run downgrades to per-integer ciphertexts (codec stays null).
-      std::optional<PackingCodec> codec;
-      if (config_.encryption ==
-          Protocol6Config::EncryptionMode::kPackedInteger) {
-        auto codec_or = DeltaPackingCodec(pub.n, config_.packed_delta_bound);
-        if (codec_or.ok()) codec = *codec_or;
-      }
-      const PackingCodec* codec_ptr = codec.has_value() ? &*codec : nullptr;
-
-      BinaryWriter w;
-      // Actions controlled by provider k: those appearing in its log
-      // (exclusive case).
-      std::unordered_set<ActionId> owned;
-      for (const auto& rec : provider_logs[k].records()) {
-        owned.insert(rec.action);
-      }
-      std::vector<ActionId> owned_sorted(owned.begin(), owned.end());
-      std::sort(owned_sorted.begin(), owned_sorted.end());
-      w.WriteVarU64(owned_sorted.size());
-      for (ActionId action : owned_sorted) {
-        std::vector<uint64_t> delta(provider_omega.size(), 0);
-        for (size_t p = 0; p < provider_omega.size(); ++p) {
-          const Arc& arc = provider_omega[p];
-          uint64_t ti, tj;
-          if (provider_logs[k].Lookup(arc.from, action, &ti) &&
-              provider_logs[k].Lookup(arc.to, action, &tj) && tj > ti) {
-            delta[p] = tj - ti;
-          }
-        }
-        PSI_RETURN_NOT_OK(EncryptDeltaVector(
-            pub, config_.encryption, codec_ptr, config_.packed_delta_bound,
-            action, delta, provider_rngs[k], &w, &ops));
-      }
-      session.PartyState(providers_[k]).Put(kKeyPayload, w.TakeBuffer());
-    }
-    session.MeterCryptoOps(ops);
-    return Status::OK();
-  });
+  // ---- Steps 4-8 (local): providers encrypt their Delta vectors. One
+  // stage per provider, each a registered stage program placed on that
+  // provider: the base orchestrator (and the simulator) runs it in-process,
+  // a RemoteSessionOrchestrator ships it to the provider's own psid daemon.
+  // Same RNG streams drawn in the same order, so the split is transcript-
+  // invariant versus the old single "encrypt" stage.
+  for (size_t k = 0; k < m; ++k) {
+    RemoteStageSpec spec;
+    spec.party = providers_[k];
+    spec.program = kProgramEncrypt;
+    spec.rng_labels = {"provider" + std::to_string(k)};
+    session.AddRemoteStage("encrypt-P" + std::to_string(k), std::move(spec));
+  }
 
   // ---- Steps 4-10 (wire): bundles route via P1, who sees only bytes. ----
   session.AddStage("relay", [&, this]() -> Status {
@@ -483,9 +550,11 @@ Result<Protocol6Output> PropagationGraphProtocol::RunSession(
     return Status::OK();
   });
 
-  SessionOrchestrator orchestrator(retry);
-  Status run = orchestrator.Run(&session);
-  if (stats_out != nullptr) *stats_out = orchestrator.stats();
+  SessionOrchestrator local_orchestrator(retry);
+  SessionOrchestrator* driver =
+      orchestrator != nullptr ? orchestrator : &local_orchestrator;
+  Status run = driver->Run(&session);
+  if (stats_out != nullptr) *stats_out = driver->stats();
   PSI_RETURN_NOT_OK(run);
   return out;
 }

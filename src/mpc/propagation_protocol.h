@@ -39,6 +39,12 @@
 
 namespace psi {
 
+/// \brief Registers Protocol 6's stage programs ("p6/encrypt") with the
+/// global StageProgramRegistry. Idempotent; RunSession calls it, and the
+/// psid execution engine calls it at startup so a daemon can run the
+/// programs without ever driving a session.
+void RegisterPropagationStagePrograms();
+
 /// \brief Protocol 6 parameters.
 struct Protocol6Config {
   double obfuscation_factor = 2.0;  ///< The c > 1 of step 1.
@@ -82,17 +88,24 @@ class PropagationGraphProtocol {
                               const std::vector<Rng*>& provider_rngs);
 
   /// \brief Runs the protocol as a checkpointed session (mpc/session.h):
-  /// five resumable stages (omega, keygen, encrypt, relay, decode) under
-  /// `retry`. The host's RSA private key checkpoints into its durable
-  /// SessionState (never the wire), so a crash-restarted run decrypts with
-  /// the original key and converges bitwise to the fault-free output. `Run`
-  /// is exactly this with a single attempt. `stats_out` (optional) receives
-  /// the session's SessionStats.
+  /// resumable stages (omega, keygen, one encrypt-P<k> per provider, relay,
+  /// decode) under `retry`. The host's RSA private key checkpoints into its
+  /// durable SessionState (never the wire), so a crash-restarted run
+  /// decrypts with the original key and converges bitwise to the fault-free
+  /// output. The encrypt-P<k> stages are registered stage programs
+  /// ("p6/encrypt") placed on their providers: pass a
+  /// RemoteSessionOrchestrator (mpc/remote_exec.h) as `orchestrator` to
+  /// execute them on the providers' psid daemons; with the default
+  /// orchestrator (nullptr: one is built from `retry`; when non-null,
+  /// `retry` is ignored in favor of the orchestrator's own policy) they run
+  /// in-process. `Run` is exactly this with a single attempt. `stats_out`
+  /// (optional) receives the session's SessionStats.
   [[nodiscard]] Result<Protocol6Output> RunSession(
       const SocialGraph& host_graph, size_t num_actions,
       const std::vector<ActionLog>& provider_logs, Rng* host_rng,
       const std::vector<Rng*>& provider_rngs, const RetryPolicy& retry,
-      SessionStats* stats_out = nullptr);
+      SessionStats* stats_out = nullptr,
+      SessionOrchestrator* orchestrator = nullptr);
 
   const Protocol6Views& views() const { return views_; }
 

@@ -81,6 +81,47 @@ Result<SessionState> SessionState::Deserialize(
   return state;
 }
 
+// -- StageProgramRegistry ---------------------------------------------------
+
+StageProgramRegistry& StageProgramRegistry::Global() {
+  static StageProgramRegistry* registry = new StageProgramRegistry();
+  return *registry;
+}
+
+void StageProgramRegistry::Register(const std::string& name,
+                                    StageProgramFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  programs_[name] = std::move(fn);
+}
+
+bool StageProgramRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return programs_.find(name) != programs_.end();
+}
+
+Status StageProgramRegistry::Run(const std::string& name,
+                                 StageProgramContext* ctx) const {
+  StageProgramFn fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = programs_.find(name);
+    if (it == programs_.end()) {
+      return Status::FailedPrecondition("stage program '" + name +
+                                        "' is not registered");
+    }
+    fn = it->second;
+  }
+  return fn(ctx);
+}
+
+std::vector<std::string> StageProgramRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(programs_.size());
+  for (const auto& [name, fn] : programs_) names.push_back(name);
+  return names;
+}
+
 // -- ProtocolSession --------------------------------------------------------
 
 ProtocolSession::ProtocolSession(std::string name, Network* network,
@@ -94,9 +135,51 @@ void ProtocolSession::AddStage(std::string stage_name, StageBody body) {
   stage_bodies_.push_back(std::move(body));
 }
 
+void ProtocolSession::AddRemoteStage(std::string stage_name,
+                                     RemoteStageSpec spec) {
+  const size_t index = stage_names_.size();
+  remote_specs_[index] = spec;
+  // The installed body is the local path: the base orchestrator and the
+  // simulator run the program in-process, and the remote orchestrator's
+  // degrade-to-local falls back to exactly this.
+  AddStage(std::move(stage_name), [this, spec = std::move(spec)]() -> Status {
+    return RunStageProgramLocally(spec);
+  });
+}
+
 void ProtocolSession::RegisterRng(std::string label, Rng* rng) {
   rng_labels_.push_back(std::move(label));
   rngs_.push_back(rng);
+}
+
+Rng* ProtocolSession::RngByLabel(const std::string& label) const {
+  for (size_t i = 0; i < rng_labels_.size(); ++i) {
+    if (rng_labels_[i] == label) return rngs_[i];
+  }
+  return nullptr;
+}
+
+const RemoteStageSpec* ProtocolSession::remote_spec(size_t index) const {
+  auto it = remote_specs_.find(index);
+  return it == remote_specs_.end() ? nullptr : &it->second;
+}
+
+Status ProtocolSession::RunStageProgramLocally(const RemoteStageSpec& spec) {
+  StageProgramContext ctx;
+  ctx.state = &PartyState(spec.party);
+  ctx.rngs.reserve(spec.rng_labels.size());
+  for (const std::string& label : spec.rng_labels) {
+    Rng* rng = RngByLabel(label);
+    if (rng == nullptr) {
+      return Status::FailedPrecondition(
+          "stage program '" + spec.program + "' wants RNG '" + label +
+          "' but the session never registered it");
+    }
+    ctx.rngs.push_back(rng);
+  }
+  PSI_RETURN_NOT_OK(StageProgramRegistry::Global().Run(spec.program, &ctx));
+  MeterCryptoOps(ctx.crypto_ops);
+  return Status::OK();
 }
 
 SessionState& ProtocolSession::PartyState(PartyId party) {
@@ -225,6 +308,7 @@ Status SessionOrchestrator::Run(ProtocolSession* session) {
   }
   stats_ = SessionStats{};
   completed_high_water_ = 0;
+  last_failed_stage_.clear();
   Rng backoff_rng(policy_.seed);
   Network* net = session->network_;
 
@@ -287,7 +371,10 @@ Status SessionOrchestrator::Run(ProtocolSession* session) {
     for (size_t i = start_stage; i < session->num_stages(); ++i) {
       session->current_stage_ops_ = 0;
       ++stats_.stages_run;
-      Status body = session->stage_bodies_[i]();
+      if (stage_observer_) {
+        stage_observer_(static_cast<uint32_t>(i), session->stage_name(i));
+      }
+      Status body = RunStage(session, i);
       stats_.crypto_ops_total += session->current_stage_ops_;
       if (i < completed_high_water_) {
         // Only reachable with resume_from_checkpoint off: the full-restart
@@ -295,6 +382,7 @@ Status SessionOrchestrator::Run(ProtocolSession* session) {
         stats_.crypto_ops_recomputed += session->current_stage_ops_;
       }
       if (!body.ok()) {
+        last_failed_stage_ = session->stage_name(i);
         stage_error = std::move(body);
         break;
       }
@@ -321,10 +409,17 @@ Status SessionOrchestrator::Run(ProtocolSession* session) {
     last_error = std::move(stage_error);
   }
   (void)net->DrainAll();
+  const std::string where = last_failed_stage_.empty()
+                                ? std::string("resume handshake")
+                                : "stage '" + last_failed_stage_ + "'";
   return Status::ProtocolError(
       "session '" + session->name_ + "' failed after " +
-      std::to_string(stats_.attempts) + " attempt(s); last error: " +
-      last_error.message());
+      std::to_string(stats_.attempts) + " attempt(s) in " + where +
+      "; last error: " + last_error.message());
+}
+
+Status SessionOrchestrator::RunStage(ProtocolSession* session, size_t index) {
+  return session->stage_bodies_[index]();
 }
 
 }  // namespace psi

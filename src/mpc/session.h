@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -132,6 +133,57 @@ struct SessionStats {
   uint64_t crypto_ops_recomputed = 0;
 };
 
+/// \brief Execution context a stage program runs against: one party's
+/// durable state plus the RNG streams the program draws from (in the order
+/// the RemoteStageSpec lists their labels).
+///
+/// A stage program is a pure function of (state, rngs): no wire access, no
+/// driver locals. That is what makes it location-transparent — the same
+/// program run locally, on a psid daemon, or replayed after a crash
+/// produces bitwise-identical state and bitwise-identical RNG evolution.
+struct StageProgramContext {
+  SessionState* state = nullptr;
+  std::vector<Rng*> rngs;
+  uint64_t crypto_ops = 0;  ///< Program-metered expensive operations.
+};
+
+/// \brief A registered, location-transparent stage computation.
+using StageProgramFn = std::function<Status(StageProgramContext*)>;
+
+/// \brief Process-wide registry of stage programs, keyed by name
+/// ("p6/encrypt"). Protocol drivers register their programs once (idempotent
+/// re-registration overwrites); the session layer runs them locally and the
+/// psid execution engine (mpc/remote_exec) runs them daemon-side.
+class StageProgramRegistry {
+ public:
+  static StageProgramRegistry& Global();
+
+  void Register(const std::string& name, StageProgramFn fn);
+  bool Contains(const std::string& name) const;
+
+  /// \brief Runs the named program, or FailedPrecondition if unregistered.
+  [[nodiscard]] Status Run(const std::string& name,
+                           StageProgramContext* ctx) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, StageProgramFn> programs_;
+};
+
+/// \brief Placement of one remote-executable stage: which party computes,
+/// which registered program, and which of the session's RNG streams the
+/// program consumes (by registration label, in draw order).
+struct RemoteStageSpec {
+  PartyId party = 0;
+  std::string program;
+  std::vector<std::string> rng_labels;
+  /// Per-stage wall-clock deadline of one remote attempt; 0 defers to the
+  /// orchestrator's policy default.
+  uint64_t deadline_ms = 0;
+};
+
 /// \brief A protocol run decomposed into named, checkpointable stages.
 ///
 /// Stage bodies are closures over the driver. They communicate through the
@@ -152,9 +204,24 @@ class ProtocolSession {
   /// \brief Appends a stage. Stages run in registration order.
   void AddStage(std::string stage_name, StageBody body);
 
+  /// \brief Appends a stage bound to a registered stage program. The base
+  /// orchestrator (and the simulator) runs the program in-process against
+  /// the party's state — bitwise-identical to a remote run. A
+  /// RemoteSessionOrchestrator (mpc/remote_exec) instead dispatches it to
+  /// the daemon hosting `spec.party` when the transport supports that.
+  void AddRemoteStage(std::string stage_name, RemoteStageSpec spec);
+
   /// \brief Registers an RNG whose stream the checkpoints snapshot and
   /// recovery rewinds. Every RNG a stage body draws from must be here.
   void RegisterRng(std::string label, Rng* rng);
+
+  /// \brief The RNG registered under `label`, or nullptr.
+  Rng* RngByLabel(const std::string& label) const;
+
+  /// \brief Runs `spec`'s program in-process against this session (the
+  /// local-fallback body AddRemoteStage installs; also the orchestrator's
+  /// degrade-to-local path).
+  [[nodiscard]] Status RunStageProgramLocally(const RemoteStageSpec& spec);
 
   /// \brief The durable store of `party` (created on first use).
   SessionState& PartyState(PartyId party);
@@ -172,6 +239,12 @@ class ProtocolSession {
     return stage_names_[index];
   }
 
+  /// \brief The placement spec of stage `index`, or nullptr for stages
+  /// added with AddStage (wire stages and host-private closures).
+  const RemoteStageSpec* remote_spec(size_t index) const;
+
+  const std::vector<std::string>& rng_labels() const { return rng_labels_; }
+
  private:
   friend class SessionOrchestrator;
 
@@ -180,6 +253,7 @@ class ProtocolSession {
   std::vector<PartyId> parties_;
   std::vector<std::string> stage_names_;
   std::vector<StageBody> stage_bodies_;
+  std::map<size_t, RemoteStageSpec> remote_specs_;
   std::vector<std::string> rng_labels_;
   std::vector<Rng*> rngs_;
   std::map<PartyId, SessionState> states_;
@@ -191,6 +265,7 @@ class ProtocolSession {
 class SessionOrchestrator {
  public:
   explicit SessionOrchestrator(RetryPolicy policy) : policy_(policy) {}
+  virtual ~SessionOrchestrator() = default;
 
   /// \brief Runs the session to completion. OK only if every stage
   /// succeeded in some attempt; otherwise the last stage error wrapped in a
@@ -201,7 +276,19 @@ class SessionOrchestrator {
 
   const SessionStats& stats() const { return stats_; }
 
- private:
+  /// \brief Observer invoked immediately before each stage executes, with
+  /// the stage index and name. The chaos harness uses it to act at exact
+  /// stage boundaries (SIGKILL/SIGSTOP the remote executor before stage k),
+  /// the way SetRoundObserver pins exact round positions.
+  using StageObserver =
+      std::function<void(uint32_t stage_index, const std::string& name)>;
+
+  /// \brief Installs (or clears, with nullptr) the stage observer.
+  void SetStageObserver(StageObserver observer) {
+    stage_observer_ = std::move(observer);
+  }
+
+ protected:
   /// One full checkpoint: serialized party states + RNG snapshots + the
   /// per-completed-stage crypto-op ledger. Holds key material and masks —
   /// PSI_SECRET, durable-storage only.
@@ -212,6 +299,13 @@ class SessionOrchestrator {
     PSI_SECRET std::vector<std::vector<uint8_t>> rng_blobs;
     std::vector<uint64_t> stage_ops;  ///< Ops metered per completed stage.
   };
+
+  /// \brief Executes stage `index`. The base implementation runs the
+  /// registered body in-process; RemoteSessionOrchestrator (mpc/remote_exec)
+  /// overrides it to dispatch remote-placed stages to the daemon hosting
+  /// the executing party, falling back to this implementation to degrade.
+  [[nodiscard]] virtual Status RunStage(ProtocolSession* session,
+                                        size_t index);
 
   [[nodiscard]] Checkpoint Capture(ProtocolSession& session,
                                    uint32_t stages_completed,
@@ -226,6 +320,10 @@ class SessionOrchestrator {
   /// Highest stage index ever completed across attempts; re-running below
   /// it is recomputation (only possible with resume_from_checkpoint off).
   uint32_t completed_high_water_ = 0;
+  /// Name of the stage whose failure ended the most recent attempt; gives
+  /// the final ProtocolError its "last stage" context.
+  std::string last_failed_stage_;
+  StageObserver stage_observer_;
 };
 
 }  // namespace psi

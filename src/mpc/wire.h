@@ -17,11 +17,14 @@
 #define PSI_MPC_WIRE_H_
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "actionlog/action_log.h"
 #include "bigint/bigint.h"
 #include "bigint/biguint.h"
+#include "common/annotations.h"
 #include "common/status.h"
 #include "graph/graph.h"
 
@@ -69,6 +72,84 @@ std::vector<uint8_t> PackRecords(const std::vector<ActionRecord>& records);
 /// bytes.
 [[nodiscard]] Status UnpackRecords(const std::vector<uint8_t>& buf,
                                    std::vector<ActionRecord>* out);
+
+// ---------------------------------------------------------------------------
+// Remote stage execution (ProtocolId::kExec). An ExecRequest asks the daemon
+// hosting `party` to run one registered stage program against that party's
+// SessionState; the ExecResponse ships the post-stage state and advanced RNG
+// snapshots back — the daemon-side checkpoint the host commits. Both codecs
+// are versioned and follow the hardened decode discipline (bounded counts,
+// no trailing bytes): a daemon parses requests from the wire.
+// ---------------------------------------------------------------------------
+
+/// \brief Version tag of the exec request/response wire format.
+inline constexpr uint32_t kExecWireVersion = 1;
+
+/// \brief Step tags of ProtocolId::kExec envelopes. The envelope `seq`
+/// field carries the stage index so late results of a timed-out call are
+/// recognizably stale.
+inline constexpr uint16_t kExecStepRequest = 1;
+inline constexpr uint16_t kExecStepResult = 2;
+
+/// \brief A labelled RNG snapshot (label as registered on the session).
+/// The snapshot bytes determine the party's future secret draws — they ride
+/// the exec channel only, which terminates at the party's own daemon.
+using ExecRngBlob = std::pair<std::string, std::vector<uint8_t>>;
+
+/// \brief One stage-program invocation.
+struct ExecRequest {
+  std::string session;        ///< Session name (daemon slot key).
+  std::string program;        ///< Registry key, e.g. "p6/encrypt".
+  uint32_t stage_index = 0;   ///< Position in the session's stage list.
+  uint32_t attempt = 1;       ///< Host-side attempt counter (logs only).
+  uint32_t party = 0;         ///< The executing party.
+  /// When true, `state_blob` carries the party's full durable state (fresh
+  /// daemon, or restore after reconnect). When false the daemon must
+  /// already hold state for (session, party) at exactly `stage_index`
+  /// completed stages, else it answers kNeedState. RNG snapshots always
+  /// ride along (tiny; listed in the stage spec's label order) — the host
+  /// stays the authority on randomness, so a replayed request re-derives
+  /// bitwise the same draws.
+  bool includes_state = false;
+  PSI_SECRET std::vector<uint8_t> state_blob;  ///< SessionState::Serialize.
+  PSI_SECRET std::vector<ExecRngBlob> rng_blobs;
+};
+
+/// \brief What happened to an ExecRequest.
+enum class ExecOutcome : uint8_t {
+  kOk = 0,           ///< Program ran; state/rng blobs are the new checkpoint.
+  kNeedState = 1,    ///< Daemon holds no matching state; resend with it.
+  kError = 2,        ///< Program ran and failed (message has the status).
+  kUnsupported = 3,  ///< Program unknown to this daemon's registry.
+};
+
+/// \brief The daemon's answer: outcome plus, on kOk, the daemon-side
+/// checkpoint (post-stage party state, advanced RNG snapshots, metered
+/// crypto ops).
+struct ExecResponse {
+  ExecOutcome outcome = ExecOutcome::kError;
+  std::string message;       ///< Error detail for kError / kUnsupported.
+  bool from_cache = false;   ///< Served from the daemon's result cache.
+  uint64_t crypto_ops = 0;   ///< Ops the program metered (kOk only).
+  PSI_SECRET std::vector<uint8_t> state_blob;
+  PSI_SECRET std::vector<ExecRngBlob> rng_blobs;
+};
+
+/// \brief Encodes an ExecRequest (versioned).
+std::vector<uint8_t> PackExecRequest(const ExecRequest& req);
+
+/// \brief Decodes PackExecRequest output; rejects version mismatches,
+/// oversized counts and trailing bytes.
+[[nodiscard]] Status UnpackExecRequest(const std::vector<uint8_t>& buf,
+                                       ExecRequest* out);
+
+/// \brief Encodes an ExecResponse (versioned).
+std::vector<uint8_t> PackExecResponse(const ExecResponse& resp);
+
+/// \brief Decodes PackExecResponse output; rejects version mismatches,
+/// unknown outcomes, oversized counts and trailing bytes.
+[[nodiscard]] Status UnpackExecResponse(const std::vector<uint8_t>& buf,
+                                        ExecResponse* out);
 
 }  // namespace wire
 }  // namespace psi

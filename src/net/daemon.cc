@@ -221,6 +221,21 @@ bool PsidDaemon::HandleData(Conn* conn, const TransportMsg& msg) {
   return QueueOn(conn, std::move(packed));
 }
 
+bool PsidDaemon::HandleExec(Conn* conn, const TransportMsg& msg) {
+  ++stats_.exec_requests;
+  std::vector<uint8_t> result;
+  if (config_.exec_handler) {
+    result = config_.exec_handler(msg.body);
+  } else {
+    // No engine installed: answer with an empty body so the host degrades
+    // that stage to local execution instead of waiting out a deadline.
+    ++stats_.exec_no_engine;
+  }
+  ++stats_.exec_replies;
+  return QueueOn(conn, PackTransportMsg(TransportMsgKind::kExecResult, 0,
+                                        result));
+}
+
 bool PsidDaemon::ServiceConn(Conn* conn) {
   bool closed = false;
   if (!ReadAvailable(conn->fd, &conn->parser, &closed).ok()) return false;
@@ -253,6 +268,9 @@ bool PsidDaemon::ServiceConn(Conn* conn) {
         break;
       case TransportMsgKind::kHeartbeatAck:
         break;  // Answer to a daemon probe; nothing to do.
+      case TransportMsgKind::kExec:
+        if (!HandleExec(conn, msg)) return false;
+        break;
       case TransportMsgKind::kGoodbye:
         return false;  // Orderly close.
       default:
@@ -332,7 +350,56 @@ Status PsidDaemon::Run() {
       }
     }
   }
+  Drain(config_.drain_grace_ms);
   return Status::OK();
+}
+
+void PsidDaemon::Drain(uint64_t grace_ms) {
+  // Stop admitting anyone new, say goodbye on every live connection, and
+  // give the queued frames (goodbyes included) a bounded window to leave.
+  // A zero grace is an abrupt stop: no goodbyes, connections just die, so
+  // clients see exactly what a crash looks like.
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (grace_ms > 0) {
+    for (Conn& conn : conns_) {
+      if (conn.fd < 0 || !conn.admitted) continue;
+      (void)QueueOn(&conn,
+                    PackTransportMsg(TransportMsgKind::kGoodbye, 0, {}));
+    }
+  }
+  const uint64_t deadline = MonotonicMs() + grace_ms;
+  for (;;) {
+    bool pending = false;
+    for (Conn& conn : conns_) {
+      if (conn.fd < 0) continue;
+      if (!FlushSendQueue(conn.fd, &conn.send_queue).ok()) {
+        CloseConn(&conn);
+        continue;
+      }
+      if (!conn.send_queue.empty()) pending = true;
+    }
+    if (!pending || MonotonicMs() >= deadline) break;
+    std::vector<pollfd> fds;
+    for (Conn& conn : conns_) {
+      if (conn.fd < 0 || conn.send_queue.empty()) continue;
+      pollfd p;
+      p.fd = conn.fd;
+      p.events = POLLOUT;
+      p.revents = 0;
+      fds.push_back(p);
+    }
+    if (fds.empty()) break;
+    (void)poll(fds.data(), fds.size(), 10);
+  }
+  for (Conn& conn : conns_) {
+    if (conn.fd < 0) continue;
+    CloseConn(&conn);
+    ++stats_.drained_connections;
+  }
+  conns_.clear();
 }
 
 std::vector<std::string> PsidDaemon::active_sessions() const {

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -43,6 +44,14 @@
 #include "net/socket_util.h"
 
 namespace psi {
+
+/// \brief Stage-execution hook: input is the body of one kExec transport
+/// message (a sealed ProtocolId::kExec request envelope), the return value
+/// is the full kExecResult body (a sealed result envelope). The daemon
+/// stays codec-agnostic — it shuttles bytes; mpc/remote_exec builds the
+/// real engine and tools/psid.cc installs it.
+using PsidExecHandler =
+    std::function<std::vector<uint8_t>(const std::vector<uint8_t>& request)>;
 
 /// \brief Daemon configuration.
 struct PsidConfig {
@@ -59,6 +68,17 @@ struct PsidConfig {
   /// Names of the parties this daemon hosts (informational, for logs and
   /// the psid binary's status output).
   std::vector<std::string> hosted_parties;
+  /// Stage-execution engine. When unset, kExec requests are answered with
+  /// an empty kExecResult body ("no engine here"), which the host treats as
+  /// a signal to degrade that stage to local execution — never a violation,
+  /// never silence.
+  PsidExecHandler exec_handler;
+  /// Bound on the graceful-shutdown drain: how long Run() keeps flushing
+  /// queued frames and goodbyes after Stop() before closing everything.
+  /// Zero disables the drain entirely — connections are dropped without a
+  /// goodbye, so clients observe a dead peer, exactly like a crash (the
+  /// recovery benches use this to stage a daemon death in-process).
+  uint64_t drain_grace_ms = 200;
 };
 
 /// \brief Observable daemon counters (single-threaded; read between
@@ -72,6 +92,10 @@ struct PsidStats {
   uint64_t frames_forwarded = 0;    ///< kData routed to a peer connection.
   uint64_t heartbeats_answered = 0;
   uint64_t protocol_violations = 0; ///< Connections dropped for bad frames.
+  uint64_t exec_requests = 0;       ///< kExec messages received.
+  uint64_t exec_replies = 0;        ///< kExecResult messages produced.
+  uint64_t exec_no_engine = 0;      ///< Requests answered without a handler.
+  uint64_t drained_connections = 0; ///< Connections closed by a drain.
 };
 
 /// \brief Single-threaded party-hosting daemon. See the file comment.
@@ -102,6 +126,12 @@ class PsidDaemon {
   /// the same thread between Poll() calls).
   void Stop();
 
+  /// \brief Graceful shutdown: sends a goodbye on every admitted
+  /// connection, flushes queued frames for up to `grace_ms`, then closes
+  /// everything. Run() calls this (with the configured grace) after Stop()
+  /// so a SIGTERM'd psid says farewell instead of vanishing mid-frame.
+  void Drain(uint64_t grace_ms);
+
   /// \brief Closes every fd the daemon holds. The parent side of a fork
   /// calls this so only the child owns the sockets.
   void CloseAll();
@@ -130,6 +160,7 @@ class PsidDaemon {
   [[nodiscard]] bool ServiceConn(Conn* conn);
   [[nodiscard]] bool HandleHello(Conn* conn, const TransportMsg& msg);
   [[nodiscard]] bool HandleData(Conn* conn, const TransportMsg& msg);
+  [[nodiscard]] bool HandleExec(Conn* conn, const TransportMsg& msg);
   /// Queues a packed message; false when the connection must drop.
   [[nodiscard]] bool QueueOn(Conn* conn, std::vector<uint8_t> packed);
   void CloseConn(Conn* conn);

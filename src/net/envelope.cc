@@ -15,6 +15,7 @@ const char* ProtocolIdToString(ProtocolId id) {
     case ProtocolId::kHomomorphicSum: return "HomomorphicSum";
     case ProtocolId::kJointRandom: return "JointRandom";
     case ProtocolId::kSession: return "Session";
+    case ProtocolId::kExec: return "Exec";
   }
   return "Unknown";
 }

@@ -46,6 +46,7 @@ enum class ProtocolId : uint16_t {
   kHomomorphicSum = 7,    ///< Paillier extension (mpc/homomorphic_sum).
   kJointRandom = 8,       ///< Joint randomness rounds (mpc/joint_random).
   kSession = 9,           ///< Session resume handshake (mpc/session).
+  kExec = 10,             ///< Remote stage execution (mpc/remote_exec).
 };
 
 /// \brief Human-readable name of a protocol id ("SecureSum").

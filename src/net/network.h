@@ -260,6 +260,38 @@ class Network {
   std::map<ChannelKey, std::map<uint64_t, std::vector<uint8_t>>> stash_;
 };
 
+/// \brief Optional capability of a transport backend: executing a stage
+/// program on the daemon that hosts a party (mpc/remote_exec builds the
+/// request/response payloads; this interface only moves bytes).
+///
+/// A backend implementing this carries ProtocolId::kExec envelopes to the
+/// daemon as transport messages (TransportMsgKind::kExec), NOT as protocol
+/// traffic: exec round trips are tallied in transport counters and never
+/// touch the TrafficReport, which is what keeps a remote-executed run's
+/// protocol metering bitwise-identical to the simulator's. The in-process
+/// simulator does not implement it, so every stage simply runs locally.
+class RemoteExecTransport {
+ public:
+  virtual ~RemoteExecTransport() = default;
+
+  /// \brief True when `party` has a daemon-hosted wire presence that exec
+  /// requests can be routed to (regardless of current link health —
+  /// Reestablish may repair a dead link between attempts).
+  virtual bool RemoteExecAvailable(PartyId party) const = 0;
+
+  /// \brief Ships `request_frame` (a sealed ProtocolId::kExec envelope) to
+  /// the daemon hosting `party` and blocks — pumping the event loop — until
+  /// a result envelope whose sequence field equals `expected_seq` arrives,
+  /// the link dies, or `deadline_ms` expires. Results with a different
+  /// sequence are stale leftovers of a timed-out earlier call and are
+  /// discarded. While the call is in flight the busy daemon is exempt from
+  /// heartbeat dead-peer detection (a computing daemon is silent, not
+  /// dead); a killed daemon still fails fast through the socket error.
+  [[nodiscard]] virtual Result<std::vector<uint8_t>> RemoteCall(
+      PartyId party, const std::vector<uint8_t>& request_frame,
+      uint64_t deadline_ms, uint64_t expected_seq) = 0;
+};
+
 /// \brief Returns `result` unchanged on success; on error, drains every
 /// mailbox first and appends the per-channel discard summary ("2 message(s)
 /// from P1 ...") to the error's context. Protocol drivers route their

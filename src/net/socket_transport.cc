@@ -95,8 +95,11 @@ void SocketNetwork::MarkDead(DaemonLink* link) {
   if (link->alive) ++stats_.dead_peers_detected;
   CloseLink(link);
   // Frames queued for the dead connection are gone with it; the pristine
-  // sent log serves any that mattered via RequestRetransmit.
+  // sent log serves any that mattered via RequestRetransmit. Exec results
+  // of a dead daemon are meaningless — the host re-asks after reconnect.
   link->send_queue.clear();
+  link->exec_results.clear();
+  link->exec_grace_until_ms = 0;
 }
 
 void SocketNetwork::Shutdown() {
@@ -246,6 +249,9 @@ Status SocketNetwork::PumpLink(DaemonLink* link) {
       case TransportMsgKind::kHeartbeatAck:
         ++stats_.heartbeat_acks;
         break;
+      case TransportMsgKind::kExecResult:
+        link->exec_results.push_back(std::move(msg.body));
+        break;
       case TransportMsgKind::kHeartbeat:
         PSI_RETURN_NOT_OK(EnqueueMsg(
             link, PackTransportMsg(TransportMsgKind::kHeartbeatAck, 0, {})));
@@ -280,6 +286,17 @@ Status SocketNetwork::PumpAll(uint64_t slice_ms) {
       link.last_rx_ms = now;
     }
     link.last_pump_ms = now;
+    // A remote stage program is running on this daemon: rx-silence is the
+    // expected shape of a long Paillier loop, so keep the liveness window
+    // pinned open until the call's own deadline. Actual death (SIGKILL)
+    // still surfaces instantly below via POLLERR/POLLHUP or a read error.
+    if (link.exec_grace_until_ms != 0) {
+      if (now < link.exec_grace_until_ms) {
+        link.last_rx_ms = now;
+      } else {
+        link.exec_grace_until_ms = 0;
+      }
+    }
     // Probe liveness while blocked; silence past the timeout is a death.
     if (now - link.last_heartbeat_ms >= config_.heartbeat_interval_ms) {
       link.last_heartbeat_ms = now;
@@ -557,8 +574,79 @@ Status SocketNetwork::DialAndAuth(DaemonLink* link, bool resume) {
   link->last_rx_ms = MonotonicMs();
   link->last_heartbeat_ms = link->last_rx_ms;
   link->last_pump_ms = link->last_rx_ms;
+  link->exec_results.clear();
+  link->exec_grace_until_ms = 0;
   ++stats_.connects;
   return Status::OK();
+}
+
+bool SocketNetwork::RemoteExecAvailable(PartyId party) const {
+  return route_.count(party) != 0;
+}
+
+Result<std::vector<uint8_t>> SocketNetwork::RemoteCall(
+    PartyId party, const std::vector<uint8_t>& request_frame,
+    uint64_t deadline_ms, uint64_t expected_seq) {
+  auto it = route_.find(party);
+  if (it == route_.end()) {
+    return Status::FailedPrecondition("RemoteCall: " + party_name(party) +
+                                      " is not daemon-hosted");
+  }
+  DaemonLink& link = links_[it->second];
+  if (!link.alive) {
+    return Status::ProtocolError(
+        "RemoteCall: daemon link " + link.host + ":" +
+        std::to_string(link.port) + " hosting " + party_name(party) +
+        " is down; reestablish first");
+  }
+  ++stats_.exec_calls;
+  stats_.exec_bytes_tx += request_frame.size();
+  const uint64_t deadline = MonotonicMs() + deadline_ms;
+  link.exec_grace_until_ms = deadline;
+  Status sent = EnqueueMsg(
+      &link, PackTransportMsg(TransportMsgKind::kExec, 0, request_frame));
+  if (!sent.ok()) {
+    link.exec_grace_until_ms = 0;
+    return sent;
+  }
+  for (;;) {
+    while (!link.exec_results.empty()) {
+      std::vector<uint8_t> body = std::move(link.exec_results.front());
+      link.exec_results.pop_front();
+      stats_.exec_bytes_rx += body.size();
+      if (body.empty()) {
+        // The daemon has no execution engine; the caller degrades.
+        link.exec_grace_until_ms = 0;
+        return body;
+      }
+      auto seq = PeekEnvelopeSeq(body);
+      if (!seq.ok() || seq.ValueOrDie() != expected_seq) {
+        // A late answer to a call we already abandoned. Dropping it here —
+        // instead of letting it masquerade as this stage's result — is
+        // what makes retry-after-timeout safe.
+        ++stats_.exec_stale_dropped;
+        continue;
+      }
+      link.exec_grace_until_ms = 0;
+      return body;
+    }
+    if (!link.alive) {
+      return Status::ProtocolError(
+          "daemon link " + link.host + ":" + std::to_string(link.port) +
+          " hosting " + party_name(party) +
+          " died during remote stage execution");
+    }
+    const uint64_t now = MonotonicMs();
+    if (now >= deadline) {
+      ++stats_.exec_timeouts;
+      link.exec_grace_until_ms = 0;
+      return Status::ProtocolError(
+          "remote stage call to " + party_name(party) + " via " + link.host +
+          ":" + std::to_string(link.port) + " timed out after " +
+          std::to_string(deadline_ms) + " ms");
+    }
+    PSI_RETURN_NOT_OK(PumpAll(deadline - now));
+  }
 }
 
 Status SocketNetwork::Reestablish() {

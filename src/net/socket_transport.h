@@ -104,11 +104,16 @@ struct TransportStats {
   uint64_t send_queue_peak = 0;    ///< High-water mark across all links.
   uint64_t wire_bytes_tx = 0;      ///< All transport bytes written.
   uint64_t wire_bytes_rx = 0;      ///< All transport bytes read.
+  uint64_t exec_calls = 0;         ///< kExec requests sent to daemons.
+  uint64_t exec_timeouts = 0;      ///< Calls abandoned at their deadline.
+  uint64_t exec_stale_dropped = 0; ///< Late results of abandoned calls.
+  uint64_t exec_bytes_tx = 0;      ///< Exec request bodies (pre-framing).
+  uint64_t exec_bytes_rx = 0;      ///< Exec result bodies (pre-framing).
 };
 
 /// \brief Network implementation whose remote channels cross TCP loopback
 /// through psid daemons. See the file comment for the model.
-class SocketNetwork : public Network {
+class SocketNetwork : public Network, public RemoteExecTransport {
  public:
   explicit SocketNetwork(SocketTransportConfig config);
   ~SocketNetwork() override;
@@ -157,6 +162,24 @@ class SocketNetwork : public Network {
   /// \brief True when the link carrying `party` is currently usable.
   bool LinkAlive(PartyId party) const;
 
+  /// \brief True when `party` is daemon-hosted (its daemon can be asked to
+  /// run stage programs, live or not — a dead link reestablishes first).
+  bool RemoteExecAvailable(PartyId party) const override;
+
+  /// \brief Sends one kExec request to `party`'s daemon and pumps the
+  /// event loop until the matching kExecResult arrives (envelope seq ==
+  /// `expected_seq`), the link dies, or `deadline_ms` elapses. While the
+  /// call is in flight the link's heartbeat dead-peer timer is suspended —
+  /// a daemon busy inside a Paillier loop is slow, not dead; actual death
+  /// still surfaces immediately through the socket (POLLHUP/ECONNRESET).
+  /// Late results of abandoned calls are recognized by their stale seq and
+  /// dropped, never misdelivered. An empty result body means the daemon
+  /// has no execution engine. Exec traffic is transport-metered only; the
+  /// protocol TrafficReport stays bitwise-identical to the simulator.
+  [[nodiscard]] Result<std::vector<uint8_t>> RemoteCall(
+      PartyId party, const std::vector<uint8_t>& request_frame,
+      uint64_t deadline_ms, uint64_t expected_seq) override;
+
  protected:
   [[nodiscard]] Status Transmit(PartyId from, PartyId to,
                                 std::vector<uint8_t> frame) override;
@@ -179,6 +202,12 @@ class SocketNetwork : public Network {
     uint64_t last_rx_ms = 0;
     uint64_t last_heartbeat_ms = 0;
     uint64_t last_pump_ms = 0;
+    /// Result bodies of kExecResult messages awaiting pickup by RemoteCall.
+    std::deque<std::vector<uint8_t>> exec_results;
+    /// While MonotonicMs() is below this, rx-silence is expected (a stage
+    /// program is running daemon-side) and must not trip dead-peer
+    /// detection.
+    uint64_t exec_grace_until_ms = 0;
   };
 
   static constexpr size_t kNoLink = static_cast<size_t>(-1);

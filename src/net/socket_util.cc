@@ -26,6 +26,8 @@ const char* TransportMsgKindToString(TransportMsgKind kind) {
     case TransportMsgKind::kHeartbeat: return "heartbeat";
     case TransportMsgKind::kHeartbeatAck: return "heartbeat-ack";
     case TransportMsgKind::kGoodbye: return "goodbye";
+    case TransportMsgKind::kExec: return "exec";
+    case TransportMsgKind::kExecResult: return "exec-result";
   }
   return "unknown";
 }
@@ -78,7 +80,7 @@ Result<bool> TransportParser::Next(TransportMsg* out) {
         }(magic) + ")");
   }
   if (kind < static_cast<uint8_t>(TransportMsgKind::kChallenge) ||
-      kind > static_cast<uint8_t>(TransportMsgKind::kGoodbye)) {
+      kind > static_cast<uint8_t>(TransportMsgKind::kExecResult)) {
     return Status::ProtocolError("transport message of unknown kind " +
                                  std::to_string(kind));
   }

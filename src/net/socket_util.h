@@ -39,6 +39,11 @@ enum class TransportMsgKind : uint8_t {
   kHeartbeat = 5,    ///< client -> daemon: liveness probe.
   kHeartbeatAck = 6, ///< daemon -> client: liveness answer.
   kGoodbye = 7,      ///< either way: orderly shutdown of the connection.
+  kExec = 8,         ///< client -> daemon: run one stage program (body is a
+                     ///< ProtocolId::kExec envelope; consumed by the daemon,
+                     ///< never routed, never protocol-metered).
+  kExecResult = 9,   ///< daemon -> client: the stage program's result
+                     ///< envelope (empty body = no execution engine).
 };
 
 const char* TransportMsgKindToString(TransportMsgKind kind);

@@ -47,6 +47,8 @@
 #include "mpc/non_exclusive.h"        // IWYU pragma: export
 #include "mpc/perfect_hiding.h"       // IWYU pragma: export
 #include "mpc/propagation_protocol.h"  // IWYU pragma: export
+#include "mpc/remote_exec.h"          // IWYU pragma: export
+#include "mpc/wire.h"                 // IWYU pragma: export
 #include "mpc/secure_division.h"      // IWYU pragma: export
 #include "mpc/secure_sum.h"           // IWYU pragma: export
 #include "mpc/secure_user_score.h"    // IWYU pragma: export

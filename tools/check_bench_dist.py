@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Bench gate for distributed stage execution.
+
+Validates a fresh bench_dist JSON run against the committed baseline
+(BENCH_dist.json). Every gated counter is a deterministic meter (protocol
+traffic, exec frame bytes, resume handshake messages), so the checks are
+machine independent; real_time_ns is reported but never gated (loopback
+scheduling is not reproducible across machines).
+
+  1. Correctness invariants (same run):
+       - all four scenarios complete and every backend reproduces the
+         simulator's output bitwise (outputs_match == 1);
+       - hairpin and remote runs meter protocol traffic identically to the
+         simulator (metering_matches_simulator == 1) — exec traffic is
+         transport overhead, never protocol metering;
+       - the remote run executed every provider stage on the daemon
+         (remote_stages == providers) with no degradation, no timeouts,
+         and the daemon metered exactly the crypto ops the host credited;
+       - the resume scenario recovered from losing its daemon with exactly
+         one resume handshake round, costing exactly the analytic model's
+         message count (SessionResumeCosts: P*(P-1) messages, NR == 1),
+         zero recomputed checkpointed crypto ops, and one reconnect.
+  2. Regression guard vs the committed baseline:
+       - protocol wire traffic (messages and bytes) must not grow more
+         than 25% over baseline;
+       - exec channel cost (calls and request/result bytes — the
+         remote-stage overhead vs hairpin) must not grow more than 25%;
+       - resume handshake messages must not grow at all: resume cost is
+         pinned at one round.
+
+Usage: check_bench_dist.py --baseline BENCH_dist.json --run fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+LOCAL = "dist/local_session"
+HAIRPIN = "dist/hairpin_session"
+REMOTE = "dist/remote_session"
+RESUME = "dist/remote_resume"
+
+MAX_REGRESSION = 0.25
+
+
+def require_release_build(data, path):
+    """Fails loudly unless the JSON was produced by a Release build."""
+    context = data.get("context", {})
+    build = context.get("psi_build_type", context.get("library_build_type"))
+    if build is None:
+        raise SystemExit(
+            f"FAIL: {path} carries no psi_build_type/library_build_type "
+            "context; re-record it with a current Release bench binary"
+        )
+    if build != "release":
+        raise SystemExit(
+            f"FAIL: {path} was recorded from a '{build}' build; bench "
+            "gates only accept Release numbers (cmake "
+            "-DCMAKE_BUILD_TYPE=Release)"
+        )
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    require_release_build(data, path)
+    by_name = {}
+    for bench in data.get("benchmarks", []):
+        by_name[bench["name"]] = bench
+    return by_name, data.get("context", {})
+
+
+def row(benches, name):
+    if name not in benches:
+        raise SystemExit(f"FAIL: benchmark '{name}' missing from results")
+    return benches[name]
+
+
+def counter(benches, name, key):
+    value = row(benches, name).get(key)
+    if value is None:
+        raise SystemExit(f"FAIL: benchmark '{name}' has no counter '{key}'")
+    return int(value)
+
+
+def check_invariants(benches, providers, failures):
+    for name in (LOCAL, HAIRPIN, REMOTE, RESUME):
+        if counter(benches, name, "ok") != 1:
+            failures.append(f"{name} did not complete")
+    for name in (HAIRPIN, REMOTE, RESUME):
+        if counter(benches, name, "outputs_match") != 1:
+            failures.append(f"{name} output diverged from the simulator")
+
+    for name in (HAIRPIN, REMOTE):
+        if counter(benches, name, "metering_matches_simulator") != 1:
+            failures.append(f"{name} metered differently from the simulator")
+        for key in ("wire_messages", "wire_bytes"):
+            sim = counter(benches, LOCAL, key)
+            got = counter(benches, name, key)
+            if sim != got:
+                failures.append(
+                    f"{key} differs: {LOCAL}={sim} vs {name}={got}"
+                )
+
+    if counter(benches, REMOTE, "remote_stages") != providers:
+        failures.append(
+            f"remote run executed "
+            f"{counter(benches, REMOTE, 'remote_stages')} stages remotely "
+            f"(expected one per provider, {providers})"
+        )
+    if counter(benches, REMOTE, "degraded_to_local") != 0:
+        failures.append("clean remote run degraded a stage to local")
+    if counter(benches, REMOTE, "timeouts") != 0:
+        failures.append("clean remote run hit a stage deadline")
+    remote_ops = counter(benches, REMOTE, "remote_crypto_ops")
+    daemon_ops = counter(benches, REMOTE, "daemon_crypto_ops")
+    if remote_ops == 0:
+        failures.append("remote stages metered no crypto ops")
+    if remote_ops != daemon_ops:
+        failures.append(
+            f"host credited {remote_ops} remote crypto ops but the daemon "
+            f"metered {daemon_ops}"
+        )
+    if counter(benches, REMOTE, "exec_calls") == 0:
+        failures.append("remote run made no exec calls")
+
+    if counter(benches, RESUME, "resumes") != 1:
+        failures.append("resume scenario did not resume exactly once")
+    handshake = counter(benches, RESUME, "handshake_messages")
+    model = counter(benches, RESUME, "model_handshake_messages")
+    if handshake != model:
+        failures.append(
+            f"resume handshake cost {handshake} messages; the one-round "
+            f"analytic model says {model}"
+        )
+    if counter(benches, RESUME, "model_handshake_rounds") != 1:
+        failures.append("resume cost model no longer prices one round")
+    if counter(benches, RESUME, "crypto_ops_recomputed") != 0:
+        failures.append("resume recomputed checkpointed crypto ops")
+    if counter(benches, RESUME, "crypto_ops_saved") == 0:
+        failures.append("resume saved no checkpointed work")
+    if counter(benches, RESUME, "dead_peers_detected") < 1:
+        failures.append("crashed daemon went undetected as a dead peer")
+    if counter(benches, RESUME, "reconnects") != 1:
+        failures.append("resume scenario did not reconnect exactly once")
+
+
+def check_regressions(benches, baseline, failures):
+    grow_caps = [
+        (REMOTE, "wire_messages"),
+        (REMOTE, "wire_bytes"),
+        (REMOTE, "exec_calls"),
+        (REMOTE, "exec_bytes_tx"),
+        (REMOTE, "exec_bytes_rx"),
+    ]
+    for name, key in grow_caps:
+        fresh = counter(benches, name, key)
+        base = counter(baseline, name, key)
+        ceiling = base * (1.0 + MAX_REGRESSION)
+        print(f"{name}/{key}: {fresh} (baseline {base}, ceiling {ceiling:.0f})")
+        if fresh > ceiling:
+            failures.append(
+                f"{name}/{key} grew: {fresh} vs baseline {base} "
+                f"(> {MAX_REGRESSION:.0%} increase)"
+            )
+
+    fresh_hs = counter(benches, RESUME, "handshake_messages")
+    base_hs = counter(baseline, RESUME, "handshake_messages")
+    print(f"{RESUME}/handshake_messages: {fresh_hs} (baseline {base_hs})")
+    if fresh_hs > base_hs:
+        failures.append(
+            f"resume handshake grew to {fresh_hs} messages (baseline "
+            f"{base_hs}): resume is no longer a single pinned round"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--run", required=True)
+    args = parser.parse_args()
+
+    baseline, base_context = load(args.baseline)
+    fresh, context = load(args.run)
+
+    providers = int(context.get("providers", 0))
+    if providers < 2:
+        print(
+            f"FAIL: {args.run} context names {providers} providers; the "
+            "bench world needs at least 2",
+            file=sys.stderr,
+        )
+        return 1
+    if providers != int(base_context.get("providers", 0)):
+        print(
+            f"FAIL: provider count changed shape vs baseline "
+            f"({providers} vs {base_context.get('providers')}); re-record "
+            "the baseline if the bench world changed",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = []
+    check_invariants(fresh, providers, failures)
+    check_regressions(fresh, baseline, failures)
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("OK: dist bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,23 @@
 //       Runs the secure user-score pipeline (Protocol 6 + a_i reveal) and
 //       prints the top influencers.
 //
+//   run-remote --dir D [--protocol p6|p4] [--providers P] [--seed S]
+//              [--daemons N] [--attach PORT,PORT,...] [--window H]
+//              [--no-fallback true]
+//       Runs the chosen protocol with the providers' stage bodies executing
+//       on psid daemons (mpc/remote_exec.h). By default forks N in-process
+//       daemons with the execution engine enabled and distributes the
+//       providers across them round-robin; --attach skips the forking and
+//       dials already-running daemons on 127.0.0.1 instead (spawn them with
+//       tools/psid). Prints the protocol TrafficReport (bitwise-identical
+//       to a simulator run), the TransportStats of the wire, and the remote
+//       execution counters.
+//
 // Exit status is nonzero on any error; diagnostics go to stderr.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
@@ -35,7 +51,11 @@
 #include "influence/link_influence.h"
 #include "influence/user_score.h"
 #include "mpc/link_influence_protocol.h"
+#include "mpc/propagation_protocol.h"
+#include "mpc/remote_exec.h"
 #include "mpc/secure_user_score.h"
+#include "net/daemon.h"
+#include "net/socket_transport.h"
 
 namespace psi {
 namespace {
@@ -228,10 +248,225 @@ uint64_t CountActions(const std::vector<ActionLog>& logs) {
   return Status::OK();
 }
 
+// ---- run-remote ----
+
+PsidDaemon* g_child_daemon = nullptr;
+
+void ChildSignal(int /*sig*/) {
+  if (g_child_daemon != nullptr) g_child_daemon->Stop();
+}
+
+/// One forked psid with the execution engine on. The parent keeps only the
+/// pid and port; the child owns the sockets and serves until SIGTERM.
+struct SpawnedDaemon {
+  pid_t pid = -1;
+  uint16_t port = 0;
+};
+
+[[nodiscard]] Result<SpawnedDaemon> SpawnExecDaemon(
+    const std::string& auth_token, uint64_t seed,
+    std::vector<std::string> hosted) {
+  // The engine is wired in before the fork (the daemon's config is fixed at
+  // construction); the parent never runs the daemon, so its handler copy is
+  // inert. In the child, the locals stay alive through Run(): _exit() never
+  // unwinds this frame.
+  StageExecutor executor;
+  PsidConfig config;
+  config.auth_token = auth_token;
+  config.seed = seed;
+  config.hosted_parties = std::move(hosted);
+  config.exec_handler = executor.Handler();
+  PsidDaemon daemon(config);
+  PSI_ASSIGN_OR_RETURN(uint16_t port, daemon.Listen(0));
+  pid_t pid = fork();
+  if (pid < 0) return Status::Internal("fork failed");
+  if (pid == 0) {
+    g_child_daemon = &daemon;
+    signal(SIGTERM, ChildSignal);
+    signal(SIGINT, ChildSignal);
+    Status run = daemon.Run();
+    _exit(run.ok() ? 0 : 1);
+  }
+  daemon.CloseAll();
+  SpawnedDaemon out;
+  out.pid = pid;
+  out.port = port;
+  return out;
+}
+
+[[nodiscard]] Status RunRemote(const Flags& flags) {
+  std::string dir = flags.GetString("dir", "");
+  if (dir.empty()) return Status::InvalidArgument("--dir is required");
+  const std::string protocol = flags.GetString("protocol", "p6");
+  if (protocol != "p6" && protocol != "p4") {
+    return Status::InvalidArgument("--protocol must be p6 or p4");
+  }
+  uint64_t providers = flags.GetInt("providers", 3);
+  uint64_t seed = flags.GetInt("seed", 1);
+  uint64_t window = flags.GetInt("window", 4);
+  uint64_t num_daemons = flags.GetInt("daemons", 2);
+  const std::string attach = flags.GetString("attach", "");
+  const bool fallback = flags.GetString("no-fallback", "") != "true";
+  if (num_daemons == 0) return Status::InvalidArgument("--daemons must be > 0");
+
+  RegisterLinkInfluenceStagePrograms();
+  RegisterPropagationStagePrograms();
+
+  PSI_ASSIGN_OR_RETURN(LoadedWorld w, LoadWorld(dir, providers));
+  uint64_t actions = CountActions(w.provider_logs);
+
+  // Daemon endpoints: forked children with the engine on, or ports the
+  // operator already has psid listening on.
+  std::vector<SpawnedDaemon> spawned;
+  std::vector<uint16_t> ports;
+  SocketTransportConfig net_config;
+  net_config.seed = seed;
+  net_config.session_name = "cli-remote";
+  if (attach.empty()) {
+    for (uint64_t d = 0; d < num_daemons; ++d) {
+      std::vector<std::string> hosted;
+      for (uint64_t k = d; k < providers; k += num_daemons) {
+        hosted.push_back("P" + std::to_string(k + 1));
+      }
+      PSI_ASSIGN_OR_RETURN(
+          SpawnedDaemon sd,
+          SpawnExecDaemon(net_config.auth_token, seed + 100 + d,
+                          std::move(hosted)));
+      ports.push_back(sd.port);
+      spawned.push_back(sd);
+    }
+  } else {
+    size_t start = 0;
+    while (start < attach.size()) {
+      size_t comma = attach.find(',', start);
+      if (comma == std::string::npos) comma = attach.size();
+      ports.push_back(static_cast<uint16_t>(
+          std::stoul(attach.substr(start, comma - start))));
+      start = comma + 1;
+    }
+    num_daemons = ports.size();
+  }
+
+  auto reap = [&spawned]() {
+    for (const SpawnedDaemon& sd : spawned) {
+      kill(sd.pid, SIGTERM);
+    }
+    for (const SpawnedDaemon& sd : spawned) {
+      int wstatus = 0;
+      waitpid(sd.pid, &wstatus, 0);
+    }
+  };
+
+  SocketNetwork net(net_config);
+  PartyId host = net.RegisterParty("H");
+  std::vector<PartyId> provider_ids;
+  std::vector<std::unique_ptr<Rng>> rng_store;
+  std::vector<Rng*> provider_rngs;
+  for (uint64_t k = 0; k < providers; ++k) {
+    provider_ids.push_back(net.RegisterParty("P" + std::to_string(k + 1)));
+    rng_store.push_back(std::make_unique<Rng>(seed * 100 + k));
+    provider_rngs.push_back(rng_store.back().get());
+  }
+  Rng host_rng(seed), pair_secret(seed + 1);
+
+  // Providers round-robin across the daemons; H stays local.
+  Status connected = Status::OK();
+  for (size_t d = 0; d < ports.size() && connected.ok(); ++d) {
+    std::vector<PartyId> assigned;
+    for (uint64_t k = d; k < providers; k += num_daemons) {
+      assigned.push_back(provider_ids[k]);
+    }
+    if (!assigned.empty()) {
+      connected = net.ConnectDaemon("127.0.0.1", ports[d], assigned);
+    }
+  }
+  if (!connected.ok()) {
+    reap();
+    return connected;
+  }
+
+  RetryPolicy retry;
+  retry.seed = seed;
+  RemoteExecPolicy exec_policy;
+  exec_policy.seed = seed;
+  exec_policy.allow_local_fallback = fallback;
+  RemoteSessionOrchestrator orchestrator(retry, exec_policy);
+  SessionStats session_stats;
+
+  Status run = Status::OK();
+  if (protocol == "p6") {
+    Protocol6Config config;
+    config.encryption = Protocol6Config::EncryptionMode::kHybrid;
+    PropagationGraphProtocol p6(&net, host, provider_ids, config);
+    auto out = p6.RunSession(w.graph, actions + 1, w.provider_logs, &host_rng,
+                             provider_rngs, retry, &session_stats,
+                             &orchestrator);
+    if (out.ok()) {
+      size_t arcs = 0;
+      for (const auto& g : out.ValueOrDie().graphs) arcs += g.num_arcs();
+      std::printf("P6 remote: %zu propagation graphs, %zu labelled arcs\n",
+                  out.ValueOrDie().graphs.size(), arcs);
+    }
+    run = out.status();
+  } else {
+    Protocol4Config config;
+    config.h = window;
+    LinkInfluenceProtocol p4(&net, host, provider_ids, config);
+    auto out = p4.RunSession(w.graph, actions, w.provider_logs, &host_rng,
+                             provider_rngs, &pair_secret, retry,
+                             &session_stats, /*extras=*/{}, &orchestrator);
+    if (out.ok()) {
+      std::printf("P4 remote: learned %zu link strengths\n",
+                  out.ValueOrDie().p.size());
+    }
+    run = out.status();
+  }
+
+  net.Shutdown();
+  reap();
+  PSI_RETURN_NOT_OK(run);
+
+  std::printf("%s", net.Report().ToString().c_str());
+  const RemoteExecStats& xs = orchestrator.exec_stats();
+  std::printf(
+      "remote exec: %llu stage(s) on daemons (%llu call(s), %llu cached, "
+      "%llu state restore(s) shipped, %llu timeout(s), %llu degraded to "
+      "local), %llu crypto op(s) daemon-side\n",
+      static_cast<unsigned long long>(xs.remote_stages),
+      static_cast<unsigned long long>(xs.remote_calls),
+      static_cast<unsigned long long>(xs.cache_hits),
+      static_cast<unsigned long long>(xs.restores_shipped),
+      static_cast<unsigned long long>(xs.timeouts),
+      static_cast<unsigned long long>(xs.degraded_to_local),
+      static_cast<unsigned long long>(xs.remote_crypto_ops));
+  std::printf(
+      "session: %u attempt(s), %llu stage(s) run, %llu crypto op(s) total, "
+      "%llu recomputed\n",
+      session_stats.attempts,
+      static_cast<unsigned long long>(session_stats.stages_run),
+      static_cast<unsigned long long>(session_stats.crypto_ops_total),
+      static_cast<unsigned long long>(session_stats.crypto_ops_recomputed));
+  const TransportStats& ts = net.transport_stats();
+  std::printf(
+      "transport: %llu connect(s) (%llu reconnect(s)), %llu frame(s) "
+      "relayed, %llu heartbeat(s), %llu exec byte(s) tx / %llu rx, %llu "
+      "wire byte(s) tx / %llu rx\n",
+      static_cast<unsigned long long>(ts.connects),
+      static_cast<unsigned long long>(ts.reconnects),
+      static_cast<unsigned long long>(ts.frames_relayed),
+      static_cast<unsigned long long>(ts.heartbeats_sent),
+      static_cast<unsigned long long>(ts.exec_bytes_tx),
+      static_cast<unsigned long long>(ts.exec_bytes_rx),
+      static_cast<unsigned long long>(ts.wire_bytes_tx),
+      static_cast<unsigned long long>(ts.wire_bytes_rx));
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: psi_cli <generate|learn|scores> [--flag value ...]\n"
+                 "usage: psi_cli <generate|learn|scores|run-remote> "
+                 "[--flag value ...]\n"
                  "see the header comment of tools/psi_cli.cc\n");
     return 2;
   }
@@ -242,6 +477,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") status = RunGenerate(*flags);
   if (command == "learn") status = RunLearn(*flags);
   if (command == "scores") status = RunScores(*flags);
+  if (command == "run-remote") status = RunRemote(*flags);
   return status.ok() ? 0 : Fail(status);
 }
 

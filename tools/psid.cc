@@ -7,7 +7,17 @@
 //
 //   psid --port 7001 --token s3cret --host P1 --host P2
 //
-// SIGINT/SIGTERM shut it down cleanly.
+// Beyond routing frames, the daemon is an execution engine: the stage
+// programs of Protocols 4 and 6 are registered at startup and a
+// StageExecutor (mpc/remote_exec.h) services kExec requests, so a
+// RemoteSessionOrchestrator on the host side can run its parties' stage
+// bodies *here* instead of hairpinning the frames. --no-exec disables the
+// engine (the daemon answers exec requests with "no engine" and the host
+// degrades to local execution) for drills and A/B runs.
+//
+// SIGINT/SIGTERM shut it down gracefully: stop accepting, drain queued
+// frames to every admitted connection (bounded by --drain-grace-ms), flush
+// checkpointable executor state, and dump final stats to stderr.
 
 #include <signal.h>
 
@@ -17,6 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "mpc/link_influence_protocol.h"
+#include "mpc/propagation_protocol.h"
+#include "mpc/remote_exec.h"
 #include "net/daemon.h"
 
 namespace {
@@ -30,7 +43,8 @@ void HandleSignal(int /*sig*/) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--bind ADDR] [--token T] "
-               "[--seed N] [--host PARTY]...\n",
+               "[--seed N] [--drain-grace-ms N] [--no-exec] "
+               "[--host PARTY]...\n",
                argv0);
   return 2;
 }
@@ -40,6 +54,7 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   psi::PsidConfig config;
   uint16_t port = 0;
+  bool enable_exec = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -51,11 +66,25 @@ int main(int argc, char** argv) {
       config.auth_token = argv[++i];
     } else if (arg == "--seed" && has_value) {
       config.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--drain-grace-ms" && has_value) {
+      config.drain_grace_ms = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--no-exec") {
+      enable_exec = false;
     } else if (arg == "--host" && has_value) {
       config.hosted_parties.push_back(argv[++i]);
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  // The execution engine: register every known stage program, then hand the
+  // daemon a bytes-in/bytes-out handler. The daemon itself stays
+  // codec-agnostic; the executor owns the exec wire format.
+  psi::StageExecutor executor;
+  if (enable_exec) {
+    psi::RegisterLinkInfluenceStagePrograms();
+    psi::RegisterPropagationStagePrograms();
+    config.exec_handler = executor.Handler();
   }
 
   psi::PsidDaemon daemon(config);
@@ -74,9 +103,10 @@ int main(int argc, char** argv) {
   for (const std::string& p : config.hosted_parties) {
     parties += (parties.empty() ? "" : ", ") + p;
   }
-  std::fprintf(stderr, "psid: listening on %s:%u hosting [%s]\n",
+  std::fprintf(stderr, "psid: listening on %s:%u hosting [%s]%s\n",
                config.bind_host.c_str(),
-               static_cast<unsigned>(bound.ValueOrDie()), parties.c_str());
+               static_cast<unsigned>(bound.ValueOrDie()), parties.c_str(),
+               enable_exec ? " (exec engine on)" : "");
 
   psi::Status served = daemon.Run();
   if (!served.ok()) {
@@ -86,10 +116,29 @@ int main(int argc, char** argv) {
   const psi::PsidStats& stats = daemon.stats();
   std::fprintf(stderr,
                "psid: served %llu connection(s), %llu hairpinned + %llu "
-               "forwarded frame(s), %llu auth failure(s)\n",
+               "forwarded frame(s), %llu auth failure(s), %llu drained on "
+               "shutdown\n",
                static_cast<unsigned long long>(stats.connections_accepted),
                static_cast<unsigned long long>(stats.frames_hairpinned),
                static_cast<unsigned long long>(stats.frames_forwarded),
-               static_cast<unsigned long long>(stats.auth_failures));
+               static_cast<unsigned long long>(stats.auth_failures),
+               static_cast<unsigned long long>(stats.drained_connections));
+  if (enable_exec) {
+    const psi::StageExecutorStats& xs = executor.stats();
+    std::fprintf(
+        stderr,
+        "psid: exec %llu request(s): %llu run, %llu cached, %llu "
+        "need-state, %llu state(s) loaded, %llu unsupported, %llu program "
+        "error(s), %llu malformed, %llu crypto op(s), %zu live slot(s)\n",
+        static_cast<unsigned long long>(xs.requests),
+        static_cast<unsigned long long>(xs.executed),
+        static_cast<unsigned long long>(xs.cache_hits),
+        static_cast<unsigned long long>(xs.need_state),
+        static_cast<unsigned long long>(xs.states_loaded),
+        static_cast<unsigned long long>(xs.unsupported),
+        static_cast<unsigned long long>(xs.program_errors),
+        static_cast<unsigned long long>(xs.malformed),
+        static_cast<unsigned long long>(xs.crypto_ops), executor.num_slots());
+  }
   return 0;
 }
